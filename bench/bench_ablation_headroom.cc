@@ -1,0 +1,104 @@
+// Ablation — the 20 % bandwidth reservation (§4).
+//
+// "To absorb the potential transient congestion during VIP migration and
+// network failures, we set the capacity of a link to be 80% of its
+// bandwidth." This bench sweeps that knob: pack the same workload with
+// headroom ∈ {1.0 … 0.6}, then throw the §8.2 failure scenarios at each
+// assignment and count links pushed past 100 % of RAW capacity (where real
+// traffic would be dropped).
+//
+// Expected shape: in a k-Agg container, losing one Agg multiplies the
+// surviving uplinks' load by k/(k-1) — 4/3 here — so worst-fail utilization
+// is exactly headroom x 1.33. Absorbing a worst-case adjacent-Agg loss
+// needs headroom <= 0.75; the paper's 0.8 covers the <=16% increases they
+// measured (the max-utilization link is rarely adjacent to the failed
+// switch) while costing only ~3% of HMux coverage relative to headroom 1.0.
+// Below 0.7 coverage decays with no failure benefit: the trade-off curve
+// the 80% choice sits on.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "sim/flowsim.h"
+
+using namespace duet;
+
+int main() {
+  const auto scale = bench::dc_scale();
+  bench::header("Ablation", "link-bandwidth headroom sweep (the §4 '80%' design choice)", &scale);
+  bench::paper_note("20% reservation absorbs failure-driven re-routing (Fig 19 shows <=16%)");
+
+  // The reservation only matters where links are actually contended: run at
+  // ~2x the Fig 16 peak with a generous VIP budget so bandwidth — not the
+  // host table — is the binding constraint.
+  const auto fabric = build_fattree(scale.fabric);
+  const auto trace = bench::make_trace(fabric, scale, 22.0);
+  const auto demands = build_demands(fabric, trace, 0);
+
+  std::vector<SwitchId> smux_tors;
+  for (std::size_t c = 0; c < fabric.params.containers; ++c) {
+    smux_tors.push_back(fabric.tors[c * fabric.params.tors_per_container]);
+  }
+
+  TablePrinter t{{"headroom", "HMux traffic %", "normal max util", "worst fail max util",
+                  "overloaded links (worst fail)"}};
+  Rng rng{7};
+  for (const double headroom : {1.0, 0.9, 0.8, 0.7, 0.6}) {
+    AssignmentOptions o = bench::make_options(scale);
+    o.link_headroom = headroom;
+    o.host_table_capacity = scale.host_table_capacity * 2;
+    o.stop_on_first_failure = false;
+    const auto a = VipAssigner{fabric, o}.assign(demands);
+
+    // The reservation governs HMux-placed traffic; simulate exactly that
+    // (the SMux leftovers are provisioned separately, Fig 16).
+    std::vector<VipDemand> placed;
+    for (const auto& d : demands) {
+      if (a.on_hmux(d.id)) placed.push_back(d);
+    }
+
+    const auto normal = simulate_flows(fabric, placed, a, smux_tors, healthy_scenario());
+
+    // Failure stress isolated to RE-ROUTING: fail 3 random Agg switches and
+    // measure the surviving HMux traffic squeezing through the remaining
+    // paths. The failed switches' own VIPs fall to the SMux pool — a
+    // separately provisioned resource (Fig 16) — so they are excluded here;
+    // what remains is exactly the congestion the §4 reservation must absorb.
+    double worst_util = normal.max_link_utilization;
+    std::size_t worst_overloaded = 0;
+    Rng scenario_rng{99};  // same failure draws for every headroom setting
+    for (int run = 0; run < 8; ++run) {
+      FailureScenario scenario;
+      scenario.name = "3-agg";
+      while (scenario.failed_switches.size() < 3) {
+        scenario.failed_switches.insert(
+            fabric.aggs[scenario_rng.uniform(fabric.aggs.size())]);
+      }
+      std::vector<VipDemand> survivors;
+      for (const auto& d : placed) {
+        if (!scenario.failed_switches.contains(*a.switch_of(d.id))) survivors.push_back(d);
+      }
+      const auto r = simulate_flows(fabric, survivors, a, smux_tors, scenario);
+      std::size_t overloaded = 0;
+      for (LinkId l = 0; l < fabric.topo.link_count(); ++l) {
+        const double cap = fabric.topo.capacity_gbps(l);
+        overloaded += (r.link_load_gbps[l * 2] > cap) + (r.link_load_gbps[l * 2 + 1] > cap);
+      }
+      if (r.max_link_utilization > worst_util) {
+        worst_util = r.max_link_utilization;
+        worst_overloaded = overloaded;
+      } else {
+        worst_overloaded = std::max(worst_overloaded, overloaded);
+      }
+    }
+    (void)rng;
+    t.add_row({TablePrinter::fmt(headroom, "%.1f"), format_pct(a.hmux_fraction()),
+               TablePrinter::fmt(normal.max_link_utilization),
+               TablePrinter::fmt(worst_util),
+               TablePrinter::fmt_int(static_cast<long long>(worst_overloaded))});
+  }
+  t.print();
+  std::printf("\nlinks past 1.0 of RAW capacity drop traffic in a real deployment; the\n"
+              "reservation exists to keep that count at zero through failures (§4).\n");
+  return 0;
+}

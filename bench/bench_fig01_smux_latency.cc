@@ -1,0 +1,57 @@
+// Fig 1 — "Performance of software Mux".
+//
+//  (a) CDF of end-to-end latency through one SMux as its offered load sweeps
+//      {no-load, 200K, 300K, 400K, 450K} packets/sec. Paper: 196 µs median
+//      added at no load, p90 ≈ 1 ms, and a wholesale shift to tens of
+//      milliseconds once the CPU saturates at 300 Kpps.
+//  (b) CPU utilization vs offered load: linear to 100 % at 300 Kpps.
+#include <cstdio>
+
+#include "common.h"
+#include "duet/smux.h"
+
+using namespace duet;
+
+int main() {
+  bench::header("Figure 1(a)", "end-to-end latency CDF through one SMux");
+  bench::paper_note(
+      "196us median added latency at no load, p90 ~1ms; latency explodes past "
+      "300Kpps (CPU saturation)");
+
+  const DuetConfig cfg;
+  const Smux smux{0, FlowHasher{}, cfg};
+  Rng rng{1};
+
+  const double loads_pps[] = {0, 200e3, 300e3, 400e3, 450e3};
+  const char* labels[] = {"no-load", "200k", "300k", "400k", "450k"};
+  constexpr int kSamples = 200000;
+  // End-to-end latency = DC RTT + SMux added latency (the paper measures
+  // ping RTTs through the mux).
+  TablePrinter cdf{{"percentile", "no-load (ms)", "200k (ms)", "300k (ms)", "400k (ms)",
+                    "450k (ms)"}};
+  Summary dists[5];
+  for (int l = 0; l < 5; ++l) {
+    const double rho = smux.utilization(loads_pps[l]);
+    for (int i = 0; i < kSamples; ++i) {
+      dists[l].add((cfg.dc_rtt_us + smux.sample_added_latency_us(rho, rng)) / 1e3);
+    }
+  }
+  for (const double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    std::vector<std::string> row{TablePrinter::fmt(p, "p%.0f")};
+    for (auto& d : dists) row.push_back(TablePrinter::fmt(d.percentile(p)));
+    cdf.add_row(row);
+  }
+  cdf.print();
+  std::printf("\nmedian ADDED latency (us): no-load %.0f | 200k %.0f | 300k %.0f | 400k %.0f\n",
+              dists[0].median() * 1e3 - cfg.dc_rtt_us, dists[1].median() * 1e3 - cfg.dc_rtt_us,
+              dists[2].median() * 1e3 - cfg.dc_rtt_us, dists[3].median() * 1e3 - cfg.dc_rtt_us);
+
+  bench::header("Figure 1(b)", "SMux CPU utilization vs offered load");
+  bench::paper_note("CPU reaches 100% at 300K packets/sec (the capacity cliff)");
+  TablePrinter cpu{{"offered (pps)", "CPU (%)"}};
+  for (int l = 0; l < 5; ++l) {
+    cpu.add_row({labels[l], TablePrinter::fmt(smux.cpu_percent(loads_pps[l]), "%.1f")});
+  }
+  cpu.print();
+  return 0;
+}

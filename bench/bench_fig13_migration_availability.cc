@@ -1,0 +1,93 @@
+// Fig 13 — "VIP availability during migration" (§7.3).
+//
+// Three simultaneous migrations launched at T1: VIP1 HMux->SMux, VIP2
+// SMux->HMux, VIP3 HMux->HMux (through the SMux stepping stone). Probes
+// every 3 ms. Paper: zero loss; ~450 ms per migration wave (FIB dominated);
+// a visible latency bump while a VIP rides the software path.
+#include <cstdio>
+
+#include "common.h"
+#include "sim/probe.h"
+#include "util/chart.h"
+
+using namespace duet;
+
+int main() {
+  bench::header("Figure 13", "VIP availability during migration (H->S, S->H, H->H)");
+  bench::paper_note(
+      "all VIPs remain available; migration waves take ~400-450ms each; "
+      "slight latency increase while on SMux");
+
+  constexpr double kMs = 1e3;
+  DuetConfig cfg;
+  TestbedSim sim{FatTreeParams::testbed(), cfg, 5};
+  const auto& ft = sim.fabric();
+  sim.deploy_smux(ft.tors[0]);
+  sim.deploy_smux(ft.tors[1]);
+  sim.deploy_smux(ft.tors[2]);
+
+  const Ipv4Address vip1{100, 0, 0, 1}, vip2{100, 0, 0, 2}, vip3{100, 0, 0, 3};
+  sim.define_vip(vip1, {ft.servers_by_tor[3][0]});
+  sim.define_vip(vip2, {ft.servers_by_tor[3][1]});
+  sim.define_vip(vip3, {ft.servers_by_tor[3][2]});
+  sim.assign_vip_to_hmux(vip1, ft.cores[0]);
+  sim.assign_vip_to_hmux(vip3, ft.cores[1]);
+
+  const double kT1 = 100 * kMs;
+  sim.schedule_migration(kT1, vip1, std::nullopt);   // H->S
+  sim.schedule_migration(kT1, vip2, ft.aggs[0]);     // S->H
+  sim.schedule_migration(kT1, vip3, ft.cores[0]);    // H->H via SMux
+
+  const Ipv4Address src = ft.servers_by_tor[1][10];
+  for (const auto v : {vip1, vip2, vip3}) sim.start_probes(v, src, 0.0, 2200 * kMs, 3 * kMs);
+  sim.run_until(2200 * kMs);
+
+  // 100 ms bins: median latency + which mux type served.
+  TablePrinter t{{"t (ms)", "VIP1 H->S (ms/via)", "VIP2 S->H (ms/via)", "VIP3 H->H (ms/via)"}};
+  auto bin_cell = [&](Ipv4Address vip, int bin) -> std::string {
+    Summary s;
+    int hmux = 0, smux = 0, lost = 0;
+    for (const auto& p : sim.samples(vip)) {
+      if (p.t_us < bin * 100 * kMs || p.t_us >= (bin + 1) * 100 * kMs) continue;
+      if (p.lost) {
+        ++lost;
+        continue;
+      }
+      s.add(p.rtt_us / 1e3);
+      (p.via == ProbeVia::kHmux ? hmux : smux)++;
+    }
+    if (lost > 0) return "LOST!";
+    if (s.empty()) return "-";
+    return TablePrinter::fmt(s.median()) + (hmux >= smux ? " H" : " S");
+  };
+  for (int bin = 0; bin < 22; ++bin) {
+    t.add_row({TablePrinter::fmt_int(bin * 100), bin_cell(vip1, bin), bin_cell(vip2, bin),
+               bin_cell(vip3, bin)});
+  }
+  t.print();
+
+  // The figure: each VIP's RTT timeline; the SMux phase shows as the raised
+  // noisy band (cf. Fig 13's gray segments).
+  const struct { const char* name; Ipv4Address vip; char glyph; } rows[] = {
+      {"VIP1 H->S", vip1, '1'}, {"VIP2 S->H", vip2, '2'}, {"VIP3 H->H", vip3, '3'}};
+  for (const auto& row : rows) {
+    Series line{row.name, row.glyph, {}};
+    for (const auto& p : sim.samples(row.vip)) {
+      if (static_cast<long>(p.t_us / 3e3) % 4 != 0) continue;  // thin out
+      line.points.push_back({p.t_us / kMs, p.lost ? -1.0 : p.rtt_us / 1e3});
+    }
+    ChartOptions co;
+    co.height = 8;
+    co.x_label = std::string(row.name) + " — migration command at 100ms";
+    co.y_label = "RTT (ms)";
+    std::printf("\n%s\n", render_chart({line}, co).c_str());
+  }
+
+  int total_lost = 0;
+  for (const auto v : {vip1, vip2, vip3}) {
+    for (const auto& p : sim.samples(v)) total_lost += p.lost;
+  }
+  std::printf("\ntotal lost probes across all three migrations: %d (paper: 0 — no failure\n"
+              "detection involved, the SMux backstop covers every transition)\n", total_lost);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig 14 — "Latency breakdown" of migration operations (§7.3).
+//
+// Repeats HMux->HMux migrations and reports the distribution of each
+// control-plane component: add/delete DIP entries, add/delete the VIP route
+// in the FIB, and the BGP announce/withdraw convergence. Paper: the FIB VIP
+// operation dominates (80-90 % of total migration delay, ~300-450 ms); BGP
+// updates are tens of milliseconds.
+#include <cstdio>
+
+#include "common.h"
+#include "sim/probe.h"
+
+using namespace duet;
+
+namespace {
+
+void print_side(const char* title, const std::vector<double>& dips,
+                const std::vector<double>& vip, const std::vector<double>& bgp,
+                const char* dips_label, const char* vip_label, const char* bgp_label) {
+  Summary sd, sv, sb;
+  for (const double x : dips) sd.add(x / 1e3);
+  for (const double x : vip) sv.add(x / 1e3);
+  for (const double x : bgp) sb.add(x / 1e3);
+  std::printf("\n%s\n", title);
+  TablePrinter t{{"component", "p10 (ms)", "median (ms)", "p90 (ms)"}};
+  t.add_row({dips_label, TablePrinter::fmt(sd.percentile(10)), TablePrinter::fmt(sd.median()),
+             TablePrinter::fmt(sd.percentile(90))});
+  t.add_row({vip_label, TablePrinter::fmt(sv.percentile(10)), TablePrinter::fmt(sv.median()),
+             TablePrinter::fmt(sv.percentile(90))});
+  t.add_row({bgp_label, TablePrinter::fmt(sb.percentile(10)), TablePrinter::fmt(sb.median()),
+             TablePrinter::fmt(sb.percentile(90))});
+  t.print();
+  const double total = sd.median() + sv.median() + sb.median();
+  std::printf("FIB share of total: %.0f%% (paper: 80-90%%)\n", 100.0 * sv.median() / total);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 14", "migration-delay component breakdown over 100 migrations");
+  bench::paper_note("FIB add/remove of the VIP dominates; BGP convergence is tens of ms");
+
+  constexpr double kMs = 1e3;
+  DuetConfig cfg;
+  TestbedSim sim{FatTreeParams::testbed(), cfg, 21};
+  const auto& ft = sim.fabric();
+  sim.deploy_smux(ft.tors[0]);
+  const Ipv4Address vip{100, 0, 0, 1};
+  sim.define_vip(vip, {ft.servers_by_tor[3][0]});
+  sim.assign_vip_to_hmux(vip, ft.cores[0]);
+
+  // 100 back-to-back H->H migrations, alternating homes.
+  double t = 100 * kMs;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_migration(t, vip, i % 2 == 0 ? ft.cores[1] : ft.cores[0]);
+    t += 2000 * kMs;  // well past one migration's worst case
+  }
+  sim.run_until(t + 2000 * kMs);
+
+  const auto& ops = sim.op_latencies();
+  print_side("(a) Add — installing the VIP on the new switch", ops.add_dips_us, ops.add_vip_us,
+             ops.vip_announce_us, "Add-DIPs (FIB)", "Add-VIP (FIB)", "VIP-Announce (BGP)");
+  print_side("(b) Delete — removing the VIP from the old switch", ops.delete_dips_us,
+             ops.delete_vip_us, ops.vip_withdraw_us, "Delete-DIPs (FIB)", "Delete-VIP (FIB)",
+             "VIP-Withdraw (BGP)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig 15 — "Traffic and DIP distribution" of the trace (§8.1).
+//
+// The paper characterizes its production trace with three CDFs over the VIP
+// population (x = fraction of total VIPs, ranked ascending by the metric):
+// cumulative share of bytes, packets, and DIPs. All three are heavily
+// skewed: the bottom ~90 % of VIPs contribute a small sliver of bytes while
+// a few elephants dominate. This bench prints the same curves for our
+// synthetic trace so the calibration is auditable.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+
+using namespace duet;
+
+int main() {
+  const auto scale = bench::dc_scale();
+  bench::header("Figure 15", "traffic and DIP distribution across VIPs", &scale);
+  bench::paper_note(
+      "bytes/packets/DIP counts are all highly skewed: most VIPs are mice, a "
+      "small head of elephants carries most traffic");
+
+  const auto fabric = build_fattree(scale.fabric);
+  const auto trace = bench::make_trace(fabric, scale, 10.0 /*paper Tbps*/);
+
+  // Per-VIP metrics at epoch 0. Packets use a per-VIP mean packet size (the
+  // paper's byte and packet CDFs differ slightly for the same reason).
+  struct Row {
+    double bytes;
+    double packets;
+    double dips;
+  };
+  Rng rng{99};
+  std::vector<Row> rows;
+  rows.reserve(trace.vips.size());
+  for (const auto& v : trace.vips) {
+    const double gbps = v.gbps(0);
+    const double pkt_bytes = rng.uniform_real(200.0, 1500.0);
+    rows.push_back({gbps, gbps * 1e9 / 8.0 / pkt_bytes, static_cast<double>(v.dips.size())});
+  }
+
+  auto cumulative = [&](auto metric) {
+    std::vector<double> vals;
+    vals.reserve(rows.size());
+    for (const auto& r : rows) vals.push_back(metric(r));
+    std::sort(vals.begin(), vals.end());  // ascending: mice first, like Fig 15
+    double total = 0.0;
+    for (const double v : vals) total += v;
+    std::vector<double> cdf(vals.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      acc += vals[i];
+      cdf[i] = acc / total;
+    }
+    return cdf;
+  };
+  const auto bytes_cdf = cumulative([](const Row& r) { return r.bytes; });
+  const auto pkts_cdf = cumulative([](const Row& r) { return r.packets; });
+  const auto dips_cdf = cumulative([](const Row& r) { return r.dips; });
+
+  TablePrinter t{{"fraction of VIPs", "cum. bytes", "cum. packets", "cum. DIPs"}};
+  for (const double f : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const auto idx = std::min(rows.size() - 1,
+                              static_cast<std::size_t>(f * static_cast<double>(rows.size())));
+    t.add_row({TablePrinter::fmt(f, "%.2f"), format_pct(bytes_cdf[idx]), format_pct(pkts_cdf[idx]),
+               format_pct(dips_cdf[idx])});
+  }
+  t.print();
+
+  std::printf("\nhead check: top 10%% of VIPs carry %s of bytes (paper: the vast majority)\n",
+              format_pct(1.0 - bytes_cdf[static_cast<std::size_t>(0.9 * rows.size())]).c_str());
+  std::printf("largest VIP: %.1f Gbps, %zu DIPs; smallest: %.3f Gbps\n",
+              trace.vips.front().gbps(0), trace.vips.front().dips.size(),
+              trace.vips.back().gbps(0));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig 17 — "Latency vs. number of SMuxes in Ananta and Duet" (§8.3).
+//
+// Hold traffic at 10 Tbps (paper units) and sweep Ananta's SMux count from
+// 2000 to 15000 (scaled): median VIP RTT falls as per-SMux load drops, but
+// only approaches Duet once the deployment is enormous. Duet is a single
+// point: its few-hundred SMuxes carry almost nothing; nearly all traffic
+// crosses an HMux at switch latency. Paper: Duet = 474 µs with 230 SMuxes;
+// Ananta needs 15,000 SMuxes to get close, and is >6 ms at Duet's count.
+#include <cstdio>
+
+#include "ananta/ananta.h"
+#include "common.h"
+
+using namespace duet;
+
+int main() {
+  const auto scale = bench::dc_scale();
+  bench::header("Figure 17", "median latency vs number of SMuxes (Ananta curve, Duet point)",
+                &scale);
+  bench::paper_note(
+      "Duet: ~474us with ~230 SMuxes; Ananta needs ~15000 SMuxes for "
+      "comparable latency and is >6ms at Duet's SMux count");
+
+  const auto fabric = build_fattree(scale.fabric);
+  const DuetConfig cfg;
+  const AnantaModel ananta{cfg};
+
+  const auto trace = bench::make_trace(fabric, scale, 10.0);
+  const auto demands = build_demands(fabric, trace, 0);
+  const double total = total_demand_gbps(demands);
+
+  // --- Duet point -------------------------------------------------------------
+  const VipAssigner assigner{fabric, bench::make_options(scale)};
+  const auto a = assigner.assign(demands);
+  const auto failover = analyze_failover(fabric, demands, a);
+  const std::size_t duet_smuxes =
+      smuxes_needed(a.smux_gbps, failover.worst_gbps(), 0.0, cfg.smux_capacity_gbps());
+  // Median over traffic: HMux share at switch latency (+ the <30us VIP
+  // indirection detour), SMux share at software latency for the leftover load.
+  const double smux_pps = ananta.gbps_to_pps(a.smux_gbps) / static_cast<double>(duet_smuxes);
+  const Smux probe{0, FlowHasher{}, cfg};
+  const double hmux_rtt = cfg.dc_rtt_us + cfg.indirection_delay_us + cfg.hmux_latency_us;
+  const double smux_rtt =
+      cfg.dc_rtt_us + probe.median_added_latency_us(probe.utilization(smux_pps));
+  const double duet_median =
+      a.hmux_fraction() >= 0.5 ? hmux_rtt : smux_rtt;  // median follows the majority share
+  std::printf("Duet: %zu SMuxes, median latency %.0f us (%.1f%% of traffic on HMux)\n\n",
+              duet_smuxes, duet_median, 100.0 * a.hmux_fraction());
+
+  // --- Ananta curve -----------------------------------------------------------
+  TablePrinter t{{"SMuxes (paper-scale)", "SMuxes (simulated)", "per-SMux Kpps",
+                  "median latency (us)", "vs Duet"}};
+  for (const double paper_n : {2000.0, 3000.0, 5000.0, 8000.0, 10000.0, 15000.0}) {
+    const auto n = static_cast<std::size_t>(paper_n * scale.factor);
+    const double lat = ananta.median_latency_us(total, n);
+    t.add_row({TablePrinter::fmt(paper_n, "%.0f"),
+               TablePrinter::fmt_int(static_cast<long long>(n)),
+               TablePrinter::fmt(ananta.gbps_to_pps(total) / static_cast<double>(n) / 1e3,
+                                 "%.0f"),
+               TablePrinter::fmt(lat, "%.0f"),
+               TablePrinter::fmt(lat / duet_median, "%.1fx")});
+  }
+  // And Ananta pinned at Duet's SMux count.
+  const double lat_at_duet = ananta.median_latency_us(total, duet_smuxes);
+  t.add_row({"(= Duet's count)", TablePrinter::fmt_int(static_cast<long long>(duet_smuxes)),
+             TablePrinter::fmt(ananta.gbps_to_pps(total) / static_cast<double>(duet_smuxes) / 1e3,
+                               "%.0f"),
+             TablePrinter::fmt(lat_at_duet, "%.0f"),
+             TablePrinter::fmt(lat_at_duet / duet_median, "%.1fx")});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// The paper's large-scale simulations run on a production datacenter (40
+// containers × 40 ToRs, 50 K servers, 30 K VIPs, up to 10 Tbps). The benches
+// default to a 1/8-scale replica with every *ratio* preserved — link
+// capacities, table sizes per switch, VIPs and traffic scaled together — so
+// the comparative shapes (who wins, by what factor, where crossovers fall)
+// are unchanged while the whole suite runs in minutes. Traffic axes are
+// labelled in PAPER units (the equivalent full-scale Tbps) with the actual
+// simulated Gbps alongside.
+//
+// Set DUET_BENCH_SCALE=paper for the full-size run (slow), =small for CI.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "duet/assignment.h"
+#include "duet/config.h"
+#include "topo/fattree.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/demand.h"
+#include "workload/tracegen.h"
+
+namespace duet::bench {
+
+struct DcScale {
+  const char* name;
+  FatTreeParams fabric;
+  double factor;           // our size / paper size (applies to traffic, VIPs, table budget)
+  std::size_t vip_count;
+  std::size_t host_table_capacity;
+};
+
+inline DcScale dc_scale() {
+  const char* env = std::getenv("DUET_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "medium";
+  if (scale == "paper") {
+    return DcScale{"paper (40x40 containers, 50K servers)", FatTreeParams::production(), 1.0,
+                   30'000, 16 * 1024};
+  }
+  if (scale == "small") {
+    return DcScale{"small (1/32 of paper)", FatTreeParams::scaled(5, 10, 5), 1.0 / 32.0, 1'000,
+                   512};
+  }
+  // medium: 20 containers x 10 ToRs, 10 cores -> 6400 servers = 1/8 paper.
+  // More, slimmer containers keep the failure domain (one container ≈ 5 % of
+  // the DC) closer to the paper's 1/40 than a few fat containers would.
+  return DcScale{"medium (1/8 of paper)", FatTreeParams::scaled(20, 10, 10), 1.0 / 8.0, 3'750,
+                 2'048};
+}
+
+// Paper-units helper: `paper_tbps` on the x-axis -> simulated Gbps.
+inline double scaled_gbps(const DcScale& s, double paper_tbps) {
+  return paper_tbps * 1e3 * s.factor;
+}
+
+inline Trace make_trace(const FatTree& fabric, const DcScale& s, double paper_tbps,
+                        std::size_t epochs = 2, std::uint64_t seed = 20140817) {
+  TraceParams p;
+  p.vip_count = s.vip_count;
+  p.total_gbps = scaled_gbps(s, paper_tbps);
+  p.epochs = epochs;
+  p.seed = seed;
+  return generate_trace(fabric, p);
+}
+
+inline AssignmentOptions make_options(const DcScale& s) {
+  AssignmentOptions o;
+  o.host_table_capacity = s.host_table_capacity;
+  return o;
+}
+
+inline void header(const char* fig, const char* what, const DcScale* scale = nullptr) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", fig, what);
+  if (scale != nullptr) {
+    std::printf("scale: %s (traffic axis labelled in paper-equivalent units)\n", scale->name);
+  }
+  std::printf("================================================================\n");
+}
+
+inline void paper_note(const char* note) { std::printf("paper: %s\n\n", note); }
+
+}  // namespace duet::bench

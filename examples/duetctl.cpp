@@ -1,0 +1,197 @@
+// duetctl — command-line front end for capacity planning with the library.
+//
+//   duetctl plan     [options]   run the assignment on a trace, print the plan
+//   duetctl gen      [options]   generate a synthetic trace file
+//   duetctl replay   [options]   replay a multi-epoch trace with Sticky
+//
+// Options:
+//   --containers N --tors N --cores N     fabric shape (default 6 8 6)
+//   --vips N --gbps G --epochs E          workload (default 600, 600, 3)
+//   --replicas R                          use §9 anycast replication
+//   --trace FILE                          load/store the trace file
+//   --seed S
+//
+// Examples:
+//   build/examples/duetctl gen --trace /tmp/t.trace --vips 1000 --gbps 800
+//   build/examples/duetctl plan --trace /tmp/t.trace
+//   build/examples/duetctl replay --vips 800 --epochs 6
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "duet/assignment.h"
+#include "duet/config.h"
+#include "duet/migration.h"
+#include "duet/replication.h"
+#include "topo/fattree.h"
+#include "util/table.h"
+#include "workload/demand.h"
+#include "workload/trace_io.h"
+#include "workload/tracegen.h"
+
+using namespace duet;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::size_t containers = 6, tors = 8, cores = 6;
+  std::size_t vips = 600, epochs = 3, replicas = 1;
+  double gbps = 600.0;
+  std::string trace_file;
+  std::uint64_t seed = 1;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  if (argc < 2) return false;
+  a.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* value = argv[i + 1];
+    if (key == "--containers") {
+      a.containers = std::strtoul(value, nullptr, 10);
+    } else if (key == "--tors") {
+      a.tors = std::strtoul(value, nullptr, 10);
+    } else if (key == "--cores") {
+      a.cores = std::strtoul(value, nullptr, 10);
+    } else if (key == "--vips") {
+      a.vips = std::strtoul(value, nullptr, 10);
+    } else if (key == "--epochs") {
+      a.epochs = std::strtoul(value, nullptr, 10);
+    } else if (key == "--replicas") {
+      a.replicas = std::strtoul(value, nullptr, 10);
+    } else if (key == "--gbps") {
+      a.gbps = std::strtod(value, nullptr);
+    } else if (key == "--trace") {
+      a.trace_file = value;
+    } else if (key == "--seed") {
+      a.seed = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", key.c_str());
+      return false;
+    }
+  }
+  return a.command == "plan" || a.command == "gen" || a.command == "replay";
+}
+
+Trace obtain_trace(const Args& a, const FatTree& fabric) {
+  if (!a.trace_file.empty() && a.command != "gen") {
+    if (auto t = load_trace(a.trace_file, fabric)) {
+      std::printf("loaded %zu VIPs x %zu epochs from %s\n", t->vips.size(), t->epochs,
+                  a.trace_file.c_str());
+      return *std::move(t);
+    }
+    std::fprintf(stderr, "failed to load %s; generating instead\n", a.trace_file.c_str());
+  }
+  TraceParams p;
+  p.vip_count = a.vips;
+  p.total_gbps = a.gbps;
+  p.epochs = a.epochs;
+  p.seed = a.seed;
+  return generate_trace(fabric, p);
+}
+
+void print_plan(const FatTree& fabric, const Assignment& a,
+                const std::vector<VipDemand>& demands) {
+  const auto failover = analyze_failover(fabric, demands, a);
+  const DuetConfig cfg;
+  std::printf("\nplacement: %zu VIPs on HMuxes (%.1f%% of %.0f Gbps), %zu on SMuxes\n",
+              a.placement.size(), 100 * a.hmux_fraction(), total_demand_gbps(demands),
+              a.on_smux.size());
+  std::printf("max resource utilization (MRU): %.2f\n", a.mru);
+  std::printf("failover exposure: container %.1f Gbps | 3-switch %.1f Gbps\n",
+              failover.worst_container_gbps, failover.worst_three_switch_gbps);
+  std::printf("backstop SMuxes to provision (3.6G each): %zu\n",
+              smuxes_needed(a.smux_gbps, failover.worst_gbps(), 0.0, cfg.smux_capacity_gbps()));
+
+  // Busiest switches.
+  std::vector<std::pair<double, SwitchId>> busy;
+  std::vector<double> per_switch(fabric.topo.switch_count(), 0.0);
+  for (const auto& d : demands) {
+    if (const auto sw = a.switch_of(d.id)) per_switch[*sw] += d.total_gbps;
+  }
+  for (SwitchId s = 0; s < fabric.topo.switch_count(); ++s) {
+    if (per_switch[s] > 0) busy.push_back({per_switch[s], s});
+  }
+  std::sort(busy.rbegin(), busy.rend());
+  TablePrinter t{{"switch", "role", "Gbps", "DIP slots"}};
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, busy.size()); ++i) {
+    const auto [gbps, s] = busy[i];
+    t.add_row({fabric.topo.switch_info(s).name, to_string(fabric.topo.switch_info(s).role),
+               TablePrinter::fmt(gbps, "%.1f"),
+               TablePrinter::fmt_int(static_cast<long long>(a.switch_dips_used[s]))});
+  }
+  std::printf("\nbusiest HMuxes:\n");
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: duetctl plan|gen|replay [--containers N] [--tors N] [--cores N]\n"
+                 "       [--vips N] [--gbps G] [--epochs E] [--replicas R] [--trace FILE]\n"
+                 "       [--seed S]\n");
+    return 2;
+  }
+
+  const auto fabric = build_fattree(FatTreeParams::scaled(args.containers, args.tors, args.cores));
+  std::printf("fabric: %zu containers x %zu ToRs, %zu cores (%zu switches, %zu servers)\n",
+              args.containers, args.tors, args.cores, fabric.topo.switch_count(),
+              fabric.servers.size());
+
+  if (args.command == "gen") {
+    if (args.trace_file.empty()) {
+      std::fprintf(stderr, "gen requires --trace FILE\n");
+      return 2;
+    }
+    TraceParams p;
+    p.vip_count = args.vips;
+    p.total_gbps = args.gbps;
+    p.epochs = args.epochs;
+    p.seed = args.seed;
+    const auto trace = generate_trace(fabric, p);
+    if (!save_trace(args.trace_file, trace)) return 1;
+    std::printf("wrote %zu VIPs x %zu epochs to %s\n", trace.vips.size(), trace.epochs,
+                args.trace_file.c_str());
+    return 0;
+  }
+
+  const auto trace = obtain_trace(args, fabric);
+  const auto demands = build_demands(fabric, trace, 0);
+  AssignmentOptions opts;
+  opts.seed = args.seed;
+
+  if (args.command == "plan") {
+    if (args.replicas > 1) {
+      ReplicationOptions ro;
+      ro.replicas = args.replicas;
+      const auto a = ReplicatedAssigner{fabric, opts, ro}.assign(demands);
+      const auto f = analyze_failover_replicated(fabric, demands, a);
+      std::printf("\nreplicated placement (R=%zu): %zu VIPs on HMuxes (%.1f%%)\n",
+                  args.replicas, a.placement.size(), 100 * a.hmux_fraction());
+      std::printf("failover exposure: container %.1f Gbps | 3-switch %.1f Gbps\n",
+                  f.worst_container_gbps, f.worst_three_switch_gbps);
+    } else {
+      print_plan(fabric, VipAssigner{fabric, opts}.assign(demands), demands);
+    }
+    return 0;
+  }
+
+  // replay: Sticky over all epochs.
+  const VipAssigner assigner{fabric, opts};
+  auto current = assigner.assign(demands);
+  std::printf("\nepoch 0: %.1f%% on HMux\n", 100 * current.hmux_fraction());
+  for (std::size_t e = 1; e < trace.epochs; ++e) {
+    const auto d = build_demands(fabric, trace, e);
+    auto next = assigner.assign_sticky(d, current);
+    const auto plan = plan_migration(current, next, d);
+    std::printf("epoch %zu: %.1f%% on HMux | %zu moves | %.2f%% traffic shuffled\n", e,
+                100 * next.hmux_fraction(), plan.move_count(), 100 * plan.shuffled_fraction());
+    current = std::move(next);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Failover drill: an operator's eye view of an HMux switch dying.
+//
+//   build/examples/failover_drill [failover_ms]
+//
+// Runs the event-driven testbed simulator (Fig 10 topology), kills the
+// switch hosting a hot VIP mid-run, and prints the millisecond-resolution
+// availability timeline: the blackhole window while BGP converges, then
+// service resuming through the SMux backstop — the paper's §7.2 experiment
+// as a runnable scenario.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/probe.h"
+
+using namespace duet;
+
+int main(int argc, char** argv) {
+  constexpr double kMs = 1e3;
+  DuetConfig config;
+  if (argc > 1) {
+    // Let operators model slower control planes (e.g. larger BGP timers).
+    const double total_us = std::atof(argv[1]) * 1e3;
+    config.timings.failure_detection_us = total_us * 0.4;
+    config.timings.failure_convergence_us = total_us * 0.6;
+  }
+
+  TestbedSim sim{FatTreeParams::testbed(), config, 2024};
+  const auto& ft = sim.fabric();
+
+  std::printf("testbed: %zu switches (Fig 10), 3 SMuxes, 1 VIP on HMux %s\n",
+              ft.topo.switch_count(), ft.topo.switch_info(ft.cores[1]).name.c_str());
+  sim.deploy_smux(ft.tors[0]);
+  sim.deploy_smux(ft.tors[1]);
+  sim.deploy_smux(ft.tors[2]);
+
+  const Ipv4Address vip{100, 0, 0, 1};
+  sim.define_vip(vip, {ft.servers_by_tor[3][0], ft.servers_by_tor[3][1]});
+  sim.assign_vip_to_hmux(vip, ft.cores[1]);
+
+  sim.schedule_switch_failure(50 * kMs, ft.cores[1]);
+  sim.start_probes(vip, ft.servers_by_tor[0][5], 0.0, 150 * kMs, 1 * kMs);
+  sim.run_until(150 * kMs);
+
+  std::printf("\n t(ms)  status\n");
+  double outage_start = -1, outage_end = -1;
+  for (const auto& p : sim.samples(vip)) {
+    const double t = p.t_us / kMs;
+    if (p.lost) {
+      if (outage_start < 0) outage_start = t;
+      outage_end = t;
+    }
+    // Print a sparse timeline: every 10 ms plus every transition.
+    static bool was_lost = false;
+    const bool transition = p.lost != was_lost;
+    was_lost = p.lost;
+    if (!transition && static_cast<long>(t) % 10 != 0) continue;
+    std::printf("  %4.0f  %s\n", t,
+                p.lost                        ? "LOST (stale /32 points at dead switch)"
+                : p.via == ProbeVia::kHmux    ? "ok via HMux"
+                : p.via == ProbeVia::kSmux    ? "ok via SMux backstop"
+                                              : "ok");
+  }
+  if (outage_start >= 0) {
+    std::printf("\noutage: %.0f ms (failure at 50 ms, service restored at %.0f ms)\n",
+                outage_end - outage_start + 1.0, outage_end + 1.0);
+    std::printf("paper measured ~38 ms for detection + BGP withdraw convergence (§7.2)\n");
+  } else {
+    std::printf("\nno outage observed\n");
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Quickstart: stand up a complete Duet deployment on a small FatTree,
+// load-balance traffic, and watch a VIP move between software and hardware
+// muxes.
+//
+//   build/examples/quickstart
+//
+// Walks the primary public API: build_fattree -> DuetController ->
+// add_vip / run_epoch / load_balance / handle_switch_failure.
+#include <cstdio>
+
+#include "duet/controller.h"
+#include "topo/fattree.h"
+#include "workload/demand.h"
+#include "workload/tracegen.h"
+
+using namespace duet;
+
+namespace {
+
+const char* owner_name(DuetController::Owner o) {
+  switch (o) {
+    case DuetController::Owner::kHmux:
+      return "HMux (switch)";
+    case DuetController::Owner::kSmux:
+      return "SMux (software)";
+    default:
+      return "none";
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. A small datacenter: 3 containers x 4 ToRs, 3 cores, ~384 servers.
+  const auto fabric = build_fattree(FatTreeParams::scaled(3, 4, 3));
+  std::printf("fabric: %zu switches, %zu links, %zu servers\n", fabric.topo.switch_count(),
+              fabric.topo.link_count(), fabric.servers.size());
+
+  // 2. The controller, with a shared flow hash distributed to every mux.
+  DuetConfig config;
+  DuetController controller{fabric, config, FlowHasher{2014}};
+
+  // 3. A small SMux pool announcing the VIP aggregate 100.0.0.0/8 — the
+  //    backstop that keeps every VIP reachable no matter what (§3.3.1).
+  controller.deploy_smuxes({fabric.tors[0], fabric.tors[5]},
+                           Ipv4Prefix{Ipv4Address{100, 0, 0, 0}, 8});
+
+  // 4. Two services: a hot web VIP with four backends, and a small one.
+  const Ipv4Address web_vip{100, 0, 0, 80};
+  const Ipv4Address api_vip{100, 0, 0, 81};
+  const std::vector<Ipv4Address> web_dips{fabric.servers[0], fabric.servers[40],
+                                          fabric.servers[80], fabric.servers[120]};
+  const std::vector<Ipv4Address> api_dips{fabric.servers[7], fabric.servers[55]};
+  const VipId web_id = controller.add_vip(web_vip, web_dips);
+  const VipId api_id = controller.add_vip(api_vip, api_dips);
+  std::printf("\nnew VIPs start on the software muxes (§5.2):\n  web -> %s\n  api -> %s\n",
+              owner_name(controller.owner_of(web_vip)), owner_name(controller.owner_of(api_vip)));
+
+  // 5. Traffic arrives. The controller load-balances with whatever mux owns
+  //    the VIP; connections = 5-tuples, each pinned to one DIP.
+  auto make_packet = [&](Ipv4Address vip, std::uint16_t sport) {
+    return Packet{FiveTuple{fabric.servers[200], vip, sport, 80, IpProto::kTcp}, 1500};
+  };
+  std::printf("\nfirst packets through the SMux pool:\n");
+  for (std::uint16_t sport = 1000; sport < 1004; ++sport) {
+    auto p = make_packet(web_vip, sport);
+    const auto dip = controller.load_balance(p);
+    std::printf("  %s -> DIP %s\n", p.tuple().to_string().c_str(),
+                dip ? dip->to_string().c_str() : "(dropped)");
+  }
+
+  // 6. An assignment epoch: the Duet engine measures demand and moves hot
+  //    VIPs into switch hardware (§4).
+  std::vector<VipDemand> demands(2);
+  demands[0].id = web_id;
+  demands[0].vip = web_vip;
+  demands[0].total_gbps = 12.0;  // the elephant
+  demands[0].dip_count = web_dips.size();
+  demands[0].ingress_gbps = {{fabric.tors[8], 8.0}, {fabric.cores[0], 4.0}};
+  for (const auto d : web_dips) demands[0].dip_tor_gbps.push_back({fabric.topo.tor_of(d), 3.0});
+  demands[1].id = api_id;
+  demands[1].vip = api_vip;
+  demands[1].total_gbps = 0.2;  // a mouse
+  demands[1].dip_count = api_dips.size();
+  demands[1].ingress_gbps = {{fabric.tors[9], 0.2}};
+  for (const auto d : api_dips) demands[1].dip_tor_gbps.push_back({fabric.topo.tor_of(d), 0.1});
+
+  const auto report = controller.run_epoch(demands);
+  std::printf("\nafter one epoch: %.0f%% of traffic on hardware muxes, %zu SMuxes provisioned\n",
+              100.0 * report.hmux_fraction, report.smuxes_needed);
+  std::printf("  web -> %s", owner_name(controller.owner_of(web_vip)));
+  if (const auto home = controller.hmux_home(web_vip)) {
+    std::printf(" at switch %s", fabric.topo.switch_info(*home).name.c_str());
+  }
+  std::printf("\n  api -> %s\n", owner_name(controller.owner_of(api_vip)));
+
+  // 7. Connections survived the migration: the same 5-tuple still maps to
+  //    the same DIP because HMux and SMux share the hash (§3.3.1).
+  std::printf("\nsame flows after migration to hardware:\n");
+  for (std::uint16_t sport = 1000; sport < 1004; ++sport) {
+    auto p = make_packet(web_vip, sport);
+    const auto dip = controller.load_balance(p);
+    std::printf("  %s -> DIP %s\n", p.tuple().to_string().c_str(),
+                dip ? dip->to_string().c_str() : "(dropped)");
+  }
+
+  // 8. Kill the web VIP's switch: BGP withdraws its routes and traffic falls
+  //    back to the SMux backstop with no reconfiguration (§5.1).
+  if (const auto home = controller.hmux_home(web_vip)) {
+    controller.handle_switch_failure(*home);
+    std::printf("\nswitch %s failed! web is now served by: %s\n",
+                fabric.topo.switch_info(*home).name.c_str(),
+                owner_name(controller.owner_of(web_vip)));
+    auto p = make_packet(web_vip, 1000);
+    const auto dip = controller.load_balance(p);
+    std::printf("  flow 1000 still lands on DIP %s (connection preserved)\n",
+                dip ? dip->to_string().c_str() : "(dropped)");
+  }
+  return 0;
+}

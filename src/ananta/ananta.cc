@@ -1,0 +1,60 @@
+#include "ananta/ananta.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::size_t AnantaModel::smuxes_required(double total_gbps, double smux_capacity_gbps) const {
+  DUET_CHECK(smux_capacity_gbps > 0.0) << "SMux with no capacity";
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(total_gbps / smux_capacity_gbps)));
+}
+
+double AnantaModel::median_latency_us(double total_gbps, std::size_t smuxes) const {
+  DUET_CHECK(smuxes > 0) << "Ananta with no SMuxes";
+  const double per_smux_pps = gbps_to_pps(total_gbps) / static_cast<double>(smuxes);
+  const double rho = probe_.utilization(per_smux_pps);
+  return config_.dc_rtt_us + probe_.median_added_latency_us(rho);
+}
+
+double AnantaModel::sample_added_latency_us(double per_smux_pps, Rng& rng) const {
+  return probe_.sample_added_latency_us(probe_.utilization(per_smux_pps), rng);
+}
+
+AnantaPool::AnantaPool(std::size_t smux_count, FlowHasher hasher, const DuetConfig& config)
+    : hasher_(hasher) {
+  DUET_CHECK(smux_count > 0) << "Ananta with no SMuxes";
+  smuxes_.reserve(smux_count);
+  for (std::size_t i = 0; i < smux_count; ++i) {
+    smuxes_.push_back(std::make_unique<Smux>(static_cast<std::uint32_t>(i), hasher, config));
+  }
+}
+
+void AnantaPool::set_vip(Ipv4Address vip, const std::vector<Ipv4Address>& dips) {
+  DUET_CHECK(!dips.empty()) << "VIP with no DIPs";
+  vip_dips_[vip] = dips;
+  for (auto& s : smuxes_) s->set_vip(vip, dips);
+}
+
+void AnantaPool::remove_vip(Ipv4Address vip) {
+  vip_dips_.erase(vip);
+  for (auto& s : smuxes_) s->remove_vip(vip);
+}
+
+std::optional<Ipv4Address> AnantaPool::process(Packet& packet, bool intra_dc) {
+  if (fast_path_ && intra_dc) {
+    // Fast path: the connection is redirected to a DIP; no encap, no mux.
+    const auto it = vip_dips_.find(packet.tuple().dst);
+    if (it == vip_dips_.end()) return std::nullopt;
+    const auto& dips = it->second;
+    return dips[hasher_.bucket(packet.tuple(), static_cast<std::uint32_t>(dips.size()))];
+  }
+  // ECMP across the pool, then software mux.
+  Smux& s = *smuxes_[hasher_.bucket(packet.tuple(), static_cast<std::uint32_t>(smuxes_.size()))];
+  if (!s.process(packet)) return std::nullopt;
+  return packet.outer().outer_dst;
+}
+
+}  // namespace duet

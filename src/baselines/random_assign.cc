@@ -1,0 +1,107 @@
+#include "baselines/random_assign.h"
+
+#include <algorithm>
+
+#include "topo/paths.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace duet {
+
+namespace {
+
+std::uint64_t dlink(LinkId l, SwitchId from, const Topology& topo) {
+  return static_cast<std::uint64_t>(l) * 2 + (topo.link_info(l).a == from ? 0 : 1);
+}
+
+}  // namespace
+
+Assignment assign_random(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                         const AssignmentOptions& options) {
+  const Topology& topo = fabric.topo;
+  EcmpRouting routing{topo};
+  Rng rng{options.seed};
+
+  std::vector<double> link_load(topo.link_count() * 2, 0.0);
+  std::vector<std::size_t> dips_used(topo.switch_count(), 0);
+  std::size_t hmux_vips = 0;
+
+  // FFD order: decreasing traffic.
+  std::vector<const VipDemand*> order;
+  order.reserve(demands.size());
+  for (const auto& d : demands) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const VipDemand* a, const VipDemand* b) {
+                     return a->total_gbps > b->total_gbps;
+                   });
+
+  std::vector<SwitchId> probe_order(topo.switch_count());
+  for (SwitchId s = 0; s < topo.switch_count(); ++s) probe_order[s] = s;
+
+  Assignment result;
+  std::unordered_map<std::uint64_t, double> deltas;
+
+  for (const VipDemand* dp : order) {
+    const VipDemand& d = *dp;
+    auto leave_on_smux = [&] {
+      result.on_smux.push_back(d.id);
+      result.smux_gbps += d.total_gbps;
+    };
+    if (hmux_vips >= options.host_table_capacity) {
+      leave_on_smux();
+      continue;
+    }
+
+    rng.shuffle(probe_order);
+    bool placed = false;
+    for (const SwitchId s : probe_order) {
+      if (d.dip_count > options.switch_dip_capacity ||
+          dips_used[s] + d.dip_count > options.switch_dip_capacity) {
+        continue;
+      }
+      deltas.clear();
+      const auto add = [&](LinkId l, SwitchId from, double amt) {
+        deltas[dlink(l, from, topo)] += amt;
+      };
+      for (const auto& [ingress, gbps] : d.ingress_gbps) routing.spread(ingress, s, gbps, add);
+      for (const auto& [tor, gbps] : d.dip_tor_gbps) routing.spread(s, tor, gbps, add);
+
+      bool feasible = true;
+      for (const auto& [idx, delta] : deltas) {
+        const auto link = static_cast<LinkId>(idx / 2);
+        const double cap = options.link_headroom * topo.capacity_gbps(link);
+        if (link_load[idx] + delta > cap) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+
+      for (const auto& [idx, delta] : deltas) link_load[idx] += delta;
+      dips_used[s] += d.dip_count;
+      ++hmux_vips;
+      result.placement.emplace(d.id, s);
+      result.hmux_gbps += d.total_gbps;
+      placed = true;
+      break;
+    }
+    if (!placed) leave_on_smux();
+  }
+
+  // Report final MRU for comparability with the greedy.
+  double mru = 0.0;
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const double cap = options.link_headroom * topo.capacity_gbps(l);
+    mru = std::max({mru, link_load[l * 2] / cap, link_load[l * 2 + 1] / cap});
+  }
+  for (SwitchId s = 0; s < topo.switch_count(); ++s) {
+    mru = std::max(mru, static_cast<double>(dips_used[s]) /
+                            static_cast<double>(options.switch_dip_capacity));
+  }
+  result.mru = mru;
+  result.link_load_gbps = std::move(link_load);
+  result.switch_dips_used = std::move(dips_used);
+  return result;
+}
+
+}  // namespace duet

@@ -1,0 +1,22 @@
+// Baseline VIP assignment strategies (§8.4, §8.6).
+//
+//   * Random — "selects the first feasible switch that does not violate the
+//     link or switch memory capacity … a variant of FFD as the VIPs are
+//     assigned in the sorted order of decreasing traffic volume" (§8.4).
+//     Unlike Duet's greedy, it ignores how close each resource is to its
+//     limit, so it strands far more traffic on the SMuxes (Fig 18).
+//   * One-time — Duet's greedy run once at epoch 0 and never updated; used
+//     in Fig 20a to show why migration matters.
+#pragma once
+
+#include "duet/assignment.h"
+
+namespace duet {
+
+// First-feasible assignment. Candidate switches are probed in a per-VIP
+// pseudo-random order (seeded by options.seed) and the first one that fits
+// both memory and link capacity takes the VIP.
+Assignment assign_random(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                         const AssignmentOptions& options);
+
+}  // namespace duet

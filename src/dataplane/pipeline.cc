@@ -1,0 +1,185 @@
+#include "dataplane/pipeline.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+std::uint64_t port_rule_key(Ipv4Address vip, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(vip.value()) << 16) | port;
+}
+}  // namespace
+
+std::optional<SwitchDataPlane::MuxGroup> SwitchDataPlane::build_group(
+    const std::vector<Ipv4Address>& targets, const std::vector<std::uint32_t>& weights,
+    bool decap_first, std::uint64_t salt) {
+  DUET_CHECK(!targets.empty()) << "VIP with no targets";
+  DUET_CHECK(weights.empty() || weights.size() == targets.size())
+      << "weights/targets size mismatch";
+
+  MuxGroup g;
+  g.decap_first = decap_first;
+  std::vector<EcmpMember> members;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::uint32_t w = weights.empty() ? 1 : weights[i];
+    DUET_CHECK(w > 0) << "zero WCMP weight";
+    // WCMP: a target with weight w occupies w member slots, each with its
+    // own tunneling entry (Fig 6 stores duplicate encap IPs to split load).
+    for (std::uint32_t r = 0; r < w; ++r) {
+      const auto tunnel = tunnel_table_.allocate(targets[i]);
+      if (!tunnel) {
+        tear_down(g);
+        return std::nullopt;
+      }
+      g.tunnels.push_back(*tunnel);
+      g.targets.push_back(targets[i]);
+      members.push_back(EcmpMember{EcmpActionKind::kEncap, 0, *tunnel});
+    }
+  }
+  const auto group = ecmp_table_.create_group(std::move(members));
+  if (!group) {
+    tear_down(g);
+    return std::nullopt;
+  }
+  g.group = *group;
+  g.hash = ResilientHashGroup(g.tunnels.size(), 4, salt);
+  return g;
+}
+
+void SwitchDataPlane::tear_down(MuxGroup& g) {
+  for (const TunnelIndex t : g.tunnels) tunnel_table_.release(t);
+  if (!g.tunnels.empty()) ecmp_table_.destroy_group(g.group);
+  g.tunnels.clear();
+  g.targets.clear();
+}
+
+bool SwitchDataPlane::install_vip(Ipv4Address vip, const std::vector<Ipv4Address>& targets,
+                                  const std::vector<std::uint32_t>& weights) {
+  if (vips_.contains(vip)) return false;  // caller must remove first (§5.2 DIP addition)
+  auto g = build_group(targets, weights, /*decap_first=*/false,
+                       vip_group_salt(vip.value()));
+  if (!g) return false;
+  if (!host_table_.insert(vip, HostEntry{g->group, false})) {
+    tear_down(*g);
+    return false;
+  }
+  vips_.emplace(vip, std::move(*g));
+  return true;
+}
+
+bool SwitchDataPlane::install_tip(Ipv4Address tip, const std::vector<Ipv4Address>& dips) {
+  if (vips_.contains(tip)) return false;
+  auto g = build_group(dips, {}, /*decap_first=*/true, vip_group_salt(tip.value()));
+  if (!g) return false;
+  if (!host_table_.insert(tip, HostEntry{g->group, true})) {
+    tear_down(*g);
+    return false;
+  }
+  vips_.emplace(tip, std::move(*g));
+  return true;
+}
+
+bool SwitchDataPlane::install_port_rule(Ipv4Address vip, std::uint16_t dst_port,
+                                        const std::vector<Ipv4Address>& dips) {
+  const auto key = port_rule_key(vip, dst_port);
+  if (port_rules_.contains(key)) return false;
+  auto g = build_group(dips, {}, /*decap_first=*/false,
+                       vip_group_salt(vip.value()) ^ (std::uint64_t{dst_port} * 0x100000001ULL));
+  if (!g) return false;
+  if (!acl_table_.insert(vip, dst_port, g->group)) {
+    tear_down(*g);
+    return false;
+  }
+  port_rules_.emplace(key, std::move(*g));
+  return true;
+}
+
+bool SwitchDataPlane::remove_vip(Ipv4Address vip) {
+  const auto it = vips_.find(vip);
+  if (it == vips_.end()) return false;
+  host_table_.erase(vip);
+  tear_down(it->second);
+  vips_.erase(it);
+  return true;
+}
+
+bool SwitchDataPlane::remove_port_rule(Ipv4Address vip, std::uint16_t dst_port) {
+  const auto it = port_rules_.find(port_rule_key(vip, dst_port));
+  if (it == port_rules_.end()) return false;
+  acl_table_.erase(vip, dst_port);
+  tear_down(it->second);
+  port_rules_.erase(it);
+  return true;
+}
+
+bool SwitchDataPlane::remove_vip_target(Ipv4Address vip, Ipv4Address target) {
+  const auto it = vips_.find(vip);
+  if (it == vips_.end()) return false;
+  MuxGroup& g = it->second;
+  bool removed_any = false;
+  // A target may occupy several member slots under WCMP; kill them all.
+  for (std::uint32_t slot = 0; slot < g.targets.size(); ++slot) {
+    if (g.targets[slot] == target && g.hash.member_alive(slot)) {
+      if (g.hash.member_count() <= 1) return false;  // last DIP: remove the VIP instead
+      g.hash.remove_member(slot);
+      tunnel_table_.release(g.tunnels[slot]);
+      removed_any = true;
+    }
+  }
+  return removed_any;
+}
+
+std::vector<Ipv4Address> SwitchDataPlane::vip_targets(Ipv4Address vip) const {
+  std::vector<Ipv4Address> out;
+  const auto it = vips_.find(vip);
+  if (it == vips_.end()) return out;
+  const MuxGroup& g = it->second;
+  for (std::uint32_t slot = 0; slot < g.targets.size(); ++slot) {
+    if (g.hash.member_alive(slot)) out.push_back(g.targets[slot]);
+  }
+  return out;
+}
+
+PipelineVerdict SwitchDataPlane::apply_group(MuxGroup& g, Packet& packet) {
+  if (packet.encapsulated()) {
+    if (!g.decap_first) {
+      // §5.2: today's switches cannot encapsulate a single packet twice.
+      DUET_LOG_WARN << "double-encap attempt for " << packet.tuple().to_string() << "; dropping";
+      return PipelineVerdict::kDropped;
+    }
+    packet.decapsulate();
+  }
+  // Inner 5-tuple hash — identical on every HMux/SMux/HA (§3.3.1).
+  const std::uint32_t slot = g.hash.select(hasher_.hash(packet.tuple()));
+  const auto encap_dst = tunnel_table_.lookup(g.tunnels[slot]);
+  DUET_CHECK(encap_dst.has_value()) << "live member slot with missing tunnel entry";
+  packet.encapsulate(EncapHeader{self_, *encap_dst});
+  return PipelineVerdict::kEncapsulated;
+}
+
+PipelineVerdict SwitchDataPlane::process(Packet& packet) {
+  ++packet.hops;
+  const Ipv4Address dst = packet.routing_destination();
+
+  // 1. ACL stage: port-based rules on un-encapsulated VIP traffic.
+  if (!packet.encapsulated()) {
+    if (acl_table_.lookup(dst, packet.tuple().dst_port).has_value()) {
+      const auto it = port_rules_.find(port_rule_key(dst, packet.tuple().dst_port));
+      DUET_CHECK(it != port_rules_.end()) << "ACL hit without a port-rule group";
+      return apply_group(it->second, packet);
+    }
+  }
+
+  // 2. Host table stage.
+  const auto host = host_table_.lookup(dst);
+  if (host.has_value()) {
+    const auto it = vips_.find(dst);
+    DUET_CHECK(it != vips_.end()) << "host-table hit without a mux group";
+    return apply_group(it->second, packet);
+  }
+
+  // 3. Plain transit.
+  return PipelineVerdict::kNoMatch;
+}
+
+}  // namespace duet

@@ -1,0 +1,133 @@
+// The switch data plane: what turns a commodity switch into an HMux.
+//
+// Pipeline order per packet (Fig 2 + Fig 8):
+//   1. ACL table        — (VIP, dst port) rules for port-based LB; wins over
+//                         the host table, like real switch ACL stages.
+//   2. host table       — /32 exact match on the routing destination (the
+//                         outer header when the packet is encapsulated).
+//   3. (no match)       — the packet is plain transit; the network-level
+//                         ECMP routing (topo/paths) moves it along. Plain
+//                         routing table occupancy is not load-balancer state,
+//                         so it is not modelled here.
+//
+// A VIP match selects an ECMP member via resilient hashing of the *inner*
+// 5-tuple — the same FlowHasher shared with SMuxes and host agents — and
+// encapsulates the packet toward the chosen DIP/HIP/TIP. The single-encap
+// hardware limitation (§5.2) is enforced: a packet that is already
+// encapsulated cannot be encapsulated again unless the matching entry is a
+// TIP entry (decap-then-encap, which real switches do at line rate).
+//
+// Memory accounting follows §4: a VIP with DIP-set d costs |d| tunneling
+// entries and |d| ECMP member entries (sum of weights under WCMP). The
+// resilient-hash bucket array is group-internal switch state and is not
+// charged against the tables, matching the paper's L_{s,s,v} = |d_v|/C_s.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/resilient_hash.h"
+#include "dataplane/tables.h"
+#include "net/hash.h"
+#include "net/packet.h"
+
+namespace duet {
+
+enum class PipelineVerdict : std::uint8_t {
+  kNoMatch,       // not load-balancer traffic here; forward normally
+  kEncapsulated,  // matched a VIP/TIP; packet now carries a (new) outer header
+  kDropped,       // would require double encapsulation — hardware can't
+};
+
+struct TableSizes {
+  std::size_t host = kDefaultHostTableCapacity;
+  std::size_t ecmp = kDefaultEcmpTableCapacity;
+  std::size_t tunnel = kDefaultTunnelTableCapacity;
+  std::size_t acl = kDefaultAclTableCapacity;
+};
+
+class SwitchDataPlane {
+ public:
+  explicit SwitchDataPlane(FlowHasher hasher = FlowHasher{}, TableSizes sizes = {},
+                           Ipv4Address self = Ipv4Address{192, 0, 2, 1})
+      : hasher_(hasher),
+        self_(self),
+        host_table_(sizes.host),
+        ecmp_table_(sizes.ecmp),
+        tunnel_table_(sizes.tunnel),
+        acl_table_(sizes.acl) {}
+
+  // --- switch-agent interface (§6): VIP-DIP reconfiguration ----------------
+
+  // Installs a VIP whose traffic is split over `targets` (DIPs, or host IPs
+  // in virtualized clusters, or TIPs for large fanout). Optional WCMP
+  // weights (§5.2 heterogeneity); empty means equal weight 1. Fails without
+  // side effects when any table lacks room.
+  bool install_vip(Ipv4Address vip, const std::vector<Ipv4Address>& targets,
+                   const std::vector<std::uint32_t>& weights = {});
+
+  // Installs a TIP (§5.2 large fanout): like a VIP but arriving packets are
+  // decapsulated before re-encapsulation toward the partition's DIPs.
+  bool install_tip(Ipv4Address tip, const std::vector<Ipv4Address>& dips);
+
+  // Port-based LB (§5.2): (vip, dst_port) gets its own DIP set via ACL.
+  bool install_port_rule(Ipv4Address vip, std::uint16_t dst_port,
+                         const std::vector<Ipv4Address>& dips);
+
+  bool remove_vip(Ipv4Address vip);
+  bool remove_port_rule(Ipv4Address vip, std::uint16_t dst_port);
+
+  // DIP removal via resilient hashing: flows on surviving DIPs keep their
+  // mapping (§5.1). Returns false if the VIP or target is unknown.
+  bool remove_vip_target(Ipv4Address vip, Ipv4Address target);
+
+  // --- data plane -----------------------------------------------------------
+
+  PipelineVerdict process(Packet& packet);
+
+  // --- inspection ------------------------------------------------------------
+
+  bool has_vip(Ipv4Address vip) const { return vips_.contains(vip); }
+  // Live targets for a VIP (after removals), in member order.
+  std::vector<Ipv4Address> vip_targets(Ipv4Address vip) const;
+
+  std::size_t free_host_entries() const { return host_table_.free_entries(); }
+  std::size_t free_ecmp_entries() const { return ecmp_table_.free_members(); }
+  std::size_t free_tunnel_entries() const { return tunnel_table_.free_entries(); }
+  std::size_t vip_count() const { return vips_.size(); }
+
+  const FlowHasher& hasher() const noexcept { return hasher_; }
+  Ipv4Address self() const noexcept { return self_; }
+
+ private:
+  struct MuxGroup {
+    EcmpGroupId group = 0;
+    std::vector<TunnelIndex> tunnels;       // member slot -> tunnel entry
+    std::vector<Ipv4Address> targets;       // member slot -> target (for inspection)
+    ResilientHashGroup hash{1};
+    bool decap_first = false;               // TIP semantics
+  };
+
+  // Builds the ECMP group + tunnel entries for a target list; rolls back on
+  // capacity failure. Returns nullopt on failure.
+  std::optional<MuxGroup> build_group(const std::vector<Ipv4Address>& targets,
+                                      const std::vector<std::uint32_t>& weights, bool decap_first,
+                                      std::uint64_t salt);
+  void tear_down(MuxGroup& g);
+
+  PipelineVerdict apply_group(MuxGroup& g, Packet& packet);
+
+  FlowHasher hasher_;
+  Ipv4Address self_;
+  HostForwardingTable host_table_;
+  EcmpTable ecmp_table_;
+  TunnelingTable tunnel_table_;
+  AclTable acl_table_;
+
+  std::unordered_map<Ipv4Address, MuxGroup> vips_;  // includes TIPs
+  std::unordered_map<std::uint64_t, MuxGroup> port_rules_;  // (vip<<16|port)
+};
+
+}  // namespace duet

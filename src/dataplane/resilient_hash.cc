@@ -1,0 +1,96 @@
+#include "dataplane/resilient_hash.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace duet {
+
+ResilientHashGroup::ResilientHashGroup(std::size_t member_count, std::size_t buckets_per_member,
+                                       std::uint64_t salt)
+    : salt_(salt), buckets_per_member_(buckets_per_member) {
+  DUET_CHECK(member_count > 0) << "empty resilient hash group";
+  DUET_CHECK(buckets_per_member > 0) << "need at least one bucket per member";
+  // At least 64 buckets so small groups split finely; a power-of-two bucket
+  // array with few buckets would skew a 3-member group 6/5/5.
+  const std::size_t wanted = std::max<std::size_t>(64, member_count * buckets_per_member);
+  buckets_.assign(std::bit_ceil(wanted), 0);
+  alive_.assign(member_count, true);
+  live_members_ = member_count;
+  rebalance();
+}
+
+void ResilientHashGroup::rebalance() {
+  // Round-robin live members across the bucket array.
+  std::vector<std::uint32_t> live;
+  live.reserve(live_members_);
+  for (std::uint32_t m = 0; m < alive_.size(); ++m) {
+    if (alive_[m]) live.push_back(m);
+  }
+  DUET_CHECK(!live.empty()) << "rebalance with no live members";
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] = live[b % live.size()];
+  }
+}
+
+std::uint32_t ResilientHashGroup::select(std::uint64_t flow_hash) const {
+  DUET_CHECK(live_members_ > 0) << "select from empty group";
+  // Salt + remix before indexing so consecutive groups on a packet's path
+  // see decorrelated bucket choices; bucket_count is a power of two.
+  std::uint64_t z = flow_hash ^ salt_;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return buckets_[z & (buckets_.size() - 1)];
+}
+
+double ResilientHashGroup::remove_member(std::uint32_t member) {
+  DUET_CHECK(member < alive_.size() && alive_[member]) << "removing dead/unknown member";
+  DUET_CHECK(live_members_ > 1) << "cannot remove the last member";
+  alive_[member] = false;
+  --live_members_;
+
+  std::vector<std::uint32_t> live;
+  live.reserve(live_members_);
+  for (std::uint32_t m = 0; m < alive_.size(); ++m) {
+    if (alive_[m]) live.push_back(m);
+  }
+
+  std::size_t remapped = 0;
+  std::size_t spill = 0;
+  for (auto& bucket : buckets_) {
+    if (bucket == member) {
+      bucket = live[spill++ % live.size()];
+      ++remapped;
+    }
+  }
+  return static_cast<double>(remapped) / static_cast<double>(buckets_.size());
+}
+
+double ResilientHashGroup::add_member() {
+  alive_.push_back(true);
+  ++live_members_;
+  const std::vector<std::uint32_t> before = buckets_;
+  // Addition may require growing the array to preserve the original
+  // buckets-per-member ratio; either way the whole array is re-dealt. The
+  // target is derived from live_members_ (not the current size) so repeated
+  // add/remove cycles cannot grow the array without bound.
+  const std::size_t wanted =
+      std::max<std::size_t>(64, live_members_ * buckets_per_member_);
+  if (std::bit_ceil(wanted) > buckets_.size()) buckets_.resize(std::bit_ceil(wanted), 0);
+  rebalance();
+
+  std::size_t remapped = 0;
+  const std::size_t common = std::min(before.size(), buckets_.size());
+  for (std::size_t b = 0; b < common; ++b) {
+    if (before[b] != buckets_[b]) ++remapped;
+  }
+  remapped += buckets_.size() - common;  // fresh buckets count as remapped
+  return static_cast<double>(remapped) / static_cast<double>(buckets_.size());
+}
+
+bool ResilientHashGroup::member_alive(std::uint32_t member) const {
+  return member < alive_.size() && alive_[member];
+}
+
+}  // namespace duet

@@ -1,0 +1,65 @@
+// Resilient hashing (Broadcom "smart hashing", §5.1 of the paper).
+//
+// A group of N members is spread over B >= N fixed hash buckets. A flow
+// hashes to a bucket, the bucket points at a member. On member REMOVAL only
+// the failed member's buckets are remapped — flows on surviving members stay
+// put (this is why DIP failure does not disturb other connections, §5.1).
+// On member ADDITION the whole bucket array must be re-balanced, remapping
+// many flows — which is exactly why Duet bounces a VIP through the SMuxes
+// when adding a DIP (§5.2 "Resilient hashing only ensures correct mapping in
+// case of DIP removal – not DIP addition").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace duet {
+
+class ResilientHashGroup {
+ public:
+  // B is chosen as the smallest power of two >= buckets_per_member * n so the
+  // bucket array stays balanced even after removals.
+  //
+  // `salt` decorrelates bucket indexing across groups: without it, a flow
+  // traversing two groups (the TIP double bounce of §5.2) would present the
+  // same hash to both and alias onto a fraction of the second group's
+  // members — the ECMP polarization problem. The salt must be a function of
+  // the *VIP* (not the device) so that every HMux/SMux holding the same VIP
+  // still maps flows identically (§3.3.1).
+  explicit ResilientHashGroup(std::size_t member_count, std::size_t buckets_per_member = 4,
+                              std::uint64_t salt = 0);
+
+  std::size_t member_count() const noexcept { return live_members_; }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  // Member index serving the given flow hash. Precondition: member_count()>0.
+  std::uint32_t select(std::uint64_t flow_hash) const;
+
+  // Removes a member, remapping only its buckets. Returns the fraction of
+  // buckets that changed owner (== fraction of flows remapped).
+  double remove_member(std::uint32_t member);
+
+  // Adds a member by re-balancing the whole array (NOT resilient). Returns
+  // the fraction of buckets that changed owner.
+  double add_member();
+
+  bool member_alive(std::uint32_t member) const;
+
+ private:
+  void rebalance();
+
+  std::vector<std::uint32_t> buckets_;  // bucket -> member index
+  std::vector<bool> alive_;             // member index -> alive?
+  std::size_t live_members_ = 0;
+  std::uint64_t salt_ = 0;
+  std::size_t buckets_per_member_ = 4;
+};
+
+// The canonical VIP-derived salt shared by every mux holding the VIP.
+constexpr std::uint64_t vip_group_salt(std::uint32_t vip_value) noexcept {
+  std::uint64_t z = (static_cast<std::uint64_t>(vip_value) + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace duet

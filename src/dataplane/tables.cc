@@ -1,0 +1,141 @@
+#include "dataplane/tables.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+// --- HostForwardingTable -----------------------------------------------------
+
+bool HostForwardingTable::insert(Ipv4Address dst, HostEntry entry) {
+  const auto it = entries_.find(dst);
+  if (it != entries_.end()) {
+    it->second = entry;  // overwrite is free: same slot
+    return true;
+  }
+  if (entries_.size() >= capacity_) return false;
+  entries_.emplace(dst, entry);
+  return true;
+}
+
+bool HostForwardingTable::erase(Ipv4Address dst) { return entries_.erase(dst) > 0; }
+
+std::optional<HostEntry> HostForwardingTable::lookup(Ipv4Address dst) const {
+  const auto it = entries_.find(dst);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- LpmTable ----------------------------------------------------------------
+
+bool LpmTable::insert(Ipv4Prefix prefix, EcmpGroupId group) {
+  auto& bucket = by_length_[prefix.length()];
+  const auto [it, inserted] = bucket.insert_or_assign(prefix, group);
+  (void)it;
+  if (inserted) ++count_;
+  return true;
+}
+
+bool LpmTable::erase(Ipv4Prefix prefix) {
+  auto& bucket = by_length_[prefix.length()];
+  if (bucket.erase(prefix) > 0) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<EcmpGroupId> LpmTable::lookup(Ipv4Address dst) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_length_[len];
+    if (bucket.empty()) continue;
+    const Ipv4Prefix candidate{dst, static_cast<std::uint8_t>(len)};
+    const auto it = bucket.find(candidate);
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<EcmpGroupId> LpmTable::lookup_exact(Ipv4Prefix prefix) const {
+  const auto& bucket = by_length_[prefix.length()];
+  const auto it = bucket.find(prefix);
+  if (it == bucket.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- EcmpTable ---------------------------------------------------------------
+
+std::optional<EcmpGroupId> EcmpTable::create_group(std::vector<EcmpMember> members) {
+  DUET_CHECK(!members.empty()) << "empty ECMP group";
+  if (used_members_ + members.size() > member_capacity_) return std::nullopt;
+  const EcmpGroupId id = next_id_++;
+  used_members_ += members.size();
+  groups_.emplace(id, std::move(members));
+  return id;
+}
+
+bool EcmpTable::destroy_group(EcmpGroupId group) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  used_members_ -= it->second.size();
+  groups_.erase(it);
+  return true;
+}
+
+bool EcmpTable::update_group(EcmpGroupId group, std::vector<EcmpMember> members) {
+  DUET_CHECK(!members.empty()) << "empty ECMP group";
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  const std::size_t new_used = used_members_ - it->second.size() + members.size();
+  if (new_used > member_capacity_) return false;
+  used_members_ = new_used;
+  it->second = std::move(members);
+  return true;
+}
+
+const std::vector<EcmpMember>* EcmpTable::members(EcmpGroupId group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+// --- TunnelingTable ----------------------------------------------------------
+
+std::optional<TunnelIndex> TunnelingTable::allocate(Ipv4Address encap_dst) {
+  if (entries_.size() >= capacity_) return std::nullopt;
+  const TunnelIndex idx = next_index_++;
+  entries_.emplace(idx, encap_dst);
+  return idx;
+}
+
+bool TunnelingTable::release(TunnelIndex index) { return entries_.erase(index) > 0; }
+
+std::optional<Ipv4Address> TunnelingTable::lookup(TunnelIndex index) const {
+  const auto it = entries_.find(index);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- AclTable ------------------------------------------------------------------
+
+bool AclTable::insert(Ipv4Address dst, std::uint16_t dst_port, EcmpGroupId group) {
+  const Key k = key(dst, dst_port);
+  const auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    it->second = group;
+    return true;
+  }
+  if (entries_.size() >= capacity_) return false;
+  entries_.emplace(k, group);
+  return true;
+}
+
+bool AclTable::erase(Ipv4Address dst, std::uint16_t dst_port) {
+  return entries_.erase(key(dst, dst_port)) > 0;
+}
+
+std::optional<EcmpGroupId> AclTable::lookup(Ipv4Address dst, std::uint16_t dst_port) const {
+  const auto it = entries_.find(key(dst, dst_port));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace duet

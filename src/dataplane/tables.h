@@ -1,0 +1,166 @@
+// Switch pipeline tables (Fig 2 of the paper).
+//
+// A commodity switch exposes, per the paper's numbers:
+//   * host forwarding table — 16 K exact /32 entries (mostly empty; only
+//     intra-rack routes live here normally);
+//   * LPM table — longest-prefix-match routes (heavily used for routing, NOT
+//     available to the load balancer; we model it anyway because the SMux
+//     aggregate announcements and the /32-beats-aggregate preference of
+//     §3.3.1 are LPM semantics);
+//   * ECMP group + member tables — 4 K member entries;
+//   * tunneling table — 512 IP-in-IP encap entries;
+//   * ACL table — match on (dst IP, dst port), used for port-based LB (§5.2).
+//
+// Capacity is enforced: installation fails (returns false / nullopt) when a
+// table is full, exactly the constraint the VIP assignment algorithm packs
+// against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace duet {
+
+using EcmpGroupId = std::uint32_t;
+using TunnelIndex = std::uint32_t;
+
+// Default capacities from the paper (§3.1, §8.1).
+inline constexpr std::size_t kDefaultHostTableCapacity = 16 * 1024;
+inline constexpr std::size_t kDefaultEcmpTableCapacity = 4 * 1024;
+inline constexpr std::size_t kDefaultTunnelTableCapacity = 512;
+inline constexpr std::size_t kDefaultAclTableCapacity = 4 * 1024;
+
+// What an ECMP member entry does with a matching packet.
+enum class EcmpActionKind : std::uint8_t {
+  kForward,  // plain routing: send towards a neighbor switch
+  kEncap,    // load balancing: IP-in-IP encapsulate via tunneling table
+};
+
+struct EcmpMember {
+  EcmpActionKind kind = EcmpActionKind::kForward;
+  // kForward: opaque next-hop id (a SwitchId in our simulations).
+  std::uint32_t next_hop = 0;
+  // kEncap: index into the tunneling table.
+  TunnelIndex tunnel = 0;
+
+  friend bool operator==(const EcmpMember&, const EcmpMember&) = default;
+};
+
+// Host forwarding table entry: /32 exact match.
+struct HostEntry {
+  EcmpGroupId group = 0;
+  // TIP support (§5.2 large fanout): when true, an arriving encapsulated
+  // packet destined to this address is decapsulated before the group's encap
+  // action runs (decap + re-encap at line rate).
+  bool decap_first = false;
+};
+
+class HostForwardingTable {
+ public:
+  explicit HostForwardingTable(std::size_t capacity = kDefaultHostTableCapacity)
+      : capacity_(capacity) {}
+
+  bool insert(Ipv4Address dst, HostEntry entry);
+  bool erase(Ipv4Address dst);
+  std::optional<HostEntry> lookup(Ipv4Address dst) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<Ipv4Address, HostEntry> entries_;
+};
+
+// LPM table: longest-prefix match over CIDR routes.
+class LpmTable {
+ public:
+  bool insert(Ipv4Prefix prefix, EcmpGroupId group);
+  bool erase(Ipv4Prefix prefix);
+  // Longest matching prefix's group, if any.
+  std::optional<EcmpGroupId> lookup(Ipv4Address dst) const;
+  std::optional<EcmpGroupId> lookup_exact(Ipv4Prefix prefix) const;
+
+  std::size_t size() const noexcept { return count_; }
+
+ private:
+  // Buckets by prefix length, longest first on lookup. 33 lengths (0..32).
+  std::unordered_map<Ipv4Prefix, EcmpGroupId> by_length_[33];
+  std::size_t count_ = 0;
+};
+
+// ECMP group + member tables. Groups are variable-length runs of members;
+// the member count is what the 4 K capacity limits.
+class EcmpTable {
+ public:
+  explicit EcmpTable(std::size_t member_capacity = kDefaultEcmpTableCapacity)
+      : member_capacity_(member_capacity) {}
+
+  // Creates a group with the given members; nullopt when capacity exceeded.
+  std::optional<EcmpGroupId> create_group(std::vector<EcmpMember> members);
+  bool destroy_group(EcmpGroupId group);
+
+  // Replaces the member list in place (same group id). Fails on capacity.
+  bool update_group(EcmpGroupId group, std::vector<EcmpMember> members);
+
+  const std::vector<EcmpMember>* members(EcmpGroupId group) const;
+
+  std::size_t used_members() const noexcept { return used_members_; }
+  std::size_t member_capacity() const noexcept { return member_capacity_; }
+  std::size_t free_members() const noexcept { return member_capacity_ - used_members_; }
+  std::size_t group_count() const noexcept { return groups_.size(); }
+
+ private:
+  std::size_t member_capacity_;
+  std::size_t used_members_ = 0;
+  EcmpGroupId next_id_ = 0;
+  std::unordered_map<EcmpGroupId, std::vector<EcmpMember>> groups_;
+};
+
+// Tunneling table: index -> outer destination IP.
+class TunnelingTable {
+ public:
+  explicit TunnelingTable(std::size_t capacity = kDefaultTunnelTableCapacity)
+      : capacity_(capacity) {}
+
+  std::optional<TunnelIndex> allocate(Ipv4Address encap_dst);
+  bool release(TunnelIndex index);
+  std::optional<Ipv4Address> lookup(TunnelIndex index) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
+
+ private:
+  std::size_t capacity_;
+  TunnelIndex next_index_ = 0;
+  std::unordered_map<TunnelIndex, Ipv4Address> entries_;
+};
+
+// ACL table for port-based load balancing: (dst IP, dst port) -> group.
+class AclTable {
+ public:
+  explicit AclTable(std::size_t capacity = kDefaultAclTableCapacity) : capacity_(capacity) {}
+
+  bool insert(Ipv4Address dst, std::uint16_t dst_port, EcmpGroupId group);
+  bool erase(Ipv4Address dst, std::uint16_t dst_port);
+  std::optional<EcmpGroupId> lookup(Ipv4Address dst, std::uint16_t dst_port) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
+
+ private:
+  using Key = std::uint64_t;  // (ip << 16) | port
+  static Key key(Ipv4Address dst, std::uint16_t port) noexcept {
+    return (static_cast<Key>(dst.value()) << 16) | port;
+  }
+  std::size_t capacity_;
+  std::unordered_map<Key, EcmpGroupId> entries_;
+};
+
+}  // namespace duet

@@ -1,0 +1,355 @@
+#include "duet/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+
+// Directed link index: one load counter per link direction.
+std::uint64_t dlink(LinkId l, SwitchId from, const Topology& topo) {
+  return static_cast<std::uint64_t>(l) * 2 + (topo.link_info(l).a == from ? 0 : 1);
+}
+
+}  // namespace
+
+struct VipAssigner::State {
+  std::vector<double> link_load;          // Gbps per directed link
+  std::vector<std::size_t> dips_used;     // per switch
+  std::size_t hmux_vips = 0;              // against host_table_capacity
+  double global_mru = 0.0;
+  mutable Rng rng{1};
+
+  // Dense delta buffer + touched list, reused across candidate evaluations
+  // (the evaluation loop runs millions of times; a hash map here dominates
+  // the whole algorithm's runtime).
+  mutable std::vector<double> delta;                 // per directed link
+  mutable std::vector<std::uint64_t> delta_touched;  // indices with delta != 0
+
+  void clear_delta() const {
+    for (const std::uint64_t idx : delta_touched) delta[idx] = 0.0;
+    delta_touched.clear();
+  }
+};
+
+VipAssigner::VipAssigner(const FatTree& fabric, AssignmentOptions options)
+    : fabric_(&fabric), options_(options), routing_(fabric.topo) {}
+
+void VipAssigner::delta_loads(const VipDemand& d, SwitchId s, const State& state) const {
+  state.clear_delta();
+  const auto add_unit = [&](SwitchId from, SwitchId to, double gbps) {
+    for (const auto& [idx, frac] : routing_.unit_flow(from, to)) {
+      if (state.delta[idx] == 0.0) state.delta_touched.push_back(idx);
+      state.delta[idx] += gbps * frac;
+    }
+  };
+  for (const auto& [ingress, gbps] : d.ingress_gbps) add_unit(ingress, s, gbps);
+  for (const auto& [tor, gbps] : d.dip_tor_gbps) add_unit(s, tor, gbps);
+}
+
+std::size_t VipAssigner::dip_slots_needed(const VipDemand& d) const {
+  const std::size_t cap = options_.switch_dip_capacity;
+  if (d.dip_count <= cap) return d.dip_count;
+  // §5.2 large fanout: the primary switch stores one TIP pointer per
+  // partition of <= cap DIPs. (The partitions themselves are placed by the
+  // controller on other switches; "the VIP assignment algorithm also needs
+  // some changes to handle TIPs" — this is our variant of those changes.)
+  return (d.dip_count + cap - 1) / cap;
+}
+
+std::optional<double> VipAssigner::evaluate(const State& state, const VipDemand& d, SwitchId s,
+                                            double* touched_max) const {
+  // Memory feasibility first (cheap).
+  const std::size_t mem_cap = options_.switch_dip_capacity;
+  if (d.dip_count > mem_cap * mem_cap) return std::nullopt;  // beyond even 512x512
+  const std::size_t need = dip_slots_needed(d);
+  if (need > mem_cap || state.dips_used[s] + need > mem_cap) {
+    return std::nullopt;
+  }
+  const double mem_util = static_cast<double>(state.dips_used[s] + need) /
+                          static_cast<double>(options_.switch_dip_capacity);
+
+  delta_loads(d, s, state);
+
+  const Topology& topo = fabric_->topo;
+  double tmax = mem_util;
+  for (const std::uint64_t idx : state.delta_touched) {
+    const auto link = static_cast<LinkId>(idx / 2);
+    const double cap = options_.link_headroom * topo.capacity_gbps(link);
+    const double util = (state.link_load[idx] + state.delta[idx]) / cap;
+    tmax = std::max(tmax, util);
+  }
+  if (tmax > 1.0) return std::nullopt;  // would exceed some resource capacity
+  if (touched_max != nullptr) *touched_max = tmax;
+  return std::max(tmax, state.global_mru);
+}
+
+void VipAssigner::commit(State& state, const VipDemand& d, SwitchId s) const {
+  delta_loads(d, s, state);
+  const Topology& topo = fabric_->topo;
+  for (const std::uint64_t idx : state.delta_touched) {
+    state.link_load[idx] += state.delta[idx];
+    const auto link = static_cast<LinkId>(idx / 2);
+    const double cap = options_.link_headroom * topo.capacity_gbps(link);
+    state.global_mru = std::max(state.global_mru, state.link_load[idx] / cap);
+  }
+  state.dips_used[s] += dip_slots_needed(d);
+  state.global_mru =
+      std::max(state.global_mru, static_cast<double>(state.dips_used[s]) /
+                                     static_cast<double>(options_.switch_dip_capacity));
+  ++state.hmux_vips;
+}
+
+std::vector<SwitchId> VipAssigner::candidates(const State& state, const VipDemand& d) const {
+  const Topology& topo = fabric_->topo;
+  std::vector<SwitchId> out;
+  if (!options_.container_optimization) {
+    out.reserve(topo.switch_count());
+    for (SwitchId s = 0; s < topo.switch_count(); ++s) out.push_back(s);
+    return out;
+  }
+
+  // All Core and Agg switches are always candidates…
+  out.insert(out.end(), fabric_->cores.begin(), fabric_->cores.end());
+  out.insert(out.end(), fabric_->aggs.begin(), fabric_->aggs.end());
+
+  // …plus, per container, the ToR with the lowest local utilization (Fig 5:
+  // the intra-container choice only affects intra-container links).
+  const std::size_t tpc = fabric_->params.tors_per_container;
+  for (std::size_t c = 0; c < fabric_->params.containers; ++c) {
+    SwitchId best = kInvalidSwitch;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < tpc; ++t) {
+      const SwitchId tor = fabric_->tors[c * tpc + t];
+      if (state.dips_used[tor] + dip_slots_needed(d) > options_.switch_dip_capacity) continue;
+      double score = static_cast<double>(state.dips_used[tor]) /
+                     static_cast<double>(options_.switch_dip_capacity);
+      for (const auto& adj : topo.neighbors(tor)) {
+        const double cap = options_.link_headroom * topo.capacity_gbps(adj.link);
+        score = std::max(score, state.link_load[dlink(adj.link, tor, topo)] / cap);
+        score = std::max(score, state.link_load[dlink(adj.link, adj.neighbor, topo)] / cap);
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = tor;
+      }
+    }
+    if (best != kInvalidSwitch) out.push_back(best);
+  }
+  return out;
+}
+
+Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
+                            const Assignment* previous) const {
+  const Topology& topo = fabric_->topo;
+  State state;
+  state.link_load.assign(topo.link_count() * 2, 0.0);
+  state.dips_used.assign(topo.switch_count(), 0);
+  state.delta.assign(topo.link_count() * 2, 0.0);
+  state.rng = Rng{options_.seed};
+
+  // §4.1: decreasing traffic volume.
+  std::vector<const VipDemand*> order;
+  order.reserve(demands.size());
+  for (const auto& d : demands) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const VipDemand* a, const VipDemand* b) {
+                     return a->total_gbps > b->total_gbps;
+                   });
+
+  Assignment result;
+  bool terminated = false;
+
+  for (const VipDemand* dp : order) {
+    const VipDemand& d = *dp;
+    auto leave_on_smux = [&] {
+      result.on_smux.push_back(d.id);
+      result.smux_gbps += d.total_gbps;
+    };
+
+    if (terminated || state.hmux_vips >= options_.host_table_capacity) {
+      leave_on_smux();
+      continue;
+    }
+
+    // Find the best candidate (lowest MRU; tie-break by own contribution,
+    // then a deterministic per-(VIP, switch) hash — spreads equal candidates
+    // like the paper's random rule but is stable across re-runs, so a
+    // recompute on near-identical demands lands near-identical placements).
+    SwitchId best = kInvalidSwitch;
+    double best_mru = std::numeric_limits<double>::infinity();
+    double best_touched = std::numeric_limits<double>::infinity();
+    std::uint64_t best_key = 0;
+    std::size_t ties = 0;
+    const auto tie_key = [&](SwitchId s) {
+      std::uint64_t z = (static_cast<std::uint64_t>(d.id) << 32 | s) * 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return z ^ (z >> 31);
+    };
+    for (const SwitchId s : candidates(state, d)) {
+      double touched = 0.0;
+      const auto mru = evaluate(state, d, s, &touched);
+      if (!mru) continue;
+      constexpr double kEps = 1e-12;
+      if (*mru < best_mru - kEps ||
+          (*mru < best_mru + kEps && touched < best_touched - kEps)) {
+        best = s;
+        best_mru = *mru;
+        best_touched = touched;
+        best_key = tie_key(s);
+        ties = 1;
+      } else if (*mru < best_mru + kEps && touched < best_touched + kEps) {
+        // Full tie.
+        if (options_.random_tie_break) {
+          // §4.1 literal rule: reservoir-sample among equals.
+          ++ties;
+          if (state.rng.uniform(ties) == 0) best = s;
+        } else if (tie_key(s) < best_key) {
+          best = s;
+          best_key = tie_key(s);
+        }
+      }
+    }
+
+    // Sticky filter (§4.2): keep the VIP where it was unless the improvement
+    // beats the threshold.
+    if (previous != nullptr) {
+      const auto prev_switch = previous->switch_of(d.id);
+      if (prev_switch.has_value()) {
+        double prev_touched = 0.0;
+        const auto prev_mru = evaluate(state, d, *prev_switch, &prev_touched);
+        if (prev_mru.has_value()) {
+          const bool move = best != kInvalidSwitch &&
+                            (*prev_mru - best_mru) > options_.sticky_threshold;
+          if (!move) {
+            best = *prev_switch;
+            best_mru = *prev_mru;
+          }
+        }
+        // If the previous home is now infeasible, fall through to `best`.
+      }
+    }
+
+    if (best == kInvalidSwitch) {
+      // §4.1: "If the smallest MRU exceeds 100% … the algorithm terminates."
+      // Sticky rounds keep scanning so previously placed VIPs are not evicted
+      // by one oversized newcomer.
+      if (options_.stop_on_first_failure && previous == nullptr) terminated = true;
+      leave_on_smux();
+      continue;
+    }
+
+    commit(state, d, best);
+    result.placement.emplace(d.id, best);
+    result.hmux_gbps += d.total_gbps;
+  }
+
+  result.mru = state.global_mru;
+  result.link_load_gbps = std::move(state.link_load);
+  result.switch_dips_used = std::move(state.dips_used);
+  DUET_LOG_INFO << "assignment: " << result.placement.size() << " VIPs on HMux ("
+                << result.hmux_gbps << " Gbps), " << result.on_smux.size() << " on SMux ("
+                << result.smux_gbps << " Gbps), MRU " << result.mru;
+  return result;
+}
+
+Assignment VipAssigner::assign(const std::vector<VipDemand>& demands) const {
+  return run(demands, nullptr);
+}
+
+Assignment VipAssigner::assign_sticky(const std::vector<VipDemand>& demands,
+                                      const Assignment& previous) const {
+  return run(demands, &previous);
+}
+
+Assignment VipAssigner::revalidate(const std::vector<VipDemand>& demands,
+                                   const Assignment& placement) const {
+  const Topology& topo = fabric_->topo;
+  State state;
+  state.link_load.assign(topo.link_count() * 2, 0.0);
+  state.dips_used.assign(topo.switch_count(), 0);
+  state.delta.assign(topo.link_count() * 2, 0.0);
+  state.rng = Rng{options_.seed};
+
+  std::vector<const VipDemand*> order;
+  order.reserve(demands.size());
+  for (const auto& d : demands) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(), [](const VipDemand* a, const VipDemand* b) {
+    return a->total_gbps > b->total_gbps;
+  });
+
+  Assignment result;
+  for (const VipDemand* dp : order) {
+    const VipDemand& d = *dp;
+    const auto home = placement.switch_of(d.id);
+    if (home.has_value() && state.hmux_vips < options_.host_table_capacity &&
+        evaluate(state, d, *home, nullptr).has_value()) {
+      commit(state, d, *home);
+      result.placement.emplace(d.id, *home);
+      result.hmux_gbps += d.total_gbps;
+    } else {
+      result.on_smux.push_back(d.id);
+      result.smux_gbps += d.total_gbps;
+    }
+  }
+  result.mru = state.global_mru;
+  result.link_load_gbps = std::move(state.link_load);
+  result.switch_dips_used = std::move(state.dips_used);
+  return result;
+}
+
+// --- Failover provisioning ------------------------------------------------------
+
+FailoverAnalysis analyze_failover(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                                  const Assignment& assignment) {
+  const Topology& topo = fabric.topo;
+  FailoverAnalysis out;
+
+  // Per-switch HMux traffic and per-(container, VIP) source fractions.
+  std::vector<double> per_switch(topo.switch_count(), 0.0);
+  std::vector<double> per_container(fabric.params.containers, 0.0);
+
+  for (const auto& d : demands) {
+    const auto sw = assignment.switch_of(d.id);
+    if (!sw) continue;
+    per_switch[*sw] += d.total_gbps;
+
+    const ContainerId c = topo.switch_info(*sw).container;
+    if (c == kNoContainer) continue;  // Core switches die only in 3-switch mode
+    // Container failure kills the hosting switch AND the sources/DIPs inside:
+    // only traffic sourced outside the container reaches the SMuxes (§8.5).
+    double outside = 0.0;
+    for (const auto& [ingress, gbps] : d.ingress_gbps) {
+      if (topo.switch_info(ingress).container != c) outside += gbps;
+    }
+    // If every DIP lived in the failed container the traffic has nowhere to
+    // go; SMuxes still receive it (and then blackhole), so keep it counted.
+    per_container[c] += outside;
+  }
+
+  for (const double g : per_container) {
+    out.worst_container_gbps = std::max(out.worst_container_gbps, g);
+  }
+
+  // Worst 3 simultaneous switch failures = top-3 switches by assigned traffic.
+  std::vector<double> loads = per_switch;
+  std::partial_sort(loads.begin(), loads.begin() + std::min<std::size_t>(3, loads.size()),
+                    loads.end(), std::greater<>());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, loads.size()); ++i) {
+    out.worst_three_switch_gbps += loads[i];
+  }
+  return out;
+}
+
+std::size_t smuxes_needed(double leftover_gbps, double failover_gbps, double migration_gbps,
+                          double smux_capacity_gbps) {
+  DUET_CHECK(smux_capacity_gbps > 0.0) << "SMux with no capacity";
+  const double worst = std::max({leftover_gbps, failover_gbps, migration_gbps});
+  // Never fewer than one SMux: the backstop must exist (§3.3.1).
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(worst / smux_capacity_gbps)));
+}
+
+}  // namespace duet

@@ -1,0 +1,168 @@
+// VIP-to-switch assignment (§4).
+//
+// The problem: place VIPs on switches to maximize the traffic handled by
+// HMuxes, subject to (a) per-switch memory — a VIP with |d_v| DIPs consumes
+// |d_v| ECMP + tunneling entries, min(free ECMP, free tunnel) ≈ 512 slots per
+// switch; (b) per-link bandwidth — the VIP's traffic from each ingress to the
+// candidate switch and from the switch to each DIP ToR loads every link of
+// the ECMP DAG; capacity is derated to 80 % (§4); and (c) the global host
+// table limit — every switch must carry a /32 route per HMux VIP, so at most
+// 16 K VIPs can live on HMuxes in total (§3.3.2, §8.2).
+//
+// It is a multi-dimensional bin-packing problem (NP-hard); the paper uses a
+// greedy: VIPs in decreasing traffic order, each to the switch minimizing the
+// maximum resource utilization (MRU). Ties on MRU are broken first by the
+// candidate's own touched-resource utilization (a deterministic refinement of
+// the paper's "breaking ties at random"), then randomly.
+//
+// Two variants (§4.2):
+//   * assign()        — from scratch ("Non-sticky" input); terminates at the
+//                       first VIP whose best MRU exceeds 100 % (the paper's
+//                       rule), leaving it and the rest on SMuxes.
+//   * assign_sticky() — takes the previous placement and moves a VIP only if
+//                       the new position improves MRU by more than δ = 5 %,
+//                       bounding migration churn (Fig 20b).
+//
+// The container optimization (§4.2, Fig 5): assigning a VIP to different
+// ToRs inside one container only changes utilization inside that container,
+// so only the least-loaded ToR per container needs full evaluation — dropping
+// complexity from O(|V|·|S|·|E|) to O(|V|·((|S_core|+|S_agg|+|C|)·|E| +
+// |S_tor|·|E_c|)). Both paths are implemented (ablation bench compares them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "duet/config.h"
+#include "topo/fattree.h"
+#include "topo/paths.h"
+#include "util/random.h"
+#include "workload/demand.h"
+
+namespace duet {
+
+struct AssignmentOptions {
+  double link_headroom = 0.8;
+  std::size_t switch_dip_capacity = 512;    // min(ECMP, tunnel) free slots
+  std::size_t host_table_capacity = 16 * 1024;
+  double sticky_threshold = 0.05;
+  bool container_optimization = true;
+  bool stop_on_first_failure = true;  // §4.1 termination rule (scratch only)
+  // The paper breaks exact MRU ties at random; we default to deterministic
+  // (first candidate in scan order) so that re-running the algorithm on
+  // near-identical demands yields near-identical placements — what a real
+  // controller re-computation does. Enable for the paper's literal rule.
+  bool random_tie_break = false;
+  std::uint64_t seed = 1;
+
+  static AssignmentOptions from_config(const DuetConfig& c) {
+    AssignmentOptions o;
+    o.link_headroom = c.link_headroom;
+    o.switch_dip_capacity = std::min(c.tunnel_table_capacity, c.ecmp_table_capacity);
+    o.host_table_capacity = c.host_table_capacity;
+    o.sticky_threshold = c.sticky_threshold;
+    return o;
+  }
+};
+
+// The result of one assignment round.
+struct Assignment {
+  // HMux-assigned VIPs; a VIP absent here is served by the SMux pool.
+  std::unordered_map<VipId, SwitchId> placement;
+  std::vector<VipId> on_smux;
+
+  double hmux_gbps = 0.0;
+  double smux_gbps = 0.0;
+  double mru = 0.0;  // final maximum resource utilization
+
+  // Directed link loads (Gbps): index = link*2 + dir (dir 0 = a->b).
+  std::vector<double> link_load_gbps;
+  // DIP slots consumed per switch.
+  std::vector<std::size_t> switch_dips_used;
+
+  bool on_hmux(VipId v) const { return placement.contains(v); }
+  std::optional<SwitchId> switch_of(VipId v) const {
+    const auto it = placement.find(v);
+    if (it == placement.end()) return std::nullopt;
+    return it->second;
+  }
+  double hmux_fraction() const {
+    const double t = hmux_gbps + smux_gbps;
+    return t <= 0.0 ? 0.0 : hmux_gbps / t;
+  }
+};
+
+class VipAssigner {
+ public:
+  VipAssigner(const FatTree& fabric, AssignmentOptions options);
+
+  // Greedy from scratch (§4.1). `demands` in any order; sorted internally.
+  Assignment assign(const std::vector<VipDemand>& demands) const;
+
+  // Sticky re-assignment (§4.2) against the previous round's placement.
+  Assignment assign_sticky(const std::vector<VipDemand>& demands,
+                           const Assignment& previous) const;
+
+  // Re-validates a FROZEN placement against fresh demands: each VIP stays on
+  // its assigned switch while that is still feasible (checked in decreasing
+  // traffic order); VIPs whose home no longer fits the drifted traffic
+  // overflow to the SMuxes. This is how the One-time baseline of Fig 20a
+  // loses traffic share over the trace: the placement never adapts, so
+  // demand drift invalidates it.
+  Assignment revalidate(const std::vector<VipDemand>& demands,
+                        const Assignment& placement) const;
+
+  const AssignmentOptions& options() const noexcept { return options_; }
+
+ private:
+  struct State;  // packing state (link loads, memory, counters)
+
+  // Evaluates placing demand d on switch s against `state`. Returns the
+  // resulting MRU (max over touched resources and the running global MRU),
+  // or nullopt when infeasible (memory or >100 % utilization).
+  std::optional<double> evaluate(const State& state, const VipDemand& d, SwitchId s,
+                                 double* touched_max) const;
+
+  // Applies the placement to the state.
+  void commit(State& state, const VipDemand& d, SwitchId s) const;
+
+  // Candidate switches for d given the container optimization setting.
+  std::vector<SwitchId> candidates(const State& state, const VipDemand& d) const;
+
+  // Slots d consumes on its primary switch: |dips|, or the TIP-pointer count
+  // for large-fanout VIPs (§5.2).
+  std::size_t dip_slots_needed(const VipDemand& d) const;
+
+  // Directed-link loads d adds when assigned to s (ingress->s plus s->DIP
+  // ToRs), written into state's dense delta buffer.
+  void delta_loads(const VipDemand& d, SwitchId s, const State& state) const;
+
+  Assignment run(const std::vector<VipDemand>& demands, const Assignment* previous) const;
+
+  const FatTree* fabric_;
+  AssignmentOptions options_;
+  EcmpRouting routing_;  // healthy-topology routing, shared by all rounds
+};
+
+// --- Failover provisioning (§8.2) ---------------------------------------------
+// How much HMux traffic lands on the SMux pool under the paper's failure
+// model: the worst single-container failure, or the worst 3-switch failure.
+struct FailoverAnalysis {
+  double worst_container_gbps = 0.0;
+  double worst_three_switch_gbps = 0.0;
+  double worst_gbps() const {
+    return std::max(worst_container_gbps, worst_three_switch_gbps);
+  }
+};
+
+FailoverAnalysis analyze_failover(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                                  const Assignment& assignment);
+
+// SMuxes needed: max of (leftover VIP traffic, failover traffic, migration
+// transit traffic), each divided by per-SMux capacity (§8.2, Fig 20c).
+std::size_t smuxes_needed(double leftover_gbps, double failover_gbps, double migration_gbps,
+                          double smux_capacity_gbps);
+
+}  // namespace duet

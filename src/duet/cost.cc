@@ -1,0 +1,31 @@
+#include "duet/cost.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::size_t CostModel::ananta_smuxes(double total_gbps) const {
+  DUET_CHECK(smux_capacity_gbps > 0.0) << "SMux with no capacity";
+  return static_cast<std::size_t>(std::ceil(std::max(0.0, total_gbps) / smux_capacity_gbps));
+}
+
+double CostModel::ananta_usd(double total_gbps) const {
+  return static_cast<double>(ananta_smuxes(total_gbps)) * smux_server_usd;
+}
+
+double CostModel::duet_usd(std::size_t backstop_smuxes) const {
+  return static_cast<double>(backstop_smuxes) * smux_server_usd + controller_usd;
+}
+
+double CostModel::hardware_lb_usd(double total_gbps) const {
+  return std::max(0.0, total_gbps) * hw_lb_usd_per_gbps * hw_lb_redundancy;
+}
+
+double CostModel::fleet_fraction(std::size_t smuxes, std::size_t dc_servers) const {
+  DUET_CHECK(dc_servers > 0) << "empty datacenter";
+  return static_cast<double>(smuxes) / static_cast<double>(dc_servers);
+}
+
+}  // namespace duet

@@ -1,0 +1,46 @@
+// Deployment cost model (§1, §2.2, §3.3.2).
+//
+// The paper's economic claims, made computable:
+//   * "handling 15 Tbps traffic requires over 4000 SMuxes, costing over USD
+//     10 million" — i.e. a commodity SMux server is ~$2,500 and serves
+//     3.6 Gbps; an Ananta deployment's cost is linear in traffic;
+//   * "4K SMuxes, or 10% of the DC size; which is unacceptable";
+//   * traditional hardware load balancers are "very expensive" appliances
+//     deployed 1+1 (§10: "typically only provide 1+1 availability");
+//   * Duet's HMuxes are free — they are the switches the DC already bought —
+//     so Duet pays only for its (small) SMux backstop and the controller.
+#pragma once
+
+#include <cstddef>
+
+namespace duet {
+
+struct CostModel {
+  // Commodity server hosting one SMux: $10M / 4000 (§1).
+  double smux_server_usd = 2'500.0;
+  // Dedicated hardware LB appliance cost per Gbps of capacity. Mid-2010s
+  // list prices for 40-100 Gbps appliances land around $100-250K per box.
+  double hw_lb_usd_per_gbps = 2'500.0;
+  // 1+1 deployment: every appliance is paired (§10).
+  double hw_lb_redundancy = 2.0;
+  // Duet controller + monitoring: a handful of commodity servers.
+  double controller_usd = 10'000.0;
+  double smux_capacity_gbps = 3.6;
+
+  // Ananta: enough SMuxes for the full traffic.
+  double ananta_usd(double total_gbps) const;
+  std::size_t ananta_smuxes(double total_gbps) const;
+
+  // Duet: the backstop SMux pool (sized by the §8.2 provisioning rule, so
+  // the caller passes the count) plus the controller. HMuxes cost $0.
+  double duet_usd(std::size_t backstop_smuxes) const;
+
+  // Traditional hardware load balancer tier for the same traffic.
+  double hardware_lb_usd(double total_gbps) const;
+
+  // Server-count overhead of an SMux fleet relative to a DC of `dc_servers`
+  // (§2.2's "10% of the DC size" check).
+  double fleet_fraction(std::size_t smuxes, std::size_t dc_servers) const;
+};
+
+}  // namespace duet

@@ -1,0 +1,67 @@
+#include "duet/fanout.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+FanoutPlan plan_fanout(Ipv4Address vip, const std::vector<Ipv4Address>& dips,
+                       Ipv4Address tip_base, const std::vector<SwitchId>& hosts,
+                       std::size_t max_per_partition) {
+  DUET_CHECK(!dips.empty()) << "fanout with no DIPs";
+  DUET_CHECK(!hosts.empty()) << "fanout with no host switches";
+  DUET_CHECK(max_per_partition > 0) << "empty partitions";
+
+  FanoutPlan plan;
+  plan.vip = vip;
+  std::uint32_t next_tip = tip_base.value();
+  for (std::size_t begin = 0; begin < dips.size(); begin += max_per_partition) {
+    FanoutPartition part;
+    part.tip = Ipv4Address{next_tip++};
+    part.host_switch = hosts[plan.partitions.size() % hosts.size()];
+    const std::size_t end = std::min(begin + max_per_partition, dips.size());
+    part.dips.assign(dips.begin() + static_cast<std::ptrdiff_t>(begin),
+                     dips.begin() + static_cast<std::ptrdiff_t>(end));
+    plan.partitions.push_back(std::move(part));
+  }
+  // The primary switch needs one tunneling entry per TIP; the plan itself
+  // must respect the same 512 cap.
+  DUET_CHECK(plan.partitions.size() <= max_per_partition)
+      << "too many partitions (" << plan.partitions.size() << ") for one VIP";
+  return plan;
+}
+
+bool install_fanout(const FanoutPlan& plan, SwitchDataPlane& primary,
+                    std::unordered_map<SwitchId, SwitchDataPlane*>& dataplanes) {
+  // 1. TIP entries on the partition hosts.
+  std::vector<std::pair<SwitchDataPlane*, Ipv4Address>> installed;
+  for (const auto& part : plan.partitions) {
+    const auto it = dataplanes.find(part.host_switch);
+    DUET_CHECK(it != dataplanes.end() && it->second != nullptr)
+        << "no data plane for switch " << part.host_switch;
+    if (!it->second->install_tip(part.tip, part.dips)) {
+      for (auto& [dp, tip] : installed) dp->remove_vip(tip);
+      return false;
+    }
+    installed.emplace_back(it->second, part.tip);
+  }
+  // 2. The VIP on the primary, pointing at the TIPs.
+  std::vector<Ipv4Address> tips;
+  tips.reserve(plan.partitions.size());
+  for (const auto& part : plan.partitions) tips.push_back(part.tip);
+  if (!primary.install_vip(plan.vip, tips)) {
+    for (auto& [dp, tip] : installed) dp->remove_vip(tip);
+    return false;
+  }
+  return true;
+}
+
+void remove_fanout(const FanoutPlan& plan, SwitchDataPlane& primary,
+                   std::unordered_map<SwitchId, SwitchDataPlane*>& dataplanes) {
+  primary.remove_vip(plan.vip);
+  for (const auto& part : plan.partitions) {
+    const auto it = dataplanes.find(part.host_switch);
+    if (it != dataplanes.end() && it->second != nullptr) it->second->remove_vip(part.tip);
+  }
+}
+
+}  // namespace duet

@@ -1,0 +1,56 @@
+// Large-fanout VIP support via TIP indirection (§5.2, Fig 7).
+//
+// The tunneling table caps an HMux at 512 DIPs per VIP. For bigger backends
+// the DIP set is split into partitions of ≤512; each partition gets a
+// transient IP (TIP) assigned — like a VIP — to some switch. The primary
+// HMux's tunneling entries point at the TIPs; a packet is encapsulated to a
+// TIP, routed there, decapsulated, re-encapsulated to a DIP of that
+// partition, and forwarded. Two line-rate passes support up to 512 × 512 =
+// 262,144 DIPs per VIP at negligible extra propagation delay.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "net/ip.h"
+#include "topo/topology.h"
+
+namespace duet {
+
+struct FanoutPartition {
+  Ipv4Address tip;
+  SwitchId host_switch = kInvalidSwitch;  // switch the TIP is assigned to
+  std::vector<Ipv4Address> dips;
+};
+
+struct FanoutPlan {
+  Ipv4Address vip;
+  std::vector<FanoutPartition> partitions;
+
+  std::size_t total_dips() const {
+    std::size_t n = 0;
+    for (const auto& p : partitions) n += p.dips.size();
+    return n;
+  }
+};
+
+// Splits `dips` into partitions of at most `max_per_partition`, allocating
+// TIP addresses sequentially from `tip_base` and hosting partition i on
+// `hosts[i % hosts.size()]`. hosts must be non-empty; dips must fit in
+// hosts.size()*... (checked by install, not plan).
+FanoutPlan plan_fanout(Ipv4Address vip, const std::vector<Ipv4Address>& dips,
+                       Ipv4Address tip_base, const std::vector<SwitchId>& hosts,
+                       std::size_t max_per_partition = 512);
+
+// Programs the plan: the primary switch gets the VIP with TIP targets; each
+// partition's host switch gets a TIP entry (decap + re-encap). `dataplanes`
+// maps switch id -> its data plane. All-or-nothing: rolls back on failure.
+bool install_fanout(const FanoutPlan& plan, SwitchDataPlane& primary,
+                    std::unordered_map<SwitchId, SwitchDataPlane*>& dataplanes);
+
+// Removes everything the plan installed.
+void remove_fanout(const FanoutPlan& plan, SwitchDataPlane& primary,
+                   std::unordered_map<SwitchId, SwitchDataPlane*>& dataplanes);
+
+}  // namespace duet

@@ -1,0 +1,68 @@
+#include "duet/health.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+void HealthMonitor::watch(Ipv4Address vip, Ipv4Address dip, double t_us) {
+  Entry e;
+  e.healthy = true;
+  e.last_heartbeat_us = t_us;
+  entries_.insert_or_assign(Key{vip, dip}, e);
+}
+
+void HealthMonitor::unwatch(Ipv4Address vip, Ipv4Address dip) {
+  entries_.erase(Key{vip, dip});
+}
+
+void HealthMonitor::transition(const Key& key, Entry& e, bool healthy, double t_us) {
+  if (e.healthy == healthy) return;
+  e.healthy = healthy;
+  pending_.push_back(HealthTransition{key.vip, key.dip, healthy, t_us});
+}
+
+void HealthMonitor::report_probe(Ipv4Address vip, Ipv4Address dip, bool ok, double t_us) {
+  const Key key{vip, dip};
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // stale report after unwatch
+  Entry& e = it->second;
+  e.last_heartbeat_us = t_us;
+  if (ok) {
+    e.consecutive_misses = 0;
+    if (!e.healthy && ++e.consecutive_successes >= params_.recover_after) {
+      e.consecutive_successes = 0;
+      transition(key, e, true, t_us);
+    }
+  } else {
+    e.consecutive_successes = 0;
+    if (e.healthy && ++e.consecutive_misses >= params_.fail_after_missed) {
+      e.consecutive_misses = 0;
+      transition(key, e, false, t_us);
+    }
+  }
+}
+
+void HealthMonitor::advance_time(double t_us) {
+  const double deadline =
+      params_.heartbeat_interval_us * static_cast<double>(params_.fail_after_missed);
+  for (auto& [key, e] : entries_) {
+    if (e.healthy && t_us - e.last_heartbeat_us > deadline) {
+      DUET_LOG_DEBUG << "DIP " << key.dip.to_string() << " silent for "
+                     << (t_us - e.last_heartbeat_us) / 1e6 << "s; marking down";
+      transition(key, e, false, t_us);
+    }
+  }
+}
+
+bool HealthMonitor::is_healthy(Ipv4Address vip, Ipv4Address dip) const {
+  const auto it = entries_.find(Key{vip, dip});
+  return it != entries_.end() && it->second.healthy;
+}
+
+std::vector<HealthTransition> HealthMonitor::poll() {
+  std::vector<HealthTransition> out;
+  out.swap(pending_);
+  return out;
+}
+
+}  // namespace duet

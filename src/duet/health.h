@@ -1,0 +1,87 @@
+// DIP health monitoring (§5.1, §6).
+//
+// "The DUET controller monitors DIP health and removes failed DIP from the
+// set of DIPs for the corresponding VIP" — fed by the host agents, which
+// probe their local DIPs and report per-VIP health periodically.
+//
+// The monitor is deliberately hysteretic: one missed heartbeat must not
+// trigger a DIP removal, because on an HMux a removal remaps the failed
+// member's flows (resilient hashing) and on re-addition the VIP must bounce
+// through the SMuxes (§5.2) — flapping would thrash connections. A DIP goes
+// DOWN after `fail_after_missed` consecutive misses (or heartbeat silence of
+// the same span) and UP again only after `recover_after` consecutive
+// successes.
+//
+// Pure deterministic state machine: time is an explicit parameter so the
+// event-driven simulators and the tests drive it precisely.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace duet {
+
+struct HealthParams {
+  double heartbeat_interval_us = 1e6;  // host agents probe every second
+  std::size_t fail_after_missed = 3;
+  std::size_t recover_after = 2;
+};
+
+struct HealthTransition {
+  Ipv4Address vip;
+  Ipv4Address dip;
+  bool healthy = false;  // new state
+  double at_us = 0.0;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthParams params = {}) : params_(params) {}
+
+  // Registers a (vip, dip) pair as healthy at time t.
+  void watch(Ipv4Address vip, Ipv4Address dip, double t_us);
+  void unwatch(Ipv4Address vip, Ipv4Address dip);
+
+  // A host agent's probe result for its local DIP.
+  void report_probe(Ipv4Address vip, Ipv4Address dip, bool ok, double t_us);
+
+  // Advances the clock: a DIP whose last heartbeat is older than
+  // fail_after_missed * heartbeat_interval is treated as silently dead
+  // (host crashed — no agent left to report failures).
+  void advance_time(double t_us);
+
+  bool is_healthy(Ipv4Address vip, Ipv4Address dip) const;
+  std::size_t watched_count() const noexcept { return entries_.size(); }
+
+  // Drains state transitions accumulated since the last poll — what the
+  // controller applies via report_dip_health.
+  std::vector<HealthTransition> poll();
+
+ private:
+  struct Key {
+    Ipv4Address vip, dip;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<Ipv4Address>{}(k.vip) * 1000003 ^ std::hash<Ipv4Address>{}(k.dip);
+    }
+  };
+  struct Entry {
+    bool healthy = true;
+    std::size_t consecutive_misses = 0;
+    std::size_t consecutive_successes = 0;
+    double last_heartbeat_us = 0.0;
+  };
+
+  void transition(const Key& key, Entry& e, bool healthy, double t_us);
+
+  HealthParams params_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::vector<HealthTransition> pending_;
+};
+
+}  // namespace duet

@@ -1,0 +1,2 @@
+// Hmux is header-only; this TU compiles the header standalone.
+#include "duet/hmux.h"

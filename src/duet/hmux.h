@@ -1,0 +1,50 @@
+// Hardware Mux (HMux): a fabric switch acting as a load balancer (§3.1).
+//
+// Thin binding of a SwitchDataPlane to its place in the topology, plus the
+// performance constants the simulations need. All the table mechanics live
+// in dataplane/; all the routing announcements are made by the controller.
+#pragma once
+
+#include <memory>
+
+#include "dataplane/pipeline.h"
+#include "duet/config.h"
+#include "topo/topology.h"
+
+namespace duet {
+
+class Hmux {
+ public:
+  Hmux(SwitchId switch_id, FlowHasher hasher, const DuetConfig& config)
+      : switch_id_(switch_id),
+        config_(config),
+        dataplane_(hasher,
+                   TableSizes{config.host_table_capacity, config.ecmp_table_capacity,
+                              config.tunnel_table_capacity, kDefaultAclTableCapacity},
+                   // Loopback identity used as the outer source of encaps.
+                   Ipv4Address{192, 0, 2, 1}) {}
+
+  SwitchId switch_id() const noexcept { return switch_id_; }
+  SwitchDataPlane& dataplane() noexcept { return dataplane_; }
+  const SwitchDataPlane& dataplane() const noexcept { return dataplane_; }
+
+  // Residual DIP slots: min of free ECMP and tunneling entries (§3.1).
+  std::size_t free_dip_slots() const {
+    return std::min(dataplane_.free_ecmp_entries(), dataplane_.free_tunnel_entries());
+  }
+
+  // Data-plane added latency: switches forward at line rate (§7.1), so this
+  // is a constant microsecond-scale cost regardless of offered load, up to
+  // the line-rate capacity.
+  double added_latency_us(double offered_gbps) const {
+    return offered_gbps <= config_.hmux_capacity_gbps ? config_.hmux_latency_us
+                                                      : config_.smux_overload_latency_us;
+  }
+
+ private:
+  SwitchId switch_id_;
+  DuetConfig config_;
+  SwitchDataPlane dataplane_;
+};
+
+}  // namespace duet

@@ -1,0 +1,51 @@
+#include "duet/host_agent.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet {
+
+void HostAgent::add_local_dip(Ipv4Address vip, Ipv4Address dip) {
+  auto& dips = local_dips_[vip];
+  if (std::find(dips.begin(), dips.end(), dip) == dips.end()) dips.push_back(dip);
+}
+
+bool HostAgent::remove_local_dip(Ipv4Address vip, Ipv4Address dip) {
+  const auto it = local_dips_.find(vip);
+  if (it == local_dips_.end()) return false;
+  auto& dips = it->second;
+  const auto pos = std::find(dips.begin(), dips.end(), dip);
+  if (pos == dips.end()) return false;
+  dips.erase(pos);
+  if (dips.empty()) local_dips_.erase(it);
+  return true;
+}
+
+std::optional<Ipv4Address> HostAgent::deliver(Packet& packet) {
+  if (!packet.encapsulated()) return std::nullopt;
+  if (packet.outer().outer_dst != host_ip_) return std::nullopt;
+  packet.decapsulate();
+
+  const auto it = local_dips_.find(packet.tuple().dst);
+  if (it == local_dips_.end()) {
+    DUET_LOG_DEBUG << "HA " << host_ip_.to_string() << ": no local DIP for VIP "
+                   << packet.tuple().dst.to_string();
+    return std::nullopt;
+  }
+  const auto& dips = it->second;
+  // Several local DIPs (VMs): the HA selects by hashing the 5-tuple (§5.2).
+  const Ipv4Address chosen =
+      dips[hasher_.bucket(packet.tuple(), static_cast<std::uint32_t>(dips.size()))];
+  ++delivered_packets_;
+  delivered_bytes_ += packet.size_bytes();
+  return chosen;
+}
+
+Packet HostAgent::direct_server_return(Ipv4Address vip, Packet response) const {
+  DUET_CHECK(!response.encapsulated()) << "DSR on an encapsulated packet";
+  response.tuple().src = vip;  // client sees the VIP it connected to
+  return response;
+}
+
+}  // namespace duet

@@ -1,0 +1,64 @@
+// Host Agent (HA), as in Ananta (§2.1) plus Duet's extensions (§5.2, §6).
+//
+// Runs on every server. Data-plane duties:
+//   * decapsulate arriving IP-in-IP packets and deliver to the local DIP
+//     (or, in virtualized clusters, hash the inner 5-tuple to pick among the
+//     VMs/DIPs hosted on this machine — the HMux encapsulated to the host IP
+//     and left the final choice to the HA, Fig 6);
+//   * direct server return (DSR): rewrite outgoing source DIP→VIP and send
+//     straight to the client, bypassing every mux (§2.1);
+//   * SNAT source-port selection with the shared hash (duet/snat.h);
+//   * traffic metering reported to the controller (§6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/hash.h"
+#include "net/packet.h"
+
+namespace duet {
+
+class HostAgent {
+ public:
+  HostAgent(Ipv4Address host_ip, FlowHasher hasher) : host_ip_(host_ip), hasher_(hasher) {}
+
+  Ipv4Address host_ip() const noexcept { return host_ip_; }
+
+  // Registers a DIP hosted on this machine (a VM's address, or the host
+  // address itself in bare-metal clusters) serving the given VIP.
+  void add_local_dip(Ipv4Address vip, Ipv4Address dip);
+  bool remove_local_dip(Ipv4Address vip, Ipv4Address dip);
+
+  // --- inbound ------------------------------------------------------------------
+  // Handles a packet whose outer destination is this host. Decapsulates,
+  // picks the local DIP (hashing among them when the host runs several, Fig
+  // 6), rewrites nothing else — the inner destination stays the VIP so the
+  // server sees the connection the client opened. Returns the chosen DIP, or
+  // nullopt when the packet is not for a VIP we host (dropped).
+  std::optional<Ipv4Address> deliver(Packet& packet);
+
+  // --- outbound (DSR) --------------------------------------------------------------
+  // Rewrites the source of a response from the DIP to the VIP and returns it
+  // for direct transmission to the client (bypassing all muxes).
+  Packet direct_server_return(Ipv4Address vip, Packet response) const;
+
+  // --- metering (§6: "the host agents perform traffic metering") -----------------
+  std::uint64_t delivered_packets() const noexcept { return delivered_packets_; }
+  std::uint64_t delivered_bytes() const noexcept { return delivered_bytes_; }
+  void reset_meters() noexcept { delivered_packets_ = 0; delivered_bytes_ = 0; }
+
+  const FlowHasher& hasher() const noexcept { return hasher_; }
+
+ private:
+  Ipv4Address host_ip_;
+  FlowHasher hasher_;
+  // VIP -> DIPs hosted on this machine.
+  std::unordered_map<Ipv4Address, std::vector<Ipv4Address>> local_dips_;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace duet

@@ -1,0 +1,33 @@
+#include "duet/migration.h"
+
+namespace duet {
+
+MigrationPlan plan_migration(const Assignment& from, const Assignment& to,
+                             const std::vector<VipDemand>& demands) {
+  MigrationPlan plan;
+  for (const auto& d : demands) {
+    plan.total_gbps += d.total_gbps;
+    const auto old_home = from.switch_of(d.id);
+    const auto new_home = to.switch_of(d.id);
+    if (old_home == new_home) continue;  // includes SMux->SMux (both nullopt)
+
+    VipMove move;
+    move.vip = d.id;
+    move.from = old_home;
+    move.to = new_home;
+    move.gbps = d.total_gbps;
+    if (old_home && new_home) {
+      move.kind = MoveKind::kHmuxToHmux;
+      plan.shuffled_gbps += d.total_gbps;  // transits SMux as stepping stone
+    } else if (old_home) {
+      move.kind = MoveKind::kHmuxToSmux;
+      plan.shuffled_gbps += d.total_gbps;  // lands on SMux (and stays)
+    } else {
+      move.kind = MoveKind::kSmuxToHmux;   // already on SMux; no extra transit
+    }
+    plan.moves.push_back(move);
+  }
+  return plan;
+}
+
+}  // namespace duet

@@ -1,0 +1,52 @@
+// VIP migration planning (§4.2).
+//
+// Moving a VIP between HMuxes cannot be done make-before-break: both
+// switches would need the VIP's DIP entries simultaneously, and with table
+// occupancies like Fig 4 (two VIPs at 60 % memory each, swapping homes)
+// there is no feasible order — a transitional memory deadlock. Duet instead
+// migrates *through the SMuxes*: withdraw the VIP from its old switch
+// (traffic falls to the SMux backstop, connections survive because the hash
+// is shared), then announce it from the new switch. The SMux pool must
+// therefore be provisioned for the transit traffic, which is why the Sticky
+// assignment's migration-traffic reduction (Fig 20b) directly cuts the
+// number of SMuxes needed (Fig 20c).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "duet/assignment.h"
+#include "workload/demand.h"
+
+namespace duet {
+
+enum class MoveKind : std::uint8_t {
+  kHmuxToHmux,  // withdraw old, transit SMux, announce new
+  kHmuxToSmux,  // withdraw old; SMux keeps it
+  kSmuxToHmux,  // announce new; no SMux transit needed (already there)
+};
+
+struct VipMove {
+  VipId vip = 0;
+  MoveKind kind = MoveKind::kHmuxToHmux;
+  std::optional<SwitchId> from;  // nullopt = SMux pool
+  std::optional<SwitchId> to;
+  double gbps = 0.0;
+};
+
+struct MigrationPlan {
+  std::vector<VipMove> moves;
+  double total_gbps = 0.0;      // total VIP traffic this epoch
+  double shuffled_gbps = 0.0;   // traffic that transits SMuxes mid-migration
+                                // (kHmuxToHmux + kHmuxToSmux moves)
+  double shuffled_fraction() const {
+    return total_gbps <= 0.0 ? 0.0 : shuffled_gbps / total_gbps;
+  }
+  std::size_t move_count() const { return moves.size(); }
+};
+
+// Diffs two assignments over the epoch's demands.
+MigrationPlan plan_migration(const Assignment& from, const Assignment& to,
+                             const std::vector<VipDemand>& demands);
+
+}  // namespace duet

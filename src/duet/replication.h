@@ -1,0 +1,81 @@
+// VIP replication across multiple HMuxes — the §9 road-not-taken.
+//
+// "As hinted in §3.3, it may be possible to handle failover and migration by
+// replicating VIP entries in multiple HMuxes. We continue to investigate
+// this approach, although our initial exploration shows that the resulting
+// design is far more complex than our current design."
+//
+// This module implements that alternative so its trade-off can be measured
+// (bench_ablation_replication):
+//   * each VIP is installed on R switches, all announcing the same /32 —
+//     anycast; upstream ECMP splits the VIP's traffic across the replicas;
+//   * connections are safe across replicas for free: every replica builds
+//     the identical resilient-hash group from the identical DIP list and the
+//     shared FlowHasher, so whichever replica a flow lands on picks the same
+//     DIP (§3.3.1 generalized);
+//   * a single switch/container failure now spills only the traffic of VIPs
+//     that lost their LAST replica — anti-affinity places replicas in
+//     distinct containers, so container failures spill (almost) nothing;
+//   * the price: R× switch-memory consumption per VIP, so fewer VIPs fit on
+//     HMuxes, and R× the control-plane updates per VIP event — the
+//     complexity the paper chose the SMux backstop over.
+//
+// Modelling note: each ingress's traffic is assumed to split evenly across
+// the R replicas. In a symmetric FatTree with anycast ECMP this is close to
+// exact for Core/Agg replicas; for ToR replicas the split skews towards the
+// nearest replica, which this model ignores.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "duet/assignment.h"
+
+namespace duet {
+
+struct ReplicatedAssignment {
+  // Every placed VIP has exactly `replication` distinct homes.
+  std::unordered_map<VipId, std::vector<SwitchId>> placement;
+  std::vector<VipId> on_smux;
+
+  double hmux_gbps = 0.0;
+  double smux_gbps = 0.0;
+  double mru = 0.0;
+  std::vector<std::size_t> switch_dips_used;
+
+  bool on_hmux(VipId v) const { return placement.contains(v); }
+  double hmux_fraction() const {
+    const double t = hmux_gbps + smux_gbps;
+    return t <= 0.0 ? 0.0 : hmux_gbps / t;
+  }
+};
+
+struct ReplicationOptions {
+  std::size_t replicas = 2;
+  // Require replicas to live in distinct containers (Core switches count as
+  // their own singleton domain), so one container failure cannot take every
+  // replica of a VIP.
+  bool container_anti_affinity = true;
+};
+
+class ReplicatedAssigner {
+ public:
+  ReplicatedAssigner(const FatTree& fabric, AssignmentOptions options,
+                     ReplicationOptions replication);
+
+  ReplicatedAssignment assign(const std::vector<VipDemand>& demands) const;
+
+ private:
+  const FatTree* fabric_;
+  AssignmentOptions options_;
+  ReplicationOptions replication_;
+  EcmpRouting routing_;
+};
+
+// Failover under the §8.2 model when every VIP has R replicas: traffic
+// spills to the SMuxes only for VIPs whose every replica died.
+FailoverAnalysis analyze_failover_replicated(const FatTree& fabric,
+                                             const std::vector<VipDemand>& demands,
+                                             const ReplicatedAssignment& assignment);
+
+}  // namespace duet

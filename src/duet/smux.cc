@@ -1,0 +1,149 @@
+#include "duet/smux.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+std::uint64_t port_rule_key(Ipv4Address vip, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(vip.value()) << 16) | port;
+}
+}  // namespace
+
+Smux::VipEntry Smux::build_entry(const std::vector<Ipv4Address>& dips,
+                                 const std::vector<std::uint32_t>& weights,
+                                 std::uint64_t salt) {
+  DUET_CHECK(!dips.empty()) << "VIP with no DIPs";
+  DUET_CHECK(weights.empty() || weights.size() == dips.size())
+      << "weights/dips size mismatch";
+  VipEntry entry;
+  // WCMP slot expansion, identical to the switch's tunneling-table layout.
+  for (std::size_t i = 0; i < dips.size(); ++i) {
+    const std::uint32_t w = weights.empty() ? 1 : weights[i];
+    DUET_CHECK(w > 0) << "zero WCMP weight";
+    for (std::uint32_t r = 0; r < w; ++r) entry.dips.push_back(dips[i]);
+  }
+  entry.group = ResilientHashGroup(entry.dips.size(), 4, salt);
+  return entry;
+}
+
+void Smux::set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
+                   const std::vector<std::uint32_t>& weights) {
+  vips_.insert_or_assign(vip, build_entry(dips, weights, vip_group_salt(vip.value())));
+}
+
+void Smux::set_port_rule(Ipv4Address vip, std::uint16_t dst_port,
+                         std::vector<Ipv4Address> dips) {
+  // Same salt derivation as SwitchDataPlane::install_port_rule.
+  const std::uint64_t salt =
+      vip_group_salt(vip.value()) ^ (std::uint64_t{dst_port} * 0x100000001ULL);
+  port_rules_.insert_or_assign(port_rule_key(vip, dst_port), build_entry(dips, {}, salt));
+}
+
+bool Smux::remove_port_rule(Ipv4Address vip, std::uint16_t dst_port) {
+  return port_rules_.erase(port_rule_key(vip, dst_port)) > 0;
+}
+
+bool Smux::remove_vip(Ipv4Address vip) {
+  if (vips_.erase(vip) == 0) return false;
+  for (auto it = flow_table_.begin(); it != flow_table_.end();) {
+    it = (it->first.dst == vip) ? flow_table_.erase(it) : std::next(it);
+  }
+  return true;
+}
+
+std::size_t Smux::expire_flows(double now_us, double idle_us) {
+  std::size_t evicted = 0;
+  for (auto it = flow_table_.begin(); it != flow_table_.end();) {
+    if (now_us - it->second.last_seen_us > idle_us) {
+      it = flow_table_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void Smux::add_dip(Ipv4Address vip, Ipv4Address dip) {
+  auto it = vips_.find(vip);
+  DUET_CHECK(it != vips_.end()) << "add_dip on unknown VIP " << vip.to_string();
+  it->second.dips.push_back(dip);
+  it->second.group.add_member();
+  // Existing connections keep their flow-table pins — no remapping (§5.2).
+}
+
+void Smux::remove_dip(Ipv4Address vip, Ipv4Address dip) {
+  auto it = vips_.find(vip);
+  DUET_CHECK(it != vips_.end()) << "remove_dip on unknown VIP " << vip.to_string();
+  auto& entry = it->second;
+  DUET_CHECK(entry.group.member_count() > 1) << "removing last DIP of " << vip.to_string();
+  // Kill every member slot carrying this DIP (slots stay in place so the
+  // survivors' buckets — and flows — are untouched, as on the switch).
+  for (std::uint32_t slot = 0; slot < entry.dips.size(); ++slot) {
+    if (entry.dips[slot] == dip && entry.group.member_alive(slot)) {
+      entry.group.remove_member(slot);
+    }
+  }
+  // Connections to the removed DIP necessarily terminate (§5.1).
+  for (auto fit = flow_table_.begin(); fit != flow_table_.end();) {
+    fit = (fit->first.dst == vip && fit->second.dip == dip) ? flow_table_.erase(fit)
+                                                            : std::next(fit);
+  }
+}
+
+bool Smux::process(Packet& packet, double now_us) {
+  // Port-specific pool first (the ACL stage of the switch pipeline, Fig 8).
+  const VipEntry* entry = nullptr;
+  const auto pit = port_rules_.find(port_rule_key(packet.tuple().dst, packet.tuple().dst_port));
+  if (pit != port_rules_.end()) {
+    entry = &pit->second;
+  } else {
+    const auto vit = vips_.find(packet.tuple().dst);
+    if (vit == vips_.end()) return false;
+    entry = &vit->second;
+  }
+
+  Ipv4Address chosen;
+  const auto pin = flow_table_.find(packet.tuple());
+  if (pin != flow_table_.end()) {
+    chosen = pin->second.dip;
+    pin->second.last_seen_us = now_us;
+  } else {
+    // First packet: the exact bucket layout every HMux computes (§3.3.1).
+    chosen = entry->dips[entry->group.select(hasher_.hash(packet.tuple()))];
+    flow_table_.emplace(packet.tuple(), FlowPin{chosen, now_us});
+  }
+  packet.encapsulate(EncapHeader{self_, chosen});
+  return true;
+}
+
+double Smux::cpu_percent(double offered_pps) const {
+  return std::min(100.0, utilization(offered_pps) * 100.0);
+}
+
+double Smux::median_added_latency_us(double rho) const {
+  if (rho > 1.02) return config_.smux_overload_latency_us;
+  // M/M/1-style inflation of the no-load median, clamped at the overload
+  // plateau where the NIC queue caps the wait.
+  const double inflated = config_.smux_base_latency_us / std::max(0.05, 1.0 - 0.9 * rho);
+  return std::min(inflated, config_.smux_overload_latency_us);
+}
+
+double Smux::sample_added_latency_us(double rho, Rng& rng) const {
+  const double median = median_added_latency_us(rho);
+  if (rho > 1.02) {
+    // Saturated: queue-dominated, narrow distribution around the plateau.
+    return median * rng.uniform_real(0.8, 1.3);
+  }
+  // Lognormal around the median: exp(mu) = median.
+  const double mu = std::log(median);
+  const double sample = rng.lognormal(mu, config_.smux_latency_sigma);
+  // Physical floor: software forwarding can't beat ~40 us even when lucky.
+  return std::max(40.0, std::min(sample, config_.smux_overload_latency_us * 1.5));
+}
+
+}  // namespace duet

@@ -1,0 +1,118 @@
+// Software Mux (SMux) model, after Ananta (§2.1–2.2).
+//
+// An SMux holds the complete VIP→DIP mapping in main memory (no practical
+// capacity limit on the number of VIPs/DIPs), selects DIPs with the shared
+// FlowHasher, and encapsulates in software. What software costs is latency
+// and throughput, calibrated to Fig 1:
+//   * per-packet added latency is lognormal: median 196 µs at no load with a
+//     heavy tail (p90 ≈ 1 ms), inflating as the CPU approaches saturation;
+//   * the CPU saturates at 300 Kpps (3.6 Gbps @1500 B); beyond that queues
+//     build and latency jumps to tens of milliseconds (Fig 11).
+//
+// Unlike an HMux, an SMux keeps per-connection state, so DIP addition does
+// not remap existing connections (§5.2) — modelled by the flow-table pin.
+//
+// DIP selection note: "same hash function" (§3.3.1) must mean the same
+// *bucket layout*, not just the same 64-bit mix — the switch maps flows via
+// a resilient-hash bucket array, so the SMux replicates exactly that
+// structure (ResilientHashGroup) for first-packet decisions. Otherwise a
+// VIP failing over between mux types would remap every connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/resilient_hash.h"
+#include "duet/config.h"
+#include "net/hash.h"
+#include "net/packet.h"
+#include "util/random.h"
+
+namespace duet {
+
+class Smux {
+ public:
+  Smux(std::uint32_t id, FlowHasher hasher, const DuetConfig& config,
+       Ipv4Address self = Ipv4Address{192, 0, 2, 100})
+      : id_(id), hasher_(hasher), config_(config), self_(self) {}
+
+  std::uint32_t id() const noexcept { return id_; }
+
+  // --- VIP-DIP reconfiguration (SMuxes hold ALL VIPs, §3.3.1) ----------------
+  // Optional WCMP weights (§5.2): the member-slot expansion (a DIP with
+  // weight w occupies w slots) replicates the switch's layout exactly, so
+  // weighted VIPs keep the cross-device agreement invariant too.
+  void set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
+               const std::vector<std::uint32_t>& weights = {});
+
+  // Port-based LB (§5.2): a (vip, dst_port)-specific DIP pool, mirroring the
+  // ACL rule the HMux programs. Consulted before the VIP-wide pool.
+  void set_port_rule(Ipv4Address vip, std::uint16_t dst_port, std::vector<Ipv4Address> dips);
+  bool remove_port_rule(Ipv4Address vip, std::uint16_t dst_port);
+  bool remove_vip(Ipv4Address vip);
+  // DIP addition: existing connections stay pinned via the flow table.
+  void add_dip(Ipv4Address vip, Ipv4Address dip);
+  // DIP removal: pinned flows to other DIPs survive; flows to the removed DIP
+  // are unpinned (connections terminate, §5.1).
+  void remove_dip(Ipv4Address vip, Ipv4Address dip);
+
+  bool has_vip(Ipv4Address vip) const { return vips_.contains(vip); }
+  std::size_t vip_count() const noexcept { return vips_.size(); }
+
+  // --- data plane ---------------------------------------------------------------
+  // Encapsulates toward a DIP; returns false when the VIP is unknown.
+  // Consults (and populates) the per-connection flow table. `now_us` stamps
+  // the pin for idle expiry.
+  bool process(Packet& packet, double now_us = 0.0);
+
+  // Evicts connection pins idle for longer than `idle_us` — production
+  // SMuxes garbage-collect their flow tables or they grow without bound
+  // under churny traffic. Returns the number of pins evicted. Safe: an
+  // evicted live flow re-pins to the SAME DIP (the hash is deterministic)
+  // unless the DIP set changed in between.
+  std::size_t expire_flows(double now_us, double idle_us);
+
+  // --- performance model ----------------------------------------------------------
+  // Offered load as a fraction of CPU capacity.
+  double utilization(double offered_pps) const {
+    return offered_pps / config_.smux_capacity_pps;
+  }
+  // CPU% shown in Fig 1(b).
+  double cpu_percent(double offered_pps) const;
+  // Median added latency at the given utilization (µs).
+  double median_added_latency_us(double rho) const;
+  // One latency sample (µs) from the lognormal tail at the given utilization.
+  double sample_added_latency_us(double rho, Rng& rng) const;
+
+  std::size_t flow_table_size() const noexcept { return flow_table_.size(); }
+
+ private:
+  struct VipEntry {
+    // Member slots; a removed DIP keeps its slot (dead) so surviving slots —
+    // and therefore surviving flows — never move, mirroring the switch.
+    std::vector<Ipv4Address> dips;
+    ResilientHashGroup group{1};
+  };
+
+  static VipEntry build_entry(const std::vector<Ipv4Address>& dips,
+                              const std::vector<std::uint32_t>& weights, std::uint64_t salt);
+
+  std::uint32_t id_;
+  FlowHasher hasher_;
+  DuetConfig config_;
+  Ipv4Address self_;
+  std::unordered_map<Ipv4Address, VipEntry> vips_;
+  struct FlowPin {
+    Ipv4Address dip;
+    double last_seen_us = 0.0;
+  };
+
+  // (vip << 16 | port) -> port-specific pool.
+  std::unordered_map<std::uint64_t, VipEntry> port_rules_;
+  // Connection pinning: 5-tuple -> chosen DIP + idle timestamp.
+  std::unordered_map<FiveTuple, FlowPin> flow_table_;
+};
+
+}  // namespace duet

@@ -1,0 +1,65 @@
+#include "duet/snat.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+SnatPortAllocator::SnatPortAllocator(FlowHasher hasher, std::uint16_t range_begin,
+                                     std::uint16_t range_end)
+    : SnatPortAllocator(hasher, PortRange{range_begin, range_end}) {}
+
+SnatPortAllocator::SnatPortAllocator(FlowHasher hasher, PortRange initial) : hasher_(hasher) {
+  DUET_CHECK(initial.begin < initial.end) << "empty SNAT port range";
+  ranges_.push_back(initial);
+}
+
+std::optional<std::uint16_t> SnatPortAllocator::allocate(Ipv4Address vip, Ipv4Address remote,
+                                                         std::uint16_t remote_port, IpProto proto,
+                                                         const LandsOnUs& lands_on_us) {
+  // The return packet the HMux will hash: remote -> vip, dst port = our pick.
+  FiveTuple ret;
+  ret.src = remote;
+  ret.dst = vip;
+  ret.src_port = remote_port;
+  ret.proto = proto;
+  for (const auto& range : ranges_) {
+    for (std::uint32_t p = range.begin; p < range.end; ++p) {
+      const auto port = static_cast<std::uint16_t>(p);
+      if (used_.contains(port)) continue;
+      ret.dst_port = port;
+      if (lands_on_us(ret)) {
+        used_.insert(port);
+        return port;
+      }
+    }
+  }
+  return std::nullopt;  // caller asks the controller for another block
+}
+
+std::optional<std::uint16_t> SnatPortAllocator::allocate_modulo(
+    Ipv4Address vip, Ipv4Address remote, std::uint16_t remote_port, IpProto proto,
+    std::uint32_t wanted_slot, std::uint32_t slot_count) {
+  DUET_CHECK(slot_count > 0) << "SNAT against empty ECMP group";
+  DUET_CHECK(wanted_slot < slot_count) << "wanted slot out of range";
+  return allocate(vip, remote, remote_port, proto, [&](const FiveTuple& t) {
+    return hasher_.bucket(t, slot_count) == wanted_slot;
+  });
+}
+
+void SnatPortAllocator::release(std::uint16_t port) { used_.erase(port); }
+
+void SnatPortAllocator::extend_range(std::uint16_t new_end) {
+  DUET_CHECK(!ranges_.empty() && new_end > ranges_.back().end) << "range extension must grow";
+  ranges_.back().end = new_end;
+}
+
+void SnatPortAllocator::add_range(PortRange range) {
+  DUET_CHECK(range.begin < range.end) << "empty SNAT port range";
+  for (const auto& r : ranges_) {
+    DUET_CHECK(range.end <= r.begin || range.begin >= r.end)
+        << "overlapping SNAT ranges would break return-traffic disjointness";
+  }
+  ranges_.push_back(range);
+}
+
+}  // namespace duet

@@ -1,0 +1,78 @@
+// SNAT with hash-steered source-port selection (§5.2).
+//
+// Outbound connections from a DIP must appear to come from the VIP, and the
+// *return* traffic for them arrives at whatever mux owns the VIP. An SMux
+// keeps per-connection state, but an HMux cannot — it will simply hash the
+// return packet's 5-tuple into the ECMP group. Duet therefore makes the host
+// agent choose the source port so that the return 5-tuple's hash lands on
+// exactly the ECMP slot that points back to this DIP. The HA can do this
+// because it shares the FlowHasher with every HMux.
+//
+// Like Ananta, the controller hands each DIP a disjoint port range; unlike
+// Ananta, the HA scans its range for a port whose hash matches instead of
+// picking an arbitrary free one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "duet/snat_manager.h"
+#include "net/hash.h"
+#include "net/packet.h"
+
+namespace duet {
+
+// A DIP's SNAT port allocator over the controller-assigned range
+// [range_begin, range_end).
+class SnatPortAllocator {
+ public:
+  SnatPortAllocator(FlowHasher hasher, std::uint16_t range_begin, std::uint16_t range_end);
+  SnatPortAllocator(FlowHasher hasher, PortRange initial);
+
+  // Picks a free source port for an outbound connection
+  //   (vip:port_chosen -> remote:remote_port)
+  // such that `lands_on_us(return_tuple)` is true for the RETURN packet
+  // (remote:remote_port -> vip:port_chosen). The predicate encodes "the
+  // HMux's ECMP stage maps this tuple to my DIP" — typically a probe of the
+  // same ResilientHashGroup the switch uses. Returns nullopt when the range
+  // has no free port with a matching hash (caller requests a bigger range).
+  using LandsOnUs = std::function<bool(const FiveTuple& return_tuple)>;
+  std::optional<std::uint16_t> allocate(Ipv4Address vip, Ipv4Address remote,
+                                        std::uint16_t remote_port, IpProto proto,
+                                        const LandsOnUs& lands_on_us);
+
+  // Convenience for plain modulo-N ECMP groups: the return tuple must hash
+  // to `wanted_slot` of `slot_count`.
+  std::optional<std::uint16_t> allocate_modulo(Ipv4Address vip, Ipv4Address remote,
+                                               std::uint16_t remote_port, IpProto proto,
+                                               std::uint32_t wanted_slot,
+                                               std::uint32_t slot_count);
+
+  void release(std::uint16_t port);
+
+  std::size_t ports_in_use() const noexcept { return used_.size(); }
+  std::size_t range_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : ranges_) n += r.size();
+    return n;
+  }
+
+  // Grows the last range (controller granted a contiguous extension).
+  void extend_range(std::uint16_t new_end);
+
+  // Adds a disjoint block granted by the SnatCoordinator (§5.2: "If an HA
+  // runs out of available ports, it receives another set").
+  void add_range(PortRange range);
+
+  std::size_t range_count() const noexcept { return ranges_.size(); }
+
+ private:
+  FlowHasher hasher_;
+  std::vector<PortRange> ranges_;
+  std::unordered_set<std::uint16_t> used_;
+};
+
+}  // namespace duet

@@ -1,0 +1,63 @@
+#include "duet/snat_manager.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+SnatCoordinator::SnatCoordinator(std::uint16_t block_size, std::uint16_t first_port)
+    : block_size_(block_size), first_port_(first_port) {
+  DUET_CHECK(block_size_ > 0) << "zero SNAT block size";
+}
+
+SnatCoordinator::VipSpace& SnatCoordinator::space(Ipv4Address vip) {
+  auto [it, inserted] = spaces_.try_emplace(vip);
+  if (inserted) it->second.next_fresh = first_port_;
+  return it->second;
+}
+
+std::optional<PortRange> SnatCoordinator::grant(Ipv4Address vip, Ipv4Address dip) {
+  VipSpace& sp = space(vip);
+  PortRange block;
+  if (!sp.free.empty()) {
+    block = sp.free.back();
+    sp.free.pop_back();
+  } else {
+    // Carve a fresh block; 65536 - next_fresh must fit a whole block.
+    const std::uint32_t begin = sp.next_fresh;
+    if (begin + block_size_ > 65536u) return std::nullopt;  // space exhausted
+    block = PortRange{static_cast<std::uint16_t>(begin),
+                      static_cast<std::uint16_t>(begin + block_size_)};
+    sp.next_fresh = static_cast<std::uint16_t>(begin + block_size_);
+    if (sp.next_fresh == 0) sp.next_fresh = 65535;  // wrapped: mark full
+  }
+  sp.held[dip].push_back(block);
+  return block;
+}
+
+void SnatCoordinator::release_all(Ipv4Address vip, Ipv4Address dip) {
+  const auto sit = spaces_.find(vip);
+  if (sit == spaces_.end()) return;
+  auto& sp = sit->second;
+  const auto hit = sp.held.find(dip);
+  if (hit == sp.held.end()) return;
+  for (const auto& block : hit->second) sp.free.push_back(block);
+  sp.held.erase(hit);
+}
+
+std::vector<PortRange> SnatCoordinator::ranges_of(Ipv4Address vip, Ipv4Address dip) const {
+  const auto sit = spaces_.find(vip);
+  if (sit == spaces_.end()) return {};
+  const auto hit = sit->second.held.find(dip);
+  return hit == sit->second.held.end() ? std::vector<PortRange>{} : hit->second;
+}
+
+std::size_t SnatCoordinator::free_blocks(Ipv4Address vip) const {
+  const auto sit = spaces_.find(vip);
+  if (sit == spaces_.end()) {
+    return (65536u - first_port_) / block_size_;
+  }
+  const auto& sp = sit->second;
+  return sp.free.size() + (65536u - sp.next_fresh) / block_size_;
+}
+
+}  // namespace duet

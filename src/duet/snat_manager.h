@@ -1,0 +1,66 @@
+// Controller-side SNAT port-range management (§5.2).
+//
+// "Like Ananta, DUET assigns disjoint port ranges to the DIPs … If an HA
+// runs out of available ports, it receives another set from the DUET
+// controller." The coordinator owns, per VIP, the 64K source-port space of
+// outbound connections that masquerade as that VIP, and hands out
+// fixed-size disjoint blocks to (vip, dip) host agents on demand. Blocks
+// return to the pool when a DIP leaves.
+//
+// Disjointness is the correctness property: two DIPs sharing a port could
+// both SNAT the same (vip, port) and the return traffic for one of them
+// would reach the other.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace duet {
+
+struct PortRange {
+  std::uint16_t begin = 0;  // inclusive
+  std::uint16_t end = 0;    // exclusive
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool contains(std::uint16_t p) const noexcept { return p >= begin && p < end; }
+  friend bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+class SnatCoordinator {
+ public:
+  // Blocks of `block_size` ports, allocated from [first_port, 65536).
+  // Ports below first_port are left for well-known services.
+  explicit SnatCoordinator(std::uint16_t block_size = 1024, std::uint16_t first_port = 1024);
+
+  // Grants the next free block of the VIP's port space to `dip`; nullopt
+  // when the space is exhausted.
+  std::optional<PortRange> grant(Ipv4Address vip, Ipv4Address dip);
+
+  // Returns every block held by (vip, dip) to the pool (DIP removal, §5.1).
+  void release_all(Ipv4Address vip, Ipv4Address dip);
+
+  // Blocks currently held by (vip, dip).
+  std::vector<PortRange> ranges_of(Ipv4Address vip, Ipv4Address dip) const;
+
+  // Free blocks remaining in the VIP's space.
+  std::size_t free_blocks(Ipv4Address vip) const;
+
+ private:
+  struct VipSpace {
+    std::vector<PortRange> free;  // LIFO free list
+    std::uint16_t next_fresh = 0;  // next never-allocated block start
+    std::unordered_map<Ipv4Address, std::vector<PortRange>> held;
+  };
+
+  VipSpace& space(Ipv4Address vip);
+
+  std::uint16_t block_size_;
+  std::uint16_t first_port_;
+  std::unordered_map<Ipv4Address, VipSpace> spaces_;
+};
+
+}  // namespace duet

@@ -1,0 +1,35 @@
+#include "duet/virtualized.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::vector<Ipv4Address> hmux_targets(const std::vector<VmPlacement>& placement) {
+  DUET_CHECK(!placement.empty()) << "virtualized VIP with no VMs";
+  std::vector<Ipv4Address> targets;
+  targets.reserve(placement.size());
+  for (const auto& vm : placement) targets.push_back(vm.host);
+  return targets;  // one HIP entry per VM — multiplicity is the splitting
+}
+
+void register_host_agents(Ipv4Address vip, const std::vector<VmPlacement>& placement,
+                          FlowHasher hasher,
+                          std::unordered_map<Ipv4Address, HostAgent>& agents) {
+  for (const auto& vm : placement) {
+    auto it = agents.find(vm.host);
+    if (it == agents.end()) {
+      it = agents.emplace(vm.host, HostAgent{vm.host, hasher}).first;
+    }
+    it->second.add_local_dip(vip, vm.vm);
+  }
+}
+
+bool install_virtualized_vip(Ipv4Address vip, const std::vector<VmPlacement>& placement,
+                             SwitchDataPlane& hmux,
+                             std::unordered_map<Ipv4Address, HostAgent>& agents) {
+  if (!hmux.install_vip(vip, hmux_targets(placement))) return false;
+  register_host_agents(vip, placement, hmux.hasher(), agents);
+  return true;
+}
+
+}  // namespace duet

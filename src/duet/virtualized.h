@@ -1,0 +1,48 @@
+// Virtualized clusters (§5.2, Fig 6).
+//
+// "In virtualized clusters, the HMux would have to encapsulate the packet
+// twice … So, we use HA in tandem with HMux. The HMux encapsulates the
+// packet with the IP of the host machine (HIP) that is hosting the DIP. The
+// HA on the DIP decapsulates the packet and forwards it to the right DIP
+// based on the VIP. If a host has multiple DIPs, the ECMP and tunneling
+// table on the HMux holds multiple entries for that HIP to ensure equal
+// splitting. At the host, the HA selects the DIP by hashing the 5-tuple."
+//
+// This module computes the switch-programming view of a VM placement — the
+// HIP target list with per-host multiplicity — and wires up the host agents.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "duet/host_agent.h"
+#include "net/ip.h"
+
+namespace duet {
+
+// One backend VM: its (virtual) DIP and the physical host carrying it.
+struct VmPlacement {
+  Ipv4Address host;  // HIP — what the HMux encapsulates to
+  Ipv4Address vm;    // DIP — what the HA delivers to
+};
+
+// The HMux-facing install list: every host appears once per VM it carries
+// (Fig 6: host 20.0.0.1 with two VMs owns tunneling entries 0 and 1), so
+// ECMP splits the VIP's traffic evenly across VMs, not across hosts.
+std::vector<Ipv4Address> hmux_targets(const std::vector<VmPlacement>& placement);
+
+// Registers every VM with its host's agent (creating agents on demand in
+// `agents`). After this, HostAgent::deliver() on the encap target completes
+// the second half of the split.
+void register_host_agents(Ipv4Address vip, const std::vector<VmPlacement>& placement,
+                          FlowHasher hasher,
+                          std::unordered_map<Ipv4Address, HostAgent>& agents);
+
+// Convenience: installs the VIP on the switch and wires the agents.
+// Returns false if the switch tables lack room.
+bool install_virtualized_vip(Ipv4Address vip, const std::vector<VmPlacement>& placement,
+                             SwitchDataPlane& hmux,
+                             std::unordered_map<Ipv4Address, HostAgent>& agents);
+
+}  // namespace duet

@@ -1,0 +1,3 @@
+// FlowHasher is header-only; this TU exists so the build exercises the header
+// standalone (include-what-you-use hygiene).
+#include "net/hash.h"

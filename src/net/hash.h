@@ -1,0 +1,55 @@
+// The shared flow hash.
+//
+// §3.3.1: "To ensure that existing connections do not break as a VIP migrates
+// from HMux to SMux or between HMuxes, all HMuxes and SMuxes use the same
+// hash function to select DIPs for a given VIP."  §5.2 (SNAT): the host agent
+// also knows this hash so it can pick a source port that lands on the desired
+// ECMP bucket.
+//
+// We model the switch's configurable hash as a seeded 64-bit mix over the
+// 5-tuple. A FlowHasher instance (seed) is distributed by the controller to
+// every HMux, SMux and host agent in a deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace duet {
+
+class FlowHasher {
+ public:
+  constexpr explicit FlowHasher(std::uint64_t seed = 0x5eedf00dcafef00dULL) noexcept
+      : seed_(seed) {}
+
+  // 64-bit hash over the full 5-tuple.
+  std::uint64_t hash(const FiveTuple& t) const noexcept {
+    std::uint64_t h = seed_;
+    h = mix(h ^ t.src.value());
+    h = mix(h ^ t.dst.value());
+    h = mix(h ^ (static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port));
+    h = mix(h ^ static_cast<std::uint64_t>(t.proto));
+    return h;
+  }
+
+  // Bucket index in [0, n). This is the value used to index the ECMP member
+  // table on the switch and the DIP list on an SMux — same everywhere.
+  std::uint32_t bucket(const FiveTuple& t, std::uint32_t n) const noexcept {
+    return n == 0 ? 0 : static_cast<std::uint32_t>(hash(t) % n);
+  }
+
+  constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+  friend bool operator==(const FlowHasher&, const FlowHasher&) = default;
+
+ private:
+  static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_;
+};
+
+}  // namespace duet

@@ -1,0 +1,61 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace duet {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned v = 0;
+    const auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255 || next == p) return std::nullopt;
+    value = (value << 8) | v;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, std::uint8_t length) noexcept
+    : address_(address.value() & prefix_mask(length)), length_(length) {}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const auto tail = text.substr(slash + 1);
+  const auto [next, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), length);
+  if (ec != std::errc{} || length > 32 || next != tail.data() + tail.size()) return std::nullopt;
+  return Ipv4Prefix{*addr, static_cast<std::uint8_t>(length)};
+}
+
+bool Ipv4Prefix::contains(Ipv4Address address) const noexcept {
+  return (address.value() & prefix_mask(length_)) == address_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const noexcept {
+  return other.length() >= length_ && contains(other.address());
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace duet

@@ -1,0 +1,90 @@
+// IPv4 addresses and prefixes.
+//
+// Duet's entire control plane speaks in terms of VIPs (/32 virtual IPs
+// announced by HMuxes), aggregate VIP prefixes (announced by SMuxes as the
+// backstop), and DIPs (direct IPs of backend servers). Everything is IPv4,
+// as in the paper.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace duet {
+
+// A plain IPv4 address. Value type, totally ordered, hashable.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept : value_(0) {}
+  constexpr explicit Ipv4Address(std::uint32_t host_order_value) noexcept
+      : value_(host_order_value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  // Parses dotted-quad "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_;  // host byte order
+};
+
+// A CIDR prefix. Bits below the prefix length are kept zeroed (canonical form)
+// so prefixes compare by value.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept : address_(), length_(0) {}
+  Ipv4Prefix(Ipv4Address address, std::uint8_t length) noexcept;
+
+  // A /32 host route — how HMuxes announce their assigned VIPs.
+  static Ipv4Prefix host_route(Ipv4Address address) noexcept { return {address, 32}; }
+
+  static std::optional<Ipv4Prefix> parse(std::string_view text) noexcept;
+
+  constexpr Ipv4Address address() const noexcept { return address_; }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+
+  bool contains(Ipv4Address address) const noexcept;
+  bool contains(const Ipv4Prefix& other) const noexcept;
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const noexcept = default;
+
+ private:
+  Ipv4Address address_;
+  std::uint8_t length_;
+};
+
+constexpr std::uint32_t prefix_mask(std::uint8_t length) noexcept {
+  return length == 0 ? 0u : (~0u << (32 - length));
+}
+
+}  // namespace duet
+
+template <>
+struct std::hash<duet::Ipv4Address> {
+  std::size_t operator()(const duet::Ipv4Address& a) const noexcept {
+    // Avalanche the 32-bit value; identity hash clusters VIPs allocated
+    // sequentially into the same unordered_map buckets.
+    std::uint64_t z = a.value() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+template <>
+struct std::hash<duet::Ipv4Prefix> {
+  std::size_t operator()(const duet::Ipv4Prefix& p) const noexcept {
+    return std::hash<duet::Ipv4Address>{}(p.address()) * 31 + p.length();
+  }
+};

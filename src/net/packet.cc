@@ -1,0 +1,24 @@
+#include "net/packet.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::string FiveTuple::to_string() const {
+  return src.to_string() + ":" + std::to_string(src_port) + "->" + dst.to_string() + ":" +
+         std::to_string(dst_port) + "/" + std::to_string(static_cast<int>(proto));
+}
+
+EncapHeader Packet::decapsulate() {
+  DUET_CHECK(!encap_.empty()) << "decapsulate on a plain packet";
+  EncapHeader h = encap_.back();
+  encap_.pop_back();
+  return h;
+}
+
+const EncapHeader& Packet::outer() const {
+  DUET_CHECK(!encap_.empty()) << "outer() on a plain packet";
+  return encap_.back();
+}
+
+}  // namespace duet

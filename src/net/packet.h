@@ -1,0 +1,102 @@
+// Packet model.
+//
+// We model exactly what the Duet data plane manipulates: the IP 5-tuple and a
+// stack of IP-in-IP encapsulation headers. Commodity switches can push at
+// most ONE encap header per pass (§5.2 — "today's switches cannot encapsulate
+// a single packet twice"); that limitation is enforced by the dataplane
+// pipeline, so the packet itself allows an arbitrary stack (the TIP
+// indirection of §5.2 produces depth-1 headers on two successive switches,
+// and the virtualized-cluster path produces HMux-encap + HA-delivered inner).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace duet {
+
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kIcmp = 1,
+  kIpInIp = 4,
+};
+
+// The inner-most connection identity. DIP selection hashes this, identically
+// on HMux, SMux and host agent, so connections survive mux migration (§3.3.1).
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  std::string to_string() const;
+};
+
+// One IP-in-IP outer header.
+struct EncapHeader {
+  Ipv4Address outer_src;
+  Ipv4Address outer_dst;
+
+  friend bool operator==(const EncapHeader&, const EncapHeader&) = default;
+};
+
+// A simulated packet. Value type; cheap to copy at probe-simulation scales.
+class Packet {
+ public:
+  Packet() = default;
+  Packet(FiveTuple tuple, std::uint32_t size_bytes)
+      : tuple_(tuple), size_bytes_(size_bytes) {}
+
+  const FiveTuple& tuple() const noexcept { return tuple_; }
+  FiveTuple& tuple() noexcept { return tuple_; }
+
+  std::uint32_t size_bytes() const noexcept { return size_bytes_; }
+  void set_size_bytes(std::uint32_t s) noexcept { size_bytes_ = s; }
+
+  // --- Encapsulation stack -------------------------------------------------
+  bool encapsulated() const noexcept { return !encap_.empty(); }
+  std::size_t encap_depth() const noexcept { return encap_.size(); }
+
+  void encapsulate(EncapHeader header) { encap_.push_back(header); }
+
+  // Pops the outermost header; precondition: encapsulated().
+  EncapHeader decapsulate();
+
+  const EncapHeader& outer() const;
+
+  // The address the network routes on: outermost encap dst if present,
+  // else the inner destination.
+  Ipv4Address routing_destination() const noexcept {
+    return encap_.empty() ? tuple_.dst : encap_.back().outer_dst;
+  }
+
+  // --- Bookkeeping used by the simulators ----------------------------------
+  // Cumulative latency experienced so far (microseconds).
+  double latency_us = 0.0;
+  // Hop count, for loop detection in the pipeline tests.
+  int hops = 0;
+
+ private:
+  FiveTuple tuple_;
+  std::uint32_t size_bytes_ = 1500;
+  std::vector<EncapHeader> encap_;
+};
+
+}  // namespace duet
+
+template <>
+struct std::hash<duet::FiveTuple> {
+  std::size_t operator()(const duet::FiveTuple& t) const noexcept {
+    std::size_t h = std::hash<duet::Ipv4Address>{}(t.src);
+    h = h * 1000003 ^ std::hash<duet::Ipv4Address>{}(t.dst);
+    h = h * 1000003 ^ t.src_port;
+    h = h * 1000003 ^ t.dst_port;
+    h = h * 1000003 ^ static_cast<std::size_t>(t.proto);
+    return h;
+  }
+};

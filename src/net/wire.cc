@@ -1,0 +1,131 @@
+#include "net/wire.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::size_t at, std::uint32_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 24);
+  out[at + 1] = static_cast<std::uint8_t>(v >> 16);
+  out[at + 2] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) | in[at + 3];
+}
+
+// Writes one IPv4 header at `at`, filling in the checksum.
+void write_header(std::vector<std::uint8_t>& out, std::size_t at, Ipv4Address src,
+                  Ipv4Address dst, std::uint8_t proto, std::uint16_t total_length) {
+  out[at + 0] = 0x45;  // version 4, IHL 5
+  out[at + 1] = 0;     // DSCP/ECN
+  put_u16(out, at + 2, total_length);
+  put_u16(out, at + 4, 0);  // identification
+  put_u16(out, at + 6, 0x4000);  // DF
+  out[at + 8] = 64;  // TTL
+  out[at + 9] = proto;
+  put_u16(out, at + 10, 0);  // checksum placeholder
+  put_u32(out, at + 12, src.value());
+  put_u32(out, at + 16, dst.value());
+  const std::uint16_t csum =
+      ipv4_header_checksum(std::span<const std::uint8_t>(out).subspan(at, kIpv4HeaderBytes));
+  put_u16(out, at + 10, csum);
+}
+
+}  // namespace
+
+std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header) {
+  DUET_CHECK(header.size() == kIpv4HeaderBytes) << "checksum over non-header";
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < header.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((header[i] << 8) | header[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> serialize_packet(const Packet& packet) {
+  const std::size_t layers = packet.encap_depth() + 1;
+  const std::size_t header_bytes = layers * kIpv4HeaderBytes + kPortStubBytes;
+  const std::size_t total = std::max<std::size_t>(header_bytes, packet.size_bytes());
+  std::vector<std::uint8_t> out(total, 0);
+
+  // Encap headers go on the wire outermost first; Packet exposes only the
+  // top of its stack, so peel a copy (depths are tiny — at most 2 in Duet).
+  Packet copy = packet;
+  std::vector<EncapHeader> stack;
+  while (copy.encapsulated()) stack.push_back(copy.decapsulate());
+  // stack is now outermost-first.
+  std::size_t at = 0;
+  for (const auto& h : stack) {
+    const auto remaining = static_cast<std::uint16_t>(total - at);
+    write_header(out, at, h.outer_src, h.outer_dst, static_cast<std::uint8_t>(IpProto::kIpInIp),
+                 remaining);
+    at += kIpv4HeaderBytes;
+  }
+  const auto& t = packet.tuple();
+  write_header(out, at, t.src, t.dst, static_cast<std::uint8_t>(t.proto),
+               static_cast<std::uint16_t>(total - at));
+  at += kIpv4HeaderBytes;
+  put_u16(out, at, t.src_port);
+  put_u16(out, at + 2, t.dst_port);
+  return out;
+}
+
+std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
+  std::vector<EncapHeader> stack;  // outermost-first
+  std::size_t at = 0;
+
+  for (int depth = 0; depth < 16; ++depth) {
+    if (bytes.size() < at + kIpv4HeaderBytes) return std::nullopt;
+    const auto header = bytes.subspan(at, kIpv4HeaderBytes);
+    if (header[0] != 0x45) return std::nullopt;  // version/IHL
+    if (ipv4_header_checksum(header) != 0) return std::nullopt;
+    const std::uint16_t total_length = get_u16(header, 2);
+    if (total_length < kIpv4HeaderBytes || at + total_length > bytes.size()) {
+      return std::nullopt;
+    }
+    const std::uint8_t proto = header[9];
+    const Ipv4Address src{get_u32(header, 12)};
+    const Ipv4Address dst{get_u32(header, 16)};
+
+    if (proto == static_cast<std::uint8_t>(IpProto::kIpInIp)) {
+      stack.push_back(EncapHeader{src, dst});
+      at += kIpv4HeaderBytes;
+      continue;
+    }
+
+    // Innermost layer: needs the port stub.
+    if (bytes.size() < at + kIpv4HeaderBytes + kPortStubBytes) return std::nullopt;
+    FiveTuple t;
+    t.src = src;
+    t.dst = dst;
+    t.proto = static_cast<IpProto>(proto);
+    t.src_port = get_u16(bytes, at + kIpv4HeaderBytes);
+    t.dst_port = get_u16(bytes, at + kIpv4HeaderBytes + 2);
+
+    Packet packet{t, static_cast<std::uint32_t>(bytes.size())};
+    // Re-apply encap innermost-first (reverse of parse order).
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) packet.encapsulate(*it);
+    return packet;
+  }
+  return std::nullopt;  // absurd nesting
+}
+
+}  // namespace duet

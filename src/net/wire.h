@@ -1,0 +1,43 @@
+// Wire-format serialization for simulated packets.
+//
+// The simulators pass Packet objects around; this module renders them as the
+// real bytes Duet's data plane manipulates — nested RFC 791 IPv4 headers
+// (protocol 4 = IP-in-IP for every encapsulation layer, exactly what the
+// switch tunneling table and the host agent's decap produce/consume) with a
+// minimal L4 stub carrying the ports. Round-tripping through wire format is
+// used by tests to pin down the encap semantics, and gives downstream users
+// a bridge to pcap-style tooling.
+//
+// Layout per layer (20-byte IPv4 header, no options):
+//   outermost encap header first, protocol = 4, payload = next layer;
+//   innermost header's protocol = the 5-tuple's proto, followed by a 4-byte
+//   port stub (src port, dst port, big-endian) and zero padding up to the
+//   packet's declared size (truncated if the declared size is smaller than
+//   the headers need).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace duet {
+
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+inline constexpr std::size_t kPortStubBytes = 4;
+
+// RFC 791 header checksum over a 20-byte header (checksum field zeroed by
+// the caller or included — including it over a valid header yields 0).
+std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header);
+
+// Renders the packet; total length covers all nested headers plus the port
+// stub plus payload padding to packet.size_bytes() (if room).
+std::vector<std::uint8_t> serialize_packet(const Packet& packet);
+
+// Parses bytes back into a Packet (validating version, IHL, checksums and
+// lengths). Returns nullopt on any malformation.
+std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace duet

@@ -1,0 +1,41 @@
+#include "routing/bgp.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+const Rib& RoutingFabric::rib(SwitchId viewer) const {
+  DUET_CHECK(viewer < ribs_.size()) << "rib viewer out of range: " << viewer;
+  return ribs_[viewer];
+}
+
+Rib& RoutingFabric::rib(SwitchId viewer) {
+  DUET_CHECK(viewer < ribs_.size()) << "rib viewer out of range: " << viewer;
+  return ribs_[viewer];
+}
+
+void RoutingFabric::announce_everywhere(Ipv4Prefix prefix, SwitchId origin) {
+  for (auto& r : ribs_) r.announce(prefix, origin);
+}
+
+void RoutingFabric::withdraw_everywhere(Ipv4Prefix prefix, SwitchId origin) {
+  for (auto& r : ribs_) r.withdraw(prefix, origin);
+}
+
+void RoutingFabric::fail_origin_everywhere(SwitchId origin) {
+  for (auto& r : ribs_) r.withdraw_all_from(origin);
+}
+
+void RoutingFabric::announce_at(SwitchId viewer, Ipv4Prefix prefix, SwitchId origin) {
+  rib(viewer).announce(prefix, origin);
+}
+
+void RoutingFabric::withdraw_at(SwitchId viewer, Ipv4Prefix prefix, SwitchId origin) {
+  rib(viewer).withdraw(prefix, origin);
+}
+
+void RoutingFabric::fail_origin_at(SwitchId viewer, SwitchId origin) {
+  rib(viewer).withdraw_all_from(origin);
+}
+
+}  // namespace duet

@@ -1,0 +1,71 @@
+// BGP-lite control plane.
+//
+// We do not model full BGP path selection — a Duet deployment runs a single
+// AS-internal fabric where every route is one-hop-best everywhere — but we do
+// model the parts the paper measures:
+//   * announce /32 (HMux VIP) and aggregate (SMux backstop) routes;
+//   * withdraw on VIP removal / HMux failure;
+//   * the TIME those operations take (Fig 14: the FIB insert/delete on the
+//     switch dominates end-to-end migration latency; BGP propagation adds
+//     tens of milliseconds; failure detection + convergence < 40 ms, §7.2).
+//
+// RoutingFabric keeps one Rib per switch. Converged-view mutators update all
+// views at once (what the large-scale flow simulations need); per-view
+// mutators let the event-driven probe simulator stage convergence over time.
+#pragma once
+
+#include <vector>
+
+#include "routing/rib.h"
+#include "util/random.h"
+
+namespace duet {
+
+// Control-plane latencies in microseconds, calibrated to §7.2 and Fig 14.
+struct ControlPlaneTimings {
+  // Switch-agent FIB programming (the dominant cost: "80-90% of the
+  // migration delay is due to the latency of adding/removing the VIP
+  // to/from the FIB").
+  double fib_vip_add_us = 380e3;
+  double fib_vip_delete_us = 340e3;
+  double fib_dip_add_us = 60e3;
+  double fib_dip_delete_us = 55e3;
+  // BGP update seen by other switches after a FIB change.
+  double bgp_update_us = 45e3;
+  // HMux failure: neighbor detection, then withdraw convergence. Fig 12
+  // measures the sum at ~38 ms.
+  double failure_detection_us = 15e3;
+  double failure_convergence_us = 23e3;
+  // Relative jitter applied to every sample (uniform ±fraction).
+  double jitter_frac = 0.15;
+
+  double sample(double base_us, Rng& rng) const {
+    return base_us * rng.uniform_real(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+};
+
+class RoutingFabric {
+ public:
+  explicit RoutingFabric(std::size_t switch_count) : ribs_(switch_count) {}
+
+  std::size_t view_count() const noexcept { return ribs_.size(); }
+
+  const Rib& rib(SwitchId viewer) const;
+  Rib& rib(SwitchId viewer);
+
+  // --- converged-view mutators ------------------------------------------------
+  void announce_everywhere(Ipv4Prefix prefix, SwitchId origin);
+  void withdraw_everywhere(Ipv4Prefix prefix, SwitchId origin);
+  // All routes from `origin` disappear from every view (origin switch died).
+  void fail_origin_everywhere(SwitchId origin);
+
+  // --- per-view mutators (staged convergence) ---------------------------------
+  void announce_at(SwitchId viewer, Ipv4Prefix prefix, SwitchId origin);
+  void withdraw_at(SwitchId viewer, Ipv4Prefix prefix, SwitchId origin);
+  void fail_origin_at(SwitchId viewer, SwitchId origin);
+
+ private:
+  std::vector<Rib> ribs_;
+};
+
+}  // namespace duet

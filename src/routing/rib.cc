@@ -1,0 +1,68 @@
+#include "routing/rib.h"
+
+#include <algorithm>
+
+namespace duet {
+
+void Rib::announce(Ipv4Prefix prefix, SwitchId origin) {
+  auto& set = by_length_[prefix.length()][prefix];
+  if (set.insert(origin).second) ++count_;
+}
+
+bool Rib::withdraw(Ipv4Prefix prefix, SwitchId origin) {
+  auto& bucket = by_length_[prefix.length()];
+  const auto it = bucket.find(prefix);
+  if (it == bucket.end()) return false;
+  if (it->second.erase(origin) == 0) return false;
+  --count_;
+  if (it->second.empty()) bucket.erase(it);
+  return true;
+}
+
+void Rib::withdraw_all_from(SwitchId origin) {
+  for (auto& bucket : by_length_) {
+    for (auto it = bucket.begin(); it != bucket.end();) {
+      if (it->second.erase(origin) > 0) --count_;
+      if (it->second.empty()) {
+        it = bucket.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::vector<SwitchId> Rib::lookup(Ipv4Address dst) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_length_[len];
+    if (bucket.empty()) continue;
+    const auto it = bucket.find(Ipv4Prefix{dst, static_cast<std::uint8_t>(len)});
+    if (it != bucket.end()) {
+      std::vector<SwitchId> out(it->second.begin(), it->second.end());
+      std::sort(out.begin(), out.end());  // deterministic ECMP ordering
+      return out;
+    }
+  }
+  return {};
+}
+
+std::optional<Ipv4Prefix> Rib::best_prefix(Ipv4Address dst) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_length_[len];
+    if (bucket.empty()) continue;
+    const Ipv4Prefix candidate{dst, static_cast<std::uint8_t>(len)};
+    if (bucket.contains(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::vector<SwitchId> Rib::origins(Ipv4Prefix prefix) const {
+  const auto& bucket = by_length_[prefix.length()];
+  const auto it = bucket.find(prefix);
+  if (it == bucket.end()) return {};
+  std::vector<SwitchId> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace duet

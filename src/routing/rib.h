@@ -1,0 +1,54 @@
+// Per-switch routing information base (RIB).
+//
+// Duet's traffic steering is plain BGP + LPM (§3.3.1):
+//   * each HMux announces /32 host routes for the VIPs assigned to it;
+//   * every SMux announces the covering VIP aggregates (e.g. 100.0.0.0/16);
+//   * longest-prefix match prefers the /32, so traffic reaches the HMux while
+//     it is alive and collapses onto the SMux pool the moment the /32 is
+//     withdrawn.
+//
+// A route's "origin" is the switch (or SMux's ToR) that announced it; a
+// prefix announced by several origins is an anycast route and lookup returns
+// the full origin set — upstream switches ECMP across them (this is exactly
+// how Ananta spreads VIP traffic over SMuxes, §2.1).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip.h"
+#include "topo/topology.h"
+
+namespace duet {
+
+class Rib {
+ public:
+  // Adds `origin` as a nexthop owner for `prefix`. Idempotent.
+  void announce(Ipv4Prefix prefix, SwitchId origin);
+
+  // Removes one origin. Returns true if the origin was present.
+  bool withdraw(Ipv4Prefix prefix, SwitchId origin);
+
+  // Removes every route originated by `origin` (switch death).
+  void withdraw_all_from(SwitchId origin);
+
+  // All origins of the longest matching prefix; empty when no route.
+  std::vector<SwitchId> lookup(Ipv4Address dst) const;
+
+  // The matched prefix itself (for tests / diagnostics).
+  std::optional<Ipv4Prefix> best_prefix(Ipv4Address dst) const;
+
+  // Origins currently announcing exactly this prefix.
+  std::vector<SwitchId> origins(Ipv4Prefix prefix) const;
+
+  std::size_t route_count() const noexcept { return count_; }
+
+ private:
+  // Origin sets bucketed by prefix length for LPM scans, longest-first.
+  std::unordered_map<Ipv4Prefix, std::unordered_set<SwitchId>> by_length_[33];
+  std::size_t count_ = 0;  // number of (prefix, origin) pairs
+};
+
+}  // namespace duet

@@ -1,0 +1,33 @@
+#include "sim/event.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+void EventQueue::schedule_at(double t_us, Action action) {
+  DUET_CHECK(t_us >= now_us_) << "scheduling into the past: " << t_us << " < " << now_us_;
+  queue_.push(Entry{t_us, next_seq_++, std::move(action)});
+}
+
+void EventQueue::run_until(double horizon_us) {
+  while (!queue_.empty() && queue_.top().t_us <= horizon_us) {
+    // Moving out of a priority_queue requires the const_cast dance; the entry
+    // is popped immediately after.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_us_ = e.t_us;
+    e.action();
+  }
+  now_us_ = std::max(now_us_, horizon_us);
+}
+
+void EventQueue::run() {
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_us_ = e.t_us;
+    e.action();
+  }
+}
+
+}  // namespace duet

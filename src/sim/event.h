@@ -1,0 +1,52 @@
+// Minimal discrete-event engine used by the testbed simulator.
+//
+// Times are in microseconds (double). Events scheduled for the same instant
+// run in scheduling order (stable via a sequence number) so control-plane
+// step sequences are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace duet {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  double now_us() const noexcept { return now_us_; }
+
+  void schedule_at(double t_us, Action action);
+  void schedule_after(double delay_us, Action action) {
+    schedule_at(now_us_ + delay_us, std::move(action));
+  }
+
+  // Runs events until the queue drains or the horizon is reached. Events
+  // scheduled beyond the horizon stay queued; now() advances to the horizon.
+  void run_until(double horizon_us);
+  // Drains everything.
+  void run();
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    double t_us;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.t_us > b.t_us || (a.t_us == b.t_us && a.seq > b.seq);
+    }
+  };
+
+  double now_us_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace duet

@@ -1,0 +1,41 @@
+#include "sim/failure.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+FailureScenario healthy_scenario() { return FailureScenario{"normal", {}, {}}; }
+
+FailureScenario random_switch_failure(const FatTree& fabric, std::size_t count, Rng& rng) {
+  DUET_CHECK(count < fabric.topo.switch_count()) << "cannot fail every switch";
+  FailureScenario s;
+  s.name = std::to_string(count) + "-switch";
+  while (s.failed_switches.size() < count) {
+    s.failed_switches.insert(static_cast<SwitchId>(rng.uniform(fabric.topo.switch_count())));
+  }
+  return s;
+}
+
+FailureScenario container_failure(const FatTree& fabric, ContainerId container) {
+  DUET_CHECK(container < fabric.params.containers) << "container out of range";
+  FailureScenario s;
+  s.name = "container-" + std::to_string(container);
+  for (const SwitchId sw : fabric.topo.switches_in_container(container)) {
+    s.failed_switches.insert(sw);
+  }
+  return s;
+}
+
+FailureScenario random_container_failure(const FatTree& fabric, Rng& rng) {
+  return container_failure(fabric,
+                           static_cast<ContainerId>(rng.uniform(fabric.params.containers)));
+}
+
+FailureScenario random_link_failure(const FatTree& fabric, Rng& rng) {
+  FailureScenario s;
+  s.name = "1-link";
+  s.failed_links.insert(static_cast<LinkId>(rng.uniform(fabric.topo.link_count())));
+  return s;
+}
+
+}  // namespace duet

@@ -1,0 +1,37 @@
+// Failure scenarios (§8.2, §8.5): "a container or up to 3 switches can fail
+// simultaneously" — the failure model the paper provisions SMuxes against
+// and stresses link utilization with (Fig 19).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "topo/fattree.h"
+#include "util/random.h"
+
+namespace duet {
+
+struct FailureScenario {
+  std::string name;
+  std::unordered_set<SwitchId> failed_switches;
+  std::unordered_set<LinkId> failed_links;
+
+  bool affects(SwitchId s) const { return failed_switches.contains(s); }
+  bool empty() const { return failed_switches.empty() && failed_links.empty(); }
+};
+
+// No failure.
+FailureScenario healthy_scenario();
+
+// `count` distinct random switches (any tier).
+FailureScenario random_switch_failure(const FatTree& fabric, std::size_t count, Rng& rng);
+
+// One whole container: every ToR and Agg inside it (§8.5: "all the switches
+// inside to be disconnected" and the traffic sourced/sunk inside vanishes).
+FailureScenario container_failure(const FatTree& fabric, ContainerId container);
+FailureScenario random_container_failure(const FatTree& fabric, Rng& rng);
+
+// A single random link.
+FailureScenario random_link_failure(const FatTree& fabric, Rng& rng);
+
+}  // namespace duet

@@ -1,0 +1,111 @@
+#include "sim/flowsim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet {
+
+FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                             const Assignment& assignment,
+                             const std::vector<SwitchId>& smux_tors,
+                             const FailureScenario& scenario) {
+  const Topology& topo = fabric.topo;
+  EcmpRouting routing{topo, scenario.failed_switches, scenario.failed_links};
+
+  FlowSimResult result;
+  result.link_load_gbps.assign(topo.link_count() * 2, 0.0);
+  // Cached unit flows: the SMux fallback path fans every leftover VIP out to
+  // every live SMux ToR, so the same (src, dst) pairs recur constantly.
+  const auto add_flow = [&](SwitchId from, SwitchId to, double gbps) {
+    for (const auto& [idx, frac] : routing.unit_flow(from, to)) {
+      result.link_load_gbps[idx] += gbps * frac;
+    }
+  };
+
+  // Live SMux attachment points.
+  std::vector<SwitchId> live_smux;
+  for (const SwitchId t : smux_tors) {
+    if (routing.switch_alive(t)) live_smux.push_back(t);
+  }
+
+  for (const auto& d : demands) {
+    if (d.total_gbps <= 0.0) continue;
+
+    // Sources that survived the failure.
+    double live_ingress = 0.0;
+    for (const auto& [ingress, gbps] : d.ingress_gbps) {
+      if (routing.switch_alive(ingress)) {
+        live_ingress += gbps;
+      } else {
+        result.vanished_gbps += gbps;
+      }
+    }
+    if (live_ingress <= 0.0) continue;
+
+    // Surviving DIP ToRs; dead ToRs' share redistributes (resilient hashing).
+    double live_dip_share = 0.0;
+    for (const auto& [tor, gbps] : d.dip_tor_gbps) {
+      if (routing.switch_alive(tor)) live_dip_share += gbps;
+    }
+    const bool deliverable = live_dip_share > 0.0;
+    // Scale so the surviving ToRs absorb the full live ingress volume.
+    const double redistribute =
+        deliverable ? (d.total_gbps / live_dip_share) * (live_ingress / d.total_gbps) : 0.0;
+
+    // Mux selection: HMux home if usable, else the SMux pool.
+    const auto home = assignment.switch_of(d.id);
+    const bool hmux_ok = home.has_value() && routing.switch_alive(*home);
+
+    // (mux switch, share of live ingress routed via it)
+    std::vector<std::pair<SwitchId, double>> muxes;
+    if (hmux_ok) {
+      muxes.emplace_back(*home, 1.0);
+      result.hmux_gbps += live_ingress;
+    } else {
+      if (live_smux.empty()) {
+        result.blackholed_gbps += live_ingress;
+        continue;
+      }
+      const double share = 1.0 / static_cast<double>(live_smux.size());
+      for (const SwitchId t : live_smux) muxes.emplace_back(t, share);
+      result.smux_gbps += live_ingress;
+    }
+
+    for (const auto& [mux, share] : muxes) {
+      // Ingress -> mux.
+      for (const auto& [ingress, gbps] : d.ingress_gbps) {
+        if (!routing.switch_alive(ingress)) continue;
+        if (!routing.reachable(ingress, mux)) {
+          result.blackholed_gbps += gbps * share;
+          continue;
+        }
+        add_flow(ingress, mux, gbps * share);
+      }
+      // Mux -> DIP ToRs.
+      if (!deliverable) {
+        result.blackholed_gbps += live_ingress * share;
+        continue;
+      }
+      for (const auto& [tor, gbps] : d.dip_tor_gbps) {
+        if (!routing.switch_alive(tor)) continue;
+        add_flow(mux, tor, gbps * redistribute * share);
+      }
+    }
+  }
+
+  // Max utilization against raw capacity.
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const double cap = topo.capacity_gbps(l);
+    for (int dir = 0; dir < 2; ++dir) {
+      const double util = result.link_load_gbps[l * 2 + dir] / cap;
+      if (util > result.max_link_utilization) {
+        result.max_link_utilization = util;
+        result.max_link = l;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace duet

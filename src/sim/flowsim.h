@@ -1,0 +1,49 @@
+// Flow-level network simulator.
+//
+// Routes every VIP's traffic through the fabric for a given assignment and
+// failure scenario, and reports per-link loads. This is the machinery behind
+// Fig 19 (max link utilization under failures) and the integration checks
+// that the assignment algorithm's incremental accounting matches a from-
+// scratch simulation.
+//
+// Semantics per VIP (all volumes in Gbps):
+//   * traffic sourced at a failed switch disappears (the sources died);
+//   * the VIP's mux is its HMux home if that switch is alive and reachable,
+//     otherwise the live SMuxes (each an equal ECMP share, §5.1);
+//   * from the mux, traffic fans out to the ToRs hosting the VIP's DIPs;
+//     DIPs behind failed ToRs are dead and their share redistributes over
+//     the surviving DIP ToRs (resilient hashing, §5.1); if none survive the
+//     traffic is blackholed at the mux;
+//   * DSR return traffic bypasses the muxes and is not modelled (§2.1).
+#pragma once
+
+#include <vector>
+
+#include "duet/assignment.h"
+#include "sim/failure.h"
+#include "topo/fattree.h"
+#include "topo/paths.h"
+#include "workload/demand.h"
+
+namespace duet {
+
+struct FlowSimResult {
+  // Directed link loads: index = link*2 + dir (dir 0 = a->b).
+  std::vector<double> link_load_gbps;
+  // Max utilization against RAW link capacity (the 20 % reservation of §4 is
+  // the safety margin Fig 19 shows being consumed).
+  double max_link_utilization = 0.0;
+  LinkId max_link = kInvalidLink;
+
+  double hmux_gbps = 0.0;        // delivered through HMuxes
+  double smux_gbps = 0.0;        // delivered through SMuxes
+  double vanished_gbps = 0.0;    // sources died with the failure
+  double blackholed_gbps = 0.0;  // no live DIP / unreachable mux
+};
+
+FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                             const Assignment& assignment,
+                             const std::vector<SwitchId>& smux_tors,
+                             const FailureScenario& scenario);
+
+}  // namespace duet

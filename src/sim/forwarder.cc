@@ -1,0 +1,147 @@
+#include "sim/forwarder.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::string to_string(ForwardOutcome outcome) {
+  switch (outcome) {
+    case ForwardOutcome::kDeliveredToHost:
+      return "delivered-to-host";
+    case ForwardOutcome::kDeliveredToSmux:
+      return "delivered-to-smux";
+    case ForwardOutcome::kBlackholed:
+      return "blackholed";
+    case ForwardOutcome::kDropped:
+      return "dropped";
+    case ForwardOutcome::kLooped:
+      return "looped";
+  }
+  return "?";
+}
+
+HopByHopForwarder::HopByHopForwarder(const Topology& topo, const RoutingFabric& views,
+                                     std::unordered_map<SwitchId, SwitchDataPlane*> dataplanes,
+                                     std::unordered_set<SwitchId> smux_tors,
+                                     std::unordered_set<SwitchId> failed_switches)
+    : topo_(&topo),
+      views_(&views),
+      dataplanes_(std::move(dataplanes)),
+      smux_tors_(std::move(smux_tors)),
+      failed_(std::move(failed_switches)),
+      routing_(std::make_unique<EcmpRouting>(topo, failed_,
+                                             std::unordered_set<LinkId>{})) {}
+
+void HopByHopForwarder::set_failed(std::unordered_set<SwitchId> failed) {
+  failed_ = std::move(failed);
+  routing_ = std::make_unique<EcmpRouting>(*topo_, failed_, std::unordered_set<LinkId>{});
+}
+
+SwitchId HopByHopForwarder::next_hop(SwitchId sw, SwitchId target, const Packet& packet) const {
+  const auto hops = routing_->next_hops(sw, target);
+  if (hops.empty()) return kInvalidSwitch;
+  // Hash the OUTER header identity plus the hop so parallel paths get used
+  // (the per-switch seed of real ECMP); deterministic per flow.
+  const std::uint64_t h =
+      path_hasher_.hash(packet.tuple()) ^
+      (static_cast<std::uint64_t>(packet.routing_destination().value()) << 20) ^ (sw * 0x9e37ULL);
+  return hops[h % hops.size()].neighbor;
+}
+
+ForwardResult HopByHopForwarder::forward(Packet& packet, SwitchId ingress) const {
+  ForwardResult result;
+  if (failed_.contains(ingress)) return result;  // source rack is dark
+
+  SwitchId current = ingress;
+  const std::size_t ttl = topo_->switch_count() + 8;
+
+  for (std::size_t hop = 0; hop <= ttl; ++hop) {
+    HopTrace trace;
+    trace.sw = current;
+
+    // 1. This switch's mux tables get first look (host-table stage).
+    const auto dp_it = dataplanes_.find(current);
+    if (dp_it != dataplanes_.end() && dp_it->second != nullptr) {
+      const auto verdict = dp_it->second->process(packet);
+      if (verdict == PipelineVerdict::kDropped) {
+        result.path.push_back(trace);
+        result.outcome = ForwardOutcome::kDropped;
+        return result;
+      }
+      trace.mux_processed = (verdict == PipelineVerdict::kEncapsulated);
+    }
+    result.path.push_back(trace);
+
+    const Ipv4Address dst = packet.routing_destination();
+
+    // 2. Destination is a server attached here: delivered.
+    const SwitchId dst_tor = topo_->tor_of(dst);
+    if (dst_tor == current) {
+      result.outcome = ForwardOutcome::kDeliveredToHost;
+      result.final_destination = dst;
+      result.final_switch = current;
+      return result;
+    }
+
+    // 3. Route lookup in THIS switch's RIB view.
+    SwitchId target;
+    if (dst_tor != kInvalidSwitch) {
+      // Server address: infrastructure routing (always converged).
+      target = dst_tor;
+    } else {
+      const auto& rib = views_->rib(current);
+      const auto prefix = rib.best_prefix(dst);
+      if (!prefix.has_value()) {
+        result.outcome = ForwardOutcome::kBlackholed;
+        return result;
+      }
+      const auto origins = rib.origins(*prefix);
+      DUET_CHECK(!origins.empty()) << "route with no origins";
+      // Anycast: pick the origin by flow hash (ECMP among equal routes).
+      target = origins[path_hasher_.hash(packet.tuple()) % origins.size()];
+      if (target == current) {
+        // We ARE the route's endpoint. A /32 endpoint whose tables no longer
+        // hold the VIP (mid-migration) falls through to its own next-best
+        // route; an aggregate endpoint is an SMux ToR: delivered.
+        if (prefix->length() == 32) {
+          // Stale self-route: withdraw hasn't reached our own FIB — treat as
+          // no route (the mux stage above already declined it).
+          result.outcome = ForwardOutcome::kBlackholed;
+          return result;
+        }
+        result.outcome = ForwardOutcome::kDeliveredToSmux;
+        result.final_switch = current;
+        return result;
+      }
+      if (prefix->length() != 32 && smux_tors_.contains(target) && target == current) {
+        result.outcome = ForwardOutcome::kDeliveredToSmux;
+        result.final_switch = current;
+        return result;
+      }
+    }
+
+    // 4. Dead or unreachable target: blackhole (the Fig 12 window).
+    if (failed_.contains(target) || !routing_->reachable(current, target)) {
+      result.outcome = ForwardOutcome::kBlackholed;
+      return result;
+    }
+    if (target == current) {
+      // An aggregate route terminating here (SMux ToR).
+      result.outcome = ForwardOutcome::kDeliveredToSmux;
+      result.final_switch = current;
+      return result;
+    }
+
+    // 5. Take one ECMP hop toward the target.
+    const SwitchId nh = next_hop(current, target, packet);
+    if (nh == kInvalidSwitch) {
+      result.outcome = ForwardOutcome::kBlackholed;
+      return result;
+    }
+    current = nh;
+  }
+  result.outcome = ForwardOutcome::kLooped;
+  return result;
+}
+
+}  // namespace duet

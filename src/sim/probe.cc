@@ -1,0 +1,294 @@
+#include "sim/probe.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet {
+
+TestbedSim::TestbedSim(FatTreeParams params, DuetConfig config, std::uint64_t seed)
+    : fabric_(build_fattree(params)),
+      config_(config),
+      hasher_(seed ^ 0xdecafbadULL),
+      rng_(seed),
+      views_(fabric_.topo.switch_count()) {
+  rebuild_routing();
+}
+
+void TestbedSim::rebuild_routing() {
+  routing_ = std::make_unique<EcmpRouting>(fabric_.topo, failed_, failed_links_);
+}
+
+Hmux& TestbedSim::ensure_hmux(SwitchId s) {
+  auto it = hmuxes_.find(s);
+  if (it == hmuxes_.end()) {
+    it = hmuxes_.emplace(s, std::make_unique<Hmux>(s, hasher_, config_)).first;
+  }
+  return *it->second;
+}
+
+std::uint32_t TestbedSim::deploy_smux(SwitchId tor) {
+  DUET_CHECK(fabric_.topo.switch_info(tor).role == SwitchRole::kTor)
+      << "SMux servers attach to ToRs";
+  SmuxInstance inst;
+  inst.id = static_cast<std::uint32_t>(smuxes_.size());
+  inst.tor = tor;
+  inst.mux = std::make_unique<Smux>(inst.id, hasher_, config_);
+  views_.announce_everywhere(aggregate_, tor);
+  for (const auto& [vip, st] : vips_) inst.mux->set_vip(vip, st.dips);
+  smuxes_.push_back(std::move(inst));
+  return smuxes_.back().id;
+}
+
+void TestbedSim::define_vip(Ipv4Address vip, std::vector<Ipv4Address> dips) {
+  DUET_CHECK(aggregate_.contains(vip)) << "VIP outside the SMux aggregate";
+  DUET_CHECK(!dips.empty()) << "VIP with no DIPs";
+  for (auto& inst : smuxes_) inst.mux->set_vip(vip, dips);
+  vips_[vip] = VipState{std::move(dips), std::nullopt, false};
+  samples_.try_emplace(vip);
+}
+
+void TestbedSim::assign_vip_to_hmux(Ipv4Address vip, SwitchId hmux) {
+  auto& st = vips_.at(vip);
+  DUET_CHECK(!st.home.has_value()) << "VIP already on an HMux; use schedule_migration";
+  DUET_CHECK(ensure_hmux(hmux).dataplane().install_vip(vip, st.dips))
+      << "HMux tables full during setup";
+  views_.announce_everywhere(Ipv4Prefix::host_route(vip), hmux);
+  st.home = hmux;
+}
+
+void TestbedSim::set_smux_offered_pps(double pps) { smux_offered_pps_ = pps; }
+
+void TestbedSim::schedule_smux_offered_pps(double t_us, double pps) {
+  events_.schedule_at(t_us, [this, pps] { smux_offered_pps_ = pps; });
+}
+
+void TestbedSim::schedule_smux_failure(double t_us, std::uint32_t smux_id) {
+  events_.schedule_at(t_us, [this, smux_id] {
+    for (auto& inst : smuxes_) {
+      if (inst.id != smux_id || !inst.alive) continue;
+      inst.alive = false;  // data plane dies now; flows hashed here are lost
+      // BGP detection + convergence later withdraws its aggregate route and
+      // ECMP re-spreads onto the survivors (§5.1).
+      const double delay = config_.timings.sample(
+          config_.timings.failure_detection_us + config_.timings.failure_convergence_us, rng_);
+      events_.schedule_after(delay, [this, smux_id] {
+        for (auto& i2 : smuxes_) {
+          if (i2.id == smux_id) {
+            i2.withdrawn = true;
+            views_.withdraw_everywhere(aggregate_, i2.tor);
+          }
+        }
+      });
+      return;
+    }
+    DUET_LOG_WARN << "unknown SMux id " << smux_id;
+  });
+}
+
+void TestbedSim::schedule_link_failure(double t_us, LinkId link) {
+  events_.schedule_at(t_us, [this, link] {
+    failed_links_.insert(link);
+    rebuild_routing();  // §5.1: non-isolating link failures just re-route
+  });
+}
+
+void TestbedSim::schedule_switch_failure(double t_us, SwitchId sw) {
+  events_.schedule_at(t_us, [this, sw] {
+    failed_.insert(sw);
+    rebuild_routing();
+    // Neighbors detect the death, withdrawals propagate; until then every
+    // RIB still points /32s at the corpse (the Fig 12 blackhole window).
+    const double delay = config_.timings.sample(
+        config_.timings.failure_detection_us + config_.timings.failure_convergence_us, rng_);
+    events_.schedule_after(delay, [this, sw] {
+      views_.fail_origin_everywhere(sw);
+      for (auto& [vip, st] : vips_) {
+        if (st.home == sw) st.home.reset();
+      }
+    });
+  });
+}
+
+void TestbedSim::do_withdraw(Ipv4Address vip, SwitchId from, std::optional<SwitchId> then_to) {
+  // Switch-agent work: clear the VIP route from the FIB, then the DIP
+  // entries. The FIB op dominates (§7.3).
+  const double t_vip = config_.timings.sample(config_.timings.fib_vip_delete_us, rng_);
+  const double t_dips = config_.timings.sample(config_.timings.fib_dip_delete_us, rng_);
+  ops_.delete_vip_us.push_back(t_vip);
+  ops_.delete_dips_us.push_back(t_dips);
+  events_.schedule_after(t_vip + t_dips, [this, vip, from, then_to] {
+    const auto it = hmuxes_.find(from);
+    if (it != hmuxes_.end()) it->second->dataplane().remove_vip(vip);
+    views_.withdraw_at(from, Ipv4Prefix::host_route(vip), from);
+    vips_.at(vip).home.reset();
+    // BGP withdraw propagates to the rest of the fabric.
+    const double t_bgp = config_.timings.sample(config_.timings.bgp_update_us, rng_);
+    ops_.vip_withdraw_us.push_back(t_bgp);
+    events_.schedule_after(t_bgp, [this, vip, from, then_to] {
+      views_.withdraw_everywhere(Ipv4Prefix::host_route(vip), from);
+      if (then_to.has_value()) {
+        do_announce(vip, *then_to);  // second wave of an HMux->HMux move
+      } else {
+        vips_.at(vip).migrating = false;
+      }
+    });
+  });
+}
+
+void TestbedSim::do_announce(Ipv4Address vip, SwitchId to) {
+  const double t_dips = config_.timings.sample(config_.timings.fib_dip_add_us, rng_);
+  const double t_vip = config_.timings.sample(config_.timings.fib_vip_add_us, rng_);
+  ops_.add_dips_us.push_back(t_dips);
+  ops_.add_vip_us.push_back(t_vip);
+  events_.schedule_after(t_dips + t_vip, [this, vip, to] {
+    auto& st = vips_.at(vip);
+    DUET_CHECK(ensure_hmux(to).dataplane().install_vip(vip, st.dips))
+        << "HMux tables full mid-migration";
+    views_.announce_at(to, Ipv4Prefix::host_route(vip), to);
+    const double t_bgp = config_.timings.sample(config_.timings.bgp_update_us, rng_);
+    ops_.vip_announce_us.push_back(t_bgp);
+    events_.schedule_after(t_bgp, [this, vip, to] {
+      views_.announce_everywhere(Ipv4Prefix::host_route(vip), to);
+      auto& state = vips_.at(vip);
+      state.home = to;
+      state.migrating = false;
+    });
+  });
+}
+
+void TestbedSim::schedule_migration(double t_us, Ipv4Address vip, std::optional<SwitchId> to) {
+  events_.schedule_at(t_us, [this, vip, to] {
+    auto& st = vips_.at(vip);
+    DUET_CHECK(!st.migrating) << "overlapping migrations for " << vip.to_string();
+    st.migrating = true;
+    if (st.home.has_value()) {
+      do_withdraw(vip, *st.home, to);  // H->S, or H->H via the SMuxes
+    } else if (to.has_value()) {
+      do_announce(vip, *to);  // S->H
+    } else {
+      st.migrating = false;  // S->S: nothing to do
+    }
+  });
+}
+
+TestbedSim::SmuxInstance* TestbedSim::pick_smux(const FiveTuple& t, SwitchId from) {
+  // ECMP spreads over the SMuxes whose aggregate route is still announced
+  // (withdrawal lags death by the BGP convergence window — flows hashed to
+  // a dead-but-not-yet-withdrawn SMux are lost, §5.1).
+  std::vector<SmuxInstance*> candidates;
+  for (auto& inst : smuxes_) {
+    if (!inst.withdrawn && !failed_.contains(inst.tor) && routing_->reachable(from, inst.tor)) {
+      candidates.push_back(&inst);
+    }
+  }
+  if (candidates.empty()) return nullptr;
+  return candidates[hasher_.bucket(t, static_cast<std::uint32_t>(candidates.size()))];
+}
+
+std::optional<double> TestbedSim::path_rtt_us(SwitchId src_tor,
+                                              const std::vector<SwitchId>& via_chain,
+                                              SwitchId dip_tor) const {
+  std::uint32_t hops = 0;
+  SwitchId cur = src_tor;
+  for (const SwitchId v : via_chain) {
+    const auto d = routing_->distance(cur, v);
+    if (d == kUnreachable) return std::nullopt;  // partitioned mid-path
+    hops += d;
+    cur = v;
+  }
+  const auto to_dip = routing_->distance(cur, dip_tor);
+  const auto back = routing_->distance(dip_tor, src_tor);  // DSR return
+  if (to_dip == kUnreachable || back == kUnreachable) return std::nullopt;
+  hops += to_dip + back;
+  return static_cast<double>(hops) * config_.probe_hop_us + config_.probe_stack_us;
+}
+
+ProbeSample TestbedSim::probe_once(Ipv4Address vip, Ipv4Address src_server) {
+  ProbeSample sample;
+  sample.t_us = events_.now_us();
+  sample.lost = true;
+
+  const SwitchId src_tor = fabric_.topo.tor_of(src_server);
+  DUET_CHECK(src_tor != kInvalidSwitch) << "probe source not attached";
+  if (failed_.contains(src_tor)) return sample;
+
+  Packet packet{FiveTuple{src_server, vip, probe_seq_++, 7, IpProto::kUdp}, 64};
+  if (probe_seq_ == 0) probe_seq_ = 1;
+
+  const Rib& rib = views_.rib(src_tor);
+  const auto prefix = rib.best_prefix(vip);
+  if (!prefix.has_value()) return sample;
+
+  const double rho = smux_offered_pps_ > 0.0
+                         ? smux_offered_pps_ / config_.smux_capacity_pps
+                         : 0.0;
+
+  if (prefix->length() == 32) {
+    const auto origins = rib.origins(*prefix);
+    DUET_CHECK(!origins.empty()) << "matched /32 with no origin";
+    const SwitchId o = origins.front();
+    // Stale route to a dead switch: the Fig 12 blackhole.
+    if (failed_.contains(o) || !routing_->reachable(src_tor, o)) return sample;
+
+    Hmux& hmux = ensure_hmux(o);
+    if (hmux.dataplane().process(packet) == PipelineVerdict::kEncapsulated) {
+      const SwitchId dip_tor = fabric_.topo.tor_of(packet.outer().outer_dst);
+      const auto rtt = path_rtt_us(src_tor, {o}, dip_tor);
+      if (!rtt.has_value()) return sample;
+      sample.lost = false;
+      sample.via = ProbeVia::kHmux;
+      sample.rtt_us = *rtt + config_.hmux_latency_us;
+      return sample;
+    }
+    // Mid-migration: the /32 still points here but the tables are clean —
+    // the switch forwards by its own RIB, i.e. the SMux aggregate.
+    SmuxInstance* smux = pick_smux(packet.tuple(), o);
+    if (smux == nullptr || !smux->alive || !smux->mux->process(packet)) return sample;
+    const SwitchId dip_tor = fabric_.topo.tor_of(packet.outer().outer_dst);
+    const auto rtt = path_rtt_us(src_tor, {o, smux->tor}, dip_tor);
+    if (!rtt.has_value()) return sample;
+    sample.lost = false;
+    sample.via = ProbeVia::kSmuxDetour;
+    sample.rtt_us = *rtt + smux->mux->sample_added_latency_us(rho, rng_);
+    return sample;
+  }
+
+  // Aggregate route: the SMux backstop.
+  SmuxInstance* smux = pick_smux(packet.tuple(), src_tor);
+  if (smux == nullptr || !smux->alive || !smux->mux->process(packet)) return sample;
+  const SwitchId dip_tor = fabric_.topo.tor_of(packet.outer().outer_dst);
+  const auto rtt = path_rtt_us(src_tor, {smux->tor}, dip_tor);
+  if (!rtt.has_value()) return sample;
+  sample.lost = false;
+  sample.via = ProbeVia::kSmux;
+  sample.rtt_us = *rtt + smux->mux->sample_added_latency_us(rho, rng_);
+  return sample;
+}
+
+void TestbedSim::start_probes(Ipv4Address vip, Ipv4Address src_server, double start_us,
+                              double end_us, double interval_us) {
+  DUET_CHECK(interval_us > 0.0) << "non-positive probe interval";
+  samples_.try_emplace(vip);
+  // Self-rescheduling probe loop.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, vip, src_server, end_us, interval_us, tick] {
+    samples_[vip].push_back(probe_once(vip, src_server));
+    const double next = events_.now_us() + interval_us;
+    if (next < end_us) events_.schedule_at(next, *tick);
+  };
+  events_.schedule_at(start_us, *tick);
+}
+
+const std::vector<ProbeSample>& TestbedSim::samples(Ipv4Address vip) const {
+  const auto it = samples_.find(vip);
+  DUET_CHECK(it != samples_.end()) << "no probes for " << vip.to_string();
+  return it->second;
+}
+
+bool TestbedSim::vip_on_hmux(Ipv4Address vip) const {
+  const auto p = views_.rib(0).best_prefix(vip);
+  return p.has_value() && p->length() == 32;
+}
+
+}  // namespace duet

@@ -1,0 +1,142 @@
+// Event-driven testbed simulator (the Fig 10 testbed experiments, §7).
+//
+// Reproduces the microbenchmarks that need a clock:
+//   * Fig 11 — per-mux capacity: probe latency to an unloaded VIP while the
+//     SMuxes carry 200K/400K pps, then after switching the VIPs to an HMux;
+//   * Fig 12 — availability during HMux failure: detection + BGP convergence
+//     leaves a ~38 ms blackhole window, after which the SMux backstop serves;
+//   * Fig 13 — availability during migration: the SMux stepping-stone makes
+//     migration lossless, with a visible latency bump while on software;
+//   * Fig 14 — the latency breakdown of migration operations.
+//
+// The simulator derives every probe's fate from actual state — per-switch
+// RIB views (routing/bgp.h) and real HMux/SMux table objects — rather than a
+// scripted timeline, so the control-plane sequencing bugs the paper warns
+// about (blackholes, memory deadlock) would show up as lost probes here.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "duet/config.h"
+#include "duet/hmux.h"
+#include "duet/smux.h"
+#include "routing/bgp.h"
+#include "sim/event.h"
+#include "topo/fattree.h"
+#include "topo/paths.h"
+
+namespace duet {
+
+enum class ProbeVia : std::uint8_t { kNone, kHmux, kSmux, kSmuxDetour };
+
+struct ProbeSample {
+  double t_us = 0.0;
+  double rtt_us = 0.0;
+  bool lost = false;
+  ProbeVia via = ProbeVia::kNone;
+};
+
+// Latency samples for each migration sub-operation (Fig 14).
+struct OpLatencies {
+  std::vector<double> add_dips_us, add_vip_us, vip_announce_us;
+  std::vector<double> delete_dips_us, delete_vip_us, vip_withdraw_us;
+};
+
+class TestbedSim {
+ public:
+  TestbedSim(FatTreeParams params, DuetConfig config, std::uint64_t seed = 1);
+
+  const FatTree& fabric() const noexcept { return fabric_; }
+  EventQueue& events() noexcept { return events_; }
+
+  // --- setup (instantaneous, at t=0 before running) ---------------------------
+  std::uint32_t deploy_smux(SwitchId tor);
+  // Registers the VIP on every SMux (the backstop path).
+  void define_vip(Ipv4Address vip, std::vector<Ipv4Address> dips);
+  // Installs + announces instantly (initial condition, not a timed migration).
+  void assign_vip_to_hmux(Ipv4Address vip, SwitchId hmux);
+
+  // Background load carried by each SMux / by the HMuxes, for the latency
+  // model (probes measure queueing they did not cause, as in Fig 11).
+  void set_smux_offered_pps(double pps);
+  void schedule_smux_offered_pps(double t_us, double pps);
+
+  // --- timed events -----------------------------------------------------------
+  void schedule_switch_failure(double t_us, SwitchId sw);
+  // SMux death (§5.1): switches detect it via BGP and ECMP onto the
+  // surviving SMuxes; existing connections keep their DIPs (shared hash).
+  void schedule_smux_failure(double t_us, std::uint32_t smux_id);
+  // Link failure (§5.1): "If a link failure isolates a switch, it is handled
+  // as a switch failure. Otherwise, it has no impact on availability."
+  void schedule_link_failure(double t_us, LinkId link);
+  // §4.2 migration through the SMuxes:
+  //   to == switch  : SMux->HMux announce (or HMux->HMux: withdraw old, land
+  //                   on SMux, then announce new);
+  //   to == nullopt : HMux->SMux withdraw only.
+  void schedule_migration(double t_us, Ipv4Address vip, std::optional<SwitchId> to);
+
+  // Ping `vip` from `src_server` every `interval_us` in [start_us, end_us).
+  void start_probes(Ipv4Address vip, Ipv4Address src_server, double start_us, double end_us,
+                    double interval_us);
+
+  void run_until(double t_us) { events_.run_until(t_us); }
+
+  // --- results ------------------------------------------------------------------
+  const std::vector<ProbeSample>& samples(Ipv4Address vip) const;
+  const OpLatencies& op_latencies() const noexcept { return ops_; }
+
+  // Current owner view, for assertions in tests.
+  bool vip_on_hmux(Ipv4Address vip) const;
+
+ private:
+  struct VipState {
+    std::vector<Ipv4Address> dips;
+    std::optional<SwitchId> home;  // intended HMux home
+    bool migrating = false;
+  };
+  struct SmuxInstance {
+    std::uint32_t id;
+    SwitchId tor;
+    std::unique_ptr<Smux> mux;
+    bool alive = true;       // data plane up?
+    bool withdrawn = false;  // aggregate route withdrawn after detection?
+  };
+
+  ProbeSample probe_once(Ipv4Address vip, Ipv4Address src_server);
+  // Path RTT in µs given one-way mux detour (hop counts are ToR-level);
+  // nullopt when any leg is partitioned away (the probe is lost).
+  std::optional<double> path_rtt_us(SwitchId src_tor, const std::vector<SwitchId>& via_chain,
+                                    SwitchId dip_tor) const;
+  void rebuild_routing();
+  Hmux& ensure_hmux(SwitchId s);
+  SmuxInstance* pick_smux(const FiveTuple& t, SwitchId from);
+
+  // Timed control-plane steps.
+  void do_withdraw(Ipv4Address vip, SwitchId from, std::optional<SwitchId> then_to);
+  void do_announce(Ipv4Address vip, SwitchId to);
+
+  FatTree fabric_;
+  DuetConfig config_;
+  FlowHasher hasher_;
+  Rng rng_;
+  EventQueue events_;
+  RoutingFabric views_;
+  std::unique_ptr<EcmpRouting> routing_;
+  std::unordered_set<SwitchId> failed_;
+  std::unordered_set<LinkId> failed_links_;
+
+  std::unordered_map<SwitchId, std::unique_ptr<Hmux>> hmuxes_;
+  std::vector<SmuxInstance> smuxes_;
+  std::unordered_map<Ipv4Address, VipState> vips_;
+  std::unordered_map<Ipv4Address, std::vector<ProbeSample>> samples_;
+  Ipv4Prefix aggregate_{Ipv4Address{100, 0, 0, 0}, 8};
+  double smux_offered_pps_ = 0.0;
+  OpLatencies ops_;
+  std::uint16_t probe_seq_ = 1;
+};
+
+}  // namespace duet

@@ -1,0 +1,83 @@
+// Parametric FatTree builders.
+//
+// Two concrete instances matter for the reproduction:
+//  * the production DC of §8.1 — 40 containers × (40 ToR + 4 Agg) + 40 Core,
+//    10 G ToR–Agg links, 40 G Agg–Core links, ~50 K servers; and
+//  * the testbed of Fig 10 — 2 containers × (2 ToR + 2 Agg) + 2 Core.
+//
+// Benches default to a scaled-down DC (same shape, fewer containers) so the
+// whole suite runs in minutes; `FatTreeParams::production()` restores the
+// paper's full size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace duet {
+
+struct FatTreeParams {
+  std::size_t containers = 40;
+  std::size_t tors_per_container = 40;
+  std::size_t aggs_per_container = 4;
+  std::size_t cores = 40;
+  std::size_t servers_per_tor = 32;     // ≈50K servers at production scale
+  double tor_agg_gbps = 10.0;
+  double agg_core_gbps = 40.0;
+  // Each Agg connects to cores [agg_index * stride ...] round-robin; with
+  // full mesh (stride 0 meaning "all"), every Agg uplinks to every Core.
+  bool full_core_mesh = true;
+
+  // §8.1 production datacenter.
+  static FatTreeParams production() { return FatTreeParams{}; }
+
+  // Same shape, fewer containers/ToRs: default for fast benches.
+  static FatTreeParams scaled(std::size_t containers = 8, std::size_t tors = 10,
+                              std::size_t cores = 8) {
+    FatTreeParams p;
+    p.containers = containers;
+    p.tors_per_container = tors;
+    p.cores = cores;
+    return p;
+  }
+
+  // Fig 10 testbed: 2 containers of 2 Agg + 2 ToR each, 2 Cores.
+  static FatTreeParams testbed() {
+    FatTreeParams p;
+    p.containers = 2;
+    p.tors_per_container = 2;
+    p.aggs_per_container = 2;
+    p.cores = 2;
+    p.servers_per_tor = 15;  // 60 servers across 4 ToRs
+    return p;
+  }
+
+  std::size_t total_switches() const {
+    return containers * (tors_per_container + aggs_per_container) + cores;
+  }
+  std::size_t total_servers() const { return containers * tors_per_container * servers_per_tor; }
+};
+
+// The built tree plus indexes into it that builders and benches need.
+struct FatTree {
+  Topology topo;
+  FatTreeParams params;
+  std::vector<SwitchId> tors;   // all ToRs, container-major order
+  std::vector<SwitchId> aggs;   // all Aggs, container-major order
+  std::vector<SwitchId> cores;  // all Cores
+
+  // Server IPs attached to each ToR (index parallel to `tors`).
+  std::vector<std::vector<Ipv4Address>> servers_by_tor;
+  // Flat list of all server IPs.
+  std::vector<Ipv4Address> servers;
+
+  // ToR index (into `tors`) hosting a server; convenience over topo.tor_of.
+  SwitchId tor_of(Ipv4Address server) const { return topo.tor_of(server); }
+};
+
+// Builds the tree. Server IPs are allocated from 10.0.0.0/8, one block per
+// ToR, so tests can predict addresses.
+FatTree build_fattree(const FatTreeParams& params);
+
+}  // namespace duet

@@ -1,0 +1,166 @@
+#include "topo/paths.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace duet {
+
+EcmpRouting::EcmpRouting(const Topology& topo, std::unordered_set<SwitchId> failed_switches,
+                         std::unordered_set<LinkId> failed_links)
+    : topo_(&topo),
+      failed_switches_(std::move(failed_switches)),
+      failed_links_(std::move(failed_links)),
+      dist_cache_(topo.switch_count()) {}
+
+bool EcmpRouting::link_alive(LinkId l) const noexcept {
+  if (failed_links_.contains(l)) return false;
+  const auto& li = topo_->link_info(l);
+  return switch_alive(li.a) && switch_alive(li.b);
+}
+
+const std::vector<std::uint32_t>& EcmpRouting::dist_field(SwitchId dst) const {
+  DUET_CHECK(dst < topo_->switch_count()) << "destination out of range";
+  auto& field = dist_cache_[dst];
+  if (!field.empty()) return field;
+
+  field.assign(topo_->switch_count(), kUnreachable);
+  if (!switch_alive(dst)) return field;  // everything unreachable
+  std::deque<SwitchId> queue;
+  field[dst] = 0;
+  queue.push_back(dst);
+  while (!queue.empty()) {
+    const SwitchId s = queue.front();
+    queue.pop_front();
+    for (const auto& adj : topo_->neighbors(s)) {
+      if (!link_alive(adj.link) || !switch_alive(adj.neighbor)) continue;
+      if (field[adj.neighbor] == kUnreachable) {
+        field[adj.neighbor] = field[s] + 1;
+        queue.push_back(adj.neighbor);
+      }
+    }
+  }
+  return field;
+}
+
+std::uint32_t EcmpRouting::distance(SwitchId s, SwitchId dst) const {
+  DUET_CHECK(s < topo_->switch_count()) << "source out of range";
+  if (!switch_alive(s)) return kUnreachable;
+  return dist_field(dst)[s];
+}
+
+std::vector<Adjacency> EcmpRouting::next_hops(SwitchId s, SwitchId dst) const {
+  std::vector<Adjacency> out;
+  const auto& field = dist_field(dst);
+  if (!switch_alive(s) || field[s] == kUnreachable || field[s] == 0) return out;
+  for (const auto& adj : topo_->neighbors(s)) {
+    if (!link_alive(adj.link) || !switch_alive(adj.neighbor)) continue;
+    if (field[adj.neighbor] + 1 == field[s]) out.push_back(adj);
+  }
+  return out;
+}
+
+void EcmpRouting::spread(SwitchId src, SwitchId dst, double amount, const SpreadCallback& cb) const {
+  if (amount <= 0.0 || src == dst) return;
+  const auto& field = dist_field(dst);
+  if (!switch_alive(src) || field[src] == kUnreachable) return;
+
+  // Epoch-stamped scratch: no per-call clearing or allocation.
+  if (inflow_.size() != topo_->switch_count()) {
+    inflow_.assign(topo_->switch_count(), 0.0);
+    stamp_.assign(topo_->switch_count(), 0);
+  }
+  const std::uint32_t epoch = ++epoch_;
+  auto touch = [&](SwitchId s) {
+    if (stamp_[s] != epoch) {
+      stamp_[s] = epoch;
+      inflow_[s] = 0.0;
+      dag_nodes_.push_back(s);
+    }
+  };
+
+  // Discover the ECMP DAG nodes (stack DFS), then process them in decreasing
+  // distance order — every edge goes dist d -> d-1, so each node's inflow is
+  // final before it is expanded.
+  dag_nodes_.clear();
+  touch(src);
+  inflow_[src] = amount;
+  for (std::size_t head = 0; head < dag_nodes_.size(); ++head) {
+    const SwitchId node = dag_nodes_[head];
+    if (field[node] == 0) continue;
+    for (const auto& adj : topo_->neighbors(node)) {
+      if (!link_alive(adj.link) || !switch_alive(adj.neighbor)) continue;
+      if (field[adj.neighbor] + 1 == field[node]) touch(adj.neighbor);
+    }
+  }
+  std::sort(dag_nodes_.begin(), dag_nodes_.end(),
+            [&field](SwitchId a, SwitchId b) { return field[a] > field[b]; });
+
+  for (const SwitchId node : dag_nodes_) {
+    if (field[node] == 0) continue;
+    const double a = inflow_[node];
+    if (a <= 0.0) continue;
+    // Count ECMP next hops, then deposit the even split.
+    std::size_t fanout = 0;
+    for (const auto& adj : topo_->neighbors(node)) {
+      if (!link_alive(adj.link) || !switch_alive(adj.neighbor)) continue;
+      if (field[adj.neighbor] + 1 == field[node]) ++fanout;
+    }
+    DUET_CHECK(fanout > 0) << "reachable node with no next hop";
+    const double share = a / static_cast<double>(fanout);
+    for (const auto& adj : topo_->neighbors(node)) {
+      if (!link_alive(adj.link) || !switch_alive(adj.neighbor)) continue;
+      if (field[adj.neighbor] + 1 == field[node]) {
+        cb(adj.link, node, share);
+        inflow_[adj.neighbor] += share;
+      }
+    }
+  }
+}
+
+std::span<const std::pair<std::uint64_t, double>> EcmpRouting::unit_flow(SwitchId src,
+                                                                          SwitchId dst) const {
+  const std::uint64_t key = static_cast<std::uint64_t>(src) * topo_->switch_count() + dst;
+  const auto it = unit_flow_cache_.find(key);
+  if (it != unit_flow_cache_.end()) return it->second;
+  std::vector<std::pair<std::uint64_t, double>> entries;
+  spread(src, dst, 1.0, [&](LinkId l, SwitchId from, double amt) {
+    entries.emplace_back(directed_index(l, from), amt);
+  });
+  // Merge duplicate directed-link entries (a DAG node can be reached twice).
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::pair<std::uint64_t, double>> merged;
+  for (const auto& [idx, amt] : entries) {
+    if (!merged.empty() && merged.back().first == idx) {
+      merged.back().second += amt;
+    } else {
+      merged.emplace_back(idx, amt);
+    }
+  }
+  return unit_flow_cache_.emplace(key, std::move(merged)).first->second;
+}
+
+std::vector<SwitchId> EcmpRouting::sample_path(SwitchId src, SwitchId dst,
+                                               std::uint64_t flow_hash) const {
+  std::vector<SwitchId> path;
+  if (!switch_alive(src)) return path;
+  const auto& field = dist_field(dst);
+  if (field[src] == kUnreachable) return path;
+  SwitchId cur = src;
+  path.push_back(cur);
+  std::uint64_t h = flow_hash;
+  while (cur != dst) {
+    const auto hops = next_hops(cur, dst);
+    DUET_CHECK(!hops.empty()) << "reachable node with no next hop";
+    // Re-mix per hop: real switches use per-switch hash seeds, which avoids
+    // ECMP polarization where every switch makes the same modulo choice.
+    h = (h ^ (h >> 33)) * 0xff51afd7ed558ccdULL + cur;
+    cur = hops[h % hops.size()].neighbor;
+    path.push_back(cur);
+    DUET_CHECK(path.size() <= topo_->switch_count() + 1) << "routing loop";
+  }
+  return path;
+}
+
+}  // namespace duet

@@ -1,0 +1,96 @@
+// ECMP shortest-path routing over a Topology.
+//
+// The data center runs standard shortest-path routing with ECMP splitting at
+// every hop (§2.1). This class answers three questions the rest of the
+// library needs:
+//   * next_hops(s, dst)   — control plane: where does switch s forward
+//                           traffic destined to (the switch owning) dst?
+//   * spread(...)         — flow level: deposit a traffic volume on every
+//                           link of the ECMP DAG between two switches,
+//                           splitting evenly at each hop. This is what the
+//                           VIP assignment algorithm uses to compute t_{i,s,v}.
+//   * sample_path(...)    — packet level: the single concrete path a given
+//                           flow hash takes (for probe/latency simulation).
+//
+// Failures: construct with the set of failed switches/links; distances are
+// recomputed around them (lazy, per destination).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/hash.h"
+#include "topo/topology.h"
+
+namespace duet {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+class EcmpRouting {
+ public:
+  explicit EcmpRouting(const Topology& topo, std::unordered_set<SwitchId> failed_switches = {},
+                       std::unordered_set<LinkId> failed_links = {});
+
+  const Topology& topo() const noexcept { return *topo_; }
+
+  bool switch_alive(SwitchId s) const noexcept { return !failed_switches_.contains(s); }
+  bool link_alive(LinkId l) const noexcept;
+
+  // Hop distance from s to dst (0 when s == dst), kUnreachable if cut off.
+  std::uint32_t distance(SwitchId s, SwitchId dst) const;
+  bool reachable(SwitchId s, SwitchId dst) const { return distance(s, dst) != kUnreachable; }
+
+  // ECMP next hops from s towards dst (neighbors one hop closer).
+  std::vector<Adjacency> next_hops(SwitchId s, SwitchId dst) const;
+
+  // Spreads `amount` (any unit; we use Gbps) from src to dst over the ECMP
+  // DAG, splitting evenly at each hop. Invokes cb(link, from, amount) for the
+  // directed share crossing each link. No-op if unreachable.
+  using SpreadCallback = std::function<void(LinkId link, SwitchId from, double amount)>;
+  void spread(SwitchId src, SwitchId dst, double amount, const SpreadCallback& cb) const;
+
+  // Cached unit flow: the per-directed-link share of one unit spread from
+  // src to dst. Entries are (directed index, fraction) with directed index
+  // = link*2 + (0 if traversed a->b else 1). The assignment algorithm calls
+  // spread() for the same (src, dst) pairs millions of times per epoch;
+  // caching the DAG turns each call into a short multiply-accumulate scan.
+  // The cache lives with this routing instance (it is failure-specific).
+  std::span<const std::pair<std::uint64_t, double>> unit_flow(SwitchId src, SwitchId dst) const;
+
+  // The directed index convention used by unit_flow.
+  std::uint64_t directed_index(LinkId link, SwitchId from) const {
+    return static_cast<std::uint64_t>(link) * 2 + (topo_->link_info(link).a == from ? 0 : 1);
+  }
+
+  // The concrete switch sequence taken by a flow with the given hash
+  // (per-hop ECMP choice = hash mod fanout, re-mixed each hop as real
+  // switches do with distinct hash seeds). Empty if unreachable.
+  std::vector<SwitchId> sample_path(SwitchId src, SwitchId dst, std::uint64_t flow_hash) const;
+
+ private:
+  // Lazily computed BFS distance field toward each destination.
+  const std::vector<std::uint32_t>& dist_field(SwitchId dst) const;
+
+  const Topology* topo_;
+  std::unordered_set<SwitchId> failed_switches_;
+  std::unordered_set<LinkId> failed_links_;
+  mutable std::vector<std::vector<std::uint32_t>> dist_cache_;  // [dst] -> per-switch dist
+
+  // Allocation-free spread(): epoch-stamped scratch buffers. spread() is the
+  // inner loop of the assignment algorithm (millions of calls per epoch at
+  // datacenter scale), so it must not allocate.
+  mutable std::vector<double> inflow_;
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<SwitchId> dag_nodes_;
+
+  mutable std::unordered_map<std::uint64_t, std::vector<std::pair<std::uint64_t, double>>>
+      unit_flow_cache_;
+};
+
+}  // namespace duet

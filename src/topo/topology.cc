@@ -1,0 +1,97 @@
+#include "topo/topology.h"
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::string to_string(SwitchRole role) {
+  switch (role) {
+    case SwitchRole::kTor:
+      return "ToR";
+    case SwitchRole::kAgg:
+      return "Agg";
+    case SwitchRole::kCore:
+      return "Core";
+  }
+  return "?";
+}
+
+SwitchId Topology::add_switch(SwitchRole role, ContainerId container, std::string name) {
+  const auto id = static_cast<SwitchId>(switches_.size());
+  switches_.push_back(SwitchInfo{role, container, std::move(name)});
+  adjacency_.emplace_back();
+  if (container != kNoContainer && container + 1 > container_count_) {
+    container_count_ = container + 1;
+  }
+  return id;
+}
+
+LinkId Topology::add_link(SwitchId a, SwitchId b, double capacity_gbps) {
+  DUET_CHECK(a < switches_.size() && b < switches_.size()) << "link endpoint out of range";
+  DUET_CHECK(a != b) << "self-loop link";
+  DUET_CHECK(capacity_gbps > 0.0) << "link with non-positive capacity";
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(LinkInfo{a, b, capacity_gbps});
+  adjacency_[a].push_back(Adjacency{b, id});
+  adjacency_[b].push_back(Adjacency{a, id});
+  return id;
+}
+
+void Topology::attach_host(Ipv4Address host, SwitchId tor) {
+  DUET_CHECK(tor < switches_.size()) << "attach to unknown switch";
+  DUET_CHECK(switches_[tor].role == SwitchRole::kTor) << "hosts attach to ToRs only";
+  host_tor_[host] = tor;
+}
+
+const SwitchInfo& Topology::switch_info(SwitchId s) const {
+  DUET_CHECK(s < switches_.size()) << "switch id out of range: " << s;
+  return switches_[s];
+}
+
+const LinkInfo& Topology::link_info(LinkId l) const {
+  DUET_CHECK(l < links_.size()) << "link id out of range: " << l;
+  return links_[l];
+}
+
+std::span<const Adjacency> Topology::neighbors(SwitchId s) const {
+  DUET_CHECK(s < adjacency_.size()) << "switch id out of range: " << s;
+  return adjacency_[s];
+}
+
+SwitchId Topology::tor_of(Ipv4Address host) const noexcept {
+  const auto it = host_tor_.find(host);
+  return it == host_tor_.end() ? kInvalidSwitch : it->second;
+}
+
+std::vector<SwitchId> Topology::switches_with_role(SwitchRole role) const {
+  std::vector<SwitchId> out;
+  for (SwitchId s = 0; s < switches_.size(); ++s) {
+    if (switches_[s].role == role) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SwitchId> Topology::switches_in_container(ContainerId c) const {
+  std::vector<SwitchId> out;
+  for (SwitchId s = 0; s < switches_.size(); ++s) {
+    if (switches_[s].container == c) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<LinkId> Topology::links_in_container(ContainerId c) const {
+  std::vector<LinkId> out;
+  for (LinkId l = 0; l < links_.size(); ++l) {
+    const auto& li = links_[l];
+    if (switches_[li.a].container == c && switches_[li.b].container == c) out.push_back(l);
+  }
+  return out;
+}
+
+SwitchId Topology::other_end(LinkId l, SwitchId s) const {
+  const auto& li = link_info(l);
+  DUET_CHECK(li.a == s || li.b == s) << "switch " << s << " is not an endpoint of link " << l;
+  return li.a == s ? li.b : li.a;
+}
+
+}  // namespace duet

@@ -1,0 +1,91 @@
+// Switch-level datacenter topology.
+//
+// Nodes are switches (ToR / Agg / Core); servers are modelled as endpoints
+// attached to a ToR (the paper's assignment algorithm and simulations operate
+// at switch/link granularity — §4, §8.1). Links are bidirectional with a
+// capacity per direction; utilization accounting happens in sim/flowsim.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace duet {
+
+using SwitchId = std::uint32_t;
+using LinkId = std::uint32_t;
+using ContainerId = std::uint32_t;
+
+inline constexpr SwitchId kInvalidSwitch = std::numeric_limits<SwitchId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+inline constexpr ContainerId kNoContainer = std::numeric_limits<ContainerId>::max();
+
+enum class SwitchRole : std::uint8_t { kTor, kAgg, kCore };
+
+std::string to_string(SwitchRole role);
+
+struct SwitchInfo {
+  SwitchRole role = SwitchRole::kTor;
+  ContainerId container = kNoContainer;  // Core switches live outside containers.
+  std::string name;
+};
+
+struct LinkInfo {
+  SwitchId a = kInvalidSwitch;
+  SwitchId b = kInvalidSwitch;
+  double capacity_gbps = 0.0;  // per direction
+};
+
+// Directed half of a link, as seen from one endpoint.
+struct Adjacency {
+  SwitchId neighbor = kInvalidSwitch;
+  LinkId link = kInvalidLink;
+};
+
+class Topology {
+ public:
+  SwitchId add_switch(SwitchRole role, ContainerId container, std::string name);
+  LinkId add_link(SwitchId a, SwitchId b, double capacity_gbps);
+
+  // Attaches a server (host) IP to a ToR. Server access links are not
+  // modelled as graph links; the ToR is the traffic source/sink.
+  void attach_host(Ipv4Address host, SwitchId tor);
+
+  std::size_t switch_count() const noexcept { return switches_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  std::size_t container_count() const noexcept { return container_count_; }
+
+  const SwitchInfo& switch_info(SwitchId s) const;
+  const LinkInfo& link_info(LinkId l) const;
+  std::span<const Adjacency> neighbors(SwitchId s) const;
+
+  // ToR hosting the given server IP, or kInvalidSwitch when unattached.
+  SwitchId tor_of(Ipv4Address host) const noexcept;
+
+  // All switches with the given role.
+  std::vector<SwitchId> switches_with_role(SwitchRole role) const;
+  // All switches within the given container (ToR + Agg).
+  std::vector<SwitchId> switches_in_container(ContainerId c) const;
+  // Links with both endpoints inside the given container.
+  std::vector<LinkId> links_in_container(ContainerId c) const;
+
+  // Directed-capacity helper: capacity of link l (per direction).
+  double capacity_gbps(LinkId l) const { return link_info(l).capacity_gbps; }
+
+  // Opposite endpoint of link l relative to s.
+  SwitchId other_end(LinkId l, SwitchId s) const;
+
+ private:
+  std::vector<SwitchInfo> switches_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::unordered_map<Ipv4Address, SwitchId> host_tor_;
+  std::size_t container_count_ = 0;
+};
+
+}  // namespace duet

@@ -1,0 +1,35 @@
+// ASCII chart rendering for the figure-reproduction benches.
+//
+// The paper's testbed results are timelines (latency vs time, Figs 11-13)
+// and CDFs (Fig 1, Fig 15). Tables carry the numbers; these charts carry the
+// *shape* — the latency cliff at SMux saturation, the failover gap, the
+// migration bump — directly in the bench output, so a reader can compare
+// against the paper's plots without replotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace duet {
+
+struct ChartOptions {
+  std::size_t width = 72;   // plot columns
+  std::size_t height = 12;  // plot rows
+  bool log_y = false;       // log-scale the value axis
+  std::string y_label;
+  std::string x_label;
+};
+
+// One series of (x, y) points; x ascending. y values < 0 are treated as
+// gaps (e.g. lost probes in an availability timeline).
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+// Renders one or more series into a multi-line string (no trailing newline).
+// Series are overlaid; later series win glyph conflicts.
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options = {});
+
+}  // namespace duet

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace duet {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+// Trim a __FILE__ path down to its basename for readable records.
+std::string_view basename_of(std::string_view path) noexcept {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%.*s %.*s:%d] %s\n", static_cast<int>(level_tag(level).size()),
+               level_tag(level).data(), static_cast<int>(basename_of(file).size()),
+               basename_of(file).data(), line, msg.c_str());
+  if (level == LogLevel::kError) std::fflush(stderr);
+}
+
+CheckFailure::CheckFailure(std::string_view file, int line, std::string_view cond) {
+  stream_ << "CHECK failed at " << basename_of(file) << ":" << line << ": " << cond << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace duet

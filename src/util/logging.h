@@ -1,0 +1,88 @@
+// Lightweight leveled logging for the Duet library.
+//
+// The library is used both from long-running benchmark harnesses (which want
+// terse output) and from tests (which want silence unless something goes
+// wrong), so the default level is kWarn and callers opt in to more.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace duet {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level. Not thread-safe by design: set it once at startup.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+
+// Sinks a fully formatted record; appends a newline and flushes on kError.
+void emit(LogLevel level, std::string_view file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line) noexcept
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// No-op sink used when a level is compiled/filtered out; swallows streaming.
+struct NullMessage {
+  template <typename T>
+  NullMessage& operator<<(const T&) noexcept {
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+#define DUET_LOG(level)                                         \
+  if (::duet::log_level() > ::duet::LogLevel::level) {          \
+  } else                                                        \
+    ::duet::detail::LogMessage(::duet::LogLevel::level, __FILE__, __LINE__)
+
+#define DUET_LOG_DEBUG DUET_LOG(kDebug)
+#define DUET_LOG_INFO DUET_LOG(kInfo)
+#define DUET_LOG_WARN DUET_LOG(kWarn)
+#define DUET_LOG_ERROR DUET_LOG(kError)
+
+// Invariant check that is active in all build types. Networking control-plane
+// state machines are exactly the kind of code where a silent bad state turns
+// into a routing loop three modules later; fail fast instead.
+#define DUET_CHECK(cond)                                                        \
+  if (cond) {                                                                   \
+  } else                                                                        \
+    ::duet::detail::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace detail {
+
+class CheckFailure {
+ public:
+  CheckFailure(std::string_view file, int line, std::string_view cond);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace duet

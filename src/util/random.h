@@ -1,0 +1,123 @@
+// Deterministic random number utilities.
+//
+// Every stochastic component in the library (trace generation, failure
+// injection, tie-breaking in the assignment algorithm) takes an explicit
+// Rng so that experiments are reproducible run-to-run and the test suite can
+// pin seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace duet {
+
+// SplitMix64: tiny, fast, well-distributed; good enough for simulation and
+// far cheaper than mt19937_64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n) noexcept {
+    // Modulo bias is negligible for simulation-scale n (< 2^32).
+    return (*this)() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform real in [0, 1).
+  double uniform01() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept { return lo + (hi - lo) * uniform01(); }
+
+  // Exponential with given mean (> 0).
+  double exponential(double mean) noexcept {
+    double u = uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Standard-ish normal via Box-Muller (one value per call; simple > fast).
+  double normal(double mean, double stddev) noexcept {
+    double u1 = uniform01();
+    double u2 = uniform01();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return mean + stddev * std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Samples indexes 0..n-1 with Zipf(s) popularity: P(k) ∝ 1/(k+1)^s.
+// Used to generate the heavy-tailed VIP traffic split of Fig 15.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    DUET_CHECK(n > 0) << "Zipf over empty support";
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  // Probability mass of index k.
+  double pmf(std::size_t k) const noexcept {
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform01();
+    // Binary search over the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace duet

@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace duet {
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  DUET_CHECK(!samples_.empty()) << "min of empty Summary";
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  DUET_CHECK(!samples_.empty()) << "max of empty Summary";
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::mean() const {
+  DUET_CHECK(!samples_.empty()) << "mean of empty Summary";
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  DUET_CHECK(!samples_.empty()) << "stddev of empty Summary";
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::percentile(double p) const {
+  DUET_CHECK(!samples_.empty()) << "percentile of empty Summary";
+  DUET_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Summary::cdf(std::size_t points) const {
+  DUET_CHECK(points >= 2) << "cdf needs >= 2 points";
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  if (samples_.empty()) return out;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = static_cast<std::size_t>(f * static_cast<double>(samples_.size() - 1));
+    out.emplace_back(samples_[idx], f);
+  }
+  return out;
+}
+
+std::string format_si(double value) {
+  char buf[32];
+  const double a = std::fabs(value);
+  if (a >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2fT", value / 1e12);
+  } else if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", value / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  }
+  return buf;
+}
+
+std::string format_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace duet

@@ -1,0 +1,52 @@
+// Small statistics helpers: percentile/CDF summaries used by every bench.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+// Accumulates samples and answers percentile / mean queries. Samples are
+// stored; suitable for the 1e5..1e7-sample scales our simulations produce.
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add_n(double x, std::size_t n) {
+    samples_.insert(samples_.end(), n, x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  // p in [0,100]. Nearest-rank with linear interpolation.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  // Evenly spaced (x, F(x)) points of the empirical CDF; `points` >= 2.
+  std::vector<std::pair<double, double>> cdf(std::size_t points = 50) const;
+
+  // Clears all samples.
+  void reset() { samples_.clear(); sorted_ = false; }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Fraction helpers used by figure harnesses.
+std::string format_si(double value);       // 1234567 -> "1.23M"
+std::string format_pct(double fraction);   // 0.1234  -> "12.3%"
+
+}  // namespace duet

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DUET_CHECK(!headers_.empty()) << "table with no columns";
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  DUET_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_sep = [&] {
+    std::fputc('+', out);
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_cells(row);
+  print_sep();
+}
+
+void TablePrinter::print_csv(std::FILE* out) const {
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%s", cells[c].c_str(), c + 1 == cells.size() ? "\n" : ",");
+    }
+  };
+  print_cells(headers_);
+  for (const auto& row : rows_) print_cells(row);
+}
+
+std::string TablePrinter::fmt(double v, const char* format) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace duet

@@ -1,0 +1,32 @@
+// ASCII table printer used by the figure-reproduction benches so every
+// harness emits the paper's rows in a uniform, copy-pasteable format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Convenience: all cells are stringified with the given printf format.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders to stdout (default) or the given stream.
+  void print(std::FILE* out = stdout) const;
+
+  // Renders as CSV (for EXPERIMENTS.md extraction).
+  void print_csv(std::FILE* out = stdout) const;
+
+  static std::string fmt(double v, const char* format = "%.3f");
+  static std::string fmt_int(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace duet

@@ -1,0 +1,48 @@
+#include "workload/demand.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet {
+
+std::vector<VipDemand> build_demands(const FatTree& fabric, const Trace& trace,
+                                     std::size_t epoch) {
+  std::vector<VipDemand> out;
+  out.reserve(trace.vips.size());
+  for (const auto& v : trace.vips) {
+    VipDemand d;
+    d.id = v.id;
+    d.vip = v.vip;
+    d.total_gbps = v.gbps(epoch);
+    d.dip_count = v.dips.size();
+
+    d.ingress_gbps.reserve(v.sources.size());
+    for (const auto& src : v.sources) {
+      d.ingress_gbps.emplace_back(src.ingress, src.fraction * d.total_gbps);
+    }
+
+    // Equal split over DIPs (that is what ECMP does); aggregate per ToR.
+    std::unordered_map<SwitchId, double> per_tor;
+    const double per_dip = v.dips.empty() ? 0.0 : d.total_gbps / static_cast<double>(v.dips.size());
+    for (const auto dip : v.dips) {
+      const SwitchId tor = fabric.topo.tor_of(dip);
+      DUET_CHECK(tor != kInvalidSwitch) << "DIP " << dip.to_string() << " not attached";
+      per_tor[tor] += per_dip;
+    }
+    d.dip_tor_gbps.assign(per_tor.begin(), per_tor.end());
+    std::sort(d.dip_tor_gbps.begin(), d.dip_tor_gbps.end());
+    std::sort(d.ingress_gbps.begin(), d.ingress_gbps.end());
+
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+double total_demand_gbps(const std::vector<VipDemand>& demands) {
+  double sum = 0.0;
+  for (const auto& d : demands) sum += d.total_gbps;
+  return sum;
+}
+
+}  // namespace duet

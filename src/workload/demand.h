@@ -1,0 +1,42 @@
+// Per-VIP demand summaries.
+//
+// The assignment algorithm (§4.1) computes t_{i,s,v} — VIP v's traffic on
+// link i when assigned to switch s — "based on the topology and routing
+// information as the source/DIP locations and traffic load are known for
+// every VIP". The raw trace keys demand by server; the algorithm and the
+// flow simulator want it keyed by switch. VipDemand is that aggregation:
+//   * ingress:   where the VIP's traffic enters (ToR / Core), in Gbps;
+//   * dip_tors:  where it leaves towards DIPs (each DIP gets an equal split
+//                of the VIP volume; its ToR accumulates the shares).
+// Return (DIP→source) traffic bypasses the mux entirely via DSR (§2.1), so
+// only the forward direction is modelled.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topo/fattree.h"
+#include "workload/vip.h"
+
+namespace duet {
+
+struct VipDemand {
+  VipId id = 0;
+  Ipv4Address vip;
+  double total_gbps = 0.0;
+  std::size_t dip_count = 0;
+  // Sorted by switch id; at most (sources_per_vip + cores) entries.
+  std::vector<std::pair<SwitchId, double>> ingress_gbps;
+  // ToRs hosting this VIP's DIPs, with the Gbps leaving the mux toward them.
+  std::vector<std::pair<SwitchId, double>> dip_tor_gbps;
+};
+
+// Builds demand summaries for one epoch. Order matches trace.vips (i.e.
+// decreasing traffic rank).
+std::vector<VipDemand> build_demands(const FatTree& fabric, const Trace& trace,
+                                     std::size_t epoch);
+
+// Total across a demand set.
+double total_demand_gbps(const std::vector<VipDemand>& demands);
+
+}  // namespace duet

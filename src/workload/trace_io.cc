@@ -1,0 +1,144 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+
+// Splits "a;b;c" into pieces; empty input -> empty vector.
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream in(s);
+  while (std::getline(in, piece, sep)) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    DUET_LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << std::setprecision(17);  // fractions must survive the round trip
+  out << "# duet-trace v1\n";
+  out << "epochs " << trace.epochs << "\n";
+  out << "aggregate " << trace.vip_aggregate.to_string() << "\n";
+  for (const auto& v : trace.vips) {
+    out << "vip " << v.vip.to_string() << " dips ";
+    for (std::size_t i = 0; i < v.dips.size(); ++i) {
+      out << (i ? ";" : "") << v.dips[i].to_string();
+    }
+    out << " sources ";
+    for (std::size_t i = 0; i < v.sources.size(); ++i) {
+      out << (i ? ";" : "") << v.sources[i].ingress << ":" << v.sources[i].fraction;
+    }
+    out << " gbps ";
+    for (std::size_t i = 0; i < v.gbps_by_epoch.size(); ++i) {
+      out << (i ? ";" : "") << v.gbps_by_epoch[i];
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_trace(const std::string& path, const FatTree& fabric) {
+  std::ifstream in(path);
+  if (!in) {
+    DUET_LOG_ERROR << "cannot open " << path;
+    return std::nullopt;
+  }
+
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  VipId next_id = 0;
+  auto fail = [&](const std::string& why) {
+    DUET_LOG_ERROR << path << ":" << line_no << ": " << why;
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+
+    if (keyword == "epochs") {
+      fields >> trace.epochs;
+      if (!fields || trace.epochs == 0) return fail("bad epochs");
+    } else if (keyword == "aggregate") {
+      std::string text;
+      fields >> text;
+      const auto prefix = Ipv4Prefix::parse(text);
+      if (!prefix) return fail("bad aggregate prefix: " + text);
+      trace.vip_aggregate = *prefix;
+    } else if (keyword == "vip") {
+      std::string addr_text, tag, dips_text, sources_text, gbps_text;
+      fields >> addr_text;
+      fields >> tag >> dips_text;
+      if (tag != "dips") return fail("expected 'dips'");
+      fields >> tag >> sources_text;
+      if (tag != "sources") return fail("expected 'sources'");
+      fields >> tag >> gbps_text;
+      if (tag != "gbps") return fail("expected 'gbps'");
+
+      VipWorkload v;
+      v.id = next_id++;
+      const auto vip = Ipv4Address::parse(addr_text);
+      if (!vip) return fail("bad VIP address: " + addr_text);
+      v.vip = *vip;
+      if (!trace.vip_aggregate.contains(v.vip)) return fail("VIP escapes the aggregate");
+
+      for (const auto& d : split(dips_text, ';')) {
+        const auto dip = Ipv4Address::parse(d);
+        if (!dip) return fail("bad DIP: " + d);
+        if (fabric.topo.tor_of(*dip) == kInvalidSwitch) {
+          return fail("DIP " + d + " is not an attached server of this fabric");
+        }
+        v.dips.push_back(*dip);
+      }
+      if (v.dips.empty()) return fail("VIP with no DIPs");
+
+      double frac_sum = 0.0;
+      for (const auto& s : split(sources_text, ';')) {
+        const auto colon = s.find(':');
+        if (colon == std::string::npos) return fail("bad source: " + s);
+        TrafficSource src;
+        src.ingress = static_cast<SwitchId>(std::stoul(s.substr(0, colon)));
+        src.fraction = std::stod(s.substr(colon + 1));
+        if (src.ingress >= fabric.topo.switch_count()) {
+          return fail("source switch out of range: " + s);
+        }
+        frac_sum += src.fraction;
+        v.sources.push_back(src);
+      }
+      if (v.sources.empty() || std::abs(frac_sum - 1.0) > 1e-6) {
+        return fail("source fractions must sum to 1");
+      }
+
+      for (const auto& g : split(gbps_text, ';')) v.gbps_by_epoch.push_back(std::stod(g));
+      if (v.gbps_by_epoch.size() != trace.epochs) {
+        return fail("gbps series length != epochs");
+      }
+      trace.vips.push_back(std::move(v));
+    } else {
+      return fail("unknown keyword: " + keyword);
+    }
+  }
+  if (trace.vips.empty()) return fail("trace has no VIPs");
+  return trace;
+}
+
+}  // namespace duet

@@ -1,0 +1,33 @@
+// Trace serialization.
+//
+// Lets users persist a generated trace or bring their own measured workload
+// (the moral equivalent of the paper's production trace) in a simple line
+// format:
+//
+//   # duet-trace v1
+//   epochs <N>
+//   aggregate <prefix>
+//   vip <addr> dips <d1;d2;...> sources <sw:frac;...> gbps <g0;g1;...>
+//
+// Source switch ids bind the trace to a specific fabric build; load_trace
+// validates them against the fabric it is given (same builder + params =>
+// same ids, so traces are portable across runs).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "topo/fattree.h"
+#include "workload/vip.h"
+
+namespace duet {
+
+// Writes the trace; returns false on I/O failure.
+bool save_trace(const std::string& path, const Trace& trace);
+
+// Parses and validates against `fabric` (DIPs must be attached servers,
+// source switches must exist). Returns nullopt with a logged reason on any
+// malformed or inconsistent line.
+std::optional<Trace> load_trace(const std::string& path, const FatTree& fabric);
+
+}  // namespace duet

@@ -1,0 +1,124 @@
+#include "workload/tracegen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace duet {
+
+namespace {
+
+// DIP count for the VIP at `rank` (0 = biggest). Correlation pulls elephants
+// towards larger backend pools without making the relation deterministic.
+std::size_t sample_dip_count(const TraceParams& p, std::size_t rank, std::size_t vip_count,
+                             Rng& rng) {
+  // rank_factor in [0,1]: 1 for the hottest VIP, 0 for the coldest.
+  const double rank_factor =
+      1.0 - static_cast<double>(rank) / static_cast<double>(std::max<std::size_t>(1, vip_count));
+  const double mu = p.dip_lognormal_mu + p.dip_traffic_correlation * 2.0 * (rank_factor - 0.5);
+  const double raw = rng.lognormal(mu, p.dip_lognormal_sigma);
+  const auto n = static_cast<std::size_t>(std::llround(raw));
+  return std::clamp<std::size_t>(n, 1, p.max_dips);
+}
+
+}  // namespace
+
+Trace generate_trace(const FatTree& fabric, const TraceParams& params) {
+  DUET_CHECK(params.vip_count > 0) << "empty trace";
+  DUET_CHECK(!fabric.servers.empty()) << "fabric with no servers";
+  DUET_CHECK(params.epochs > 0) << "trace needs at least one epoch";
+
+  Rng rng{params.seed};
+  Trace trace;
+  trace.epochs = params.epochs;
+  trace.vip_aggregate = Ipv4Prefix{params.vip_base, params.aggregate_length};
+  trace.vips.reserve(params.vip_count);
+
+  // Zipf traffic shares over rank, head-clamped to max_vip_fraction and
+  // renormalized. VIPs are emitted in rank order (heaviest first) — callers
+  // that need the §4.1 "decreasing traffic" order get it for free, and tests
+  // can rely on vips[0] being the elephant.
+  const ZipfSampler zipf{params.vip_count, params.traffic_zipf_s};
+  std::vector<double> share(params.vip_count);
+  double share_sum = 0.0;
+  for (std::size_t k = 0; k < params.vip_count; ++k) {
+    share[k] = std::min(zipf.pmf(k), params.max_vip_fraction);
+    share_sum += share[k];
+  }
+  for (auto& s : share) s /= share_sum;
+
+  const auto& cores = fabric.cores;
+  const std::size_t tor_count = fabric.tors.size();
+
+  for (std::size_t rank = 0; rank < params.vip_count; ++rank) {
+    VipWorkload v;
+    v.id = static_cast<VipId>(rank);
+    v.vip = Ipv4Address{params.vip_base.value() + static_cast<std::uint32_t>(rank)};
+    DUET_CHECK(trace.vip_aggregate.contains(v.vip))
+        << "VIP " << v.vip.to_string() << " escapes the aggregate "
+        << trace.vip_aggregate.to_string();
+
+    // --- DIPs: distinct random servers --------------------------------------
+    // Floor the backend pool so no DIP is asked to sink more than a NIC's
+    // worth of traffic even at the drift peak (walk is clamped at 4x but
+    // stays near ~1.5x in practice; use 2x headroom).
+    const double base_gbps = params.total_gbps * share[rank];
+    const auto traffic_floor = static_cast<std::size_t>(
+        std::ceil(base_gbps * 2.0 / params.max_gbps_per_dip));
+    const std::size_t dip_count = std::min(
+        {std::max({sample_dip_count(params, rank, params.vip_count, rng), traffic_floor,
+                   std::size_t{1}}),
+         params.max_dips, fabric.servers.size()});
+    std::unordered_set<std::uint32_t> picked;
+    while (picked.size() < dip_count) {
+      picked.insert(static_cast<std::uint32_t>(rng.uniform(fabric.servers.size())));
+    }
+    v.dips.reserve(dip_count);
+    for (const auto idx : picked) v.dips.push_back(fabric.servers[idx]);
+
+    // --- Sources: intra-DC ToRs + Internet ingress at Cores -----------------
+    const double internet = params.internet_fraction;
+    const std::size_t n_src = std::max<std::size_t>(1, params.sources_per_vip);
+    std::vector<double> weights(n_src);
+    double wsum = 0.0;
+    for (auto& w : weights) {
+      w = rng.exponential(1.0);
+      wsum += w;
+    }
+    for (std::size_t s = 0; s < n_src; ++s) {
+      const SwitchId tor = fabric.tors[rng.uniform(tor_count)];
+      v.sources.push_back(TrafficSource{tor, (1.0 - internet) * weights[s] / wsum});
+    }
+    // Internet share splits evenly over all Cores (ECMP from the WAN edge).
+    for (const SwitchId core : cores) {
+      v.sources.push_back(TrafficSource{core, internet / static_cast<double>(cores.size())});
+    }
+
+    // --- Per-epoch volume: clamped-Zipf base × geometric random walk --------
+    // Late arrivals contribute nothing before their birth epoch.
+    std::size_t birth = 0;
+    if (params.epochs > 1 && rng.uniform01() < params.arrival_fraction) {
+      birth = 1 + rng.uniform(params.epochs - 1);
+    }
+    double walk = 1.0;
+    v.gbps_by_epoch.reserve(params.epochs);
+    for (std::size_t e = 0; e < params.epochs; ++e) {
+      v.gbps_by_epoch.push_back(e < birth ? 0.0 : base_gbps * walk);
+      walk *= std::exp(rng.normal(0.0, params.epoch_drift_sigma));
+      if (rng.uniform01() < params.epoch_jump_prob) {
+        walk *= std::exp(rng.normal(0.0, params.epoch_jump_sigma));  // churn event
+      }
+      walk = std::clamp(walk, 0.25, 4.0);  // keep individual VIPs sane
+    }
+
+    trace.vips.push_back(std::move(v));
+  }
+
+  DUET_LOG_INFO << "generated trace: " << trace.vips.size() << " VIPs, " << params.epochs
+                << " epochs, epoch-0 total " << trace.total_gbps(0) << " Gbps";
+  return trace;
+}
+
+}  // namespace duet

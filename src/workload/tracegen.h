@@ -1,0 +1,72 @@
+// Synthetic production-trace generator.
+//
+// The paper's large-scale evaluation (§8) is driven by a 3-hour trace from a
+// production DC with 30 K VIPs whose traffic and DIP-count distributions are
+// published as CDFs in Fig 15: highly skewed — a few "elephant" VIPs carry
+// most bytes, while the long tail of "mice" VIPs carries almost nothing; DIP
+// counts follow a similar skew. We cannot ship that trace, so this module
+// generates a synthetic one matching those shapes:
+//
+//   * per-VIP traffic share ~ Zipf(s≈1.2) over VIP rank (top 10 % of VIPs
+//     carry >90 % of bytes, as in Fig 15);
+//   * per-VIP DIP count ~ LogNormal, clipped to [1, max_dips], correlated
+//     with traffic rank (elephants have more DIPs);
+//   * 70 % of each VIP's volume originates at random server ToRs, 30 % at
+//     Core switches (Internet ingress) — §2: "almost 70% of the total VIP
+//     traffic is generated within DC";
+//   * per-epoch drift: each VIP's volume follows a geometric random walk
+//     across 10-minute epochs so migration has something to chase (§8.6 runs
+//     18 epochs over 3 h with total 6.2–7.1 Tbps).
+#pragma once
+
+#include "topo/fattree.h"
+#include "util/random.h"
+#include "workload/vip.h"
+
+namespace duet {
+
+struct TraceParams {
+  std::size_t vip_count = 30'000;
+  // Average total VIP traffic per epoch. Individual epochs drift around it.
+  double total_gbps = 10'000.0;
+  std::size_t epochs = 18;  // 3 hours of 10-minute intervals
+
+  double traffic_zipf_s = 1.2;
+  // No single VIP is a fifth of the datacenter: clamp the Zipf head to this
+  // share of total traffic (and renormalize). Keeps the Fig 15 tail skew
+  // while keeping elephants servable by a single switch.
+  double max_vip_fraction = 0.015;
+  double dip_lognormal_mu = 1.9;     // median ≈ e^1.9 ≈ 7 DIPs
+  double dip_lognormal_sigma = 1.1;  // long tail into the hundreds
+  std::size_t max_dips = 1'500;      // tail cap; >512 exercises TIP fanout
+  double dip_traffic_correlation = 0.6;  // elephants get more DIPs
+  // Physical floor: a DIP's NIC sinks at most this much, so a VIP has at
+  // least ceil(peak_gbps / max_gbps_per_dip) DIPs.
+  double max_gbps_per_dip = 5.0;
+
+  double internet_fraction = 0.3;  // share of volume entering at Cores
+  std::size_t sources_per_vip = 8;
+  double epoch_drift_sigma = 0.08;  // per-epoch lognormal step
+  // Churn: with this probability per epoch a VIP's volume JUMPS (service
+  // redeployment, flash crowd, tenant turnover — the "VIPs or DIPs are added
+  // or removed by customers" dynamics of §4.2 expressed as demand shifts).
+  // This is what erodes a frozen assignment over hours (Fig 20a One-time).
+  double epoch_jump_prob = 0.05;
+  double epoch_jump_sigma = 1.0;
+  // Fraction of VIPs that ARRIVE mid-trace (uniform birth epoch > 0, zero
+  // traffic before) — "VIPs are added or removed by customers" (§4.2). A
+  // frozen assignment can never have placed them, which is the main reason
+  // One-time decays in Fig 20a. Default 0 keeps single-epoch workloads
+  // stationary; the Fig 20 bench turns it on.
+  double arrival_fraction = 0.0;
+
+  std::uint64_t seed = 20140817;  // SIGCOMM'14 started Aug 17
+
+  // First VIP address; VIPs are allocated sequentially under the aggregate.
+  Ipv4Address vip_base{100, 0, 0, 1};
+  std::uint8_t aggregate_length = 8;  // 100.0.0.0/8 announced by SMuxes
+};
+
+Trace generate_trace(const FatTree& fabric, const TraceParams& params);
+
+}  // namespace duet

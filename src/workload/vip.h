@@ -1,0 +1,51 @@
+// VIP workload types shared by the trace generator, the assignment algorithm
+// and the simulators.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/ip.h"
+#include "topo/topology.h"
+
+namespace duet {
+
+using VipId = std::uint32_t;
+
+// Where a VIP's traffic enters the fabric: a switch (source ToR for intra-DC
+// traffic, Core switch for Internet ingress) and the fraction of the VIP's
+// volume arriving there. Fractions sum to 1 per VIP.
+struct TrafficSource {
+  SwitchId ingress = kInvalidSwitch;
+  double fraction = 0.0;
+};
+
+// One VIP of the workload across the whole trace.
+struct VipWorkload {
+  VipId id = 0;
+  Ipv4Address vip;
+  std::vector<Ipv4Address> dips;       // backend servers (attached to ToRs)
+  std::vector<TrafficSource> sources;  // ingress distribution
+  std::vector<double> gbps_by_epoch;   // traffic volume per 10-min epoch
+
+  double gbps(std::size_t epoch) const {
+    return epoch < gbps_by_epoch.size() ? gbps_by_epoch[epoch] : 0.0;
+  }
+};
+
+// A full trace: the VIP universe plus the covering aggregate prefix that the
+// SMuxes announce as backstop (§3.3.1).
+struct Trace {
+  std::vector<VipWorkload> vips;
+  Ipv4Prefix vip_aggregate;  // covers every VIP address
+  std::size_t epochs = 0;
+
+  double total_gbps(std::size_t epoch) const {
+    double sum = 0.0;
+    for (const auto& v : vips) sum += v.gbps(epoch);
+    return sum;
+  }
+};
+
+}  // namespace duet

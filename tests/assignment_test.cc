@@ -1,0 +1,301 @@
+// Tests for the §4 assignment algorithm, the Sticky migration filter, the
+// Random/FFD baseline, and failover provisioning.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/random_assign.h"
+#include "duet/assignment.h"
+#include "duet/migration.h"
+#include "sim/flowsim.h"
+#include "workload/tracegen.h"
+
+namespace duet {
+namespace {
+
+class AssignmentTest : public ::testing::Test {
+ protected:
+  AssignmentTest() : fabric_(build_fattree(FatTreeParams::scaled(4, 6, 4))) {
+    params_.vip_count = 400;
+    params_.total_gbps = 600.0;
+    params_.epochs = 4;
+    params_.max_dips = 200;
+    trace_ = generate_trace(fabric_, params_);
+    demands_ = build_demands(fabric_, trace_, 0);
+  }
+
+  AssignmentOptions opts() const {
+    AssignmentOptions o;
+    return o;
+  }
+
+  FatTree fabric_;
+  TraceParams params_;
+  Trace trace_;
+  std::vector<VipDemand> demands_;
+};
+
+TEST_F(AssignmentTest, EveryVipIsEitherPlacedOrOnSmux) {
+  const VipAssigner assigner{fabric_, opts()};
+  const auto a = assigner.assign(demands_);
+  std::unordered_set<VipId> seen;
+  for (const auto& [vip, sw] : a.placement) {
+    (void)sw;
+    EXPECT_TRUE(seen.insert(vip).second);
+  }
+  for (const VipId v : a.on_smux) EXPECT_TRUE(seen.insert(v).second);
+  EXPECT_EQ(seen.size(), demands_.size());
+  EXPECT_NEAR(a.hmux_gbps + a.smux_gbps, total_demand_gbps(demands_), 1e-6);
+}
+
+TEST_F(AssignmentTest, MostTrafficLandsOnHmuxes) {
+  // The headline behaviour: the greedy packs the elephants onto switches.
+  // Termination (§4.1) is disabled so one unplaceable mid-sized VIP doesn't
+  // strand the tail — the termination rule itself is covered by
+  // OversizedVipGoesToSmux and the sticky tests.
+  AssignmentOptions o = opts();
+  o.stop_on_first_failure = false;
+  const VipAssigner assigner{fabric_, o};
+  const auto a = assigner.assign(demands_);
+  EXPECT_GT(a.hmux_fraction(), 0.85);
+}
+
+TEST_F(AssignmentTest, RespectsSwitchMemoryCapacity) {
+  const VipAssigner assigner{fabric_, opts()};
+  const auto a = assigner.assign(demands_);
+  for (const auto used : a.switch_dips_used) {
+    EXPECT_LE(used, opts().switch_dip_capacity);
+  }
+}
+
+TEST_F(AssignmentTest, RespectsLinkCapacity) {
+  const VipAssigner assigner{fabric_, opts()};
+  const auto a = assigner.assign(demands_);
+  const auto& topo = fabric_.topo;
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const double cap = opts().link_headroom * topo.capacity_gbps(l);
+    EXPECT_LE(a.link_load_gbps[l * 2], cap + 1e-6);
+    EXPECT_LE(a.link_load_gbps[l * 2 + 1], cap + 1e-6);
+  }
+  EXPECT_LE(a.mru, 1.0 + 1e-9);
+}
+
+TEST_F(AssignmentTest, OversizedVipUsesTipSlotsOrOverflowsToSmux) {
+  auto demands = demands_;
+  // 600 DIPs: placeable via TIP indirection — costs ceil(600/512) = 2 slots
+  // on the primary (§5.2).
+  VipDemand big;
+  big.id = 9999;
+  big.vip = Ipv4Address(100, 0, 200, 1);
+  big.total_gbps = 1.0;
+  big.dip_count = 600;
+  big.ingress_gbps = {{fabric_.tors[0], 1.0}};
+  big.dip_tor_gbps = {{fabric_.tors[1], 1.0}};
+  demands.push_back(big);
+  // Beyond even 512x512: nothing can serve it from hardware.
+  VipDemand huge = big;
+  huge.id = 9998;
+  huge.vip = Ipv4Address(100, 0, 200, 2);
+  huge.dip_count = 512 * 512 + 1;
+  demands.push_back(huge);
+
+  AssignmentOptions o = opts();
+  o.stop_on_first_failure = false;
+  const VipAssigner assigner{fabric_, o};
+  const auto a = assigner.assign(demands);
+  EXPECT_TRUE(a.on_hmux(9999));
+  EXPECT_FALSE(a.on_hmux(9998));
+  // The big VIP consumed TIP-pointer slots, not 600 raw slots.
+  const auto home = a.switch_of(9999);
+  ASSERT_TRUE(home.has_value());
+  EXPECT_LE(a.switch_dips_used[*home], o.switch_dip_capacity);
+}
+
+TEST_F(AssignmentTest, HostTableCapacityCapsVipCount) {
+  AssignmentOptions o = opts();
+  o.host_table_capacity = 50;
+  const VipAssigner assigner{fabric_, o};
+  const auto a = assigner.assign(demands_);
+  EXPECT_EQ(a.placement.size(), 50u);
+  // §3.3.2: the elephants fit, the mice overflow to SMuxes — so the traffic
+  // share on HMux is far above the VIP-count share.
+  EXPECT_GT(a.hmux_fraction(), 0.5);
+}
+
+TEST_F(AssignmentTest, AccountingMatchesFlowSimulator) {
+  // The incremental link accounting inside the assigner must agree with an
+  // independent from-scratch flow simulation of the same placement.
+  const VipAssigner assigner{fabric_, opts()};
+  const auto a = assigner.assign(demands_);
+  const auto sim =
+      simulate_flows(fabric_, demands_, a, {fabric_.tors[0]}, healthy_scenario());
+  // Compare only HMux-routed traffic: the flowsim also routes the SMux
+  // leftovers, so restrict to a placement-only demand set.
+  std::vector<VipDemand> placed;
+  for (const auto& d : demands_) {
+    if (a.on_hmux(d.id)) placed.push_back(d);
+  }
+  const auto sim2 =
+      simulate_flows(fabric_, placed, a, {fabric_.tors[0]}, healthy_scenario());
+  ASSERT_EQ(sim2.link_load_gbps.size(), a.link_load_gbps.size());
+  for (std::size_t i = 0; i < a.link_load_gbps.size(); ++i) {
+    EXPECT_NEAR(sim2.link_load_gbps[i], a.link_load_gbps[i], 1e-6) << "directed link " << i;
+  }
+  (void)sim;
+}
+
+TEST_F(AssignmentTest, DeterministicForSameSeed) {
+  const VipAssigner a1{fabric_, opts()}, a2{fabric_, opts()};
+  const auto r1 = a1.assign(demands_);
+  const auto r2 = a2.assign(demands_);
+  EXPECT_EQ(r1.placement, r2.placement);
+}
+
+TEST_F(AssignmentTest, ContainerOptimizationDoesNotLoseQuality) {
+  // Compare with the §4.1 termination rule off so one infeasible VIP does
+  // not end either run early (termination interacts with tie-breaking and
+  // would dominate the comparison).
+  AssignmentOptions o = opts();
+  o.stop_on_first_failure = false;
+  AssignmentOptions full = o;
+  full.container_optimization = false;
+  const auto a_opt = VipAssigner{fabric_, o}.assign(demands_);
+  const auto a_full = VipAssigner{fabric_, full}.assign(demands_);
+  // §4.2: restricting the ToR candidates to the best per container must not
+  // cost traffic coverage.
+  EXPECT_GE(a_opt.hmux_fraction(), a_full.hmux_fraction() - 0.05);
+}
+
+// --- Sticky ------------------------------------------------------------------
+
+TEST_F(AssignmentTest, StickyKeepsPlacementsUnderUnchangedDemands) {
+  const VipAssigner assigner{fabric_, opts()};
+  const auto first = assigner.assign(demands_);
+  const auto second = assigner.assign_sticky(demands_, first);
+  const auto plan = plan_migration(first, second, demands_);
+  // Identical demands: no placed VIP beats the 5% improvement bar, so no
+  // H->H or H->S churn and zero SMux-transit traffic. (S->H moves are
+  // allowed: sticky keeps packing VIPs the terminated scratch round left on
+  // the SMuxes, and those moves don't transit anything.)
+  EXPECT_DOUBLE_EQ(plan.shuffled_gbps, 0.0);
+  for (const auto& m : plan.moves) {
+    EXPECT_EQ(m.kind, MoveKind::kSmuxToHmux) << "VIP " << m.vip << " churned";
+  }
+  // Every previously placed VIP kept its exact home.
+  for (const auto& [vip, sw] : first.placement) {
+    ASSERT_TRUE(second.on_hmux(vip));
+    EXPECT_EQ(*second.switch_of(vip), sw);
+  }
+}
+
+TEST_F(AssignmentTest, StickyShufflesFarLessThanNonSticky) {
+  const VipAssigner assigner{fabric_, opts()};
+  const auto epoch0 = assigner.assign(demands_);
+  const auto demands1 = build_demands(fabric_, trace_, 1);
+
+  AssignmentOptions ns = opts();
+  ns.seed = 77;  // fresh tie-breaks, as a from-scratch recompute would have
+  const auto non_sticky = VipAssigner{fabric_, ns}.assign(demands1);
+  const auto sticky = assigner.assign_sticky(demands1, epoch0);
+
+  const auto plan_ns = plan_migration(epoch0, non_sticky, demands1);
+  const auto plan_st = plan_migration(epoch0, sticky, demands1);
+  EXPECT_LT(plan_st.shuffled_fraction(), 0.2);
+  EXPECT_LE(plan_st.shuffled_fraction(), plan_ns.shuffled_fraction());
+}
+
+TEST_F(AssignmentTest, StickyStillServesComparableTraffic) {
+  const VipAssigner assigner{fabric_, opts()};
+  auto current = assigner.assign(demands_);
+  for (std::size_t e = 1; e < trace_.epochs; ++e) {
+    const auto demands = build_demands(fabric_, trace_, e);
+    current = assigner.assign_sticky(demands, current);
+    const auto scratch = assigner.assign(demands);
+    EXPECT_GT(current.hmux_fraction(), scratch.hmux_fraction() - 0.1)
+        << "sticky degraded badly at epoch " << e;
+  }
+}
+
+// --- Random baseline ------------------------------------------------------------
+
+TEST_F(AssignmentTest, RandomBaselineIsFeasibleButWorse) {
+  const auto random = assign_random(fabric_, demands_, opts());
+  for (const auto used : random.switch_dips_used) {
+    EXPECT_LE(used, opts().switch_dip_capacity);
+  }
+  EXPECT_LE(random.mru, 1.0 + 1e-9);
+  const auto duet = VipAssigner{fabric_, opts()}.assign(demands_);
+  // §8.4: Random strands more traffic on the SMuxes.
+  EXPECT_LE(duet.smux_gbps, random.smux_gbps + 1e-9);
+}
+
+// --- Failover provisioning ---------------------------------------------------------
+
+TEST_F(AssignmentTest, FailoverAnalysisBounds) {
+  const auto a = VipAssigner{fabric_, opts()}.assign(demands_);
+  const auto f = analyze_failover(fabric_, demands_, a);
+  EXPECT_GE(f.worst_container_gbps, 0.0);
+  EXPECT_GT(f.worst_three_switch_gbps, 0.0);
+  EXPECT_LE(f.worst_container_gbps, total_demand_gbps(demands_));
+  EXPECT_LE(f.worst_three_switch_gbps, total_demand_gbps(demands_));
+  EXPECT_EQ(f.worst_gbps(), std::max(f.worst_container_gbps, f.worst_three_switch_gbps));
+}
+
+TEST(SmuxesNeeded, RoundsUpAndNeverZero) {
+  EXPECT_EQ(smuxes_needed(0.0, 0.0, 0.0, 3.6), 1u);
+  EXPECT_EQ(smuxes_needed(3.6, 0.0, 0.0, 3.6), 1u);
+  EXPECT_EQ(smuxes_needed(3.7, 0.0, 0.0, 3.6), 2u);
+  EXPECT_EQ(smuxes_needed(1.0, 36.0, 2.0, 3.6), 10u);  // failover dominates
+}
+
+// --- Migration planning -------------------------------------------------------------
+
+TEST_F(AssignmentTest, MigrationPlanClassifiesMoves) {
+  Assignment from, to;
+  from.placement = {{0, 5}, {1, 6}};
+  from.on_smux = {2};
+  to.placement = {{0, 7}, {2, 8}};
+  to.on_smux = {1};
+
+  std::vector<VipDemand> demands(3);
+  for (VipId i = 0; i < 3; ++i) {
+    demands[i].id = i;
+    demands[i].total_gbps = 10.0;
+  }
+  const auto plan = plan_migration(from, to, demands);
+  ASSERT_EQ(plan.move_count(), 3u);
+  EXPECT_NEAR(plan.total_gbps, 30.0, 1e-9);
+  // VIP0: H->H (shuffled), VIP1: H->S (shuffled), VIP2: S->H (not).
+  EXPECT_NEAR(plan.shuffled_gbps, 20.0, 1e-9);
+  for (const auto& m : plan.moves) {
+    switch (m.vip) {
+      case 0:
+        EXPECT_EQ(m.kind, MoveKind::kHmuxToHmux);
+        break;
+      case 1:
+        EXPECT_EQ(m.kind, MoveKind::kHmuxToSmux);
+        break;
+      case 2:
+        EXPECT_EQ(m.kind, MoveKind::kSmuxToHmux);
+        break;
+      default:
+        FAIL();
+    }
+  }
+}
+
+TEST_F(AssignmentTest, MigrationPlanIgnoresUnchangedVips) {
+  Assignment from, to;
+  from.placement = {{0, 5}};
+  to.placement = {{0, 5}};
+  std::vector<VipDemand> demands(1);
+  demands[0].id = 0;
+  demands[0].total_gbps = 7.0;
+  const auto plan = plan_migration(from, to, demands);
+  EXPECT_EQ(plan.move_count(), 0u);
+  EXPECT_NEAR(plan.shuffled_gbps, 0.0, 1e-9);
+  EXPECT_NEAR(plan.total_gbps, 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace duet

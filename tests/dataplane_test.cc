@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "dataplane/pipeline.h"
+#include "dataplane/resilient_hash.h"
+#include "dataplane/tables.h"
+
+namespace duet {
+namespace {
+
+// --- HostForwardingTable ----------------------------------------------------------
+
+TEST(HostForwardingTable, InsertLookupErase) {
+  HostForwardingTable t{4};
+  EXPECT_TRUE(t.insert(Ipv4Address(10, 0, 0, 1), HostEntry{7, false}));
+  const auto e = t.lookup(Ipv4Address(10, 0, 0, 1));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->group, 7u);
+  EXPECT_TRUE(t.erase(Ipv4Address(10, 0, 0, 1)));
+  EXPECT_FALSE(t.lookup(Ipv4Address(10, 0, 0, 1)).has_value());
+  EXPECT_FALSE(t.erase(Ipv4Address(10, 0, 0, 1)));
+}
+
+TEST(HostForwardingTable, EnforcesCapacity) {
+  HostForwardingTable t{2};
+  EXPECT_TRUE(t.insert(Ipv4Address(1, 0, 0, 1), {}));
+  EXPECT_TRUE(t.insert(Ipv4Address(1, 0, 0, 2), {}));
+  EXPECT_FALSE(t.insert(Ipv4Address(1, 0, 0, 3), {}));
+  EXPECT_EQ(t.free_entries(), 0u);
+  // Overwrite of an existing key needs no new slot.
+  EXPECT_TRUE(t.insert(Ipv4Address(1, 0, 0, 1), HostEntry{9, false}));
+}
+
+// --- LpmTable -------------------------------------------------------------------
+
+TEST(LpmTable, LongestPrefixWins) {
+  LpmTable t;
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  t.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  t.insert(*Ipv4Prefix::parse("10.1.1.1/32"), 3);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 1, 1)), 3u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 9, 9)), 2u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 9, 9, 9)), 1u);
+  EXPECT_FALSE(t.lookup(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTable, SlashThirtyTwoBeatsAggregate) {
+  // §3.3.1 preferential routing: HMux /32 beats the SMux aggregate.
+  LpmTable t;
+  t.insert(*Ipv4Prefix::parse("20.0.0.0/8"), 100);   // SMux aggregate
+  t.insert(*Ipv4Prefix::parse("20.0.0.5/32"), 200);  // HMux host route
+  EXPECT_EQ(t.lookup(Ipv4Address(20, 0, 0, 5)), 200u);
+  // After /32 withdrawal (HMux failure), traffic falls to the aggregate.
+  t.erase(*Ipv4Prefix::parse("20.0.0.5/32"));
+  EXPECT_EQ(t.lookup(Ipv4Address(20, 0, 0, 5)), 100u);
+}
+
+TEST(LpmTable, EraseAndCount) {
+  LpmTable t;
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.erase(*Ipv4Prefix::parse("11.0.0.0/8")));
+  EXPECT_TRUE(t.erase(*Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// --- EcmpTable -----------------------------------------------------------------
+
+TEST(EcmpTable, CreateDestroyAccounting) {
+  EcmpTable t{8};
+  const auto g1 = t.create_group({3, EcmpMember{}});
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(t.used_members(), 3u);
+  const auto g2 = t.create_group({5, EcmpMember{}});
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(t.free_members(), 0u);
+  EXPECT_FALSE(t.create_group({1, EcmpMember{}}).has_value());
+  EXPECT_TRUE(t.destroy_group(*g1));
+  EXPECT_EQ(t.free_members(), 3u);
+  EXPECT_FALSE(t.destroy_group(*g1));
+}
+
+TEST(EcmpTable, UpdateGroupInPlace) {
+  EcmpTable t{8};
+  const auto g = t.create_group({4, EcmpMember{}});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(t.update_group(*g, {6, EcmpMember{}}));
+  EXPECT_EQ(t.used_members(), 6u);
+  EXPECT_FALSE(t.update_group(*g, {9, EcmpMember{}}));  // would exceed capacity
+  EXPECT_EQ(t.used_members(), 6u);
+}
+
+// --- TunnelingTable --------------------------------------------------------------
+
+TEST(TunnelingTable, AllocateReleaseCapacity) {
+  TunnelingTable t{2};
+  const auto i1 = t.allocate(Ipv4Address(1, 1, 1, 1));
+  const auto i2 = t.allocate(Ipv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(i1 && i2);
+  EXPECT_FALSE(t.allocate(Ipv4Address(3, 3, 3, 3)).has_value());
+  EXPECT_EQ(t.lookup(*i1), Ipv4Address(1, 1, 1, 1));
+  EXPECT_TRUE(t.release(*i1));
+  EXPECT_FALSE(t.lookup(*i1).has_value());
+  EXPECT_TRUE(t.allocate(Ipv4Address(3, 3, 3, 3)).has_value());
+}
+
+TEST(TunnelingTable, DefaultCapacityIs512) {
+  TunnelingTable t;
+  EXPECT_EQ(t.capacity(), 512u);  // §3.1
+}
+
+// --- AclTable -------------------------------------------------------------------
+
+TEST(AclTable, PortGranularMatch) {
+  AclTable t;
+  t.insert(Ipv4Address(10, 0, 0, 1), 80, 1);
+  t.insert(Ipv4Address(10, 0, 0, 1), 21, 2);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 1), 80), 1u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 1), 21), 2u);
+  EXPECT_FALSE(t.lookup(Ipv4Address(10, 0, 0, 1), 443).has_value());
+  EXPECT_TRUE(t.erase(Ipv4Address(10, 0, 0, 1), 80));
+  EXPECT_FALSE(t.lookup(Ipv4Address(10, 0, 0, 1), 80).has_value());
+}
+
+// --- ResilientHashGroup -----------------------------------------------------------
+
+TEST(ResilientHash, BalancedInitially) {
+  ResilientHashGroup g{4, 16};
+  std::map<std::uint32_t, int> counts;
+  for (std::uint64_t h = 0; h < 64; ++h) ++counts[g.select(h)];
+  EXPECT_EQ(counts.size(), 4u);
+}
+
+TEST(ResilientHash, RemovalOnlyRemapsFailedMembersFlows) {
+  ResilientHashGroup g{8, 8};
+  std::unordered_map<std::uint64_t, std::uint32_t> before;
+  for (std::uint64_t h = 0; h < 4096; ++h) before[h] = g.select(h);
+  const double remapped = g.remove_member(3);
+  // Only member 3's share (~1/8) of buckets may change.
+  EXPECT_NEAR(remapped, 1.0 / 8.0, 0.05);
+  for (std::uint64_t h = 0; h < 4096; ++h) {
+    if (before[h] != 3) {
+      EXPECT_EQ(g.select(h), before[h]) << "surviving flow remapped, hash " << h;
+    } else {
+      EXPECT_NE(g.select(h), 3u);
+    }
+  }
+}
+
+TEST(ResilientHash, SequentialRemovalsKeepInvariant) {
+  ResilientHashGroup g{6, 8};
+  g.remove_member(0);
+  auto snapshot = [&] {
+    std::vector<std::uint32_t> s;
+    for (std::uint64_t h = 0; h < 512; ++h) s.push_back(g.select(h));
+    return s;
+  };
+  const auto before = snapshot();
+  g.remove_member(4);
+  const auto after = snapshot();
+  for (std::size_t h = 0; h < before.size(); ++h) {
+    if (before[h] != 4) {
+      EXPECT_EQ(after[h], before[h]);
+    }
+  }
+}
+
+TEST(ResilientHash, AdditionIsNotResilient) {
+  // §5.2: addition remaps a large share of flows — that is why Duet bounces
+  // the VIP through SMuxes for DIP addition.
+  ResilientHashGroup g{4, 16};
+  const double remapped = g.add_member();
+  EXPECT_GT(remapped, 0.15);
+}
+
+TEST(ResilientHash, AddRemoveCyclesDoNotGrowBucketsUnbounded) {
+  // Regression: the bucket-array target must derive from the live member
+  // count, not the current array size — otherwise each add/remove cycle
+  // multiplied the array by live/(live-1) and hundreds of cycles of DIP
+  // churn exploded memory.
+  ResilientHashGroup g{3, 4};
+  const auto baseline = g.bucket_count();
+  for (std::uint32_t cycle = 0; cycle < 200; ++cycle) {
+    g.add_member();                // newest member gets index 3 + cycle
+    g.remove_member(3 + cycle);    // remove it again
+  }
+  EXPECT_LE(g.bucket_count(), baseline * 2);
+}
+
+TEST(ResilientHash, CannotRemoveLastMember) {
+  ResilientHashGroup g{2, 4};
+  g.remove_member(0);
+  EXPECT_DEATH({ g.remove_member(1); }, "cannot remove the last member");
+}
+
+// --- SwitchDataPlane ---------------------------------------------------------------
+
+Packet make_packet(Ipv4Address dst, std::uint16_t sport = 1234, std::uint16_t dport = 80) {
+  return Packet{FiveTuple{Ipv4Address(172, 16, 0, 1), dst, sport, dport, IpProto::kTcp}, 1500};
+}
+
+class SwitchDataPlaneTest : public ::testing::Test {
+ protected:
+  static constexpr Ipv4Address kVip{100, 0, 0, 1};
+  const std::vector<Ipv4Address> dips_{Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                       Ipv4Address(10, 0, 0, 3)};
+  SwitchDataPlane dp_{FlowHasher{42}};
+};
+
+TEST_F(SwitchDataPlaneTest, VipTrafficGetsEncapsulatedToADip) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  auto p = make_packet(kVip);
+  EXPECT_EQ(dp_.process(p), PipelineVerdict::kEncapsulated);
+  ASSERT_TRUE(p.encapsulated());
+  bool found = false;
+  for (const auto d : dips_) found |= (p.outer().outer_dst == d);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p.tuple().dst, kVip);  // inner header untouched
+}
+
+TEST_F(SwitchDataPlaneTest, NonVipTrafficIsTransit) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  auto p = make_packet(Ipv4Address(99, 0, 0, 1));
+  EXPECT_EQ(dp_.process(p), PipelineVerdict::kNoMatch);
+  EXPECT_FALSE(p.encapsulated());
+}
+
+TEST_F(SwitchDataPlaneTest, SplitIsRoughlyEven) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  std::unordered_map<Ipv4Address, int> counts;
+  for (std::uint32_t i = 0; i < 30000; ++i) {
+    auto p = make_packet(kVip, static_cast<std::uint16_t>(i), 80);
+    p.tuple().src = Ipv4Address{(172u << 24) + i};
+    EXPECT_EQ(dp_.process(p), PipelineVerdict::kEncapsulated);
+    ++counts[p.outer().outer_dst];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [d, c] : counts) {
+    (void)d;
+    EXPECT_NEAR(c, 10000, 900);
+  }
+}
+
+TEST_F(SwitchDataPlaneTest, SameFlowAlwaysSameDip) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  auto p1 = make_packet(kVip, 5555);
+  dp_.process(p1);
+  for (int i = 0; i < 10; ++i) {
+    auto p2 = make_packet(kVip, 5555);
+    dp_.process(p2);
+    EXPECT_EQ(p2.outer().outer_dst, p1.outer().outer_dst);
+  }
+}
+
+TEST_F(SwitchDataPlaneTest, TwoSwitchesWithSameHasherAgree) {
+  // VIP migration between HMuxes must not remap connections (§3.3.1).
+  SwitchDataPlane other{FlowHasher{42}};
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  ASSERT_TRUE(other.install_vip(kVip, dips_));
+  for (std::uint16_t sp = 2000; sp < 2200; ++sp) {
+    auto a = make_packet(kVip, sp);
+    auto b = make_packet(kVip, sp);
+    dp_.process(a);
+    other.process(b);
+    EXPECT_EQ(a.outer().outer_dst, b.outer().outer_dst);
+  }
+}
+
+TEST_F(SwitchDataPlaneTest, DoubleEncapIsDropped) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  auto p = make_packet(kVip);
+  p.encapsulate(EncapHeader{Ipv4Address(8, 8, 8, 8), kVip});
+  EXPECT_EQ(dp_.process(p), PipelineVerdict::kDropped);
+}
+
+TEST_F(SwitchDataPlaneTest, TipDecapsThenReencaps) {
+  // §5.2 large fanout: TIP switch decapsulates and re-encapsulates.
+  const Ipv4Address tip(200, 0, 0, 1);
+  ASSERT_TRUE(dp_.install_tip(tip, dips_));
+  auto p = make_packet(kVip);  // inner dst stays the VIP
+  p.encapsulate(EncapHeader{Ipv4Address(8, 8, 8, 8), tip});
+  EXPECT_EQ(dp_.process(p), PipelineVerdict::kEncapsulated);
+  ASSERT_EQ(p.encap_depth(), 1u);
+  bool found = false;
+  for (const auto d : dips_) found |= (p.outer().outer_dst == d);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SwitchDataPlaneTest, PortRuleOverridesVipWideMapping) {
+  const std::vector<Ipv4Address> ftp_dips{Ipv4Address(10, 1, 0, 1)};
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  ASSERT_TRUE(dp_.install_port_rule(kVip, 21, ftp_dips));
+  auto ftp = make_packet(kVip, 1234, 21);
+  EXPECT_EQ(dp_.process(ftp), PipelineVerdict::kEncapsulated);
+  EXPECT_EQ(ftp.outer().outer_dst, Ipv4Address(10, 1, 0, 1));
+  auto http = make_packet(kVip, 1234, 80);
+  EXPECT_EQ(dp_.process(http), PipelineVerdict::kEncapsulated);
+  EXPECT_NE(http.outer().outer_dst, Ipv4Address(10, 1, 0, 1));
+}
+
+TEST_F(SwitchDataPlaneTest, WcmpWeightsSkewSplit) {
+  // §5.2 heterogeneity: weight 3:1 should draw ~75 % of flows.
+  ASSERT_TRUE(dp_.install_vip(kVip, {Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2)},
+                              {3, 1}));
+  std::unordered_map<Ipv4Address, int> counts;
+  for (std::uint32_t i = 0; i < 40000; ++i) {
+    auto p = make_packet(kVip, static_cast<std::uint16_t>(i));
+    p.tuple().src = Ipv4Address{(172u << 24) + i};
+    dp_.process(p);
+    ++counts[p.outer().outer_dst];
+  }
+  EXPECT_NEAR(counts[Ipv4Address(10, 0, 0, 1)], 30000, 2000);
+  EXPECT_NEAR(counts[Ipv4Address(10, 0, 0, 2)], 10000, 2000);
+}
+
+TEST_F(SwitchDataPlaneTest, TargetRemovalPreservesSurvivingFlows) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  std::unordered_map<std::uint16_t, Ipv4Address> before;
+  for (std::uint16_t sp = 1000; sp < 2000; ++sp) {
+    auto p = make_packet(kVip, sp);
+    dp_.process(p);
+    before[sp] = p.outer().outer_dst;
+  }
+  ASSERT_TRUE(dp_.remove_vip_target(kVip, dips_[1]));
+  for (std::uint16_t sp = 1000; sp < 2000; ++sp) {
+    auto p = make_packet(kVip, sp);
+    dp_.process(p);
+    if (before[sp] != dips_[1]) {
+      EXPECT_EQ(p.outer().outer_dst, before[sp]);
+    } else {
+      EXPECT_NE(p.outer().outer_dst, dips_[1]);
+    }
+  }
+  const auto targets = dp_.vip_targets(kVip);
+  EXPECT_EQ(targets.size(), 2u);
+}
+
+TEST_F(SwitchDataPlaneTest, CannotRemoveLastTarget) {
+  ASSERT_TRUE(dp_.install_vip(kVip, {dips_[0]}));
+  EXPECT_FALSE(dp_.remove_vip_target(kVip, dips_[0]));
+}
+
+TEST_F(SwitchDataPlaneTest, TableAccounting) {
+  const auto tunnel_before = dp_.free_tunnel_entries();
+  const auto ecmp_before = dp_.free_ecmp_entries();
+  const auto host_before = dp_.free_host_entries();
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  // §4: a VIP with |d| DIPs consumes |d| tunnel + |d| ECMP + 1 host entry.
+  EXPECT_EQ(dp_.free_tunnel_entries(), tunnel_before - 3);
+  EXPECT_EQ(dp_.free_ecmp_entries(), ecmp_before - 3);
+  EXPECT_EQ(dp_.free_host_entries(), host_before - 1);
+  ASSERT_TRUE(dp_.remove_vip(kVip));
+  EXPECT_EQ(dp_.free_tunnel_entries(), tunnel_before);
+  EXPECT_EQ(dp_.free_ecmp_entries(), ecmp_before);
+  EXPECT_EQ(dp_.free_host_entries(), host_before);
+}
+
+TEST_F(SwitchDataPlaneTest, InstallFailsAtomicallyWhenTunnelTableFull) {
+  SwitchDataPlane small{FlowHasher{1}, TableSizes{16, 16, 4, 16}};
+  ASSERT_TRUE(small.install_vip(kVip, {dips_[0], dips_[1]}));  // 2 of 4 tunnel slots
+  const auto free_before = small.free_tunnel_entries();
+  // 3 more DIPs don't fit into the remaining 2 slots.
+  EXPECT_FALSE(small.install_vip(Ipv4Address(100, 0, 0, 2), dips_));
+  EXPECT_EQ(small.free_tunnel_entries(), free_before);  // rollback complete
+  EXPECT_FALSE(small.has_vip(Ipv4Address(100, 0, 0, 2)));
+}
+
+TEST_F(SwitchDataPlaneTest, MaxDipsPerSwitchIs512) {
+  // §3.1: "an individual HMux can support at most 512 DIPs".
+  SwitchDataPlane dp{FlowHasher{1}};
+  std::vector<Ipv4Address> many;
+  for (std::uint32_t i = 0; i < 512; ++i) many.push_back(Ipv4Address{(10u << 24) + i});
+  EXPECT_TRUE(dp.install_vip(kVip, many));
+  EXPECT_FALSE(dp.install_vip(Ipv4Address(100, 0, 0, 2), {Ipv4Address(10, 1, 0, 1)}));
+}
+
+TEST_F(SwitchDataPlaneTest, ReinstallExistingVipRejected) {
+  ASSERT_TRUE(dp_.install_vip(kVip, dips_));
+  EXPECT_FALSE(dp_.install_vip(kVip, dips_));
+}
+
+}  // namespace
+}  // namespace duet

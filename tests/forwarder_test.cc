@@ -1,0 +1,224 @@
+// Tests for the hop-by-hop FIB-driven forwarder: the emergent routing
+// behaviours (LPM preference, blackholes during convergence, mid-migration
+// detours, TIP double bounces) must fall out of per-switch state alone.
+#include <gtest/gtest.h>
+
+#include "sim/forwarder.h"
+#include "topo/fattree.h"
+
+namespace duet {
+namespace {
+
+const Ipv4Prefix kAgg{Ipv4Address{100, 0, 0, 0}, 8};
+const Ipv4Address kVip{100, 0, 0, 1};
+
+class ForwarderTest : public ::testing::Test {
+ protected:
+  ForwarderTest()
+      : ft_(build_fattree(FatTreeParams::testbed())), views_(ft_.topo.switch_count()) {
+    dips_ = {ft_.servers_by_tor[3][0], ft_.servers_by_tor[3][1]};
+    src_tor_ = ft_.tors[0];
+    smux_tor_ = ft_.tors[1];
+    hmux_switch_ = ft_.cores[0];
+    // The SMux ToR announces the aggregate everywhere.
+    views_.announce_everywhere(kAgg, smux_tor_);
+  }
+
+  // Installs the VIP on the HMux and announces its /32 (converged).
+  void put_vip_on_hmux() {
+    auto& dp = dataplane(hmux_switch_);
+    ASSERT_TRUE(dp.install_vip(kVip, dips_));
+    views_.announce_everywhere(Ipv4Prefix::host_route(kVip), hmux_switch_);
+  }
+
+  SwitchDataPlane& dataplane(SwitchId s) {
+    auto& slot = dataplanes_owned_[s];
+    if (!slot) slot = std::make_unique<SwitchDataPlane>(FlowHasher{5});
+    return *slot;
+  }
+
+  HopByHopForwarder make_forwarder(std::unordered_set<SwitchId> failed = {}) {
+    std::unordered_map<SwitchId, SwitchDataPlane*> dps;
+    for (auto& [s, dp] : dataplanes_owned_) dps[s] = dp.get();
+    return HopByHopForwarder{ft_.topo, views_, std::move(dps), {smux_tor_}, std::move(failed)};
+  }
+
+  Packet make_packet(std::uint16_t sport = 999) {
+    return Packet{FiveTuple{ft_.servers_by_tor[0][3], kVip, sport, 80, IpProto::kTcp}, 1500};
+  }
+
+  FatTree ft_;
+  RoutingFabric views_;
+  std::unordered_map<SwitchId, std::unique_ptr<SwitchDataPlane>> dataplanes_owned_;
+  std::vector<Ipv4Address> dips_;
+  SwitchId src_tor_, smux_tor_, hmux_switch_;
+};
+
+TEST_F(ForwarderTest, VipOnHmuxDeliversToDipThroughTheOwnerSwitch) {
+  put_vip_on_hmux();
+  auto fwd = make_forwarder();
+  auto p = make_packet();
+  const auto r = fwd.forward(p, src_tor_);
+  ASSERT_EQ(r.outcome, ForwardOutcome::kDeliveredToHost);
+  EXPECT_NE(std::find(dips_.begin(), dips_.end(), r.final_destination), dips_.end());
+  // The owner switch appears in the path and is where encap happened.
+  bool owner_muxed = false;
+  for (const auto& h : r.path) owner_muxed |= (h.sw == hmux_switch_ && h.mux_processed);
+  EXPECT_TRUE(owner_muxed);
+}
+
+TEST_F(ForwarderTest, WithoutHostRouteTrafficLandsOnSmuxTor) {
+  auto fwd = make_forwarder();
+  auto p = make_packet();
+  const auto r = fwd.forward(p, src_tor_);
+  EXPECT_EQ(r.outcome, ForwardOutcome::kDeliveredToSmux);
+  EXPECT_EQ(r.final_switch, smux_tor_);
+}
+
+TEST_F(ForwarderTest, PathsAreLoopFreeAndShort) {
+  put_vip_on_hmux();
+  auto fwd = make_forwarder();
+  for (std::uint16_t sp = 1; sp <= 100; ++sp) {
+    auto p = make_packet(sp);
+    const auto r = fwd.forward(p, src_tor_);
+    ASSERT_EQ(r.outcome, ForwardOutcome::kDeliveredToHost);
+    std::unordered_set<SwitchId> seen;
+    for (const auto& h : r.path) EXPECT_TRUE(seen.insert(h.sw).second) << "revisited switch";
+    EXPECT_LE(r.path.size(), 8u);  // testbed diameter is 4; detour-free
+  }
+}
+
+TEST_F(ForwarderTest, StaleRouteToDeadSwitchBlackholes) {
+  // The Fig 12 window: switch dead, /32 still in every RIB.
+  put_vip_on_hmux();
+  auto fwd = make_forwarder({hmux_switch_});
+  auto p = make_packet();
+  EXPECT_EQ(fwd.forward(p, src_tor_).outcome, ForwardOutcome::kBlackholed);
+}
+
+TEST_F(ForwarderTest, AfterWithdrawConvergenceTrafficFallsToSmux) {
+  put_vip_on_hmux();
+  views_.fail_origin_everywhere(hmux_switch_);  // BGP converged
+  auto fwd = make_forwarder({hmux_switch_});
+  auto p = make_packet();
+  const auto r = fwd.forward(p, src_tor_);
+  EXPECT_EQ(r.outcome, ForwardOutcome::kDeliveredToSmux);
+}
+
+TEST_F(ForwarderTest, WithdrawalConvergenceTransientThenRestores) {
+  // The §4.2 first wave, modelled at BGP-update granularity. While the
+  // withdrawal has reached the origin and its Agg neighbors but NOT the
+  // SMux's own ToR, packets can transiently micro-loop: a converged Agg
+  // sends the VIP packet down to the SMux ToR, whose stale RIB still
+  // prefers the /32 and bounces it back up. This is a real BGP transient —
+  // it lasts one convergence window (tens of ms, within which the 3 ms
+  // probes of Fig 13 see at most a blip) and MUST NOT deliver to the dead
+  // mux. Once the SMux ToR converges, every packet lands on the SMux.
+  put_vip_on_hmux();
+  dataplane(hmux_switch_).remove_vip(kVip);
+  views_.withdraw_at(hmux_switch_, Ipv4Prefix::host_route(kVip), hmux_switch_);
+  for (const auto& adj : ft_.topo.neighbors(hmux_switch_)) {
+    views_.withdraw_at(adj.neighbor, Ipv4Prefix::host_route(kVip), hmux_switch_);
+  }
+
+  auto fwd = make_forwarder();
+  for (std::uint16_t sp = 1; sp <= 25; ++sp) {
+    auto p = make_packet(sp);
+    const auto r = fwd.forward(p, src_tor_);
+    // Transient: SMux delivery or a TTL-bounded loop — never a false host
+    // delivery through the cleaned-out mux.
+    EXPECT_TRUE(r.outcome == ForwardOutcome::kDeliveredToSmux ||
+                r.outcome == ForwardOutcome::kLooped)
+        << "sport " << sp << ": " << to_string(r.outcome);
+    EXPECT_NE(r.outcome, ForwardOutcome::kDeliveredToHost);
+  }
+
+  // The withdrawal reaches the SMux ToR (and the rest): stable SMux service.
+  views_.withdraw_at(smux_tor_, Ipv4Prefix::host_route(kVip), hmux_switch_);
+  views_.withdraw_everywhere(Ipv4Prefix::host_route(kVip), hmux_switch_);
+  for (std::uint16_t sp = 26; sp <= 50; ++sp) {
+    auto p = make_packet(sp);
+    EXPECT_EQ(fwd.forward(p, src_tor_).outcome, ForwardOutcome::kDeliveredToSmux)
+        << "sport " << sp;
+  }
+}
+
+TEST_F(ForwarderTest, AnnouncementBallCapturesTrafficEarly) {
+  // An announcement spreading outward from the origin: once the on-path
+  // switches near the origin know the /32, traffic from STILL-STALE ToRs is
+  // already captured mid-path and delivered via the HMux — convergence
+  // improves service monotonically.
+  put_vip_on_hmux();
+  views_.withdraw_everywhere(Ipv4Prefix::host_route(kVip), hmux_switch_);
+  // Ball of radius 1: origin + its Agg neighbors know the route.
+  views_.announce_at(hmux_switch_, Ipv4Prefix::host_route(kVip), hmux_switch_);
+  for (const auto& adj : ft_.topo.neighbors(hmux_switch_)) {
+    views_.announce_at(adj.neighbor, Ipv4Prefix::host_route(kVip), hmux_switch_);
+  }
+
+  auto fwd = make_forwarder();
+  auto p1 = make_packet();
+  const auto r1 = fwd.forward(p1, src_tor_);
+  // The stale ToR aims at the SMux aggregate, but the informed Agg on the
+  // way captures the packet for the HMux.
+  ASSERT_EQ(r1.outcome, ForwardOutcome::kDeliveredToHost);
+  bool muxed_at_owner = false;
+  for (const auto& h : r1.path) muxed_at_owner |= (h.sw == hmux_switch_ && h.mux_processed);
+  EXPECT_TRUE(muxed_at_owner);
+
+  // With no announcement at all, the same flow uses the SMux.
+  views_.fail_origin_everywhere(hmux_switch_);
+  auto p2 = make_packet();
+  EXPECT_EQ(fwd.forward(p2, src_tor_).outcome, ForwardOutcome::kDeliveredToSmux);
+}
+
+TEST_F(ForwarderTest, TipDoubleBounceAcrossSwitches) {
+  // Primary on cores[0] points at a TIP hosted on aggs[0]; the packet takes
+  // two mux hops and ends at a DIP.
+  const Ipv4Address tip{200, 0, 0, 1};
+  ASSERT_TRUE(dataplane(hmux_switch_).install_vip(kVip, {tip}));
+  ASSERT_TRUE(dataplane(ft_.aggs[0]).install_tip(tip, dips_));
+  views_.announce_everywhere(Ipv4Prefix::host_route(kVip), hmux_switch_);
+  views_.announce_everywhere(Ipv4Prefix::host_route(tip), ft_.aggs[0]);
+
+  auto fwd = make_forwarder();
+  auto p = make_packet();
+  const auto r = fwd.forward(p, src_tor_);
+  ASSERT_EQ(r.outcome, ForwardOutcome::kDeliveredToHost);
+  int mux_hops = 0;
+  for (const auto& h : r.path) mux_hops += h.mux_processed;
+  EXPECT_EQ(mux_hops, 2);  // encap at primary, decap+re-encap at TIP switch
+  EXPECT_NE(std::find(dips_.begin(), dips_.end(), r.final_destination), dips_.end());
+}
+
+TEST_F(ForwarderTest, NoRouteAnywhereBlackholes) {
+  // No SMuxes, no HMux: the VIP simply has no route.
+  RoutingFabric empty{ft_.topo.switch_count()};
+  HopByHopForwarder fwd{ft_.topo, empty, {}, {}, {}};
+  auto p = make_packet();
+  EXPECT_EQ(fwd.forward(p, src_tor_).outcome, ForwardOutcome::kBlackholed);
+}
+
+TEST_F(ForwarderTest, SourceInsideFailedRackIsDark) {
+  put_vip_on_hmux();
+  auto fwd = make_forwarder({src_tor_});
+  auto p = make_packet();
+  EXPECT_EQ(fwd.forward(p, src_tor_).outcome, ForwardOutcome::kBlackholed);
+}
+
+TEST_F(ForwarderTest, EcmpUsesMultiplePathsAcrossFlows) {
+  put_vip_on_hmux();
+  auto fwd = make_forwarder();
+  std::unordered_set<SwitchId> second_hops;
+  for (std::uint16_t sp = 1; sp <= 200; ++sp) {
+    auto p = make_packet(sp);
+    const auto r = fwd.forward(p, src_tor_);
+    ASSERT_EQ(r.outcome, ForwardOutcome::kDeliveredToHost);
+    ASSERT_GE(r.path.size(), 2u);
+    second_hops.insert(r.path[1].sw);
+  }
+  EXPECT_GE(second_hops.size(), 2u);  // both Aggs of the source container
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,218 @@
+// Randomized reference-model tests ("fuzz lite"): drive the table
+// implementations with long random operation sequences and check them
+// against trivially-correct reference models. These catch state-machine
+// bugs that the scenario tests can't reach.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataplane/pipeline.h"
+#include "duet/smux.h"
+#include "dataplane/tables.h"
+#include "routing/rib.h"
+#include "util/random.h"
+
+namespace duet {
+namespace {
+
+// --- LPM table vs. linear-scan reference ------------------------------------------
+
+class LpmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmFuzz, MatchesLinearScanReference) {
+  Rng rng{GetParam()};
+  LpmTable table;
+  std::map<Ipv4Prefix, EcmpGroupId> reference;
+
+  auto random_prefix = [&] {
+    const auto len = static_cast<std::uint8_t>(rng.uniform(33));
+    return Ipv4Prefix{Ipv4Address{static_cast<std::uint32_t>(rng())}, len};
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    const auto roll = rng.uniform(10);
+    if (roll < 5) {
+      const auto p = random_prefix();
+      const auto g = static_cast<EcmpGroupId>(rng.uniform(1000));
+      table.insert(p, g);
+      reference[p] = g;
+    } else if (roll < 7 && !reference.empty()) {
+      auto it = reference.begin();
+      std::advance(it, rng.uniform(reference.size()));
+      table.erase(it->first);
+      reference.erase(it);
+    } else {
+      // Query: longest matching prefix in the reference wins.
+      const Ipv4Address addr{static_cast<std::uint32_t>(rng())};
+      std::optional<EcmpGroupId> want;
+      int best_len = -1;
+      for (const auto& [prefix, group] : reference) {
+        if (prefix.contains(addr) && prefix.length() > best_len) {
+          best_len = prefix.length();
+          want = group;
+        }
+      }
+      EXPECT_EQ(table.lookup(addr), want) << "op " << op << " addr " << addr.to_string();
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmFuzz, ::testing::Values(1ULL, 7ULL, 1234ULL));
+
+// --- Rib vs. reference ---------------------------------------------------------------
+
+class RibFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RibFuzz, MatchesReference) {
+  Rng rng{GetParam()};
+  Rib rib;
+  std::map<Ipv4Prefix, std::set<SwitchId>> reference;
+
+  auto random_prefix = [&] {
+    // A small prefix universe so announce/withdraw collide often.
+    const std::uint8_t lens[] = {8, 16, 24, 32};
+    const auto len = lens[rng.uniform(4)];
+    const std::uint32_t base = (100u << 24) + static_cast<std::uint32_t>(rng.uniform(64));
+    return Ipv4Prefix{Ipv4Address{base}, len};
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    const auto roll = rng.uniform(10);
+    const auto origin = static_cast<SwitchId>(rng.uniform(6));
+    if (roll < 4) {
+      const auto p = random_prefix();
+      rib.announce(p, origin);
+      reference[p].insert(origin);
+    } else if (roll < 6 && !reference.empty()) {
+      auto it = reference.begin();
+      std::advance(it, rng.uniform(reference.size()));
+      rib.withdraw(it->first, origin);
+      it->second.erase(origin);
+      if (it->second.empty()) reference.erase(it);
+    } else if (roll == 6) {
+      rib.withdraw_all_from(origin);
+      for (auto it = reference.begin(); it != reference.end();) {
+        it->second.erase(origin);
+        it = it->second.empty() ? reference.erase(it) : std::next(it);
+      }
+    } else {
+      const Ipv4Address addr{(100u << 24) + static_cast<std::uint32_t>(rng.uniform(64))};
+      // Reference: longest prefix containing addr; all its origins, sorted.
+      std::vector<SwitchId> want;
+      int best_len = -1;
+      for (const auto& [prefix, origins] : reference) {
+        if (prefix.contains(addr) && prefix.length() > best_len) {
+          best_len = prefix.length();
+          want.assign(origins.begin(), origins.end());
+        }
+      }
+      EXPECT_EQ(rib.lookup(addr), want) << "op " << op;
+    }
+  }
+  std::size_t pairs = 0;
+  for (const auto& [p, o] : reference) pairs += o.size();
+  EXPECT_EQ(rib.route_count(), pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RibFuzz, ::testing::Values(2ULL, 99ULL, 31415ULL));
+
+// --- SwitchDataPlane VIP churn vs. capacity invariants --------------------------------
+
+class DataplaneChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DataplaneChurn, TablesNeverLeakUnderRandomChurn) {
+  Rng rng{GetParam()};
+  SwitchDataPlane dp{FlowHasher{GetParam()}};
+  const std::size_t tunnel_cap = dp.free_tunnel_entries();
+  const std::size_t ecmp_cap = dp.free_ecmp_entries();
+  const std::size_t host_cap = dp.free_host_entries();
+
+  // Reference: vip -> dip count currently installed.
+  std::unordered_map<Ipv4Address, std::size_t> installed;
+  std::size_t installed_slots = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto vip = Ipv4Address{(100u << 24) + static_cast<std::uint32_t>(rng.uniform(40))};
+    const auto roll = rng.uniform(10);
+    if (roll < 5) {
+      // Install with 1..24 DIPs.
+      const std::size_t n = 1 + rng.uniform(24);
+      std::vector<Ipv4Address> dips;
+      for (std::size_t i = 0; i < n; ++i) {
+        dips.push_back(Ipv4Address{(10u << 24) + static_cast<std::uint32_t>(rng())});
+      }
+      const bool ok = dp.install_vip(vip, dips);
+      const bool expect_ok = !installed.contains(vip) && installed_slots + n <= tunnel_cap;
+      EXPECT_EQ(ok, expect_ok) << "op " << op;
+      if (ok) {
+        installed[vip] = n;
+        installed_slots += n;
+      }
+    } else if (roll < 8) {
+      const bool ok = dp.remove_vip(vip);
+      EXPECT_EQ(ok, installed.contains(vip));
+      if (ok) {
+        installed_slots -= installed[vip];
+        installed.erase(vip);
+      }
+    } else {
+      // Data path exercise on a random VIP.
+      Packet p{FiveTuple{Ipv4Address{static_cast<std::uint32_t>(rng())}, vip,
+                         static_cast<std::uint16_t>(rng()), 80, IpProto::kTcp},
+               64};
+      const auto verdict = dp.process(p);
+      if (installed.contains(vip)) {
+        EXPECT_EQ(verdict, PipelineVerdict::kEncapsulated);
+      } else {
+        EXPECT_EQ(verdict, PipelineVerdict::kNoMatch);
+      }
+    }
+    // Accounting invariants hold after every op.
+    ASSERT_EQ(dp.free_tunnel_entries(), tunnel_cap - installed_slots);
+    ASSERT_EQ(dp.free_ecmp_entries(), ecmp_cap - installed_slots);
+    ASSERT_EQ(dp.free_host_entries(), host_cap - installed.size());
+    ASSERT_EQ(dp.vip_count(), installed.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataplaneChurn, ::testing::Values(3ULL, 42ULL, 777ULL));
+
+// --- Smux flow-table consistency under churn -------------------------------------------
+
+TEST(SmuxChurn, PinsAlwaysPointAtCurrentDips) {
+  Rng rng{5};
+  DuetConfig cfg;
+  Smux smux{0, FlowHasher{5}, cfg};
+  const Ipv4Address vip{100, 0, 0, 1};
+  std::vector<Ipv4Address> dips{Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                Ipv4Address(10, 0, 0, 3)};
+  smux.set_vip(vip, dips);
+
+  for (int op = 0; op < 1500; ++op) {
+    const auto roll = rng.uniform(20);
+    if (roll == 0 && dips.size() > 1) {
+      const auto victim = dips[rng.uniform(dips.size())];
+      smux.remove_dip(vip, victim);
+      dips.erase(std::remove(dips.begin(), dips.end(), victim), dips.end());
+    } else if (roll == 1 && dips.size() < 12) {
+      const Ipv4Address fresh{(10u << 24) + 100u + static_cast<std::uint32_t>(op)};
+      smux.add_dip(vip, fresh);
+      dips.push_back(fresh);
+    } else {
+      Packet p{FiveTuple{Ipv4Address{static_cast<std::uint32_t>(rng())}, vip,
+                         static_cast<std::uint16_t>(rng()), 80, IpProto::kTcp},
+               64};
+      ASSERT_TRUE(smux.process(p));
+      EXPECT_NE(std::find(dips.begin(), dips.end(), p.outer().outer_dst), dips.end())
+          << "op " << op << ": packet sent to a DIP not in the current set";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace duet

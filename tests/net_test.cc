@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/hash.h"
+#include "net/ip.h"
+#include "net/packet.h"
+
+namespace duet {
+namespace {
+
+// --- Ipv4Address ----------------------------------------------------------------
+
+TEST(Ipv4Address, RoundTripsDottedQuad) {
+  const auto a = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "10.1.2.3");
+  EXPECT_EQ(a->value(), (10u << 24) | (1u << 16) | (2u << 8) | 3u);
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Address(192, 168, 0, 1), *Ipv4Address::parse("192.168.0.1"));
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(Ipv4Address, HashSpreadsSequentialAddresses) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<Ipv4Address>{}(Ipv4Address{(10u << 24) + i}));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions over a tiny sequential set
+}
+
+// --- Ipv4Prefix ---------------------------------------------------------------
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p{Ipv4Address(10, 1, 2, 3), 16};
+  EXPECT_EQ(p.address(), Ipv4Address(10, 1, 0, 0));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const auto p = Ipv4Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(Ipv4Address(10, 1, 200, 200)));
+  EXPECT_FALSE(p->contains(Ipv4Address(10, 2, 0, 0)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const auto outer = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto inner = *Ipv4Prefix::parse("10.5.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix def{Ipv4Address{}, 0};
+  EXPECT_TRUE(def.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(def.contains(Ipv4Address(0, 0, 0, 1)));
+}
+
+TEST(Ipv4Prefix, HostRouteIsSlash32) {
+  const auto hr = Ipv4Prefix::host_route(Ipv4Address(10, 9, 8, 7));
+  EXPECT_EQ(hr.length(), 32);
+  EXPECT_TRUE(hr.contains(Ipv4Address(10, 9, 8, 7)));
+  EXPECT_FALSE(hr.contains(Ipv4Address(10, 9, 8, 8)));
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/x").has_value());
+}
+
+// --- Packet ---------------------------------------------------------------------
+
+TEST(Packet, EncapDecapRoundTrip) {
+  Packet p{FiveTuple{Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 1234, 80, IpProto::kTcp},
+           1500};
+  EXPECT_FALSE(p.encapsulated());
+  EXPECT_EQ(p.routing_destination(), Ipv4Address(2, 2, 2, 2));
+
+  p.encapsulate(EncapHeader{Ipv4Address(9, 9, 9, 9), Ipv4Address(3, 3, 3, 3)});
+  EXPECT_TRUE(p.encapsulated());
+  EXPECT_EQ(p.routing_destination(), Ipv4Address(3, 3, 3, 3));
+  EXPECT_EQ(p.encap_depth(), 1u);
+
+  const auto h = p.decapsulate();
+  EXPECT_EQ(h.outer_dst, Ipv4Address(3, 3, 3, 3));
+  EXPECT_FALSE(p.encapsulated());
+  EXPECT_EQ(p.routing_destination(), Ipv4Address(2, 2, 2, 2));
+}
+
+TEST(Packet, NestedEncapPopsInLifoOrder) {
+  Packet p{FiveTuple{}, 64};
+  p.encapsulate(EncapHeader{Ipv4Address(1, 0, 0, 1), Ipv4Address(1, 0, 0, 2)});
+  p.encapsulate(EncapHeader{Ipv4Address(2, 0, 0, 1), Ipv4Address(2, 0, 0, 2)});
+  EXPECT_EQ(p.encap_depth(), 2u);
+  EXPECT_EQ(p.routing_destination(), Ipv4Address(2, 0, 0, 2));
+  EXPECT_EQ(p.decapsulate().outer_dst, Ipv4Address(2, 0, 0, 2));
+  EXPECT_EQ(p.decapsulate().outer_dst, Ipv4Address(1, 0, 0, 2));
+}
+
+TEST(Packet, DecapsulateOnPlainPacketAborts) {
+  Packet p{FiveTuple{}, 64};
+  EXPECT_DEATH({ p.decapsulate(); }, "decapsulate on a plain packet");
+}
+
+// --- FlowHasher --------------------------------------------------------------------
+
+FiveTuple tuple(std::uint16_t sport) {
+  return FiveTuple{Ipv4Address(10, 0, 0, 1), Ipv4Address(20, 0, 0, 1), sport, 80, IpProto::kTcp};
+}
+
+TEST(FlowHasher, DeterministicAcrossInstancesWithSameSeed) {
+  // The crux of §3.3.1: HMux and SMux independently compute the same bucket.
+  const FlowHasher hmux{123}, smux{123};
+  for (std::uint16_t sp = 1000; sp < 1100; ++sp) {
+    EXPECT_EQ(hmux.bucket(tuple(sp), 16), smux.bucket(tuple(sp), 16));
+  }
+}
+
+TEST(FlowHasher, DifferentSeedsGiveDifferentMappings) {
+  const FlowHasher a{1}, b{2};
+  int same = 0;
+  for (std::uint16_t sp = 0; sp < 1000; ++sp) {
+    same += (a.bucket(tuple(sp), 64) == b.bucket(tuple(sp), 64));
+  }
+  // Random agreement is ~1/64.
+  EXPECT_LT(same, 60);
+}
+
+TEST(FlowHasher, BucketsRoughlyUniform) {
+  const FlowHasher h{7};
+  constexpr std::uint32_t kBuckets = 8;
+  std::vector<int> counts(kBuckets, 0);
+  for (std::uint32_t i = 0; i < 80000; ++i) {
+    FiveTuple t = tuple(static_cast<std::uint16_t>(i));
+    t.src = Ipv4Address{(10u << 24) + i};
+    ++counts[h.bucket(t, kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);  // within 5 % of ideal
+  }
+}
+
+TEST(FlowHasher, AllFieldsParticipate) {
+  const FlowHasher h;
+  const FiveTuple base = tuple(1000);
+  FiveTuple t = base;
+  t.src = Ipv4Address(10, 0, 0, 2);
+  EXPECT_NE(h.hash(base), h.hash(t));
+  t = base;
+  t.dst = Ipv4Address(20, 0, 0, 2);
+  EXPECT_NE(h.hash(base), h.hash(t));
+  t = base;
+  t.dst_port = 81;
+  EXPECT_NE(h.hash(base), h.hash(t));
+  t = base;
+  t.proto = IpProto::kUdp;
+  EXPECT_NE(h.hash(base), h.hash(t));
+}
+
+TEST(FlowHasher, BucketZeroSizeIsSafe) {
+  const FlowHasher h;
+  EXPECT_EQ(h.bucket(tuple(1), 0), 0u);
+}
+
+}  // namespace
+}  // namespace duet

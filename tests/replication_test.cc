@@ -1,0 +1,140 @@
+// Tests for the §9 VIP-replication extension.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dataplane/pipeline.h"
+#include "duet/replication.h"
+#include "workload/tracegen.h"
+
+namespace duet {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() : fabric_(build_fattree(FatTreeParams::scaled(4, 6, 4))) {
+    TraceParams p;
+    p.vip_count = 250;
+    p.total_gbps = 400.0;
+    p.epochs = 2;
+    p.max_dips = 80;
+    trace_ = generate_trace(fabric_, p);
+    demands_ = build_demands(fabric_, trace_, 0);
+  }
+
+  ReplicatedAssignment assign(std::size_t replicas, bool anti_affinity = true) {
+    AssignmentOptions o;
+    ReplicationOptions ro;
+    ro.replicas = replicas;
+    ro.container_anti_affinity = anti_affinity;
+    return ReplicatedAssigner{fabric_, o, ro}.assign(demands_);
+  }
+
+  FatTree fabric_;
+  Trace trace_;
+  std::vector<VipDemand> demands_;
+};
+
+TEST_F(ReplicationTest, EveryPlacedVipHasExactlyRDistinctHomes) {
+  const auto a = assign(3);
+  EXPECT_FALSE(a.placement.empty());
+  for (const auto& [vip, homes] : a.placement) {
+    (void)vip;
+    ASSERT_EQ(homes.size(), 3u);
+    std::unordered_set<SwitchId> uniq(homes.begin(), homes.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST_F(ReplicationTest, AntiAffinitySeparatesContainers) {
+  const auto a = assign(2);
+  for (const auto& [vip, homes] : a.placement) {
+    (void)vip;
+    std::unordered_set<std::uint64_t> domains;
+    for (const SwitchId s : homes) {
+      const auto& info = fabric_.topo.switch_info(s);
+      domains.insert(info.container != kNoContainer ? info.container : (1ULL << 32) + s);
+    }
+    EXPECT_EQ(domains.size(), homes.size()) << "two replicas share a failure domain";
+  }
+}
+
+TEST_F(ReplicationTest, ReplicationConsumesProportionalMemory) {
+  const auto a1 = assign(1);
+  const auto a2 = assign(2);
+  std::size_t mem1 = 0, mem2 = 0;
+  for (const auto m : a1.switch_dips_used) mem1 += m;
+  for (const auto m : a2.switch_dips_used) mem2 += m;
+  // Per placed VIP, R=2 uses twice the slots.
+  const double per_vip1 = static_cast<double>(mem1) / a1.placement.size();
+  const double per_vip2 = static_cast<double>(mem2) / a2.placement.size();
+  EXPECT_NEAR(per_vip2, 2.0 * per_vip1, per_vip1 * 0.2);
+}
+
+TEST_F(ReplicationTest, ReplicationSlashesFailoverSpill) {
+  const auto a1 = assign(1);
+  const auto a2 = assign(2);
+  const auto f1 = analyze_failover_replicated(fabric_, demands_, a1);
+  const auto f2 = analyze_failover_replicated(fabric_, demands_, a2);
+  // With anti-affinity and R=2, no container failure can orphan a VIP.
+  EXPECT_DOUBLE_EQ(f2.worst_container_gbps, 0.0);
+  EXPECT_GT(f1.worst_gbps(), 0.0);
+  EXPECT_LT(f2.worst_gbps(), f1.worst_gbps());
+}
+
+TEST_F(ReplicationTest, SingleReplicaMatchesFailoverModelOfBaseAssigner) {
+  // R=1 must reduce to the plain single-home analysis on the same placement.
+  const auto a1 = assign(1);
+  Assignment flat;
+  for (const auto& [vip, homes] : a1.placement) flat.placement.emplace(vip, homes.front());
+  flat.on_smux = a1.on_smux;
+  const auto f_rep = analyze_failover_replicated(fabric_, demands_, a1);
+  const auto f_flat = analyze_failover(fabric_, demands_, flat);
+  EXPECT_NEAR(f_rep.worst_three_switch_gbps, f_flat.worst_three_switch_gbps, 1e-9);
+}
+
+TEST_F(ReplicationTest, TrafficConserved) {
+  const auto a = assign(2);
+  EXPECT_NEAR(a.hmux_gbps + a.smux_gbps, total_demand_gbps(demands_), 1e-6);
+}
+
+TEST_F(ReplicationTest, HigherReplicationPlacesLessTraffic) {
+  // The §9 complexity/cost trade-off: more replicas, fewer VIPs fit.
+  AssignmentOptions tight;
+  tight.host_table_capacity = 300;
+  ReplicationOptions r1{1, true}, r3{3, true};
+  const auto a1 = ReplicatedAssigner{fabric_, tight, r1}.assign(demands_);
+  const auto a3 = ReplicatedAssigner{fabric_, tight, r3}.assign(demands_);
+  EXPECT_GT(a1.placement.size(), a3.placement.size());
+  EXPECT_GE(a1.hmux_fraction(), a3.hmux_fraction());
+}
+
+TEST_F(ReplicationTest, ReplicasAgreeOnDipSelection) {
+  // The free lunch that makes anycast replication safe: identical groups on
+  // every replica pick identical DIPs for the same flow.
+  const auto a = assign(2);
+  const auto& [vip_id, homes] = *a.placement.begin();
+  const auto& workload = trace_.vips[vip_id];
+  const FlowHasher hasher{123};
+  SwitchDataPlane dp_a{hasher}, dp_b{hasher};
+  ASSERT_TRUE(dp_a.install_vip(workload.vip, workload.dips));
+  ASSERT_TRUE(dp_b.install_vip(workload.vip, workload.dips));
+  for (std::uint16_t sp = 1; sp <= 200; ++sp) {
+    Packet pa{FiveTuple{Ipv4Address(172, 0, 0, 1), workload.vip, sp, 80, IpProto::kTcp}, 64};
+    Packet pb = pa;
+    dp_a.process(pa);
+    dp_b.process(pb);
+    EXPECT_EQ(pa.outer().outer_dst, pb.outer().outer_dst);
+  }
+  (void)homes;
+}
+
+TEST(ReplicationOptionsTest, ZeroReplicasAborts) {
+  const auto fabric = build_fattree(FatTreeParams::testbed());
+  EXPECT_DEATH(
+      { ReplicatedAssigner(fabric, AssignmentOptions{}, ReplicationOptions{0, true}); },
+      "replication factor");
+}
+
+}  // namespace
+}  // namespace duet

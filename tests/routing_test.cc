@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "routing/bgp.h"
+#include "routing/rib.h"
+
+namespace duet {
+namespace {
+
+const Ipv4Address kVip{100, 0, 0, 5};
+const Ipv4Prefix kAgg{Ipv4Address{100, 0, 0, 0}, 8};
+const Ipv4Prefix kHost = Ipv4Prefix::host_route(kVip);
+
+TEST(Rib, AnnounceLookupWithdraw) {
+  Rib rib;
+  rib.announce(kAgg, 7);
+  EXPECT_EQ(rib.lookup(kVip), std::vector<SwitchId>{7});
+  EXPECT_TRUE(rib.withdraw(kAgg, 7));
+  EXPECT_TRUE(rib.lookup(kVip).empty());
+  EXPECT_FALSE(rib.withdraw(kAgg, 7));
+}
+
+TEST(Rib, HostRouteBeatsAggregate) {
+  // The §3.3.1 preferential-routing mechanism.
+  Rib rib;
+  rib.announce(kAgg, 1);   // SMux
+  rib.announce(kHost, 9);  // HMux
+  EXPECT_EQ(rib.lookup(kVip), std::vector<SwitchId>{9});
+  EXPECT_EQ(rib.best_prefix(kVip), kHost);
+  // Another VIP under the aggregate still goes to the SMux.
+  EXPECT_EQ(rib.lookup(Ipv4Address(100, 0, 0, 6)), std::vector<SwitchId>{1});
+}
+
+TEST(Rib, WithdrawingHostRouteFallsToAggregate) {
+  Rib rib;
+  rib.announce(kAgg, 1);
+  rib.announce(kHost, 9);
+  rib.withdraw(kHost, 9);
+  EXPECT_EQ(rib.lookup(kVip), std::vector<SwitchId>{1});
+}
+
+TEST(Rib, AnycastAggregateReturnsAllOrigins) {
+  // Ananta-style: every SMux announces the aggregate; ECMP over them.
+  Rib rib;
+  rib.announce(kAgg, 3);
+  rib.announce(kAgg, 1);
+  rib.announce(kAgg, 2);
+  EXPECT_EQ(rib.lookup(kVip), (std::vector<SwitchId>{1, 2, 3}));  // sorted
+}
+
+TEST(Rib, AnnounceIsIdempotent) {
+  Rib rib;
+  rib.announce(kAgg, 1);
+  rib.announce(kAgg, 1);
+  EXPECT_EQ(rib.route_count(), 1u);
+}
+
+TEST(Rib, WithdrawAllFromOrigin) {
+  Rib rib;
+  rib.announce(kAgg, 1);
+  rib.announce(kHost, 1);
+  rib.announce(kAgg, 2);
+  rib.withdraw_all_from(1);
+  EXPECT_EQ(rib.lookup(kVip), std::vector<SwitchId>{2});
+  EXPECT_EQ(rib.route_count(), 1u);
+}
+
+TEST(Rib, OriginsOfExactPrefix) {
+  Rib rib;
+  rib.announce(kAgg, 1);
+  rib.announce(kHost, 9);
+  EXPECT_EQ(rib.origins(kAgg), std::vector<SwitchId>{1});
+  EXPECT_EQ(rib.origins(kHost), std::vector<SwitchId>{9});
+  EXPECT_TRUE(rib.origins(Ipv4Prefix{kVip, 16}).empty());
+}
+
+TEST(RoutingFabric, ConvergedMutatorsHitEveryView) {
+  RoutingFabric fabric{4};
+  fabric.announce_everywhere(kHost, 2);
+  for (SwitchId v = 0; v < 4; ++v) {
+    EXPECT_EQ(fabric.rib(v).lookup(kVip), std::vector<SwitchId>{2});
+  }
+  fabric.withdraw_everywhere(kHost, 2);
+  for (SwitchId v = 0; v < 4; ++v) EXPECT_TRUE(fabric.rib(v).lookup(kVip).empty());
+}
+
+TEST(RoutingFabric, StagedConvergenceGivesDivergentViews) {
+  RoutingFabric fabric{3};
+  fabric.announce_everywhere(kAgg, 0);
+  fabric.announce_at(1, kHost, 2);
+  // View 1 prefers the HMux; views 0 and 2 haven't heard yet.
+  EXPECT_EQ(fabric.rib(1).lookup(kVip), std::vector<SwitchId>{2});
+  EXPECT_EQ(fabric.rib(0).lookup(kVip), std::vector<SwitchId>{0});
+  EXPECT_EQ(fabric.rib(2).lookup(kVip), std::vector<SwitchId>{0});
+}
+
+TEST(RoutingFabric, FailOriginEverywhere) {
+  RoutingFabric fabric{2};
+  fabric.announce_everywhere(kAgg, 0);
+  fabric.announce_everywhere(kHost, 1);
+  fabric.fail_origin_everywhere(1);
+  EXPECT_EQ(fabric.rib(0).lookup(kVip), std::vector<SwitchId>{0});
+  EXPECT_EQ(fabric.rib(1).lookup(kVip), std::vector<SwitchId>{0});
+}
+
+TEST(ControlPlaneTimings, SampleJittersAroundBase) {
+  ControlPlaneTimings t;
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double s = t.sample(100.0, rng);
+    EXPECT_GE(s, 100.0 * (1 - t.jitter_frac) - 1e-9);
+    EXPECT_LE(s, 100.0 * (1 + t.jitter_frac) + 1e-9);
+  }
+}
+
+TEST(ControlPlaneTimings, FailoverBudgetUnder40Ms) {
+  // §7.2: detection + convergence lands under 40 ms even with jitter.
+  const ControlPlaneTimings t;
+  EXPECT_LT((t.failure_detection_us + t.failure_convergence_us) * (1 + t.jitter_frac), 45e3);
+  EXPECT_GT(t.failure_detection_us + t.failure_convergence_us, 30e3);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,412 @@
+// Tests for the simulators: event queue, failure scenarios, flow-level
+// simulation, and the event-driven testbed (availability) simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "duet/assignment.h"
+#include "sim/event.h"
+#include "sim/failure.h"
+#include "sim/flowsim.h"
+#include "sim/probe.h"
+#include "util/stats.h"
+#include "workload/tracegen.h"
+
+namespace duet {
+namespace {
+
+// --- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now_us(), 30.0);
+}
+
+TEST(EventQueue, StableAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(5, [&order, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilHonorsHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(100, [&] { ++fired; });
+  q.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now_us(), 50.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.schedule_after(10, tick);
+  };
+  q.schedule_at(0, tick);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now_us(), 40.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastAborts) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_DEATH({ q.schedule_at(5, [] {}); }, "scheduling into the past");
+}
+
+// --- Failure scenarios ------------------------------------------------------------
+
+TEST(Failure, RandomSwitchFailureCount) {
+  const auto ft = build_fattree(FatTreeParams::scaled(3, 4, 3));
+  Rng rng{5};
+  const auto s = random_switch_failure(ft, 3, rng);
+  EXPECT_EQ(s.failed_switches.size(), 3u);
+  for (const auto sw : s.failed_switches) EXPECT_LT(sw, ft.topo.switch_count());
+}
+
+TEST(Failure, ContainerFailureTakesWholeContainer) {
+  const auto ft = build_fattree(FatTreeParams::scaled(3, 4, 3));
+  const auto s = container_failure(ft, 1);
+  EXPECT_EQ(s.failed_switches.size(),
+            ft.params.tors_per_container + ft.params.aggs_per_container);
+  for (const auto sw : s.failed_switches) {
+    EXPECT_EQ(ft.topo.switch_info(sw).container, 1u);
+  }
+}
+
+TEST(Failure, HealthyScenarioIsEmpty) { EXPECT_TRUE(healthy_scenario().empty()); }
+
+// --- Flow simulator ------------------------------------------------------------
+
+class FlowSimTest : public ::testing::Test {
+ protected:
+  FlowSimTest() : fabric_(build_fattree(FatTreeParams::scaled(4, 6, 4))) {
+    TraceParams p;
+    p.vip_count = 300;
+    p.total_gbps = 500.0;
+    p.epochs = 2;
+    p.max_dips = 150;
+    trace_ = generate_trace(fabric_, p);
+    demands_ = build_demands(fabric_, trace_, 0);
+    assignment_ = VipAssigner{fabric_, AssignmentOptions{}}.assign(demands_);
+    smux_tors_ = {fabric_.tors[0], fabric_.tors[7], fabric_.tors[13]};
+  }
+
+  FatTree fabric_;
+  Trace trace_;
+  std::vector<VipDemand> demands_;
+  Assignment assignment_;
+  std::vector<SwitchId> smux_tors_;
+};
+
+TEST_F(FlowSimTest, HealthyRunConservesTraffic) {
+  const auto r = simulate_flows(fabric_, demands_, assignment_, smux_tors_, healthy_scenario());
+  EXPECT_NEAR(r.hmux_gbps + r.smux_gbps, total_demand_gbps(demands_), 1e-6);
+  EXPECT_NEAR(r.vanished_gbps, 0.0, 1e-9);
+  EXPECT_NEAR(r.blackholed_gbps, 0.0, 1e-9);
+  EXPECT_GT(r.hmux_gbps, r.smux_gbps);  // HMuxes carry the bulk
+}
+
+TEST_F(FlowSimTest, HealthyUtilizationWithinReservedHeadroom) {
+  // The assignment packed to 80 % of capacity, so raw utilization <= 0.8.
+  const auto r = simulate_flows(fabric_, demands_, assignment_, smux_tors_, healthy_scenario());
+  // SMux-leftover traffic is not capacity-planned, so allow a little slack.
+  EXPECT_LE(r.max_link_utilization, 1.0);
+  EXPECT_GT(r.max_link_utilization, 0.0);
+}
+
+TEST_F(FlowSimTest, SwitchFailureShiftsTrafficToSmuxes) {
+  const auto healthy =
+      simulate_flows(fabric_, demands_, assignment_, smux_tors_, healthy_scenario());
+  // Fail the HMux carrying the most traffic.
+  std::unordered_map<SwitchId, double> per_switch;
+  for (const auto& d : demands_) {
+    if (const auto sw = assignment_.switch_of(d.id)) per_switch[*sw] += d.total_gbps;
+  }
+  const auto top = std::max_element(per_switch.begin(), per_switch.end(),
+                                    [](auto& a, auto& b) { return a.second < b.second; });
+  FailureScenario s;
+  s.name = "top-switch";
+  s.failed_switches.insert(top->first);
+
+  const auto failed = simulate_flows(fabric_, demands_, assignment_, smux_tors_, s);
+  EXPECT_GT(failed.smux_gbps, healthy.smux_gbps);
+  EXPECT_LT(failed.hmux_gbps, healthy.hmux_gbps);
+}
+
+TEST_F(FlowSimTest, ContainerFailureRemovesItsSourcedTraffic) {
+  const auto s = container_failure(fabric_, 0);
+  const auto r = simulate_flows(fabric_, demands_, assignment_, smux_tors_, s);
+  EXPECT_GT(r.vanished_gbps, 0.0);  // sources inside the container died
+  EXPECT_LT(r.hmux_gbps + r.smux_gbps, total_demand_gbps(demands_));
+}
+
+TEST_F(FlowSimTest, NoSmuxesMeansBlackholedFailover) {
+  // Degenerate deployment: no backstop. Failing an HMux blackholes traffic.
+  std::unordered_map<SwitchId, double> per_switch;
+  for (const auto& d : demands_) {
+    if (const auto sw = assignment_.switch_of(d.id)) per_switch[*sw] += d.total_gbps;
+  }
+  const auto top = std::max_element(per_switch.begin(), per_switch.end(),
+                                    [](auto& a, auto& b) { return a.second < b.second; });
+  FailureScenario s;
+  s.failed_switches.insert(top->first);
+  const auto r = simulate_flows(fabric_, demands_, assignment_, {}, s);
+  EXPECT_GT(r.blackholed_gbps, 0.0);
+}
+
+TEST_F(FlowSimTest, LoadAppearsOnlyOnLiveLinks) {
+  const auto s = container_failure(fabric_, 1);
+  const auto r = simulate_flows(fabric_, demands_, assignment_, smux_tors_, s);
+  for (LinkId l = 0; l < fabric_.topo.link_count(); ++l) {
+    const auto& li = fabric_.topo.link_info(l);
+    if (s.failed_switches.contains(li.a) || s.failed_switches.contains(li.b)) {
+      EXPECT_DOUBLE_EQ(r.link_load_gbps[l * 2], 0.0);
+      EXPECT_DOUBLE_EQ(r.link_load_gbps[l * 2 + 1], 0.0);
+    }
+  }
+}
+
+// --- Testbed (probe) simulator ----------------------------------------------------
+
+class TestbedSimTest : public ::testing::Test {
+ protected:
+  static constexpr double kMs = 1e3;
+  TestbedSimTest() : sim_(FatTreeParams::testbed(), DuetConfig{}, 42) {
+    const auto& ft = sim_.fabric();
+    // SMuxes on ToRs 0..2 (as in Fig 10), VIP DIPs under ToR 3.
+    sim_.deploy_smux(ft.tors[0]);
+    sim_.deploy_smux(ft.tors[1]);
+    sim_.deploy_smux(ft.tors[2]);
+    vip_ = Ipv4Address{100, 0, 0, 1};
+    dips_ = {ft.servers_by_tor[3][0], ft.servers_by_tor[3][1]};
+    src_ = ft.servers_by_tor[0][5];
+    sim_.define_vip(vip_, dips_);
+  }
+
+  TestbedSim sim_;
+  Ipv4Address vip_, src_;
+  std::vector<Ipv4Address> dips_;
+};
+
+TEST_F(TestbedSimTest, VipOnSmuxServedViaSoftware) {
+  sim_.start_probes(vip_, src_, 0.0, 100 * kMs, 3 * kMs);
+  sim_.run_until(100 * kMs);
+  const auto& s = sim_.samples(vip_);
+  ASSERT_GT(s.size(), 20u);
+  for (const auto& p : s) {
+    EXPECT_FALSE(p.lost);
+    EXPECT_EQ(p.via, ProbeVia::kSmux);
+    EXPECT_GT(p.rtt_us, 100.0);
+  }
+}
+
+TEST_F(TestbedSimTest, VipOnHmuxIsFasterThanSmux) {
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);
+  sim_.set_smux_offered_pps(200e3);
+  sim_.start_probes(vip_, src_, 0.0, 200 * kMs, 3 * kMs);
+  sim_.run_until(200 * kMs);
+  Summary hmux_rtt;
+  for (const auto& p : sim_.samples(vip_)) {
+    ASSERT_FALSE(p.lost);
+    ASSERT_EQ(p.via, ProbeVia::kHmux);
+    hmux_rtt.add(p.rtt_us);
+  }
+  // HMux adds ~1us; the same path through a loaded SMux adds hundreds.
+  EXPECT_LT(hmux_rtt.median(), 400.0);
+}
+
+TEST_F(TestbedSimTest, HmuxFailureBlackholesThenFailsOverWithin40Ms) {
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[1]);
+  sim_.schedule_switch_failure(100 * kMs, ft.cores[1]);
+  sim_.start_probes(vip_, src_, 0.0, 300 * kMs, 1 * kMs);
+  sim_.run_until(300 * kMs);
+
+  double first_loss = -1, last_loss = -1;
+  ProbeVia via_after = ProbeVia::kNone;
+  for (const auto& p : sim_.samples(vip_)) {
+    if (p.lost) {
+      if (first_loss < 0) first_loss = p.t_us;
+      last_loss = p.t_us;
+    } else if (last_loss >= 0 && via_after == ProbeVia::kNone) {
+      via_after = p.via;
+    }
+  }
+  ASSERT_GE(first_loss, 100 * kMs) << "no loss before the failure";
+  // §7.2: traffic falls over to the SMuxes within ~38 ms.
+  EXPECT_LT(last_loss - 100 * kMs, 50 * kMs);
+  EXPECT_EQ(via_after, ProbeVia::kSmux);
+}
+
+TEST_F(TestbedSimTest, OtherVipsUnaffectedByFailure) {
+  const auto& ft = sim_.fabric();
+  const Ipv4Address vip2{100, 0, 0, 2};
+  sim_.define_vip(vip2, {ft.servers_by_tor[3][2]});
+  sim_.assign_vip_to_hmux(vip_, ft.cores[1]);
+  sim_.assign_vip_to_hmux(vip2, ft.aggs[3]);
+  sim_.schedule_switch_failure(100 * kMs, ft.cores[1]);
+  sim_.start_probes(vip2, src_, 0.0, 300 * kMs, 3 * kMs);
+  sim_.run_until(300 * kMs);
+  for (const auto& p : sim_.samples(vip2)) {
+    EXPECT_FALSE(p.lost);
+    EXPECT_EQ(p.via, ProbeVia::kHmux);
+  }
+}
+
+TEST_F(TestbedSimTest, MigrationIsLossless) {
+  // §7.3 / Fig 13: no probe loss during any migration flavour.
+  const auto& ft = sim_.fabric();
+  const Ipv4Address vip2{100, 0, 0, 2}, vip3{100, 0, 0, 3};
+  sim_.define_vip(vip2, {ft.servers_by_tor[3][2]});
+  sim_.define_vip(vip3, {ft.servers_by_tor[3][3]});
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);   // will go H->S
+  sim_.assign_vip_to_hmux(vip3, ft.cores[1]);   // will go H->H
+  // vip2 stays on SMux, will go S->H.
+
+  sim_.schedule_migration(100 * kMs, vip_, std::nullopt);      // H->S
+  sim_.schedule_migration(100 * kMs, vip2, ft.aggs[0]);        // S->H
+  sim_.schedule_migration(100 * kMs, vip3, ft.cores[0]);       // H->H via SMux
+
+  for (const auto v : {vip_, vip2, vip3}) {
+    sim_.start_probes(v, src_, 0.0, 2500 * kMs, 3 * kMs);
+  }
+  sim_.run_until(2500 * kMs);
+
+  for (const auto v : {vip_, vip2, vip3}) {
+    for (const auto& p : sim_.samples(v)) {
+      EXPECT_FALSE(p.lost) << "probe lost at t=" << p.t_us / 1e3 << "ms during migration";
+    }
+  }
+  EXPECT_FALSE(sim_.vip_on_hmux(vip_));
+  EXPECT_TRUE(sim_.vip_on_hmux(vip2));
+  EXPECT_TRUE(sim_.vip_on_hmux(vip3));
+}
+
+TEST_F(TestbedSimTest, HmuxToHmuxTransitsSmux) {
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);
+  sim_.schedule_migration(100 * kMs, vip_, ft.cores[1]);
+  sim_.start_probes(vip_, src_, 0.0, 2500 * kMs, 3 * kMs);
+  sim_.run_until(2500 * kMs);
+
+  bool saw_smux_phase = false;
+  for (const auto& p : sim_.samples(vip_)) {
+    saw_smux_phase |= (p.via == ProbeVia::kSmux || p.via == ProbeVia::kSmuxDetour);
+  }
+  EXPECT_TRUE(saw_smux_phase) << "H->H migration must pass through the SMux stepping stone";
+  EXPECT_TRUE(sim_.vip_on_hmux(vip_));
+}
+
+TEST_F(TestbedSimTest, SmuxFailureLosesOnlyItsHashShareUntilConvergence) {
+  // §5.1: "SMux failure … Switches detect SMux failure through BGP, and use
+  // ECMP to direct traffic to other SMuxes." Flows hashed to the dead SMux
+  // are lost only during the detection window; afterwards everything lands
+  // on the survivors.
+  sim_.schedule_smux_failure(100 * kMs, 0);
+  // Many distinct flows so every SMux gets a share.
+  for (std::uint16_t i = 0; i < 30; ++i) {
+    sim_.start_probes(vip_, sim_.fabric().servers_by_tor[0][i % 10], i * 0.1 * kMs,
+                      300 * kMs, 3 * kMs);
+  }
+  sim_.run_until(300 * kMs);
+
+  int lost_before = 0, lost_during = 0, lost_after = 0;
+  for (const auto& p : sim_.samples(vip_)) {
+    if (!p.lost) continue;
+    if (p.t_us < 100 * kMs) {
+      ++lost_before;
+    } else if (p.t_us < 160 * kMs) {
+      ++lost_during;
+    } else {
+      ++lost_after;
+    }
+  }
+  EXPECT_EQ(lost_before, 0);
+  EXPECT_GT(lost_during, 0) << "the dead SMux's hash share is lost pre-convergence";
+  EXPECT_EQ(lost_after, 0) << "ECMP must have re-spread onto survivors";
+}
+
+TEST_F(TestbedSimTest, SmuxFailureDoesNotAffectHmuxVips) {
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);
+  sim_.schedule_smux_failure(100 * kMs, 1);
+  sim_.start_probes(vip_, src_, 0.0, 300 * kMs, 3 * kMs);
+  sim_.run_until(300 * kMs);
+  for (const auto& p : sim_.samples(vip_)) {
+    EXPECT_FALSE(p.lost);
+    EXPECT_EQ(p.via, ProbeVia::kHmux);
+  }
+}
+
+TEST_F(TestbedSimTest, NonIsolatingLinkFailureIsHarmless) {
+  // §5.1: "Otherwise, it has no impact on availability, although it may
+  // cause VIP traffic to re-route."
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);
+  // Fail one of the source ToR's two uplinks.
+  const LinkId uplink = ft.topo.neighbors(ft.tors[0])[0].link;
+  sim_.schedule_link_failure(100 * kMs, uplink);
+  sim_.start_probes(vip_, src_, 0.0, 300 * kMs, 3 * kMs);
+  sim_.run_until(300 * kMs);
+  for (const auto& p : sim_.samples(vip_)) {
+    EXPECT_FALSE(p.lost);
+  }
+}
+
+TEST_F(TestbedSimTest, IsolatingLinkFailuresActAsSwitchFailure) {
+  // Cut every uplink of the probe's source ToR: the rack goes dark.
+  const auto& ft = sim_.fabric();
+  for (const auto& adj : ft.topo.neighbors(ft.tors[0])) {
+    sim_.schedule_link_failure(100 * kMs, adj.link);
+  }
+  sim_.start_probes(vip_, src_, 0.0, 200 * kMs, 3 * kMs);
+  sim_.run_until(200 * kMs);
+  bool lost_after = false;
+  for (const auto& p : sim_.samples(vip_)) {
+    if (p.t_us < 100 * kMs) {
+      EXPECT_FALSE(p.lost);
+    } else {
+      lost_after |= p.lost;
+    }
+  }
+  EXPECT_TRUE(lost_after);
+}
+
+TEST_F(TestbedSimTest, MigrationOpLatenciesMatchFig14Scale) {
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);
+  sim_.schedule_migration(100 * kMs, vip_, ft.cores[1]);
+  sim_.run_until(3000 * kMs);
+  const auto& ops = sim_.op_latencies();
+  ASSERT_EQ(ops.add_vip_us.size(), 1u);
+  ASSERT_EQ(ops.delete_vip_us.size(), 1u);
+  // Fig 14: FIB VIP ops are hundreds of ms; BGP tens of ms.
+  EXPECT_GT(ops.add_vip_us[0], 200e3);
+  EXPECT_LT(ops.add_vip_us[0], 600e3);
+  EXPECT_GT(ops.vip_announce_us[0], 10e3);
+  EXPECT_LT(ops.vip_announce_us[0], 100e3);
+  // §7.3: "80-90% of the migration delay is due to the FIB".
+  const double total = ops.add_vip_us[0] + ops.add_dips_us[0] + ops.vip_announce_us[0];
+  EXPECT_GT(ops.add_vip_us[0] / total, 0.6);
+}
+
+}  // namespace
+}  // namespace duet

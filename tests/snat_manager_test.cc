@@ -1,0 +1,160 @@
+// Tests for the controller-side SNAT coordinator and its interplay with the
+// host agents' port allocators and flow-table GC (§5.2 operational pieces).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dataplane/pipeline.h"
+#include "duet/smux.h"
+#include "duet/snat.h"
+#include "duet/snat_manager.h"
+
+namespace duet {
+namespace {
+
+const Ipv4Address kVip{100, 0, 0, 1};
+const Ipv4Address kDipA{10, 0, 0, 1};
+const Ipv4Address kDipB{10, 0, 0, 2};
+
+// --- SnatCoordinator ---------------------------------------------------------------
+
+TEST(SnatCoordinator, GrantsAreDisjointAcrossDips) {
+  SnatCoordinator coord{1024};
+  std::vector<PortRange> all;
+  for (int i = 0; i < 10; ++i) {
+    const auto dip = Ipv4Address{(10u << 24) + 1u + i};
+    const auto r = coord.grant(kVip, dip);
+    ASSERT_TRUE(r.has_value());
+    for (const auto& other : all) {
+      EXPECT_TRUE(r->end <= other.begin || r->begin >= other.end)
+          << "overlap: [" << r->begin << "," << r->end << ") vs [" << other.begin << ","
+          << other.end << ")";
+    }
+    all.push_back(*r);
+  }
+}
+
+TEST(SnatCoordinator, RepeatGrantsToOneDipAccumulate) {
+  SnatCoordinator coord{512};
+  const auto r1 = coord.grant(kVip, kDipA);
+  const auto r2 = coord.grant(kVip, kDipA);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_NE(*r1, *r2);
+  EXPECT_EQ(coord.ranges_of(kVip, kDipA).size(), 2u);
+}
+
+TEST(SnatCoordinator, SpacesArePerVip) {
+  // Two VIPs can hand the SAME port block to different DIPs — the return
+  // 5-tuple differs in destination address.
+  SnatCoordinator coord{1024};
+  const auto a = coord.grant(kVip, kDipA);
+  const auto b = coord.grant(Ipv4Address{100, 0, 0, 2}, kDipB);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->begin, b->begin);
+}
+
+TEST(SnatCoordinator, ExhaustionThenReleaseRecycles) {
+  SnatCoordinator coord{8192, 1024};  // (65536-1024)/8192 = 7 blocks
+  EXPECT_EQ(coord.free_blocks(kVip), 7u);
+  std::vector<PortRange> got;
+  for (int i = 0; i < 7; ++i) {
+    const auto r = coord.grant(kVip, kDipA);
+    ASSERT_TRUE(r.has_value()) << i;
+    got.push_back(*r);
+  }
+  EXPECT_FALSE(coord.grant(kVip, kDipB).has_value());  // exhausted
+  coord.release_all(kVip, kDipA);
+  EXPECT_EQ(coord.free_blocks(kVip), 7u);
+  EXPECT_TRUE(coord.grant(kVip, kDipB).has_value());  // recycled
+}
+
+TEST(SnatCoordinator, ReleaseUnknownIsHarmless) {
+  SnatCoordinator coord;
+  coord.release_all(kVip, kDipA);
+  EXPECT_TRUE(coord.ranges_of(kVip, kDipA).empty());
+}
+
+TEST(SnatCoordinator, GrantFeedsHostAgentAllocator) {
+  // The full §5.2 replenishment loop: the HA exhausts its block, asks the
+  // controller, and continues from a NEW disjoint block.
+  const FlowHasher hasher{9};
+  SwitchDataPlane hmux{hasher};
+  ASSERT_TRUE(hmux.install_vip(kVip, {kDipA, kDipB}));
+
+  SnatCoordinator coord{16};  // tiny blocks to force replenishment
+  const auto first = coord.grant(kVip, kDipA);
+  ASSERT_TRUE(first.has_value());
+  SnatPortAllocator alloc{hasher, *first};
+
+  const auto lands_on_a = [&](const FiveTuple& ret) {
+    Packet probe{ret, 64};
+    return hmux.process(probe) == PipelineVerdict::kEncapsulated &&
+           probe.outer().outer_dst == kDipA;
+  };
+
+  std::unordered_set<std::uint16_t> ports;
+  int replenishments = 0;
+  for (int conn = 0; conn < 40; ++conn) {
+    auto port = alloc.allocate(kVip, Ipv4Address(8, 8, 8, 8), 443, IpProto::kTcp, lands_on_a);
+    while (!port.has_value()) {
+      const auto more = coord.grant(kVip, kDipA);
+      ASSERT_TRUE(more.has_value()) << "coordinator exhausted";
+      alloc.add_range(*more);
+      ++replenishments;
+      port = alloc.allocate(kVip, Ipv4Address(8, 8, 8, 8), 443, IpProto::kTcp, lands_on_a);
+    }
+    EXPECT_TRUE(ports.insert(*port).second) << "port reused";
+    // Return packet really lands on DIP A.
+    Packet ret{FiveTuple{Ipv4Address(8, 8, 8, 8), kVip, 443, *port, IpProto::kTcp}, 64};
+    ASSERT_EQ(hmux.process(ret), PipelineVerdict::kEncapsulated);
+    EXPECT_EQ(ret.outer().outer_dst, kDipA);
+  }
+  EXPECT_GT(replenishments, 0) << "16-port blocks must run out for 40 matching ports";
+}
+
+TEST(SnatAllocator, AddRangeRejectsOverlap) {
+  SnatPortAllocator alloc{FlowHasher{1}, PortRange{1000, 2000}};
+  EXPECT_DEATH({ alloc.add_range(PortRange{1500, 2500}); }, "overlapping");
+  alloc.add_range(PortRange{3000, 4000});
+  EXPECT_EQ(alloc.range_count(), 2u);
+  EXPECT_EQ(alloc.range_size(), 2000u);
+}
+
+// --- Smux flow-table GC ---------------------------------------------------------
+
+TEST(SmuxFlowExpiry, IdlePinsAreEvictedActiveOnesKept) {
+  DuetConfig cfg;
+  Smux smux{0, FlowHasher{3}, cfg};
+  smux.set_vip(kVip, {kDipA, kDipB});
+  constexpr double kSec = 1e6;
+
+  Packet idle{FiveTuple{Ipv4Address(172, 0, 0, 1), kVip, 1, 80, IpProto::kTcp}, 64};
+  Packet busy{FiveTuple{Ipv4Address(172, 0, 0, 1), kVip, 2, 80, IpProto::kTcp}, 64};
+  ASSERT_TRUE(smux.process(idle, 0.0));
+  ASSERT_TRUE(smux.process(busy, 0.0));
+  EXPECT_EQ(smux.flow_table_size(), 2u);
+
+  // The busy flow keeps sending; the idle one goes quiet.
+  Packet busy2 = busy;
+  ASSERT_TRUE(smux.process(busy2, 50 * kSec));
+
+  const auto evicted = smux.expire_flows(60 * kSec, 30 * kSec);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(smux.flow_table_size(), 1u);
+}
+
+TEST(SmuxFlowExpiry, ReEvaluatedFlowKeepsItsDipWhenPoolUnchanged) {
+  DuetConfig cfg;
+  Smux smux{0, FlowHasher{3}, cfg};
+  smux.set_vip(kVip, {kDipA, kDipB});
+  Packet p1{FiveTuple{Ipv4Address(172, 0, 0, 1), kVip, 7, 80, IpProto::kTcp}, 64};
+  ASSERT_TRUE(smux.process(p1, 0.0));
+  smux.expire_flows(100.0, 1.0);
+  EXPECT_EQ(smux.flow_table_size(), 0u);
+  Packet p2{p1.tuple(), 64};
+  ASSERT_TRUE(smux.process(p2, 200.0));
+  EXPECT_EQ(p2.outer().outer_dst, p1.outer().outer_dst);  // deterministic hash
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "topo/fattree.h"
+#include "topo/paths.h"
+#include "topo/topology.h"
+
+namespace duet {
+namespace {
+
+// --- Topology -------------------------------------------------------------------
+
+TEST(Topology, AddAndQuery) {
+  Topology t;
+  const auto s0 = t.add_switch(SwitchRole::kTor, 0, "t0");
+  const auto s1 = t.add_switch(SwitchRole::kAgg, 0, "a0");
+  const auto l = t.add_link(s0, s1, 10.0);
+  EXPECT_EQ(t.switch_count(), 2u);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.switch_info(s0).role, SwitchRole::kTor);
+  EXPECT_EQ(t.capacity_gbps(l), 10.0);
+  EXPECT_EQ(t.other_end(l, s0), s1);
+  EXPECT_EQ(t.other_end(l, s1), s0);
+  ASSERT_EQ(t.neighbors(s0).size(), 1u);
+  EXPECT_EQ(t.neighbors(s0)[0].neighbor, s1);
+}
+
+TEST(Topology, HostAttachment) {
+  Topology t;
+  const auto tor = t.add_switch(SwitchRole::kTor, 0, "t0");
+  const Ipv4Address h(10, 0, 0, 1);
+  t.attach_host(h, tor);
+  EXPECT_EQ(t.tor_of(h), tor);
+  EXPECT_EQ(t.tor_of(Ipv4Address(10, 0, 0, 2)), kInvalidSwitch);
+}
+
+TEST(Topology, ContainerQueries) {
+  Topology t;
+  const auto a = t.add_switch(SwitchRole::kAgg, 0, "a");
+  const auto t0 = t.add_switch(SwitchRole::kTor, 0, "t0");
+  const auto t1 = t.add_switch(SwitchRole::kTor, 1, "t1");
+  const auto c = t.add_switch(SwitchRole::kCore, kNoContainer, "c");
+  const auto l_in = t.add_link(a, t0, 10);
+  t.add_link(a, c, 40);
+  t.add_link(t1, c, 40);
+
+  EXPECT_EQ(t.container_count(), 2u);
+  const auto in0 = t.switches_in_container(0);
+  EXPECT_EQ(in0.size(), 2u);
+  const auto links0 = t.links_in_container(0);
+  ASSERT_EQ(links0.size(), 1u);
+  EXPECT_EQ(links0[0], l_in);
+  EXPECT_EQ(t.switches_with_role(SwitchRole::kCore).size(), 1u);
+}
+
+// --- FatTree --------------------------------------------------------------------
+
+TEST(FatTree, TestbedShapeMatchesFig10) {
+  const auto ft = build_fattree(FatTreeParams::testbed());
+  EXPECT_EQ(ft.cores.size(), 2u);
+  EXPECT_EQ(ft.aggs.size(), 4u);
+  EXPECT_EQ(ft.tors.size(), 4u);
+  EXPECT_EQ(ft.topo.switch_count(), 10u);  // paper: "10 Broadcom-based switches"
+  EXPECT_EQ(ft.servers.size(), 60u);       // paper: "60 servers"
+}
+
+TEST(FatTree, ProductionShapeMatchesSection81) {
+  auto p = FatTreeParams::production();
+  EXPECT_EQ(p.total_switches(), 40u * 44u + 40u);  // 1600 ToR + 160 Agg + 40 Core
+  EXPECT_NEAR(static_cast<double>(p.total_servers()), 50000.0, 2000.0);
+}
+
+TEST(FatTree, EveryTorLinksToEveryAggInContainer) {
+  const auto ft = build_fattree(FatTreeParams::scaled(2, 3, 2));
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      const SwitchId tor = ft.tors[c * 3 + t];
+      std::unordered_set<SwitchId> agg_neighbors;
+      for (const auto& adj : ft.topo.neighbors(tor)) {
+        if (ft.topo.switch_info(adj.neighbor).role == SwitchRole::kAgg) {
+          agg_neighbors.insert(adj.neighbor);
+        }
+      }
+      EXPECT_EQ(agg_neighbors.size(), ft.params.aggs_per_container);
+      for (const SwitchId agg : agg_neighbors) {
+        EXPECT_EQ(ft.topo.switch_info(agg).container, ft.topo.switch_info(tor).container);
+      }
+    }
+  }
+}
+
+TEST(FatTree, ServersAreAttachedToTheirTor) {
+  const auto ft = build_fattree(FatTreeParams::scaled(2, 2, 2));
+  for (std::size_t t = 0; t < ft.tors.size(); ++t) {
+    for (const auto ip : ft.servers_by_tor[t]) {
+      EXPECT_EQ(ft.topo.tor_of(ip), ft.tors[t]);
+    }
+  }
+}
+
+TEST(FatTree, ServerAddressesAreUnique) {
+  const auto ft = build_fattree(FatTreeParams::scaled(3, 4, 2));
+  std::unordered_set<Ipv4Address> seen(ft.servers.begin(), ft.servers.end());
+  EXPECT_EQ(seen.size(), ft.servers.size());
+}
+
+TEST(FatTree, LinkCapacitiesFollowTier) {
+  const auto ft = build_fattree(FatTreeParams::testbed());
+  for (LinkId l = 0; l < ft.topo.link_count(); ++l) {
+    const auto& li = ft.topo.link_info(l);
+    const auto ra = ft.topo.switch_info(li.a).role;
+    const auto rb = ft.topo.switch_info(li.b).role;
+    if (ra == SwitchRole::kCore || rb == SwitchRole::kCore) {
+      EXPECT_EQ(li.capacity_gbps, ft.params.agg_core_gbps);
+    } else {
+      EXPECT_EQ(li.capacity_gbps, ft.params.tor_agg_gbps);
+    }
+  }
+}
+
+// --- EcmpRouting ----------------------------------------------------------------
+
+class EcmpRoutingTest : public ::testing::Test {
+ protected:
+  EcmpRoutingTest() : ft_(build_fattree(FatTreeParams::testbed())) {}
+  FatTree ft_;
+};
+
+TEST_F(EcmpRoutingTest, IntraContainerDistance) {
+  // ToR -> Agg (same container) = 1 hop; ToR -> ToR same container = 2.
+  EcmpRouting r{ft_.topo};
+  EXPECT_EQ(r.distance(ft_.tors[0], ft_.tors[0]), 0u);
+  EXPECT_EQ(r.distance(ft_.tors[0], ft_.aggs[0]), 1u);
+  EXPECT_EQ(r.distance(ft_.tors[0], ft_.tors[1]), 2u);
+}
+
+TEST_F(EcmpRoutingTest, CrossContainerDistanceIsFour) {
+  EcmpRouting r{ft_.topo};
+  EXPECT_EQ(r.distance(ft_.tors[0], ft_.tors[2]), 4u);  // ToR-Agg-Core-Agg-ToR
+}
+
+TEST_F(EcmpRoutingTest, NextHopsAreEquidistant) {
+  EcmpRouting r{ft_.topo};
+  const auto hops = r.next_hops(ft_.tors[0], ft_.tors[2]);
+  EXPECT_EQ(hops.size(), 2u);  // both Aggs in the container
+  for (const auto& h : hops) {
+    EXPECT_EQ(r.distance(h.neighbor, ft_.tors[2]) + 1, r.distance(ft_.tors[0], ft_.tors[2]));
+  }
+}
+
+TEST_F(EcmpRoutingTest, SpreadConservesTraffic) {
+  EcmpRouting r{ft_.topo};
+  // Sum of flow into dst's incident links must equal the injected amount.
+  std::unordered_map<LinkId, double> load;
+  r.spread(ft_.tors[0], ft_.tors[3], 8.0,
+           [&](LinkId l, SwitchId, double amt) { load[l] += amt; });
+  double into_dst = 0.0;
+  for (const auto& adj : ft_.topo.neighbors(ft_.tors[3])) {
+    if (load.contains(adj.link)) into_dst += load[adj.link];
+  }
+  EXPECT_NEAR(into_dst, 8.0, 1e-9);
+}
+
+TEST_F(EcmpRoutingTest, SpreadSplitsEvenlyAtFirstHop) {
+  EcmpRouting r{ft_.topo};
+  std::unordered_map<LinkId, double> load;
+  r.spread(ft_.tors[0], ft_.tors[2], 4.0,
+           [&](LinkId l, SwitchId from, double amt) {
+             if (from == ft_.tors[0]) load[l] += amt;
+           });
+  ASSERT_EQ(load.size(), 2u);
+  for (const auto& [l, amt] : load) EXPECT_NEAR(amt, 2.0, 1e-9);
+}
+
+TEST_F(EcmpRoutingTest, SpreadToSelfIsNoop) {
+  EcmpRouting r{ft_.topo};
+  bool called = false;
+  r.spread(ft_.tors[0], ft_.tors[0], 5.0, [&](LinkId, SwitchId, double) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(EcmpRoutingTest, SamplePathIsAValidShortestPath) {
+  EcmpRouting r{ft_.topo};
+  for (std::uint64_t h = 0; h < 50; ++h) {
+    const auto path = r.sample_path(ft_.tors[0], ft_.tors[2], h * 0x9e3779b9ULL);
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path.front(), ft_.tors[0]);
+    EXPECT_EQ(path.back(), ft_.tors[2]);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_EQ(r.distance(path[i], ft_.tors[2]) + 1, r.distance(path[i - 1], ft_.tors[2]));
+    }
+  }
+}
+
+TEST_F(EcmpRoutingTest, SamplePathUsesMultiplePaths) {
+  EcmpRouting r{ft_.topo};
+  std::unordered_set<SwitchId> second_hops;
+  for (std::uint64_t h = 0; h < 200; ++h) {
+    const auto path = r.sample_path(ft_.tors[0], ft_.tors[2], h * 0x12345678deadbeefULL + h);
+    ASSERT_GE(path.size(), 2u);
+    second_hops.insert(path[1]);
+  }
+  EXPECT_EQ(second_hops.size(), 2u);  // both Aggs get used
+}
+
+TEST_F(EcmpRoutingTest, FailedSwitchReroutesAroundIt) {
+  // Kill Agg A0.0; ToR0 must still reach ToR2 via the other Agg.
+  EcmpRouting r{ft_.topo, {ft_.aggs[0]}, {}};
+  EXPECT_TRUE(r.reachable(ft_.tors[0], ft_.tors[2]));
+  const auto hops = r.next_hops(ft_.tors[0], ft_.tors[2]);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].neighbor, ft_.aggs[1]);
+}
+
+TEST_F(EcmpRoutingTest, FailedSwitchIsUnreachable) {
+  EcmpRouting r{ft_.topo, {ft_.aggs[0]}, {}};
+  EXPECT_FALSE(r.reachable(ft_.tors[0], ft_.aggs[0]));
+  EXPECT_EQ(r.distance(ft_.tors[0], ft_.aggs[0]), kUnreachable);
+}
+
+TEST_F(EcmpRoutingTest, IsolatedSwitchHandledAsUnreachable) {
+  // Cut both of ToR0's uplinks: no path in or out.
+  std::unordered_set<LinkId> cut;
+  for (const auto& adj : ft_.topo.neighbors(ft_.tors[0])) cut.insert(adj.link);
+  EcmpRouting r{ft_.topo, {}, cut};
+  EXPECT_FALSE(r.reachable(ft_.tors[0], ft_.tors[1]));
+  EXPECT_TRUE(r.reachable(ft_.tors[1], ft_.tors[2]));
+}
+
+TEST_F(EcmpRoutingTest, SpreadRespectsFailures) {
+  EcmpRouting r{ft_.topo, {ft_.aggs[0]}, {}};
+  std::unordered_map<LinkId, double> load;
+  r.spread(ft_.tors[0], ft_.tors[1], 6.0, [&](LinkId l, SwitchId, double amt) { load[l] += amt; });
+  for (const auto& [l, amt] : load) {
+    (void)amt;
+    const auto& li = ft_.topo.link_info(l);
+    EXPECT_NE(li.a, ft_.aggs[0]);
+    EXPECT_NE(li.b, ft_.aggs[0]);
+  }
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/chart.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace duet {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{7};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRoughlyRequestedMean) {
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, NormalHasRoughlyRequestedMoments) {
+  Rng rng{13};
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / kN - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng{17};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+// --- ZipfSampler ---------------------------------------------------------------
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z{100, 1.2};
+  double sum = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, HeadIsHeavierThanTail) {
+  ZipfSampler z{1000, 1.0};
+  EXPECT_GT(z.pmf(0), z.pmf(10));
+  EXPECT_GT(z.pmf(10), z.pmf(500));
+}
+
+TEST(ZipfSampler, SamplingMatchesPmfForHead) {
+  ZipfSampler z{50, 1.5};
+  Rng rng{23};
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, z.pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, z.pmf(1), 0.01);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler z{10, 0.0};
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(z.pmf(k), 0.1, 1e-9);
+}
+
+// --- Summary ---------------------------------------------------------------------
+
+TEST(Summary, PercentilesOfKnownData) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.median(), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.5);
+}
+
+TEST(Summary, AddNInsertsRepeats) {
+  Summary s;
+  s.add_n(2.0, 3);
+  s.add(8.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Summary, CdfIsMonotonic) {
+  Summary s;
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform01());
+  const auto cdf = s.cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Summary, ResetClears) {
+  Summary s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+// --- formatting ---------------------------------------------------------------
+
+TEST(Format, Si) {
+  EXPECT_EQ(format_si(1234.0), "1.23K");
+  EXPECT_EQ(format_si(1.5e6), "1.50M");
+  EXPECT_EQ(format_si(2.0e9), "2.00G");
+  EXPECT_EQ(format_si(1.5e13), "15.00T");
+  EXPECT_EQ(format_si(12.0), "12.00");
+}
+
+TEST(Format, Pct) { EXPECT_EQ(format_pct(0.1234), "12.3%"); }
+
+TEST(Chart, RendersSeriesWithinFrame) {
+  Series s{"line", '*', {{0, 1}, {5, 2}, {10, 3}}};
+  ChartOptions o;
+  o.width = 40;
+  o.height = 6;
+  const auto out = render_chart({s}, o);
+  // Contains the frame, the glyph, the legend and both x bounds.
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("(*) line"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  // Every line fits within label + width + slack.
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) EXPECT_LE(line.size(), 40u + 20u);
+}
+
+TEST(Chart, GapsRenderAsLostMarkers) {
+  Series s{"avail", '*', {{0, 1}, {1, -1}, {2, 1}}};
+  const auto out = render_chart({s});
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(Chart, LogScalePutsDecadesApart) {
+  Series s{"lat", '*', {{0, 0.1}, {1, 10.0}}};
+  ChartOptions o;
+  o.log_y = true;
+  o.height = 11;
+  const auto out = render_chart({s}, o);
+  // Min value appears on the bottom axis label, max on top.
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+}
+
+TEST(Chart, DegenerateInputsDoNotCrash) {
+  // Single point, all-equal values, empty series list member.
+  Series one{"p", '*', {{5, 5}}};
+  EXPECT_FALSE(render_chart({one}).empty());
+  Series flat{"f", '*', {{0, 2}, {1, 2}, {2, 2}}};
+  EXPECT_FALSE(render_chart({flat}).empty());
+  Series none{"n", '*', {}};
+  EXPECT_FALSE(render_chart({none, one}).empty());
+}
+
+TEST(Chart, TooSmallAborts) {
+  Series s{"p", '*', {{0, 1}}};
+  ChartOptions o;
+  o.width = 2;
+  EXPECT_DEATH({ render_chart({s}, o); }, "chart too small");
+}
+
+TEST(TablePrinter, FormatsAndCounts) {
+  TablePrinter t{{"a", "bb"}};
+  t.add_row({"1", "2"});
+  t.add_row({TablePrinter::fmt(3.14159, "%.2f"), TablePrinter::fmt_int(42)});
+  // Smoke: printing must not crash; fmt helpers round-trip.
+  EXPECT_EQ(TablePrinter::fmt(3.14159, "%.2f"), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(-7), "-7");
+}
+
+}  // namespace
+}  // namespace duet

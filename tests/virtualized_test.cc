@@ -1,0 +1,85 @@
+// Tests for virtualized-cluster load balancing (§5.2, Fig 6).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "duet/virtualized.h"
+
+namespace duet {
+namespace {
+
+const Ipv4Address kVip{100, 0, 0, 1};
+const FlowHasher kHasher{66};
+
+// The Fig 6 scenario: host-1 (20.0.0.1) carries VM-1 and VM-2; host-2
+// (20.0.0.2) carries VM-3.
+std::vector<VmPlacement> fig6_placement() {
+  return {
+      {Ipv4Address(20, 0, 0, 1), Ipv4Address(100, 0, 1, 1)},
+      {Ipv4Address(20, 0, 0, 1), Ipv4Address(100, 0, 1, 2)},
+      {Ipv4Address(20, 0, 0, 2), Ipv4Address(100, 0, 1, 3)},
+  };
+}
+
+TEST(Virtualized, HmuxTargetsCarryHostMultiplicity) {
+  const auto targets = hmux_targets(fig6_placement());
+  ASSERT_EQ(targets.size(), 3u);
+  // Host 20.0.0.1 appears twice (two VMs), host 20.0.0.2 once — Fig 6's
+  // tunneling-table layout exactly.
+  EXPECT_EQ(std::count(targets.begin(), targets.end(), Ipv4Address(20, 0, 0, 1)), 2);
+  EXPECT_EQ(std::count(targets.begin(), targets.end(), Ipv4Address(20, 0, 0, 2)), 1);
+}
+
+TEST(Virtualized, EndToEndSplitsEvenlyAcrossVms) {
+  SwitchDataPlane hmux{kHasher};
+  std::unordered_map<Ipv4Address, HostAgent> agents;
+  ASSERT_TRUE(install_virtualized_vip(kVip, fig6_placement(), hmux, agents));
+  ASSERT_EQ(agents.size(), 2u);
+
+  std::unordered_map<Ipv4Address, int> vm_counts;
+  for (std::uint32_t i = 0; i < 30000; ++i) {
+    Packet p{FiveTuple{Ipv4Address{(172u << 24) + i}, kVip, static_cast<std::uint16_t>(i), 80,
+                       IpProto::kTcp},
+             64};
+    ASSERT_EQ(hmux.process(p), PipelineVerdict::kEncapsulated);
+    // Single encap only: the outer dst is a HOST, never a VM (§5.2 "today's
+    // switches cannot encapsulate a single packet twice").
+    EXPECT_EQ(p.encap_depth(), 1u);
+    const Ipv4Address hip = p.outer().outer_dst;
+    const auto agent = agents.find(hip);
+    ASSERT_NE(agent, agents.end()) << "encapsulated to a host with no agent";
+    const auto vm = agent->second.deliver(p);
+    ASSERT_TRUE(vm.has_value());
+    ++vm_counts[*vm];
+  }
+  // Fig 6's point: the split is even across the THREE VMs, not the two
+  // hosts, because the dual-VM host owns two tunneling entries.
+  ASSERT_EQ(vm_counts.size(), 3u);
+  for (const auto& [vm, count] : vm_counts) {
+    EXPECT_NEAR(count, 10000, 1200) << vm.to_string();
+  }
+}
+
+TEST(Virtualized, FlowStickinessHoldsThroughBothStages) {
+  SwitchDataPlane hmux{kHasher};
+  std::unordered_map<Ipv4Address, HostAgent> agents;
+  ASSERT_TRUE(install_virtualized_vip(kVip, fig6_placement(), hmux, agents));
+  for (std::uint16_t sp = 1; sp <= 100; ++sp) {
+    auto run_once = [&]() -> Ipv4Address {
+      Packet p{FiveTuple{Ipv4Address(172, 1, 1, 1), kVip, sp, 80, IpProto::kTcp}, 64};
+      hmux.process(p);
+      return *agents.at(p.outer().outer_dst).deliver(p);
+    };
+    EXPECT_EQ(run_once(), run_once()) << "sport " << sp;
+  }
+}
+
+TEST(Virtualized, InstallFailsCleanlyWhenTablesFull) {
+  SwitchDataPlane tiny{kHasher, TableSizes{4, 4, 2, 4}};
+  std::unordered_map<Ipv4Address, HostAgent> agents;
+  EXPECT_FALSE(install_virtualized_vip(kVip, fig6_placement(), tiny, agents));
+  EXPECT_TRUE(agents.empty());  // no half-registered agents
+}
+
+}  // namespace
+}  // namespace duet

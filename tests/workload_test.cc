@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "workload/demand.h"
+#include "workload/tracegen.h"
+
+namespace duet {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : fabric_(build_fattree(FatTreeParams::scaled(4, 8, 4))) {
+    params_.vip_count = 500;
+    params_.total_gbps = 800.0;
+    params_.epochs = 6;
+    params_.max_dips = 300;
+    trace_ = generate_trace(fabric_, params_);
+  }
+  FatTree fabric_;
+  TraceParams params_;
+  Trace trace_;
+};
+
+TEST_F(TraceTest, ShapeMatchesParams) {
+  EXPECT_EQ(trace_.vips.size(), params_.vip_count);
+  EXPECT_EQ(trace_.epochs, params_.epochs);
+  for (const auto& v : trace_.vips) {
+    EXPECT_EQ(v.gbps_by_epoch.size(), params_.epochs);
+    EXPECT_FALSE(v.dips.empty());
+    EXPECT_LE(v.dips.size(), params_.max_dips);
+  }
+}
+
+TEST_F(TraceTest, VipAddressesUniqueAndUnderAggregate) {
+  std::unordered_set<Ipv4Address> seen;
+  for (const auto& v : trace_.vips) {
+    EXPECT_TRUE(seen.insert(v.vip).second);
+    EXPECT_TRUE(trace_.vip_aggregate.contains(v.vip));
+  }
+}
+
+TEST_F(TraceTest, TotalTrafficNearTarget) {
+  // Epoch 0 has no drift; the Zipf shares sum to exactly the target.
+  EXPECT_NEAR(trace_.total_gbps(0), params_.total_gbps, params_.total_gbps * 0.01);
+  // Later epochs drift but stay in the same ballpark (§8.6: 6.2-7.1 Tbps on
+  // a nominal ~6.7).
+  for (std::size_t e = 1; e < trace_.epochs; ++e) {
+    EXPECT_GT(trace_.total_gbps(e), params_.total_gbps * 0.5);
+    EXPECT_LT(trace_.total_gbps(e), params_.total_gbps * 2.0);
+  }
+}
+
+TEST_F(TraceTest, TrafficIsSkewedLikeFig15) {
+  // Fig 15: a small head of elephant VIPs carries most of the bytes.
+  double total = 0.0, head = 0.0;
+  const std::size_t head_count = trace_.vips.size() / 10;
+  for (std::size_t i = 0; i < trace_.vips.size(); ++i) {
+    total += trace_.vips[i].gbps(0);
+    if (i < head_count) head += trace_.vips[i].gbps(0);
+  }
+  EXPECT_GT(head / total, 0.6) << "top 10% of VIPs should dominate traffic";
+}
+
+TEST_F(TraceTest, VipsEmittedHeaviestFirst) {
+  for (std::size_t i = 1; i < trace_.vips.size(); ++i) {
+    EXPECT_GE(trace_.vips[i - 1].gbps(0), trace_.vips[i].gbps(0));
+  }
+}
+
+TEST_F(TraceTest, SourceFractionsSumToOne) {
+  for (const auto& v : trace_.vips) {
+    double sum = 0.0;
+    for (const auto& s : v.sources) sum += s.fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(TraceTest, InternetShareEntersAtCores) {
+  // §2: ~30 % of VIP traffic is Internet-borne, entering via Core switches.
+  for (const auto& v : trace_.vips) {
+    double core_frac = 0.0;
+    for (const auto& s : v.sources) {
+      if (fabric_.topo.switch_info(s.ingress).role == SwitchRole::kCore) {
+        core_frac += s.fraction;
+      }
+    }
+    EXPECT_NEAR(core_frac, params_.internet_fraction, 1e-9);
+  }
+}
+
+TEST_F(TraceTest, DipsAreDistinctAttachedServers) {
+  for (const auto& v : trace_.vips) {
+    std::unordered_set<Ipv4Address> seen;
+    for (const auto d : v.dips) {
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate DIP";
+      EXPECT_NE(fabric_.topo.tor_of(d), kInvalidSwitch);
+    }
+  }
+}
+
+TEST_F(TraceTest, DeterministicForSameSeed) {
+  const Trace again = generate_trace(fabric_, params_);
+  ASSERT_EQ(again.vips.size(), trace_.vips.size());
+  for (std::size_t i = 0; i < trace_.vips.size(); ++i) {
+    EXPECT_EQ(again.vips[i].vip, trace_.vips[i].vip);
+    EXPECT_EQ(again.vips[i].dips, trace_.vips[i].dips);
+    EXPECT_EQ(again.vips[i].gbps_by_epoch, trace_.vips[i].gbps_by_epoch);
+  }
+}
+
+TEST_F(TraceTest, DifferentSeedsDiffer) {
+  auto p2 = params_;
+  p2.seed += 1;
+  const Trace other = generate_trace(fabric_, p2);
+  bool differs = false;
+  for (std::size_t i = 0; i < trace_.vips.size() && !differs; ++i) {
+    differs = other.vips[i].dips != trace_.vips[i].dips;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --- demands -----------------------------------------------------------------
+
+TEST_F(TraceTest, DemandsConserveTraffic) {
+  const auto demands = build_demands(fabric_, trace_, 0);
+  ASSERT_EQ(demands.size(), trace_.vips.size());
+  EXPECT_NEAR(total_demand_gbps(demands), trace_.total_gbps(0), 1e-6);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const auto& d = demands[i];
+    double in = 0.0, out = 0.0;
+    for (const auto& [sw, g] : d.ingress_gbps) {
+      (void)sw;
+      in += g;
+    }
+    for (const auto& [sw, g] : d.dip_tor_gbps) {
+      (void)sw;
+      out += g;
+    }
+    EXPECT_NEAR(in, d.total_gbps, 1e-9);
+    EXPECT_NEAR(out, d.total_gbps, 1e-9);
+    EXPECT_EQ(d.dip_count, trace_.vips[i].dips.size());
+  }
+}
+
+TEST_F(TraceTest, DipTorSharesFollowDipPlacement) {
+  const auto demands = build_demands(fabric_, trace_, 0);
+  const auto& v = trace_.vips[0];
+  const auto& d = demands[0];
+  // Each DIP contributes total/|dips| to its ToR.
+  const double per_dip = d.total_gbps / static_cast<double>(v.dips.size());
+  std::unordered_map<SwitchId, int> dips_per_tor;
+  for (const auto dip : v.dips) ++dips_per_tor[fabric_.topo.tor_of(dip)];
+  for (const auto& [tor, gbps] : d.dip_tor_gbps) {
+    EXPECT_NEAR(gbps, per_dip * dips_per_tor[tor], 1e-9);
+  }
+}
+
+TEST_F(TraceTest, LaterEpochDemandsTrackDrift) {
+  const auto d0 = build_demands(fabric_, trace_, 0);
+  const auto d3 = build_demands(fabric_, trace_, 3);
+  bool changed = false;
+  for (std::size_t i = 0; i < d0.size() && !changed; ++i) {
+    changed = std::abs(d0[i].total_gbps - d3[i].total_gbps) > 1e-9;
+  }
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace duet
