@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_assignment.dir/bench_ablation_assignment.cc.o"
+  "CMakeFiles/bench_ablation_assignment.dir/bench_ablation_assignment.cc.o.d"
+  "bench_ablation_assignment"
+  "bench_ablation_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hashing.dir/bench_ablation_hashing.cc.o"
+  "CMakeFiles/bench_ablation_hashing.dir/bench_ablation_hashing.cc.o.d"
+  "bench_ablation_hashing"
+  "bench_ablation_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_headroom.dir/bench_ablation_headroom.cc.o"
+  "CMakeFiles/bench_ablation_headroom.dir/bench_ablation_headroom.cc.o.d"
+  "bench_ablation_headroom"
+  "bench_ablation_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_comparison.dir/bench_cost_comparison.cc.o"
+  "CMakeFiles/bench_cost_comparison.dir/bench_cost_comparison.cc.o.d"
+  "bench_cost_comparison"
+  "bench_cost_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

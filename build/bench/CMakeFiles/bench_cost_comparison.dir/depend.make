@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cost_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hmux_capacity.dir/bench_fig11_hmux_capacity.cc.o"
+  "CMakeFiles/bench_fig11_hmux_capacity.dir/bench_fig11_hmux_capacity.cc.o.d"
+  "bench_fig11_hmux_capacity"
+  "bench_fig11_hmux_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hmux_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

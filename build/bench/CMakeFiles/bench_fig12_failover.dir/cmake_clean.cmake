@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_failover.dir/bench_fig12_failover.cc.o"
+  "CMakeFiles/bench_fig12_failover.dir/bench_fig12_failover.cc.o.d"
+  "bench_fig12_failover"
+  "bench_fig12_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

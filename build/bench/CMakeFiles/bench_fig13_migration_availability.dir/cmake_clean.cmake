@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_migration_availability.dir/bench_fig13_migration_availability.cc.o"
+  "CMakeFiles/bench_fig13_migration_availability.dir/bench_fig13_migration_availability.cc.o.d"
+  "bench_fig13_migration_availability"
+  "bench_fig13_migration_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_migration_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_smux_reduction.dir/bench_fig16_smux_reduction.cc.o"
+  "CMakeFiles/bench_fig16_smux_reduction.dir/bench_fig16_smux_reduction.cc.o.d"
+  "bench_fig16_smux_reduction"
+  "bench_fig16_smux_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_smux_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_latency_vs_smuxes.dir/bench_fig17_latency_vs_smuxes.cc.o"
+  "CMakeFiles/bench_fig17_latency_vs_smuxes.dir/bench_fig17_latency_vs_smuxes.cc.o.d"
+  "bench_fig17_latency_vs_smuxes"
+  "bench_fig17_latency_vs_smuxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_latency_vs_smuxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

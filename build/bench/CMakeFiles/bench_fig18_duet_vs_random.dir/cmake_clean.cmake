@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_duet_vs_random.dir/bench_fig18_duet_vs_random.cc.o"
+  "CMakeFiles/bench_fig18_duet_vs_random.dir/bench_fig18_duet_vs_random.cc.o.d"
+  "bench_fig18_duet_vs_random"
+  "bench_fig18_duet_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_duet_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

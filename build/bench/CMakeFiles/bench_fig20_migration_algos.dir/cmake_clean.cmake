@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_migration_algos.dir/bench_fig20_migration_algos.cc.o"
+  "CMakeFiles/bench_fig20_migration_algos.dir/bench_fig20_migration_algos.cc.o.d"
+  "bench_fig20_migration_algos"
+  "bench_fig20_migration_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_migration_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_features.dir/advanced_features.cpp.o"
+  "CMakeFiles/advanced_features.dir/advanced_features.cpp.o.d"
+  "advanced_features"
+  "advanced_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duetctl.dir/duetctl.cpp.o"
+  "CMakeFiles/duetctl.dir/duetctl.cpp.o.d"
+  "duetctl"
+  "duetctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duetctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

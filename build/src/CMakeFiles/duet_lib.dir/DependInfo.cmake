@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ananta/ananta.cc" "src/CMakeFiles/duet_lib.dir/ananta/ananta.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/ananta/ananta.cc.o.d"
+  "/root/repo/src/baselines/random_assign.cc" "src/CMakeFiles/duet_lib.dir/baselines/random_assign.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/baselines/random_assign.cc.o.d"
+  "/root/repo/src/dataplane/pipeline.cc" "src/CMakeFiles/duet_lib.dir/dataplane/pipeline.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/dataplane/pipeline.cc.o.d"
+  "/root/repo/src/dataplane/resilient_hash.cc" "src/CMakeFiles/duet_lib.dir/dataplane/resilient_hash.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/dataplane/resilient_hash.cc.o.d"
+  "/root/repo/src/dataplane/tables.cc" "src/CMakeFiles/duet_lib.dir/dataplane/tables.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/dataplane/tables.cc.o.d"
+  "/root/repo/src/duet/assignment.cc" "src/CMakeFiles/duet_lib.dir/duet/assignment.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/assignment.cc.o.d"
+  "/root/repo/src/duet/controller.cc" "src/CMakeFiles/duet_lib.dir/duet/controller.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/controller.cc.o.d"
+  "/root/repo/src/duet/cost.cc" "src/CMakeFiles/duet_lib.dir/duet/cost.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/cost.cc.o.d"
+  "/root/repo/src/duet/fanout.cc" "src/CMakeFiles/duet_lib.dir/duet/fanout.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/fanout.cc.o.d"
+  "/root/repo/src/duet/health.cc" "src/CMakeFiles/duet_lib.dir/duet/health.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/health.cc.o.d"
+  "/root/repo/src/duet/hmux.cc" "src/CMakeFiles/duet_lib.dir/duet/hmux.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/hmux.cc.o.d"
+  "/root/repo/src/duet/host_agent.cc" "src/CMakeFiles/duet_lib.dir/duet/host_agent.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/host_agent.cc.o.d"
+  "/root/repo/src/duet/migration.cc" "src/CMakeFiles/duet_lib.dir/duet/migration.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/migration.cc.o.d"
+  "/root/repo/src/duet/replication.cc" "src/CMakeFiles/duet_lib.dir/duet/replication.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/replication.cc.o.d"
+  "/root/repo/src/duet/smux.cc" "src/CMakeFiles/duet_lib.dir/duet/smux.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/smux.cc.o.d"
+  "/root/repo/src/duet/snat.cc" "src/CMakeFiles/duet_lib.dir/duet/snat.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/snat.cc.o.d"
+  "/root/repo/src/duet/snat_manager.cc" "src/CMakeFiles/duet_lib.dir/duet/snat_manager.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/snat_manager.cc.o.d"
+  "/root/repo/src/duet/virtualized.cc" "src/CMakeFiles/duet_lib.dir/duet/virtualized.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/duet/virtualized.cc.o.d"
+  "/root/repo/src/net/hash.cc" "src/CMakeFiles/duet_lib.dir/net/hash.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/net/hash.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/CMakeFiles/duet_lib.dir/net/ip.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/net/ip.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/duet_lib.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/CMakeFiles/duet_lib.dir/net/wire.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/net/wire.cc.o.d"
+  "/root/repo/src/routing/bgp.cc" "src/CMakeFiles/duet_lib.dir/routing/bgp.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/routing/bgp.cc.o.d"
+  "/root/repo/src/routing/rib.cc" "src/CMakeFiles/duet_lib.dir/routing/rib.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/routing/rib.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/CMakeFiles/duet_lib.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/failure.cc" "src/CMakeFiles/duet_lib.dir/sim/failure.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/sim/failure.cc.o.d"
+  "/root/repo/src/sim/flowsim.cc" "src/CMakeFiles/duet_lib.dir/sim/flowsim.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/sim/flowsim.cc.o.d"
+  "/root/repo/src/sim/forwarder.cc" "src/CMakeFiles/duet_lib.dir/sim/forwarder.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/sim/forwarder.cc.o.d"
+  "/root/repo/src/sim/probe.cc" "src/CMakeFiles/duet_lib.dir/sim/probe.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/sim/probe.cc.o.d"
+  "/root/repo/src/topo/fattree.cc" "src/CMakeFiles/duet_lib.dir/topo/fattree.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/topo/fattree.cc.o.d"
+  "/root/repo/src/topo/paths.cc" "src/CMakeFiles/duet_lib.dir/topo/paths.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/topo/paths.cc.o.d"
+  "/root/repo/src/topo/topology.cc" "src/CMakeFiles/duet_lib.dir/topo/topology.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/topo/topology.cc.o.d"
+  "/root/repo/src/util/chart.cc" "src/CMakeFiles/duet_lib.dir/util/chart.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/util/chart.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/duet_lib.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/duet_lib.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/duet_lib.dir/util/table.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/util/table.cc.o.d"
+  "/root/repo/src/workload/demand.cc" "src/CMakeFiles/duet_lib.dir/workload/demand.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/workload/demand.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/duet_lib.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/workload/trace_io.cc.o.d"
+  "/root/repo/src/workload/tracegen.cc" "src/CMakeFiles/duet_lib.dir/workload/tracegen.cc.o" "gcc" "src/CMakeFiles/duet_lib.dir/workload/tracegen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

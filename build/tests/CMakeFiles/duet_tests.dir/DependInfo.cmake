@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assignment_test.cc" "tests/CMakeFiles/duet_tests.dir/assignment_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/assignment_test.cc.o.d"
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/duet_tests.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/controller_test.cc.o.d"
+  "/root/repo/tests/dataplane_test.cc" "tests/CMakeFiles/duet_tests.dir/dataplane_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/dataplane_test.cc.o.d"
+  "/root/repo/tests/duet_test.cc" "tests/CMakeFiles/duet_tests.dir/duet_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/duet_test.cc.o.d"
+  "/root/repo/tests/forwarder_test.cc" "tests/CMakeFiles/duet_tests.dir/forwarder_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/forwarder_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/duet_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/health_cost_io_test.cc" "tests/CMakeFiles/duet_tests.dir/health_cost_io_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/health_cost_io_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/duet_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/duet_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/duet_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/duet_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/routing_test.cc" "tests/CMakeFiles/duet_tests.dir/routing_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/routing_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/duet_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/snat_manager_test.cc" "tests/CMakeFiles/duet_tests.dir/snat_manager_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/snat_manager_test.cc.o.d"
+  "/root/repo/tests/topo_test.cc" "tests/CMakeFiles/duet_tests.dir/topo_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/topo_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/duet_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/virtualized_test.cc" "tests/CMakeFiles/duet_tests.dir/virtualized_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/virtualized_test.cc.o.d"
+  "/root/repo/tests/wire_test.cc" "tests/CMakeFiles/duet_tests.dir/wire_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/wire_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/duet_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/duet_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
