@@ -102,5 +102,11 @@ int main() {
       "\nphase medians: SMux@200k=%.2fms  SMux@400k=%.2fms  HMux@1.2M=%.3fms\n"
       "=> one HMux instance outperforms %s3 saturated SMuxes (paper: 10x+ latency gap)\n",
       p1.median(), p2.median(), p3.median(), p2.median() / p3.median() > 3 ? "" : "at least ");
+
+  auto& reg = sim.metrics();
+  reg.gauge("duet.bench.fig11.smux_200k_median_ms").set(p1.median());
+  reg.gauge("duet.bench.fig11.smux_400k_median_ms").set(p2.median());
+  reg.gauge("duet.bench.fig11.hmux_median_ms").set(p3.median());
+  bench::export_bench_json("fig11", reg, &sim.journal());
   return 0;
 }

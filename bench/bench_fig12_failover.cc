@@ -97,5 +97,7 @@ int main() {
   std::printf("\n%s\n", render_chart({line}, co).c_str());
 
   std::printf("\npaper: VIP3 outage ~38ms, VIP1/VIP2 outage 0ms\n");
+
+  bench::export_bench_json("fig12", sim.metrics(), &sim.journal());
   return 0;
 }

@@ -21,6 +21,7 @@ int main() {
 
   TablePrinter t{{"traffic (paper Tbps)", "Duet SMuxes", "Random SMuxes", "extra",
                   "Duet HMux %", "Random HMux %"}};
+  telemetry::MetricRegistry reg;
   for (const double paper_tbps : {1.25, 2.5, 5.0, 10.0}) {
     const auto trace = bench::make_trace(fabric, scale, paper_tbps, 2,
                                          777 + static_cast<std::uint64_t>(paper_tbps * 4));
@@ -43,7 +44,15 @@ int main() {
                TablePrinter::fmt(100.0 * (static_cast<double>(n_rand) / n_duet - 1.0),
                                  "%+.0f%%"),
                format_pct(duet.hmux_fraction()), format_pct(random.hmux_fraction())});
+
+    char pfx[64];
+    std::snprintf(pfx, sizeof(pfx), "duet.bench.fig18.tbps%.2f.", paper_tbps);
+    reg.gauge(std::string(pfx) + "duet_smuxes").set(static_cast<double>(n_duet));
+    reg.gauge(std::string(pfx) + "random_smuxes").set(static_cast<double>(n_rand));
+    reg.gauge(std::string(pfx) + "duet_hmux_fraction").set(duet.hmux_fraction());
+    reg.gauge(std::string(pfx) + "random_hmux_fraction").set(random.hmux_fraction());
   }
   t.print();
+  bench::export_bench_json("fig18", reg);
   return 0;
 }

@@ -19,6 +19,9 @@
 
 #include "duet/assignment.h"
 #include "duet/config.h"
+#include "telemetry/export.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 #include "topo/fattree.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -84,5 +87,27 @@ inline void header(const char* fig, const char* what, const DcScale* scale = nul
 }
 
 inline void paper_note(const char* note) { std::printf("paper: %s\n\n", note); }
+
+// Machine-readable dump alongside the human tables: writes BENCH_<fig>.json
+// (into $DUET_BENCH_JSON_DIR when set, else the working directory) so runs
+// can be diffed/plotted without scraping stdout. Keep `fig` filesystem-safe
+// ("fig18", "fig12_failover", ...).
+inline void export_bench_json(const char* fig, const telemetry::MetricRegistry& registry,
+                              const telemetry::EventJournal* journal = nullptr) {
+  const char* dir = std::getenv("DUET_BENCH_JSON_DIR");
+  std::string path;
+  if (dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir);
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_";
+  path += fig;
+  path += ".json";
+  if (telemetry::JsonExporter::write_file(path, fig, &registry, journal)) {
+    std::printf("json: %s\n", path.c_str());
+  } else {
+    std::printf("json: FAILED to write %s\n", path.c_str());
+  }
+}
 
 }  // namespace duet::bench

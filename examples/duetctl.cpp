@@ -3,18 +3,22 @@
 //   duetctl plan     [options]   run the assignment on a trace, print the plan
 //   duetctl gen      [options]   generate a synthetic trace file
 //   duetctl replay   [options]   replay a multi-epoch trace with Sticky
+//   duetctl stats    [options]   replay through the live controller (with a
+//                                failure injected mid-run) and dump telemetry
 //
 // Options:
 //   --containers N --tors N --cores N     fabric shape (default 6 8 6)
 //   --vips N --gbps G --epochs E          workload (default 600, 600, 3)
 //   --replicas R                          use §9 anycast replication
 //   --trace FILE                          load/store the trace file
+//   --json FILE                           (stats) also write the JSON document
 //   --seed S
 //
 // Examples:
 //   build/examples/duetctl gen --trace /tmp/t.trace --vips 1000 --gbps 800
 //   build/examples/duetctl plan --trace /tmp/t.trace
 //   build/examples/duetctl replay --vips 800 --epochs 6
+//   build/examples/duetctl stats --vips 400 --epochs 4 --json /tmp/stats.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +26,10 @@
 
 #include "duet/assignment.h"
 #include "duet/config.h"
+#include "duet/controller.h"
 #include "duet/migration.h"
 #include "duet/replication.h"
+#include "telemetry/export.h"
 #include "topo/fattree.h"
 #include "util/table.h"
 #include "workload/demand.h"
@@ -40,6 +46,7 @@ struct Args {
   std::size_t vips = 600, epochs = 3, replicas = 1;
   double gbps = 600.0;
   std::string trace_file;
+  std::string json_file;
   std::uint64_t seed = 1;
 };
 
@@ -65,6 +72,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.gbps = std::strtod(value, nullptr);
     } else if (key == "--trace") {
       a.trace_file = value;
+    } else if (key == "--json") {
+      a.json_file = value;
     } else if (key == "--seed") {
       a.seed = std::strtoull(value, nullptr, 10);
     } else {
@@ -72,7 +81,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       return false;
     }
   }
-  return a.command == "plan" || a.command == "gen" || a.command == "replay";
+  return a.command == "plan" || a.command == "gen" || a.command == "replay" ||
+         a.command == "stats";
 }
 
 Trace obtain_trace(const Args& a, const FatTree& fabric) {
@@ -132,9 +142,9 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
-                 "usage: duetctl plan|gen|replay [--containers N] [--tors N] [--cores N]\n"
+                 "usage: duetctl plan|gen|replay|stats [--containers N] [--tors N] [--cores N]\n"
                  "       [--vips N] [--gbps G] [--epochs E] [--replicas R] [--trace FILE]\n"
-                 "       [--seed S]\n");
+                 "       [--seed S] [--json FILE]\n");
     return 2;
   }
 
@@ -164,6 +174,55 @@ int main(int argc, char** argv) {
   const auto demands = build_demands(fabric, trace, 0);
   AssignmentOptions opts;
   opts.seed = args.seed;
+
+  if (args.command == "stats") {
+    // Drive the live controller through the trace — epochs, a DIP health
+    // flap, a switch failure mid-run — then dump the telemetry it gathered.
+    DuetController ctl{fabric, DuetConfig{}, FlowHasher{args.seed}, args.seed};
+    ctl.deploy_smuxes({fabric.tors[0], fabric.tors[fabric.tors.size() / 2],
+                       fabric.tors[fabric.tors.size() - 1]},
+                      Ipv4Prefix{Ipv4Address{100, 0, 0, 0}, 8});
+    for (const auto& v : trace.vips) ctl.add_vip(v.vip, v.dips);
+
+    constexpr double kEpochUs = 10e6;  // 10 s epochs on the journal clock
+    for (std::size_t e = 0; e < trace.epochs; ++e) {
+      ctl.set_clock_us(static_cast<double>(e) * kEpochUs);
+      ctl.run_epoch(build_demands(fabric, trace, e));
+      if (e == trace.epochs / 2) {
+        // Mid-run incident: a DIP health flap plus the death of some VIP's
+        // HMux, so the journal shows the §5.1 sequences.
+        const auto& v0 = trace.vips.front();
+        ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 1e6);
+        ctl.report_dip_health(v0.vip, v0.dips.front(), false);
+        ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 2e6);
+        ctl.report_dip_health(v0.vip, v0.dips.front(), true);
+        for (const auto& v : trace.vips) {
+          if (const auto home = ctl.hmux_home(v.vip)) {
+            ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 3e6);
+            ctl.handle_switch_failure(*home);
+            break;
+          }
+        }
+      }
+    }
+    ctl.set_clock_us(static_cast<double>(trace.epochs) * kEpochUs);
+    ctl.snapshot_table_occupancy();
+
+    std::printf("\n");
+    telemetry::TextExporter::print(ctl.metrics());
+    std::printf("\nlast control-plane events:\n");
+    telemetry::TextExporter::print(ctl.journal(), stdout, 30);
+    if (!args.json_file.empty()) {
+      if (telemetry::JsonExporter::write_file(args.json_file, "duetctl-stats", &ctl.metrics(),
+                                              &ctl.journal())) {
+        std::printf("\nwrote %s\n", args.json_file.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", args.json_file.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   if (args.command == "plan") {
     if (args.replicas > 1) {

@@ -10,6 +10,24 @@ std::uint64_t port_rule_key(Ipv4Address vip, std::uint16_t port) {
 }
 }  // namespace
 
+void SwitchDataPlane::bind_telemetry(telemetry::MetricRegistry& registry,
+                                     const std::string& prefix) {
+  tm_packets_ = &registry.counter(prefix + "packets");
+  tm_encaps_ = &registry.counter(prefix + "encaps");
+  tm_drops_ = &registry.counter(prefix + "drops");
+  tm_host_used_ = &registry.gauge(prefix + "host_entries_used");
+  tm_ecmp_used_ = &registry.gauge(prefix + "ecmp_entries_used");
+  tm_tunnel_used_ = &registry.gauge(prefix + "tunnel_entries_used");
+  refresh_occupancy_gauges();
+}
+
+void SwitchDataPlane::refresh_occupancy_gauges() {
+  if (tm_host_used_ == nullptr) return;
+  tm_host_used_->set(static_cast<double>(host_entries_used()));
+  tm_ecmp_used_->set(static_cast<double>(ecmp_entries_used()));
+  tm_tunnel_used_->set(static_cast<double>(tunnel_entries_used()));
+}
+
 std::optional<SwitchDataPlane::MuxGroup> SwitchDataPlane::build_group(
     const std::vector<Ipv4Address>& targets, const std::vector<std::uint32_t>& weights,
     bool decap_first, std::uint64_t salt) {
@@ -64,6 +82,7 @@ bool SwitchDataPlane::install_vip(Ipv4Address vip, const std::vector<Ipv4Address
     return false;
   }
   vips_.emplace(vip, std::move(*g));
+  refresh_occupancy_gauges();
   return true;
 }
 
@@ -76,6 +95,7 @@ bool SwitchDataPlane::install_tip(Ipv4Address tip, const std::vector<Ipv4Address
     return false;
   }
   vips_.emplace(tip, std::move(*g));
+  refresh_occupancy_gauges();
   return true;
 }
 
@@ -91,6 +111,7 @@ bool SwitchDataPlane::install_port_rule(Ipv4Address vip, std::uint16_t dst_port,
     return false;
   }
   port_rules_.emplace(key, std::move(*g));
+  refresh_occupancy_gauges();
   return true;
 }
 
@@ -100,6 +121,7 @@ bool SwitchDataPlane::remove_vip(Ipv4Address vip) {
   host_table_.erase(vip);
   tear_down(it->second);
   vips_.erase(it);
+  refresh_occupancy_gauges();
   return true;
 }
 
@@ -109,6 +131,7 @@ bool SwitchDataPlane::remove_port_rule(Ipv4Address vip, std::uint16_t dst_port) 
   acl_table_.erase(vip, dst_port);
   tear_down(it->second);
   port_rules_.erase(it);
+  refresh_occupancy_gauges();
   return true;
 }
 
@@ -126,6 +149,7 @@ bool SwitchDataPlane::remove_vip_target(Ipv4Address vip, Ipv4Address target) {
       removed_any = true;
     }
   }
+  if (removed_any) refresh_occupancy_gauges();
   return removed_any;
 }
 
@@ -145,6 +169,7 @@ PipelineVerdict SwitchDataPlane::apply_group(MuxGroup& g, Packet& packet) {
     if (!g.decap_first) {
       // §5.2: today's switches cannot encapsulate a single packet twice.
       DUET_LOG_WARN << "double-encap attempt for " << packet.tuple().to_string() << "; dropping";
+      if (tm_drops_ != nullptr) tm_drops_->inc();
       return PipelineVerdict::kDropped;
     }
     packet.decapsulate();
@@ -154,11 +179,13 @@ PipelineVerdict SwitchDataPlane::apply_group(MuxGroup& g, Packet& packet) {
   const auto encap_dst = tunnel_table_.lookup(g.tunnels[slot]);
   DUET_CHECK(encap_dst.has_value()) << "live member slot with missing tunnel entry";
   packet.encapsulate(EncapHeader{self_, *encap_dst});
+  if (tm_encaps_ != nullptr) tm_encaps_->inc();
   return PipelineVerdict::kEncapsulated;
 }
 
 PipelineVerdict SwitchDataPlane::process(Packet& packet) {
   ++packet.hops;
+  if (tm_packets_ != nullptr) tm_packets_->inc();
   const Ipv4Address dst = packet.routing_destination();
 
   // 1. ACL stage: port-based rules on un-encapsulated VIP traffic.

@@ -32,6 +32,7 @@
 #include "dataplane/tables.h"
 #include "net/hash.h"
 #include "net/packet.h"
+#include "telemetry/metrics.h"
 
 namespace duet {
 
@@ -96,7 +97,23 @@ class SwitchDataPlane {
   std::size_t free_host_entries() const { return host_table_.free_entries(); }
   std::size_t free_ecmp_entries() const { return ecmp_table_.free_members(); }
   std::size_t free_tunnel_entries() const { return tunnel_table_.free_entries(); }
+  std::size_t host_entries_used() const { return host_table_.size(); }
+  std::size_t ecmp_entries_used() const { return ecmp_table_.used_members(); }
+  std::size_t tunnel_entries_used() const { return tunnel_table_.size(); }
   std::size_t vip_count() const { return vips_.size(); }
+  // Data-plane table probes since construction (host + ACL + tunnel stages).
+  std::uint64_t table_lookups() const {
+    return host_table_.lookup_count() + acl_table_.lookup_count() +
+           tunnel_table_.lookup_count();
+  }
+
+  // --- telemetry ------------------------------------------------------------
+
+  // Binds process()/occupancy telemetry into `registry` under `prefix`
+  // (e.g. "duet.hmux.sw12."). The counters are bumped on the packet path
+  // (relaxed atomics, no allocation); the occupancy gauges refresh on every
+  // table mutation. Call once; the registry must outlive this object.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
   const FlowHasher& hasher() const noexcept { return hasher_; }
   Ipv4Address self() const noexcept { return self_; }
@@ -118,6 +135,15 @@ class SwitchDataPlane {
   void tear_down(MuxGroup& g);
 
   PipelineVerdict apply_group(MuxGroup& g, Packet& packet);
+  void refresh_occupancy_gauges();
+
+  // Null until bind_telemetry; the packet path tests one pointer.
+  telemetry::Counter* tm_packets_ = nullptr;
+  telemetry::Counter* tm_encaps_ = nullptr;
+  telemetry::Counter* tm_drops_ = nullptr;
+  telemetry::Gauge* tm_host_used_ = nullptr;
+  telemetry::Gauge* tm_ecmp_used_ = nullptr;
+  telemetry::Gauge* tm_tunnel_used_ = nullptr;
 
   FlowHasher hasher_;
   Ipv4Address self_;

@@ -20,6 +20,7 @@ bool HostForwardingTable::insert(Ipv4Address dst, HostEntry entry) {
 bool HostForwardingTable::erase(Ipv4Address dst) { return entries_.erase(dst) > 0; }
 
 std::optional<HostEntry> HostForwardingTable::lookup(Ipv4Address dst) const {
+  ++lookups_;
   const auto it = entries_.find(dst);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -45,6 +46,7 @@ bool LpmTable::erase(Ipv4Prefix prefix) {
 }
 
 std::optional<EcmpGroupId> LpmTable::lookup(Ipv4Address dst) const {
+  ++lookups_;
   for (int len = 32; len >= 0; --len) {
     const auto& bucket = by_length_[len];
     if (bucket.empty()) continue;
@@ -109,6 +111,7 @@ std::optional<TunnelIndex> TunnelingTable::allocate(Ipv4Address encap_dst) {
 bool TunnelingTable::release(TunnelIndex index) { return entries_.erase(index) > 0; }
 
 std::optional<Ipv4Address> TunnelingTable::lookup(TunnelIndex index) const {
+  ++lookups_;
   const auto it = entries_.find(index);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -133,6 +136,7 @@ bool AclTable::erase(Ipv4Address dst, std::uint16_t dst_port) {
 }
 
 std::optional<EcmpGroupId> AclTable::lookup(Ipv4Address dst, std::uint16_t dst_port) const {
+  ++lookups_;
   const auto it = entries_.find(key(dst, dst_port));
   if (it == entries_.end()) return std::nullopt;
   return it->second;

@@ -71,9 +71,11 @@ class HostForwardingTable {
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
+  std::uint64_t lookup_count() const noexcept { return lookups_; }
 
  private:
   std::size_t capacity_;
+  mutable std::uint64_t lookups_ = 0;  // data-plane probes of this table
   std::unordered_map<Ipv4Address, HostEntry> entries_;
 };
 
@@ -87,11 +89,13 @@ class LpmTable {
   std::optional<EcmpGroupId> lookup_exact(Ipv4Prefix prefix) const;
 
   std::size_t size() const noexcept { return count_; }
+  std::uint64_t lookup_count() const noexcept { return lookups_; }
 
  private:
   // Buckets by prefix length, longest first on lookup. 33 lengths (0..32).
   std::unordered_map<Ipv4Prefix, EcmpGroupId> by_length_[33];
   std::size_t count_ = 0;
+  mutable std::uint64_t lookups_ = 0;
 };
 
 // ECMP group + member tables. Groups are variable-length runs of members;
@@ -135,10 +139,12 @@ class TunnelingTable {
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
+  std::uint64_t lookup_count() const noexcept { return lookups_; }
 
  private:
   std::size_t capacity_;
   TunnelIndex next_index_ = 0;
+  mutable std::uint64_t lookups_ = 0;
   std::unordered_map<TunnelIndex, Ipv4Address> entries_;
 };
 
@@ -153,9 +159,11 @@ class AclTable {
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
+  std::uint64_t lookup_count() const noexcept { return lookups_; }
 
  private:
   using Key = std::uint64_t;  // (ip << 16) | port
+  mutable std::uint64_t lookups_ = 0;
   static Key key(Ipv4Address dst, std::uint16_t port) noexcept {
     return (static_cast<Key>(dst.value()) << 16) | port;
   }

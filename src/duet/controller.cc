@@ -33,10 +33,19 @@ void DuetController::deploy_smuxes(const std::vector<SwitchId>& tors, Ipv4Prefix
     inst.id = static_cast<std::uint32_t>(smuxes_.size());
     inst.tor = tor;
     inst.mux = std::make_unique<Smux>(inst.id, hasher_, config_);
+    inst.mux->bind_telemetry(telemetry_.registry,
+                             "duet.smux." + std::to_string(inst.id) + ".");
     // BGP speaker alongside the SMux announces the aggregate (§6).
     routing_.announce_everywhere(aggregate_, tor);
+    journal_event(telemetry::EventKind::kBgpAnnounce, {}, {}, tor,
+                  "smux aggregate " + aggregate_.to_string());
     smuxes_.push_back(std::move(inst));
   }
+}
+
+void DuetController::journal_event(telemetry::EventKind kind, Ipv4Address vip, Ipv4Address dip,
+                                   std::uint32_t sw, std::string detail) {
+  telemetry_.journal.record(clock_us_, kind, vip, dip, sw, std::move(detail));
 }
 
 DuetController::VipRecord& DuetController::record(Ipv4Address vip) {
@@ -54,6 +63,8 @@ Hmux& DuetController::ensure_hmux(SwitchId s) {
   auto it = hmuxes_.find(s);
   if (it == hmuxes_.end()) {
     it = hmuxes_.emplace(s, std::make_unique<Hmux>(s, hasher_, config_)).first;
+    it->second->dataplane().bind_telemetry(telemetry_.registry,
+                                           "duet.hmux.sw" + std::to_string(s) + ".");
   }
   return *it->second;
 }
@@ -87,6 +98,8 @@ VipId DuetController::add_vip(Ipv4Address vip, std::vector<Ipv4Address> dips) {
   const VipId id = rec.id;
   sync_smuxes(rec);  // §5.2: new VIPs start on the SMuxes
   vips_.emplace(vip, std::move(rec));
+  journal_event(telemetry::EventKind::kVipAdded, vip, {}, telemetry::kNoSwitch,
+                "on smux backstop");
   return id;
 }
 
@@ -96,6 +109,7 @@ void DuetController::remove_vip(Ipv4Address vip) {
   purge_from_smuxes(vip);
   vip_by_id_.erase(rec.id);
   vips_.erase(vip);
+  journal_event(telemetry::EventKind::kVipRemoved, vip);
 }
 
 bool DuetController::place_on_hmux(VipRecord& rec, SwitchId target) {
@@ -117,6 +131,8 @@ bool DuetController::place_on_hmux(VipRecord& rec, SwitchId target) {
     }
   }
   routing_.announce_everywhere(Ipv4Prefix::host_route(rec.vip), target);
+  journal_event(telemetry::EventKind::kBgpAnnounce, rec.vip, {}, target);
+  journal_event(telemetry::EventKind::kVipPlaced, rec.vip, {}, target);
   rec.home = target;
   return true;
 }
@@ -162,6 +178,9 @@ bool DuetController::place_fanout_on_hmux(VipRecord& rec, SwitchId target) {
     routing_.announce_everywhere(Ipv4Prefix::host_route(part.tip), part.host_switch);
   }
   routing_.announce_everywhere(Ipv4Prefix::host_route(rec.vip), target);
+  journal_event(telemetry::EventKind::kBgpAnnounce, rec.vip, {}, target,
+                "fanout, " + std::to_string(plan.partitions.size()) + " TIP partitions");
+  journal_event(telemetry::EventKind::kVipPlaced, rec.vip, {}, target);
   rec.fanout = std::move(plan);
   rec.home = target;
   return true;
@@ -171,6 +190,7 @@ void DuetController::withdraw_from_hmux(VipRecord& rec) {
   if (!rec.home) return;
   const SwitchId old = *rec.home;
   routing_.withdraw_everywhere(Ipv4Prefix::host_route(rec.vip), old);
+  journal_event(telemetry::EventKind::kBgpWithdraw, rec.vip, {}, old);
   const auto it = hmuxes_.find(old);
   if (it != hmuxes_.end()) {
     it->second->dataplane().remove_vip(rec.vip);
@@ -200,6 +220,8 @@ void DuetController::add_dip(Ipv4Address vip, Ipv4Address dip) {
     // the VIP is currently on the SMuxes and re-places it.
     current_.placement.erase(rec.id);
     current_.on_smux.push_back(rec.id);
+    journal_event(telemetry::EventKind::kVipFallback, vip, dip, telemetry::kNoSwitch,
+                  "dip addition bounce");
   }
   rec.dips.push_back(dip);
   sync_smuxes(rec);
@@ -225,6 +247,8 @@ void DuetController::remove_dip(Ipv4Address vip, Ipv4Address dip) {
 }
 
 void DuetController::report_dip_health(Ipv4Address vip, Ipv4Address dip, bool healthy) {
+  journal_event(healthy ? telemetry::EventKind::kDipUp : telemetry::EventKind::kDipDown, vip,
+                dip, telemetry::kNoSwitch, healthy ? "" : "removed from rotation");
   if (!healthy) remove_dip(vip, dip);
 }
 
@@ -266,6 +290,8 @@ void DuetController::set_dip_weights(Ipv4Address vip, std::vector<std::uint32_t>
     withdraw_from_hmux(rec);
     current_.placement.erase(rec.id);
     current_.on_smux.push_back(rec.id);
+    journal_event(telemetry::EventKind::kVipFallback, vip, {}, telemetry::kNoSwitch,
+                  "wcmp weight bounce");
   }
   rec.weights = std::move(weights);
   sync_smuxes(rec);
@@ -278,6 +304,10 @@ DuetController::EpochReport DuetController::run_epoch(const std::vector<VipDeman
                                                  : assigner_.assign(demands);
 
   report.migration = plan_migration(current_, next, demands);
+  journal_migration_plan(report.migration, telemetry_.journal, clock_us_, [this](VipId id) {
+    const auto it = vip_by_id_.find(id);
+    return it == vip_by_id_.end() ? Ipv4Address{} : it->second;
+  });
 
   // Phase 1 (§4.2): withdraw moving VIPs — their traffic falls to the SMuxes.
   for (const auto& move : report.migration.moves) {
@@ -309,11 +339,25 @@ DuetController::EpochReport DuetController::run_epoch(const std::vector<VipDeman
   report.assignment = next;
   current_ = std::move(next);
   have_assignment_ = true;
+
+  // Epoch-level metrics (§4: MRU is what the assignment minimizes).
+  auto& reg = telemetry_.registry;
+  reg.counter("duet.controller.epochs").inc();
+  reg.gauge("duet.controller.mru").set(current_.mru);
+  reg.gauge("duet.controller.hmux_fraction").set(report.hmux_fraction);
+  reg.gauge("duet.controller.hmux_gbps").set(current_.hmux_gbps);
+  reg.gauge("duet.controller.smux_gbps").set(current_.smux_gbps);
+  reg.gauge("duet.controller.smuxes_needed").set(static_cast<double>(report.smuxes_needed));
+  reg.gauge("duet.controller.migration_moves")
+      .set(static_cast<double>(report.migration.move_count()));
+  reg.gauge("duet.controller.migration_shuffled_gbps").set(report.migration.shuffled_gbps);
   return report;
 }
 
 void DuetController::handle_switch_failure(SwitchId dead) {
   dead_switches_.insert(dead);
+  journal_event(telemetry::EventKind::kHmuxDown, {}, {}, dead);
+  telemetry_.registry.counter("duet.controller.switch_failures").inc();
   // BGP withdraws every route the dead switch originated (§5.1); VIP traffic
   // collapses onto the SMux aggregate.
   routing_.fail_origin_everywhere(dead);
@@ -342,10 +386,15 @@ void DuetController::handle_switch_failure(SwitchId dead) {
         rec.fanout.reset();
         rec.home.reset();
       } else {
+        // The dead switch's routes vanished with it; journal the implicit
+        // withdraw so the VIP's journal tells the full §5.1 story.
+        journal_event(telemetry::EventKind::kBgpWithdraw, vip, {}, dead, "origin died");
         rec.home.reset();
       }
       current_.placement.erase(rec.id);
       current_.on_smux.push_back(rec.id);
+      journal_event(telemetry::EventKind::kVipFallback, vip, {}, telemetry::kNoSwitch,
+                    "smux backstop after switch failure");
     }
   }
   hmuxes_.erase(dead);
@@ -356,6 +405,14 @@ void DuetController::handle_smux_failure(std::uint32_t smux_id) {
     if (inst.id == smux_id && inst.alive) {
       inst.alive = false;
       routing_.withdraw_everywhere(aggregate_, inst.tor);
+      telemetry::Event e{clock_us_, telemetry::EventKind::kSmuxDown,
+                        {},        {},
+                        inst.tor,  smux_id,
+                        0,         0,
+                        {}};
+      telemetry_.journal.record(std::move(e));
+      journal_event(telemetry::EventKind::kBgpWithdraw, {}, {}, inst.tor,
+                    "smux aggregate " + aggregate_.to_string());
       return;
     }
   }
@@ -419,6 +476,34 @@ std::optional<Ipv4Address> DuetController::load_balance(Packet& packet) {
 Hmux* DuetController::hmux_at(SwitchId s) {
   const auto it = hmuxes_.find(s);
   return it == hmuxes_.end() ? nullptr : it->second.get();
+}
+
+void DuetController::snapshot_table_occupancy() {
+  std::size_t host = 0, ecmp = 0, tunnel = 0;
+  std::uint64_t lookups = 0;
+  for (const auto& [sw, hmux] : hmuxes_) {
+    const auto& dp = hmux->dataplane();
+    telemetry::Event e{clock_us_,
+                       telemetry::EventKind::kTableOccupancy,
+                       {},
+                       {},
+                       sw,
+                       dp.host_entries_used(),
+                       dp.ecmp_entries_used(),
+                       dp.tunnel_entries_used(),
+                       {}};
+    telemetry_.journal.record(std::move(e));
+    host += dp.host_entries_used();
+    ecmp += dp.ecmp_entries_used();
+    tunnel += dp.tunnel_entries_used();
+    lookups += dp.table_lookups();
+  }
+  auto& reg = telemetry_.registry;
+  reg.gauge("duet.dataplane.host_entries_used").set(static_cast<double>(host));
+  reg.gauge("duet.dataplane.ecmp_entries_used").set(static_cast<double>(ecmp));
+  reg.gauge("duet.dataplane.tunnel_entries_used").set(static_cast<double>(tunnel));
+  reg.gauge("duet.dataplane.table_lookups").set(static_cast<double>(lookups));
+  reg.gauge("duet.dataplane.hmux_count").set(static_cast<double>(hmuxes_.size()));
 }
 
 }  // namespace duet

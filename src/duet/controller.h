@@ -28,6 +28,8 @@
 #include "duet/migration.h"
 #include "duet/smux.h"
 #include "routing/bgp.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 #include "topo/fattree.h"
 #include "workload/demand.h"
 
@@ -97,6 +99,23 @@ class DuetController {
   // encapsulated to, or nullopt when dropped/unknown.
   std::optional<Ipv4Address> load_balance(Packet& packet);
 
+  // --- telemetry ----------------------------------------------------------------
+  // Always-on observability (metric prefix `duet.controller.` plus per-mux
+  // `duet.hmux.sw<N>.` / `duet.smux.<id>.` series; §4/§5 control-plane steps
+  // land in the journal). The controller has no clock of its own — callers
+  // with a notion of time advance it so journal timestamps are meaningful;
+  // otherwise every event stamps 0 and keeps insertion order.
+  telemetry::MetricRegistry& metrics() noexcept { return telemetry_.registry; }
+  const telemetry::MetricRegistry& metrics() const noexcept { return telemetry_.registry; }
+  telemetry::EventJournal& journal() noexcept { return telemetry_.journal; }
+  const telemetry::EventJournal& journal() const noexcept { return telemetry_.journal; }
+  void set_clock_us(double t_us) { clock_us_ = t_us; }
+  double clock_us() const noexcept { return clock_us_; }
+  // Journals one kTableOccupancy event per live HMux and refreshes the
+  // aggregate `duet.dataplane.*` gauges. Explicit (not per-epoch) so the
+  // journal stays small in long simulations.
+  void snapshot_table_occupancy();
+
   const RoutingFabric& routing() const noexcept { return routing_; }
   Hmux* hmux_at(SwitchId s);
   std::size_t smux_count() const noexcept { return smuxes_.size(); }
@@ -128,6 +147,8 @@ class DuetController {
   VipRecord& record(Ipv4Address vip);
   const VipRecord* find_record(Ipv4Address vip) const;
   Hmux& ensure_hmux(SwitchId s);
+  void journal_event(telemetry::EventKind kind, Ipv4Address vip = {}, Ipv4Address dip = {},
+                     std::uint32_t sw = telemetry::kNoSwitch, std::string detail = {});
 
   // Assignment-updater primitives (switch-agent + BGP ops).
   bool place_on_hmux(VipRecord& rec, SwitchId target);
@@ -156,6 +177,13 @@ class DuetController {
   std::unordered_set<SwitchId> dead_switches_;
   bool have_assignment_ = false;
   Assignment current_;
+
+  struct Telemetry {
+    telemetry::MetricRegistry registry;
+    telemetry::EventJournal journal;
+  };
+  Telemetry telemetry_;
+  double clock_us_ = 0.0;
 };
 
 }  // namespace duet

@@ -19,6 +19,11 @@ void HealthMonitor::transition(const Key& key, Entry& e, bool healthy, double t_
   if (e.healthy == healthy) return;
   e.healthy = healthy;
   pending_.push_back(HealthTransition{key.vip, key.dip, healthy, t_us});
+  if (journal_ != nullptr) {
+    journal_->record(t_us,
+                     healthy ? telemetry::EventKind::kDipUp : telemetry::EventKind::kDipDown,
+                     key.vip, key.dip);
+  }
 }
 
 void HealthMonitor::report_probe(Ipv4Address vip, Ipv4Address dip, bool ok, double t_us) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/ip.h"
+#include "telemetry/journal.h"
 
 namespace duet {
 
@@ -56,6 +57,10 @@ class HealthMonitor {
   bool is_healthy(Ipv4Address vip, Ipv4Address dip) const;
   std::size_t watched_count() const noexcept { return entries_.size(); }
 
+  // Optional: every health transition is also journaled (kDipUp/kDipDown)
+  // with its explicit timestamp. The journal must outlive the monitor.
+  void attach_journal(telemetry::EventJournal* journal) { journal_ = journal; }
+
   // Drains state transitions accumulated since the last poll — what the
   // controller applies via report_dip_health.
   std::vector<HealthTransition> poll();
@@ -80,6 +85,7 @@ class HealthMonitor {
   void transition(const Key& key, Entry& e, bool healthy, double t_us);
 
   HealthParams params_;
+  telemetry::EventJournal* journal_ = nullptr;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   std::vector<HealthTransition> pending_;
 };

@@ -30,4 +30,28 @@ MigrationPlan plan_migration(const Assignment& from, const Assignment& to,
   return plan;
 }
 
+void journal_migration_plan(const MigrationPlan& plan, telemetry::EventJournal& journal,
+                            double t_us,
+                            const std::function<Ipv4Address(VipId)>& vip_of) {
+  using telemetry::Event;
+  using telemetry::EventKind;
+  // Phase 1: withdraws (traffic falls to the SMux backstop)...
+  for (const auto& move : plan.moves) {
+    if (move.kind == MoveKind::kSmuxToHmux) continue;
+    const Ipv4Address vip = vip_of(move.vip);
+    if (vip.value() == 0) continue;
+    Event e{t_us, EventKind::kMigrationWithdraw, vip, {}, move.from.value_or(telemetry::kNoSwitch),
+            0, 0, 0, {}};
+    journal.record(std::move(e));
+  }
+  // ...phase 2: announces from the new homes.
+  for (const auto& move : plan.moves) {
+    if (!move.to.has_value()) continue;
+    const Ipv4Address vip = vip_of(move.vip);
+    if (vip.value() == 0) continue;
+    Event e{t_us, EventKind::kMigrationAnnounce, vip, {}, *move.to, 0, 0, 0, {}};
+    journal.record(std::move(e));
+  }
+}
+
 }  // namespace duet

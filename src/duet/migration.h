@@ -12,10 +12,12 @@
 // number of SMuxes needed (Fig 20c).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "duet/assignment.h"
+#include "telemetry/journal.h"
 #include "workload/demand.h"
 
 namespace duet {
@@ -48,5 +50,14 @@ struct MigrationPlan {
 // Diffs two assignments over the epoch's demands.
 MigrationPlan plan_migration(const Assignment& from, const Assignment& to,
                              const std::vector<VipDemand>& demands);
+
+// Journals a plan as the §4.2 two-phase sequence: every H->H / H->S move
+// records a kMigrationWithdraw at t_us, every move with a destination a
+// kMigrationAnnounce at t_us (same instant; insertion order keeps withdraws
+// first, matching the controller's phase ordering). `vip_of` maps VipId to
+// the journaled address; return 0.0.0.0 for unknown ids to skip them.
+void journal_migration_plan(const MigrationPlan& plan, telemetry::EventJournal& journal,
+                            double t_us,
+                            const std::function<Ipv4Address(VipId)>& vip_of);
 
 }  // namespace duet

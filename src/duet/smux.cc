@@ -65,6 +65,9 @@ std::size_t Smux::expire_flows(double now_us, double idle_us) {
       ++it;
     }
   }
+  if (tm_flow_table_size_ != nullptr) {
+    tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+  }
   return evicted;
 }
 
@@ -96,6 +99,7 @@ void Smux::remove_dip(Ipv4Address vip, Ipv4Address dip) {
 }
 
 bool Smux::process(Packet& packet, double now_us) {
+  if (tm_packets_ != nullptr) tm_packets_->inc();
   // Port-specific pool first (the ACL stage of the switch pipeline, Fig 8).
   const VipEntry* entry = nullptr;
   const auto pit = port_rules_.find(port_rule_key(packet.tuple().dst, packet.tuple().dst_port));
@@ -103,7 +107,10 @@ bool Smux::process(Packet& packet, double now_us) {
     entry = &pit->second;
   } else {
     const auto vit = vips_.find(packet.tuple().dst);
-    if (vit == vips_.end()) return false;
+    if (vit == vips_.end()) {
+      if (tm_unknown_vip_ != nullptr) tm_unknown_vip_->inc();
+      return false;
+    }
     entry = &vit->second;
   }
 
@@ -116,9 +123,21 @@ bool Smux::process(Packet& packet, double now_us) {
     // First packet: the exact bucket layout every HMux computes (§3.3.1).
     chosen = entry->dips[entry->group.select(hasher_.hash(packet.tuple()))];
     flow_table_.emplace(packet.tuple(), FlowPin{chosen, now_us});
+    if (tm_flow_pins_ != nullptr) tm_flow_pins_->inc();
+    if (tm_flow_table_size_ != nullptr) {
+      tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+    }
   }
   packet.encapsulate(EncapHeader{self_, chosen});
   return true;
+}
+
+void Smux::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  tm_packets_ = &registry.counter(prefix + "packets");
+  tm_unknown_vip_ = &registry.counter(prefix + "unknown_vip");
+  tm_flow_pins_ = &registry.counter(prefix + "flow_pins");
+  tm_flow_table_size_ = &registry.gauge(prefix + "flow_table_size");
+  tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
 }
 
 double Smux::cpu_percent(double offered_pps) const {

@@ -28,6 +28,7 @@
 #include "duet/config.h"
 #include "net/hash.h"
 #include "net/packet.h"
+#include "telemetry/metrics.h"
 #include "util/random.h"
 
 namespace duet {
@@ -88,6 +89,13 @@ class Smux {
 
   std::size_t flow_table_size() const noexcept { return flow_table_.size(); }
 
+  // --- telemetry ------------------------------------------------------------
+  // Binds per-mux packet/flow telemetry under `prefix` (e.g. "duet.smux.3.").
+  // Counters: packets, unknown_vip (dropped: no matching pool), flow_pins
+  // (connections pinned). Gauge: flow_table_size. The registry must outlive
+  // this mux.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+
  private:
   struct VipEntry {
     // Member slots; a removed DIP keeps its slot (dead) so surviving slots —
@@ -103,6 +111,10 @@ class Smux {
   FlowHasher hasher_;
   DuetConfig config_;
   Ipv4Address self_;
+  telemetry::Counter* tm_packets_ = nullptr;
+  telemetry::Counter* tm_unknown_vip_ = nullptr;
+  telemetry::Counter* tm_flow_pins_ = nullptr;
+  telemetry::Gauge* tm_flow_table_size_ = nullptr;
   std::unordered_map<Ipv4Address, VipEntry> vips_;
   struct FlowPin {
     Ipv4Address dip;

@@ -9,7 +9,8 @@ namespace duet {
 FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>& demands,
                              const Assignment& assignment,
                              const std::vector<SwitchId>& smux_tors,
-                             const FailureScenario& scenario) {
+                             const FailureScenario& scenario,
+                             telemetry::MetricRegistry* metrics) {
   const Topology& topo = fabric.topo;
   EcmpRouting routing{topo, scenario.failed_switches, scenario.failed_links};
 
@@ -95,15 +96,28 @@ FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>
   }
 
   // Max utilization against raw capacity.
+  telemetry::Histogram* util_hist =
+      metrics != nullptr
+          ? &metrics->histogram("duet.sim.link_utilization",
+                                telemetry::Histogram::linear_bounds(0.05, 1.5, 30))
+          : nullptr;
   for (LinkId l = 0; l < topo.link_count(); ++l) {
     const double cap = topo.capacity_gbps(l);
     for (int dir = 0; dir < 2; ++dir) {
       const double util = result.link_load_gbps[l * 2 + dir] / cap;
+      if (util_hist != nullptr) util_hist->record(util);
       if (util > result.max_link_utilization) {
         result.max_link_utilization = util;
         result.max_link = l;
       }
     }
+  }
+  if (metrics != nullptr) {
+    metrics->gauge("duet.sim.max_link_utilization").set(result.max_link_utilization);
+    metrics->gauge("duet.sim.hmux_gbps").set(result.hmux_gbps);
+    metrics->gauge("duet.sim.smux_gbps").set(result.smux_gbps);
+    metrics->gauge("duet.sim.vanished_gbps").set(result.vanished_gbps);
+    metrics->gauge("duet.sim.blackholed_gbps").set(result.blackholed_gbps);
   }
   return result;
 }

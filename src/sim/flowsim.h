@@ -21,6 +21,7 @@
 
 #include "duet/assignment.h"
 #include "sim/failure.h"
+#include "telemetry/metrics.h"
 #include "topo/fattree.h"
 #include "topo/paths.h"
 #include "workload/demand.h"
@@ -41,9 +42,14 @@ struct FlowSimResult {
   double blackholed_gbps = 0.0;  // no live DIP / unreachable mux
 };
 
+// When `metrics` is non-null the run also records `duet.sim.link_utilization`
+// (one sample per live directed link) plus `duet.sim.*_gbps` gauges mirroring
+// the result fields — so sharded Fig 19 sweeps can merge registries instead of
+// hand-rolling aggregation.
 FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>& demands,
                              const Assignment& assignment,
                              const std::vector<SwitchId>& smux_tors,
-                             const FailureScenario& scenario);
+                             const FailureScenario& scenario,
+                             telemetry::MetricRegistry* metrics = nullptr);
 
 }  // namespace duet

@@ -13,6 +13,14 @@ TestbedSim::TestbedSim(FatTreeParams params, DuetConfig config, std::uint64_t se
       rng_(seed),
       views_(fabric_.topo.switch_count()) {
   rebuild_routing();
+  // ~1µs .. 1s, exponential: covers switch-hop RTTs through SMux queueing
+  // spikes without per-sample allocation.
+  const auto rtt_bounds = telemetry::Histogram::exponential_bounds(1.0, 1e6, 40);
+  tm_rtt_ = &registry_.histogram("duet.sim.probe_rtt_us", rtt_bounds);
+  tm_rtt_hmux_ = &registry_.histogram("duet.sim.probe_rtt_hmux_us", rtt_bounds);
+  tm_rtt_smux_ = &registry_.histogram("duet.sim.probe_rtt_smux_us", rtt_bounds);
+  tm_probes_ = &registry_.counter("duet.sim.probes_sent");
+  tm_lost_ = &registry_.counter("duet.sim.probes_lost");
 }
 
 void TestbedSim::rebuild_routing() {
@@ -68,6 +76,8 @@ void TestbedSim::schedule_smux_failure(double t_us, std::uint32_t smux_id) {
     for (auto& inst : smuxes_) {
       if (inst.id != smux_id || !inst.alive) continue;
       inst.alive = false;  // data plane dies now; flows hashed here are lost
+      journal_.record(telemetry::Event{events_.now_us(), telemetry::EventKind::kSmuxDown,
+                                       {}, {}, inst.tor, smux_id, 0, 0, {}});
       // BGP detection + convergence later withdraws its aggregate route and
       // ECMP re-spreads onto the survivors (§5.1).
       const double delay = config_.timings.sample(
@@ -77,6 +87,8 @@ void TestbedSim::schedule_smux_failure(double t_us, std::uint32_t smux_id) {
           if (i2.id == smux_id) {
             i2.withdrawn = true;
             views_.withdraw_everywhere(aggregate_, i2.tor);
+            journal_.record(events_.now_us(), telemetry::EventKind::kBgpWithdraw, {}, {},
+                            i2.tor, "smux aggregate withdrawn after detection");
           }
         }
       });
@@ -97,14 +109,21 @@ void TestbedSim::schedule_switch_failure(double t_us, SwitchId sw) {
   events_.schedule_at(t_us, [this, sw] {
     failed_.insert(sw);
     rebuild_routing();
+    journal_.record(events_.now_us(), telemetry::EventKind::kHmuxDown, {}, {}, sw);
     // Neighbors detect the death, withdrawals propagate; until then every
     // RIB still points /32s at the corpse (the Fig 12 blackhole window).
     const double delay = config_.timings.sample(
         config_.timings.failure_detection_us + config_.timings.failure_convergence_us, rng_);
     events_.schedule_after(delay, [this, sw] {
       views_.fail_origin_everywhere(sw);
+      journal_.record(events_.now_us(), telemetry::EventKind::kBgpWithdraw, {}, {}, sw,
+                      "origin routes flushed after detection");
       for (auto& [vip, st] : vips_) {
-        if (st.home == sw) st.home.reset();
+        if (st.home == sw) {
+          st.home.reset();
+          journal_.record(events_.now_us(), telemetry::EventKind::kVipFallback, vip, {}, sw,
+                          "smux backstop after switch failure");
+        }
       }
     });
   });
@@ -117,6 +136,7 @@ void TestbedSim::do_withdraw(Ipv4Address vip, SwitchId from, std::optional<Switc
   const double t_dips = config_.timings.sample(config_.timings.fib_dip_delete_us, rng_);
   ops_.delete_vip_us.push_back(t_vip);
   ops_.delete_dips_us.push_back(t_dips);
+  journal_.record(events_.now_us(), telemetry::EventKind::kMigrationWithdraw, vip, {}, from);
   events_.schedule_after(t_vip + t_dips, [this, vip, from, then_to] {
     const auto it = hmuxes_.find(from);
     if (it != hmuxes_.end()) it->second->dataplane().remove_vip(vip);
@@ -127,6 +147,7 @@ void TestbedSim::do_withdraw(Ipv4Address vip, SwitchId from, std::optional<Switc
     ops_.vip_withdraw_us.push_back(t_bgp);
     events_.schedule_after(t_bgp, [this, vip, from, then_to] {
       views_.withdraw_everywhere(Ipv4Prefix::host_route(vip), from);
+      journal_.record(events_.now_us(), telemetry::EventKind::kBgpWithdraw, vip, {}, from);
       if (then_to.has_value()) {
         do_announce(vip, *then_to);  // second wave of an HMux->HMux move
       } else {
@@ -141,6 +162,7 @@ void TestbedSim::do_announce(Ipv4Address vip, SwitchId to) {
   const double t_vip = config_.timings.sample(config_.timings.fib_vip_add_us, rng_);
   ops_.add_dips_us.push_back(t_dips);
   ops_.add_vip_us.push_back(t_vip);
+  journal_.record(events_.now_us(), telemetry::EventKind::kMigrationAnnounce, vip, {}, to);
   events_.schedule_after(t_dips + t_vip, [this, vip, to] {
     auto& st = vips_.at(vip);
     DUET_CHECK(ensure_hmux(to).dataplane().install_vip(vip, st.dips))
@@ -150,6 +172,7 @@ void TestbedSim::do_announce(Ipv4Address vip, SwitchId to) {
     ops_.vip_announce_us.push_back(t_bgp);
     events_.schedule_after(t_bgp, [this, vip, to] {
       views_.announce_everywhere(Ipv4Prefix::host_route(vip), to);
+      journal_.record(events_.now_us(), telemetry::EventKind::kBgpAnnounce, vip, {}, to);
       auto& state = vips_.at(vip);
       state.home = to;
       state.migrating = false;
@@ -270,10 +293,23 @@ void TestbedSim::start_probes(Ipv4Address vip, Ipv4Address src_server, double st
                               double end_us, double interval_us) {
   DUET_CHECK(interval_us > 0.0) << "non-positive probe interval";
   samples_.try_emplace(vip);
-  // Self-rescheduling probe loop.
-  auto tick = std::make_shared<std::function<void()>>();
+  // Self-rescheduling probe loop; the sim owns the callback (a shared_ptr
+  // capturing itself would cycle and leak).
+  auto* tick = &probe_loops_.emplace_back();
   *tick = [this, vip, src_server, end_us, interval_us, tick] {
-    samples_[vip].push_back(probe_once(vip, src_server));
+    const ProbeSample sample = probe_once(vip, src_server);
+    samples_[vip].push_back(sample);
+    tm_probes_->inc();
+    if (sample.lost) {
+      tm_lost_->inc();
+    } else {
+      tm_rtt_->record(sample.rtt_us);
+      if (sample.via == ProbeVia::kHmux) {
+        tm_rtt_hmux_->record(sample.rtt_us);
+      } else {
+        tm_rtt_smux_->record(sample.rtt_us);
+      }
+    }
     const double next = events_.now_us() + interval_us;
     if (next < end_us) events_.schedule_at(next, *tick);
   };

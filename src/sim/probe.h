@@ -15,6 +15,8 @@
 // about (blackholes, memory deadlock) would show up as lost probes here.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -26,6 +28,8 @@
 #include "duet/smux.h"
 #include "routing/bgp.h"
 #include "sim/event.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 #include "topo/fattree.h"
 #include "topo/paths.h"
 
@@ -89,6 +93,14 @@ class TestbedSim {
   const std::vector<ProbeSample>& samples(Ipv4Address vip) const;
   const OpLatencies& op_latencies() const noexcept { return ops_; }
 
+  // Telemetry: probe RTT histograms (`duet.sim.probe_rtt_us`, split by the
+  // serving path) plus sim-timestamped journal events for every timed
+  // control-plane step the run executed.
+  telemetry::MetricRegistry& metrics() noexcept { return registry_; }
+  const telemetry::MetricRegistry& metrics() const noexcept { return registry_; }
+  telemetry::EventJournal& journal() noexcept { return journal_; }
+  const telemetry::EventJournal& journal() const noexcept { return journal_; }
+
   // Current owner view, for assertions in tests.
   bool vip_on_hmux(Ipv4Address vip) const;
 
@@ -133,10 +145,21 @@ class TestbedSim {
   std::vector<SmuxInstance> smuxes_;
   std::unordered_map<Ipv4Address, VipState> vips_;
   std::unordered_map<Ipv4Address, std::vector<ProbeSample>> samples_;
+  // Owns the self-rescheduling probe callbacks (deque: stable addresses).
+  std::deque<std::function<void()>> probe_loops_;
   Ipv4Prefix aggregate_{Ipv4Address{100, 0, 0, 0}, 8};
   double smux_offered_pps_ = 0.0;
   OpLatencies ops_;
   std::uint16_t probe_seq_ = 1;
+
+  telemetry::MetricRegistry registry_;
+  telemetry::EventJournal journal_;
+  // Bound once in the constructor; hot-path pointers, no registry lookups.
+  telemetry::Histogram* tm_rtt_ = nullptr;
+  telemetry::Histogram* tm_rtt_hmux_ = nullptr;
+  telemetry::Histogram* tm_rtt_smux_ = nullptr;
+  telemetry::Counter* tm_probes_ = nullptr;
+  telemetry::Counter* tm_lost_ = nullptr;
 };
 
 }  // namespace duet

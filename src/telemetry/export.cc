@@ -1,0 +1,211 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "util/table.h"
+
+namespace duet::telemetry {
+
+namespace {
+
+std::string fmt_double(double v) {
+  // Shortest round-trip-ish form; JSON has no inf/nan, clamp to null-safe 0.
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to a friendlier form when exact.
+  double reparsed = 0.0;
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%.12g", v);
+  std::sscanf(shorter, "%lf", &reparsed);
+  return reparsed == v ? shorter : buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out, const Histogram& h) {
+  char buf[64];
+  out += "{\"count\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+  out += buf;
+  out += ",\"sum\":" + fmt_double(h.empty() ? 0.0 : h.sum());
+  out += ",\"min\":" + fmt_double(h.empty() ? 0.0 : h.min());
+  out += ",\"max\":" + fmt_double(h.empty() ? 0.0 : h.max());
+  out += ",\"mean\":" + fmt_double(h.empty() ? 0.0 : h.mean());
+  out += ",\"p50\":" + fmt_double(h.empty() ? 0.0 : h.percentile(50));
+  out += ",\"p99\":" + fmt_double(h.empty() ? 0.0 : h.percentile(99));
+  out += ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"le\":";
+    out += i < h.bounds().size() ? fmt_double(h.bounds()[i]) : std::string("\"inf\"");
+    out += ",\"count\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, h.bucket(i));
+    out += buf;
+    out += '}';
+  }
+  out += "]}";
+}
+
+void append_event_json(std::string& out, const Event& e) {
+  char buf[64];
+  out += "{\"t_us\":" + fmt_double(e.t_us);
+  out += ",\"kind\":\"";
+  out += to_string(e.kind);
+  out += '"';
+  if (e.vip.value() != 0) out += ",\"vip\":\"" + e.vip.to_string() + '"';
+  if (e.dip.value() != 0) out += ",\"dip\":\"" + e.dip.to_string() + '"';
+  if (e.sw != kNoSwitch) {
+    std::snprintf(buf, sizeof(buf), ",\"sw\":%u", e.sw);
+    out += buf;
+  }
+  if (e.a != 0 || e.b != 0 || e.c != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 ",\"c\":%" PRIu64, e.a,
+                  e.b, e.c);
+    out += buf;
+  }
+  if (!e.detail.empty()) out += ",\"detail\":\"" + json_escape(e.detail) + '"';
+  out += '}';
+}
+
+}  // namespace
+
+// --- TextExporter ------------------------------------------------------------
+
+void TextExporter::print(const MetricRegistry& registry, std::FILE* out) {
+  const auto counters = registry.counters();
+  const auto gauges = registry.gauges();
+  const auto histograms = registry.histograms();
+
+  if (!counters.empty() || !gauges.empty()) {
+    TablePrinter t{{"metric", "type", "value"}};
+    for (const auto& [name, c] : counters) {
+      t.add_row({name, "counter", TablePrinter::fmt_int(static_cast<long long>(c->value()))});
+    }
+    for (const auto& [name, g] : gauges) {
+      t.add_row({name, "gauge", TablePrinter::fmt(g->value(), "%.3f")});
+    }
+    t.print(out);
+  }
+  if (!histograms.empty()) {
+    TablePrinter t{{"histogram", "count", "mean", "p50", "p99", "max"}};
+    for (const auto& [name, h] : histograms) {
+      if (h->empty()) {
+        t.add_row({name, "0", "-", "-", "-", "-"});
+        continue;
+      }
+      t.add_row({name, TablePrinter::fmt_int(static_cast<long long>(h->count())),
+                 TablePrinter::fmt(h->mean(), "%.2f"), TablePrinter::fmt(h->percentile(50), "%.2f"),
+                 TablePrinter::fmt(h->percentile(99), "%.2f"), TablePrinter::fmt(h->max(), "%.2f")});
+    }
+    t.print(out);
+  }
+}
+
+void TextExporter::print(const EventJournal& journal, std::FILE* out, std::size_t tail) {
+  const auto events = journal.ordered();
+  const std::size_t first = tail > 0 && tail < events.size() ? events.size() - tail : 0;
+  TablePrinter t{{"t (ms)", "event", "vip", "dip", "switch", "detail"}};
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const Event& e = events[i];
+    std::string detail = e.detail;
+    if (e.kind == EventKind::kTableOccupancy) {
+      char buf[80];
+      std::snprintf(buf, sizeof(buf), "host=%" PRIu64 " ecmp=%" PRIu64 " tunnel=%" PRIu64, e.a,
+                    e.b, e.c);
+      detail = buf;
+    }
+    t.add_row({TablePrinter::fmt(e.t_us / 1e3, "%.3f"), to_string(e.kind),
+               e.vip.value() != 0 ? e.vip.to_string() : "-",
+               e.dip.value() != 0 ? e.dip.to_string() : "-",
+               e.sw != kNoSwitch ? TablePrinter::fmt_int(e.sw) : "-", detail});
+  }
+  t.print(out);
+}
+
+// --- JsonExporter ------------------------------------------------------------
+
+std::string JsonExporter::to_json(const MetricRegistry& registry) {
+  std::string out;
+  char buf[64];
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c->value());
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + fmt_double(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    append_histogram_json(out, *h);
+  }
+  out += '}';
+  return out;
+}
+
+std::string JsonExporter::to_json(const EventJournal& journal) {
+  std::string out = "\"events\":[";
+  bool first = true;
+  for (const Event& e : journal.ordered()) {
+    if (!first) out += ',';
+    first = false;
+    append_event_json(out, e);
+  }
+  out += ']';
+  return out;
+}
+
+std::string JsonExporter::to_json(std::string_view name, const MetricRegistry* registry,
+                                  const EventJournal* journal) {
+  std::string out = "{\"name\":\"" + json_escape(name) + '"';
+  if (registry != nullptr) out += ',' + to_json(*registry);
+  if (journal != nullptr) out += ',' + to_json(*journal);
+  out += "}\n";
+  return out;
+}
+
+bool JsonExporter::write_file(const std::string& path, std::string_view name,
+                              const MetricRegistry* registry, const EventJournal* journal) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json(name, registry, journal);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace duet::telemetry

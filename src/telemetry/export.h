@@ -1,0 +1,49 @@
+// Exporters: one registry/journal, two renderings.
+//
+//   * TextExporter — human-readable tables (util/table.h) for duetctl stats
+//     and interactive poking;
+//   * JsonExporter — the machine-readable `BENCH_*.json` format the benches
+//     emit, for regression tracking and plotting. Key names are stable:
+//       { "name": "...",
+//         "counters":   { "<metric>": <u64>, ... },
+//         "gauges":     { "<metric>": <double>, ... },
+//         "histograms": { "<metric>": { "count", "sum", "min", "max",
+//                                       "mean", "p50", "p99",
+//                                       "buckets": [ {"le": <bound|"inf">,
+//                                                     "count": <u64>}, ...] } },
+//         "events":     [ {"t_us", "kind", "vip", "dip", "sw",
+//                          "a", "b", "c", "detail"}, ... ] }
+//     Metrics are emitted name-sorted and events time-ordered, so two runs
+//     of the same scenario produce byte-identical files.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+
+namespace duet::telemetry {
+
+class TextExporter {
+ public:
+  static void print(const MetricRegistry& registry, std::FILE* out = stdout);
+  // `tail` > 0 prints only the last `tail` events (time-ordered).
+  static void print(const EventJournal& journal, std::FILE* out = stdout, std::size_t tail = 0);
+};
+
+class JsonExporter {
+ public:
+  static std::string to_json(const MetricRegistry& registry);
+  static std::string to_json(const EventJournal& journal);
+  // Full document; either part may be null. `name` labels the dump
+  // (conventionally the bench/figure id).
+  static std::string to_json(std::string_view name, const MetricRegistry* registry,
+                             const EventJournal* journal);
+  // Writes the full document to `path`; returns false on I/O failure.
+  static bool write_file(const std::string& path, std::string_view name,
+                         const MetricRegistry* registry, const EventJournal* journal = nullptr);
+};
+
+}  // namespace duet::telemetry

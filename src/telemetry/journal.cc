@@ -1,0 +1,57 @@
+#include "telemetry/journal.h"
+
+#include <algorithm>
+
+namespace duet::telemetry {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kVipAdded: return "vip_added";
+    case EventKind::kVipRemoved: return "vip_removed";
+    case EventKind::kVipPlaced: return "vip_placed";
+    case EventKind::kVipFallback: return "vip_fallback";
+    case EventKind::kMigrationWithdraw: return "migration_withdraw";
+    case EventKind::kMigrationAnnounce: return "migration_announce";
+    case EventKind::kBgpAnnounce: return "bgp_announce";
+    case EventKind::kBgpWithdraw: return "bgp_withdraw";
+    case EventKind::kDipUp: return "dip_up";
+    case EventKind::kDipDown: return "dip_down";
+    case EventKind::kHmuxDown: return "hmux_down";
+    case EventKind::kSmuxDown: return "smux_down";
+    case EventKind::kTableOccupancy: return "table_occupancy";
+  }
+  return "unknown";
+}
+
+std::vector<Event> EventJournal::ordered() const {
+  std::vector<Event> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.t_us < b.t_us; });
+  return out;
+}
+
+std::vector<Event> EventJournal::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.t_us < b.t_us; });
+  return out;
+}
+
+std::vector<Event> EventJournal::for_vip(Ipv4Address vip) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.vip == vip) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.t_us < b.t_us; });
+  return out;
+}
+
+void EventJournal::merge(const EventJournal& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+}  // namespace duet::telemetry

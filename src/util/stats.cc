@@ -45,13 +45,28 @@ double Summary::stddev() const {
 double Summary::percentile(double p) const {
   DUET_CHECK(!samples_.empty()) << "percentile of empty Summary";
   DUET_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
-  ensure_sorted();
   if (samples_.size() == 1) return samples_[0];
   const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  if (sorted_) {
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+  // Unsorted: selection instead of a full sort. After nth_element the range
+  // past `lo` holds everything >= the answer, so its minimum is exactly the
+  // sorted array's next sample — same interpolation inputs, same bits.
+  const auto nth = samples_.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(samples_.begin(), nth, samples_.end());
+  if (lo + 1 >= samples_.size()) return *nth;
+  const double next = *std::min_element(nth + 1, samples_.end());
+  return *nth * (1.0 - frac) + next * frac;
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
 }
 
 std::vector<std::pair<double, double>> Summary::cdf(std::size_t points) const {

@@ -27,9 +27,14 @@ class Summary {
   double mean() const;
   double stddev() const;
 
-  // p in [0,100]. Nearest-rank with linear interpolation.
+  // p in [0,100]. Nearest-rank with linear interpolation. A one-off query on
+  // unsorted samples uses std::nth_element (O(n)) instead of a full sort;
+  // answers are bit-identical either way.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
+
+  // Appends the other summary's samples (shard combining).
+  void merge(const Summary& other);
 
   // Evenly spaced (x, F(x)) points of the empirical CDF; `points` >= 2.
   std::vector<std::pair<double, double>> cdf(std::size_t points = 50) const;

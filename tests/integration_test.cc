@@ -145,6 +145,69 @@ TEST_F(EndToEnd, DipChurnDuringOperation) {
   EXPECT_TRUE(fresh_used);
 }
 
+TEST_F(EndToEnd, JournalTellsTheFullFailoverStory) {
+  // The §5.1 sequence as the journal must record it: DIP health DOWN, then
+  // the HMux dies (withdraw + SMux backstop), then the recovery epoch lands
+  // the VIP back on hardware — with non-decreasing timestamps throughout.
+  controller_.run_epoch(build_demands(fabric_, trace_, 0));
+
+  Ipv4Address vip{};
+  SwitchId home = kInvalidSwitch;
+  for (const auto& v : trace_.vips) {
+    if (v.dips.size() >= 2) {
+      if (const auto h = controller_.hmux_home(v.vip)) {
+        vip = v.vip;
+        home = *h;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(home, kInvalidSwitch) << "no multi-DIP VIP landed on an HMux";
+  const Ipv4Address sick_dip = [&] {
+    for (const auto& v : trace_.vips) {
+      if (v.vip == vip) return v.dips.front();
+    }
+    return Ipv4Address{};
+  }();
+
+  controller_.journal().clear();  // isolate the incident from setup noise
+
+  controller_.set_clock_us(1e6);
+  controller_.report_dip_health(vip, sick_dip, false);
+  controller_.set_clock_us(2e6);
+  controller_.handle_switch_failure(home);
+  EXPECT_EQ(controller_.owner_of(vip), DuetController::Owner::kSmux);
+  controller_.set_clock_us(3e6);
+  controller_.run_epoch(build_demands(fabric_, trace_, 1));
+  ASSERT_EQ(controller_.owner_of(vip), DuetController::Owner::kHmux);
+
+  const auto seq = controller_.journal().for_vip(vip);
+  ASSERT_GE(seq.size(), 4u);
+
+  // Timestamps are monotonically non-decreasing in the ordered view.
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_GE(seq[i].t_us, seq[i - 1].t_us) << "event " << i << " out of order";
+  }
+
+  // The required milestones appear, in order: DOWN -> withdraw -> backstop ->
+  // announce -> placed. Extra events in between (e.g. the migration-plan
+  // record) are fine; the subsequence is what the story requires.
+  const telemetry::EventKind want[] = {
+      telemetry::EventKind::kDipDown, telemetry::EventKind::kBgpWithdraw,
+      telemetry::EventKind::kVipFallback, telemetry::EventKind::kBgpAnnounce,
+      telemetry::EventKind::kVipPlaced};
+  std::size_t next = 0;
+  for (const auto& e : seq) {
+    if (next < std::size(want) && e.kind == want[next]) ++next;
+  }
+  EXPECT_EQ(next, std::size(want)) << "matched only " << next << " of the §5.1 milestones";
+
+  // The DOWN event precedes everything; the restore lands at the last clock.
+  EXPECT_EQ(seq.front().kind, telemetry::EventKind::kDipDown);
+  EXPECT_DOUBLE_EQ(seq.front().t_us, 1e6);
+  EXPECT_DOUBLE_EQ(seq.back().t_us, 3e6);
+}
+
 TEST_F(EndToEnd, TestbedAndControllerAgreeOnFailoverSemantics) {
   // The event-driven simulator and the converged controller must tell the
   // same story: after an HMux failure, the same VIP is served by SMuxes.

@@ -1,0 +1,348 @@
+// Telemetry subsystem tests: metric semantics, histogram bucket math,
+// journal ordering, and the JSON document shape.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+
+namespace duet::telemetry {
+namespace {
+
+// --- Counter / Gauge --------------------------------------------------------------
+
+TEST(Counter, IncrementMergeReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Counter other;
+  other.inc(8);
+  c.merge(other);
+  EXPECT_EQ(c.value(), 50u);
+  EXPECT_EQ(other.value(), 8u);  // merge reads, never mutates the source
+
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddMerge) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.set(10.0);  // set overwrites, it does not accumulate
+  EXPECT_EQ(g.value(), 10.0);
+
+  Gauge shard;
+  shard.set(3.0);
+  g.merge(shard);  // gauges merge additively (shard occupancies sum)
+  EXPECT_EQ(g.value(), 13.0);
+}
+
+// --- Histogram --------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpper) {
+  Histogram h{{1.0, 2.0, 4.0}};
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+
+  h.record(0.5);  // <= 1.0        -> bucket 0
+  h.record(1.0);  // == bound 1.0  -> bucket 0 (inclusive upper)
+  h.record(1.5);  // <= 2.0        -> bucket 1
+  h.record(2.0);  // == bound 2.0  -> bucket 1
+  h.record(4.0);  // == last bound -> bucket 2
+  h.record(4.5);  // beyond        -> overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.5);
+}
+
+TEST(Histogram, RecordNAndPercentiles) {
+  // Bounds 10,20,...,100: lo is the bottom of the first bucket.
+  Histogram h{Histogram::linear_bounds(0.0, 100.0, 10)};
+  h.record_n(5.0, 50);    // first bucket (le 10)
+  h.record_n(95.0, 50);   // last finite bucket (le 100)
+  EXPECT_EQ(h.count(), 100u);
+  // Half the mass sits at/below 10, so p25 interpolates inside the first
+  // bucket and p75 inside the 90..100 one (both clamped to observed range).
+  EXPECT_GE(h.percentile(25), 5.0);
+  EXPECT_LE(h.percentile(25), 10.0);
+  EXPECT_GE(h.percentile(75), 90.0);
+  EXPECT_LE(h.percentile(75), 95.0);
+  // The overflow bucket answers with the exact max.
+  h.record(1e9);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e9);
+}
+
+TEST(Histogram, MergeAddsBucketCountsAndTracksExtremes) {
+  const std::vector<double> bounds{1.0, 10.0};
+  Histogram a{bounds}, b{bounds};
+  a.record(0.5);
+  a.record(5.0);
+  b.record(20.0);
+  b.record(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(0), 2u);  // 0.5 and 0.1
+  EXPECT_EQ(a.bucket(1), 1u);  // 5.0
+  EXPECT_EQ(a.bucket(2), 1u);  // 20.0 overflow
+  EXPECT_DOUBLE_EQ(a.min(), 0.1);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+TEST(Histogram, BoundBuilders) {
+  // `lo` is the bottom of the first bucket, so the first bound sits one step
+  // above it and the last bound is exactly `hi`.
+  const auto lin = Histogram::linear_bounds(0.0, 50.0, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin.front(), 10.0);
+  EXPECT_DOUBLE_EQ(lin.back(), 50.0);
+
+  const auto exp = Histogram::exponential_bounds(1.0, 1024.0, 11);
+  ASSERT_EQ(exp.size(), 11u);
+  EXPECT_DOUBLE_EQ(exp.front(), 1.0);
+  EXPECT_DOUBLE_EQ(exp.back(), 1024.0);  // exact despite pow() rounding
+  for (std::size_t i = 1; i < exp.size(); ++i) EXPECT_GT(exp[i], exp[i - 1]);
+}
+
+// --- MetricRegistry ---------------------------------------------------------------
+
+TEST(MetricRegistry, HandsOutStableNamedMetrics) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("duet.test.packets");
+  c.inc(3);
+  EXPECT_EQ(&reg.counter("duet.test.packets"), &c);  // same object on re-lookup
+  EXPECT_EQ(reg.counter("duet.test.packets").value(), 3u);
+
+  reg.gauge("duet.test.occupancy").set(7.0);
+  reg.histogram("duet.test.rtt", {1.0, 2.0}).record(1.5);
+  EXPECT_EQ(reg.size(), 3u);
+
+  ASSERT_NE(reg.find_counter("duet.test.packets"), nullptr);
+  EXPECT_EQ(reg.find_counter("duet.test.packets")->value(), 3u);
+  EXPECT_EQ(reg.find_counter("no.such.metric"), nullptr);
+  EXPECT_EQ(reg.find_gauge("duet.test.packets"), nullptr);  // wrong type
+}
+
+TEST(MetricRegistry, MergeCombinesShards) {
+  MetricRegistry a, b;
+  a.counter("shared").inc(1);
+  b.counter("shared").inc(2);
+  b.counter("only_b").inc(5);
+  b.gauge("g").set(1.5);
+  b.histogram("h", {1.0}).record(0.5);
+
+  a.merge(b);
+  EXPECT_EQ(a.find_counter("shared")->value(), 3u);
+  EXPECT_EQ(a.find_counter("only_b")->value(), 5u);
+  EXPECT_DOUBLE_EQ(a.find_gauge("g")->value(), 1.5);
+  EXPECT_EQ(a.find_histogram("h")->count(), 1u);
+}
+
+// --- EventJournal -----------------------------------------------------------------
+
+TEST(EventJournal, OrderedSortsOutOfOrderTimestampsStably) {
+  EventJournal j;
+  const Ipv4Address vip{100, 0, 0, 1};
+  // Recorded out of order, with a same-timestamp pair whose insertion order
+  // (withdraw before announce, §4.2) must survive the sort.
+  j.record(300.0, EventKind::kBgpAnnounce, vip);
+  j.record(100.0, EventKind::kVipAdded, vip);
+  j.record(200.0, EventKind::kMigrationWithdraw, vip);
+  j.record(200.0, EventKind::kMigrationAnnounce, vip);
+
+  const auto ordered = j.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(ordered[0].kind, EventKind::kVipAdded);
+  EXPECT_EQ(ordered[1].kind, EventKind::kMigrationWithdraw);
+  EXPECT_EQ(ordered[2].kind, EventKind::kMigrationAnnounce);
+  EXPECT_EQ(ordered[3].kind, EventKind::kBgpAnnounce);
+  // The raw stream keeps insertion order untouched.
+  EXPECT_EQ(j.events()[0].kind, EventKind::kBgpAnnounce);
+}
+
+TEST(EventJournal, FiltersByKindAndVip) {
+  EventJournal j;
+  const Ipv4Address v1{100, 0, 0, 1}, v2{100, 0, 0, 2};
+  j.record(2.0, EventKind::kDipDown, v1, Ipv4Address{10, 0, 0, 1});
+  j.record(1.0, EventKind::kDipDown, v2, Ipv4Address{10, 0, 0, 2});
+  j.record(3.0, EventKind::kVipPlaced, v1, {}, 7);
+
+  const auto downs = j.of_kind(EventKind::kDipDown);
+  ASSERT_EQ(downs.size(), 2u);
+  EXPECT_EQ(downs[0].vip, v2);  // time-ordered
+  EXPECT_EQ(downs[1].vip, v1);
+
+  const auto for_v1 = j.for_vip(v1);
+  ASSERT_EQ(for_v1.size(), 2u);
+  EXPECT_EQ(for_v1[0].kind, EventKind::kDipDown);
+  EXPECT_EQ(for_v1[1].kind, EventKind::kVipPlaced);
+}
+
+TEST(EventJournal, MergeAppendsShards) {
+  EventJournal a, b;
+  a.record(5.0, EventKind::kVipAdded, Ipv4Address{100, 0, 0, 1});
+  b.record(1.0, EventKind::kVipAdded, Ipv4Address{100, 0, 0, 2});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.ordered()[0].vip, (Ipv4Address{100, 0, 0, 2}));
+}
+
+// --- JSON export ------------------------------------------------------------------
+
+// Minimal JSON checker: validates syntax by recursive descent (no values
+// retained) — enough to prove the exporter emits well-formed documents.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    return expect('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonExporter, EmitsWellFormedDocumentWithStableKeys) {
+  MetricRegistry reg;
+  reg.counter("duet.test.packets").inc(12);
+  reg.gauge("duet.test.mru").set(0.75);
+  auto& h = reg.histogram("duet.test.rtt_us", {100.0, 1000.0});
+  h.record(50.0);
+  h.record(5000.0);
+
+  EventJournal j;
+  j.record(1000.0, EventKind::kVipAdded, Ipv4Address{100, 0, 0, 1}, {}, kNoSwitch,
+           "with \"quotes\"\n");
+  j.record(Event{2000.0, EventKind::kTableOccupancy, {}, {}, 3, 10, 20, 30, {}});
+
+  const std::string doc = JsonExporter::to_json("roundtrip", &reg, &j);
+  EXPECT_TRUE(JsonChecker{doc}.valid()) << doc;
+
+  // Key spot checks — the contract the plotting scripts rely on.
+  EXPECT_NE(doc.find("\"name\":\"roundtrip\""), std::string::npos);
+  EXPECT_NE(doc.find("\"duet.test.packets\":12"), std::string::npos);
+  EXPECT_NE(doc.find("\"duet.test.mru\":0.75"), std::string::npos);
+  EXPECT_NE(doc.find("\"le\":\"inf\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\":\"vip_added\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\":\"table_occupancy\""), std::string::npos);
+  EXPECT_NE(doc.find("\"a\":10,\"b\":20,\"c\":30"), std::string::npos);
+  EXPECT_NE(doc.find("\\\"quotes\\\"\\n"), std::string::npos);  // escaping survived
+}
+
+TEST(JsonExporter, EmptyRegistryAndJournalStillValid) {
+  MetricRegistry reg;
+  EventJournal j;
+  const std::string doc = JsonExporter::to_json("empty", &reg, &j);
+  EXPECT_TRUE(JsonChecker{doc}.valid()) << doc;
+  EXPECT_NE(doc.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(doc.find("\"events\":[]"), std::string::npos);
+}
+
+TEST(JsonExporter, ByteStableAcrossEquivalentRuns) {
+  // Registration order differs between the two registries; exported order is
+  // name-sorted, so the documents must still match byte for byte.
+  MetricRegistry a, b;
+  a.counter("z").inc(1);
+  a.counter("a").inc(2);
+  b.counter("a").inc(2);
+  b.counter("z").inc(1);
+  EXPECT_EQ(JsonExporter::to_json("x", &a, nullptr), JsonExporter::to_json("x", &b, nullptr));
+}
+
+}  // namespace
+}  // namespace duet::telemetry
