@@ -5,6 +5,11 @@
 //   duetctl replay   [options]   replay a multi-epoch trace with Sticky
 //   duetctl stats    [options]   replay through the live controller (with a
 //                                failure injected mid-run) and dump telemetry
+//   duetctl audit    [options]   replay the same incident-laden run through
+//                                the live controller, auditing every named
+//                                design invariant (audit/invariants.h) at each
+//                                stage; prints the per-invariant report and
+//                                exits 1 on any violation
 //
 // Options:
 //   --containers N --tors N --cores N     fabric shape (default 6 8 6)
@@ -24,6 +29,8 @@
 #include <cstring>
 #include <string>
 
+#include "audit/invariants.h"
+#include "audit/snapshot.h"
 #include "duet/assignment.h"
 #include "duet/config.h"
 #include "duet/controller.h"
@@ -82,7 +89,7 @@ bool parse_args(int argc, char** argv, Args& a) {
     }
   }
   return a.command == "plan" || a.command == "gen" || a.command == "replay" ||
-         a.command == "stats";
+         a.command == "stats" || a.command == "audit";
 }
 
 Trace obtain_trace(const Args& a, const FatTree& fabric) {
@@ -142,7 +149,7 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
-                 "usage: duetctl plan|gen|replay|stats [--containers N] [--tors N] [--cores N]\n"
+                 "usage: duetctl plan|gen|replay|stats|audit [--containers N] [--tors N] [--cores N]\n"
                  "       [--vips N] [--gbps G] [--epochs E] [--replicas R] [--trace FILE]\n"
                  "       [--seed S] [--json FILE]\n");
     return 2;
@@ -174,6 +181,72 @@ int main(int argc, char** argv) {
   const auto demands = build_demands(fabric, trace, 0);
   AssignmentOptions opts;
   opts.seed = args.seed;
+
+  if (args.command == "audit") {
+    // Same incident-laden replay as `stats` — epochs, a DIP health flap, an
+    // HMux death, an SMux death — but after every control-plane step the
+    // invariant auditor walks the whole system and the journal. A clean run
+    // proves the controller preserved every audited design rule through the
+    // failures; any violation names the broken rule and fails the command.
+    DuetController ctl{fabric, DuetConfig{}, FlowHasher{args.seed}, args.seed};
+    ctl.deploy_smuxes({fabric.tors[0], fabric.tors[fabric.tors.size() / 2],
+                       fabric.tors[fabric.tors.size() - 1]},
+                      Ipv4Prefix{Ipv4Address{100, 0, 0, 0}, 8});
+    for (const auto& v : trace.vips) ctl.add_vip(v.vip, v.dips);
+
+    const audit::InvariantAuditor auditor;
+    audit::AuditReport combined;
+    std::size_t stages = 0;
+    auto stage_audit = [&](const std::string& stage) {
+      auto report = auditor.audit(audit::SystemSnapshot::capture(ctl));
+      report.merge(auditor.audit_journal(ctl.journal()));
+      std::printf("  %-28s %s\n", stage.c_str(), report.clean() ? "ok" : report.summary().c_str());
+      combined.merge(std::move(report));
+      ++stages;
+    };
+
+    std::printf("\nauditing %zu invariants per stage:\n",
+                audit::InvariantAuditor::invariants().size());
+    stage_audit("deploy");
+    constexpr double kEpochUs = 10e6;
+    for (std::size_t e = 0; e < trace.epochs; ++e) {
+      ctl.set_clock_us(static_cast<double>(e) * kEpochUs);
+      ctl.run_epoch(build_demands(fabric, trace, e));
+      stage_audit("epoch " + std::to_string(e));
+      if (e == trace.epochs / 2) {
+        const auto& v0 = trace.vips.front();
+        ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 1e6);
+        ctl.report_dip_health(v0.vip, v0.dips.front(), false);
+        ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 2e6);
+        ctl.report_dip_health(v0.vip, v0.dips.front(), true);
+        stage_audit("dip health flap");
+        for (const auto& v : trace.vips) {
+          if (const auto home = ctl.hmux_home(v.vip)) {
+            ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 3e6);
+            ctl.handle_switch_failure(*home);
+            break;
+          }
+        }
+        stage_audit("hmux failure");
+        ctl.set_clock_us(static_cast<double>(e) * kEpochUs + 4e6);
+        ctl.handle_smux_failure(0);
+        stage_audit("smux failure");
+      }
+    }
+
+    std::printf("\nper-invariant results over %zu stages:\n", stages);
+    TablePrinter t{{"invariant", "paper", "violations"}};
+    for (const auto& info : audit::InvariantAuditor::invariants()) {
+      t.add_row({info.name, info.paper_ref,
+                 TablePrinter::fmt_int(static_cast<long long>(combined.count(info.name)))});
+    }
+    t.print();
+    for (const auto& v : combined.violations) {
+      std::printf("VIOLATION [%s] %s\n", v.invariant.c_str(), v.message.c_str());
+    }
+    std::printf("%s\n", combined.clean() ? "audit clean" : "AUDIT FAILED");
+    return combined.clean() ? 0 : 1;
+  }
 
   if (args.command == "stats") {
     // Drive the live controller through the trace — epochs, a DIP health

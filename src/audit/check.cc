@@ -1,0 +1,123 @@
+#include "audit/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+// The CMake cache variable DUET_AUDIT_LEVEL becomes this compile definition
+// (0 = off, 1 = log, 2 = fatal); "log" when the build system says nothing.
+#ifndef DUET_AUDIT_DEFAULT_LEVEL
+#define DUET_AUDIT_DEFAULT_LEVEL 1
+#endif
+
+namespace duet::audit {
+
+namespace {
+
+AuditLevel initial_level() noexcept {
+  AuditLevel level = static_cast<AuditLevel>(DUET_AUDIT_DEFAULT_LEVEL);
+  if (const char* env = std::getenv("DUET_AUDIT_LEVEL")) {
+    if (!parse_audit_level(env, level)) {
+      // Runs at static-init time; the log level global is constant-initialized
+      // so the logger is already usable.
+      DUET_LOG_WARN << "audit: ignoring unknown DUET_AUDIT_LEVEL=" << env;
+    }
+  }
+  return level;
+}
+
+std::atomic<AuditLevel> g_level{initial_level()};
+std::atomic<std::uint64_t> g_violations{0};
+
+// The registry binding is a slow path (violations are exceptional); a mutex
+// keeps bind/unbind safe against concurrent reporters.
+std::mutex g_registry_mu;
+telemetry::MetricRegistry* g_registry = nullptr;
+
+}  // namespace
+
+const char* to_string(AuditLevel level) noexcept {
+  switch (level) {
+    case AuditLevel::kOff:
+      return "off";
+    case AuditLevel::kLog:
+      return "log";
+    case AuditLevel::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+const char* to_string(Severity severity) noexcept {
+  return severity == Severity::kWarning ? "warning" : "error";
+}
+
+AuditLevel audit_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_audit_level(AuditLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+bool parse_audit_level(std::string_view text, AuditLevel& out) noexcept {
+  // Numeric aliases match the DUET_AUDIT_DEFAULT_LEVEL compile define.
+  if (text == "off" || text == "0") {
+    out = AuditLevel::kOff;
+  } else if (text == "log" || text == "1") {
+    out = AuditLevel::kLog;
+  } else if (text == "fatal" || text == "2") {
+    out = AuditLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void bind_registry(telemetry::MetricRegistry* registry) noexcept {
+  std::lock_guard lock(g_registry_mu);
+  g_registry = registry;
+}
+
+std::uint64_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_violation_count() noexcept { g_violations.store(0, std::memory_order_relaxed); }
+
+void report_violation(std::string_view invariant, Severity severity, const std::string& message) {
+  const AuditLevel level = audit_level();
+  if (level == AuditLevel::kOff) return;
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(g_registry_mu);
+    if (g_registry != nullptr) {
+      g_registry->counter("duet.audit.violations").inc();
+      g_registry->counter("duet.audit.violation." + std::string(invariant)).inc();
+    }
+  }
+  DUET_LOG_ERROR << "audit[" << invariant << "] " << to_string(severity)
+                 << " violation: " << message;
+  if (level == AuditLevel::kFatal && severity == Severity::kError) {
+    std::fflush(nullptr);
+    std::abort();
+  }
+}
+
+namespace detail {
+
+AuditFailure::AuditFailure(std::string_view invariant, Severity severity, std::string_view cond,
+                           std::string_view file, int line)
+    : invariant_(invariant), severity_(severity) {
+  stream_ << "(" << cond << ") failed at " << file << ":" << line;
+  stream_ << " ";  // separates the site from the caller's streamed context
+}
+
+AuditFailure::~AuditFailure() {
+  report_violation(invariant_, severity_, stream_.str());
+}
+
+}  // namespace detail
+}  // namespace duet::audit

@@ -1,0 +1,114 @@
+// Runtime-verification assertion library (the "audit" in src/audit).
+//
+// DUET_CHECK (util/logging.h) guards programming errors and always aborts.
+// DUET_AUDIT guards *system invariants* — cross-layer properties of the
+// Duet control/data plane (table accounting, single-announcer, the SMux
+// backstop) whose violation means the load balancer has drifted into a bad
+// state, not that a function was called wrong. Audits are therefore
+// *tunable*: a production binary wants them nearly free, a CI binary wants
+// them fatal, and a soak test wants them logged and counted.
+//
+// Three levels, settable per process:
+//   * kOff   — every DUET_AUDIT is one relaxed load + branch; no message is
+//              formatted, no counter is bumped (free in release);
+//   * kLog   — violations are logged (util/logging.h, kError), counted in a
+//              process-wide counter, and mirrored into a bound
+//              telemetry::MetricRegistry (`duet.audit.violations` plus a
+//              per-invariant series); execution continues;
+//   * kFatal — as kLog, then std::abort() on kError-severity violations
+//              (CI: a violated invariant fails the run at the exact step
+//              that broke it, not three modules later).
+//
+// The initial level comes from the DUET_AUDIT_LEVEL environment variable
+// ("off" / "log" / "fatal"), falling back to the compile-time default
+// DUET_AUDIT_DEFAULT_LEVEL (a CMake cache variable, "log" unless overridden).
+// set_audit_level() overrides both at runtime.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace duet::telemetry {
+class MetricRegistry;
+}  // namespace duet::telemetry
+
+namespace duet::audit {
+
+enum class AuditLevel : std::uint8_t { kOff = 0, kLog = 1, kFatal = 2 };
+
+// A violation's severity decides what kFatal does with it: kError aborts,
+// kWarning never does (it flags states that are suspicious but survivable,
+// e.g. an ACL port rule that could not be mirrored to hardware).
+enum class Severity : std::uint8_t { kWarning = 0, kError = 1 };
+
+const char* to_string(AuditLevel level) noexcept;
+const char* to_string(Severity severity) noexcept;
+
+// Process-wide level. Initialized from DUET_AUDIT_LEVEL / the compile-time
+// default before main(); thread-safe to read anywhere.
+AuditLevel audit_level() noexcept;
+void set_audit_level(AuditLevel level) noexcept;
+inline bool audit_enabled() noexcept { return audit_level() != AuditLevel::kOff; }
+
+// Parses "off" / "log" / "fatal" (case-sensitive, as documented). Returns
+// false and leaves `out` untouched on anything else.
+bool parse_audit_level(std::string_view text, AuditLevel& out) noexcept;
+
+// Wires violation counters into `registry`: every reported violation bumps
+// `duet.audit.violations` and `duet.audit.violation.<invariant>`. Pass
+// nullptr to unbind (e.g. before the registry dies). The process-wide
+// violation_count() works with or without a bound registry.
+void bind_registry(telemetry::MetricRegistry* registry) noexcept;
+
+// Total violations reported since process start (or the last reset).
+std::uint64_t violation_count() noexcept;
+void reset_violation_count() noexcept;
+
+// Reports one violation through the level policy: log + count at kLog and
+// above, abort at kFatal when severity is kError. The `invariant` name keys
+// the per-invariant telemetry counter; keep it a short stable slug
+// (e.g. "single-announcer"). No-op at kOff.
+void report_violation(std::string_view invariant, Severity severity, const std::string& message);
+
+namespace detail {
+
+// Streams the failure message, reports on destruction (macro plumbing).
+class AuditFailure {
+ public:
+  AuditFailure(std::string_view invariant, Severity severity, std::string_view cond,
+               std::string_view file, int line);
+  AuditFailure(const AuditFailure&) = delete;
+  AuditFailure& operator=(const AuditFailure&) = delete;
+  ~AuditFailure();
+
+  std::ostringstream& stream() noexcept { return stream_; }
+
+ private:
+  std::string_view invariant_;
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace duet::audit
+
+// Audits `cond` under the named invariant. Streams extra context:
+//   DUET_AUDIT("single-announcer", origins.size() == 1) << vip.to_string();
+// At kOff this is a level load + (cond) short-circuit; the condition itself
+// is still evaluated, so keep audited expressions side-effect free and cheap.
+#define DUET_AUDIT(invariant, cond)                                                        \
+  if (!::duet::audit::audit_enabled() || (cond)) {                                         \
+  } else                                                                                   \
+    ::duet::audit::detail::AuditFailure(invariant, ::duet::audit::Severity::kError, #cond, \
+                                        __FILE__, __LINE__)                                \
+        .stream()
+
+// Warning-severity variant: logged and counted, never fatal.
+#define DUET_AUDIT_WARN(invariant, cond)                                                     \
+  if (!::duet::audit::audit_enabled() || (cond)) {                                           \
+  } else                                                                                     \
+    ::duet::audit::detail::AuditFailure(invariant, ::duet::audit::Severity::kWarning, #cond, \
+                                        __FILE__, __LINE__)                                  \
+        .stream()

@@ -1,0 +1,125 @@
+#include "audit/snapshot.h"
+
+#include <algorithm>
+
+#include "duet/controller.h"
+
+namespace duet::audit {
+
+namespace {
+
+SwitchSnapshot capture_switch(SwitchId id, const SwitchDataPlane& dp) {
+  SwitchSnapshot s;
+  s.id = id;
+  s.host_used = dp.host_table().size();
+  s.host_capacity = dp.host_table().capacity();
+  s.ecmp_used = dp.ecmp_table().used_members();
+  s.ecmp_capacity = dp.ecmp_table().member_capacity();
+  s.tunnel_used = dp.tunnel_table().size();
+  s.tunnel_capacity = dp.tunnel_table().capacity();
+  s.ecmp_groups = dp.ecmp_table().groups();
+  s.tunnel_entries = dp.tunnel_table().entries();
+  s.installs = dp.installs();
+  return s;
+}
+
+}  // namespace
+
+SystemSnapshot SystemSnapshot::capture(const DuetController& controller) {
+  SystemSnapshot snap;
+  snap.host_table_capacity = controller.config().host_table_capacity;
+  snap.aggregate = controller.aggregate_;
+
+  const RoutingFabric& routing = controller.routing();
+  const Rib& rib0 = routing.rib(0);
+
+  // Cross-view agreement: a converged controller updates every view in one
+  // step, so any disagreement is itself a finding. routes() emits origin
+  // sets in hash order, so sort before comparing.
+  auto routes0 = rib0.routes();
+  std::sort(routes0.begin(), routes0.end());
+  for (SwitchId v = 1; v < routing.view_count() && snap.views_consistent; ++v) {
+    auto routes_v = routing.rib(v).routes();
+    std::sort(routes_v.begin(), routes_v.end());
+    snap.views_consistent = routes_v == routes0;
+  }
+  std::vector<Ipv4Prefix> aggregates0;  // non-/32 routes: the LPM backstops
+  for (const auto& [prefix, origin] : routes0) {
+    if (prefix.length() == 32) {
+      snap.host_routes.emplace_back(prefix.address(), origin);
+    } else {
+      aggregates0.push_back(prefix);
+    }
+  }
+
+  for (const auto& [sw, hmux] : controller.hmuxes_) {
+    snap.switches.push_back(capture_switch(sw, hmux->dataplane()));
+  }
+  std::sort(snap.switches.begin(), snap.switches.end(),
+            [](const SwitchSnapshot& a, const SwitchSnapshot& b) { return a.id < b.id; });
+
+  snap.dead_switches.assign(controller.dead_switches_.begin(), controller.dead_switches_.end());
+  std::sort(snap.dead_switches.begin(), snap.dead_switches.end());
+
+  for (const auto& inst : controller.smuxes_) {
+    SmuxSnapshot s;
+    s.id = inst.id;
+    s.tor = inst.tor;
+    s.alive = inst.alive;
+    s.vip_count = inst.mux->vip_count();
+    snap.smuxes.push_back(s);
+    if (inst.alive) ++snap.live_smux_count;
+  }
+
+  const Assignment& assignment = controller.current_;
+  for (const auto& [vip, rec] : controller.vips_) {
+    VipSnapshot v;
+    v.id = rec.id;
+    v.vip = vip;
+    v.dip_count = rec.dips.size();
+    v.weights = rec.weights;
+    v.home = rec.home;
+    v.placement_switch = assignment.switch_of(rec.id);
+    v.on_smux_list =
+        std::find(assignment.on_smux.begin(), assignment.on_smux.end(), rec.id) !=
+        assignment.on_smux.end();
+    v.announcers = rib0.origins(Ipv4Prefix::host_route(vip));
+    // The backstop holds when some aggregate (non-/32) route would still
+    // catch the VIP's traffic after the /32 disappears.
+    v.aggregate_covers =
+        std::any_of(aggregates0.begin(), aggregates0.end(),
+                    [&](const Ipv4Prefix& p) { return p.contains(vip); });
+    for (const auto& inst : controller.smuxes_) {
+      if (inst.alive && inst.mux->has_vip(vip)) ++v.live_smuxes_holding;
+    }
+    if (rec.fanout.has_value()) {
+      for (const auto& part : rec.fanout->partitions) {
+        FanoutPartitionSnapshot p;
+        p.tip = part.tip;
+        p.host_switch = part.host_switch;
+        p.dip_count = part.dips.size();
+        v.fanout.push_back(p);
+      }
+    }
+    snap.vips.push_back(std::move(v));
+  }
+  std::sort(snap.vips.begin(), snap.vips.end(),
+            [](const VipSnapshot& a, const VipSnapshot& b) { return a.vip < b.vip; });
+  return snap;
+}
+
+const SwitchSnapshot* SystemSnapshot::switch_by_id(SwitchId id) const noexcept {
+  for (const auto& s : switches) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+const VipSnapshot* SystemSnapshot::vip_by_address(Ipv4Address vip) const noexcept {
+  for (const auto& v : vips) {
+    if (v.vip == vip) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace duet::audit

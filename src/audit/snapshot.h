@@ -1,0 +1,116 @@
+// Plain-data capture of the full Duet system state, for invariant auditing.
+//
+// The InvariantAuditor (audit/invariants.h) checks cross-layer properties —
+// switch table accounting against the §4 cost model, /32 announcer
+// uniqueness, the SMux LPM backstop — that span the controller, every
+// SwitchDataPlane, the RIB views, and the SMux pool. Rather than handing the
+// auditor friend access to four subsystems, SystemSnapshot::capture() walks
+// them once (read-only, via the public inspection APIs plus controller
+// friendship) into this plain-data model, and all invariant logic runs over
+// the snapshot.
+//
+// That split is what makes the auditor testable: a unit test captures a
+// clean snapshot, mutates one field to seed a violation (a leaked tunnel
+// entry, a second announcer, a dead switch still holding routes), and
+// asserts the auditor names exactly the invariant it broke — no need to
+// force a live controller into a corrupt state through public APIs that
+// are designed to prevent exactly that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "net/ip.h"
+#include "topo/topology.h"
+#include "workload/vip.h"
+
+namespace duet {
+class DuetController;
+}  // namespace duet
+
+namespace duet::audit {
+
+// One switch's load-balancer table state.
+struct SwitchSnapshot {
+  SwitchId id = kInvalidSwitch;
+
+  std::size_t host_used = 0, host_capacity = 0;
+  std::size_t ecmp_used = 0, ecmp_capacity = 0;
+  std::size_t tunnel_used = 0, tunnel_capacity = 0;
+
+  // Full ECMP group table: group id -> members (including dead WCMP slots;
+  // the switch never reclaims members until the group dies, which is why
+  // ecmp_used charges them while tunnel_used does not).
+  std::unordered_map<EcmpGroupId, std::vector<EcmpMember>> ecmp_groups;
+  // Full tunneling table: index -> encap destination.
+  std::unordered_map<TunnelIndex, Ipv4Address> tunnel_entries;
+  // Every VIP/TIP/port-rule installed on this switch (live slots only).
+  std::vector<SwitchDataPlane::InstallInfo> installs;
+};
+
+// One partition of a large-fanout VIP (§5.2).
+struct FanoutPartitionSnapshot {
+  Ipv4Address tip;
+  SwitchId host_switch = kInvalidSwitch;
+  std::size_t dip_count = 0;
+};
+
+// One VIP as the controller + routing layer see it.
+struct VipSnapshot {
+  VipId id = 0;
+  Ipv4Address vip;
+  std::size_t dip_count = 0;
+  std::vector<std::uint32_t> weights;  // empty = equal-weight
+
+  // Controller record vs. assignment bookkeeping.
+  std::optional<SwitchId> home;             // VipRecord::home
+  std::optional<SwitchId> placement_switch; // current assignment's entry
+  bool on_smux_list = false;                // listed in assignment.on_smux
+
+  // Routing facts (view 0; views_consistent below covers the rest).
+  std::vector<SwitchId> announcers;  // origins of the VIP's /32 route
+  bool aggregate_covers = false;     // an SMux aggregate route matches the VIP
+
+  std::size_t live_smuxes_holding = 0;  // live SMuxes with this VIP programmed
+
+  std::vector<FanoutPartitionSnapshot> fanout;  // empty unless large-fanout
+};
+
+struct SmuxSnapshot {
+  std::uint32_t id = 0;
+  SwitchId tor = kInvalidSwitch;
+  bool alive = true;
+  std::size_t vip_count = 0;
+};
+
+struct SystemSnapshot {
+  // Global limits / deployment facts.
+  std::size_t host_table_capacity = 0;  // §3.3.2 global /32 budget
+  Ipv4Prefix aggregate;                 // the SMux backstop prefix
+  std::size_t live_smux_count = 0;
+
+  std::vector<SwitchSnapshot> switches;
+  std::vector<VipSnapshot> vips;
+  std::vector<SmuxSnapshot> smuxes;
+  std::vector<SwitchId> dead_switches;
+
+  // Every /32 route in view 0 as (address, origin) pairs — the auditor
+  // cross-checks these against VIP homes and fanout TIPs (stale routes after
+  // a failure or withdraw are exactly the §5.1 bugs this catches).
+  std::vector<std::pair<Ipv4Address, SwitchId>> host_routes;
+
+  // True when every RIB view agrees with view 0 (converged controller; the
+  // staged-convergence testbed sim audits per view instead).
+  bool views_consistent = true;
+
+  // Read-only walk of a live controller.
+  static SystemSnapshot capture(const DuetController& controller);
+
+  const SwitchSnapshot* switch_by_id(SwitchId id) const noexcept;
+  const VipSnapshot* vip_by_address(Ipv4Address vip) const noexcept;
+};
+
+}  // namespace duet::audit

@@ -1,5 +1,6 @@
 #include "dataplane/pipeline.h"
 
+#include "audit/check.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -153,6 +154,36 @@ bool SwitchDataPlane::remove_vip_target(Ipv4Address vip, Ipv4Address target) {
   return removed_any;
 }
 
+std::vector<SwitchDataPlane::InstallInfo> SwitchDataPlane::installs() const {
+  std::vector<InstallInfo> out;
+  out.reserve(vips_.size() + port_rules_.size());
+  const auto snapshot_group = [](InstallInfo& info, const MuxGroup& g) {
+    info.decap_first = g.decap_first;
+    info.group = g.group;
+    // Dead member slots (resilient-hash removals) released their tunnel
+    // entries; only live slots still hold table state.
+    for (std::uint32_t slot = 0; slot < g.targets.size(); ++slot) {
+      if (!g.hash.member_alive(slot)) continue;
+      info.tunnels.push_back(g.tunnels[slot]);
+      info.targets.push_back(g.targets[slot]);
+    }
+  };
+  for (const auto& [address, g] : vips_) {
+    InstallInfo info;
+    info.address = address;
+    snapshot_group(info, g);
+    out.push_back(std::move(info));
+  }
+  for (const auto& [key, g] : port_rules_) {
+    InstallInfo info;
+    info.address = Ipv4Address{static_cast<std::uint32_t>(key >> 16)};
+    info.port = static_cast<std::uint16_t>(key & 0xffff);
+    snapshot_group(info, g);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 std::vector<Ipv4Address> SwitchDataPlane::vip_targets(Ipv4Address vip) const {
   std::vector<Ipv4Address> out;
   const auto it = vips_.find(vip);
@@ -167,7 +198,12 @@ std::vector<Ipv4Address> SwitchDataPlane::vip_targets(Ipv4Address vip) const {
 PipelineVerdict SwitchDataPlane::apply_group(MuxGroup& g, Packet& packet) {
   if (packet.encapsulated()) {
     if (!g.decap_first) {
-      // §5.2: today's switches cannot encapsulate a single packet twice.
+      // §5.2: today's switches cannot encapsulate a single packet twice. The
+      // hardware drops; the audit flags the control-plane misconfiguration
+      // that steered encapsulated traffic at a non-TIP entry (warning
+      // severity: the drop itself is the modelled, safe behaviour).
+      DUET_AUDIT_WARN("single-encap", !packet.encapsulated())
+          << "double-encap attempt for " << packet.tuple().to_string();
       DUET_LOG_WARN << "double-encap attempt for " << packet.tuple().to_string() << "; dropping";
       if (tm_drops_ != nullptr) tm_drops_->inc();
       return PipelineVerdict::kDropped;
@@ -179,6 +215,9 @@ PipelineVerdict SwitchDataPlane::apply_group(MuxGroup& g, Packet& packet) {
   const auto encap_dst = tunnel_table_.lookup(g.tunnels[slot]);
   DUET_CHECK(encap_dst.has_value()) << "live member slot with missing tunnel entry";
   packet.encapsulate(EncapHeader{self_, *encap_dst});
+  // §5.2 post-condition: no packet ever leaves the pipeline double-wrapped.
+  DUET_AUDIT("single-encap", packet.encap_depth() <= 1)
+      << "packet left the pipeline with encap depth " << packet.encap_depth();
   if (tm_encaps_ != nullptr) tm_encaps_->inc();
   return PipelineVerdict::kEncapsulated;
 }

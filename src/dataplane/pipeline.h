@@ -94,6 +94,26 @@ class SwitchDataPlane {
   // Live targets for a VIP (after removals), in member order.
   std::vector<Ipv4Address> vip_targets(Ipv4Address vip) const;
 
+  // One installed VIP/TIP/port-rule as the invariant auditor sees it: which
+  // ECMP group it owns, which tunnel entries its members reference (dead
+  // member slots excluded), and the TIP decap flag. `port` is set for ACL
+  // port rules only.
+  struct InstallInfo {
+    Ipv4Address address;
+    std::optional<std::uint16_t> port;
+    bool decap_first = false;
+    EcmpGroupId group = 0;
+    std::vector<TunnelIndex> tunnels;
+    std::vector<Ipv4Address> targets;
+  };
+  // Every VIP/TIP install plus every port rule, in unspecified order.
+  std::vector<InstallInfo> installs() const;
+
+  const HostForwardingTable& host_table() const noexcept { return host_table_; }
+  const EcmpTable& ecmp_table() const noexcept { return ecmp_table_; }
+  const TunnelingTable& tunnel_table() const noexcept { return tunnel_table_; }
+  const AclTable& acl_table() const noexcept { return acl_table_; }
+
   std::size_t free_host_entries() const { return host_table_.free_entries(); }
   std::size_t free_ecmp_entries() const { return ecmp_table_.free_members(); }
   std::size_t free_tunnel_entries() const { return tunnel_table_.free_entries(); }

@@ -72,6 +72,8 @@ class HostForwardingTable {
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
   std::uint64_t lookup_count() const noexcept { return lookups_; }
+  // Read-only walk for the invariant auditor (audit/).
+  const std::unordered_map<Ipv4Address, HostEntry>& entries() const noexcept { return entries_; }
 
  private:
   std::size_t capacity_;
@@ -118,6 +120,10 @@ class EcmpTable {
   std::size_t member_capacity() const noexcept { return member_capacity_; }
   std::size_t free_members() const noexcept { return member_capacity_ - used_members_; }
   std::size_t group_count() const noexcept { return groups_.size(); }
+  // Read-only walk for the invariant auditor (audit/).
+  const std::unordered_map<EcmpGroupId, std::vector<EcmpMember>>& groups() const noexcept {
+    return groups_;
+  }
 
  private:
   std::size_t member_capacity_;
@@ -140,6 +146,8 @@ class TunnelingTable {
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t free_entries() const noexcept { return capacity_ - entries_.size(); }
   std::uint64_t lookup_count() const noexcept { return lookups_; }
+  // Read-only walk for the invariant auditor (audit/).
+  const std::unordered_map<TunnelIndex, Ipv4Address>& entries() const noexcept { return entries_; }
 
  private:
   std::size_t capacity_;

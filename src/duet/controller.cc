@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/invariants.h"
+#include "audit/snapshot.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -20,6 +22,20 @@ DuetController::DuetController(const FatTree& fabric, DuetConfig config, FlowHas
       routing_(fabric.topo.switch_count()),
       rng_(seed) {
   options_.seed = seed;
+  // Audit violations count into this controller's registry (last controller
+  // constructed wins the process-wide binding; sims build one).
+  audit::bind_registry(&telemetry_.registry);
+}
+
+void DuetController::audit_now(bool converged_placement, const char* where) {
+  if (!audit::audit_enabled()) return;
+  audit::InvariantAuditor auditor(audit::AuditOptions{converged_placement});
+  audit::AuditReport report = auditor.audit(audit::SystemSnapshot::capture(*this));
+  report.merge(auditor.audit_journal(telemetry_.journal));
+  if (!report.clean()) {
+    DUET_LOG_ERROR << "invariant audit (" << where << "): " << report.summary();
+  }
+  report.raise();
 }
 
 void DuetController::deploy_smuxes(const std::vector<SwitchId>& tors, Ipv4Prefix vip_aggregate) {
@@ -317,6 +333,11 @@ DuetController::EpochReport DuetController::run_epoch(const std::vector<VipDeman
       withdraw_from_hmux(record(it->second));
     }
   }
+  // Mid-migration audit: withdrawn VIPs must already be safe on the SMux
+  // backstop, but the remembered placement intentionally disagrees with the
+  // VipRecords until phase 2 lands.
+  audit_now(/*converged_placement=*/false, "epoch mid-migration");
+
   // Phase 2: announce from the new homes.
   for (const auto& move : report.migration.moves) {
     const auto it = vip_by_id_.find(move.vip);
@@ -351,6 +372,8 @@ DuetController::EpochReport DuetController::run_epoch(const std::vector<VipDeman
   reg.gauge("duet.controller.migration_moves")
       .set(static_cast<double>(report.migration.move_count()));
   reg.gauge("duet.controller.migration_shuffled_gbps").set(report.migration.shuffled_gbps);
+
+  audit_now(/*converged_placement=*/true, "epoch end");
   return report;
 }
 
@@ -398,6 +421,8 @@ void DuetController::handle_switch_failure(SwitchId dead) {
     }
   }
   hmuxes_.erase(dead);
+
+  audit_now(/*converged_placement=*/true, "switch failure");
 }
 
 void DuetController::handle_smux_failure(std::uint32_t smux_id) {
@@ -413,6 +438,7 @@ void DuetController::handle_smux_failure(std::uint32_t smux_id) {
       telemetry_.journal.record(std::move(e));
       journal_event(telemetry::EventKind::kBgpWithdraw, {}, {}, inst.tor,
                     "smux aggregate " + aggregate_.to_string());
+      audit_now(/*converged_placement=*/true, "smux failure");
       return;
     }
   }

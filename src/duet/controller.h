@@ -35,6 +35,10 @@
 
 namespace duet {
 
+namespace audit {
+struct SystemSnapshot;
+}  // namespace audit
+
 class DuetController {
  public:
   DuetController(const FatTree& fabric, DuetConfig config, FlowHasher hasher,
@@ -125,6 +129,9 @@ class DuetController {
   const DuetConfig& config() const noexcept { return config_; }
 
  private:
+  // Read-only state walk for the invariant auditor (audit/snapshot.h).
+  friend struct audit::SystemSnapshot;
+
   struct VipRecord {
     VipId id = 0;
     Ipv4Address vip;
@@ -146,6 +153,11 @@ class DuetController {
 
   VipRecord& record(Ipv4Address vip);
   const VipRecord* find_record(Ipv4Address vip) const;
+  // Runs the invariant auditor over a fresh snapshot (plus a journal replay)
+  // and raises every violation through the audit/check.h policy. No-op when
+  // the process audit level is off. `converged_placement` is false between
+  // the §4.2 withdraw and announce phases.
+  void audit_now(bool converged_placement, const char* where);
   Hmux& ensure_hmux(SwitchId s);
   void journal_event(telemetry::EventKind kind, Ipv4Address vip = {}, Ipv4Address dip = {},
                      std::uint32_t sw = telemetry::kNoSwitch, std::string detail = {});

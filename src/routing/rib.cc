@@ -56,6 +56,17 @@ std::optional<Ipv4Prefix> Rib::best_prefix(Ipv4Address dst) const {
   return std::nullopt;
 }
 
+std::vector<std::pair<Ipv4Prefix, SwitchId>> Rib::routes() const {
+  std::vector<std::pair<Ipv4Prefix, SwitchId>> out;
+  out.reserve(count_);
+  for (int len = 32; len >= 0; --len) {
+    for (const auto& [prefix, origin_set] : by_length_[len]) {
+      for (const SwitchId origin : origin_set) out.emplace_back(prefix, origin);
+    }
+  }
+  return out;
+}
+
 std::vector<SwitchId> Rib::origins(Ipv4Prefix prefix) const {
   const auto& bucket = by_length_[prefix.length()];
   const auto it = bucket.find(prefix);

@@ -43,6 +43,10 @@ class Rib {
   // Origins currently announcing exactly this prefix.
   std::vector<SwitchId> origins(Ipv4Prefix prefix) const;
 
+  // Every (prefix, origin) pair, longest prefixes first (origin order within
+  // a prefix unspecified). For the invariant auditor's route walks.
+  std::vector<std::pair<Ipv4Prefix, SwitchId>> routes() const;
+
   std::size_t route_count() const noexcept { return count_; }
 
  private:

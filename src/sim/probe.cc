@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/check.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -89,6 +90,10 @@ void TestbedSim::schedule_smux_failure(double t_us, std::uint32_t smux_id) {
             views_.withdraw_everywhere(aggregate_, i2.tor);
             journal_.record(events_.now_us(), telemetry::EventKind::kBgpWithdraw, {}, {},
                             i2.tor, "smux aggregate withdrawn after detection");
+            // §3.3.1: some survivor must keep the LPM backstop alive.
+            DUET_AUDIT_WARN("smux-backstop",
+                            !views_.rib(0).origins(aggregate_).empty() || vips_.empty())
+                << "last SMux aggregate withdrawn: VIPs have no LPM backstop";
           }
         }
       });
@@ -125,6 +130,20 @@ void TestbedSim::schedule_switch_failure(double t_us, SwitchId sw) {
                           "smux backstop after switch failure");
         }
       }
+      // §5.1: once the flush converged, no view may retain a route the dead
+      // switch originated (a stale /32 would keep blackholing traffic), and
+      // the SMux aggregate backstop must still exist somewhere.
+      DUET_AUDIT("dead-switch-quiesced", [&] {
+        for (SwitchId v = 0; v < views_.view_count(); ++v) {
+          for (const auto& [prefix, origin] : views_.rib(v).routes()) {
+            if (origin == sw) return false;
+          }
+        }
+        return true;
+      }()) << "dead switch " << sw << " still originates routes in some view";
+      DUET_AUDIT_WARN("smux-backstop",
+                      !views_.rib(0).origins(aggregate_).empty() || vips_.empty())
+          << "no live SMux aggregate after switch " << sw << " failed";
     });
   });
 }
@@ -148,6 +167,15 @@ void TestbedSim::do_withdraw(Ipv4Address vip, SwitchId from, std::optional<Switc
     events_.schedule_after(t_bgp, [this, vip, from, then_to] {
       views_.withdraw_everywhere(Ipv4Prefix::host_route(vip), from);
       journal_.record(events_.now_us(), telemetry::EventKind::kBgpWithdraw, vip, {}, from);
+      // §4.2 phase order: the withdraw converged in every view before any
+      // re-announce fires, so no view may still know a /32 for the VIP.
+      DUET_AUDIT("migration-through-smux", [&] {
+        for (SwitchId v = 0; v < views_.view_count(); ++v) {
+          if (!views_.rib(v).origins(Ipv4Prefix::host_route(vip)).empty()) return false;
+        }
+        return true;
+      }()) << "VIP " << vip.to_string()
+           << " still has a /32 in some view after the withdraw converged";
       if (then_to.has_value()) {
         do_announce(vip, *then_to);  // second wave of an HMux->HMux move
       } else {
@@ -173,6 +201,16 @@ void TestbedSim::do_announce(Ipv4Address vip, SwitchId to) {
     events_.schedule_after(t_bgp, [this, vip, to] {
       views_.announce_everywhere(Ipv4Prefix::host_route(vip), to);
       journal_.record(events_.now_us(), telemetry::EventKind::kBgpAnnounce, vip, {}, to);
+      // Exactly one announcer — the new home — in every converged view
+      // (§3.3.1). Two would mean an HMux-to-HMux move skipped the SMuxes.
+      DUET_AUDIT("single-announcer", [&] {
+        for (SwitchId v = 0; v < views_.view_count(); ++v) {
+          const auto origins = views_.rib(v).origins(Ipv4Prefix::host_route(vip));
+          if (origins.size() != 1 || origins.front() != to) return false;
+        }
+        return true;
+      }()) << "VIP " << vip.to_string() << " not announced exactly by switch " << to
+           << " after the announce converged";
       auto& state = vips_.at(vip);
       state.home = to;
       state.migrating = false;

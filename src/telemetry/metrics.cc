@@ -51,15 +51,13 @@ void Histogram::record_n(double x, std::uint64_t n) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   counts_[idx].fetch_add(n, std::memory_order_relaxed);
-  const std::uint64_t before = count_.fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
   atomic_add(sum_, x * static_cast<double>(n));
-  if (before == 0) {
-    min_.store(x, std::memory_order_relaxed);
-    max_.store(x, std::memory_order_relaxed);
-  } else {
-    atomic_min(min_, x);
-    atomic_max(max_, x);
-  }
+  // min_/max_ start at ±inf, so the first record is just another CAS
+  // tighten — no "first sample" store that a racing second thread at
+  // count 0 could clobber with a worse extremum.
+  atomic_min(min_, x);
+  atomic_max(max_, x);
 }
 
 double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
@@ -106,15 +104,10 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
   }
-  const std::uint64_t before = count_.fetch_add(other.count(), std::memory_order_relaxed);
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
   atomic_add(sum_, other.sum());
-  if (before == 0) {
-    min_.store(other.min(), std::memory_order_relaxed);
-    max_.store(other.max(), std::memory_order_relaxed);
-  } else {
-    atomic_min(min_, other.min());
-    atomic_max(max_, other.max());
-  }
+  atomic_min(min_, other.min());
+  atomic_max(max_, other.max());
 }
 
 std::vector<double> Histogram::linear_bounds(double lo, double hi, std::size_t n) {

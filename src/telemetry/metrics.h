@@ -19,10 +19,23 @@
 // The registry owns its metrics and hands out stable references: look up a
 // metric once (mutex-guarded slow path), then hammer the returned object
 // from the hot loop with no further registry involvement.
+//
+// Memory-ordering contract: every atomic here uses memory_order_relaxed.
+// That means each individual metric read is coherent (no torn values, each
+// load sees *some* recorded value), but a reader observing counter A does
+// NOT thereby observe an earlier write to counter B — metrics carry no
+// happens-before edges. Readers wanting a consistent multi-metric picture
+// must synchronize externally (e.g. join the writer threads first, as the
+// exporters' callers do). Within one Histogram, count()/sum()/min()/max()
+// read at a moment writers may still be mid-record_n: the fields are
+// updated one by one, so transient states where count() is ahead of sum()
+// are expected; min()/max() are always conservative bounds of the recorded
+// samples because they start at ±inf and only ever tighten via CAS.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -97,7 +110,10 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0}, max_{0.0};  // valid when count_ > 0
+  // Start at ±inf and only tighten (CAS), so concurrent first records can't
+  // lose an extremum; meaningful once count_ > 0 (min()/max() check).
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 // Named metric store. Registration (counter()/gauge()/histogram()) takes a
