@@ -4,10 +4,17 @@
 // the Random (first-feasible / FFD) baseline instead of Duet's MRU-greedy.
 // Paper: Random strands far more traffic on the SMuxes — 120-307 % more
 // SMuxes than Duet across 1.25-10 Tbps.
+//
+// The four traffic points are independent (each builds its own trace and
+// assignments), so they run as one parallel sweep: results land in ordered
+// slots, per-point gauges land in per-shard registries, and the merged
+// document is identical at any DUET_THREADS.
+#include <array>
 #include <cstdio>
 
 #include "baselines/random_assign.h"
 #include "common.h"
+#include "exec/sweep.h"
 
 using namespace duet;
 
@@ -18,11 +25,15 @@ int main() {
   bench::paper_note("Random needs 120%-307% more SMuxes than Duet across the sweep");
 
   const auto fabric = build_fattree(scale.fabric);
+  constexpr std::array<double, 4> kTbps{1.25, 2.5, 5.0, 10.0};
 
-  TablePrinter t{{"traffic (paper Tbps)", "Duet SMuxes", "Random SMuxes", "extra",
-                  "Duet HMux %", "Random HMux %"}};
-  telemetry::MetricRegistry reg;
-  for (const double paper_tbps : {1.25, 2.5, 5.0, 10.0}) {
+  struct Point {
+    std::size_t n_duet = 0, n_rand = 0;
+    double duet_frac = 0.0, rand_frac = 0.0;
+  };
+
+  const auto swept = exec::sweep(kTbps.size(), {}, [&](exec::ShardContext& ctx) {
+    const double paper_tbps = kTbps[ctx.shard];
     const auto trace = bench::make_trace(fabric, scale, paper_tbps, 2,
                                          777 + static_cast<std::uint64_t>(paper_tbps * 4));
     const auto demands = build_demands(fabric, trace, 0);
@@ -35,24 +46,34 @@ int main() {
     // well the assignment packs VIPs onto HMuxes ("only a small fraction of
     // VIPs traffic is left to be handled by the SMuxes", §8.4). Failover
     // provisioning is identical policy for both and covered by Fig 16.
-    const std::size_t n_duet = smuxes_needed(duet.smux_gbps, 0.0, 0.0, 3.6);
-    const std::size_t n_rand = smuxes_needed(random.smux_gbps, 0.0, 0.0, 3.6);
-
-    t.add_row({TablePrinter::fmt(paper_tbps, "%.2f"),
-               TablePrinter::fmt_int(static_cast<long long>(n_duet)),
-               TablePrinter::fmt_int(static_cast<long long>(n_rand)),
-               TablePrinter::fmt(100.0 * (static_cast<double>(n_rand) / n_duet - 1.0),
-                                 "%+.0f%%"),
-               format_pct(duet.hmux_fraction()), format_pct(random.hmux_fraction())});
+    Point p;
+    p.n_duet = smuxes_needed(duet.smux_gbps, 0.0, 0.0, 3.6);
+    p.n_rand = smuxes_needed(random.smux_gbps, 0.0, 0.0, 3.6);
+    p.duet_frac = duet.hmux_fraction();
+    p.rand_frac = random.hmux_fraction();
 
     char pfx[64];
     std::snprintf(pfx, sizeof(pfx), "duet.bench.fig18.tbps%.2f.", paper_tbps);
-    reg.gauge(std::string(pfx) + "duet_smuxes").set(static_cast<double>(n_duet));
-    reg.gauge(std::string(pfx) + "random_smuxes").set(static_cast<double>(n_rand));
-    reg.gauge(std::string(pfx) + "duet_hmux_fraction").set(duet.hmux_fraction());
-    reg.gauge(std::string(pfx) + "random_hmux_fraction").set(random.hmux_fraction());
+    ctx.metrics.gauge(std::string(pfx) + "duet_smuxes").set(static_cast<double>(p.n_duet));
+    ctx.metrics.gauge(std::string(pfx) + "random_smuxes").set(static_cast<double>(p.n_rand));
+    ctx.metrics.gauge(std::string(pfx) + "duet_hmux_fraction").set(p.duet_frac);
+    ctx.metrics.gauge(std::string(pfx) + "random_hmux_fraction").set(p.rand_frac);
+    return p;
+  });
+
+  TablePrinter t{{"traffic (paper Tbps)", "Duet SMuxes", "Random SMuxes", "extra",
+                  "Duet HMux %", "Random HMux %"}};
+  for (std::size_t i = 0; i < kTbps.size(); ++i) {
+    const Point& p = swept.results[i];
+    t.add_row({TablePrinter::fmt(kTbps[i], "%.2f"),
+               TablePrinter::fmt_int(static_cast<long long>(p.n_duet)),
+               TablePrinter::fmt_int(static_cast<long long>(p.n_rand)),
+               TablePrinter::fmt(
+                   100.0 * (static_cast<double>(p.n_rand) / static_cast<double>(p.n_duet) - 1.0),
+                   "%+.0f%%"),
+               format_pct(p.duet_frac), format_pct(p.rand_frac)});
   }
   t.print();
-  bench::export_bench_json("fig18", reg);
+  bench::export_bench_json("fig18", *swept.metrics);
   return 0;
 }

@@ -8,6 +8,11 @@
 // through the SMuxes at each migration, (c) SMuxes needed (max of leftover /
 // failover / transition traffic) vs Ananta.
 //
+// Each strategy is a sequential chain over the epochs (epoch e depends on
+// e-1), but the three chains never read each other's state — so they run as
+// three parallel sweep tasks over shared read-only per-epoch demands, each
+// writing its own ordered result slot and per-shard registry.
+//
 // Paper: Sticky and Non-sticky both keep 86-99.9% (avg ~95%) of traffic on
 // HMuxes while One-time decays to ~75%; Sticky shuffles 0.7-4.4% (avg 3.5%)
 // of traffic vs 25-46% (avg 37.4%) for Non-sticky; Non-sticky therefore
@@ -16,8 +21,20 @@
 
 #include "common.h"
 #include "duet/migration.h"
+#include "exec/sweep.h"
 
 using namespace duet;
+
+namespace {
+
+// Per-epoch numbers one strategy chain produces.
+struct EpochPoint {
+  double frac = 0.0;     // HMux traffic fraction
+  double shuffle = 0.0;  // traffic shuffled by this epoch's migration
+  std::size_t smuxes = 0;
+};
+
+}  // namespace
 
 int main() {
   const auto scale = bench::dc_scale();
@@ -29,7 +46,7 @@ int main() {
 
   const auto fabric = build_fattree(scale.fabric);
   const DuetConfig cfg;
-  const std::size_t epochs = 18;
+  const std::size_t epochs = bench::quick_mode() ? 6 : 18;
   TraceParams tp;
   tp.vip_count = scale.vip_count;
   tp.total_gbps = bench::scaled_gbps(scale, 6.7 /*paper: 6.2-7.1 Tbps*/);
@@ -44,109 +61,116 @@ int main() {
   opts.stop_on_first_failure = false;
   const VipAssigner assigner{fabric, opts};
 
-  struct EpochRow {
-    double onetime_frac, sticky_frac, nonsticky_frac;
-    double sticky_shuffle, nonsticky_shuffle;
-    std::size_t smux_onetime, smux_sticky, smux_nonsticky, smux_ananta;
-  };
-  std::vector<EpochRow> rows;
+  // Shared read-only inputs for the strategy chains.
+  std::vector<std::vector<VipDemand>> demands;
+  demands.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) demands.push_back(build_demands(fabric, trace, e));
+  const Assignment epoch0 = assigner.assign(demands[0]);
 
-  const auto demands0 = build_demands(fabric, trace, 0);
-  const Assignment onetime = assigner.assign(demands0);
-  Assignment sticky = onetime;
-  Assignment nonsticky = onetime;
-
-  for (std::size_t e = 0; e < epochs; ++e) {
-    const auto demands = build_demands(fabric, trace, e);
-    const double total = total_demand_gbps(demands);
-
-    // One-time: placement frozen at epoch 0, re-validated against today's
-    // demands — a home that no longer fits the drifted traffic overflows to
-    // the SMuxes (this is the decay of Fig 20a).
-    const Assignment onetime_now = assigner.revalidate(demands, onetime);
-
-    EpochRow row{};
-    row.onetime_frac = onetime_now.hmux_fraction();
-    row.smux_onetime = smuxes_needed(
-        onetime_now.smux_gbps, analyze_failover(fabric, demands, onetime_now).worst_gbps(), 0.0,
-        cfg.smux_capacity_gbps());
-
-    if (e == 0) {
-      row.sticky_frac = row.nonsticky_frac = onetime.hmux_fraction();
-      row.sticky_shuffle = row.nonsticky_shuffle = 0.0;
-      row.smux_sticky = row.smux_nonsticky = row.smux_onetime;
-    } else {
-      // Sticky.
-      Assignment next_sticky = assigner.assign_sticky(demands, sticky);
-      const auto plan_s = plan_migration(sticky, next_sticky, demands);
-      row.sticky_frac = next_sticky.hmux_fraction();
-      row.sticky_shuffle = plan_s.shuffled_fraction();
-      row.smux_sticky = smuxes_needed(next_sticky.smux_gbps,
-                                      analyze_failover(fabric, demands, next_sticky).worst_gbps(),
-                                      plan_s.shuffled_gbps, cfg.smux_capacity_gbps());
-      sticky = std::move(next_sticky);
-
-      // Non-sticky: recomputed from scratch each epoch (deterministic seed —
-      // the real controller runs the same code each time; churn comes from
-      // demand drift steering the greedy differently, not from RNG).
-      Assignment next_ns = assigner.assign(demands);
-      const auto plan_ns = plan_migration(nonsticky, next_ns, demands);
-      row.nonsticky_frac = next_ns.hmux_fraction();
-      row.nonsticky_shuffle = plan_ns.shuffled_fraction();
-      row.smux_nonsticky = smuxes_needed(next_ns.smux_gbps,
-                                         analyze_failover(fabric, demands, next_ns).worst_gbps(),
-                                         plan_ns.shuffled_gbps, cfg.smux_capacity_gbps());
-      nonsticky = std::move(next_ns);
+  const auto chain_gauges = [&](exec::ShardContext& ctx, const char* strategy,
+                                const std::vector<EpochPoint>& pts) {
+    char name[96];
+    for (std::size_t e = 0; e < pts.size(); ++e) {
+      std::snprintf(name, sizeof(name), "duet.fig20.%s.e%02zu.hmux_fraction", strategy, e);
+      ctx.metrics.gauge(name).set(pts[e].frac);
+      std::snprintf(name, sizeof(name), "duet.fig20.%s.e%02zu.shuffled_fraction", strategy, e);
+      ctx.metrics.gauge(name).set(pts[e].shuffle);
     }
-    row.smux_ananta = smuxes_needed(total, 0.0, 0.0, cfg.smux_capacity_gbps());
-    rows.push_back(row);
-  }
+  };
+
+  // Task 0: One-time — placement frozen at epoch 0, re-validated against each
+  // epoch's demands (a home that no longer fits the drifted traffic overflows
+  // to the SMuxes; the decay of Fig 20a).
+  // Task 1: Sticky. Task 2: Non-sticky (deterministic seed — the real
+  // controller runs the same code each time; churn comes from demand drift
+  // steering the greedy differently, not from RNG).
+  const auto swept = exec::sweep(3, {}, [&](exec::ShardContext& ctx) {
+    std::vector<EpochPoint> pts(epochs);
+    if (ctx.shard == 0) {
+      for (std::size_t e = 0; e < epochs; ++e) {
+        const Assignment now = assigner.revalidate(demands[e], epoch0);
+        pts[e].frac = now.hmux_fraction();
+        pts[e].smuxes =
+            smuxes_needed(now.smux_gbps, analyze_failover(fabric, demands[e], now).worst_gbps(),
+                          0.0, cfg.smux_capacity_gbps());
+      }
+      chain_gauges(ctx, "onetime", pts);
+      return pts;
+    }
+
+    const bool is_sticky = ctx.shard == 1;
+    Assignment prev = epoch0;
+    pts[0].frac = epoch0.hmux_fraction();
+    pts[0].smuxes =
+        smuxes_needed(epoch0.smux_gbps, analyze_failover(fabric, demands[0], epoch0).worst_gbps(),
+                      0.0, cfg.smux_capacity_gbps());
+    for (std::size_t e = 1; e < epochs; ++e) {
+      Assignment next =
+          is_sticky ? assigner.assign_sticky(demands[e], prev) : assigner.assign(demands[e]);
+      const auto plan = plan_migration(prev, next, demands[e]);
+      pts[e].frac = next.hmux_fraction();
+      pts[e].shuffle = plan.shuffled_fraction();
+      pts[e].smuxes =
+          smuxes_needed(next.smux_gbps, analyze_failover(fabric, demands[e], next).worst_gbps(),
+                        plan.shuffled_gbps, cfg.smux_capacity_gbps());
+      prev = std::move(next);
+    }
+    chain_gauges(ctx, is_sticky ? "sticky" : "nonsticky", pts);
+    return pts;
+  });
+
+  const std::vector<EpochPoint>& onetime = swept.results[0];
+  const std::vector<EpochPoint>& sticky = swept.results[1];
+  const std::vector<EpochPoint>& nonsticky = swept.results[2];
 
   std::printf("(a) %% of VIP traffic handled by HMuxes\n");
   TablePrinter ta{{"epoch (min)", "One-time", "Sticky", "Non-sticky"}};
-  for (std::size_t e = 0; e < rows.size(); ++e) {
+  for (std::size_t e = 0; e < epochs; ++e) {
     ta.add_row({TablePrinter::fmt_int(static_cast<long long>(e * 10)),
-                format_pct(rows[e].onetime_frac), format_pct(rows[e].sticky_frac),
-                format_pct(rows[e].nonsticky_frac)});
+                format_pct(onetime[e].frac), format_pct(sticky[e].frac),
+                format_pct(nonsticky[e].frac)});
   }
   ta.print();
 
   std::printf("\n(b) %% of VIP traffic shuffled during each migration\n");
   TablePrinter tb{{"epoch (min)", "Sticky", "Non-sticky"}};
-  for (std::size_t e = 1; e < rows.size(); ++e) {
+  for (std::size_t e = 1; e < epochs; ++e) {
     tb.add_row({TablePrinter::fmt_int(static_cast<long long>(e * 10)),
-                format_pct(rows[e].sticky_shuffle), format_pct(rows[e].nonsticky_shuffle)});
+                format_pct(sticky[e].shuffle), format_pct(nonsticky[e].shuffle)});
   }
   tb.print();
 
   std::printf("\n(c) SMuxes needed (max of VIP leftover / failover / transition traffic)\n");
   TablePrinter tc{{"epoch (min)", "No-migration", "Sticky", "Non-sticky", "Ananta"}};
-  for (std::size_t e = 0; e < rows.size(); ++e) {
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const std::size_t ananta =
+        smuxes_needed(total_demand_gbps(demands[e]), 0.0, 0.0, cfg.smux_capacity_gbps());
     tc.add_row({TablePrinter::fmt_int(static_cast<long long>(e * 10)),
-                TablePrinter::fmt_int(static_cast<long long>(rows[e].smux_onetime)),
-                TablePrinter::fmt_int(static_cast<long long>(rows[e].smux_sticky)),
-                TablePrinter::fmt_int(static_cast<long long>(rows[e].smux_nonsticky)),
-                TablePrinter::fmt_int(static_cast<long long>(rows[e].smux_ananta))});
+                TablePrinter::fmt_int(static_cast<long long>(onetime[e].smuxes)),
+                TablePrinter::fmt_int(static_cast<long long>(sticky[e].smuxes)),
+                TablePrinter::fmt_int(static_cast<long long>(nonsticky[e].smuxes)),
+                TablePrinter::fmt_int(static_cast<long long>(ananta))});
   }
   tc.print();
 
   // Averages for the EXPERIMENTS.md record.
   double ot = 0, st = 0, ns = 0, sh_s = 0, sh_ns = 0;
-  for (std::size_t e = 0; e < rows.size(); ++e) {
-    ot += rows[e].onetime_frac;
-    st += rows[e].sticky_frac;
-    ns += rows[e].nonsticky_frac;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    ot += onetime[e].frac;
+    st += sticky[e].frac;
+    ns += nonsticky[e].frac;
     if (e > 0) {
-      sh_s += rows[e].sticky_shuffle;
-      sh_ns += rows[e].nonsticky_shuffle;
+      sh_s += sticky[e].shuffle;
+      sh_ns += nonsticky[e].shuffle;
     }
   }
-  const double n = static_cast<double>(rows.size());
+  const double n = static_cast<double>(epochs);
   std::printf(
       "\naverages: HMux traffic One-time %.1f%% | Sticky %.1f%% | Non-sticky %.1f%%\n"
       "          shuffled    Sticky %.1f%% | Non-sticky %.1f%%\n"
       "paper:    HMux traffic One-time 75.2%% | Sticky 95.1%% | Non-sticky 95.67%%\n"
       "          shuffled    Sticky 3.5%%  | Non-sticky 37.4%%\n",
       100 * ot / n, 100 * st / n, 100 * ns / n, 100 * sh_s / (n - 1), 100 * sh_ns / (n - 1));
+  bench::export_bench_json("fig20", *swept.metrics);
   return 0;
 }

@@ -12,6 +12,7 @@
 // Set DUET_BENCH_SCALE=paper for the full-size run (slow), =small for CI.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +56,25 @@ inline DcScale dc_scale() {
   return DcScale{"medium (1/8 of paper)", FatTreeParams::scaled(20, 10, 10), 1.0 / 8.0, 3'750,
                  2'048};
 }
+
+// DUET_BENCH_QUICK=1 trims repetition counts (CI smoke legs). The quick run
+// exercises the same code paths on the same scenarios, just fewer of them.
+inline bool quick_mode() {
+  const char* env = std::getenv("DUET_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// Wall-clock stopwatch for the self-reported parallel speedup lines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Paper-units helper: `paper_tbps` on the x-axis -> simulated Gbps.
 inline double scaled_gbps(const DcScale& s, double paper_tbps) {

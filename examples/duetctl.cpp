@@ -17,6 +17,8 @@
 //   --replicas R                          use §9 anycast replication
 //   --trace FILE                          load/store the trace file
 //   --json FILE                           (stats) also write the JSON document
+//   --threads N                           worker width for parallel phases
+//                                         (default: DUET_THREADS env, else all cores)
 //   --seed S
 //
 // Examples:
@@ -36,6 +38,7 @@
 #include "duet/controller.h"
 #include "duet/migration.h"
 #include "duet/replication.h"
+#include "exec/thread_pool.h"
 #include "telemetry/export.h"
 #include "topo/fattree.h"
 #include "util/table.h"
@@ -83,6 +86,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.json_file = value;
     } else if (key == "--seed") {
       a.seed = std::strtoull(value, nullptr, 10);
+    } else if (key == "--threads") {
+      exec::set_default_width(std::strtoul(value, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option %s\n", key.c_str());
       return false;
@@ -151,7 +156,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: duetctl plan|gen|replay|stats|audit [--containers N] [--tors N] [--cores N]\n"
                  "       [--vips N] [--gbps G] [--epochs E] [--replicas R] [--trace FILE]\n"
-                 "       [--seed S] [--json FILE]\n");
+                 "       [--seed S] [--json FILE] [--threads N]\n");
     return 2;
   }
 

@@ -22,14 +22,20 @@ struct VipAssigner::State {
   std::size_t hmux_vips = 0;              // against host_table_capacity
   double global_mru = 0.0;
   mutable Rng rng{1};
+};
 
-  // Dense delta buffer + touched list, reused across candidate evaluations
-  // (the evaluation loop runs millions of times; a hash map here dominates
-  // the whole algorithm's runtime).
-  mutable std::vector<double> delta;                 // per directed link
-  mutable std::vector<std::uint64_t> delta_touched;  // indices with delta != 0
+// Dense delta buffer + touched list, reused across candidate evaluations
+// (the evaluation loop runs millions of times; a hash map here dominates
+// the whole algorithm's runtime). One instance per pool worker: worker ids
+// never run concurrently with themselves, so per-worker scratch is race-free
+// while `State` stays strictly read-only during parallel evaluation.
+struct VipAssigner::Scratch {
+  std::vector<double> delta;                 // per directed link
+  std::vector<std::uint64_t> delta_touched;  // indices with delta != 0
 
-  void clear_delta() const {
+  explicit Scratch(std::size_t dlinks = 0) : delta(dlinks, 0.0) {}
+
+  void clear_delta() {
     for (const std::uint64_t idx : delta_touched) delta[idx] = 0.0;
     delta_touched.clear();
   }
@@ -38,12 +44,12 @@ struct VipAssigner::State {
 VipAssigner::VipAssigner(const FatTree& fabric, AssignmentOptions options)
     : fabric_(&fabric), options_(options), routing_(fabric.topo) {}
 
-void VipAssigner::delta_loads(const VipDemand& d, SwitchId s, const State& state) const {
-  state.clear_delta();
+void VipAssigner::delta_loads(const VipDemand& d, SwitchId s, Scratch& scratch) const {
+  scratch.clear_delta();
   const auto add_unit = [&](SwitchId from, SwitchId to, double gbps) {
     for (const auto& [idx, frac] : routing_.unit_flow(from, to)) {
-      if (state.delta[idx] == 0.0) state.delta_touched.push_back(idx);
-      state.delta[idx] += gbps * frac;
+      if (scratch.delta[idx] == 0.0) scratch.delta_touched.push_back(idx);
+      scratch.delta[idx] += gbps * frac;
     }
   };
   for (const auto& [ingress, gbps] : d.ingress_gbps) add_unit(ingress, s, gbps);
@@ -60,7 +66,8 @@ std::size_t VipAssigner::dip_slots_needed(const VipDemand& d) const {
   return (d.dip_count + cap - 1) / cap;
 }
 
-std::optional<double> VipAssigner::evaluate(const State& state, const VipDemand& d, SwitchId s,
+std::optional<double> VipAssigner::evaluate(const State& state, Scratch& scratch,
+                                            const VipDemand& d, SwitchId s,
                                             double* touched_max) const {
   // Memory feasibility first (cheap).
   const std::size_t mem_cap = options_.switch_dip_capacity;
@@ -72,14 +79,14 @@ std::optional<double> VipAssigner::evaluate(const State& state, const VipDemand&
   const double mem_util = static_cast<double>(state.dips_used[s] + need) /
                           static_cast<double>(options_.switch_dip_capacity);
 
-  delta_loads(d, s, state);
+  delta_loads(d, s, scratch);
 
   const Topology& topo = fabric_->topo;
   double tmax = mem_util;
-  for (const std::uint64_t idx : state.delta_touched) {
+  for (const std::uint64_t idx : scratch.delta_touched) {
     const auto link = static_cast<LinkId>(idx / 2);
     const double cap = options_.link_headroom * topo.capacity_gbps(link);
-    const double util = (state.link_load[idx] + state.delta[idx]) / cap;
+    const double util = (state.link_load[idx] + scratch.delta[idx]) / cap;
     tmax = std::max(tmax, util);
   }
   if (tmax > 1.0) return std::nullopt;  // would exceed some resource capacity
@@ -87,11 +94,11 @@ std::optional<double> VipAssigner::evaluate(const State& state, const VipDemand&
   return std::max(tmax, state.global_mru);
 }
 
-void VipAssigner::commit(State& state, const VipDemand& d, SwitchId s) const {
-  delta_loads(d, s, state);
+void VipAssigner::commit(State& state, Scratch& scratch, const VipDemand& d, SwitchId s) const {
+  delta_loads(d, s, scratch);
   const Topology& topo = fabric_->topo;
-  for (const std::uint64_t idx : state.delta_touched) {
-    state.link_load[idx] += state.delta[idx];
+  for (const std::uint64_t idx : scratch.delta_touched) {
+    state.link_load[idx] += scratch.delta[idx];
     const auto link = static_cast<LinkId>(idx / 2);
     const double cap = options_.link_headroom * topo.capacity_gbps(link);
     state.global_mru = std::max(state.global_mru, state.link_load[idx] / cap);
@@ -148,8 +155,14 @@ Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
   State state;
   state.link_load.assign(topo.link_count() * 2, 0.0);
   state.dips_used.assign(topo.switch_count(), 0);
-  state.delta.assign(topo.link_count() * 2, 0.0);
   state.rng = Rng{options_.seed};
+
+  // One evaluation scratch per pool worker (worker 0 doubles as the serial
+  // scratch for commit and the sticky filter).
+  exec::ThreadPool& pool = exec::pool_or_global(options_.pool);
+  std::vector<Scratch> scratch;
+  scratch.reserve(pool.width());
+  for (std::size_t w = 0; w < pool.width(); ++w) scratch.emplace_back(topo.link_count() * 2);
 
   // §4.1: decreasing traffic volume.
   std::vector<const VipDemand*> order;
@@ -163,6 +176,13 @@ Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
   Assignment result;
   bool terminated = false;
 
+  struct CandEval {
+    double mru = 0.0;
+    double touched = 0.0;
+    bool feasible = false;
+  };
+  std::vector<CandEval> evals;
+
   for (const VipDemand* dp : order) {
     const VipDemand& d = *dp;
     auto leave_on_smux = [&] {
@@ -175,10 +195,29 @@ Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
       continue;
     }
 
-    // Find the best candidate (lowest MRU; tie-break by own contribution,
-    // then a deterministic per-(VIP, switch) hash — spreads equal candidates
-    // like the paper's random rule but is stable across re-runs, so a
-    // recompute on near-identical demands lands near-identical placements).
+    // Score every candidate in parallel into ordered slots. `state` is
+    // read-only here; each worker mutates only its own scratch. The routing
+    // unit-flow cache must be warmed serially first — a cache MISS inserts
+    // (see paths.h), so the parallel region may only perform hits.
+    const std::vector<SwitchId> cands = candidates(state, d);
+    for (const SwitchId s : cands) {
+      for (const auto& in : d.ingress_gbps) (void)routing_.unit_flow(in.first, s);
+      for (const auto& dt : d.dip_tor_gbps) (void)routing_.unit_flow(s, dt.first);
+    }
+    evals.assign(cands.size(), CandEval{});
+    pool.parallel_for(cands.size(), [&](std::size_t i, std::size_t worker) {
+      double touched = 0.0;
+      const auto mru = evaluate(state, scratch[worker], d, cands[i], &touched);
+      evals[i] = CandEval{mru.value_or(0.0), touched, mru.has_value()};
+    });
+
+    // Pick the best candidate SERIALLY in candidate order (lowest MRU;
+    // tie-break by own contribution, then a deterministic per-(VIP, switch)
+    // hash — spreads equal candidates like the paper's random rule but is
+    // stable across re-runs, so a recompute on near-identical demands lands
+    // near-identical placements). The serial scan preserves the exact
+    // tie-break sequence — including rng draws under random_tie_break — so
+    // the assignment is identical at any pool width.
     SwitchId best = kInvalidSwitch;
     double best_mru = std::numeric_limits<double>::infinity();
     double best_touched = std::numeric_limits<double>::infinity();
@@ -189,19 +228,20 @@ Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
       z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
       return z ^ (z >> 31);
     };
-    for (const SwitchId s : candidates(state, d)) {
-      double touched = 0.0;
-      const auto mru = evaluate(state, d, s, &touched);
-      if (!mru) continue;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!evals[i].feasible) continue;
+      const SwitchId s = cands[i];
+      const double mru = evals[i].mru;
+      const double touched = evals[i].touched;
       constexpr double kEps = 1e-12;
-      if (*mru < best_mru - kEps ||
-          (*mru < best_mru + kEps && touched < best_touched - kEps)) {
+      if (mru < best_mru - kEps ||
+          (mru < best_mru + kEps && touched < best_touched - kEps)) {
         best = s;
-        best_mru = *mru;
+        best_mru = mru;
         best_touched = touched;
         best_key = tie_key(s);
         ties = 1;
-      } else if (*mru < best_mru + kEps && touched < best_touched + kEps) {
+      } else if (mru < best_mru + kEps && touched < best_touched + kEps) {
         // Full tie.
         if (options_.random_tie_break) {
           // §4.1 literal rule: reservoir-sample among equals.
@@ -220,7 +260,7 @@ Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
       const auto prev_switch = previous->switch_of(d.id);
       if (prev_switch.has_value()) {
         double prev_touched = 0.0;
-        const auto prev_mru = evaluate(state, d, *prev_switch, &prev_touched);
+        const auto prev_mru = evaluate(state, scratch[0], d, *prev_switch, &prev_touched);
         if (prev_mru.has_value()) {
           const bool move = best != kInvalidSwitch &&
                             (*prev_mru - best_mru) > options_.sticky_threshold;
@@ -242,7 +282,7 @@ Assignment VipAssigner::run(const std::vector<VipDemand>& demands,
       continue;
     }
 
-    commit(state, d, best);
+    commit(state, scratch[0], d, best);
     result.placement.emplace(d.id, best);
     result.hmux_gbps += d.total_gbps;
   }
@@ -271,8 +311,8 @@ Assignment VipAssigner::revalidate(const std::vector<VipDemand>& demands,
   State state;
   state.link_load.assign(topo.link_count() * 2, 0.0);
   state.dips_used.assign(topo.switch_count(), 0);
-  state.delta.assign(topo.link_count() * 2, 0.0);
   state.rng = Rng{options_.seed};
+  Scratch scratch{topo.link_count() * 2};
 
   std::vector<const VipDemand*> order;
   order.reserve(demands.size());
@@ -286,8 +326,8 @@ Assignment VipAssigner::revalidate(const std::vector<VipDemand>& demands,
     const VipDemand& d = *dp;
     const auto home = placement.switch_of(d.id);
     if (home.has_value() && state.hmux_vips < options_.host_table_capacity &&
-        evaluate(state, d, *home, nullptr).has_value()) {
-      commit(state, d, *home);
+        evaluate(state, scratch, d, *home, nullptr).has_value()) {
+      commit(state, scratch, d, *home);
       result.placement.emplace(d.id, *home);
       result.hmux_gbps += d.total_gbps;
     } else {

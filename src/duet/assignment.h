@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "duet/config.h"
+#include "exec/thread_pool.h"
 #include "topo/fattree.h"
 #include "topo/paths.h"
 #include "util/random.h"
@@ -56,6 +57,12 @@ struct AssignmentOptions {
   // controller re-computation does. Enable for the paper's literal rule.
   bool random_tie_break = false;
   std::uint64_t seed = 1;
+  // Pool for parallel candidate scoring (nullptr = exec::global_pool()). The
+  // per-VIP candidate evaluations run concurrently into ordered slots and the
+  // best-pick reduction stays serial, so the assignment is bit-for-bit
+  // identical at any width — including the rng draw sequence under
+  // random_tie_break.
+  exec::ThreadPool* pool = nullptr;
 
   static AssignmentOptions from_config(const DuetConfig& c) {
     AssignmentOptions o;
@@ -117,16 +124,19 @@ class VipAssigner {
   const AssignmentOptions& options() const noexcept { return options_; }
 
  private:
-  struct State;  // packing state (link loads, memory, counters)
+  struct State;    // packing state (link loads, memory, counters)
+  struct Scratch;  // per-worker dense delta buffer for evaluate()
 
   // Evaluates placing demand d on switch s against `state`. Returns the
   // resulting MRU (max over touched resources and the running global MRU),
-  // or nullopt when infeasible (memory or >100 % utilization).
-  std::optional<double> evaluate(const State& state, const VipDemand& d, SwitchId s,
-                                 double* touched_max) const;
+  // or nullopt when infeasible (memory or >100 % utilization). Reads `state`
+  // only; all mutation goes to `scratch`, so evaluations with distinct
+  // scratch buffers may run concurrently.
+  std::optional<double> evaluate(const State& state, Scratch& scratch, const VipDemand& d,
+                                 SwitchId s, double* touched_max) const;
 
   // Applies the placement to the state.
-  void commit(State& state, const VipDemand& d, SwitchId s) const;
+  void commit(State& state, Scratch& scratch, const VipDemand& d, SwitchId s) const;
 
   // Candidate switches for d given the container optimization setting.
   std::vector<SwitchId> candidates(const State& state, const VipDemand& d) const;
@@ -136,8 +146,8 @@ class VipAssigner {
   std::size_t dip_slots_needed(const VipDemand& d) const;
 
   // Directed-link loads d adds when assigned to s (ingress->s plus s->DIP
-  // ToRs), written into state's dense delta buffer.
-  void delta_loads(const VipDemand& d, SwitchId s, const State& state) const;
+  // ToRs), written into scratch's dense delta buffer.
+  void delta_loads(const VipDemand& d, SwitchId s, Scratch& scratch) const;
 
   Assignment run(const std::vector<VipDemand>& demands, const Assignment* previous) const;
 

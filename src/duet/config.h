@@ -40,6 +40,11 @@ struct DuetConfig {
   // no-mux testbed RTT in the few-hundred-µs range the paper plots.
   double probe_hop_us = 15.0;
   double probe_stack_us = 120.0;
+  // Multiplicative RTT dispersion: each delivered probe's path RTT is scaled
+  // by Uniform(1-f, 1+f), modelling queueing and scheduling noise along the
+  // hops. Without it the hop+stack model is a constant per path and the
+  // Fig 12 RTT histograms collapse to a single bucket (min==p99).
+  double probe_jitter_frac = 0.12;
 
   // --- Assignment / migration, §4 ---------------------------------------------
   double sticky_threshold = 0.05;  // migrate only if MRU improves by 5 %

@@ -1,0 +1,58 @@
+#include "exec/replay.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duet::exec {
+
+ReplayResult replay_packets(const std::function<SwitchDataPlane(ShardContext&)>& make_replica,
+                            const std::vector<Packet>& packets, const ReplayOptions& options) {
+  ReplayResult out;
+  const std::size_t n = packets.size();
+  out.verdicts.assign(n, PipelineVerdict::kNoMatch);
+  out.encap_dst.assign(n, Ipv4Address{});
+  if (n == 0) {
+    out.metrics = std::make_unique<telemetry::MetricRegistry>();
+    return out;
+  }
+
+  ThreadPool& pool = pool_or_global(options.pool);
+  const std::size_t shards =
+      std::min(n, options.shards > 0 ? options.shards : pool.width());
+
+  SweepOptions sweep_options;
+  sweep_options.pool = &pool;
+  auto swept = sweep(shards, sweep_options, [&](ShardContext& ctx) {
+    // Contiguous slice [lo, hi) of the packet index space for this shard.
+    const std::size_t lo = ctx.shard * n / shards;
+    const std::size_t hi = (ctx.shard + 1) * n / shards;
+    SwitchDataPlane replica = make_replica(ctx);
+    replica.bind_telemetry(ctx.metrics, "duet.replay.");
+    auto& lookups = ctx.metrics.counter("duet.replay.table_lookups");
+    for (std::size_t i = lo; i < hi; ++i) {
+      Packet p = packets[i];
+      const PipelineVerdict v = replica.process(p);
+      out.verdicts[i] = v;
+      if (v == PipelineVerdict::kEncapsulated) out.encap_dst[i] = p.outer().outer_dst;
+    }
+    lookups.inc(replica.table_lookups());
+    return hi - lo;  // slice length, summed below as a tiling check
+  });
+
+  std::size_t covered = 0;
+  for (const std::size_t len : swept.results) covered += len;
+  DUET_CHECK(covered == n) << "replay shards must tile the packet index space";
+
+  for (const PipelineVerdict v : out.verdicts) {
+    switch (v) {
+      case PipelineVerdict::kNoMatch: ++out.no_match; break;
+      case PipelineVerdict::kEncapsulated: ++out.encapsulated; break;
+      case PipelineVerdict::kDropped: ++out.dropped; break;
+    }
+  }
+  out.metrics = std::move(swept.metrics);
+  return out;
+}
+
+}  // namespace duet::exec

@@ -1,0 +1,60 @@
+// Batched packet replay through dataplane::Pipeline on the sweep engine.
+//
+// The fuzz/property suites replay long random packet sequences through a
+// SwitchDataPlane and check verdicts against a reference. Serially that is
+// the slowest part of the suites; here the packet index space is chunked into
+// shards, each shard replays its contiguous slice against its OWN replica of
+// the data plane (built by a caller-supplied factory — per-packet processing
+// is pure w.r.t. verdicts, so identical replicas give identical verdicts),
+// and every packet's verdict and encap target land in per-index slots.
+//
+// Determinism: slots make the verdict/target vectors independent of shard
+// count and scheduling; each shard's table-lookup/encap counters go to its
+// ShardContext registry and merge in shard order — so the merged counter
+// document is also width-invariant. The 1-shard run IS the serial reference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+#include "net/packet.h"
+
+namespace duet::exec {
+
+struct ReplayResult {
+  // Slot i describes packet i.
+  std::vector<PipelineVerdict> verdicts;
+  // Outer encap destination for kEncapsulated packets, 0.0.0.0 otherwise.
+  std::vector<Ipv4Address> encap_dst;
+
+  std::uint64_t no_match = 0, encapsulated = 0, dropped = 0;
+
+  // Per-shard "duet.replay.*" counters merged in shard order.
+  std::unique_ptr<telemetry::MetricRegistry> metrics;
+
+  friend bool operator==(const ReplayResult& a, const ReplayResult& b) {
+    return a.verdicts == b.verdicts && a.encap_dst == b.encap_dst &&
+           a.no_match == b.no_match && a.encapsulated == b.encapsulated &&
+           a.dropped == b.dropped;
+  }
+};
+
+struct ReplayOptions {
+  ThreadPool* pool = nullptr;  // nullptr = global_pool()
+  // Shards to split the batch into; 0 = pool width (1 shard per worker).
+  std::size_t shards = 0;
+};
+
+// Replays `packets` (copied per shard slice; process() mutates its packet)
+// through replicas built by `make_replica(shard_context)`. The factory must
+// build identical replicas for every shard — same installs, same hasher
+// seed — or the width-invariance contract is void.
+ReplayResult replay_packets(const std::function<SwitchDataPlane(ShardContext&)>& make_replica,
+                            const std::vector<Packet>& packets,
+                            const ReplayOptions& options = {});
+
+}  // namespace duet::exec

@@ -1,0 +1,99 @@
+// Deterministic parallel sweep: run n independent tasks on a work-stealing
+// pool and get back results, metrics, and journal events that are
+// BIT-FOR-BIT IDENTICAL no matter how many threads ran them.
+//
+// The contract rests on three rules (DESIGN.md §9):
+//   1. Ordered result slots. Task i writes only results[i]; no task reads
+//      another's slot. Scheduling order can't leak into the output.
+//   2. Seed partitioning per task, not per thread. Task i draws randomness
+//      only from its own Rng seeded shard_seed(sweep_seed, i) — a splitmix64
+//      mix, so neighbouring tasks get uncorrelated streams and task i's
+//      stream is the same whether 1 or 64 threads ran the sweep.
+//   3. Shard-ordered merge at the barrier. Each task records into its own
+//      MetricRegistry/EventJournal; after the pool drains, shards merge
+//      serially in task order 0..n-1. Registry merge is order-insensitive
+//      for counters/histograms and summing gauges; journal merge concatenates
+//      in shard order, and EventJournal::ordered() stable-sorts by time — so
+//      the exported event order is exactly (t_us, shard, per-shard seq),
+//      independent of which thread journaled when.
+//
+// Tasks must confine all side effects to their ShardContext and result slot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+#include "util/random.h"
+
+namespace duet::exec {
+
+// Task-unique seed: a splitmix64 finalizer over (sweep seed, task index).
+// Stable across platforms and thread counts; distinct tasks get decorrelated
+// streams even for adjacent indices or adjacent sweep seeds.
+inline std::uint64_t shard_seed(std::uint64_t sweep_seed, std::uint64_t task) noexcept {
+  std::uint64_t z = sweep_seed + 0x9e3779b97f4a7c15ULL * (task + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Everything a sweep task may touch besides its result slot.
+struct ShardContext {
+  std::size_t shard = 0;     // == task index
+  std::uint64_t seed = 0;    // shard_seed(sweep_seed, shard)
+  Rng rng{0};                // pre-seeded with `seed`
+  telemetry::MetricRegistry metrics;
+  telemetry::EventJournal journal;
+};
+
+// Merged sweep output. `metrics` sits behind a unique_ptr only because
+// MetricRegistry (mutex member) is not movable.
+template <typename R>
+struct SweepResult {
+  std::vector<R> results;  // slot i = task i
+  std::unique_ptr<telemetry::MetricRegistry> metrics;
+  telemetry::EventJournal journal;
+};
+
+struct SweepOptions {
+  ThreadPool* pool = nullptr;  // nullptr = global_pool()
+  std::uint64_t seed = 1;      // sweep-level seed, partitioned per task
+};
+
+// Runs fn(ShardContext&) for each task in [0, n) on the pool and merges at
+// the barrier. fn's return value lands in the task's result slot.
+template <typename Fn>
+auto sweep(std::size_t n, const SweepOptions& options, Fn&& fn)
+    -> SweepResult<std::invoke_result_t<Fn&, ShardContext&>> {
+  using R = std::invoke_result_t<Fn&, ShardContext&>;
+  static_assert(!std::is_reference_v<R>, "sweep tasks return results by value");
+
+  SweepResult<R> out;
+  out.results.resize(n);
+  out.metrics = std::make_unique<telemetry::MetricRegistry>();
+
+  // One context per TASK (not per worker): determinism rule 2. The vector is
+  // sized once and never reallocates — ShardContext is not movable.
+  std::vector<ShardContext> contexts(n);
+  pool_or_global(options.pool).parallel_for(n, [&](std::size_t i) {
+    ShardContext& ctx = contexts[i];
+    ctx.shard = i;
+    ctx.seed = shard_seed(options.seed, i);
+    ctx.rng = Rng{ctx.seed};
+    out.results[i] = fn(ctx);
+  });
+
+  // Barrier passed: merge serially in shard order (determinism rule 3).
+  for (std::size_t i = 0; i < n; ++i) {
+    out.metrics->merge(contexts[i].metrics);
+    out.journal.merge(contexts[i].journal);
+  }
+  return out;
+}
+
+}  // namespace duet::exec

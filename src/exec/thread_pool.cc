@@ -1,0 +1,181 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+#ifndef DUET_DEFAULT_THREADS
+#define DUET_DEFAULT_THREADS 0
+#endif
+
+namespace duet::exec {
+
+namespace {
+
+std::uint64_t pack(std::uint64_t pos, std::uint64_t end) { return end << 32 | pos; }
+std::uint64_t pos_of(std::uint64_t r) { return r & 0xffffffffu; }
+std::uint64_t end_of(std::uint64_t r) { return r >> 32; }
+
+std::atomic<std::size_t> g_width_override{0};
+
+// True while the current thread is inside a parallel_for body; nested
+// parallel_for calls detect it and run inline.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+std::size_t default_width() {
+  if (const std::size_t w = g_width_override.load(std::memory_order_relaxed); w > 0) return w;
+  if (const char* env = std::getenv("DUET_THREADS"); env != nullptr && env[0] != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+    DUET_LOG_WARN << "ignoring invalid DUET_THREADS=" << env;
+  }
+  if constexpr (DUET_DEFAULT_THREADS > 0) return DUET_DEFAULT_THREADS;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void set_default_width(std::size_t width) {
+  g_width_override.store(width, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(std::size_t width) : width_(width < 1 ? 1 : width) {
+  threads_.reserve(width_ - 1);
+  for (std::size_t w = 1; w < width_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_job(Job& job, std::size_t worker) {
+  const std::size_t w = job.chunks.size();
+  const auto& body = *job.body;
+  std::size_t chunk = worker;  // start on the owned chunk, then steal
+  for (;;) {
+    // Drain the current chunk one index at a time (stealers may shrink end
+    // under us, so every claim re-validates with a CAS).
+    std::atomic<std::uint64_t>& range = job.chunks[chunk].range;
+    std::uint64_t r = range.load(std::memory_order_relaxed);
+    while (pos_of(r) < end_of(r)) {
+      if (range.compare_exchange_weak(r, pack(pos_of(r) + 1, end_of(r)),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        body(pos_of(r), worker);
+        r = range.load(std::memory_order_relaxed);
+      }
+    }
+    // Steal the top half of the fattest remaining chunk.
+    std::size_t victim = w;
+    std::uint64_t fattest = 0;
+    for (std::size_t c = 0; c < w; ++c) {
+      const std::uint64_t vr = job.chunks[c].range.load(std::memory_order_relaxed);
+      const std::uint64_t left = end_of(vr) - pos_of(vr);
+      if (left > fattest) {
+        fattest = left;
+        victim = c;
+      }
+    }
+    if (victim == w) return;  // nothing anywhere: the job index space is drained
+    std::atomic<std::uint64_t>& vrange = job.chunks[victim].range;
+    std::uint64_t vr = vrange.load(std::memory_order_relaxed);
+    const std::uint64_t vpos = pos_of(vr), vend = end_of(vr);
+    if (vpos >= vend) continue;  // drained while we scanned; rescan
+    const std::uint64_t mid = vpos + (vend - vpos + 1) / 2;
+    if (vrange.compare_exchange_strong(vr, pack(vpos, mid), std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      job.chunks[worker].range.store(pack(mid, vend), std::memory_order_relaxed);
+      chunk = worker;
+    }
+    // CAS failure: the victim moved; rescan for a new victim.
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    t_in_worker = true;
+    run_job(*job, worker);
+    t_in_worker = false;
+    if (job->done_workers.fetch_add(1, std::memory_order_acq_rel) + 1 == width_ - 1) {
+      // Last worker out wakes the caller. The lock pairs with the caller's
+      // wait-predicate read so the notify cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  DUET_CHECK(n < (1ULL << 32)) << "parallel_for index space exceeds the packed 32-bit range";
+  if (width_ == 1 || t_in_worker || n == 1) {
+    // Serial path: width-1 pools, nested calls, and trivial jobs all take the
+    // same in-order loop — worker id 0 throughout.
+    const bool nested = t_in_worker;
+    t_in_worker = true;
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    t_in_worker = nested;
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.chunks = std::vector<Chunk>(width_);
+  // Contiguous initial split; empty chunks for workers beyond n are valid
+  // (they go straight to stealing).
+  const std::uint64_t per = n / width_, extra = n % width_;
+  std::uint64_t at = 0;
+  for (std::size_t w = 0; w < width_; ++w) {
+    const std::uint64_t len = per + (w < extra ? 1 : 0);
+    job.chunks[w].range.store(pack(at, at + len), std::memory_order_relaxed);
+    at += len;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  t_in_worker = true;
+  run_job(job, 0);  // the caller is worker 0
+  t_in_worker = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job.done_workers.load(std::memory_order_acquire) == width_ - 1;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  parallel_for(n, [&body](std::size_t i, std::size_t) { body(i); });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool{default_width()};
+  return pool;
+}
+
+ThreadPool& pool_or_global(ThreadPool* p) { return p != nullptr ? *p : global_pool(); }
+
+}  // namespace duet::exec

@@ -1,0 +1,102 @@
+// Work-stealing thread pool: the parallel substrate for scenario sweeps,
+// candidate scoring in the assignment greedy, and batched packet replay.
+//
+// Design constraints (see DESIGN.md §9):
+//   * Determinism lives one layer up. The pool promises only that
+//     parallel_for(n, body) invokes body exactly once per index; WHICH worker
+//     runs an index and in WHAT order is scheduling noise. Callers that need
+//     bit-for-bit reproducible output write results into per-index slots and
+//     reduce serially afterwards (exec/sweep.h packages that pattern).
+//   * Worker ids are stable handles for scratch buffers. body(index, worker)
+//     receives worker < width(); two invocations with the same worker id
+//     never overlap, so per-worker scratch needs no locks.
+//   * The caller participates (worker 0), so a pool of width W uses W-1
+//     spawned threads and width 1 means "serial, no threads at all" — the
+//     1-thread configuration the determinism tests diff against runs the
+//     exact same code path with zero scheduling.
+//
+// Scheduling: each worker owns a contiguous chunk of the index space, packed
+// as (pos, end) in one 64-bit atomic. Owners claim one index at a time with a
+// CAS on pos; an idle worker steals the TOP HALF of the largest remaining
+// chunk with a CAS on end. Contention is one CAS per index on the hot path
+// and stealing touches a chunk at most O(log n) times — the classic
+// range-splitting work-stealing loop, without per-task allocation.
+//
+// Width resolution (`default_width()`): DUET_THREADS env var, else the
+// DUET_DEFAULT_THREADS compile-time knob (CMake -DDUET_THREADS=N), else
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace duet::exec {
+
+// Resolved default pool width (>= 1): env DUET_THREADS > CMake knob > HW.
+std::size_t default_width();
+
+// Overrides default_width() for pools constructed afterwards (duetctl
+// --threads). Must be called before global_pool() is first used; 0 resets to
+// the env/CMake/HW chain.
+void set_default_width(std::size_t width);
+
+class ThreadPool {
+ public:
+  // width <= 1 runs everything inline on the caller.
+  explicit ThreadPool(std::size_t width = default_width());
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total workers including the participating caller.
+  std::size_t width() const noexcept { return width_; }
+
+  // Invokes body(index, worker) exactly once for every index in [0, n),
+  // worker in [0, width()). Blocks until all n invocations returned. body
+  // must not throw. Calls from inside a body (nested parallelism) run the
+  // whole nested loop inline on the calling worker — no deadlock, no extra
+  // parallelism.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Convenience overload when the worker id is not needed.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  // One worker's chunk of the current job: (end << 32) | pos.
+  struct alignas(64) Chunk {
+    std::atomic<std::uint64_t> range{0};
+  };
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::vector<Chunk> chunks;
+    std::atomic<std::size_t> done_workers{0};
+  };
+
+  void worker_loop(std::size_t worker);
+  void run_job(Job& job, std::size_t worker);
+
+  std::size_t width_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job epoch
+  std::condition_variable done_cv_;   // caller waits for workers to finish
+  Job* job_ = nullptr;                // guarded by mu_ (epoch flips with it)
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+// Lazily constructed process-wide pool at default_width(). All library
+// call sites that default to "the" pool use this one, so DUET_THREADS
+// controls parallelism everywhere, duetctl included.
+ThreadPool& global_pool();
+
+// The pool `p` resolves to: `p` itself, or the global pool when nullptr.
+ThreadPool& pool_or_global(ThreadPool* p);
+
+}  // namespace duet::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/sweep.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -120,6 +121,43 @@ FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>
     metrics->gauge("duet.sim.blackholed_gbps").set(result.blackholed_gbps);
   }
   return result;
+}
+
+FlowSweepResult sweep_flows(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                            const Assignment& assignment,
+                            const std::vector<SwitchId>& smux_tors,
+                            const std::vector<FailureScenario>& scenarios,
+                            const FlowSweepOptions& options) {
+  FlowSweepResult out;
+  const std::size_t n = scenarios.size();
+  if (n == 0) {
+    out.metrics = std::make_unique<telemetry::MetricRegistry>();
+    return out;
+  }
+
+  exec::SweepOptions sweep_options;
+  sweep_options.pool = options.pool;
+  auto swept = exec::sweep(n, sweep_options, [&](exec::ShardContext& ctx) {
+    return simulate_flows(fabric, demands, assignment, smux_tors, scenarios[ctx.shard],
+                          options.per_run_metrics ? &ctx.metrics : nullptr);
+  });
+
+  out.runs = std::move(swept.results);
+  out.metrics = std::move(swept.metrics);
+
+  // Sweep-level distributions, recorded AFTER the merge so they are a pure
+  // function of the ordered result slots (trivially width-invariant).
+  auto& count = out.metrics->counter("duet.sim.sweep.scenarios");
+  auto& util = out.metrics->histogram("duet.sim.sweep.max_link_utilization",
+                                      telemetry::Histogram::linear_bounds(0.05, 1.5, 30));
+  auto& blackholed = out.metrics->histogram(
+      "duet.sim.sweep.blackholed_gbps", telemetry::Histogram::exponential_bounds(0.1, 2.0, 20));
+  for (const FlowSimResult& r : out.runs) {
+    count.inc();
+    util.record(r.max_link_utilization);
+    blackholed.record(r.blackholed_gbps);
+  }
+  return out;
 }
 
 }  // namespace duet

@@ -17,9 +17,11 @@
 //   * DSR return traffic bypasses the muxes and is not modelled (§2.1).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "duet/assignment.h"
+#include "exec/thread_pool.h"
 #include "sim/failure.h"
 #include "telemetry/metrics.h"
 #include "topo/fattree.h"
@@ -51,5 +53,33 @@ FlowSimResult simulate_flows(const FatTree& fabric, const std::vector<VipDemand>
                              const std::vector<SwitchId>& smux_tors,
                              const FailureScenario& scenario,
                              telemetry::MetricRegistry* metrics = nullptr);
+
+// --- Parallel scenario sweep (exec/sweep.h) -----------------------------------
+// Simulates every scenario on the pool, one shard per scenario. Results come
+// back in scenario order, and the merged registry is bit-for-bit identical
+// for any thread count (exec/sweep.h's contract): the per-shard
+// `duet.sim.*` metrics from simulate_flows merge in shard order, plus sweep-
+// level aggregates recorded here:
+//   * `duet.sim.sweep.scenarios`            (counter, one per scenario)
+//   * `duet.sim.sweep.max_link_utilization` (histogram over scenarios)
+//   * `duet.sim.sweep.blackholed_gbps`      (histogram over scenarios)
+// NOTE on merged gauges: simulate_flows' per-run gauges (e.g.
+// `duet.sim.max_link_utilization`) merge by SUMMING across shards — read the
+// sweep histograms for per-scenario distributions instead.
+struct FlowSweepResult {
+  std::vector<FlowSimResult> runs;  // slot i = scenarios[i]
+  std::unique_ptr<telemetry::MetricRegistry> metrics;
+};
+
+struct FlowSweepOptions {
+  exec::ThreadPool* pool = nullptr;  // nullptr = the global pool
+  bool per_run_metrics = true;       // record simulate_flows' own metrics per shard
+};
+
+FlowSweepResult sweep_flows(const FatTree& fabric, const std::vector<VipDemand>& demands,
+                            const Assignment& assignment,
+                            const std::vector<SwitchId>& smux_tors,
+                            const std::vector<FailureScenario>& scenarios,
+                            const FlowSweepOptions& options = {});
 
 }  // namespace duet

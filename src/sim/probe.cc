@@ -285,6 +285,15 @@ ProbeSample TestbedSim::probe_once(Ipv4Address vip, Ipv4Address src_server) {
                          ? smux_offered_pps_ / config_.smux_capacity_pps
                          : 0.0;
 
+  // Path-RTT dispersion (drawn only for delivered probes so losses do not
+  // shift the rng stream): hop+stack latency is a deterministic function of
+  // the path, and without per-probe noise every RTT percentile degenerates
+  // to the same constant (the Fig 12 min==p99 bug).
+  const auto jittered = [this](double rtt_us) {
+    const double f = config_.probe_jitter_frac;
+    return f > 0.0 ? rtt_us * rng_.uniform_real(1.0 - f, 1.0 + f) : rtt_us;
+  };
+
   if (prefix->length() == 32) {
     const auto origins = rib.origins(*prefix);
     DUET_CHECK(!origins.empty()) << "matched /32 with no origin";
@@ -299,7 +308,7 @@ ProbeSample TestbedSim::probe_once(Ipv4Address vip, Ipv4Address src_server) {
       if (!rtt.has_value()) return sample;
       sample.lost = false;
       sample.via = ProbeVia::kHmux;
-      sample.rtt_us = *rtt + config_.hmux_latency_us;
+      sample.rtt_us = jittered(*rtt) + config_.hmux_latency_us;
       return sample;
     }
     // Mid-migration: the /32 still points here but the tables are clean —
@@ -311,7 +320,7 @@ ProbeSample TestbedSim::probe_once(Ipv4Address vip, Ipv4Address src_server) {
     if (!rtt.has_value()) return sample;
     sample.lost = false;
     sample.via = ProbeVia::kSmuxDetour;
-    sample.rtt_us = *rtt + smux->mux->sample_added_latency_us(rho, rng_);
+    sample.rtt_us = jittered(*rtt) + smux->mux->sample_added_latency_us(rho, rng_);
     return sample;
   }
 
@@ -323,7 +332,7 @@ ProbeSample TestbedSim::probe_once(Ipv4Address vip, Ipv4Address src_server) {
   if (!rtt.has_value()) return sample;
   sample.lost = false;
   sample.via = ProbeVia::kSmux;
-  sample.rtt_us = *rtt + smux->mux->sample_added_latency_us(rho, rng_);
+  sample.rtt_us = jittered(*rtt) + smux->mux->sample_added_latency_us(rho, rng_);
   return sample;
 }
 

@@ -60,6 +60,11 @@ class EcmpRouting {
   // spread() for the same (src, dst) pairs millions of times per epoch;
   // caching the DAG turns each call into a short multiply-accumulate scan.
   // The cache lives with this routing instance (it is failure-specific).
+  //
+  // Thread-safety: a MISS computes and inserts into the lazy caches, so
+  // concurrent calls are safe only for pairs that are already cached.
+  // Parallel callers (VipAssigner's candidate scoring) pre-warm their pairs
+  // serially first; the parallel region then performs read-only hits.
   std::span<const std::pair<std::uint64_t, double>> unit_flow(SwitchId src, SwitchId dst) const;
 
   // The directed index convention used by unit_flow.

@@ -4,12 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "duet/controller.h"
 #include "duet/host_agent.h"
+#include "exec/thread_pool.h"
 #include "sim/flowsim.h"
 #include "sim/probe.h"
+#include "telemetry/export.h"
+#include "workload/trace_io.h"
 #include "workload/tracegen.h"
 
 namespace duet {
@@ -221,6 +229,85 @@ TEST_F(EndToEnd, TestbedAndControllerAgreeOnFailoverSemantics) {
   sim.schedule_switch_failure(1e3, ft.cores[0]);
   sim.run_until(1e6);
   EXPECT_FALSE(sim.vip_on_hmux(vip));  // /32 withdrawn; aggregate remains
+}
+
+// --- Golden-trace regression ---------------------------------------------------------
+//
+// A small canonical scenario — committed trace, fixed failure set, greedy
+// assignment, parallel scenario sweep — whose exported JSON document must
+// match tests/golden/expected.json byte for byte. This pins the WHOLE
+// deterministic chain (trace IO -> demand build -> greedy_assign -> parallel
+// sweep_flows -> shard merge -> JSON rendering): any change that perturbs
+// results, merge order, or formatting shows up as a golden diff instead of a
+// silent drift. Regenerate intentionally with DUET_UPDATE_GOLDEN=1 (see
+// tests/golden/README.md).
+
+std::string golden_path(const std::string& name) {
+  return std::string(DUET_GOLDEN_DIR) + "/" + name;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(GoldenTrace, ParallelSweepMatchesCommittedJson) {
+  const bool update = std::getenv("DUET_UPDATE_GOLDEN") != nullptr;
+  const FatTree fabric = build_fattree(FatTreeParams::scaled(4, 5, 4));
+
+  if (update) {
+    TraceParams p;
+    p.vip_count = 60;
+    p.total_gbps = 200.0;
+    p.epochs = 2;
+    p.max_dips = 12;
+    ASSERT_TRUE(save_trace(golden_path("scenario.trace"), generate_trace(fabric, p)));
+  }
+  const auto trace = load_trace(golden_path("scenario.trace"), fabric);
+  ASSERT_TRUE(trace.has_value()) << "committed trace missing or invalid; "
+                                 << "regenerate with DUET_UPDATE_GOLDEN=1";
+
+  const auto demands = build_demands(fabric, *trace, 0);
+  const std::vector<SwitchId> smux_tors{fabric.tors[0], fabric.tors[6], fabric.tors[12]};
+  const VipAssigner assigner{fabric, AssignmentOptions{}};
+  const Assignment assignment = assigner.assign(demands);
+
+  // Healthy plus four canonical failures drawn from a pinned rng stream.
+  Rng rng{77};
+  std::vector<FailureScenario> scenarios{healthy_scenario()};
+  scenarios.push_back(random_switch_failure(fabric, 1, rng));
+  scenarios.push_back(random_switch_failure(fabric, 3, rng));
+  scenarios.push_back(random_container_failure(fabric, rng));
+  scenarios.push_back(random_link_failure(fabric, rng));
+
+  const auto swept = sweep_flows(fabric, demands, assignment, smux_tors, scenarios);
+  const std::string doc =
+      telemetry::JsonExporter::to_json("golden_scenario", swept.metrics.get(), nullptr);
+
+  // The document must also be width-invariant before it is worth pinning.
+  exec::ThreadPool wide{8};
+  FlowSweepOptions wide_opts;
+  wide_opts.pool = &wide;
+  const auto swept8 =
+      sweep_flows(fabric, demands, assignment, smux_tors, scenarios, wide_opts);
+  ASSERT_EQ(doc,
+            telemetry::JsonExporter::to_json("golden_scenario", swept8.metrics.get(), nullptr));
+
+  if (update) {
+    std::ofstream out(golden_path("expected.json"), std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out << doc;
+    ASSERT_TRUE(out.good());
+  }
+  const auto expected = read_file(golden_path("expected.json"));
+  ASSERT_TRUE(expected.has_value()) << "golden JSON missing; "
+                                    << "regenerate with DUET_UPDATE_GOLDEN=1";
+  EXPECT_EQ(doc, *expected)
+      << "exported document drifted from tests/golden/expected.json; if the "
+      << "change is intentional, rerun with DUET_UPDATE_GOLDEN=1 and commit.";
 }
 
 }  // namespace

@@ -8,13 +8,17 @@
 //   * migration: plan consistency and revalidation idempotence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 #include "dataplane/pipeline.h"
 #include "duet/assignment.h"
 #include "duet/migration.h"
 #include "duet/smux.h"
+#include "exec/replay.h"
 #include "sim/flowsim.h"
+#include "telemetry/export.h"
 #include "topo/paths.h"
 #include "workload/tracegen.h"
 
@@ -267,6 +271,124 @@ TEST_P(TraceProperty, EveryVipIsServableByItsBackends) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceProperty, ::testing::Values(1ULL, 99ULL, 2014ULL, 31337ULL));
+
+// --- Registry merge: permutation invariance --------------------------------------
+//
+// The sweep engine's contract leans on MetricRegistry::merge being a faithful
+// aggregation: merging K sharded registries — in ANY order — must produce the
+// same document as recording everything into one registry. Counts and bucket
+// tallies are integers; the float-summed fields (histogram sum, gauge total)
+// are only order-independent when the addition itself is exact, so samples
+// are dyadic rationals (k/1024) whose partial sums carry no rounding — this
+// makes byte-equality across permutations well-defined. (Real sweeps record
+// arbitrary doubles; that is exactly why exec/sweep.h merges in FIXED shard
+// order rather than relying on permutation invariance.)
+
+class RegistryMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegistryMergeProperty, ShardedMergeEqualsSingleRegistryInAnyOrder) {
+  constexpr std::size_t kShards = 6;
+  const auto bounds = telemetry::Histogram::linear_bounds(0.0, 1.0, 20);
+
+  // Reference: everything recorded into one registry, in shard order.
+  telemetry::MetricRegistry single;
+  std::vector<telemetry::MetricRegistry> shards(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Rng rng{exec::shard_seed(GetParam(), s)};
+    auto& sh = shards[s];
+    const int n = 50 + static_cast<int>(rng.uniform(100));
+    for (int i = 0; i < n; ++i) {
+      const double v = static_cast<double>(rng.uniform(1024)) / 1024.0;
+      single.counter("p.events").inc();
+      sh.counter("p.events").inc();
+      single.histogram("p.values", bounds).record(v);
+      sh.histogram("p.values", bounds).record(v);
+      single.gauge("p.total").add(v);
+      sh.gauge("p.total").add(v);
+    }
+  }
+
+  // With exact sample sums, the whole document — counters, gauge total,
+  // histogram sum/mean/extremes/buckets — must match byte for byte no matter
+  // which order the shards merge in.
+  const std::string want = telemetry::JsonExporter::to_json(single);
+  std::vector<std::size_t> perm(kShards);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng shuffle_rng{GetParam() ^ 0xabcdefULL};
+  for (int trial = 0; trial < 5; ++trial) {
+    shuffle_rng.shuffle(perm);
+    telemetry::MetricRegistry merged;
+    for (const std::size_t s : perm) merged.merge(shards[s]);
+    EXPECT_EQ(telemetry::JsonExporter::to_json(merged), want) << "permutation trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryMergeProperty,
+                         ::testing::Values(1ULL, 42ULL, 0xdeadbeefULL));
+
+// --- Parallel packet replay: shard-count invariance ------------------------------
+
+class ReplayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayProperty, ShardedReplayMatchesSerialReference) {
+  const std::uint64_t seed = GetParam();
+  const FlowHasher hasher{seed};
+  const Ipv4Address vip{100, 9, 9, 9};
+  std::vector<Ipv4Address> dips;
+  for (int i = 0; i < 24; ++i) dips.push_back(Ipv4Address{(10u << 24) + 500u + i});
+
+  const auto make_replica = [&](exec::ShardContext&) {
+    SwitchDataPlane dp{hasher};
+    EXPECT_TRUE(dp.install_vip(vip, dips));
+    return dp;
+  };
+
+  // Random mix of VIP hits and misses.
+  Rng rng{seed ^ 0x5eedULL};
+  std::vector<Packet> packets;
+  for (int i = 0; i < 4000; ++i) {
+    const Ipv4Address dst = rng.uniform(4) == 0 ? Ipv4Address{9, 9, 9, 9} : vip;
+    packets.emplace_back(FiveTuple{Ipv4Address(172, 1, 2, 3), dst,
+                                   static_cast<std::uint16_t>(rng.uniform(65535) + 1), 443,
+                                   IpProto::kTcp},
+                         64);
+  }
+
+  // Serial ground truth, bypassing the replay machinery entirely.
+  SwitchDataPlane ref_dp{hasher};
+  ASSERT_TRUE(ref_dp.install_vip(vip, dips));
+  std::vector<PipelineVerdict> ref_verdicts;
+  std::vector<Ipv4Address> ref_dst;
+  for (const Packet& p : packets) {
+    Packet copy = p;
+    const auto v = ref_dp.process(copy);
+    ref_verdicts.push_back(v);
+    ref_dst.push_back(v == PipelineVerdict::kEncapsulated ? copy.outer().outer_dst
+                                                          : Ipv4Address{});
+  }
+
+  exec::ThreadPool pool{4};
+  exec::ReplayResult one;
+  for (const std::size_t shards : {1, 3, 8}) {
+    exec::ReplayOptions opts;
+    opts.pool = &pool;
+    opts.shards = shards;
+    auto got = exec::replay_packets(make_replica, packets, opts);
+    EXPECT_EQ(got.verdicts, ref_verdicts) << "shards " << shards;
+    EXPECT_EQ(got.encap_dst, ref_dst) << "shards " << shards;
+    EXPECT_EQ(got.no_match + got.encapsulated + got.dropped, packets.size());
+    if (shards == 1) {
+      one = std::move(got);
+    } else {
+      EXPECT_TRUE(got == one) << "shards " << shards;
+      // Merged per-shard counters are shard-count invariant too.
+      EXPECT_EQ(got.metrics->counter("duet.replay.table_lookups").value(),
+                one.metrics->counter("duet.replay.table_lookups").value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayProperty, ::testing::Values(1ULL, 7ULL, 0xfeedULL));
 
 }  // namespace
 }  // namespace duet

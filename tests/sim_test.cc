@@ -233,6 +233,53 @@ TEST_F(TestbedSimTest, VipOnHmuxIsFasterThanSmux) {
   EXPECT_LT(hmux_rtt.median(), 400.0);
 }
 
+TEST_F(TestbedSimTest, ProbeRttsDisperse) {
+  // Regression for the flat Fig 12 histograms: the hop+stack path model is a
+  // per-path constant, so without per-probe jitter every HMux RTT collapsed
+  // to one value (min == p50 == p99). Delivered probes must show dispersion
+  // around the path latency on BOTH mux paths.
+  const auto& ft = sim_.fabric();
+  sim_.assign_vip_to_hmux(vip_, ft.cores[0]);
+  sim_.start_probes(vip_, src_, 0.0, 300 * kMs, 1 * kMs);
+  sim_.run_until(300 * kMs);
+  Summary rtt;
+  for (const auto& p : sim_.samples(vip_)) {
+    ASSERT_FALSE(p.lost);
+    rtt.add(p.rtt_us);
+  }
+  ASSERT_GT(rtt.count(), 100u);
+  const double f = DuetConfig{}.probe_jitter_frac;
+  ASSERT_GT(f, 0.0);  // dispersion must be on by default
+  EXPECT_LT(rtt.min(), rtt.max() * (1.0 - f / 2.0)) << "RTTs did not disperse";
+  EXPECT_GT(rtt.max() / rtt.min(), 1.0 + f) << "jitter window too narrow";
+  // And the histogram percentile view (what BENCH_fig12.json exports) must
+  // not be degenerate either.
+  const auto& hist = sim_.metrics().histogram("duet.sim.probe_rtt_hmux_us",
+                                              telemetry::Histogram::exponential_bounds(1.0, 1e6, 40));
+  EXPECT_LT(hist.min(), hist.max());
+}
+
+TEST_F(TestbedSimTest, ProbeJitterCanBeDisabled) {
+  // probe_jitter_frac = 0 restores the exact deterministic path model.
+  DuetConfig cfg;
+  cfg.probe_jitter_frac = 0.0;
+  TestbedSim sim{FatTreeParams::testbed(), cfg, 42};
+  const auto& ft = sim.fabric();
+  sim.deploy_smux(ft.tors[0]);
+  const Ipv4Address vip{100, 0, 0, 7};
+  sim.define_vip(vip, {ft.servers_by_tor[3][0]});
+  sim.assign_vip_to_hmux(vip, ft.cores[0]);
+  sim.start_probes(vip, ft.servers_by_tor[0][5], 0.0, 50 * kMs, 1 * kMs);
+  sim.run_until(50 * kMs);
+  Summary rtt;
+  for (const auto& p : sim.samples(vip)) {
+    ASSERT_FALSE(p.lost);
+    rtt.add(p.rtt_us);
+  }
+  ASSERT_GT(rtt.count(), 10u);
+  EXPECT_DOUBLE_EQ(rtt.min(), rtt.max());
+}
+
 TEST_F(TestbedSimTest, HmuxFailureBlackholesThenFailsOverWithin40Ms) {
   const auto& ft = sim_.fabric();
   sim_.assign_vip_to_hmux(vip_, ft.cores[1]);

@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+#include "telemetry/export.h"
 #include "telemetry/metrics.h"
 
 namespace duet::telemetry {
@@ -159,6 +162,40 @@ TEST(TelemetryStressTest, RegistryMergeCombinesShards) {
   EXPECT_EQ(merged.count(), static_cast<std::uint64_t>(10000 * kThreads));
   EXPECT_EQ(merged.min(), 0.0);
   EXPECT_EQ(merged.max(), static_cast<double>((kThreads - 1) * 10 + 9));
+}
+
+TEST(TelemetryStressTest, PoolDrivenSweepShardsMergeExactly) {
+  // The real production pattern end to end: a work-stealing pool runs many
+  // sweep tasks, each recording into its ShardContext registry; the merge
+  // happens at the sweep barrier. Totals must be exact (nothing lost to the
+  // stealing/claiming races TSan watches), and the merged document must be
+  // byte-identical to a serial run of the same sweep.
+  constexpr std::size_t kTasks = 64;
+  constexpr int kPerTask = 2000;
+  const auto task = [](exec::ShardContext& ctx) {
+    auto& counter = ctx.metrics.counter("duet.stress.pool.events");
+    auto& hist =
+        ctx.metrics.histogram("duet.stress.pool.lat", Histogram::linear_bounds(0.0, 100.0, 10));
+    for (int i = 0; i < kPerTask; ++i) {
+      counter.inc();
+      hist.record(static_cast<double>((ctx.shard + i) % 100));
+    }
+    return ctx.shard;
+  };
+
+  exec::ThreadPool serial{1};
+  exec::SweepOptions serial_opts;
+  serial_opts.pool = &serial;
+  const auto ref = exec::sweep(kTasks, serial_opts, task);
+
+  exec::ThreadPool pool{8};
+  exec::SweepOptions opts;
+  opts.pool = &pool;
+  const auto got = exec::sweep(kTasks, opts, task);
+
+  EXPECT_EQ(got.metrics->counter("duet.stress.pool.events").value(), kTasks * kPerTask);
+  EXPECT_EQ(got.results, ref.results);
+  EXPECT_EQ(JsonExporter::to_json(*got.metrics), JsonExporter::to_json(*ref.metrics));
 }
 
 }  // namespace
