@@ -1,0 +1,180 @@
+// BENCH_live — the live runtime (duetd + duetload) on loopback.
+//
+// Two phases over one MuxServer + FakeDipPool deployment:
+//   (1) closed loop: windowed request/response with full per-packet
+//       accounting — the RTT histogram (duet.loadgen.rtt_us) is complete,
+//       so the latency percentiles are trustworthy;
+//   (2) open loop: paced at DUET_LIVE_PPS (default 150 K) for
+//       DUET_LIVE_SECONDS — the throughput number. The acceptance line is
+//       >= 100 Kpps sustained on loopback with ZERO parse failures (every
+//       datagram on the wire is a valid nested-IPv4 Duet packet).
+//
+// The merged registries (mux + both generators + headline gauges) land in
+// BENCH_live.json. Exit status: 0 on success or a skipped sandbox, 1 when
+// the wire was corrupted (parse failures / integrity / remap violations) —
+// a real bug, not machine variance. A below-target pps prints a warning
+// only, since shared CI machines can't promise cycles.
+//
+// Env knobs: DUET_LIVE_SECONDS, DUET_LIVE_PPS, DUET_LIVE_MIN_PPS,
+// DUET_BENCH_QUICK (halves both phases).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common.h"
+#include "duet/config.h"
+#include "net/hash.h"
+#include "runtime/fake_dip.h"
+#include "runtime/load_gen.h"
+#include "runtime/mux_server.h"
+
+using namespace duet;
+
+namespace {
+
+double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? std::strtod(v, nullptr) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("live", "duetd loopback throughput and latency (real UDP sockets)");
+
+  constexpr auto kLoopback = Ipv4Address{127, 0, 0, 1};
+  if (!runtime::UdpSocket::bind(runtime::Endpoint{kLoopback, 0}).has_value()) {
+    std::printf("SKIP: no loopback UDP sockets in this sandbox\n");
+    return 0;
+  }
+  std::printf("batched io (recvmmsg/sendmmsg): %s\n",
+              runtime::kBatchIoAvailable ? "available" : "fallback (one syscall per packet)");
+
+  const bool quick = bench::quick_mode();
+  const double duration_s = env_or("DUET_LIVE_SECONDS", quick ? 1.0 : 2.0);
+  const double pps = env_or("DUET_LIVE_PPS", 150e3);
+  const double min_pps = env_or("DUET_LIVE_MIN_PPS", 100e3);
+  const std::uint64_t closed_packets = quick ? 2000 : 10000;
+
+  // One deployment for both phases: 2 workers, 2 VIPs x 4 echo DIPs.
+  const FlowHasher hasher{0xd0e7ULL};
+  runtime::MuxServerOptions mo;
+  mo.workers = 2;
+  mo.hasher = hasher;
+  runtime::MuxServer mux{mo, DuetConfig{}};
+  runtime::FakeDipPool dips;
+  std::vector<Ipv4Address> vips;
+  for (std::size_t v = 0; v < 2; ++v) {
+    const Ipv4Address vip{static_cast<std::uint32_t>((100u << 24) + 256 * v + 1)};
+    std::vector<Ipv4Address> pool;
+    for (std::size_t d = 0; d < 4; ++d) {
+      const Ipv4Address dip{static_cast<std::uint32_t>((10u << 24) + (v << 16) + d + 1)};
+      const auto at = dips.add_dip(dip);
+      if (!at.has_value()) {
+        std::printf("SKIP: could not bind echo DIP sockets\n");
+        return 0;
+      }
+      mux.map_dip(dip, *at);
+      pool.push_back(dip);
+    }
+    mux.set_vip(vip, std::move(pool));
+    vips.push_back(vip);
+  }
+  if (!dips.start() || !mux.start()) {
+    std::printf("SKIP: could not start the loopback deployment\n");
+    return 0;
+  }
+
+  // Phase 1: closed-loop RTT.
+  runtime::LoadGenOptions closed_opts;
+  closed_opts.target = mux.listen_endpoint();
+  closed_opts.sockets = 2;
+  closed_opts.window = 64;
+  closed_opts.packet_bytes = 128;
+  runtime::LoadGenerator closed_gen{closed_opts};
+  if (!closed_gen.init()) {
+    std::printf("SKIP: could not bind load sockets\n");
+    return 0;
+  }
+  const auto closed_flows = closed_gen.make_flows(vips, 64);
+  std::printf("\nphase 1: closed loop, %llu packets over %zu flows\n",
+              static_cast<unsigned long long>(closed_packets), closed_flows.size());
+  const auto closed = closed_gen.run_closed(closed_flows, closed_packets);
+  const auto* rtt = closed_gen.metrics().find_histogram("duet.loadgen.rtt_us");
+  TablePrinter t1{{"metric", "value"}};
+  t1.add_row({"received / sent", TablePrinter::fmt_int(static_cast<long long>(closed.received)) +
+                                     " / " +
+                                     TablePrinter::fmt_int(static_cast<long long>(closed.sent))});
+  if (rtt != nullptr && !rtt->empty()) {
+    t1.add_row({"rtt p50 (us)", TablePrinter::fmt(rtt->percentile(50), "%.0f")});
+    t1.add_row({"rtt p90 (us)", TablePrinter::fmt(rtt->percentile(90), "%.0f")});
+    t1.add_row({"rtt p99 (us)", TablePrinter::fmt(rtt->percentile(99), "%.0f")});
+    t1.add_row({"rtt max (us)", TablePrinter::fmt(rtt->max(), "%.0f")});
+  }
+  t1.print();
+
+  // Phase 2: open-loop throughput.
+  runtime::LoadGenOptions open_opts;
+  open_opts.target = mux.listen_endpoint();
+  open_opts.sockets = 2;
+  open_opts.packet_bytes = 128;
+  open_opts.pps = pps;
+  open_opts.duration_s = duration_s;
+  runtime::LoadGenerator open_gen{open_opts};
+  if (!open_gen.init()) {
+    std::printf("SKIP: could not bind load sockets\n");
+    return 0;
+  }
+  const auto open_flows = open_gen.make_flows(vips, 256);
+  std::printf("\nphase 2: open loop, %.0f pps offered for %.1f s\n", pps, duration_s);
+  const auto open = open_gen.run_open(open_flows);
+
+  mux.shutdown();
+  mux.join();
+  dips.shutdown();
+  dips.join();
+
+  const auto parse_failures = mux.metrics().counter("duet.runtime.parse_failures").value();
+  const auto forwarded = mux.metrics().counter("duet.runtime.tx_packets").value();
+  const double delivered_pps = open.elapsed_s > 0 ? open.received / open.elapsed_s : 0.0;
+  TablePrinter t2{{"metric", "value"}};
+  t2.add_row({"offered (pps)", TablePrinter::fmt(pps, "%.0f")});
+  t2.add_row({"sent (pps)", TablePrinter::fmt(open.send_pps, "%.0f")});
+  t2.add_row({"replies delivered (pps)", TablePrinter::fmt(delivered_pps, "%.0f")});
+  t2.add_row({"mux forwarded (pkts)", TablePrinter::fmt_int(static_cast<long long>(forwarded))});
+  t2.add_row({"send drops", TablePrinter::fmt_int(static_cast<long long>(open.send_drops))});
+  t2.add_row({"parse failures", TablePrinter::fmt_int(static_cast<long long>(parse_failures))});
+  t2.print();
+
+  // Everything into one registry for BENCH_live.json: the mux's counters,
+  // both generators', and the headline numbers as gauges.
+  telemetry::MetricRegistry out;
+  out.merge(mux.metrics());
+  out.merge(closed_gen.metrics());
+  out.merge(open_gen.metrics());
+  out.gauge("duet.live.offered_pps").set(pps);
+  out.gauge("duet.live.send_pps").set(open.send_pps);
+  out.gauge("duet.live.delivered_pps").set(delivered_pps);
+  out.gauge("duet.live.duration_s").set(open.elapsed_s);
+  if (rtt != nullptr && !rtt->empty()) {
+    out.gauge("duet.live.rtt_p50_us").set(rtt->percentile(50));
+    out.gauge("duet.live.rtt_p99_us").set(rtt->percentile(99));
+  }
+  bench::export_bench_json("live", out);
+
+  const auto corrupted = parse_failures + closed.integrity_failures + open.integrity_failures +
+                         closed.remap_violations + open.remap_violations;
+  if (corrupted != 0) {
+    std::printf("\nFAIL: %llu corrupted/remapped packets on the wire\n",
+                static_cast<unsigned long long>(corrupted));
+    return 1;
+  }
+  if (open.send_pps < min_pps) {
+    std::printf("\nWARNING: sustained %.0f pps < %.0f target (machine load?)\n", open.send_pps,
+                min_pps);
+  } else {
+    std::printf("\nOK: sustained %.0f pps >= %.0f target, zero parse failures\n", open.send_pps,
+                min_pps);
+  }
+  return 0;
+}

@@ -10,26 +10,49 @@
 //                                design invariant (audit/invariants.h) at each
 //                                stage; prints the per-invariant report and
 //                                exits 1 on any violation
+//   duetctl serve    [options]   run duetd: a live SMux worker pool on a real
+//                                UDP socket, with in-process echo DIPs, until
+//                                SIGTERM/SIGINT (or --duration); drains, dumps
+//                                telemetry, audits the final state
+//   duetctl load     [options]   run duetload against a duetd started with the
+//                                same --vips/--dips/--seed; closed loop by
+//                                default, open loop when --pps is given
 //
 // Options:
 //   --containers N --tors N --cores N     fabric shape (default 6 8 6)
 //   --vips N --gbps G --epochs E          workload (default 600, 600, 3)
 //   --replicas R                          use §9 anycast replication
 //   --trace FILE                          load/store the trace file
-//   --json FILE                           (stats) also write the JSON document
+//   --json FILE                           (stats/serve/load) also write JSON
 //   --threads N                           worker width for parallel phases
 //                                         (default: DUET_THREADS env, else all cores)
 //   --seed S
+// Live options (serve/load):
+//   --port P                              serve: listen port (0 = kernel picks)
+//                                         load: the duetd port (required)
+//   --workers N --dips N                  serve shape (default 2 workers,
+//                                         4 DIPs per VIP; --vips defaults to 4)
+//   --duration S                          serve: exit after S seconds (0 = until
+//                                         signal); load: open-loop run length
+//   --stats-interval S                    serve: live counter print period
+//   --pps R --flows N --sockets N         load shape (pps 0 = closed loop)
+//   --packets N --bytes B                 load: closed-loop count, datagram size
 //
 // Examples:
 //   build/examples/duetctl gen --trace /tmp/t.trace --vips 1000 --gbps 800
 //   build/examples/duetctl plan --trace /tmp/t.trace
 //   build/examples/duetctl replay --vips 800 --epochs 6
 //   build/examples/duetctl stats --vips 400 --epochs 4 --json /tmp/stats.json
+//   build/examples/duetctl serve --port 9004 --workers 4 &
+//   build/examples/duetctl load --port 9004 --packets 20000
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "audit/invariants.h"
 #include "audit/snapshot.h"
@@ -39,8 +62,12 @@
 #include "duet/migration.h"
 #include "duet/replication.h"
 #include "exec/thread_pool.h"
+#include "runtime/fake_dip.h"
+#include "runtime/load_gen.h"
+#include "runtime/mux_server.h"
 #include "telemetry/export.h"
 #include "topo/fattree.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "workload/demand.h"
 #include "workload/trace_io.h"
@@ -54,10 +81,17 @@ struct Args {
   std::string command;
   std::size_t containers = 6, tors = 8, cores = 6;
   std::size_t vips = 600, epochs = 3, replicas = 1;
+  bool vips_explicit = false;  // serve/load default to 4 VIPs unless --vips given
   double gbps = 600.0;
   std::string trace_file;
   std::string json_file;
   std::uint64_t seed = 1;
+
+  // Live runtime (serve/load).
+  std::uint16_t port = 0;
+  std::size_t workers = 2, dips_per_vip = 4;
+  std::size_t flows = 64, sockets = 2, packets = 10000, bytes = 128;
+  double duration_s = 0.0, stats_interval_s = 5.0, pps = 0.0;
 };
 
 bool parse_args(int argc, char** argv, Args& a) {
@@ -74,6 +108,7 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.cores = std::strtoul(value, nullptr, 10);
     } else if (key == "--vips") {
       a.vips = std::strtoul(value, nullptr, 10);
+      a.vips_explicit = true;
     } else if (key == "--epochs") {
       a.epochs = std::strtoul(value, nullptr, 10);
     } else if (key == "--replicas") {
@@ -88,13 +123,34 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.seed = std::strtoull(value, nullptr, 10);
     } else if (key == "--threads") {
       exec::set_default_width(std::strtoul(value, nullptr, 10));
+    } else if (key == "--port") {
+      a.port = static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (key == "--workers") {
+      a.workers = std::strtoul(value, nullptr, 10);
+    } else if (key == "--dips") {
+      a.dips_per_vip = std::strtoul(value, nullptr, 10);
+    } else if (key == "--flows") {
+      a.flows = std::strtoul(value, nullptr, 10);
+    } else if (key == "--sockets") {
+      a.sockets = std::strtoul(value, nullptr, 10);
+    } else if (key == "--packets") {
+      a.packets = std::strtoul(value, nullptr, 10);
+    } else if (key == "--bytes") {
+      a.bytes = std::strtoul(value, nullptr, 10);
+    } else if (key == "--duration") {
+      a.duration_s = std::strtod(value, nullptr);
+    } else if (key == "--stats-interval") {
+      a.stats_interval_s = std::strtod(value, nullptr);
+    } else if (key == "--pps") {
+      a.pps = std::strtod(value, nullptr);
     } else {
       std::fprintf(stderr, "unknown option %s\n", key.c_str());
       return false;
     }
   }
   return a.command == "plan" || a.command == "gen" || a.command == "replay" ||
-         a.command == "stats" || a.command == "audit";
+         a.command == "stats" || a.command == "audit" || a.command == "serve" ||
+         a.command == "load";
 }
 
 Trace obtain_trace(const Args& a, const FatTree& fabric) {
@@ -148,17 +204,187 @@ void print_plan(const FatTree& fabric, const Assignment& a,
   t.print();
 }
 
+// --- live runtime (serve / load) ---------------------------------------------------
+
+// Drain flag flipped by SIGTERM/SIGINT; the handler does nothing else —
+// MuxServer::shutdown is not async-signal-safe and runs in the main loop.
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+// serve and load must agree on the VIP set (load builds flow tuples against
+// the VIPs serve installed), so both derive it from the same scheme:
+// VIP v = 100.0.v.1, its DIPs 10.v.0.(d+1).
+std::vector<Ipv4Address> live_vip_set(const Args& a) {
+  const std::size_t nv = a.vips_explicit ? a.vips : 4;
+  std::vector<Ipv4Address> vips;
+  for (std::size_t v = 0; v < nv; ++v) {
+    vips.push_back(Ipv4Address{static_cast<std::uint32_t>((100u << 24) + 256 * v + 1)});
+  }
+  return vips;
+}
+
+int cmd_serve(const Args& a) {
+  runtime::MuxServerOptions mo;
+  mo.listen.port = a.port;
+  mo.workers = a.workers == 0 ? 1 : a.workers;
+  mo.stats_interval_s = a.stats_interval_s;
+  mo.print_stats = a.stats_interval_s > 0;
+  // The interval counters log at info; the library default is warn.
+  if (mo.print_stats) set_log_level(LogLevel::kInfo);
+  mo.stats_json_path = a.json_file;
+  mo.hasher = FlowHasher{a.seed};
+  runtime::MuxServer mux{mo, DuetConfig{}};
+
+  // In-process echo DIPs stand in for the real backends (fake_dip.h): one
+  // loopback socket per DIP, replying straight to the client — DSR.
+  runtime::FakeDipPool dips;
+  const auto vips = live_vip_set(a);
+  const std::size_t nd = a.dips_per_vip == 0 ? 1 : a.dips_per_vip;
+  for (std::size_t v = 0; v < vips.size(); ++v) {
+    std::vector<Ipv4Address> pool;
+    for (std::size_t d = 0; d < nd; ++d) {
+      const Ipv4Address dip{static_cast<std::uint32_t>((10u << 24) + (v << 16) + d + 1)};
+      const auto at = dips.add_dip(dip);
+      if (!at.has_value()) {
+        std::fprintf(stderr, "serve: failed to bind an echo socket for a DIP\n");
+        return 1;
+      }
+      mux.map_dip(dip, *at);
+      pool.push_back(dip);
+    }
+    mux.set_vip(vips[v], std::move(pool));
+  }
+  if (!dips.start()) {
+    std::fprintf(stderr, "serve: failed to start the echo DIP pool\n");
+    return 1;
+  }
+  if (!mux.start()) {
+    std::fprintf(stderr, "serve: failed to bind 127.0.0.1:%u\n", unsigned{a.port});
+    dips.shutdown();
+    dips.join();
+    return 1;
+  }
+  std::printf("duetd: %zu workers on 127.0.0.1:%u | %zu VIPs x %zu DIPs | seed %llu\n",
+              mo.workers, unsigned{mux.listen_endpoint().port}, vips.size(), nd,
+              static_cast<unsigned long long>(a.seed));
+  std::printf("duetd: serving%s; SIGTERM/SIGINT drains\n",
+              a.duration_s > 0 ? " (timed run)" : "");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    if (a.duration_s > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() >=
+            a.duration_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("duetd: draining\n");
+  mux.shutdown();
+  mux.join();
+  dips.shutdown();
+  dips.join();
+
+  std::printf("\n");
+  telemetry::TextExporter::print(mux.metrics());
+  if (!a.json_file.empty()) {
+    if (telemetry::JsonExporter::write_file(a.json_file, "duetd", &mux.metrics(), nullptr)) {
+      std::printf("\nwrote %s\n", a.json_file.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", a.json_file.c_str());
+      return 1;
+    }
+  }
+
+  // The drained deployment must pass the same invariant auditor the
+  // simulations run under; a violation fails the command.
+  const auto report = audit::InvariantAuditor{}.audit(mux.audit_snapshot());
+  std::printf("\nfinal audit: %s\n", report.clean() ? "clean" : report.summary().c_str());
+  for (const auto& v : report.violations) {
+    std::printf("VIOLATION [%s] %s\n", v.invariant.c_str(), v.message.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_load(const Args& a) {
+  if (a.port == 0) {
+    std::fprintf(stderr, "load requires --port (the duetd listen port)\n");
+    return 2;
+  }
+  runtime::LoadGenOptions lo;
+  lo.target = runtime::Endpoint{Ipv4Address{127, 0, 0, 1}, a.port};
+  lo.sockets = a.sockets == 0 ? 1 : a.sockets;
+  lo.packet_bytes = a.bytes;
+  lo.window = std::max<std::size_t>(a.flows, 64);
+  lo.pps = a.pps;
+  lo.duration_s = a.duration_s > 0 ? a.duration_s : 1.0;
+  runtime::LoadGenerator gen{lo};
+  if (!gen.init()) {
+    std::fprintf(stderr, "load: failed to bind source sockets\n");
+    return 1;
+  }
+  const auto vips = live_vip_set(a);
+  const auto flows = gen.make_flows(vips, a.flows == 0 ? 1 : a.flows);
+
+  const bool open_loop = a.pps > 0;
+  std::printf("duetload: %zu flows over %zu VIPs -> 127.0.0.1:%u (%s)\n", flows.size(),
+              vips.size(), unsigned{a.port},
+              open_loop ? "open loop" : "closed loop");
+  const auto report =
+      open_loop ? gen.run_open(flows) : gen.run_closed(flows, a.packets);
+
+  std::printf("\nsent %llu | received %llu | retries %llu | timeouts %llu | drops %llu\n",
+              static_cast<unsigned long long>(report.sent),
+              static_cast<unsigned long long>(report.received),
+              static_cast<unsigned long long>(report.retries),
+              static_cast<unsigned long long>(report.timeouts),
+              static_cast<unsigned long long>(report.send_drops));
+  std::printf("elapsed %.3f s | %.0f pps offered\n", report.elapsed_s, report.send_pps);
+  if (const auto* rtt = gen.metrics().find_histogram("duet.loadgen.rtt_us");
+      rtt != nullptr && !rtt->empty()) {
+    std::printf("rtt us: p50 %.0f | p90 %.0f | p99 %.0f | max %.0f\n", rtt->percentile(50),
+                rtt->percentile(90), rtt->percentile(99), rtt->max());
+  }
+  std::size_t answered = 0;
+  for (const auto& e : report.dip_by_flow) answered += e.port != 0 ? 1 : 0;
+  std::printf("flows answered: %zu/%zu | integrity failures %llu | remap violations %llu\n",
+              answered, flows.size(),
+              static_cast<unsigned long long>(report.integrity_failures),
+              static_cast<unsigned long long>(report.remap_violations));
+  if (!a.json_file.empty()) {
+    if (telemetry::JsonExporter::write_file(a.json_file, "duetload", &gen.metrics(), nullptr)) {
+      std::printf("wrote %s\n", a.json_file.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", a.json_file.c_str());
+      return 1;
+    }
+  }
+  return report.integrity_failures == 0 && report.remap_violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
-                 "usage: duetctl plan|gen|replay|stats|audit [--containers N] [--tors N] [--cores N]\n"
+                 "usage: duetctl plan|gen|replay|stats|audit|serve|load\n"
+                 "       [--containers N] [--tors N] [--cores N]\n"
                  "       [--vips N] [--gbps G] [--epochs E] [--replicas R] [--trace FILE]\n"
-                 "       [--seed S] [--json FILE] [--threads N]\n");
+                 "       [--seed S] [--json FILE] [--threads N]\n"
+                 "  serve: [--port P] [--workers N] [--vips N] [--dips N] [--duration S]\n"
+                 "         [--stats-interval S] [--json FILE]\n"
+                 "  load:  --port P [--pps R] [--duration S] [--packets N] [--flows N]\n"
+                 "         [--sockets N] [--bytes B] [--json FILE]\n");
     return 2;
   }
+
+  // The live commands run on real sockets, not the modelled fabric.
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "load") return cmd_load(args);
 
   const auto fabric = build_fattree(FatTreeParams::scaled(args.containers, args.tors, args.cores));
   std::printf("fabric: %zu containers x %zu ToRs, %zu cores (%zu switches, %zu servers)\n",

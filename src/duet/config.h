@@ -22,6 +22,17 @@ struct DuetConfig {
   // Queue-limited latency once the CPU saturates (Fig 11 shows 20-30 ms).
   double smux_overload_latency_us = 25e3;
 
+  // --- SMux flow-table hygiene (long-running duetd processes) ----------------
+  // Connection pins idle for longer than this are eligible for eviction; a
+  // re-pinned live flow maps to the SAME DIP as long as the DIP set is
+  // unchanged (deterministic hash), so eviction never breaks the §5.2
+  // no-remap guarantee for flows that are actually sending. 0 disables
+  // idle-based expiry.
+  double smux_flow_idle_us = 120e6;  // 2 minutes
+  // Hard cap on flow-table entries; crossing it first expires idle pins,
+  // then sheds the coldest survivors. 0 = unbounded (the short-lived sims).
+  std::size_t smux_flow_table_max = 1u << 20;
+
   // --- HMux (switch), §3.1 ---------------------------------------------------
   // "microsecond latency", "high capacity (500 Gbps)".
   double hmux_latency_us = 1.0;

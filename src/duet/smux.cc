@@ -65,10 +65,32 @@ std::size_t Smux::expire_flows(double now_us, double idle_us) {
       ++it;
     }
   }
+  if (tm_flow_evictions_ != nullptr && evicted > 0) tm_flow_evictions_->inc(evicted);
   if (tm_flow_table_size_ != nullptr) {
     tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
   }
   return evicted;
+}
+
+void Smux::enforce_flow_cap(double now_us) {
+  if (config_.smux_flow_idle_us > 0) expire_flows(now_us, config_.smux_flow_idle_us);
+  const std::size_t cap = config_.smux_flow_table_max;
+  if (cap == 0 || flow_table_.size() <= cap) return;
+  // Still over the cap with no idle pins to reclaim: shed the coldest
+  // entries. O(n) selection, but reaching here requires > cap concurrently
+  // live flows, so it is rare by construction.
+  std::vector<std::pair<double, FiveTuple>> by_age;
+  by_age.reserve(flow_table_.size());
+  for (const auto& [tuple, pin] : flow_table_) by_age.emplace_back(pin.last_seen_us, tuple);
+  const std::size_t excess = flow_table_.size() - cap;
+  std::nth_element(by_age.begin(), by_age.begin() + static_cast<std::ptrdiff_t>(excess - 1),
+                   by_age.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < excess; ++i) flow_table_.erase(by_age[i].second);
+  if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(excess);
+  if (tm_flow_table_size_ != nullptr) {
+    tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+  }
 }
 
 void Smux::add_dip(Ipv4Address vip, Ipv4Address dip) {
@@ -124,6 +146,9 @@ bool Smux::process(Packet& packet, double now_us) {
     chosen = entry->dips[entry->group.select(hasher_.hash(packet.tuple()))];
     flow_table_.emplace(packet.tuple(), FlowPin{chosen, now_us});
     if (tm_flow_pins_ != nullptr) tm_flow_pins_->inc();
+    if (config_.smux_flow_table_max > 0 && flow_table_.size() > config_.smux_flow_table_max) {
+      enforce_flow_cap(now_us);
+    }
     if (tm_flow_table_size_ != nullptr) {
       tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
     }
@@ -136,6 +161,7 @@ void Smux::bind_telemetry(telemetry::MetricRegistry& registry, const std::string
   tm_packets_ = &registry.counter(prefix + "packets");
   tm_unknown_vip_ = &registry.counter(prefix + "unknown_vip");
   tm_flow_pins_ = &registry.counter(prefix + "flow_pins");
+  tm_flow_evictions_ = &registry.counter(prefix + "flow_evictions");
   tm_flow_table_size_ = &registry.gauge(prefix + "flow_table_size");
   tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
 }

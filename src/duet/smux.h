@@ -75,6 +75,11 @@ class Smux {
   // unless the DIP set changed in between.
   std::size_t expire_flows(double now_us, double idle_us);
 
+  // Convenience overload using the DuetConfig knob.
+  std::size_t expire_flows(double now_us) {
+    return config_.smux_flow_idle_us > 0 ? expire_flows(now_us, config_.smux_flow_idle_us) : 0;
+  }
+
   // --- performance model ----------------------------------------------------------
   // Offered load as a fraction of CPU capacity.
   double utilization(double offered_pps) const {
@@ -92,8 +97,8 @@ class Smux {
   // --- telemetry ------------------------------------------------------------
   // Binds per-mux packet/flow telemetry under `prefix` (e.g. "duet.smux.3.").
   // Counters: packets, unknown_vip (dropped: no matching pool), flow_pins
-  // (connections pinned). Gauge: flow_table_size. The registry must outlive
-  // this mux.
+  // (connections pinned), flow_evictions (pins expired or capacity-shed).
+  // Gauge: flow_table_size. The registry must outlive this mux.
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
  private:
@@ -107,6 +112,10 @@ class Smux {
   static VipEntry build_entry(const std::vector<Ipv4Address>& dips,
                               const std::vector<std::uint32_t>& weights, std::uint64_t salt);
 
+  // Called when an insert pushes the table past smux_flow_table_max: expire
+  // idle pins, then shed the coldest survivors down to the cap.
+  void enforce_flow_cap(double now_us);
+
   std::uint32_t id_;
   FlowHasher hasher_;
   DuetConfig config_;
@@ -114,6 +123,7 @@ class Smux {
   telemetry::Counter* tm_packets_ = nullptr;
   telemetry::Counter* tm_unknown_vip_ = nullptr;
   telemetry::Counter* tm_flow_pins_ = nullptr;
+  telemetry::Counter* tm_flow_evictions_ = nullptr;
   telemetry::Gauge* tm_flow_table_size_ = nullptr;
   std::unordered_map<Ipv4Address, VipEntry> vips_;
   struct FlowPin {

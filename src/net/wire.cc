@@ -1,6 +1,7 @@
 #include "net/wire.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -98,7 +99,13 @@ std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
     if (header[0] != 0x45) return std::nullopt;  // version/IHL
     if (ipv4_header_checksum(header) != 0) return std::nullopt;
     const std::uint16_t total_length = get_u16(header, 2);
-    if (total_length < kIpv4HeaderBytes || at + total_length > bytes.size()) {
+    // Each layer (serialize_packet's invariant) covers exactly the rest of
+    // the datagram: the outermost total length is the datagram length and
+    // every nested layer is 20 bytes shorter. Anything else — trailing
+    // garbage, a truncated declared length, nested headers disagreeing
+    // about the packet end — is malformed and would let an encap/decap
+    // fast path and a full reserialization diverge.
+    if (total_length < kIpv4HeaderBytes || at + total_length != bytes.size()) {
       return std::nullopt;
     }
     const std::uint8_t proto = header[9];
@@ -126,6 +133,40 @@ std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
     return packet;
   }
   return std::nullopt;  // absurd nesting
+}
+
+std::size_t encapsulate_on_wire(std::span<const std::uint8_t> datagram,
+                                const EncapHeader& outer, std::span<std::uint8_t> out) {
+  const std::size_t total = datagram.size() + kIpv4HeaderBytes;
+  if (datagram.size() < kIpv4HeaderBytes || total > 0xffff || out.size() < total) return 0;
+  if (out.data() + kIpv4HeaderBytes != datagram.data()) {
+    std::memmove(out.data() + kIpv4HeaderBytes, datagram.data(), datagram.size());
+  }
+  // write_header wants a vector; build the 20 bytes in place instead.
+  std::uint8_t* h = out.data();
+  h[0] = 0x45;
+  h[1] = 0;
+  h[2] = static_cast<std::uint8_t>(total >> 8);
+  h[3] = static_cast<std::uint8_t>(total & 0xff);
+  h[4] = h[5] = 0;       // identification
+  h[6] = 0x40; h[7] = 0; // DF
+  h[8] = 64;             // TTL
+  h[9] = static_cast<std::uint8_t>(IpProto::kIpInIp);
+  h[10] = h[11] = 0;     // checksum placeholder
+  const std::uint32_t src = outer.outer_src.value(), dst = outer.outer_dst.value();
+  h[12] = static_cast<std::uint8_t>(src >> 24);
+  h[13] = static_cast<std::uint8_t>(src >> 16);
+  h[14] = static_cast<std::uint8_t>(src >> 8);
+  h[15] = static_cast<std::uint8_t>(src & 0xff);
+  h[16] = static_cast<std::uint8_t>(dst >> 24);
+  h[17] = static_cast<std::uint8_t>(dst >> 16);
+  h[18] = static_cast<std::uint8_t>(dst >> 8);
+  h[19] = static_cast<std::uint8_t>(dst & 0xff);
+  const std::uint16_t csum =
+      ipv4_header_checksum(std::span<const std::uint8_t>(h, kIpv4HeaderBytes));
+  h[10] = static_cast<std::uint8_t>(csum >> 8);
+  h[11] = static_cast<std::uint8_t>(csum & 0xff);
+  return total;
 }
 
 }  // namespace duet

@@ -37,7 +37,24 @@ std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header);
 std::vector<std::uint8_t> serialize_packet(const Packet& packet);
 
 // Parses bytes back into a Packet (validating version, IHL, checksums and
-// lengths). Returns nullopt on any malformation.
+// lengths). Returns nullopt on any malformation, including inconsistent
+// total-length chains: every layer's total length must cover exactly the
+// rest of the datagram (what serialize_packet emits), so trailing garbage
+// and nested headers that disagree about where the packet ends are rejected
+// rather than silently reinterpreted.
 std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes);
+
+// Fast-path encapsulation over already-serialized bytes: prepends ONE
+// IP-in-IP outer header to `datagram` into `out` without reparsing,
+// preserving payload bytes (a serialize_packet round trip would zero-pad
+// them away). `out` must hold datagram.size() + kIpv4HeaderBytes bytes and
+// may alias the tail of the buffer (out.data() + kIpv4HeaderBytes ==
+// datagram.data() is the zero-copy headroom layout the runtime uses).
+// Returns the bytes written, or 0 when the result would overflow the 16-bit
+// IPv4 total-length field. The output parses back to the input packet with
+// one extra encap layer, and dropping its first kIpv4HeaderBytes bytes
+// yields `datagram` again (switch decap = pointer arithmetic).
+std::size_t encapsulate_on_wire(std::span<const std::uint8_t> datagram,
+                                const EncapHeader& outer, std::span<std::uint8_t> out);
 
 }  // namespace duet

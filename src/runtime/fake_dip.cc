@@ -1,0 +1,101 @@
+#include "runtime/fake_dip.h"
+
+#include "net/wire.h"
+
+namespace duet::runtime {
+
+struct FakeDipPool::DipSock {
+  DipSock(Ipv4Address dip_, UdpSocket sock_, std::size_t batch)
+      : dip(dip_), sock(std::move(sock_)), io(batch) {}
+
+  Ipv4Address dip;
+  UdpSocket sock;
+  BatchIo io;
+  std::vector<RxPacket> rx;
+  std::vector<TxPacket> tx;
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> rejects{0};
+};
+
+FakeDipPool::FakeDipPool(Options options) : opts_(options) {}
+
+FakeDipPool::~FakeDipPool() {
+  shutdown();
+  join();
+}
+
+std::optional<Endpoint> FakeDipPool::add_dip(Ipv4Address dip) {
+  auto sock = UdpSocket::bind(Endpoint{opts_.bind_addr, 0});
+  if (!sock) return std::nullopt;
+  const Endpoint at = sock->local();
+  dips_.push_back(std::make_unique<DipSock>(dip, std::move(*sock), opts_.batch));
+  return at;
+}
+
+bool FakeDipPool::start() {
+  if (thread_.joinable() || !loop_.ok()) return false;
+  stop_.store(false, std::memory_order_release);
+  for (const auto& ds : dips_) {
+    DipSock* raw = ds.get();
+    if (!loop_.add(raw->sock.fd(), [this, raw] { pump(*raw); })) return false;
+  }
+  thread_ = std::thread([this] { loop_.run(stop_, opts_.tick_ms); });
+  return true;
+}
+
+void FakeDipPool::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  loop_.wake();
+}
+
+void FakeDipPool::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t FakeDipPool::packets_at(Ipv4Address dip) const {
+  for (const auto& ds : dips_) {
+    if (ds->dip == dip) return ds->packets.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+std::uint64_t FakeDipPool::rejects_at(Ipv4Address dip) const {
+  for (const auto& ds : dips_) {
+    if (ds->dip == dip) return ds->rejects.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+std::uint64_t FakeDipPool::total_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& ds : dips_) total += ds->packets.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FakeDipPool::pump(DipSock& ds) {
+  for (;;) {
+    ds.rx.clear();
+    const std::size_t n = ds.io.recv_batch(ds.sock.fd(), ds.rx);
+    if (n == 0) break;
+    ds.tx.clear();
+    for (const RxPacket& p : ds.rx) {
+      ds.packets.fetch_add(1, std::memory_order_relaxed);
+      const auto parsed = parse_packet(p.bytes);
+      // Only properly encapsulated datagrams addressed to THIS DIP echo;
+      // anything else (stray traffic, un-tunneled packets) is rejected, so a
+      // mux bug that skips encap shows up as rejects, not silent success.
+      if (!parsed.has_value() || !parsed->encapsulated() ||
+          parsed->routing_destination() != ds.dip) {
+        ds.rejects.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const auto inner = p.bytes.subspan(kIpv4HeaderBytes);  // decap: drop the outer header
+      ds.tx.push_back(TxPacket{inner.data(), inner.size(),
+                               Endpoint{opts_.reply_addr, parsed->tuple().src_port}});
+    }
+    ds.io.send_batch(ds.sock.fd(), ds.tx, 5);
+    if (n < ds.io.batch()) break;
+  }
+}
+
+}  // namespace duet::runtime

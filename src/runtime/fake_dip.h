@@ -1,0 +1,67 @@
+// Echo endpoints standing in for real DIP servers.
+//
+// Each DIP gets its own loopback UDP socket (one real endpoint per simulated
+// backend). An arriving IP-in-IP datagram is validated with parse_packet,
+// decapsulated by dropping the outer 20 bytes — the nested total-length
+// chain stays valid, so the inner datagram is byte-for-byte what the client
+// originally sent — and echoed to (reply_addr, inner src_port).
+//
+// This is the paper's DSR analog (§2.1): replies bypass the mux entirely,
+// and because every DIP answers from its own socket, the reply's kernel
+// source endpoint tells the load generator exactly which DIP served the
+// flow — the observable the sim/live equivalence test keys on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/ip.h"
+#include "runtime/event_loop.h"
+#include "runtime/udp.h"
+
+namespace duet::runtime {
+
+class FakeDipPool {
+ public:
+  struct Options {
+    Ipv4Address bind_addr{127, 0, 0, 1};
+    Ipv4Address reply_addr{127, 0, 0, 1};
+    std::size_t batch = 64;
+    int tick_ms = 50;
+  };
+
+  FakeDipPool() : FakeDipPool(Options{}) {}
+  explicit FakeDipPool(Options options);
+  ~FakeDipPool();
+  FakeDipPool(const FakeDipPool&) = delete;
+  FakeDipPool& operator=(const FakeDipPool&) = delete;
+
+  // Binds an echo socket for `dip` (before start()); returns the real
+  // endpoint to hand to MuxServer::map_dip, or nullopt on bind failure.
+  std::optional<Endpoint> add_dip(Ipv4Address dip);
+
+  bool start();
+  void shutdown();
+  void join();
+
+  // Live counters (relaxed): datagrams seen / rejected at this DIP.
+  std::uint64_t packets_at(Ipv4Address dip) const;
+  std::uint64_t rejects_at(Ipv4Address dip) const;
+  std::uint64_t total_packets() const;
+
+ private:
+  struct DipSock;
+  void pump(DipSock& ds);
+
+  Options opts_;
+  std::vector<std::unique_ptr<DipSock>> dips_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  EventLoop loop_;
+};
+
+}  // namespace duet::runtime

@@ -1,0 +1,352 @@
+#include "runtime/load_gen.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/wire.h"
+
+namespace duet::runtime {
+
+struct LoadGenerator::Source {
+  Source(UdpSocket sock_, std::size_t batch) : sock(std::move(sock_)), io(batch) {}
+
+  UdpSocket sock;
+  BatchIo io;
+  std::vector<RxPacket> rx;
+  std::vector<TxPacket> tx;
+  std::vector<std::vector<std::uint8_t>> slots;  // open-loop burst buffers
+};
+
+LoadGenerator::LoadGenerator(LoadGenOptions options) : opts_(options) {
+  tm_sent_ = &registry_.counter("duet.loadgen.sent");
+  tm_received_ = &registry_.counter("duet.loadgen.received");
+  tm_retries_ = &registry_.counter("duet.loadgen.retries");
+  tm_timeouts_ = &registry_.counter("duet.loadgen.timeouts");
+  tm_send_drops_ = &registry_.counter("duet.loadgen.send_drops");
+  tm_integrity_failures_ = &registry_.counter("duet.loadgen.integrity_failures");
+  tm_remap_violations_ = &registry_.counter("duet.loadgen.remap_violations");
+  tm_rtt_us_ = &registry_.histogram("duet.loadgen.rtt_us",
+                                    telemetry::Histogram::exponential_bounds(10.0, 1e6, 24));
+}
+
+LoadGenerator::~LoadGenerator() = default;
+
+bool LoadGenerator::init() {
+  opts_.packet_bytes = std::max(opts_.packet_bytes, min_stamped_bytes());
+  const std::size_t n = opts_.sockets < 1 ? 1 : opts_.sockets;
+  sources_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sock = UdpSocket::bind(Endpoint{opts_.bind_addr, 0});
+    if (!sock) {
+      sources_.clear();
+      return false;
+    }
+    sources_.push_back(std::make_unique<Source>(std::move(*sock), opts_.batch));
+  }
+  t0_ = std::chrono::steady_clock::now();
+  return true;
+}
+
+std::vector<std::uint16_t> LoadGenerator::source_ports() const {
+  std::vector<std::uint16_t> ports;
+  ports.reserve(sources_.size());
+  for (const auto& s : sources_) ports.push_back(s->sock.local().port);
+  return ports;
+}
+
+std::vector<FiveTuple> LoadGenerator::make_flows(std::span<const Ipv4Address> vips,
+                                                 std::size_t count) const {
+  std::vector<FiveTuple> flows;
+  if (vips.empty() || sources_.empty()) return flows;
+  const auto ports = source_ports();
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FiveTuple t;
+    t.src = Ipv4Address{0x0a000000u + static_cast<std::uint32_t>(i % 0x00ffffffu) + 1};
+    t.dst = vips[i % vips.size()];
+    t.src_port = ports[i % ports.size()];
+    t.dst_port = 80;
+    t.proto = IpProto::kUdp;
+    flows.push_back(t);
+  }
+  return flows;
+}
+
+std::uint64_t LoadGenerator::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           t0_)
+          .count());
+}
+
+std::vector<std::vector<std::uint8_t>> LoadGenerator::build_templates(
+    std::span<const FiveTuple> flows) const {
+  std::vector<std::vector<std::uint8_t>> templates;
+  templates.reserve(flows.size());
+  for (const FiveTuple& t : flows) {
+    templates.push_back(
+        serialize_packet(Packet{t, static_cast<std::uint32_t>(opts_.packet_bytes)}));
+  }
+  return templates;
+}
+
+std::vector<std::size_t> LoadGenerator::map_flows_to_sources(
+    std::span<const FiveTuple> flows) const {
+  std::unordered_map<std::uint16_t, std::size_t> by_port;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    by_port.emplace(sources_[i]->sock.local().port, i);
+  }
+  std::vector<std::size_t> map;
+  map.reserve(flows.size());
+  for (const FiveTuple& t : flows) {
+    const auto it = by_port.find(t.src_port);
+    map.push_back(it != by_port.end() ? it->second : 0);
+  }
+  return map;
+}
+
+void LoadGenerator::wait_readable(int timeout_ms) const {
+  std::vector<pollfd> fds;
+  fds.reserve(sources_.size());
+  for (const auto& s : sources_) fds.push_back(pollfd{s->sock.fd(), POLLIN, 0});
+  (void)poll(fds.data(), fds.size(), timeout_ms);
+}
+
+std::optional<Stamp> LoadGenerator::handle_reply(
+    const RxPacket& reply, std::span<const FiveTuple> flows,
+    std::span<const std::vector<std::uint8_t>> templates, LoadReport& report) {
+  const auto stamp = read_stamp(reply.bytes);
+  if (!stamp.has_value()) {
+    ++report.integrity_failures;
+    tm_integrity_failures_->inc();
+    return std::nullopt;
+  }
+  const std::size_t flow = stamp->seq % flows.size();
+  const auto& tmpl = templates[flow];
+  const std::size_t at = stamp_offset();
+  // The echo path never rewrites payload bytes: the reply must be the sent
+  // datagram verbatim outside the (known-variable) stamp region.
+  const bool intact =
+      reply.bytes.size() == tmpl.size() &&
+      std::equal(reply.bytes.begin(), reply.bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                 tmpl.begin()) &&
+      std::equal(reply.bytes.begin() + static_cast<std::ptrdiff_t>(at + kStampBytes),
+                 reply.bytes.end(), tmpl.begin() + static_cast<std::ptrdiff_t>(at + kStampBytes));
+  if (!intact) {
+    ++report.integrity_failures;
+    tm_integrity_failures_->inc();
+    return std::nullopt;
+  }
+  const std::uint64_t now = now_ns();
+  if (now > stamp->send_ns) {
+    tm_rtt_us_->record(static_cast<double>(now - stamp->send_ns) / 1e3);
+  }
+  Endpoint& serving = report.dip_by_flow[flow];
+  if (serving.port == 0) {
+    serving = reply.from;
+  } else if (!(serving == reply.from)) {
+    // The same 5-tuple answered by a different DIP: the §5.2 no-remap
+    // guarantee broke somewhere between the mux's flow table and the wire.
+    ++report.remap_violations;
+    tm_remap_violations_->inc();
+  }
+  return stamp;
+}
+
+LoadReport LoadGenerator::run_closed(std::span<const FiveTuple> flows, std::uint64_t packets) {
+  LoadReport report;
+  if (flows.empty() || sources_.empty() || packets == 0) return report;
+  const auto templates = build_templates(flows);
+  const auto flow_src = map_flows_to_sources(flows);
+  report.dip_by_flow.assign(flows.size(), Endpoint{});
+
+  struct Out {
+    std::uint32_t flow = 0;
+    std::uint64_t send_ns = 0;
+    int retries = 0;
+  };
+  std::unordered_map<std::uint64_t, Out> outstanding;
+  outstanding.reserve(opts_.window * 2);
+
+  std::vector<std::uint8_t> scratch;
+  // Returns the stamp time, 0 when the kernel refused the datagram.
+  const auto transmit = [&](std::uint64_t seq, std::uint32_t flow) -> std::uint64_t {
+    scratch.assign(templates[flow].begin(), templates[flow].end());
+    const std::uint64_t t = now_ns();
+    write_stamp(scratch, Stamp{seq, t});
+    if (!sources_[flow_src[flow]]->sock.send_to(scratch, opts_.target)) return 0;
+    ++report.sent;
+    tm_sent_->inc();
+    return t;
+  };
+
+  const auto timeout_ns = static_cast<std::uint64_t>(opts_.timeout_ms * 1e6);
+  const std::uint64_t t_start = now_ns();
+  std::uint64_t next_seq = 0;
+  std::uint64_t resolved = 0;
+
+  while (resolved < packets) {
+    while (next_seq < packets && outstanding.size() < opts_.window) {
+      const auto flow = static_cast<std::uint32_t>(next_seq % flows.size());
+      const std::uint64_t t = transmit(next_seq, flow);
+      if (t == 0) break;  // socket backpressure: collect replies first
+      outstanding.emplace(next_seq, Out{flow, t, 0});
+      ++next_seq;
+    }
+
+    bool progressed = false;
+    for (const auto& sp : sources_) {
+      Source& s = *sp;
+      for (;;) {
+        s.rx.clear();
+        const std::size_t n = s.io.recv_batch(s.sock.fd(), s.rx);
+        if (n == 0) break;
+        for (const RxPacket& r : s.rx) {
+          const auto stamp = handle_reply(r, flows, templates, report);
+          if (!stamp.has_value()) continue;
+          if (outstanding.erase(stamp->seq) > 0) {
+            ++resolved;
+            ++report.received;
+            tm_received_->inc();
+            progressed = true;
+          }
+          // else: duplicate or post-retry straggler — already resolved.
+        }
+        if (n < s.io.batch()) break;
+      }
+    }
+
+    const std::uint64_t now = now_ns();
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      Out& o = it->second;
+      if (now - o.send_ns <= timeout_ns) {
+        ++it;
+        continue;
+      }
+      if (o.retries >= opts_.max_retries) {
+        ++report.timeouts;
+        tm_timeouts_->inc();
+        ++resolved;
+        it = outstanding.erase(it);
+        continue;
+      }
+      if (const std::uint64_t t = transmit(it->first, o.flow); t != 0) {
+        o.send_ns = t;
+        ++o.retries;
+        ++report.retries;
+        tm_retries_->inc();
+      }
+      ++it;
+    }
+
+    if (!progressed) wait_readable(1);
+  }
+
+  report.elapsed_s = static_cast<double>(now_ns() - t_start) / 1e9;
+  report.send_pps = report.elapsed_s > 0 ? static_cast<double>(report.sent) / report.elapsed_s
+                                         : 0.0;
+  return report;
+}
+
+LoadReport LoadGenerator::run_open(std::span<const FiveTuple> flows) {
+  LoadReport report;
+  if (flows.empty() || sources_.empty() || opts_.pps <= 0.0) return report;
+  const auto templates = build_templates(flows);
+  const auto flow_src = map_flows_to_sources(flows);
+  report.dip_by_flow.assign(flows.size(), Endpoint{});
+
+  const std::size_t wire_bytes = templates[0].size();
+  for (const auto& sp : sources_) {
+    sp->slots.assign(opts_.batch, std::vector<std::uint8_t>(wire_bytes));
+    sp->tx.reserve(opts_.batch);
+  }
+
+  const auto drain = [&]() {
+    std::size_t got = 0;
+    for (const auto& sp : sources_) {
+      Source& s = *sp;
+      for (;;) {
+        s.rx.clear();
+        const std::size_t n = s.io.recv_batch(s.sock.fd(), s.rx);
+        if (n == 0) break;
+        for (const RxPacket& r : s.rx) {
+          if (handle_reply(r, flows, templates, report).has_value()) {
+            ++report.received;
+            tm_received_->inc();
+            ++got;
+          }
+        }
+        if (n < s.io.batch()) break;
+      }
+    }
+    return got;
+  };
+
+  const std::uint64_t t_start = now_ns();
+  const auto deadline = t_start + static_cast<std::uint64_t>(opts_.duration_s * 1e9);
+  std::uint64_t last = t_start;
+  std::uint64_t next_seq = 0;
+  double credit = 0.0;
+
+  for (;;) {
+    const std::uint64_t now = now_ns();
+    if (now >= deadline) break;
+    credit += static_cast<double>(now - last) * opts_.pps / 1e9;
+    last = now;
+
+    while (credit >= 1.0) {
+      const auto burst = std::min(static_cast<std::size_t>(credit), opts_.batch);
+      for (const auto& sp : sources_) sp->tx.clear();
+      std::vector<std::size_t> used(sources_.size(), 0);
+      std::size_t filled = 0;
+      for (std::size_t i = 0; i < burst; ++i) {
+        const std::size_t flow = next_seq % flows.size();
+        const std::size_t si = flow_src[flow];
+        Source& s = *sources_[si];
+        if (used[si] >= s.slots.size()) break;
+        auto& slot = s.slots[used[si]++];
+        slot.assign(templates[flow].begin(), templates[flow].end());
+        write_stamp(slot, Stamp{next_seq, now_ns()});
+        s.tx.push_back(TxPacket{slot.data(), slot.size(), opts_.target});
+        ++next_seq;
+        ++filled;
+      }
+      if (filled == 0) break;
+      credit -= static_cast<double>(filled);
+      for (const auto& sp : sources_) {
+        if (sp->tx.empty()) continue;
+        const std::size_t ok = sp->io.send_batch(sp->sock.fd(), sp->tx, 0);
+        report.sent += ok;
+        tm_sent_->inc(ok);
+        if (ok < sp->tx.size()) {
+          const std::size_t dropped = sp->tx.size() - ok;
+          report.send_drops += dropped;
+          tm_send_drops_->inc(dropped);
+        }
+      }
+      drain();
+    }
+
+    drain();
+    if (credit < 1.0) {
+      // Idle until the next packet's worth of credit accrues (sub-ms at the
+      // rates we target, so this rounds to a zero-timeout poll).
+      wait_readable(static_cast<int>(std::min(1.0, 1e3 / opts_.pps)));
+    }
+  }
+
+  const std::uint64_t linger_end =
+      now_ns() + static_cast<std::uint64_t>(opts_.linger_ms * 1e6);
+  while (now_ns() < linger_end) {
+    if (drain() == 0) wait_readable(1);
+  }
+
+  report.elapsed_s = static_cast<double>(deadline - t_start) / 1e9;
+  report.send_pps = report.elapsed_s > 0 ? static_cast<double>(report.sent) / report.elapsed_s
+                                         : 0.0;
+  return report;
+}
+
+}  // namespace duet::runtime

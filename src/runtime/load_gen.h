@@ -1,0 +1,138 @@
+// duetload: a UDP load generator speaking the Duet wire format.
+//
+// Each simulated flow is a FiveTuple whose dst is a VIP and whose src_port
+// is the REAL bound port of one of the generator's source sockets — that is
+// what makes the loop close: the mux forwards to a DIP, the DIP echoes the
+// decapsulated datagram to (reply_addr, inner src_port), and the reply lands
+// back on the socket that sent it. The reply's kernel source endpoint
+// identifies WHICH DIP served the flow (each FakeDip has its own socket), so
+// the generator observes the mux's VIP→DIP decisions from outside — the
+// signal the sim/live equivalence test compares against a pure-simulation
+// Smux fed the same tuples.
+//
+// Two modes:
+//   * closed loop (run_closed): a fixed in-flight window with per-packet
+//     timeout/retry — every packet is accounted for (received, retried, or
+//     given up), the RTT histogram is complete;
+//   * open loop (run_open): paced at a target aggregate rate for a duration,
+//     fire-and-forget with opportunistic reply collection — the max-rate
+//     mode BENCH_live.json uses.
+//
+// Multiple source sockets spread flows across the mux's SO_REUSEPORT
+// workers (the kernel shards by 4-tuple, so one source socket always lands
+// on one worker). Timestamps ride inside the packet (runtime/stamp.h), so
+// RTT needs no per-packet lookup on the reply path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+#include "runtime/stamp.h"
+#include "runtime/udp.h"
+#include "telemetry/metrics.h"
+
+namespace duet::runtime {
+
+struct LoadGenOptions {
+  Endpoint target;                       // the mux's listen endpoint
+  Ipv4Address bind_addr{127, 0, 0, 1};   // where source sockets bind
+  std::size_t sockets = 1;               // source sockets (worker spread)
+  std::size_t packet_bytes = 128;        // wire datagram size (min 40: stamp)
+  std::size_t batch = 64;
+
+  // Closed loop.
+  std::size_t window = 64;     // in-flight cap across all sockets
+  double timeout_ms = 200.0;   // per-transmission retry timeout
+  int max_retries = 3;
+
+  // Open loop.
+  double pps = 100e3;          // aggregate target rate
+  double duration_s = 1.0;
+  double linger_ms = 200.0;    // post-deadline reply collection
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;                // datagrams handed to the kernel
+  std::uint64_t received = 0;            // replies matched to a request
+  std::uint64_t timeouts = 0;            // closed loop: given up after retries
+  std::uint64_t retries = 0;
+  std::uint64_t send_drops = 0;          // open loop: kernel refused (EAGAIN)
+  std::uint64_t integrity_failures = 0;  // reply bytes != request bytes
+  std::uint64_t remap_violations = 0;    // one flow answered by two DIPs
+  double elapsed_s = 0.0;
+  double send_pps = 0.0;
+
+  // Kernel source endpoint of the first reply per flow, index-aligned with
+  // the flows span; port 0 = the flow never got a reply.
+  std::vector<Endpoint> dip_by_flow;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGenOptions options);
+  ~LoadGenerator();
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  // Binds the source sockets. False on bind failure.
+  bool init();
+
+  // Real bound ports, one per source socket (valid after init()).
+  std::vector<std::uint16_t> source_ports() const;
+
+  // `count` flows round-robin over `vips` and the source sockets: flow i
+  // targets vips[i % |vips|], src_port = socket (i % sockets)'s real port,
+  // with a distinct simulated 10.0.0.0/8 source address. Feed the SAME
+  // tuples to a reference Smux to predict live decisions.
+  std::vector<FiveTuple> make_flows(std::span<const Ipv4Address> vips,
+                                    std::size_t count) const;
+
+  // Sends `packets` datagrams round-robin over `flows`, windowed, with
+  // timeout/retry. Blocks until every packet is resolved.
+  LoadReport run_closed(std::span<const FiveTuple> flows, std::uint64_t packets);
+
+  // Paced open loop at opts.pps for opts.duration_s.
+  LoadReport run_open(std::span<const FiveTuple> flows);
+
+  // Counters duet.loadgen.{sent, received, retries, timeouts, send_drops,
+  // integrity_failures, remap_violations}; histogram duet.loadgen.rtt_us.
+  telemetry::MetricRegistry& metrics() noexcept { return registry_; }
+  const telemetry::MetricRegistry& metrics() const noexcept { return registry_; }
+
+ private:
+  struct Source;
+  // Shared reply handling: byte-compares the reply against its flow's
+  // template (stamp region excluded), records RTT and the serving DIP.
+  // Returns the reply's stamp, or nullopt on an integrity failure.
+  std::optional<Stamp> handle_reply(const RxPacket& reply, std::span<const FiveTuple> flows,
+                                    std::span<const std::vector<std::uint8_t>> templates,
+                                    LoadReport& report);
+  std::vector<std::vector<std::uint8_t>> build_templates(std::span<const FiveTuple> flows) const;
+  std::vector<std::size_t> map_flows_to_sources(std::span<const FiveTuple> flows) const;
+  // poll(2) over every source socket; returns once one is readable or after
+  // `timeout_ms`.
+  void wait_readable(int timeout_ms) const;
+
+  std::uint64_t now_ns() const;
+
+  LoadGenOptions opts_;
+  telemetry::MetricRegistry registry_;
+  telemetry::Counter* tm_sent_;
+  telemetry::Counter* tm_received_;
+  telemetry::Counter* tm_retries_;
+  telemetry::Counter* tm_timeouts_;
+  telemetry::Counter* tm_send_drops_;
+  telemetry::Counter* tm_integrity_failures_;
+  telemetry::Counter* tm_remap_violations_;
+  telemetry::Histogram* tm_rtt_us_;
+
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace duet::runtime

@@ -1,0 +1,253 @@
+#include "runtime/mux_server.h"
+
+#include <cstdio>
+
+#include "duet/smux.h"
+#include "exec/thread_pool.h"
+#include "net/wire.h"
+#include "runtime/event_loop.h"
+#include "telemetry/export.h"
+#include "util/logging.h"
+
+namespace duet::runtime {
+
+struct MuxServer::Worker {
+  Worker(std::size_t index_, UdpSocket sock_, Smux smux_, std::size_t batch)
+      : index(index_), sock(std::move(sock_)), smux(std::move(smux_)), io(batch) {}
+
+  std::size_t index;
+  UdpSocket sock;
+  Smux smux;
+  BatchIo io;
+  EventLoop loop;
+  std::vector<RxPacket> rx;
+  std::vector<TxPacket> tx;
+};
+
+MuxServer::MuxServer(MuxServerOptions options, DuetConfig config)
+    : opts_(std::move(options)), config_(config) {
+  tm_rx_packets_ = &registry_.counter("duet.runtime.rx_packets");
+  tm_rx_bytes_ = &registry_.counter("duet.runtime.rx_bytes");
+  tm_tx_packets_ = &registry_.counter("duet.runtime.tx_packets");
+  tm_tx_bytes_ = &registry_.counter("duet.runtime.tx_bytes");
+  tm_parse_failures_ = &registry_.counter("duet.runtime.parse_failures");
+  tm_unmapped_dip_ = &registry_.counter("duet.runtime.unmapped_dip");
+  tm_tx_drops_ = &registry_.counter("duet.runtime.tx_drops");
+  tm_rx_batches_ = &registry_.counter("duet.runtime.rx_batches");
+  tm_batch_fill_ = &registry_.histogram(
+      "duet.runtime.batch_fill", telemetry::Histogram::exponential_bounds(1.0, 1024.0, 11));
+}
+
+MuxServer::~MuxServer() {
+  shutdown();
+  join();
+}
+
+void MuxServer::set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
+                        std::vector<std::uint32_t> weights) {
+  DUET_CHECK(!running()) << "set_vip on a running MuxServer";
+  vips_.push_back(VipRecord{vip, std::move(dips), std::move(weights)});
+}
+
+void MuxServer::map_dip(Ipv4Address dip, Endpoint at) {
+  DUET_CHECK(!running()) << "map_dip on a running MuxServer";
+  dip_map_.insert_or_assign(dip, at);
+}
+
+bool MuxServer::start() {
+  if (running()) return false;
+  workers_.clear();
+  stop_.store(false, std::memory_order_release);
+
+  const std::size_t n = opts_.workers < 1 ? 1 : opts_.workers;
+  const bool shard = n > 1;
+  auto first = UdpSocket::bind(opts_.listen, shard);
+  if (!first) return false;
+  const Endpoint resolved = first->local();
+
+  for (std::size_t w = 0; w < n; ++w) {
+    std::optional<UdpSocket> sock;
+    if (w == 0) {
+      sock = std::move(first);
+    } else {
+      sock = UdpSocket::bind(resolved, true);
+      if (!sock) {
+        workers_.clear();
+        return false;
+      }
+    }
+    Smux smux(static_cast<std::uint32_t>(w), opts_.hasher, config_, opts_.self);
+    for (const VipRecord& rec : vips_) smux.set_vip(rec.vip, rec.dips, rec.weights);
+    smux.bind_telemetry(registry_, "duet.runtime.smux.w" + std::to_string(w) + ".");
+    auto worker =
+        std::make_unique<Worker>(w, std::move(*sock), std::move(smux), opts_.batch);
+    if (!worker->loop.ok()) {
+      workers_.clear();
+      return false;
+    }
+    workers_.push_back(std::move(worker));
+  }
+
+  t0_ = std::chrono::steady_clock::now();
+  last_rx_ = last_tx_ = 0;
+  last_stats_us_ = 0.0;
+  running_.store(true, std::memory_order_release);
+  runner_ = std::thread([this] {
+    exec::ThreadPool pool(workers_.size());
+    pool.parallel_for(workers_.size(), [this](std::size_t i) { serve(i); });
+  });
+  return true;
+}
+
+void MuxServer::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  for (const auto& worker : workers_) worker->loop.wake();
+}
+
+void MuxServer::join() {
+  if (runner_.joinable()) runner_.join();
+  if (running_.exchange(false, std::memory_order_acq_rel) &&
+      !opts_.stats_json_path.empty()) {
+    telemetry::JsonExporter::write_file(opts_.stats_json_path, "duetd", &registry_, nullptr);
+  }
+}
+
+Endpoint MuxServer::listen_endpoint() const {
+  return workers_.empty() ? Endpoint{} : workers_[0]->sock.local();
+}
+
+std::size_t MuxServer::flow_table_size() const {
+  std::size_t total = 0;
+  for (const auto& worker : workers_) total += worker->smux.flow_table_size();
+  return total;
+}
+
+double MuxServer::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void MuxServer::serve(std::size_t index) {
+  Worker& worker = *workers_[index];
+  worker.loop.add(worker.sock.fd(), [this, &worker] { pump(worker, false); });
+  worker.loop.run(stop_, opts_.tick_ms, [this, &worker] {
+    worker.smux.expire_flows(now_us());
+    if (worker.index == 0) maybe_export_stats(now_us());
+  });
+  // Drain: serve whatever the kernel already queued, then exit. Each pump
+  // empties the socket, so the first empty read means the queue is flushed.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(opts_.drain_wait_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pump(worker, true) == 0) break;
+  }
+}
+
+std::size_t MuxServer::pump(Worker& worker, bool draining) {
+  std::size_t total = 0;
+  for (;;) {
+    worker.rx.clear();
+    const std::size_t n = worker.io.recv_batch(worker.sock.fd(), worker.rx);
+    if (n == 0) break;
+    total += n;
+    tm_rx_batches_->inc();
+    tm_batch_fill_->record(static_cast<double>(n));
+
+    worker.tx.clear();
+    const double now = now_us();
+    for (const RxPacket& p : worker.rx) {
+      tm_rx_packets_->inc();
+      tm_rx_bytes_->inc(p.bytes.size());
+      auto parsed = parse_packet(p.bytes);
+      if (!parsed.has_value()) {
+        tm_parse_failures_->inc();
+        continue;
+      }
+      // Unknown VIP: dropped, counted by the worker smux's unknown_vip.
+      if (!worker.smux.process(*parsed, now)) continue;
+      const Ipv4Address dip = parsed->routing_destination();
+      const auto it = dip_map_.find(dip);
+      if (it == dip_map_.end()) {
+        tm_unmapped_dip_->inc();
+        continue;
+      }
+      // Zero-copy forward: the outer header goes into the rx headroom.
+      std::uint8_t* head = p.bytes.data() - worker.io.headroom();
+      const std::size_t len = encapsulate_on_wire(
+          p.bytes, EncapHeader{opts_.self, dip},
+          std::span<std::uint8_t>(head, p.bytes.size() + kIpv4HeaderBytes));
+      if (len == 0) {
+        tm_tx_drops_->inc();
+        continue;
+      }
+      worker.tx.push_back(TxPacket{head, len, it->second});
+    }
+
+    const std::size_t sent =
+        worker.io.send_batch(worker.sock.fd(), worker.tx, draining ? 1 : 5);
+    tm_tx_packets_->inc(sent);
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < sent; ++i) bytes += worker.tx[i].len;
+    tm_tx_bytes_->inc(bytes);
+    if (sent < worker.tx.size()) tm_tx_drops_->inc(worker.tx.size() - sent);
+
+    if (n < worker.io.batch()) break;  // short read: the socket is drained
+  }
+  return total;
+}
+
+void MuxServer::maybe_export_stats(double now) {
+  if (opts_.stats_interval_s <= 0.0) return;
+  const double interval_us = opts_.stats_interval_s * 1e6;
+  if (now - last_stats_us_ < interval_us) return;
+  const double dt_s = (now - last_stats_us_) / 1e6;
+  const std::uint64_t rx = tm_rx_packets_->value();
+  const std::uint64_t tx = tm_tx_packets_->value();
+  if (opts_.print_stats) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "duetd t=%8.1fs  rx %10.0f pps  tx %10.0f pps  parse_fail %llu  tx_drops %llu",
+                  now / 1e6, static_cast<double>(rx - last_rx_) / dt_s,
+                  static_cast<double>(tx - last_tx_) / dt_s,
+                  static_cast<unsigned long long>(tm_parse_failures_->value()),
+                  static_cast<unsigned long long>(tm_tx_drops_->value()));
+    DUET_LOG_INFO << line;
+  }
+  if (!opts_.stats_json_path.empty()) {
+    telemetry::JsonExporter::write_file(opts_.stats_json_path, "duetd", &registry_, nullptr);
+  }
+  last_rx_ = rx;
+  last_tx_ = tx;
+  last_stats_us_ = now;
+}
+
+audit::SystemSnapshot MuxServer::audit_snapshot() const {
+  audit::SystemSnapshot snap;
+  snap.host_table_capacity = config_.host_table_capacity;
+  snap.aggregate = opts_.vip_aggregate;
+  snap.live_smux_count = workers_.size();
+  for (const auto& worker : workers_) {
+    audit::SmuxSnapshot s;
+    s.id = static_cast<std::uint32_t>(worker->index);
+    s.alive = true;
+    s.vip_count = worker->smux.vip_count();
+    snap.smuxes.push_back(s);
+  }
+  for (std::size_t i = 0; i < vips_.size(); ++i) {
+    const VipRecord& rec = vips_[i];
+    audit::VipSnapshot v;
+    v.id = static_cast<VipId>(i);
+    v.vip = rec.vip;
+    v.dip_count = rec.dips.size();
+    v.weights = rec.weights;
+    v.on_smux_list = true;  // a pure-SMux deployment: every VIP on the list
+    v.aggregate_covers = opts_.vip_aggregate.contains(rec.vip);
+    for (const auto& worker : workers_) {
+      if (worker->smux.has_vip(rec.vip)) ++v.live_smuxes_holding;
+    }
+    snap.vips.push_back(std::move(v));
+  }
+  return snap;
+}
+
+}  // namespace duet::runtime

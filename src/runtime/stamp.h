@@ -1,0 +1,66 @@
+// Payload stamp for live round-trip measurement.
+//
+// The wire format (net/wire.h) zero-pads the payload region after the
+// innermost port stub. duetload claims the first 16 padding bytes for a
+// stamp — sequence number plus send timestamp — so a reply identifies which
+// request it answers and when that request left, without any per-packet map
+// lookup on the echo side.
+//
+// The stamp sits at a HEADER-RELATIVE offset: (depth+1)*20 + 4 bytes from
+// the start of the datagram at encap depth `depth`. Prepend-encap adds 20
+// bytes in front (offset grows by one header) and decap removes them, so a
+// request stamped at depth 0 comes back from the echo DIP readable at depth
+// 0 again — the round trip never rewrites payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/wire.h"
+
+namespace duet::runtime {
+
+struct Stamp {
+  std::uint64_t seq = 0;
+  std::uint64_t send_ns = 0;
+};
+
+inline constexpr std::size_t kStampBytes = 16;
+
+// Byte offset of the stamp in a datagram carrying `encap_depth` outer layers.
+constexpr std::size_t stamp_offset(std::size_t encap_depth = 0) {
+  return (encap_depth + 1) * kIpv4HeaderBytes + kPortStubBytes;
+}
+
+// Minimum datagram size (at the given depth) that can carry a stamp.
+constexpr std::size_t min_stamped_bytes(std::size_t encap_depth = 0) {
+  return stamp_offset(encap_depth) + kStampBytes;
+}
+
+inline bool write_stamp(std::span<std::uint8_t> datagram, const Stamp& stamp,
+                        std::size_t encap_depth = 0) {
+  const std::size_t at = stamp_offset(encap_depth);
+  if (datagram.size() < at + kStampBytes) return false;
+  for (int i = 0; i < 8; ++i) {
+    datagram[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(stamp.seq >> (56 - 8 * i));
+    datagram[at + 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(stamp.send_ns >> (56 - 8 * i));
+  }
+  return true;
+}
+
+inline std::optional<Stamp> read_stamp(std::span<const std::uint8_t> datagram,
+                                       std::size_t encap_depth = 0) {
+  const std::size_t at = stamp_offset(encap_depth);
+  if (datagram.size() < at + kStampBytes) return std::nullopt;
+  Stamp s;
+  for (int i = 0; i < 8; ++i) {
+    s.seq = s.seq << 8 | datagram[at + static_cast<std::size_t>(i)];
+    s.send_ns = s.send_ns << 8 | datagram[at + 8 + static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+}  // namespace duet::runtime

@@ -382,5 +382,95 @@ TEST(Fanout, RemoveCleansBothLevels) {
   EXPECT_EQ(tip_b.free_tunnel_entries(), kDefaultTunnelTableCapacity);
 }
 
+// --- Smux flow-table hygiene (idle expiry + hard cap) -----------------------------
+
+TEST(SmuxFlowHygiene, IdleEvictionKeepsLiveFlowsPinnedAndRepinsToSameDip) {
+  DuetConfig cfg;
+  cfg.smux_flow_idle_us = 1000.0;  // 1 ms idle budget for the test
+  Smux smux{0, kHasher, cfg};
+  smux.set_vip(kVip, kDips);
+
+  // 40 flows pinned at t=0; record each flow's DIP.
+  std::vector<Ipv4Address> original;
+  for (std::uint16_t i = 0; i < 40; ++i) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(5000 + i));
+    ASSERT_TRUE(smux.process(p, 0.0));
+    original.push_back(p.outer().outer_dst);
+  }
+  ASSERT_EQ(smux.flow_table_size(), 40u);
+
+  // The even flows keep talking; the odd flows go idle.
+  for (std::uint16_t i = 0; i < 40; i += 2) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(5000 + i));
+    ASSERT_TRUE(smux.process(p, 800.0));
+    EXPECT_EQ(p.outer().outer_dst, original[i]) << "live flow " << i << " remapped";
+  }
+
+  // Expiry via the config-knob overload: only the odd (idle) flows go.
+  EXPECT_EQ(smux.expire_flows(1500.0), 20u);
+  EXPECT_EQ(smux.flow_table_size(), 20u);
+
+  // §5.2 for evicted-but-returning flows: the DIP set is unchanged, so the
+  // deterministic hash re-pins every flow to the SAME DIP it had.
+  for (std::uint16_t i = 0; i < 40; ++i) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(5000 + i));
+    ASSERT_TRUE(smux.process(p, 1600.0));
+    EXPECT_EQ(p.outer().outer_dst, original[i]) << "flow " << i << " remapped after eviction";
+  }
+  EXPECT_EQ(smux.flow_table_size(), 40u);
+}
+
+TEST(SmuxFlowHygiene, IdleEvictionNeverRemapsAcrossDipAddition) {
+  DuetConfig cfg;
+  cfg.smux_flow_idle_us = 0.0;  // expiry only when called explicitly
+  Smux smux{0, kHasher, cfg};
+  smux.set_vip(kVip, kDips);
+
+  std::vector<Ipv4Address> original;
+  for (std::uint16_t i = 0; i < 60; ++i) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(6000 + i));
+    ASSERT_TRUE(smux.process(p, 0.0));
+    original.push_back(p.outer().outer_dst);
+  }
+
+  // DIP addition must not move any pinned flow (§5.2): the pins carry it.
+  smux.add_dip(kVip, Ipv4Address(10, 0, 0, 99));
+  for (std::uint16_t i = 0; i < 60; ++i) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(6000 + i));
+    ASSERT_TRUE(smux.process(p, 10.0));
+    EXPECT_EQ(p.outer().outer_dst, original[i]) << "flow " << i << " remapped by add_dip";
+  }
+}
+
+TEST(SmuxFlowHygiene, HardCapShedsColdestAndCountsEvictions) {
+  DuetConfig cfg;
+  cfg.smux_flow_idle_us = 0.0;  // isolate the cap path
+  cfg.smux_flow_table_max = 100;
+  Smux smux{0, kHasher, cfg};
+  telemetry::MetricRegistry registry;
+  smux.bind_telemetry(registry, "duet.smux.0.");
+  smux.set_vip(kVip, kDips);
+
+  // 150 distinct flows, strictly increasing timestamps: the cap engages on
+  // every insert past 100 and sheds the coldest entry.
+  for (std::uint16_t i = 0; i < 150; ++i) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(7000 + i));
+    ASSERT_TRUE(smux.process(p, static_cast<double>(i)));
+    ASSERT_LE(smux.flow_table_size(), 100u) << "cap breached at flow " << i;
+  }
+  EXPECT_EQ(smux.flow_table_size(), 100u);
+  EXPECT_EQ(registry.counter("duet.smux.0.flow_evictions").value(), 50u);
+
+  // Coldest-first: the 100 hottest flows (50..149) are still pinned — a
+  // pinned hit does not bump flow_pins, a re-pin does.
+  const auto& pins = registry.counter("duet.smux.0.flow_pins");
+  const std::uint64_t pinned_before = pins.value();
+  for (std::uint16_t i = 50; i < 150; ++i) {
+    auto p = packet_to(kVip, static_cast<std::uint16_t>(7000 + i));
+    ASSERT_TRUE(smux.process(p, 200.0));
+  }
+  EXPECT_EQ(pins.value(), pinned_before) << "a hot flow was shed before a colder one";
+}
+
 }  // namespace
 }  // namespace duet

@@ -14,6 +14,7 @@
 #include "duet/smux.h"
 #include "dataplane/tables.h"
 #include "exec/replay.h"
+#include "net/wire.h"
 #include "routing/rib.h"
 #include "util/random.h"
 
@@ -244,6 +245,88 @@ TEST_P(ReplayFuzz, ShardedReplayMatchesSerialPipeline) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplayFuzz, ::testing::Values(11ULL, 222ULL, 0xc0ffeeULL));
+
+// --- Wire format: parse_packet over mutated datagrams ----------------------------------
+//
+// The live runtime feeds parse_packet bytes straight off a socket, so it
+// must be total: any input either parses to a Packet whose reserialization
+// is a parse_packet fixed point, or is rejected — never a crash, over-read
+// (the sanitizer legs check that), or a Packet that disagrees with its own
+// wire image. Mutations cover bit flips, truncation, trailing garbage, and
+// checksum-corrected total-length corruption (the one a naive parser
+// accepts and then mis-frames).
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, MutatedDatagramsNeverBreakTheParser) {
+  Rng rng{GetParam()};
+  const IpProto protos[] = {IpProto::kTcp, IpProto::kUdp, IpProto::kIcmp};
+
+  for (int iter = 0; iter < 1500; ++iter) {
+    // A random packet with 0-2 encap layers (Duet's live depths).
+    const FiveTuple t{Ipv4Address{static_cast<std::uint32_t>(rng())},
+                      Ipv4Address{static_cast<std::uint32_t>(rng())},
+                      static_cast<std::uint16_t>(rng()), static_cast<std::uint16_t>(rng()),
+                      protos[rng.uniform(3)]};
+    Packet p{t, static_cast<std::uint32_t>(24 + rng.uniform(180))};
+    const std::size_t depth = rng.uniform(3);
+    for (std::size_t d = 0; d < depth; ++d) {
+      p.encapsulate(EncapHeader{Ipv4Address{static_cast<std::uint32_t>(rng())},
+                                Ipv4Address{static_cast<std::uint32_t>(rng())}});
+    }
+    const auto bytes = serialize_packet(p);
+
+    // Clean bytes: parse succeeds and serialize∘parse is the identity.
+    const auto parsed = parse_packet(bytes);
+    ASSERT_TRUE(parsed.has_value()) << "iter " << iter;
+    ASSERT_EQ(serialize_packet(*parsed), bytes) << "iter " << iter;
+
+    // Mutate.
+    auto mutated = bytes;
+    switch (rng.uniform(4)) {
+      case 0:  // flip a few random bytes
+        for (std::size_t k = 1 + rng.uniform(8); k > 0; --k) {
+          mutated[rng.uniform(mutated.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform(8));
+        }
+        break;
+      case 1:  // truncate
+        mutated.resize(rng.uniform(mutated.size()));
+        break;
+      case 2:  // trailing garbage
+        for (std::size_t k = 1 + rng.uniform(24); k > 0; --k) {
+          mutated.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      default: {
+        // Corrupt one layer's total_length, then FIX its checksum so only
+        // the cross-layer length consistency check can reject it.
+        const std::size_t layer = rng.uniform(depth + 1);
+        const std::size_t at = layer * kIpv4HeaderBytes;
+        mutated[at + 2] = static_cast<std::uint8_t>(rng());
+        mutated[at + 3] = static_cast<std::uint8_t>(rng());
+        mutated[at + 10] = mutated[at + 11] = 0;
+        const std::uint16_t csum = ipv4_header_checksum(
+            std::span<const std::uint8_t>(mutated).subspan(at, kIpv4HeaderBytes));
+        mutated[at + 10] = static_cast<std::uint8_t>(csum >> 8);
+        mutated[at + 11] = static_cast<std::uint8_t>(csum & 0xff);
+        break;
+      }
+    }
+
+    // Must not crash or over-read; a survivor must reserialize to a wire
+    // image the parser agrees with (fixed point after one serialize).
+    const auto reparsed = parse_packet(mutated);
+    if (reparsed.has_value()) {
+      const auto wire = serialize_packet(*reparsed);
+      const auto again = parse_packet(wire);
+      ASSERT_TRUE(again.has_value()) << "iter " << iter;
+      ASSERT_EQ(serialize_packet(*again), wire) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(17ULL, 404ULL, 0xfeedULL));
 
 // --- Smux flow-table consistency under churn -------------------------------------------
 

@@ -1,6 +1,8 @@
 // Tests for the IPv4 wire-format serialization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dataplane/pipeline.h"
 #include "net/wire.h"
 #include "util/random.h"
@@ -133,6 +135,87 @@ TEST(Wire, SwitchOutputIsParseable) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->outer().outer_dst, p.outer().outer_dst);
   EXPECT_EQ(back->tuple().dst, vip);
+}
+
+// --- Length-consistency hardening (the live ingress path) ------------------------
+
+TEST(Wire, TrailingGarbageRejected) {
+  auto bytes = serialize_packet(sample_packet());
+  bytes.push_back(0);  // outermost total_length no longer covers the datagram
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Wire, ChecksumCorrectedLengthLieRejected) {
+  auto p = sample_packet();
+  p.encapsulate(EncapHeader{Ipv4Address(192, 0, 2, 1), Ipv4Address(10, 0, 0, 7)});
+  auto bytes = serialize_packet(p);
+  // Shrink the INNER layer's declared length by 4 and fix its checksum, so
+  // only the nested-length consistency check can reject the datagram.
+  const std::size_t at = kIpv4HeaderBytes;
+  const std::uint16_t lied =
+      static_cast<std::uint16_t>(((bytes[at + 2] << 8) | bytes[at + 3]) - 4);
+  bytes[at + 2] = static_cast<std::uint8_t>(lied >> 8);
+  bytes[at + 3] = static_cast<std::uint8_t>(lied & 0xff);
+  bytes[at + 10] = bytes[at + 11] = 0;
+  const std::uint16_t csum =
+      ipv4_header_checksum(std::span<const std::uint8_t>(bytes).subspan(at, kIpv4HeaderBytes));
+  bytes[at + 10] = static_cast<std::uint8_t>(csum >> 8);
+  bytes[at + 11] = static_cast<std::uint8_t>(csum & 0xff);
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+// --- encapsulate_on_wire (the runtime's zero-copy forward path) -------------------
+
+TEST(Wire, EncapOnWireMatchesFullReserialization) {
+  const auto p = sample_packet();
+  const auto inner = serialize_packet(p);
+  const EncapHeader outer{Ipv4Address(192, 0, 2, 100), Ipv4Address(10, 0, 0, 9)};
+
+  // Reference: encapsulate the Packet and serialize from scratch.
+  auto encapped = p;
+  encapped.encapsulate(outer);
+  encapped.set_size_bytes(static_cast<std::uint32_t>(inner.size() + kIpv4HeaderBytes));
+  const auto want = serialize_packet(encapped);
+
+  std::vector<std::uint8_t> out(inner.size() + kIpv4HeaderBytes);
+  ASSERT_EQ(encapsulate_on_wire(inner, outer, out), out.size());
+  EXPECT_EQ(out, want);
+
+  // Decap is dropping the outer header: the tail is the inner datagram.
+  EXPECT_TRUE(std::equal(out.begin() + kIpv4HeaderBytes, out.end(), inner.begin()));
+  const auto back = parse_packet(out);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->routing_destination(), outer.outer_dst);
+}
+
+TEST(Wire, EncapOnWireAliasedHeadroomIsZeroCopy) {
+  const auto inner = serialize_packet(sample_packet());
+  const EncapHeader outer{Ipv4Address(192, 0, 2, 100), Ipv4Address(10, 0, 0, 9)};
+
+  // The runtime layout: the datagram sits 20 bytes into its buffer and the
+  // header is written in front of it, in place.
+  std::vector<std::uint8_t> buf(kIpv4HeaderBytes + inner.size());
+  std::copy(inner.begin(), inner.end(), buf.begin() + kIpv4HeaderBytes);
+  const std::span<const std::uint8_t> datagram(buf.data() + kIpv4HeaderBytes, inner.size());
+  ASSERT_EQ(encapsulate_on_wire(datagram, outer, buf), buf.size());
+
+  std::vector<std::uint8_t> copied(inner.size() + kIpv4HeaderBytes);
+  ASSERT_EQ(encapsulate_on_wire(inner, outer, copied), copied.size());
+  EXPECT_EQ(buf, copied);
+}
+
+TEST(Wire, EncapOnWireRejectsBadInputs) {
+  const EncapHeader outer{Ipv4Address(192, 0, 2, 100), Ipv4Address(10, 0, 0, 9)};
+  std::vector<std::uint8_t> big(70000);
+  std::vector<std::uint8_t> out(70100);
+  // Undersized datagram (no inner header to wrap).
+  EXPECT_EQ(encapsulate_on_wire(std::span(big).subspan(0, 10), outer, out), 0u);
+  // Output buffer too small.
+  const auto inner = serialize_packet(sample_packet());
+  std::vector<std::uint8_t> small(inner.size() + kIpv4HeaderBytes - 1);
+  EXPECT_EQ(encapsulate_on_wire(inner, outer, small), 0u);
+  // 16-bit total-length overflow.
+  EXPECT_EQ(encapsulate_on_wire(big, outer, out), 0u);
 }
 
 }  // namespace
