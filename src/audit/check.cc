@@ -81,6 +81,11 @@ void bind_registry(telemetry::MetricRegistry* registry) noexcept {
   g_registry = registry;
 }
 
+void unbind_registry(const telemetry::MetricRegistry* registry) noexcept {
+  std::lock_guard lock(g_registry_mu);
+  if (g_registry == registry) g_registry = nullptr;
+}
+
 std::uint64_t violation_count() noexcept {
   return g_violations.load(std::memory_order_relaxed);
 }

@@ -62,6 +62,13 @@ bool parse_audit_level(std::string_view text, AuditLevel& out) noexcept;
 // violation_count() works with or without a bound registry.
 void bind_registry(telemetry::MetricRegistry* registry) noexcept;
 
+// Unbinds only if `registry` is the one currently bound. Owners of a bound
+// registry MUST call this before the registry dies (DuetController does, in
+// its destructor) — a dangling binding turns the next report_violation into
+// a use-after-free. The conditional form means a dying owner never clobbers
+// a newer owner's binding.
+void unbind_registry(const telemetry::MetricRegistry* registry) noexcept;
+
 // Total violations reported since process start (or the last reset).
 std::uint64_t violation_count() noexcept;
 void reset_violation_count() noexcept;

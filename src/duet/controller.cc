@@ -27,6 +27,8 @@ DuetController::DuetController(const FatTree& fabric, DuetConfig config, FlowHas
   audit::bind_registry(&telemetry_.registry);
 }
 
+DuetController::~DuetController() { audit::unbind_registry(&telemetry_.registry); }
+
 void DuetController::audit_now(bool converged_placement, const char* where) {
   if (!audit::audit_enabled()) return;
   audit::InvariantAuditor auditor(audit::AuditOptions{converged_placement});

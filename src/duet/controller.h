@@ -43,6 +43,9 @@ class DuetController {
  public:
   DuetController(const FatTree& fabric, DuetConfig config, FlowHasher hasher,
                  std::uint64_t seed = 1);
+  // Unbinds the audit registry binding made in the constructor (if still
+  // ours) so later violation reports can't reach a dead registry.
+  ~DuetController();
 
   // --- deployment -----------------------------------------------------------
   // Creates the SMux pool on servers under the given ToRs; every SMux

@@ -32,7 +32,7 @@ Smux::VipEntry Smux::build_entry(const std::vector<Ipv4Address>& dips,
 
 void Smux::set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
                    const std::vector<std::uint32_t>& weights) {
-  vips_.insert_or_assign(vip, build_entry(dips, weights, vip_group_salt(vip.value())));
+  vips_.insert(vip, build_entry(dips, weights, vip_group_salt(vip.value())));
 }
 
 void Smux::set_port_rule(Ipv4Address vip, std::uint16_t dst_port,
@@ -40,36 +40,46 @@ void Smux::set_port_rule(Ipv4Address vip, std::uint16_t dst_port,
   // Same salt derivation as SwitchDataPlane::install_port_rule.
   const std::uint64_t salt =
       vip_group_salt(vip.value()) ^ (std::uint64_t{dst_port} * 0x100000001ULL);
-  port_rules_.insert_or_assign(port_rule_key(vip, dst_port), build_entry(dips, {}, salt));
+  port_rules_.insert(port_rule_key(vip, dst_port), build_entry(dips, {}, salt));
 }
 
 bool Smux::remove_port_rule(Ipv4Address vip, std::uint16_t dst_port) {
-  return port_rules_.erase(port_rule_key(vip, dst_port)) > 0;
+  return port_rules_.erase(port_rule_key(vip, dst_port));
 }
 
 bool Smux::remove_vip(Ipv4Address vip) {
-  if (vips_.erase(vip) == 0) return false;
-  for (auto it = flow_table_.begin(); it != flow_table_.end();) {
-    it = (it->first.dst == vip) ? flow_table_.erase(it) : std::next(it);
-  }
+  if (!vips_.erase(vip)) return false;
+  flow_table_.erase_if(
+      [vip](const FiveTuple& tuple, const FlowPin&) { return tuple.dst == vip; });
   return true;
 }
 
 std::size_t Smux::expire_flows(double now_us, double idle_us) {
-  std::size_t evicted = 0;
-  for (auto it = flow_table_.begin(); it != flow_table_.end();) {
-    if (now_us - it->second.last_seen_us > idle_us) {
-      it = flow_table_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
-    }
-  }
+  const std::size_t evicted = flow_table_.erase_if(
+      [&](const FiveTuple&, const FlowPin& pin) { return now_us - pin.last_seen_us > idle_us; });
   if (tm_flow_evictions_ != nullptr && evicted > 0) tm_flow_evictions_->inc(evicted);
   if (tm_flow_table_size_ != nullptr) {
     tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
   }
   return evicted;
+}
+
+Smux::EvictStats Smux::expire_flows_step(double now_us, double idle_us,
+                                         std::size_t max_slots) {
+  const auto r = flow_table_.scan_step(&scan_cursor_, max_slots, [&](const FiveTuple&,
+                                                                     FlowPin& pin) {
+    return now_us - pin.last_seen_us > idle_us;
+  });
+  scan_max_slots_ = std::max(scan_max_slots_, r.scanned);
+  if (tm_flow_scan_slots_ != nullptr) tm_flow_scan_slots_->inc(r.scanned);
+  if (tm_flow_scan_max_ != nullptr) tm_flow_scan_max_->set(static_cast<double>(scan_max_slots_));
+  if (r.erased > 0) {
+    if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(r.erased);
+    if (tm_flow_table_size_ != nullptr) {
+      tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+    }
+  }
+  return EvictStats{r.scanned, r.erased};
 }
 
 void Smux::enforce_flow_cap(double now_us) {
@@ -78,14 +88,18 @@ void Smux::enforce_flow_cap(double now_us) {
   if (cap == 0 || flow_table_.size() <= cap) return;
   // Still over the cap with no idle pins to reclaim: shed the coldest
   // entries. O(n) selection, but reaching here requires > cap concurrently
-  // live flows, so it is rare by construction.
+  // live flows, so it is rare by construction. Ties on last-seen break by
+  // tuple order so the shed set does not depend on slot iteration order.
   std::vector<std::pair<double, FiveTuple>> by_age;
   by_age.reserve(flow_table_.size());
-  for (const auto& [tuple, pin] : flow_table_) by_age.emplace_back(pin.last_seen_us, tuple);
+  flow_table_.for_each(
+      [&](const FiveTuple& tuple, const FlowPin& pin) { by_age.emplace_back(pin.last_seen_us, tuple); });
   const std::size_t excess = flow_table_.size() - cap;
+  const auto colder = [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  };
   std::nth_element(by_age.begin(), by_age.begin() + static_cast<std::ptrdiff_t>(excess - 1),
-                   by_age.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+                   by_age.end(), colder);
   for (std::size_t i = 0; i < excess; ++i) flow_table_.erase(by_age[i].second);
   if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(excess);
   if (tm_flow_table_size_ != nullptr) {
@@ -94,61 +108,67 @@ void Smux::enforce_flow_cap(double now_us) {
 }
 
 void Smux::add_dip(Ipv4Address vip, Ipv4Address dip) {
-  auto it = vips_.find(vip);
-  DUET_CHECK(it != vips_.end()) << "add_dip on unknown VIP " << vip.to_string();
-  it->second.dips.push_back(dip);
-  it->second.group.add_member();
+  auto* entry = vips_.find(vip);
+  DUET_CHECK(entry != nullptr) << "add_dip on unknown VIP " << vip.to_string();
+  entry->dips.push_back(dip);
+  entry->group.add_member();
   // Existing connections keep their flow-table pins — no remapping (§5.2).
 }
 
 void Smux::remove_dip(Ipv4Address vip, Ipv4Address dip) {
-  auto it = vips_.find(vip);
-  DUET_CHECK(it != vips_.end()) << "remove_dip on unknown VIP " << vip.to_string();
-  auto& entry = it->second;
-  DUET_CHECK(entry.group.member_count() > 1) << "removing last DIP of " << vip.to_string();
+  auto* entry = vips_.find(vip);
+  DUET_CHECK(entry != nullptr) << "remove_dip on unknown VIP " << vip.to_string();
+  DUET_CHECK(entry->group.member_count() > 1) << "removing last DIP of " << vip.to_string();
   // Kill every member slot carrying this DIP (slots stay in place so the
   // survivors' buckets — and flows — are untouched, as on the switch).
-  for (std::uint32_t slot = 0; slot < entry.dips.size(); ++slot) {
-    if (entry.dips[slot] == dip && entry.group.member_alive(slot)) {
-      entry.group.remove_member(slot);
+  for (std::uint32_t slot = 0; slot < entry->dips.size(); ++slot) {
+    if (entry->dips[slot] == dip && entry->group.member_alive(slot)) {
+      entry->group.remove_member(slot);
     }
   }
-  // Connections to the removed DIP necessarily terminate (§5.1).
-  for (auto fit = flow_table_.begin(); fit != flow_table_.end();) {
-    fit = (fit->first.dst == vip && fit->second.dip == dip) ? flow_table_.erase(fit)
-                                                            : std::next(fit);
+  // Connections to the removed DIP necessarily terminate (§5.1). Exact
+  // erase_if scan — no full-table rebuild, no order dependence.
+  flow_table_.erase_if([&](const FiveTuple& tuple, const FlowPin& pin) {
+    return tuple.dst == vip && pin.dip == dip;
+  });
+}
+
+bool Smux::decide(const FiveTuple& tuple, double now_us, Ipv4Address* chosen, bool* pinned) {
+  *pinned = false;
+  // Port-specific pool first (the ACL stage of the switch pipeline, Fig 8).
+  const VipEntry* entry = port_rules_.find(port_rule_key(tuple.dst, tuple.dst_port));
+  if (entry == nullptr) {
+    entry = vips_.find(tuple.dst);
+    if (entry == nullptr) return false;
   }
+
+  FlowPin* pin = flow_table_.find(tuple);
+  if (pin != nullptr) {
+    *chosen = pin->dip;
+    pin->last_seen_us = now_us;
+    return true;
+  }
+  // First packet: the exact bucket layout every HMux computes (§3.3.1).
+  const Ipv4Address dip = entry->dips[entry->group.select(hasher_.hash(tuple))];
+  *flow_table_.try_emplace(tuple).first = FlowPin{dip, now_us};
+  *pinned = true;
+  if (config_.smux_flow_table_max > 0 && flow_table_.size() > config_.smux_flow_table_max) {
+    enforce_flow_cap(now_us);
+  }
+  *chosen = dip;
+  return true;
 }
 
 bool Smux::process(Packet& packet, double now_us) {
   if (tm_packets_ != nullptr) tm_packets_->inc();
-  // Port-specific pool first (the ACL stage of the switch pipeline, Fig 8).
-  const VipEntry* entry = nullptr;
-  const auto pit = port_rules_.find(port_rule_key(packet.tuple().dst, packet.tuple().dst_port));
-  if (pit != port_rules_.end()) {
-    entry = &pit->second;
-  } else {
-    const auto vit = vips_.find(packet.tuple().dst);
-    if (vit == vips_.end()) {
-      if (tm_unknown_vip_ != nullptr) tm_unknown_vip_->inc();
-      return false;
-    }
-    entry = &vit->second;
-  }
-
   Ipv4Address chosen;
-  const auto pin = flow_table_.find(packet.tuple());
-  if (pin != flow_table_.end()) {
-    chosen = pin->second.dip;
-    pin->second.last_seen_us = now_us;
-  } else {
-    // First packet: the exact bucket layout every HMux computes (§3.3.1).
-    chosen = entry->dips[entry->group.select(hasher_.hash(packet.tuple()))];
-    flow_table_.emplace(packet.tuple(), FlowPin{chosen, now_us});
+  bool pinned = false;
+  if (!decide(packet.tuple(), now_us, &chosen, &pinned)) {
+    if (tm_unknown_vip_ != nullptr) tm_unknown_vip_->inc();
+    return false;
+  }
+  if (pinned) {
     if (tm_flow_pins_ != nullptr) tm_flow_pins_->inc();
-    if (config_.smux_flow_table_max > 0 && flow_table_.size() > config_.smux_flow_table_max) {
-      enforce_flow_cap(now_us);
-    }
     if (tm_flow_table_size_ != nullptr) {
       tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
     }
@@ -157,12 +177,49 @@ bool Smux::process(Packet& packet, double now_us) {
   return true;
 }
 
+std::size_t Smux::process_batch(std::span<const Packet> packets,
+                                std::span<Ipv4Address> dips_out, double now_us) {
+  DUET_CHECK(dips_out.size() >= packets.size()) << "process_batch output span too small";
+  // Overlap the flow-table misses: by the time the decision pass reaches
+  // packet k, its home slot has been in flight for k prefetch distances.
+  for (const Packet& p : packets) flow_table_.prefetch(p.tuple());
+
+  std::uint64_t unknown = 0;
+  std::uint64_t pins = 0;
+  std::size_t forwarded = 0;
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    Ipv4Address chosen{};
+    bool pinned = false;
+    if (!decide(packets[k].tuple(), now_us, &chosen, &pinned)) {
+      ++unknown;
+      dips_out[k] = Ipv4Address{};
+      continue;
+    }
+    if (pinned) ++pins;
+    dips_out[k] = chosen;
+    ++forwarded;
+  }
+
+  // One telemetry flush per batch: locals above, atomics here.
+  if (tm_packets_ != nullptr) tm_packets_->inc(packets.size());
+  if (tm_unknown_vip_ != nullptr && unknown > 0) tm_unknown_vip_->inc(unknown);
+  if (pins > 0) {
+    if (tm_flow_pins_ != nullptr) tm_flow_pins_->inc(pins);
+    if (tm_flow_table_size_ != nullptr) {
+      tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+    }
+  }
+  return forwarded;
+}
+
 void Smux::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
   tm_packets_ = &registry.counter(prefix + "packets");
   tm_unknown_vip_ = &registry.counter(prefix + "unknown_vip");
   tm_flow_pins_ = &registry.counter(prefix + "flow_pins");
   tm_flow_evictions_ = &registry.counter(prefix + "flow_evictions");
+  tm_flow_scan_slots_ = &registry.counter(prefix + "flow_scan_slots");
   tm_flow_table_size_ = &registry.gauge(prefix + "flow_table_size");
+  tm_flow_scan_max_ = &registry.gauge(prefix + "flow_scan_max_slots");
   tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
 }
 

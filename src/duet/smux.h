@@ -17,11 +17,20 @@
 // a resilient-hash bucket array, so the SMux replicates exactly that
 // structure (ResilientHashGroup) for first-packet decisions. Otherwise a
 // VIP failing over between mux types would remap every connection.
+//
+// Hot path (DESIGN.md §12): all three lookup structures are FlatTables
+// (open addressing, cache-friendly, prefetchable), and the live runtime
+// drives decisions through process_batch — one timestamp per batch, slot
+// prefetch across the batch, telemetry accumulated in locals and flushed
+// once. Per-tuple DIP selection is bit-identical between process and
+// process_batch, and identical to the pre-flat-table implementation: the
+// decision inputs (FlowHasher, ResilientHashGroup layout, pin state) never
+// touch table iteration order.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "dataplane/resilient_hash.h"
@@ -29,6 +38,8 @@
 #include "net/hash.h"
 #include "net/packet.h"
 #include "telemetry/metrics.h"
+#include "util/flat_table.h"
+#include "util/mix.h"
 #include "util/random.h"
 
 namespace duet {
@@ -68,16 +79,46 @@ class Smux {
   // the pin for idle expiry.
   bool process(Packet& packet, double now_us = 0.0);
 
+  // Batch decision API — the live runtime's entry point. For each packet,
+  // writes the chosen DIP to dips_out (Ipv4Address{} = unknown VIP, drop)
+  // WITHOUT touching the packet: the caller encapsulates on the wire
+  // (encapsulate_on_wire), so the hot path never allocates a Packet encap
+  // stack. One `now_us` stamps the whole batch; flow-table slots are
+  // prefetched across the batch before the decision pass; telemetry
+  // (packets, unknown_vip, flow_pins, flow_table_size) is accumulated in
+  // locals and flushed once per batch. Per-tuple decisions are bit-identical
+  // to process(). Returns the number of forwardable packets.
+  std::size_t process_batch(std::span<const Packet> packets, std::span<Ipv4Address> dips_out,
+                            double now_us);
+
   // Evicts connection pins idle for longer than `idle_us` — production
   // SMuxes garbage-collect their flow tables or they grow without bound
   // under churny traffic. Returns the number of pins evicted. Safe: an
   // evicted live flow re-pins to the SAME DIP (the hash is deterministic)
-  // unless the DIP set changed in between.
+  // unless the DIP set changed in between. Exact (full pass, every idle pin
+  // goes) — the control-path form; the serving loop uses expire_flows_step.
   std::size_t expire_flows(double now_us, double idle_us);
 
   // Convenience overload using the DuetConfig knob.
   std::size_t expire_flows(double now_us) {
     return config_.smux_flow_idle_us > 0 ? expire_flows(now_us, config_.smux_flow_idle_us) : 0;
+  }
+
+  // Bounded incremental eviction: scans at most `max_slots` flow-table slots
+  // from a persistent cursor, evicting idle pins inline. Every pass is
+  // budget-bounded by construction (scanned <= max_slots), so eviction on
+  // the serving thread never stalls a batch; repeated calls cycle the whole
+  // table. Telemetry: flow_scan_slots (total), flow_scan_max_slots (worst
+  // single pass — the proof no pass exceeded its budget).
+  struct EvictStats {
+    std::size_t scanned = 0;
+    std::size_t evicted = 0;
+  };
+  EvictStats expire_flows_step(double now_us, double idle_us, std::size_t max_slots);
+  EvictStats expire_flows_step(double now_us, std::size_t max_slots) {
+    return config_.smux_flow_idle_us > 0
+               ? expire_flows_step(now_us, config_.smux_flow_idle_us, max_slots)
+               : EvictStats{};
   }
 
   // --- performance model ----------------------------------------------------------
@@ -97,8 +138,9 @@ class Smux {
   // --- telemetry ------------------------------------------------------------
   // Binds per-mux packet/flow telemetry under `prefix` (e.g. "duet.smux.3.").
   // Counters: packets, unknown_vip (dropped: no matching pool), flow_pins
-  // (connections pinned), flow_evictions (pins expired or capacity-shed).
-  // Gauge: flow_table_size. The registry must outlive this mux.
+  // (connections pinned), flow_evictions (pins expired or capacity-shed),
+  // flow_scan_slots (slots visited by eviction scans). Gauges:
+  // flow_table_size, flow_scan_max_slots. The registry must outlive this mux.
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
  private:
@@ -108,12 +150,24 @@ class Smux {
     std::vector<Ipv4Address> dips;
     ResilientHashGroup group{1};
   };
+  struct FlowPin {
+    Ipv4Address dip;
+    double last_seen_us = 0.0;
+  };
 
   static VipEntry build_entry(const std::vector<Ipv4Address>& dips,
                               const std::vector<std::uint32_t>& weights, std::uint64_t salt);
 
+  // The decision core shared by process and process_batch: port rule →
+  // VIP-wide pool, pin hit → pinned DIP, else hash-select and pin.
+  // Writes the chosen DIP; returns false on unknown VIP. `pinned` reports
+  // whether this call created a new pin (the caller owns the telemetry).
+  bool decide(const FiveTuple& tuple, double now_us, Ipv4Address* chosen, bool* pinned);
+
   // Called when an insert pushes the table past smux_flow_table_max: expire
-  // idle pins, then shed the coldest survivors down to the cap.
+  // idle pins, then shed the coldest survivors down to the cap. Ties on
+  // last-seen break by tuple order, so the shed set is independent of table
+  // iteration order.
   void enforce_flow_cap(double now_us);
 
   std::uint32_t id_;
@@ -124,17 +178,19 @@ class Smux {
   telemetry::Counter* tm_unknown_vip_ = nullptr;
   telemetry::Counter* tm_flow_pins_ = nullptr;
   telemetry::Counter* tm_flow_evictions_ = nullptr;
+  telemetry::Counter* tm_flow_scan_slots_ = nullptr;
   telemetry::Gauge* tm_flow_table_size_ = nullptr;
-  std::unordered_map<Ipv4Address, VipEntry> vips_;
-  struct FlowPin {
-    Ipv4Address dip;
-    double last_seen_us = 0.0;
-  };
+  telemetry::Gauge* tm_flow_scan_max_ = nullptr;
 
-  // (vip << 16 | port) -> port-specific pool.
-  std::unordered_map<std::uint64_t, VipEntry> port_rules_;
+  util::FlatTable<Ipv4Address, VipEntry> vips_;
+  // (vip << 16 | port) -> port-specific pool. Mix64Hash: std::hash<uint64_t>
+  // is identity on common stdlibs and the packed key's low bits are the port.
+  util::FlatTable<std::uint64_t, VipEntry, Mix64Hash> port_rules_;
   // Connection pinning: 5-tuple -> chosen DIP + idle timestamp.
-  std::unordered_map<FiveTuple, FlowPin> flow_table_;
+  util::FlatTable<FiveTuple, FlowPin> flow_table_;
+  // expire_flows_step's persistent position.
+  std::size_t scan_cursor_ = 0;
+  std::size_t scan_max_slots_ = 0;
 };
 
 }  // namespace duet

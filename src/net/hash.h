@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "net/packet.h"
+#include "util/mix.h"
 
 namespace duet {
 
@@ -43,11 +44,9 @@ class FlowHasher {
   friend bool operator==(const FlowHasher&, const FlowHasher&) = default;
 
  private:
-  static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
+  // The shared avalanche (util/mix.h); bit-for-bit the historical mix, so
+  // every recorded DIP decision (golden traces, §3.3.1 agreement) is stable.
+  static constexpr std::uint64_t mix(std::uint64_t z) noexcept { return mix64(z); }
 
   std::uint64_t seed_;
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/ip.h"
+#include "util/mix.h"
 
 namespace duet {
 
@@ -34,6 +35,10 @@ struct FiveTuple {
   IpProto proto = IpProto::kTcp;
 
   friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  // Total order (lexicographic over the fields) — the deterministic
+  // tie-breaker for anything that must pick between tuples independently of
+  // hash-table iteration order (e.g. the SMux flow-cap shed).
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
   std::string to_string() const;
 };
 
@@ -91,12 +96,21 @@ class Packet {
 
 template <>
 struct std::hash<duet::FiveTuple> {
+  // Full 64-bit avalanche over the packed tuple (util/mix.h). The old
+  // polynomial mix left the low bits dominated by the ports; in a
+  // power-of-two open-addressing table (util/flat_table.h indexes with
+  // `hash & mask`) that clustered real traffic — sequential client IPs, a
+  // constant dst_port 80 — into long probe chains. Two mix64 rounds give
+  // every input bit ~50% influence on every output bit, so the flat table's
+  // probe lengths stay O(1) on low-entropy tuples. NOT the DIP-selection
+  // hash (that is FlowHasher, unchanged): this hash only places entries in
+  // process-local tables, so changing it remaps no connections.
   std::size_t operator()(const duet::FiveTuple& t) const noexcept {
-    std::size_t h = std::hash<duet::Ipv4Address>{}(t.src);
-    h = h * 1000003 ^ std::hash<duet::Ipv4Address>{}(t.dst);
-    h = h * 1000003 ^ t.src_port;
-    h = h * 1000003 ^ t.dst_port;
-    h = h * 1000003 ^ static_cast<std::size_t>(t.proto);
-    return h;
+    std::uint64_t h = duet::mix64((static_cast<std::uint64_t>(t.src.value()) << 32) |
+                                  t.dst.value());
+    h ^= (static_cast<std::uint64_t>(t.src_port) << 24) |
+         (static_cast<std::uint64_t>(t.dst_port) << 8) |
+         static_cast<std::uint64_t>(t.proto);
+    return static_cast<std::size_t>(duet::mix64(h));
   }
 };

@@ -135,6 +135,38 @@ std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
   return std::nullopt;  // absurd nesting
 }
 
+std::optional<EncapPeek> peek_encap(std::span<const std::uint8_t> bytes) {
+  EncapPeek peek{};
+  bool have_encap = false;
+  std::size_t at = 0;
+  // Same walk as parse_packet, same rejects — just no Packet/stack builds.
+  for (int depth = 0; depth < 16; ++depth) {
+    if (bytes.size() < at + kIpv4HeaderBytes) return std::nullopt;
+    const auto header = bytes.subspan(at, kIpv4HeaderBytes);
+    if (header[0] != 0x45) return std::nullopt;  // version/IHL
+    if (ipv4_header_checksum(header) != 0) return std::nullopt;
+    const std::uint16_t total_length = get_u16(header, 2);
+    if (total_length < kIpv4HeaderBytes || at + total_length != bytes.size()) {
+      return std::nullopt;
+    }
+    const std::uint8_t proto = header[9];
+    if (proto == static_cast<std::uint8_t>(IpProto::kIpInIp)) {
+      if (!have_encap) {
+        peek.outer_dst = Ipv4Address{get_u32(header, 16)};
+        have_encap = true;
+      }
+      at += kIpv4HeaderBytes;
+      continue;
+    }
+    if (bytes.size() < at + kIpv4HeaderBytes + kPortStubBytes) return std::nullopt;
+    if (!have_encap) return std::nullopt;  // well-formed but not encapsulated
+    peek.inner_src_port = get_u16(bytes, at + kIpv4HeaderBytes);
+    peek.inner_dst_port = get_u16(bytes, at + kIpv4HeaderBytes + 2);
+    return peek;
+  }
+  return std::nullopt;  // absurd nesting
+}
+
 std::size_t encapsulate_on_wire(std::span<const std::uint8_t> datagram,
                                 const EncapHeader& outer, std::span<std::uint8_t> out) {
   const std::size_t total = datagram.size() + kIpv4HeaderBytes;

@@ -44,6 +44,23 @@ std::vector<std::uint8_t> serialize_packet(const Packet& packet);
 // rather than silently reinterpreted.
 std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes);
 
+// What a decapsulating endpoint needs from an encapsulated datagram, without
+// materializing a Packet (parse_packet's encap stack is a heap allocation
+// per call — too hot for the DSR echo path).
+struct EncapPeek {
+  Ipv4Address outer_dst;  // outermost encap destination: the DIP
+  std::uint16_t inner_src_port = 0;
+  std::uint16_t inner_dst_port = 0;
+};
+
+// Zero-allocation peek at an encapsulated datagram. Validation is identical
+// to parse_packet (version/IHL, checksums, the exact total-length chain,
+// nesting bound): returns a value exactly when parse_packet would return an
+// encapsulated Packet, and the fields match routing_destination() and the
+// inner tuple's ports. Unencapsulated (but otherwise well-formed) datagrams
+// return nullopt — callers on the decap path treat those as rejects.
+std::optional<EncapPeek> peek_encap(std::span<const std::uint8_t> bytes);
+
 // Fast-path encapsulation over already-serialized bytes: prepends ONE
 // IP-in-IP outer header to `datagram` into `out` without reparsing,
 // preserving payload bytes (a serialize_packet round trip would zero-pad

@@ -78,21 +78,23 @@ void FakeDipPool::pump(DipSock& ds) {
     const std::size_t n = ds.io.recv_batch(ds.sock.fd(), ds.rx);
     if (n == 0) break;
     ds.tx.clear();
+    std::uint64_t rejects = 0;
     for (const RxPacket& p : ds.rx) {
-      ds.packets.fetch_add(1, std::memory_order_relaxed);
-      const auto parsed = parse_packet(p.bytes);
       // Only properly encapsulated datagrams addressed to THIS DIP echo;
       // anything else (stray traffic, un-tunneled packets) is rejected, so a
       // mux bug that skips encap shows up as rejects, not silent success.
-      if (!parsed.has_value() || !parsed->encapsulated() ||
-          parsed->routing_destination() != ds.dip) {
-        ds.rejects.fetch_add(1, std::memory_order_relaxed);
+      // peek_encap validates exactly like parse_packet but allocates nothing.
+      const auto peek = peek_encap(p.bytes);
+      if (!peek.has_value() || peek->outer_dst != ds.dip) {
+        ++rejects;
         continue;
       }
       const auto inner = p.bytes.subspan(kIpv4HeaderBytes);  // decap: drop the outer header
       ds.tx.push_back(TxPacket{inner.data(), inner.size(),
-                               Endpoint{opts_.reply_addr, parsed->tuple().src_port}});
+                               Endpoint{opts_.reply_addr, peek->inner_src_port}});
     }
+    ds.packets.fetch_add(n, std::memory_order_relaxed);
+    if (rejects > 0) ds.rejects.fetch_add(rejects, std::memory_order_relaxed);
     ds.io.send_batch(ds.sock.fd(), ds.tx, 5);
     if (n < ds.io.batch()) break;
   }

@@ -108,8 +108,11 @@ class LoadGenerator {
   struct Source;
   // Shared reply handling: byte-compares the reply against its flow's
   // template (stamp region excluded), records RTT and the serving DIP.
-  // Returns the reply's stamp, or nullopt on an integrity failure.
-  std::optional<Stamp> handle_reply(const RxPacket& reply, std::span<const FiveTuple> flows,
+  // `now` is the receive timestamp, read once per recv batch by the caller
+  // (not per reply — the clock is a syscall-priced vDSO call on the hot
+  // path). Returns the reply's stamp, or nullopt on an integrity failure.
+  std::optional<Stamp> handle_reply(const RxPacket& reply, std::uint64_t now,
+                                    std::span<const FiveTuple> flows,
                                     std::span<const std::vector<std::uint8_t>> templates,
                                     LoadReport& report);
   std::vector<std::vector<std::uint8_t>> build_templates(std::span<const FiveTuple> flows) const;

@@ -13,7 +13,11 @@ namespace duet::runtime {
 
 struct MuxServer::Worker {
   Worker(std::size_t index_, UdpSocket sock_, Smux smux_, std::size_t batch)
-      : index(index_), sock(std::move(sock_)), smux(std::move(smux_)), io(batch) {}
+      : index(index_), sock(std::move(sock_)), smux(std::move(smux_)), io(batch) {
+    pkts.reserve(batch);
+    chosen.reserve(batch);
+    rx_index.reserve(batch);
+  }
 
   std::size_t index;
   UdpSocket sock;
@@ -22,6 +26,11 @@ struct MuxServer::Worker {
   EventLoop loop;
   std::vector<RxPacket> rx;
   std::vector<TxPacket> tx;
+  // Per-batch scratch, reused so the hot path never allocates: parsed
+  // packets, their decided DIPs, and each parsed packet's rx slot.
+  std::vector<Packet> pkts;
+  std::vector<Ipv4Address> chosen;
+  std::vector<std::uint32_t> rx_index;
 };
 
 MuxServer::MuxServer(MuxServerOptions options, DuetConfig config)
@@ -51,7 +60,7 @@ void MuxServer::set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
 
 void MuxServer::map_dip(Ipv4Address dip, Endpoint at) {
   DUET_CHECK(!running()) << "map_dip on a running MuxServer";
-  dip_map_.insert_or_assign(dip, at);
+  dip_map_.insert(dip, at);
 }
 
 bool MuxServer::start() {
@@ -131,8 +140,11 @@ void MuxServer::serve(std::size_t index) {
   Worker& worker = *workers_[index];
   worker.loop.add(worker.sock.fd(), [this, &worker] { pump(worker, false); });
   worker.loop.run(stop_, opts_.tick_ms, [this, &worker] {
-    worker.smux.expire_flows(now_us());
-    if (worker.index == 0) maybe_export_stats(now_us());
+    // One clock read per tick; bounded incremental eviction (never a
+    // full-table pass on the serving thread).
+    const double now = now_us();
+    worker.smux.expire_flows_step(now, opts_.evict_scan_slots);
+    if (worker.index == 0) maybe_export_stats(now);
   });
   // Drain: serve whatever the kernel already queued, then exit. Each pump
   // empties the socket, so the first empty read means the queue is flushed.
@@ -150,46 +162,71 @@ std::size_t MuxServer::pump(Worker& worker, bool draining) {
     const std::size_t n = worker.io.recv_batch(worker.sock.fd(), worker.rx);
     if (n == 0) break;
     total += n;
-    tm_rx_batches_->inc();
-    tm_batch_fill_->record(static_cast<double>(n));
+    const double now = now_us();  // one clock read per batch
 
-    worker.tx.clear();
-    const double now = now_us();
-    for (const RxPacket& p : worker.rx) {
-      tm_rx_packets_->inc();
-      tm_rx_bytes_->inc(p.bytes.size());
-      auto parsed = parse_packet(p.bytes);
+    // Parse pass: telemetry accumulated in locals, flushed once per batch.
+    worker.pkts.clear();
+    worker.rx_index.clear();
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t parse_failures = 0;
+    for (std::size_t i = 0; i < worker.rx.size(); ++i) {
+      rx_bytes += worker.rx[i].bytes.size();
+      auto parsed = parse_packet(worker.rx[i].bytes);
       if (!parsed.has_value()) {
-        tm_parse_failures_->inc();
+        ++parse_failures;
         continue;
       }
-      // Unknown VIP: dropped, counted by the worker smux's unknown_vip.
-      if (!worker.smux.process(*parsed, now)) continue;
-      const Ipv4Address dip = parsed->routing_destination();
-      const auto it = dip_map_.find(dip);
-      if (it == dip_map_.end()) {
-        tm_unmapped_dip_->inc();
+      worker.pkts.push_back(std::move(*parsed));
+      worker.rx_index.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // Decision pass: the whole batch through the SMux at once (prefetched
+    // flow lookups, batched counters). Unknown VIPs come back as 0.0.0.0
+    // and are counted by the smux's unknown_vip.
+    worker.chosen.resize(worker.pkts.size());
+    worker.smux.process_batch(worker.pkts, worker.chosen, now);
+
+    // Encap + forward pass.
+    worker.tx.clear();
+    std::uint64_t unmapped = 0;
+    std::uint64_t encap_drops = 0;
+    for (std::size_t k = 0; k < worker.pkts.size(); ++k) {
+      const Ipv4Address dip = worker.chosen[k];
+      if (dip == Ipv4Address{}) continue;
+      const Endpoint* at = dip_map_.find(dip);
+      if (at == nullptr) {
+        ++unmapped;
         continue;
       }
       // Zero-copy forward: the outer header goes into the rx headroom.
+      const RxPacket& p = worker.rx[worker.rx_index[k]];
       std::uint8_t* head = p.bytes.data() - worker.io.headroom();
       const std::size_t len = encapsulate_on_wire(
           p.bytes, EncapHeader{opts_.self, dip},
           std::span<std::uint8_t>(head, p.bytes.size() + kIpv4HeaderBytes));
       if (len == 0) {
-        tm_tx_drops_->inc();
+        ++encap_drops;
         continue;
       }
-      worker.tx.push_back(TxPacket{head, len, it->second});
+      worker.tx.push_back(TxPacket{head, len, *at});
     }
 
     const std::size_t sent =
         worker.io.send_batch(worker.sock.fd(), worker.tx, draining ? 1 : 5);
+    std::uint64_t tx_bytes = 0;
+    for (std::size_t i = 0; i < sent; ++i) tx_bytes += worker.tx[i].len;
+
+    // One telemetry flush per batch.
+    tm_rx_batches_->inc();
+    tm_batch_fill_->record(static_cast<double>(n));
+    tm_rx_packets_->inc(n);
+    tm_rx_bytes_->inc(rx_bytes);
+    if (parse_failures > 0) tm_parse_failures_->inc(parse_failures);
+    if (unmapped > 0) tm_unmapped_dip_->inc(unmapped);
     tm_tx_packets_->inc(sent);
-    std::uint64_t bytes = 0;
-    for (std::size_t i = 0; i < sent; ++i) bytes += worker.tx[i].len;
-    tm_tx_bytes_->inc(bytes);
-    if (sent < worker.tx.size()) tm_tx_drops_->inc(worker.tx.size() - sent);
+    tm_tx_bytes_->inc(tx_bytes);
+    const std::uint64_t tx_drops = encap_drops + (worker.tx.size() - sent);
+    if (tx_drops > 0) tm_tx_drops_->inc(tx_drops);
 
     if (n < worker.io.batch()) break;  // short read: the socket is drained
   }

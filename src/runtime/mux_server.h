@@ -6,9 +6,13 @@
 // worker — per-worker flow tables need no locks, exactly the Ananta SMux
 // scale-out model the paper assumes (§2.2).
 //
-// Per packet: parse_packet → Smux::process (decision + flow pinning) →
-// encapsulate_on_wire into the rx buffer's headroom (zero-copy) → batched
-// forward to the DIP's real endpoint (map_dip). Every Smux replica is built
+// Per batch (DESIGN.md §12): recvmmsg → parse_packet per datagram →
+// Smux::process_batch (one clock read per batch, flow-slot prefetch, batched
+// telemetry) → encapsulate_on_wire into each rx buffer's headroom
+// (zero-copy) → sendmmsg to the DIPs' real endpoints (map_dip). Idle-flow
+// eviction runs as a bounded incremental scan on the event-loop tick
+// (evict_scan_slots per tick), never a full-table pass on the serving
+// thread. Every Smux replica is built
 // from the same FlowHasher seed and per-VIP salt as a pure-simulation Smux,
 // so live first-packet decisions are bit-identical to the sim's — the
 // equivalence contract tests/runtime_test.cc asserts.
@@ -25,7 +29,6 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -35,6 +38,7 @@
 #include "net/ip.h"
 #include "runtime/udp.h"
 #include "telemetry/metrics.h"
+#include "util/flat_table.h"
 
 namespace duet::runtime {
 
@@ -47,6 +51,10 @@ struct MuxServerOptions {
   std::string stats_json_path;    // interval-exported JSON ("" = none)
   bool print_stats = false;       // one stdout line per interval
   int drain_wait_ms = 100;        // post-shutdown flush budget per worker
+  // Flow-table slots scanned per event-loop tick by the incremental idle
+  // evictor (Smux::expire_flows_step). Bounds eviction work per tick so GC
+  // never stalls a batch; the full table is cycled across successive ticks.
+  std::size_t evict_scan_slots = 2048;
 
   FlowHasher hasher{};  // MUST match the reference sim's seed for equivalence
   Ipv4Address self{192, 0, 2, 100};  // outer encap source address
@@ -131,7 +139,9 @@ class MuxServer {
   telemetry::Histogram* tm_batch_fill_;
 
   std::vector<VipRecord> vips_;
-  std::unordered_map<Ipv4Address, Endpoint> dip_map_;
+  // Read-only at serve time; flat so the per-packet DIP→endpoint hop is one
+  // cache line, not a node chase.
+  util::FlatTable<Ipv4Address, Endpoint> dip_map_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};

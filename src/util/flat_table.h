@@ -1,0 +1,269 @@
+// FlatTable: the forwarding path's hash table.
+//
+// An open-addressing table tuned for the per-packet decision path of the live
+// SMux (Concury/Charon-style "flat lookup, no pointer chasing"):
+//   * power-of-two capacity, linear probing, max load factor 3/4 — a lookup
+//     is one cached-hash compare per probed slot in ONE contiguous array, so
+//     the common case costs a single cache line and zero pointer derefs
+//     (std::unordered_map costs bucket array -> node -> key, 2-3 dependent
+//     misses once the table outgrows cache);
+//   * tombstone-free backward-shift deletion — erases compact the probe chain
+//     in place, so probe lengths never degrade with churn and there is no
+//     tombstone/rehash debt to pay on the data path;
+//   * cached 64-bit hashes per slot (hash 0 = empty sentinel) — probes
+//     compare 8 bytes before touching the key, and the home slot of any
+//     entry is recomputable for backward shift without re-hashing the key;
+//   * prefetch(key) — software-prefetches the key's home slot, so a batch
+//     pass (Smux::process_batch) overlaps the table's cache misses across
+//     the whole batch instead of paying them serially;
+//   * scan_step — bounded incremental iteration (at most max_slots slots per
+//     call) with inline erase, the primitive behind idle-flow eviction that
+//     never does a full-table pass on the serving thread.
+//
+// Iteration order is slot order — a function of the hash layout and
+// insertion/erase history, NOT insertion order, and it changes whenever the
+// table grows. Nothing order-dependent may consume for_each/scan_step output
+// without sorting or reducing it order-independently (see DESIGN.md §12).
+//
+// Requirements: Key and Value default-constructible and movable; Key
+// equality-comparable; Hash stateless. Empty slots keep a default-constructed
+// Key/Value in place (no placement-new lifetime games, so the table is
+// trivially ASan/TSan-clean and copyable whenever Key/Value are).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace duet::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class FlatTable {
+ public:
+  struct Slot {
+    std::uint64_t hash = 0;  // 0 = empty
+    Key key{};
+    Value value{};
+  };
+
+  struct ScanResult {
+    std::size_t scanned = 0;  // slots visited (<= the max_slots budget)
+    std::size_t erased = 0;
+  };
+
+  FlatTable() = default;
+  explicit FlatTable(std::size_t expected) { reserve(expected); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  bool contains(const Key& key) const { return find(key) != nullptr; }
+
+  Value* find(const Key& key) {
+    return const_cast<Value*>(static_cast<const FlatTable*>(this)->find(key));
+  }
+
+  const Value* find(const Key& key) const {
+    if (slots_.empty()) return nullptr;
+    const std::uint64_t h = hash_of(key);
+    std::size_t i = h & mask_;
+    while (slots_[i].hash != 0) {
+      if (slots_[i].hash == h && slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  // Software-prefetch the key's home slot; a batch of prefetches followed by
+  // a batch of find()s overlaps the memory latency across the batch.
+  void prefetch(const Key& key) const {
+    if (slots_.empty()) return;
+    __builtin_prefetch(&slots_[hash_of(key) & mask_]);
+  }
+
+  // Find-or-default-construct; returns {value, inserted}. The returned
+  // pointer is invalidated by any subsequent insert/erase/rehash.
+  std::pair<Value*, bool> try_emplace(const Key& key) {
+    grow_if_needed();
+    const std::uint64_t h = hash_of(key);
+    std::size_t i = h & mask_;
+    while (slots_[i].hash != 0) {
+      if (slots_[i].hash == h && slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask_;
+    }
+    slots_[i].hash = h;
+    slots_[i].key = key;
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  // insert_or_assign.
+  std::pair<Value*, bool> insert(const Key& key, Value value) {
+    auto [slot, inserted] = try_emplace(key);
+    *slot = std::move(value);
+    return {slot, inserted};
+  }
+
+  bool erase(const Key& key) {
+    if (slots_.empty()) return false;
+    const std::uint64_t h = hash_of(key);
+    std::size_t i = h & mask_;
+    while (slots_[i].hash != 0) {
+      if (slots_[i].hash == h && slots_[i].key == key) {
+        erase_slot(i);
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  // Pre-sizes so that `expected` entries fit without rehashing.
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < expected * 4) cap <<= 1;  // target load <= 3/4
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  // Visits every entry in SLOT order (see header note on ordering). The
+  // callback must not mutate the table.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.hash != 0) fn(s.key, s.value);
+    }
+  }
+
+  // Erases every entry matching pred. Exact — entries present at the time of
+  // the call are each tested exactly once regardless of backward shifts
+  // (matches are collected first, then erased by key). Control-path helper;
+  // allocates O(matches).
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::vector<Key> doomed;
+    for (const Slot& s : slots_) {
+      if (s.hash != 0 && pred(s.key, s.value)) doomed.push_back(s.key);
+    }
+    for (const Key& k : doomed) erase(k);
+    return doomed.size();
+  }
+
+  // Bounded incremental sweep: visits at most max_slots slots starting at
+  // *cursor (callers keep one cursor per table; it survives rehashes as a
+  // plain slot index). fn(key, value&) returning true erases the entry in
+  // place via backward shift; the backfilled slot is re-examined so a chain
+  // of expired entries is fully reclaimed within one budget. A shift that
+  // wraps the array end can move an entry behind the cursor — such an entry
+  // is caught on the NEXT full cycle, which is the deal incremental eviction
+  // makes: bounded per-call work, eventual completeness. Use erase_if for
+  // exact one-shot semantics.
+  template <typename Fn>
+  ScanResult scan_step(std::size_t* cursor, std::size_t max_slots, Fn&& fn) {
+    ScanResult r;
+    if (slots_.empty()) {
+      *cursor = 0;
+      return r;
+    }
+    std::size_t i = *cursor & mask_;
+    while (r.scanned < max_slots) {
+      ++r.scanned;
+      Slot& s = slots_[i];
+      if (s.hash != 0 && fn(s.key, s.value)) {
+        erase_slot(i);  // backfills slot i; re-examine it
+        ++r.erased;
+      } else {
+        i = (i + 1) & mask_;
+      }
+    }
+    *cursor = i;
+    return r;
+  }
+
+  // Diagnostics: longest probe distance over all entries (0 = every entry at
+  // its home slot). A weak key hash shows up here as clustering long before
+  // it shows up as latency.
+  std::size_t max_probe_length() const {
+    std::size_t worst = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].hash == 0) continue;
+      const std::size_t d = (i - (slots_[i].hash & mask_)) & mask_;
+      worst = worst > d ? worst : d;
+    }
+    return worst;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  static std::uint64_t hash_of(const Key& key) {
+    const std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    // 0 is the empty sentinel; remap it to an arbitrary nonzero constant
+    // (the displaced key still compares by equality, so this only ever
+    // costs a probe, never correctness).
+    return h != 0 ? h : 0x9e3779b97f4a7c15ULL;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {  // load factor 3/4
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    DUET_CHECK((new_capacity & (new_capacity - 1)) == 0) << "capacity not a power of two";
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    for (Slot& s : old) {
+      if (s.hash == 0) continue;
+      std::size_t i = s.hash & mask_;
+      while (slots_[i].hash != 0) i = (i + 1) & mask_;
+      slots_[i].hash = s.hash;
+      slots_[i].key = std::move(s.key);
+      slots_[i].value = std::move(s.value);
+    }
+  }
+
+  // Backward-shift deletion at slot i: walk the cluster after the gap and
+  // pull back every entry whose probe path passes through the gap, keeping
+  // all probe chains gap-free without tombstones. An entry at k (home h) can
+  // fill gap j iff its probe h..k crosses j, i.e. the cyclic distance h->k
+  // is at least the distance j->k. Entries whose home lies strictly between
+  // the gap and their slot must stay (moving them past their home would make
+  // them unfindable) — but the walk continues past them: the cluster only
+  // ends at an empty slot.
+  void erase_slot(std::size_t i) {
+    std::size_t j = i;  // the gap
+    std::size_t k = i;
+    for (;;) {
+      k = (k + 1) & mask_;
+      if (slots_[k].hash == 0) break;
+      const std::size_t home = slots_[k].hash & mask_;
+      if (((k - home) & mask_) >= ((k - j) & mask_)) {
+        slots_[j] = std::move(slots_[k]);
+        j = k;
+      }
+    }
+    slots_[j] = Slot{};
+    --size_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace duet::util

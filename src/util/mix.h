@@ -1,0 +1,34 @@
+// The shared 64-bit avalanche mixer.
+//
+// One finalizer (SplitMix64's) serves every hashing consumer in the tree:
+// FlowHasher (net/hash.h) builds the cross-device DIP-selection hash from it,
+// std::hash<FiveTuple> (net/packet.h) and the FlatTable key hashers use it so
+// open addressing never clusters on low-entropy address/port patterns, and
+// vip_group_salt keeps its own copy of the same constants. Keeping the mixer
+// in one header makes "same hash function everywhere" (§3.3.1) auditable.
+#pragma once
+
+#include <cstdint>
+
+namespace duet {
+
+// SplitMix64 finalizer: full avalanche, ~3 multiplies. Bit-for-bit the mix
+// FlowHasher has always used — changing these constants would remap every
+// pinned flow in every golden trace.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Hasher for 64-bit packed keys (e.g. the SMux port-rule key, vip<<16|port).
+// std::hash<uint64_t> is the identity on common stdlibs, which would send
+// every rule with the same port to the SAME flat-table slot; mixing first
+// restores uniform low bits for the power-of-two index.
+struct Mix64Hash {
+  std::size_t operator()(std::uint64_t v) const noexcept {
+    return static_cast<std::size_t>(mix64(v));
+  }
+};
+
+}  // namespace duet

@@ -81,6 +81,37 @@ TEST(AuditCheckTest, ViolationsFeedBoundRegistry) {
   EXPECT_EQ(named->value(), 1u);
 }
 
+TEST(AuditCheckTest, UnbindIsConditionalOnTheBoundRegistry) {
+  AuditLevelGuard guard;
+  set_audit_level(AuditLevel::kLog);
+  reset_violation_count();
+  telemetry::MetricRegistry bound;
+  telemetry::MetricRegistry other;
+  bind_registry(&bound);
+  unbind_registry(&other);  // not the bound one: must be a no-op
+  report_violation("unbind-check", Severity::kWarning, "counts into bound");
+  EXPECT_EQ(bound.counter("duet.audit.violations").value(), 1u);
+  unbind_registry(&bound);
+  report_violation("unbind-check", Severity::kWarning, "registry gone, still counted");
+  EXPECT_EQ(bound.counter("duet.audit.violations").value(), 1u);  // unchanged
+  EXPECT_EQ(violation_count(), 2u);
+}
+
+TEST(AuditCheckTest, ControllerDestructionUnbindsItsRegistry) {
+  AuditLevelGuard guard;
+  set_audit_level(AuditLevel::kLog);
+  reset_violation_count();
+  {
+    const FatTree fabric = build_fattree(FatTreeParams::scaled(3, 4, 3));
+    const DuetController controller{fabric, DuetConfig{}, FlowHasher{7}, 11};
+  }
+  // Before the ~DuetController unbind, this report dereferenced the dead
+  // controller's registry — a heap-use-after-free the ASan leg catches when
+  // any controller test precedes an audit report in the same process.
+  report_violation("controller-lifetime", Severity::kWarning, "after controller death");
+  EXPECT_EQ(violation_count(), 1u);
+}
+
 TEST(AuditCheckDeathTest, FatalLevelAborts) {
   AuditLevelGuard guard;
   set_audit_level(AuditLevel::kFatal);

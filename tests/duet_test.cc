@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -470,6 +471,134 @@ TEST(SmuxFlowHygiene, HardCapShedsColdestAndCountsEvictions) {
     ASSERT_TRUE(smux.process(p, 200.0));
   }
   EXPECT_EQ(pins.value(), pinned_before) << "a hot flow was shed before a colder one";
+}
+
+// --- batch decision API ------------------------------------------------------------
+
+TEST(SmuxBatch, MatchesSinglepacketDecisionsBitForBit) {
+  // Two muxes from the same seed: one driven per-packet (process), one via
+  // the batch API (process_batch). Every DIP choice must agree — pin hits,
+  // first packets, port rules, and unknown VIPs alike. This is the contract
+  // that lets the live runtime use the batch path while the sim/live
+  // equivalence test predicts it with per-packet process().
+  DuetConfig cfg;
+  Smux single{0, kHasher, cfg};
+  Smux batched{0, kHasher, cfg};
+  const Ipv4Address rule_vip{100, 0, 7, 7};
+  for (Smux* m : {&single, &batched}) {
+    m->set_vip(kVip, kDips);
+    m->set_vip(rule_vip, kDips);
+    m->set_port_rule(rule_vip, 443, {kDips[0], kDips[1]});
+  }
+
+  // Mixed traffic: VIP-wide flows, port-rule flows, and an unknown VIP,
+  // interleaved, with repeats (pin hits) of everything.
+  std::vector<Packet> packets;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint16_t i = 0; i < 40; ++i) {
+      packets.push_back(packet_to(kVip, static_cast<std::uint16_t>(2000 + i)));
+      packets.emplace_back(
+          FiveTuple{Ipv4Address(172, 16, 2, 1), rule_vip,
+                    static_cast<std::uint16_t>(3000 + i), 443, IpProto::kTcp},
+          1500u);
+      packets.push_back(packet_to(Ipv4Address{99, 9, 9, 9},  // not a VIP
+                                  static_cast<std::uint16_t>(4000 + i)));
+    }
+  }
+
+  std::vector<Ipv4Address> dips(packets.size());
+  std::size_t forwarded = 0;
+  constexpr std::size_t kBatch = 32;  // uneven tail included
+  for (std::size_t at = 0; at < packets.size(); at += kBatch) {
+    const std::size_t n = std::min(kBatch, packets.size() - at);
+    forwarded += batched.process_batch(
+        std::span<const Packet>(packets.data() + at, n),
+        std::span<Ipv4Address>(dips.data() + at, n), 5.0);
+  }
+
+  std::size_t single_forwarded = 0;
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    Packet p = packets[k];
+    if (single.process(p, 5.0)) {
+      ++single_forwarded;
+      EXPECT_EQ(p.outer().outer_dst, dips[k]) << "packet " << k;
+    } else {
+      EXPECT_EQ(dips[k], Ipv4Address{}) << "packet " << k;
+    }
+  }
+  EXPECT_EQ(forwarded, single_forwarded);
+  EXPECT_EQ(batched.flow_table_size(), single.flow_table_size());
+}
+
+TEST(SmuxBatch, PinStabilityAcrossDipAdditionMatchesSingle) {
+  DuetConfig cfg;
+  Smux smux{0, kHasher, cfg};
+  smux.set_vip(kVip, kDips);
+
+  std::vector<Packet> packets;
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    packets.push_back(packet_to(kVip, static_cast<std::uint16_t>(8000 + i)));
+  }
+  std::vector<Ipv4Address> before(packets.size());
+  smux.process_batch(packets, before, 0.0);
+
+  smux.add_dip(kVip, Ipv4Address(10, 0, 0, 99));
+  std::vector<Ipv4Address> after(packets.size());
+  smux.process_batch(packets, after, 10.0);
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    EXPECT_EQ(after[k], before[k]) << "flow " << k << " remapped by add_dip via batch";
+  }
+}
+
+TEST(SmuxFlowHygiene, IncrementalEvictionIsBudgetBoundedAndComplete) {
+  DuetConfig cfg;
+  cfg.smux_flow_idle_us = 1000.0;
+  Smux smux{0, kHasher, cfg};
+  telemetry::MetricRegistry registry;
+  smux.bind_telemetry(registry, "duet.smux.0.");
+  smux.set_vip(kVip, kDips);
+
+  std::vector<Packet> packets;
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    packets.push_back(packet_to(kVip, static_cast<std::uint16_t>(9000 + i)));
+  }
+  std::vector<Ipv4Address> dips(packets.size());
+  smux.process_batch(packets, dips, 0.0);
+  ASSERT_EQ(smux.flow_table_size(), 500u);
+
+  // Every flow idle at t=5000. Each step scans at most its budget — that is
+  // the serving loop's latency guarantee — and cycling the table reclaims
+  // every pin.
+  constexpr std::size_t kBudget = 128;
+  std::size_t steps = 0;
+  while (smux.flow_table_size() > 0) {
+    const auto r = smux.expire_flows_step(5000.0, kBudget);
+    EXPECT_LE(r.scanned, kBudget);
+    ASSERT_LT(++steps, 1000u) << "incremental eviction failed to converge";
+  }
+  EXPECT_EQ(registry.counter("duet.smux.0.flow_evictions").value(), 500u);
+  EXPECT_GT(registry.counter("duet.smux.0.flow_scan_slots").value(), 0u);
+  // The worst single pass never exceeded the budget (the gauge the live
+  // runtime exports as its eviction-latency proof).
+  EXPECT_LE(registry.gauge("duet.smux.0.flow_scan_max_slots").value(),
+            static_cast<double>(kBudget));
+
+  // Live flows survive the sweep: re-pin everything, keep half warm.
+  smux.process_batch(packets, dips, 6000.0);
+  std::vector<Packet> warm(packets.begin(), packets.begin() + 250);
+  std::vector<Ipv4Address> warm_dips(warm.size());
+  smux.process_batch(warm, warm_dips, 6800.0);
+  std::size_t cold_steps = 0;
+  for (; cold_steps < 1000 && smux.flow_table_size() > 250; ++cold_steps) {
+    smux.expire_flows_step(7500.0, kBudget);
+  }
+  EXPECT_EQ(smux.flow_table_size(), 250u);
+  // The survivors are still pinned to their DIPs.
+  std::vector<Ipv4Address> check(warm.size());
+  smux.process_batch(warm, check, 7600.0);
+  for (std::size_t k = 0; k < warm.size(); ++k) {
+    EXPECT_EQ(check[k], warm_dips[k]) << "warm flow " << k << " remapped by eviction";
+  }
 }
 
 }  // namespace

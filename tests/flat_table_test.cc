@@ -1,0 +1,284 @@
+// util::FlatTable vs std::unordered_map, driven as twins.
+//
+// The flat table is the forwarding path's data structure (DESIGN.md §12);
+// a lost or duplicated entry there silently breaks the §5.2 no-remap
+// guarantee. So the main test here is a randomized property drive: every
+// operation (insert, find, erase, erase_if, scan_step-to-completion) is
+// applied to the FlatTable and to an std::unordered_map reference, and the
+// two must agree on every key after every batch. Backward-shift deletion
+// gets dedicated adversarial cases via an identity hash that lets the test
+// construct exact collision chains, including chains wrapping the array end
+// — the shapes where a wrong shift condition strands entries (moving an
+// entry past its home slot, or stopping the cluster walk at an at-home
+// entry).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/flat_table.h"
+#include "util/random.h"
+
+namespace duet {
+namespace {
+
+using util::FlatTable;
+
+TEST(FlatTable, InsertFindBasics) {
+  FlatTable<std::uint64_t, int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(7u), nullptr);
+
+  auto [v, inserted] = t.try_emplace(7);
+  ASSERT_TRUE(inserted);
+  *v = 42;
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.find(7u), nullptr);
+  EXPECT_EQ(*t.find(7u), 42);
+
+  auto [v2, inserted2] = t.try_emplace(7);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(v2, v);
+
+  t.insert(7, 99);  // insert_or_assign semantics
+  EXPECT_EQ(*t.find(7u), 99);
+  EXPECT_EQ(t.size(), 1u);
+
+  EXPECT_TRUE(t.erase(7));
+  EXPECT_FALSE(t.erase(7));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(FlatTable, GrowsThroughManyRehashes) {
+  FlatTable<std::uint64_t, std::uint64_t> t;
+  constexpr std::uint64_t kN = 10'000;
+  for (std::uint64_t i = 0; i < kN; ++i) t.insert(i, i * 3);
+  EXPECT_EQ(t.size(), kN);
+  // Load factor invariant: never beyond 3/4.
+  EXPECT_LE(t.size() * 4, t.capacity() * 3);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_NE(t.find(i), nullptr) << i;
+    EXPECT_EQ(*t.find(i), i * 3);
+  }
+  EXPECT_EQ(t.find(kN + 1), nullptr);
+}
+
+TEST(FlatTable, ReservePreventsRehash) {
+  FlatTable<std::uint64_t, int> t;
+  t.reserve(1000);
+  const std::size_t cap = t.capacity();
+  for (std::uint64_t i = 0; i < 1000; ++i) t.insert(i, 1);
+  EXPECT_EQ(t.capacity(), cap);
+}
+
+// Identity hash: the test chooses home slots directly, so collision chains
+// (and their wrap-around variants) are constructed, not hoped for.
+struct IdentityHash {
+  std::size_t operator()(std::uint64_t v) const noexcept { return v; }
+};
+
+TEST(FlatTable, BackwardShiftKeepsDisplacedChainReachable) {
+  // Capacity stays at the 16 minimum for <= 11 entries (load 3/4).
+  // Chain: keys 2, 18, 34 all home at slot 2 -> occupy slots 2, 3, 4; key 3
+  // homes at 3 but sits displaced at slot 5; key 4 homes at 4, displaced to 6.
+  FlatTable<std::uint64_t, int, IdentityHash> t;
+  for (std::uint64_t k : {2u, 18u, 34u, 3u, 4u}) t.insert(k, static_cast<int>(k));
+
+  // Erasing 2 shifts 18 and 34 back; 3 must move only up to its home slot 3,
+  // never into slot 2 (a naive "displaced -> move" would strand it).
+  ASSERT_TRUE(t.erase(2));
+  for (std::uint64_t k : {18u, 34u, 3u, 4u}) {
+    ASSERT_NE(t.find(k), nullptr) << "key " << k << " lost after backward shift";
+    EXPECT_EQ(*t.find(k), static_cast<int>(k));
+  }
+  EXPECT_EQ(t.find(2u), nullptr);
+
+  // An at-home entry mid-cluster must not stop the walk: erase 18 (now at
+  // slot 2); 3 sits at home, but 4 (displaced past it) still needs reach.
+  ASSERT_TRUE(t.erase(18));
+  for (std::uint64_t k : {34u, 3u, 4u}) {
+    ASSERT_NE(t.find(k), nullptr) << "key " << k << " lost after second erase";
+  }
+}
+
+TEST(FlatTable, BackwardShiftAcrossTheWrap) {
+  // Chain wrapping the array end: keys homing at slot 14 of a 16-slot table
+  // spill through 15 into 0 and 1.
+  FlatTable<std::uint64_t, int, IdentityHash> t;
+  for (std::uint64_t k : {14u, 30u, 46u, 62u}) t.insert(k, static_cast<int>(k));
+  ASSERT_TRUE(t.erase(14));  // 30, 46, 62 shift back across the wrap
+  for (std::uint64_t k : {30u, 46u, 62u}) {
+    ASSERT_NE(t.find(k), nullptr) << "key " << k << " lost across the wrap";
+  }
+  ASSERT_TRUE(t.erase(46));
+  ASSERT_NE(t.find(30u), nullptr);
+  ASSERT_NE(t.find(62u), nullptr);
+}
+
+TEST(FlatTable, EraseIfIsExactUnderShiftCascades) {
+  FlatTable<std::uint64_t, int, IdentityHash> t;
+  // Dense cluster: every slot of the home region collides.
+  for (std::uint64_t i = 0; i < 11; ++i) t.insert(i * 16 + 5, static_cast<int>(i));
+  const std::size_t erased = t.erase_if(
+      [](std::uint64_t, const int& v) { return v % 2 == 0; });  // 0,2,4,6,8,10
+  EXPECT_EQ(erased, 6u);
+  EXPECT_EQ(t.size(), 5u);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    const auto* v = t.find(i * 16 + 5);
+    if (i % 2 == 0) {
+      EXPECT_EQ(v, nullptr) << i;
+    } else {
+      ASSERT_NE(v, nullptr) << i;
+    }
+  }
+}
+
+TEST(FlatTable, ScanStepHonorsItsBudgetAndEventuallyEvictsAll) {
+  FlatTable<std::uint64_t, int> t;
+  constexpr std::uint64_t kN = 1000;
+  for (std::uint64_t i = 0; i < kN; ++i) t.insert(i, i % 2 == 0 ? 1 : 0);
+
+  // Each pass is bounded; cycling capacity-many slots (plus slack for the
+  // backfilled-slot re-examination) reclaims every matching entry.
+  std::size_t cursor = 0;
+  constexpr std::size_t kBudget = 64;
+  std::size_t total_erased = 0;
+  const std::size_t cycles = 2 * (t.capacity() / kBudget + 2);
+  for (std::size_t pass = 0; pass < cycles; ++pass) {
+    const auto r =
+        t.scan_step(&cursor, kBudget, [](std::uint64_t, int& v) { return v == 1; });
+    EXPECT_LE(r.scanned, kBudget);
+    total_erased += r.erased;
+  }
+  EXPECT_EQ(total_erased, kN / 2);
+  EXPECT_EQ(t.size(), kN / 2);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(t.find(i) != nullptr, i % 2 != 0) << i;
+  }
+}
+
+TEST(FlatTable, MaxProbeLengthStaysSmallWithAGoodHash) {
+  FlatTable<std::uint64_t, int> t;  // std::hash + the sentinel remap
+  for (std::uint64_t i = 0; i < 100'000; ++i) t.insert(i * 0x10001, 0);
+  // libstdc++'s identity std::hash would cluster these badly if the table
+  // didn't... it doesn't fix hashes; this documents the raw behaviour: with
+  // sequential-ish keys the linear layout still bounds probes via load 3/4.
+  EXPECT_LT(t.max_probe_length(), 64u);
+}
+
+// --- the randomized twin drive ---------------------------------------------
+
+template <typename Key, typename Hash, typename MakeKey>
+void twin_drive(std::uint64_t seed, std::size_t ops, MakeKey&& make_key) {
+  FlatTable<Key, std::uint64_t, Hash> table;
+  std::unordered_map<Key, std::uint64_t, Hash> ref;
+  Rng rng{seed};
+
+  const auto check_all = [&] {
+    ASSERT_EQ(table.size(), ref.size());
+    for (const auto& [k, v] : ref) {
+      const auto* got = table.find(k);
+      ASSERT_NE(got, nullptr);
+      ASSERT_EQ(*got, v);
+    }
+    std::size_t seen = 0;
+    table.for_each([&](const Key& k, const std::uint64_t& v) {
+      ++seen;
+      const auto it = ref.find(k);
+      ASSERT_NE(it, ref.end());
+      ASSERT_EQ(it->second, v);
+    });
+    ASSERT_EQ(seen, ref.size());
+  };
+
+  std::size_t cursor = 0;
+  for (std::size_t op = 0; op < ops; ++op) {
+    const Key k = make_key(rng);
+    switch (rng.uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert_or_assign
+        const std::uint64_t v = rng();
+        table.insert(k, v);
+        ref[k] = v;
+        break;
+      }
+      case 4:
+      case 5: {  // try_emplace
+        auto [slot, inserted] = table.try_emplace(k);
+        auto [it, ref_inserted] = ref.try_emplace(k, 0);
+        ASSERT_EQ(inserted, ref_inserted);
+        if (inserted) *slot = it->second = rng();
+        break;
+      }
+      case 6:
+      case 7: {  // erase
+        ASSERT_EQ(table.erase(k), ref.erase(k) > 0);
+        break;
+      }
+      case 8: {  // lookup + value agreement
+        const auto* got = table.find(k);
+        const auto it = ref.find(k);
+        ASSERT_EQ(got != nullptr, it != ref.end());
+        if (got != nullptr) {
+          ASSERT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 9: {  // a bounded eviction scan, mirrored onto the reference
+        const std::uint64_t cut = rng();
+        std::vector<Key> doomed;
+        for (const auto& [rk, rv] : ref) {
+          if (rv < cut) doomed.push_back(rk);
+        }
+        // scan_step is eventually-complete, not exact; to compare exactly,
+        // cycle it until a full capacity pass erases nothing.
+        std::size_t guard = 0;
+        for (;;) {
+          const auto r = table.scan_step(
+              &cursor, table.capacity() + 1,
+              [&](const Key&, std::uint64_t& v) { return v < cut; });
+          if (r.erased == 0) break;
+          ASSERT_LT(++guard, 64u) << "scan_step failed to converge";
+        }
+        for (const Key& d : doomed) ref.erase(d);
+        break;
+      }
+    }
+    if (op % 256 == 0) check_all();
+  }
+  check_all();
+}
+
+TEST(FlatTableProperty, TwinsAgreeOnLowEntropyU64Keys) {
+  // Keys drawn from a tiny range: constant churn on the same probe chains.
+  twin_drive<std::uint64_t, std::hash<std::uint64_t>>(
+      0xf1a7'0001, 6000, [](Rng& rng) { return rng.uniform(700); });
+}
+
+TEST(FlatTableProperty, TwinsAgreeOnIdentityHashChains) {
+  // Identity hash + small key range: maximal collision clustering, the
+  // worst case for backward shift.
+  twin_drive<std::uint64_t, IdentityHash>(0xf1a7'0002, 6000,
+                                          [](Rng& rng) { return rng.uniform(300) * 16; });
+}
+
+TEST(FlatTableProperty, TwinsAgreeOnFiveTupleKeys) {
+  // The production key type with the production hash.
+  twin_drive<FiveTuple, std::hash<FiveTuple>>(0xf1a7'0003, 6000, [](Rng& rng) {
+    FiveTuple t;
+    t.src = Ipv4Address{static_cast<std::uint32_t>(0x0a000000u + rng.uniform(64))};
+    t.dst = Ipv4Address{static_cast<std::uint32_t>(0x64000000u + rng.uniform(4))};
+    t.src_port = static_cast<std::uint16_t>(1024 + rng.uniform(32));
+    t.dst_port = 80;
+    t.proto = IpProto::kUdp;
+    return t;
+  });
+}
+
+}  // namespace
+}  // namespace duet
