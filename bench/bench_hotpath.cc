@@ -291,6 +291,38 @@ int main() {
     }
   }
 
+  // --- stateless engine -------------------------------------------------------
+  // Same tuples through the versioned-map engine: no pins, every packet is a
+  // bucket lookup. Stability cross-check: two passes must agree bit-for-bit
+  // (the engine is a pure function of the map state) and every chosen DIP
+  // must belong to the pool.
+  DuetConfig sl_cfg = cfg;
+  sl_cfg.smux_engine = SmuxEngine::kStateless;
+  Smux sl_mux{1, hasher, sl_cfg};
+  sl_mux.set_vip(vip, dips);
+  sl_mux.set_vip(rule_vip, dips);
+  sl_mux.set_port_rule(rule_vip, 443, {dips[0], dips[1], dips[2]});
+
+  batch_all(sl_mux, pkts);  // warm the bucket arrays
+  const Cost stateless_lookup =
+      measure(tuples.size(), passes, [&] { batch_all(sl_mux, pkts); });
+  const std::vector<Ipv4Address> sl_first_pass = dips_out;
+  batch_all(sl_mux, pkts);
+  for (std::size_t k = 0; k < tuples.size(); ++k) {
+    if (dips_out[k] != sl_first_pass[k]) {
+      std::printf("FAIL: stateless decision unstable at flow %zu\n", k);
+      return 1;
+    }
+    if (std::find(dips.begin(), dips.end(), dips_out[k]) == dips.end()) {
+      std::printf("FAIL: stateless DIP outside the pool at flow %zu\n", k);
+      return 1;
+    }
+  }
+  if (sl_mux.flow_table_size() != 0) {
+    std::printf("FAIL: stateless run wrote %zu flow pins\n", sl_mux.flow_table_size());
+    return 1;
+  }
+
   const double speedup_pin = legacy_pin.ns / pin_hit.ns;
   const double speedup_first = legacy_first.ns / first_packet.ns;
   const double speedup_rule = legacy_rule.ns / port_rule.ns;
@@ -305,6 +337,9 @@ int main() {
   row("pin hit", pin_hit, legacy_pin, speedup_pin);
   row("first packet", first_packet, legacy_first, speedup_first);
   row("port rule", port_rule, legacy_rule, speedup_rule);
+  // The legacy replica has no stateless mode; compare against its pin hit —
+  // the path a stateless lookup replaces in the steady state.
+  row("stateless lookup", stateless_lookup, legacy_pin, legacy_pin.ns / stateless_lookup.ns);
   t.print();
 
   telemetry::MetricRegistry out;
@@ -316,6 +351,8 @@ int main() {
   out.gauge("duet.hotpath.first_packet_cycles").set(first_packet.cycles);
   out.gauge("duet.hotpath.port_rule_ns").set(port_rule.ns);
   out.gauge("duet.hotpath.port_rule_cycles").set(port_rule.cycles);
+  out.gauge("duet.hotpath.stateless_lookup_ns").set(stateless_lookup.ns);
+  out.gauge("duet.hotpath.stateless_lookup_cycles").set(stateless_lookup.cycles);
   out.gauge("duet.hotpath.legacy_pin_hit_ns").set(legacy_pin.ns);
   out.gauge("duet.hotpath.legacy_first_packet_ns").set(legacy_first.ns);
   out.gauge("duet.hotpath.legacy_port_rule_ns").set(legacy_rule.ns);

@@ -1,0 +1,294 @@
+// BENCH_stateless — the stateful/stateless engine trade-off, measured.
+//
+// Three experiments (DESIGN.md §13):
+//   1. MEMORY CURVE: decision-state bytes vs concurrent flows, both engines.
+//      The stateless engine's state is a pure function of the DIP set, so
+//      its curve must be FLAT (gate: ±1% from the smallest to the largest
+//      flow count). The stateful flow table grows linearly; above the
+//      feasible measurement cap its bytes come from the capacity model
+//      (power-of-two growth at load factor 3/4 × slot size), which is
+//      validated EXACTLY against measured points before being trusted.
+//   2. LOOKUP COST: steady-state ns/packet per engine at each flow count
+//      (stateful = pin hit, stateless = bucket lookup).
+//   3. SYN FLOOD: the deterministic flood scenario (stateless/flood_scenario)
+//      through both engines. Gates: the stateless engine records ZERO PCC
+//      violations, ZERO evictions, and ZERO flow entries — there is no
+//      per-flow state for the flood to exhaust.
+//
+// DUET_STATELESS_RELAX=1 turns gate failures into warnings (loaded dev
+// machines). Results land in BENCH_stateless.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common.h"
+#include "duet/config.h"
+#include "duet/smux.h"
+#include "net/hash.h"
+#include "net/packet.h"
+#include "stateless/flood_scenario.h"
+#include "stateless/stateless_engine.h"
+
+using namespace duet;
+
+namespace {
+
+constexpr Ipv4Address kVip{100, 0, 0, 1};
+constexpr std::size_t kBatch = 256;
+
+std::vector<Ipv4Address> make_dips(std::size_t n) {
+  std::vector<Ipv4Address> dips;
+  dips.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    dips.push_back(Ipv4Address{static_cast<std::uint32_t>(0x0ac80000u + d + 1)});
+  }
+  return dips;
+}
+
+// Tuple i, procedurally: (src, src_port) encode i, so tuples are distinct
+// and nothing per-flow is ever materialized on the bench side either.
+FiveTuple tuple_at(std::size_t i) {
+  FiveTuple t;
+  t.src = Ipv4Address{static_cast<std::uint32_t>(0x0a000000u + (i >> 16))};
+  t.dst = kVip;
+  t.src_port = static_cast<std::uint16_t>(i & 0xffff);
+  t.dst_port = 80;
+  t.proto = IpProto::kUdp;
+  return t;
+}
+
+// Drives flows [0, n) through the mux once (reused batch, constant bench
+// memory). Returns ns/packet for the pass.
+double drive(Smux& mux, std::size_t n, double t0_us) {
+  std::vector<Packet> batch;
+  batch.reserve(kBatch);
+  std::vector<Ipv4Address> out(kBatch);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t at = 0;
+  double now_us = t0_us;
+  while (at < n) {
+    batch.clear();
+    const std::size_t m = std::min(kBatch, n - at);
+    for (std::size_t k = 0; k < m; ++k) batch.emplace_back(tuple_at(at + k), 64u);
+    mux.process_batch({batch.data(), m}, {out.data(), m}, now_us);
+    at += m;
+    now_us += static_cast<double>(m);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(n);
+}
+
+// The stateful table's capacity model: FlatTable power-of-two growth at load
+// factor 3/4 (validated against measured decision_state_bytes below).
+std::size_t modeled_capacity(std::size_t flows) {
+  std::size_t cap = 16;
+  while (cap * 3 < flows * 4) cap <<= 1;
+  return cap;
+}
+
+struct MemPoint {
+  std::size_t flows = 0;
+  std::size_t stateless_bytes = 0;
+  std::size_t stateful_bytes = 0;  // measured or modeled
+  bool stateful_measured = false;
+  double stateless_ns = 0.0;
+  double stateful_ns = 0.0;  // 0 when not measured at this point
+};
+
+}  // namespace
+
+int main() {
+  bench::header("stateless", "stateful vs stateless decision engines: memory, ns/pkt, floods");
+
+  const bool quick = bench::quick_mode();
+  const char* relax = std::getenv("DUET_STATELESS_RELAX");
+  const bool strict = relax == nullptr || relax[0] == '\0' || relax[0] == '0';
+  bool failed = false;
+  const auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("%s: %s\n", strict ? "FAIL" : "WARNING", what);
+      failed = failed || strict;
+    }
+  };
+
+  const FlowHasher hasher{0xd0e7ULL};
+  const auto dips = make_dips(16);
+  const std::vector<std::size_t> points =
+      quick ? std::vector<std::size_t>{100'000, 1'000'000}
+            : std::vector<std::size_t>{1'000'000, 10'000'000, 50'000'000};
+  const std::size_t stateful_cap = quick ? 100'000 : 1'000'000;
+  const std::size_t perf_cap = quick ? 500'000 : 2'000'000;  // pass-2 timing bound
+
+  telemetry::MetricRegistry out;
+
+  // --- model validation -------------------------------------------------------
+  // The model must reproduce measured stateful bytes EXACTLY (same growth
+  // rule, same slot size) before it is trusted beyond the measurement cap.
+  std::size_t slot_bytes = 0;
+  {
+    DuetConfig cfg;
+    cfg.smux_flow_idle_us = 0.0;
+    cfg.smux_flow_table_max = 0;
+    for (const std::size_t n : {50'000, 200'000}) {
+      Smux mux(0, hasher, cfg);
+      mux.set_vip(kVip, dips);
+      drive(mux, n, 0.0);
+      const std::size_t measured = mux.stateful_engine().decision_state_bytes();
+      const std::size_t cap = modeled_capacity(n);
+      if (slot_bytes == 0) slot_bytes = measured / cap;
+      gate(measured == cap * slot_bytes, "stateful capacity model mismatch vs measurement");
+    }
+    std::printf("stateful model: capacity(n) x %zu B/slot (validated)\n", slot_bytes);
+  }
+
+  // --- memory + lookup curves -------------------------------------------------
+  std::vector<MemPoint> curve;
+  for (const std::size_t n : points) {
+    MemPoint pt;
+    pt.flows = n;
+
+    DuetConfig sl_cfg;
+    sl_cfg.smux_engine = SmuxEngine::kStateless;
+    Smux sl_mux(0, hasher, sl_cfg);
+    sl_mux.set_vip(kVip, dips);
+    drive(sl_mux, n, 0.0);  // full population: every flow decided once
+    pt.stateless_ns = drive(sl_mux, std::min(n, perf_cap), static_cast<double>(n));
+    pt.stateless_bytes = sl_mux.stateless_engine()->decision_state_bytes();
+    gate(sl_mux.flow_table_size() == 0, "stateless run wrote flow pins");
+
+    if (n <= stateful_cap) {
+      DuetConfig sf_cfg;
+      sf_cfg.smux_flow_idle_us = 0.0;
+      sf_cfg.smux_flow_table_max = 0;
+      Smux sf_mux(1, hasher, sf_cfg);
+      sf_mux.set_vip(kVip, dips);
+      drive(sf_mux, n, 0.0);
+      pt.stateful_ns = drive(sf_mux, std::min(n, perf_cap), static_cast<double>(n));
+      pt.stateful_bytes = sf_mux.stateful_engine().decision_state_bytes();
+      pt.stateful_measured = true;
+      gate(pt.stateful_bytes == modeled_capacity(n) * slot_bytes,
+           "stateful model diverged at a measured curve point");
+    } else {
+      pt.stateful_bytes = modeled_capacity(n) * slot_bytes;
+    }
+    curve.push_back(pt);
+  }
+
+  std::printf("\nDIP pool: %zu DIPs; stateless knobs: defaults\n", dips.size());
+  TablePrinter t{{"flows", "stateless B", "B/flow", "stateful B", "B/flow", "ratio", "sl ns/pkt",
+                  "sf ns/pkt"}};
+  for (const MemPoint& pt : curve) {
+    t.add_row({TablePrinter::fmt(static_cast<double>(pt.flows) / 1e6, "%.1fM"),
+               TablePrinter::fmt(static_cast<double>(pt.stateless_bytes), "%.0f"),
+               TablePrinter::fmt(static_cast<double>(pt.stateless_bytes) /
+                                     static_cast<double>(pt.flows),
+                                 "%.4f"),
+               TablePrinter::fmt(static_cast<double>(pt.stateful_bytes), "%.0f") +
+                   (pt.stateful_measured ? "" : "*"),
+               TablePrinter::fmt(static_cast<double>(pt.stateful_bytes) /
+                                     static_cast<double>(pt.flows),
+                                 "%.1f"),
+               TablePrinter::fmt(static_cast<double>(pt.stateful_bytes) /
+                                     static_cast<double>(pt.stateless_bytes),
+                                 "%.0fx"),
+               TablePrinter::fmt(pt.stateless_ns, "%.1f"),
+               pt.stateful_ns > 0 ? TablePrinter::fmt(pt.stateful_ns, "%.1f") : "-"});
+  }
+  t.print();
+  std::printf("(* = capacity model beyond the %zu-flow measurement cap)\n", stateful_cap);
+
+  // Gates: stateless flat within ±1%; stateful linear (capacity ratio tracks
+  // the flow ratio across the curve).
+  const double sl_min = static_cast<double>(
+      std::min_element(curve.begin(), curve.end(), [](const auto& a, const auto& b) {
+        return a.stateless_bytes < b.stateless_bytes;
+      })->stateless_bytes);
+  const double sl_max = static_cast<double>(
+      std::max_element(curve.begin(), curve.end(), [](const auto& a, const auto& b) {
+        return a.stateless_bytes < b.stateless_bytes;
+      })->stateless_bytes);
+  gate(sl_max <= sl_min * 1.01, "stateless decision state not flat (>1%) across the curve");
+  gate(curve.back().stateful_bytes >=
+           curve.front().stateful_bytes *
+               (curve.back().flows / curve.front().flows) / 2,
+       "stateful decision state not growing linearly with flows");
+
+  // O(DIPs) scaling: stateless bytes grow with the pool, not with flows.
+  {
+    std::printf("\nstateless state vs DIP count (flows-independent):\n");
+    TablePrinter td{{"dips", "bytes"}};
+    for (const std::size_t d : {8, 64, 256}) {
+      DuetConfig cfg;
+      cfg.smux_engine = SmuxEngine::kStateless;
+      Smux mux(0, hasher, cfg);
+      mux.set_vip(kVip, make_dips(d));
+      const std::size_t bytes = mux.stateless_engine()->decision_state_bytes();
+      td.add_row({TablePrinter::fmt(static_cast<double>(d), "%.0f"),
+                  TablePrinter::fmt(static_cast<double>(bytes), "%.0f")});
+      out.gauge("duet.stateless.bytes_by_dips." + std::to_string(d))
+          .set(static_cast<double>(bytes));
+    }
+    td.print();
+  }
+
+  // --- SYN flood --------------------------------------------------------------
+  stateless::FloodParams fp;
+  if (!quick) {
+    fp.established_flows = 2048;
+    fp.flood_tuples = 65'536;
+    fp.flow_table_cap = 4096;
+  }
+  DuetConfig flood_cfg;
+  const stateless::FloodReport flood = stateless::run_flood_scenario(fp, flood_cfg, 0xf100d);
+
+  std::printf("\nSYN flood: %zu established, %zu spoofed tuples, %zu rounds, cap %zu\n",
+              fp.established_flows, fp.flood_tuples, fp.rounds, fp.flow_table_cap);
+  TablePrinter tf{{"engine", "pcc violations", "legal remaps", "evictions", "entries peak",
+                   "state B"}};
+  const auto flood_row = [&](const char* name, const stateless::EngineFloodReport& r) {
+    tf.add_row({name, TablePrinter::fmt(static_cast<double>(r.pcc_violations), "%.0f"),
+                TablePrinter::fmt(static_cast<double>(r.legal_remaps), "%.0f"),
+                TablePrinter::fmt(static_cast<double>(r.evictions), "%.0f"),
+                TablePrinter::fmt(static_cast<double>(r.flow_entries_peak), "%.0f"),
+                TablePrinter::fmt(static_cast<double>(r.decision_state_bytes), "%.0f")});
+  };
+  flood_row("stateful", flood.stateful);
+  flood_row("stateless", flood.stateless);
+  tf.print();
+
+  gate(flood.stateless.pcc_violations == 0, "stateless engine broke PCC under flood");
+  gate(flood.stateless.evictions == 0, "stateless engine evicted flows under flood");
+  gate(flood.stateless.flow_entries_peak == 0, "stateless engine wrote per-flow state");
+  if (flood.stateful.evictions == 0) {
+    std::printf("NOTE: flood did not pressure the stateful table (cap too high?)\n");
+  }
+
+  // --- export -----------------------------------------------------------------
+  for (const MemPoint& pt : curve) {
+    const std::string p = "duet.stateless.mem." + std::to_string(pt.flows) + ".";
+    out.gauge(p + "stateless_bytes").set(static_cast<double>(pt.stateless_bytes));
+    out.gauge(p + "stateful_bytes").set(static_cast<double>(pt.stateful_bytes));
+    out.gauge(p + "stateful_measured").set(pt.stateful_measured ? 1.0 : 0.0);
+    out.gauge(p + "stateless_ns").set(pt.stateless_ns);
+    out.gauge(p + "stateful_ns").set(pt.stateful_ns);
+  }
+  out.gauge("duet.stateless.flood.stateful_violations")
+      .set(static_cast<double>(flood.stateful.pcc_violations));
+  out.gauge("duet.stateless.flood.stateful_evictions")
+      .set(static_cast<double>(flood.stateful.evictions));
+  out.gauge("duet.stateless.flood.stateful_entries_peak")
+      .set(static_cast<double>(flood.stateful.flow_entries_peak));
+  out.gauge("duet.stateless.flood.stateless_violations")
+      .set(static_cast<double>(flood.stateless.pcc_violations));
+  out.gauge("duet.stateless.flood.stateless_evictions")
+      .set(static_cast<double>(flood.stateless.evictions));
+  out.gauge("duet.stateless.flood.stateless_entries_peak")
+      .set(static_cast<double>(flood.stateless.flow_entries_peak));
+  bench::export_bench_json("stateless", out);
+
+  if (!failed) std::printf("\nOK: all stateless gates passed\n");
+  return failed ? 1 : 0;
+}

@@ -35,6 +35,9 @@
 //   --duration S                          serve: exit after S seconds (0 = until
 //                                         signal); load: open-loop run length
 //   --stats-interval S                    serve: live counter print period
+//   --engine stateful|stateless           serve: SMux decision engine (default
+//                                         stateful flow-table pins; stateless =
+//                                         versioned map, no per-flow state)
 //   --pps R --flows N --sockets N         load shape (pps 0 = closed loop)
 //   --packets N --bytes B                 load: closed-loop count, datagram size
 //
@@ -92,6 +95,7 @@ struct Args {
   std::size_t workers = 2, dips_per_vip = 4;
   std::size_t flows = 64, sockets = 2, packets = 10000, bytes = 128;
   double duration_s = 0.0, stats_interval_s = 5.0, pps = 0.0;
+  SmuxEngine engine = SmuxEngine::kStateful;
 };
 
 bool parse_args(int argc, char** argv, Args& a) {
@@ -143,6 +147,11 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.stats_interval_s = std::strtod(value, nullptr);
     } else if (key == "--pps") {
       a.pps = std::strtod(value, nullptr);
+    } else if (key == "--engine") {
+      if (!parse_smux_engine(value, &a.engine)) {
+        std::fprintf(stderr, "--engine must be stateful or stateless, got %s\n", value);
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", key.c_str());
       return false;
@@ -233,7 +242,9 @@ int cmd_serve(const Args& a) {
   if (mo.print_stats) set_log_level(LogLevel::kInfo);
   mo.stats_json_path = a.json_file;
   mo.hasher = FlowHasher{a.seed};
-  runtime::MuxServer mux{mo, DuetConfig{}};
+  DuetConfig cfg;
+  cfg.smux_engine = a.engine;  // every worker's Smux decides with this engine
+  runtime::MuxServer mux{mo, cfg};
 
   // In-process echo DIPs stand in for the real backends (fake_dip.h): one
   // loopback socket per DIP, replying straight to the client — DSR.

@@ -6,10 +6,44 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 #include "routing/bgp.h"
 
 namespace duet {
+
+// Which decision engine an SMux runs behind the shared port-rule/VIP
+// front-end (duet/decision_engine.h):
+//   * kStateful  — per-connection flow-table pins (Ananta §2.2): exact PCC,
+//     O(concurrent flows) memory, SYN-floodable (smux_flow_table_max caps
+//     the damage at the price of evicting real flows);
+//   * kStateless — versioned bucket map with per-bucket epoch stamps
+//     (stateless/stateless_engine.h, after Concury): O(DIPs) memory flat in
+//     flows, zero per-flow state for a flood to exhaust; established flows
+//     keep their DIP because a moved bucket adopts the newest map version
+//     only after stateless_drain_idle_us of bucket silence.
+// Selectable globally here or per VIP via Smux::set_engine_override.
+enum class SmuxEngine : std::uint8_t { kStateful = 0, kStateless = 1 };
+
+constexpr const char* to_string(SmuxEngine e) noexcept {
+  return e == SmuxEngine::kStateless ? "stateless" : "stateful";
+}
+
+// Parses the `smux_engine=stateful|stateless` knob (duetctl --engine, env
+// overrides). Returns false on an unknown name, leaving *out untouched.
+inline bool parse_smux_engine(const char* name, SmuxEngine* out) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "stateful") == 0) {
+    *out = SmuxEngine::kStateful;
+    return true;
+  }
+  if (std::strcmp(name, "stateless") == 0) {
+    *out = SmuxEngine::kStateless;
+    return true;
+  }
+  return false;
+}
 
 struct DuetConfig {
   // --- SMux (Ananta software mux), §2.2 / Fig 1 -----------------------------
@@ -32,6 +66,30 @@ struct DuetConfig {
   // Hard cap on flow-table entries; crossing it first expires idle pins,
   // then sheds the coldest survivors. 0 = unbounded (the short-lived sims).
   std::size_t smux_flow_table_max = 1u << 20;
+
+  // --- SMux decision engine (DESIGN.md §13) -----------------------------------
+  // Default engine for every pool on every SMux; per-VIP overrides via
+  // Smux::set_engine_override. `duetctl serve --engine stateless` flips it
+  // for the live runtime.
+  SmuxEngine smux_engine = SmuxEngine::kStateful;
+  // Stateless engine: a bucket whose map version changed adopts the newest
+  // version only once the bucket has seen NO packet for this long — the
+  // bucket-granular analogue of flow-table idle eviction (an idle bucket
+  // holds no live flows, so flipping it breaks no connection). Matches
+  // smux_flow_idle_us by default so both engines age out silence alike.
+  double stateless_drain_idle_us = 120e6;  // 2 minutes
+  // Bucket-array headroom: buckets per DISTINCT DIP at pool creation (sized
+  // next_pow2(buckets_per_dip x dips)). If the DIP count outgrows it 2x the
+  // array regrows by PCC-preserving bucket splitting (counted in telemetry).
+  // Keyed on DIP cardinality, not WCMP-expanded slots, so weight changes
+  // never resize.
+  std::size_t stateless_buckets_per_dip = 32;
+  std::size_t stateless_min_buckets = 256;
+  // Hard cap on retained map versions per pool. A bucket kept busy across
+  // many DIP updates pins its old version; past the cap the oldest pinned
+  // version is force-retired (its buckets adopt the newest map — a counted,
+  // potential PCC break, stateless.forced_adoptions). 0 = unbounded.
+  std::size_t stateless_max_versions = 16;
 
   // --- HMux (switch), §3.1 ---------------------------------------------------
   // "microsecond latency", "high capacity (500 Gbps)".

@@ -95,6 +95,14 @@ void DuetController::sync_smuxes(const VipRecord& rec) {
       inst.mux->set_port_rule(rec.vip, port, dips);
     }
   }
+  // Under the stateless engine a pool sync is a version build pushed to
+  // every live SMux (the off-path rebuild of DESIGN.md §13) — journal it so
+  // the VIP's update history shows when new colorings went live.
+  if (config_.smux_engine == SmuxEngine::kStateless && !smuxes_.empty()) {
+    journal_event(telemetry::EventKind::kStatelessVersionBuild, rec.vip, {},
+                  telemetry::kNoSwitch,
+                  std::to_string(rec.dips.size()) + " dips");
+  }
 }
 
 void DuetController::purge_from_smuxes(Ipv4Address vip) {
@@ -259,8 +267,18 @@ void DuetController::remove_dip(Ipv4Address vip, Ipv4Address dip) {
     // Resilient hashing: surviving connections keep their DIPs (§5.1).
     ensure_hmux(*rec.home).dataplane().remove_vip_target(vip, dip);
   }
+  bool touched_smux = false;
   for (auto& inst : smuxes_) {
-    if (inst.alive && inst.mux->has_vip(vip)) inst.mux->remove_dip(vip, dip);
+    if (inst.alive && inst.mux->has_vip(vip)) {
+      inst.mux->remove_dip(vip, dip);
+      touched_smux = true;
+    }
+  }
+  // In-place removal also builds a version under the stateless engine
+  // (dead-owner buckets flip immediately, §5.1).
+  if (config_.smux_engine == SmuxEngine::kStateless && touched_smux) {
+    journal_event(telemetry::EventKind::kStatelessVersionBuild, vip, dip,
+                  telemetry::kNoSwitch, "dip removal");
   }
 }
 

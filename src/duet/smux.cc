@@ -3,36 +3,53 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stateless/stateless_engine.h"
 #include "util/logging.h"
 
 namespace duet {
 
-namespace {
-std::uint64_t port_rule_key(Ipv4Address vip, std::uint16_t port) {
-  return (static_cast<std::uint64_t>(vip.value()) << 16) | port;
+Smux::Smux(std::uint32_t id, FlowHasher hasher, const DuetConfig& config, Ipv4Address self)
+    : id_(id), hasher_(hasher), config_(config), self_(self), stateful_(hasher, config) {
+  if (config_.smux_engine == SmuxEngine::kStateless) ensure_stateless();
 }
-}  // namespace
 
-Smux::VipEntry Smux::build_entry(const std::vector<Ipv4Address>& dips,
-                                 const std::vector<std::uint32_t>& weights,
-                                 std::uint64_t salt) {
-  DUET_CHECK(!dips.empty()) << "VIP with no DIPs";
-  DUET_CHECK(weights.empty() || weights.size() == dips.size())
-      << "weights/dips size mismatch";
-  VipEntry entry;
-  // WCMP slot expansion, identical to the switch's tunneling-table layout.
-  for (std::size_t i = 0; i < dips.size(); ++i) {
-    const std::uint32_t w = weights.empty() ? 1 : weights[i];
-    DUET_CHECK(w > 0) << "zero WCMP weight";
-    for (std::uint32_t r = 0; r < w; ++r) entry.dips.push_back(dips[i]);
+Smux::~Smux() = default;
+Smux::Smux(Smux&&) noexcept = default;
+Smux& Smux::operator=(Smux&&) noexcept = default;
+
+stateless::StatelessEngine& Smux::ensure_stateless() {
+  if (stateless_ == nullptr) {
+    stateless_ = std::make_unique<stateless::StatelessEngine>(hasher_, config_);
+    // Replay every existing pool so the engine can serve it immediately.
+    vips_.for_each([&](Ipv4Address vip, const VipPool& pool) {
+      stateless_->pool_updated(vip_pool_id(vip), pool, 0.0);
+    });
+    port_rules_.for_each([&](std::uint64_t pool_id, const VipPool& pool) {
+      stateless_->pool_updated(pool_id, pool, 0.0);
+    });
+    if (registry_ != nullptr) {
+      stateless_->bind_telemetry(*registry_, tm_prefix_ + "stateless.");
+    }
   }
-  entry.group = ResilientHashGroup(entry.dips.size(), 4, salt);
-  return entry;
+  return *stateless_;
+}
+
+void Smux::set_engine_override(Ipv4Address vip, SmuxEngine engine) {
+  engine_overrides_.insert(vip, engine);
+  if (engine == SmuxEngine::kStateless) ensure_stateless();
+}
+
+void Smux::notify_pool_updated(std::uint64_t pool_id, const VipPool& pool) {
+  stateful_.pool_updated(pool_id, pool, 0.0);
+  if (stateless_ != nullptr) stateless_->pool_updated(pool_id, pool, 0.0);
 }
 
 void Smux::set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
                    const std::vector<std::uint32_t>& weights) {
-  vips_.insert(vip, build_entry(dips, weights, vip_group_salt(vip.value())));
+  auto [pool, inserted] =
+      vips_.insert(vip, VipPool::build(dips, weights, vip_group_salt(vip.value())));
+  (void)inserted;
+  notify_pool_updated(vip_pool_id(vip), *pool);
 }
 
 void Smux::set_port_rule(Ipv4Address vip, std::uint16_t dst_port,
@@ -40,123 +57,78 @@ void Smux::set_port_rule(Ipv4Address vip, std::uint16_t dst_port,
   // Same salt derivation as SwitchDataPlane::install_port_rule.
   const std::uint64_t salt =
       vip_group_salt(vip.value()) ^ (std::uint64_t{dst_port} * 0x100000001ULL);
-  port_rules_.insert(port_rule_key(vip, dst_port), build_entry(dips, {}, salt));
+  const std::uint64_t pool_id = port_rule_pool_id(vip, dst_port);
+  auto [pool, inserted] = port_rules_.insert(pool_id, VipPool::build(dips, {}, salt));
+  (void)inserted;
+  notify_pool_updated(pool_id, *pool);
 }
 
 bool Smux::remove_port_rule(Ipv4Address vip, std::uint16_t dst_port) {
-  return port_rules_.erase(port_rule_key(vip, dst_port));
+  const std::uint64_t pool_id = port_rule_pool_id(vip, dst_port);
+  if (!port_rules_.erase(pool_id)) return false;
+  stateful_.pool_removed(pool_id, vip, 0.0);
+  if (stateless_ != nullptr) stateless_->pool_removed(pool_id, vip, 0.0);
+  return true;
 }
 
 bool Smux::remove_vip(Ipv4Address vip) {
   if (!vips_.erase(vip)) return false;
-  flow_table_.erase_if(
-      [vip](const FiveTuple& tuple, const FlowPin&) { return tuple.dst == vip; });
+  stateful_.pool_removed(vip_pool_id(vip), vip, 0.0);
+  if (stateless_ != nullptr) stateless_->pool_removed(vip_pool_id(vip), vip, 0.0);
   return true;
-}
-
-std::size_t Smux::expire_flows(double now_us, double idle_us) {
-  const std::size_t evicted = flow_table_.erase_if(
-      [&](const FiveTuple&, const FlowPin& pin) { return now_us - pin.last_seen_us > idle_us; });
-  if (tm_flow_evictions_ != nullptr && evicted > 0) tm_flow_evictions_->inc(evicted);
-  if (tm_flow_table_size_ != nullptr) {
-    tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
-  }
-  return evicted;
-}
-
-Smux::EvictStats Smux::expire_flows_step(double now_us, double idle_us,
-                                         std::size_t max_slots) {
-  const auto r = flow_table_.scan_step(&scan_cursor_, max_slots, [&](const FiveTuple&,
-                                                                     FlowPin& pin) {
-    return now_us - pin.last_seen_us > idle_us;
-  });
-  scan_max_slots_ = std::max(scan_max_slots_, r.scanned);
-  if (tm_flow_scan_slots_ != nullptr) tm_flow_scan_slots_->inc(r.scanned);
-  if (tm_flow_scan_max_ != nullptr) tm_flow_scan_max_->set(static_cast<double>(scan_max_slots_));
-  if (r.erased > 0) {
-    if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(r.erased);
-    if (tm_flow_table_size_ != nullptr) {
-      tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
-    }
-  }
-  return EvictStats{r.scanned, r.erased};
-}
-
-void Smux::enforce_flow_cap(double now_us) {
-  if (config_.smux_flow_idle_us > 0) expire_flows(now_us, config_.smux_flow_idle_us);
-  const std::size_t cap = config_.smux_flow_table_max;
-  if (cap == 0 || flow_table_.size() <= cap) return;
-  // Still over the cap with no idle pins to reclaim: shed the coldest
-  // entries. O(n) selection, but reaching here requires > cap concurrently
-  // live flows, so it is rare by construction. Ties on last-seen break by
-  // tuple order so the shed set does not depend on slot iteration order.
-  std::vector<std::pair<double, FiveTuple>> by_age;
-  by_age.reserve(flow_table_.size());
-  flow_table_.for_each(
-      [&](const FiveTuple& tuple, const FlowPin& pin) { by_age.emplace_back(pin.last_seen_us, tuple); });
-  const std::size_t excess = flow_table_.size() - cap;
-  const auto colder = [](const auto& a, const auto& b) {
-    return a.first != b.first ? a.first < b.first : a.second < b.second;
-  };
-  std::nth_element(by_age.begin(), by_age.begin() + static_cast<std::ptrdiff_t>(excess - 1),
-                   by_age.end(), colder);
-  for (std::size_t i = 0; i < excess; ++i) flow_table_.erase(by_age[i].second);
-  if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(excess);
-  if (tm_flow_table_size_ != nullptr) {
-    tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
-  }
 }
 
 void Smux::add_dip(Ipv4Address vip, Ipv4Address dip) {
-  auto* entry = vips_.find(vip);
-  DUET_CHECK(entry != nullptr) << "add_dip on unknown VIP " << vip.to_string();
-  entry->dips.push_back(dip);
-  entry->group.add_member();
-  // Existing connections keep their flow-table pins — no remapping (§5.2).
+  auto* pool = vips_.find(vip);
+  DUET_CHECK(pool != nullptr) << "add_dip on unknown VIP " << vip.to_string();
+  pool->dips.push_back(dip);
+  pool->group.add_member();
+  // Existing connections keep their pins / bucket versions — no remapping
+  // (§5.2); the stateless engine builds a new version that steals only the
+  // added DIP's share.
+  notify_pool_updated(vip_pool_id(vip), *pool);
 }
 
 void Smux::remove_dip(Ipv4Address vip, Ipv4Address dip) {
-  auto* entry = vips_.find(vip);
-  DUET_CHECK(entry != nullptr) << "remove_dip on unknown VIP " << vip.to_string();
-  DUET_CHECK(entry->group.member_count() > 1) << "removing last DIP of " << vip.to_string();
+  auto* pool = vips_.find(vip);
+  DUET_CHECK(pool != nullptr) << "remove_dip on unknown VIP " << vip.to_string();
+  DUET_CHECK(pool->group.member_count() > 1) << "removing last DIP of " << vip.to_string();
   // Kill every member slot carrying this DIP (slots stay in place so the
   // survivors' buckets — and flows — are untouched, as on the switch).
-  for (std::uint32_t slot = 0; slot < entry->dips.size(); ++slot) {
-    if (entry->dips[slot] == dip && entry->group.member_alive(slot)) {
-      entry->group.remove_member(slot);
+  for (std::uint32_t slot = 0; slot < pool->dips.size(); ++slot) {
+    if (pool->dips[slot] == dip && pool->group.member_alive(slot)) {
+      pool->group.remove_member(slot);
     }
   }
-  // Connections to the removed DIP necessarily terminate (§5.1). Exact
-  // erase_if scan — no full-table rebuild, no order dependence.
-  flow_table_.erase_if([&](const FiveTuple& tuple, const FlowPin& pin) {
-    return tuple.dst == vip && pin.dip == dip;
-  });
+  // Connections to the removed DIP necessarily terminate (§5.1): the
+  // stateful engine erases their pins, the stateless one flips their
+  // buckets off the dead owner.
+  stateful_.dip_removed(vip_pool_id(vip), *pool, dip, 0.0);
+  if (stateless_ != nullptr) stateless_->dip_removed(vip_pool_id(vip), *pool, dip, 0.0);
+}
+
+std::size_t Smux::decision_state_bytes() const noexcept {
+  return stateful_.decision_state_bytes() +
+         (stateless_ != nullptr ? stateless_->decision_state_bytes() : 0);
 }
 
 bool Smux::decide(const FiveTuple& tuple, double now_us, Ipv4Address* chosen, bool* pinned) {
-  *pinned = false;
   // Port-specific pool first (the ACL stage of the switch pipeline, Fig 8).
-  const VipEntry* entry = port_rules_.find(port_rule_key(tuple.dst, tuple.dst_port));
-  if (entry == nullptr) {
-    entry = vips_.find(tuple.dst);
-    if (entry == nullptr) return false;
+  std::uint64_t pool_id = port_rule_pool_id(tuple.dst, tuple.dst_port);
+  const VipPool* pool = port_rules_.find(pool_id);
+  if (pool == nullptr) {
+    pool = vips_.find(tuple.dst);
+    if (pool == nullptr) return false;
+    pool_id = vip_pool_id(tuple.dst);
   }
-
-  FlowPin* pin = flow_table_.find(tuple);
-  if (pin != nullptr) {
-    *chosen = pin->dip;
-    pin->last_seen_us = now_us;
-    return true;
+  // Engine dispatch: one null check when no VIP decides statelessly; the
+  // stateful path stays a concrete inline call (bench_hotpath's gates).
+  if (stateless_ != nullptr && engine_for(tuple.dst) == SmuxEngine::kStateless) {
+    if (stateless_->decide(pool_id, *pool, tuple, now_us, chosen, pinned)) return true;
+    // Pool not yet replayed into the engine (cannot happen through the
+    // public API); fall through to the stateful path rather than drop.
   }
-  // First packet: the exact bucket layout every HMux computes (§3.3.1).
-  const Ipv4Address dip = entry->dips[entry->group.select(hasher_.hash(tuple))];
-  *flow_table_.try_emplace(tuple).first = FlowPin{dip, now_us};
-  *pinned = true;
-  if (config_.smux_flow_table_max > 0 && flow_table_.size() > config_.smux_flow_table_max) {
-    enforce_flow_cap(now_us);
-  }
-  *chosen = dip;
-  return true;
+  return stateful_.decide(pool_id, *pool, tuple, now_us, chosen, pinned);
 }
 
 bool Smux::process(Packet& packet, double now_us) {
@@ -169,10 +141,9 @@ bool Smux::process(Packet& packet, double now_us) {
   }
   if (pinned) {
     if (tm_flow_pins_ != nullptr) tm_flow_pins_->inc();
-    if (tm_flow_table_size_ != nullptr) {
-      tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
-    }
+    stateful_.refresh_size_gauge();
   }
+  if (stateless_ != nullptr) stateless_->flush_telemetry();
   packet.encapsulate(EncapHeader{self_, chosen});
   return true;
 }
@@ -182,7 +153,8 @@ std::size_t Smux::process_batch(std::span<const Packet> packets,
   DUET_CHECK(dips_out.size() >= packets.size()) << "process_batch output span too small";
   // Overlap the flow-table misses: by the time the decision pass reaches
   // packet k, its home slot has been in flight for k prefetch distances.
-  for (const Packet& p : packets) flow_table_.prefetch(p.tuple());
+  // (No-op under a purely stateless config: the flow table stays empty.)
+  for (const Packet& p : packets) stateful_.prefetch(p.tuple());
 
   std::uint64_t unknown = 0;
   std::uint64_t pins = 0;
@@ -205,22 +177,20 @@ std::size_t Smux::process_batch(std::span<const Packet> packets,
   if (tm_unknown_vip_ != nullptr && unknown > 0) tm_unknown_vip_->inc(unknown);
   if (pins > 0) {
     if (tm_flow_pins_ != nullptr) tm_flow_pins_->inc(pins);
-    if (tm_flow_table_size_ != nullptr) {
-      tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
-    }
+    stateful_.refresh_size_gauge();
   }
+  if (stateless_ != nullptr) stateless_->flush_telemetry();
   return forwarded;
 }
 
 void Smux::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  registry_ = &registry;
+  tm_prefix_ = prefix;
   tm_packets_ = &registry.counter(prefix + "packets");
   tm_unknown_vip_ = &registry.counter(prefix + "unknown_vip");
   tm_flow_pins_ = &registry.counter(prefix + "flow_pins");
-  tm_flow_evictions_ = &registry.counter(prefix + "flow_evictions");
-  tm_flow_scan_slots_ = &registry.counter(prefix + "flow_scan_slots");
-  tm_flow_table_size_ = &registry.gauge(prefix + "flow_table_size");
-  tm_flow_scan_max_ = &registry.gauge(prefix + "flow_scan_max_slots");
-  tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+  stateful_.bind_telemetry(registry, prefix);
+  if (stateless_ != nullptr) stateless_->bind_telemetry(registry, prefix + "stateless.");
 }
 
 double Smux::cpu_percent(double offered_pps) const {

@@ -9,32 +9,45 @@
 //   * the CPU saturates at 300 Kpps (3.6 Gbps @1500 B); beyond that queues
 //     build and latency jumps to tens of milliseconds (Fig 11).
 //
-// Unlike an HMux, an SMux keeps per-connection state, so DIP addition does
-// not remap existing connections (§5.2) — modelled by the flow-table pin.
-//
 // DIP selection note: "same hash function" (§3.3.1) must mean the same
 // *bucket layout*, not just the same 64-bit mix — the switch maps flows via
 // a resilient-hash bucket array, so the SMux replicates exactly that
 // structure (ResilientHashGroup) for first-packet decisions. Otherwise a
 // VIP failing over between mux types would remap every connection.
 //
-// Hot path (DESIGN.md §12): all three lookup structures are FlatTables
-// (open addressing, cache-friendly, prefetchable), and the live runtime
-// drives decisions through process_batch — one timestamp per batch, slot
-// prefetch across the batch, telemetry accumulated in locals and flushed
-// once. Per-tuple DIP selection is bit-identical between process and
-// process_batch, and identical to the pre-flat-table implementation: the
-// decision inputs (FlowHasher, ResilientHashGroup layout, pin state) never
-// touch table iteration order.
+// The per-flow DECISION stage is a pluggable engine (duet/decision_engine.h):
+//   * stateful (default) — flow-table pins; DIP addition does not remap
+//     existing connections (§5.2). O(concurrent flows) memory.
+//   * stateless — versioned Othello-style bucket map (src/stateless/);
+//     O(DIPs) memory, immune to SYN-flood state exhaustion.
+// Selection: globally via DuetConfig::smux_engine, or per VIP via
+// set_engine_override (a mixed fleet: flood-prone VIPs stateless, the rest
+// on the classical pins). The POOL FRONT-END — which DIP pool applies, the
+// (vip, dst_port) ACL rule or the VIP-wide pool — is engine-independent and
+// lives here.
+//
+// Hot path (DESIGN.md §12): all lookup structures are FlatTables (open
+// addressing, cache-friendly, prefetchable), and the live runtime drives
+// decisions through process_batch — one timestamp per batch, slot prefetch
+// across the batch, telemetry accumulated in locals and flushed once. The
+// stateful engine is called through its concrete type (header-inline, no
+// virtual dispatch); the stateless branch costs one null check when unused.
+// Per-tuple DIP selection is bit-identical between process and
+// process_batch, and — with the default stateful engine — identical to the
+// pre-engine-extraction implementation: the decision inputs (FlowHasher,
+// ResilientHashGroup layout, pin state) never touch table iteration order.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
-#include "dataplane/resilient_hash.h"
 #include "duet/config.h"
+#include "duet/decision_engine.h"
+#include "duet/stateful_engine.h"
 #include "net/hash.h"
 #include "net/packet.h"
 #include "telemetry/metrics.h"
@@ -44,11 +57,17 @@
 
 namespace duet {
 
+namespace stateless {
+class StatelessEngine;
+}  // namespace stateless
+
 class Smux {
  public:
   Smux(std::uint32_t id, FlowHasher hasher, const DuetConfig& config,
-       Ipv4Address self = Ipv4Address{192, 0, 2, 100})
-      : id_(id), hasher_(hasher), config_(config), self_(self) {}
+       Ipv4Address self = Ipv4Address{192, 0, 2, 100});
+  ~Smux();
+  Smux(Smux&&) noexcept;
+  Smux& operator=(Smux&&) noexcept;
 
   std::uint32_t id() const noexcept { return id_; }
 
@@ -64,19 +83,40 @@ class Smux {
   void set_port_rule(Ipv4Address vip, std::uint16_t dst_port, std::vector<Ipv4Address> dips);
   bool remove_port_rule(Ipv4Address vip, std::uint16_t dst_port);
   bool remove_vip(Ipv4Address vip);
-  // DIP addition: existing connections stay pinned via the flow table.
+  // DIP addition: existing connections stay pinned (stateful) or keep their
+  // bucket's old map version until it drains (stateless) — no remap either way.
   void add_dip(Ipv4Address vip, Ipv4Address dip);
-  // DIP removal: pinned flows to other DIPs survive; flows to the removed DIP
-  // are unpinned (connections terminate, §5.1).
+  // DIP removal: flows to other DIPs survive; flows to the removed DIP
+  // terminate (§5.1) — pins erased / buckets flipped off the dead owner.
   void remove_dip(Ipv4Address vip, Ipv4Address dip);
 
   bool has_vip(Ipv4Address vip) const { return vips_.contains(vip); }
   std::size_t vip_count() const noexcept { return vips_.size(); }
 
+  // --- engine selection -------------------------------------------------------
+  // The engine deciding a VIP's flows: the per-VIP override if set, else the
+  // DuetConfig::smux_engine default. Overrides survive remove_vip (the VIP
+  // may come back on the same policy).
+  SmuxEngine engine_for(Ipv4Address vip) const {
+    const SmuxEngine* o = engine_overrides_.find(vip);
+    return o != nullptr ? *o : config_.smux_engine;
+  }
+  void set_engine_override(Ipv4Address vip, SmuxEngine engine);
+  bool clear_engine_override(Ipv4Address vip) { return engine_overrides_.erase(vip); }
+
+  StatefulEngine& stateful_engine() noexcept { return stateful_; }
+  const StatefulEngine& stateful_engine() const noexcept { return stateful_; }
+  // Non-null once any VIP decides statelessly (global knob or override).
+  stateless::StatelessEngine* stateless_engine() noexcept { return stateless_.get(); }
+  const stateless::StatelessEngine* stateless_engine() const noexcept {
+    return stateless_.get();
+  }
+  // Engine-owned decision-state bytes (both engines; excludes shared pools).
+  std::size_t decision_state_bytes() const noexcept;
+
   // --- data plane ---------------------------------------------------------------
   // Encapsulates toward a DIP; returns false when the VIP is unknown.
-  // Consults (and populates) the per-connection flow table. `now_us` stamps
-  // the pin for idle expiry.
+  // `now_us` stamps per-flow state (pins / bucket drain timestamps).
   bool process(Packet& packet, double now_us = 0.0);
 
   // Batch decision API — the live runtime's entry point. For each packet,
@@ -85,9 +125,10 @@ class Smux {
   // (encapsulate_on_wire), so the hot path never allocates a Packet encap
   // stack. One `now_us` stamps the whole batch; flow-table slots are
   // prefetched across the batch before the decision pass; telemetry
-  // (packets, unknown_vip, flow_pins, flow_table_size) is accumulated in
-  // locals and flushed once per batch. Per-tuple decisions are bit-identical
-  // to process(). Returns the number of forwardable packets.
+  // (packets, unknown_vip, flow_pins, flow_table_size, stateless.*) is
+  // accumulated in locals and flushed once per batch. Per-tuple decisions
+  // are bit-identical to process(). Returns the number of forwardable
+  // packets.
   std::size_t process_batch(std::span<const Packet> packets, std::span<Ipv4Address> dips_out,
                             double now_us);
 
@@ -97,7 +138,10 @@ class Smux {
   // evicted live flow re-pins to the SAME DIP (the hash is deterministic)
   // unless the DIP set changed in between. Exact (full pass, every idle pin
   // goes) — the control-path form; the serving loop uses expire_flows_step.
-  std::size_t expire_flows(double now_us, double idle_us);
+  // Stateful-engine state only; the stateless engine has nothing to expire.
+  std::size_t expire_flows(double now_us, double idle_us) {
+    return stateful_.expire_flows(now_us, idle_us);
+  }
 
   // Convenience overload using the DuetConfig knob.
   std::size_t expire_flows(double now_us) {
@@ -114,7 +158,10 @@ class Smux {
     std::size_t scanned = 0;
     std::size_t evicted = 0;
   };
-  EvictStats expire_flows_step(double now_us, double idle_us, std::size_t max_slots);
+  EvictStats expire_flows_step(double now_us, double idle_us, std::size_t max_slots) {
+    const auto r = stateful_.expire_flows_step(now_us, idle_us, max_slots);
+    return EvictStats{r.scanned, r.evicted};
+  }
   EvictStats expire_flows_step(double now_us, std::size_t max_slots) {
     return config_.smux_flow_idle_us > 0
                ? expire_flows_step(now_us, config_.smux_flow_idle_us, max_slots)
@@ -133,42 +180,29 @@ class Smux {
   // One latency sample (µs) from the lognormal tail at the given utilization.
   double sample_added_latency_us(double rho, Rng& rng) const;
 
-  std::size_t flow_table_size() const noexcept { return flow_table_.size(); }
+  std::size_t flow_table_size() const noexcept { return stateful_.flow_table_size(); }
 
   // --- telemetry ------------------------------------------------------------
   // Binds per-mux packet/flow telemetry under `prefix` (e.g. "duet.smux.3.").
   // Counters: packets, unknown_vip (dropped: no matching pool), flow_pins
-  // (connections pinned), flow_evictions (pins expired or capacity-shed),
-  // flow_scan_slots (slots visited by eviction scans). Gauges:
-  // flow_table_size, flow_scan_max_slots. The registry must outlive this mux.
+  // (connections pinned), flow_evictions (pins expired, capacity-shed, or
+  // killed by DIP removal), flow_scan_slots (slots visited by eviction
+  // scans). Gauges: flow_table_size, flow_scan_max_slots. When the stateless
+  // engine is active its metrics bind under `prefix + "stateless."` (see
+  // stateless/stateless_engine.h). The registry must outlive this mux.
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
  private:
-  struct VipEntry {
-    // Member slots; a removed DIP keeps its slot (dead) so surviving slots —
-    // and therefore surviving flows — never move, mirroring the switch.
-    std::vector<Ipv4Address> dips;
-    ResilientHashGroup group{1};
-  };
-  struct FlowPin {
-    Ipv4Address dip;
-    double last_seen_us = 0.0;
-  };
-
-  static VipEntry build_entry(const std::vector<Ipv4Address>& dips,
-                              const std::vector<std::uint32_t>& weights, std::uint64_t salt);
-
-  // The decision core shared by process and process_batch: port rule →
-  // VIP-wide pool, pin hit → pinned DIP, else hash-select and pin.
-  // Writes the chosen DIP; returns false on unknown VIP. `pinned` reports
-  // whether this call created a new pin (the caller owns the telemetry).
+  // The decision pipeline shared by process and process_batch: resolve the
+  // pool (port rule → VIP-wide), dispatch to the VIP's engine. Writes the
+  // chosen DIP; returns false on unknown VIP. `pinned` reports whether the
+  // engine created per-flow state (the caller owns the telemetry).
   bool decide(const FiveTuple& tuple, double now_us, Ipv4Address* chosen, bool* pinned);
 
-  // Called when an insert pushes the table past smux_flow_table_max: expire
-  // idle pins, then shed the coldest survivors down to the cap. Ties on
-  // last-seen break by tuple order, so the shed set is independent of table
-  // iteration order.
-  void enforce_flow_cap(double now_us);
+  // Lazily constructs the stateless engine and replays every existing pool
+  // into it (version 0 of each map), so an override can arrive after VIPs.
+  stateless::StatelessEngine& ensure_stateless();
+  void notify_pool_updated(std::uint64_t pool_id, const VipPool& pool);
 
   std::uint32_t id_;
   FlowHasher hasher_;
@@ -177,20 +211,21 @@ class Smux {
   telemetry::Counter* tm_packets_ = nullptr;
   telemetry::Counter* tm_unknown_vip_ = nullptr;
   telemetry::Counter* tm_flow_pins_ = nullptr;
-  telemetry::Counter* tm_flow_evictions_ = nullptr;
-  telemetry::Counter* tm_flow_scan_slots_ = nullptr;
-  telemetry::Gauge* tm_flow_table_size_ = nullptr;
-  telemetry::Gauge* tm_flow_scan_max_ = nullptr;
+  telemetry::MetricRegistry* registry_ = nullptr;  // for late engine binding
+  std::string tm_prefix_;
 
-  util::FlatTable<Ipv4Address, VipEntry> vips_;
-  // (vip << 16 | port) -> port-specific pool. Mix64Hash: std::hash<uint64_t>
-  // is identity on common stdlibs and the packed key's low bits are the port.
-  util::FlatTable<std::uint64_t, VipEntry, Mix64Hash> port_rules_;
-  // Connection pinning: 5-tuple -> chosen DIP + idle timestamp.
-  util::FlatTable<FiveTuple, FlowPin> flow_table_;
-  // expire_flows_step's persistent position.
-  std::size_t scan_cursor_ = 0;
-  std::size_t scan_max_slots_ = 0;
+  // Pool front-end: VIP-wide pools and (vip << 16 | port) ACL pools.
+  // Mix64Hash for the packed key: std::hash<uint64_t> is identity on common
+  // stdlibs and the key's low bits are the port.
+  util::FlatTable<Ipv4Address, VipPool> vips_;
+  util::FlatTable<std::uint64_t, VipPool, Mix64Hash> port_rules_;
+
+  // The engines. Stateful is always present (overrides may point any VIP at
+  // it) and is called through the concrete type on the hot path; stateless
+  // is built on first use.
+  StatefulEngine stateful_;
+  std::unique_ptr<stateless::StatelessEngine> stateless_;
+  util::FlatTable<Ipv4Address, SmuxEngine> engine_overrides_;
 };
 
 }  // namespace duet

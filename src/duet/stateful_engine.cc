@@ -1,0 +1,65 @@
+#include "duet/stateful_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace duet {
+
+std::size_t StatefulEngine::expire_flows(double now_us, double idle_us) {
+  const std::size_t evicted = flow_table_.erase_if(
+      [&](const FiveTuple&, const FlowPin& pin) { return now_us - pin.last_seen_us > idle_us; });
+  if (tm_flow_evictions_ != nullptr && evicted > 0) tm_flow_evictions_->inc(evicted);
+  refresh_size_gauge();
+  return evicted;
+}
+
+StatefulEngine::EvictStats StatefulEngine::expire_flows_step(double now_us, double idle_us,
+                                                             std::size_t max_slots) {
+  const auto r = flow_table_.scan_step(&scan_cursor_, max_slots, [&](const FiveTuple&,
+                                                                     FlowPin& pin) {
+    return now_us - pin.last_seen_us > idle_us;
+  });
+  scan_max_slots_ = std::max(scan_max_slots_, r.scanned);
+  if (tm_flow_scan_slots_ != nullptr) tm_flow_scan_slots_->inc(r.scanned);
+  if (tm_flow_scan_max_ != nullptr) tm_flow_scan_max_->set(static_cast<double>(scan_max_slots_));
+  if (r.erased > 0) {
+    if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(r.erased);
+    refresh_size_gauge();
+  }
+  return EvictStats{r.scanned, r.erased};
+}
+
+void StatefulEngine::enforce_flow_cap(double now_us) {
+  if (config_.smux_flow_idle_us > 0) expire_flows(now_us, config_.smux_flow_idle_us);
+  const std::size_t cap = config_.smux_flow_table_max;
+  if (cap == 0 || flow_table_.size() <= cap) return;
+  // Still over the cap with no idle pins to reclaim: shed the coldest
+  // entries. O(n) selection, but reaching here requires > cap concurrently
+  // live flows, so it is rare by construction. Ties on last-seen break by
+  // tuple order so the shed set does not depend on slot iteration order.
+  std::vector<std::pair<double, FiveTuple>> by_age;
+  by_age.reserve(flow_table_.size());
+  flow_table_.for_each(
+      [&](const FiveTuple& tuple, const FlowPin& pin) { by_age.emplace_back(pin.last_seen_us, tuple); });
+  const std::size_t excess = flow_table_.size() - cap;
+  const auto colder = [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  };
+  std::nth_element(by_age.begin(), by_age.begin() + static_cast<std::ptrdiff_t>(excess - 1),
+                   by_age.end(), colder);
+  for (std::size_t i = 0; i < excess; ++i) flow_table_.erase(by_age[i].second);
+  if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(excess);
+  refresh_size_gauge();
+}
+
+void StatefulEngine::bind_telemetry(telemetry::MetricRegistry& registry,
+                                    const std::string& prefix) {
+  tm_flow_evictions_ = &registry.counter(prefix + "flow_evictions");
+  tm_flow_scan_slots_ = &registry.counter(prefix + "flow_scan_slots");
+  tm_flow_table_size_ = &registry.gauge(prefix + "flow_table_size");
+  tm_flow_scan_max_ = &registry.gauge(prefix + "flow_scan_max_slots");
+  tm_flow_table_size_->set(static_cast<double>(flow_table_.size()));
+}
+
+}  // namespace duet

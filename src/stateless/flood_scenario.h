@@ -1,0 +1,83 @@
+// Deterministic SYN-flood micro-scenario: the head-to-head experiment behind
+// DESIGN.md §13's engine trade-off (and bench_stateless's flood gates).
+//
+// One scenario = one VIP, E established flows, then R rounds of
+//   * a burst of DISTINCT spoofed tuples (the flood — every packet is a
+//     first packet, the worst case for per-flow state),
+//   * keepalives for every established flow (they are live connections and
+//     must keep their DIPs — the PCC clock the scenario checks against),
+//   * one DIP churn op (add / in-place remove / WCMP weight change) pulled
+//     from the scenario's seeded plan.
+// The same PLAN (tuples, churn sequence) drives BOTH engines, so the two
+// EngineFloodReports are directly comparable:
+//   * stateful: every spoofed tuple pins a FlowPin; the table blows past
+//     smux_flow_table_max, cap shedding evicts the coldest pins —
+//     established flows among them — and churn makes the re-pin land on a
+//     different DIP: evictions > 0, pcc_violations > 0.
+//   * stateless: nothing is written per flow; the flood merely keeps buckets
+//     warm (which HELPS retention). Gate: pcc_violations == 0 AND
+//     evictions == 0 AND flow_entries_peak == 0.
+// A flow whose own DIP was removed necessarily terminates (§5.1); its remap
+// is legal and NOT counted as a violation.
+//
+// Everything is a pure function of (params, config, seed): integer tuple
+// generation, Rng-driven churn, batch clock advancing 1 µs per packet.
+// sweep_flood runs independent scenario shards on the deterministic sweep
+// engine (exec/sweep.h) — results are bit-for-bit identical at any thread
+// count, which the width-determinism test pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "duet/config.h"
+#include "exec/thread_pool.h"
+#include "net/ip.h"
+
+namespace duet::stateless {
+
+struct FloodParams {
+  std::size_t established_flows = 512;  // legit long-lived connections
+  std::size_t flood_tuples = 8192;      // distinct spoofed tuples, total
+  std::size_t rounds = 8;               // flood/keepalive/churn rounds
+  std::size_t initial_dips = 8;
+  std::size_t flow_table_cap = 1024;    // smux_flow_table_max for the run
+  double flow_idle_us = 0.0;            // 0 = idle expiry off (cap-shed only)
+  std::size_t batch = 128;              // process_batch size
+};
+
+// Per-engine outcome. `fingerprint` mixes every decision in packet order —
+// the bit-for-bit handle for the width-determinism contract.
+struct EngineFloodReport {
+  std::uint64_t pcc_violations = 0;   // established flow moved off a LIVE DIP
+  std::uint64_t legal_remaps = 0;     // moved off a REMOVED DIP (§5.1, allowed)
+  std::uint64_t evictions = 0;        // flow_evictions counter at scenario end
+  std::uint64_t flow_entries_peak = 0;
+  std::uint64_t flow_entries_end = 0;
+  std::uint64_t decision_state_bytes = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const EngineFloodReport&, const EngineFloodReport&) = default;
+};
+
+struct FloodReport {
+  EngineFloodReport stateful;
+  EngineFloodReport stateless;
+
+  friend bool operator==(const FloodReport&, const FloodReport&) = default;
+};
+
+// Runs the seeded scenario through both engines. `base_config` supplies the
+// stateless knobs; the flow-table cap/idle knobs come from `params`.
+FloodReport run_flood_scenario(const FloodParams& params, const DuetConfig& base_config,
+                               std::uint64_t seed);
+
+// `shards` independent scenarios (shard i seeded with
+// exec::shard_seed(seed, i)) on the deterministic sweep engine. Slot i of
+// the result is shard i's report at ANY pool width.
+std::vector<FloodReport> sweep_flood(const FloodParams& params, const DuetConfig& base_config,
+                                     std::size_t shards, std::uint64_t seed,
+                                     exec::ThreadPool* pool = nullptr);
+
+}  // namespace duet::stateless

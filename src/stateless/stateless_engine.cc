@@ -1,0 +1,112 @@
+#include "stateless/stateless_engine.h"
+
+#include "dataplane/resilient_hash.h"
+
+namespace duet::stateless {
+
+namespace {
+
+// The same per-pool salt derivation the front-end uses for the resilient
+// hash groups (Smux::set_vip / set_port_rule), recovered from the pool id so
+// every replica colors identically without extra plumbing.
+std::uint64_t pool_salt(std::uint64_t pool_id) {
+  if ((pool_id & kVipWidePoolBit) != 0) {
+    return vip_group_salt(static_cast<std::uint32_t>(pool_id & 0xffffffffULL));
+  }
+  const auto vip = static_cast<std::uint32_t>(pool_id >> 16);
+  const auto port = static_cast<std::uint16_t>(pool_id & 0xffff);
+  return vip_group_salt(vip) ^ (std::uint64_t{port} * 0x100000001ULL);
+}
+
+}  // namespace
+
+void StatelessEngine::pool_updated(std::uint64_t pool_id, const VipPool& pool,
+                                   double now_us) {
+  auto [slot, inserted] = pools_.try_emplace(pool_id);
+  if (inserted || *slot == nullptr) {
+    *slot = std::make_unique<VersionedPoolMap>(pool_salt(pool_id), knobs_);
+  }
+  (*slot)->rebuild(pool, now_us);
+}
+
+void StatelessEngine::pool_removed(std::uint64_t pool_id, Ipv4Address, double) {
+  pools_.erase(pool_id);
+}
+
+void StatelessEngine::dip_removed(std::uint64_t pool_id, const VipPool& pool,
+                                  Ipv4Address dip, double now_us) {
+  auto* map = pools_.find(pool_id);
+  if (map == nullptr) return;
+  (*map)->rebuild(pool, now_us, dip);
+}
+
+std::size_t StatelessEngine::decision_state_bytes() const noexcept {
+  std::size_t bytes = pools_.capacity() * sizeof(decltype(pools_)::Slot);
+  pools_.for_each([&](std::uint64_t, const std::unique_ptr<VersionedPoolMap>& map) {
+    bytes += map->state_bytes();
+  });
+  return bytes;
+}
+
+VersionedPoolMap::Stats StatelessEngine::aggregate_stats() const {
+  VersionedPoolMap::Stats total;
+  pools_.for_each([&](std::uint64_t, const std::unique_ptr<VersionedPoolMap>& map) {
+    const auto& s = map->stats();
+    total.lookups += s.lookups;
+    total.held_lookups += s.held_lookups;
+    total.adoptions += s.adoptions;
+    total.builds += s.builds;
+    total.noop_builds += s.noop_builds;
+    total.retired_versions += s.retired_versions;
+    total.forced_adoptions += s.forced_adoptions;
+    total.dead_owner_flips += s.dead_owner_flips;
+    total.bucket_regrows += s.bucket_regrows;
+  });
+  return total;
+}
+
+void StatelessEngine::bind_telemetry(telemetry::MetricRegistry& registry,
+                                     const std::string& prefix) {
+  tm_lookups_ = &registry.counter(prefix + "lookups");
+  tm_held_ = &registry.counter(prefix + "held_lookups");
+  tm_adoptions_ = &registry.counter(prefix + "adoptions");
+  tm_builds_ = &registry.counter(prefix + "version_builds");
+  tm_noop_builds_ = &registry.counter(prefix + "noop_builds");
+  tm_retired_ = &registry.counter(prefix + "retired_versions");
+  tm_forced_ = &registry.counter(prefix + "forced_adoptions");
+  tm_dead_flips_ = &registry.counter(prefix + "dead_owner_flips");
+  tm_regrows_ = &registry.counter(prefix + "bucket_regrows");
+  tm_state_bytes_ = &registry.gauge(prefix + "state_bytes");
+  tm_versions_ = &registry.gauge(prefix + "versions_retained");
+  tm_pools_ = &registry.gauge(prefix + "pools");
+  flushed_ = {};
+  flush_telemetry();
+}
+
+void StatelessEngine::flush_telemetry() {
+  if (tm_lookups_ == nullptr) return;
+  const VersionedPoolMap::Stats now = aggregate_stats();
+  const auto delta = [](std::uint64_t cur, std::uint64_t prev) {
+    return cur >= prev ? cur - prev : 0;  // pools_ erase can shrink totals
+  };
+  tm_lookups_->inc(delta(now.lookups, flushed_.lookups));
+  tm_held_->inc(delta(now.held_lookups, flushed_.held_lookups));
+  tm_adoptions_->inc(delta(now.adoptions, flushed_.adoptions));
+  tm_builds_->inc(delta(now.builds, flushed_.builds));
+  tm_noop_builds_->inc(delta(now.noop_builds, flushed_.noop_builds));
+  tm_retired_->inc(delta(now.retired_versions, flushed_.retired_versions));
+  tm_forced_->inc(delta(now.forced_adoptions, flushed_.forced_adoptions));
+  tm_dead_flips_->inc(delta(now.dead_owner_flips, flushed_.dead_owner_flips));
+  tm_regrows_->inc(delta(now.bucket_regrows, flushed_.bucket_regrows));
+  flushed_ = now;
+
+  std::size_t versions = 0;
+  pools_.for_each([&](std::uint64_t, const std::unique_ptr<VersionedPoolMap>& map) {
+    versions += map->version_count();
+  });
+  tm_state_bytes_->set(static_cast<double>(decision_state_bytes()));
+  tm_versions_->set(static_cast<double>(versions));
+  tm_pools_->set(static_cast<double>(pools_.size()));
+}
+
+}  // namespace duet::stateless

@@ -19,6 +19,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kHmuxDown: return "hmux_down";
     case EventKind::kSmuxDown: return "smux_down";
     case EventKind::kTableOccupancy: return "table_occupancy";
+    case EventKind::kStatelessVersionBuild: return "stateless_version_build";
   }
   return "unknown";
 }

@@ -34,6 +34,7 @@ enum class EventKind : std::uint8_t {
   kHmuxDown,            // switch failure (sw)
   kSmuxDown,            // software mux failure (a = smux id)
   kTableOccupancy,      // snapshot: a/b/c = host/ECMP/tunnel entries used (sw)
+  kStatelessVersionBuild,  // stateless map version pushed to the SMuxes (vip)
 };
 
 // Stable wire name, used by the exporters and grep-able in dumps.

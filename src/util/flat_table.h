@@ -225,7 +225,10 @@ class FlatTable {
   void rehash(std::size_t new_capacity) {
     DUET_CHECK((new_capacity & (new_capacity - 1)) == 0) << "capacity not a power of two";
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_capacity, Slot{});
+    // resize (default-insertion), not assign (copy-fill): Value only has to
+    // be default-constructible and movable, per the header contract.
+    slots_.clear();
+    slots_.resize(new_capacity);
     mask_ = new_capacity - 1;
     for (Slot& s : old) {
       if (s.hash == 0) continue;
