@@ -3,17 +3,31 @@
 #
 #   scripts/lint.sh [BUILD_DIR]
 #
-# Two layers:
+# Three layers:
 #   1. grep lint — repo conventions that need no compiler:
 #        * no rand()/srand(): all randomness flows through util/random.h so
 #          runs are seedable and reproducible;
-#        * no naked `new`: ownership lives in unique_ptr/containers;
+#        * no naked `new` — initializer, return, or argument position:
+#          ownership lives in unique_ptr/containers (placement new is fine;
+#          `// lint: allow-new` escapes a reviewed line);
 #        * no direct stdout/stderr prints in src/ outside the whitelisted
 #          presentation files: diagnostics go through util/logging.h so
-#          DUET_LOG_LEVEL filters them.
+#          DUET_LOG_LEVEL filters them;
+#        * no <unordered_map>/<unordered_set> includes in forwarding-path
+#          files: the hot path uses util/flat_table.h (open addressing, no
+#          per-node allocation) — see DESIGN.md §14;
+#        * no system_clock::now outside presentation/telemetry files: hot
+#          code takes timestamps as arguments (steady_clock, passed down)
+#          so decisions are replayable.
 #   2. clang-tidy — over compile_commands.json (see .clang-tidy for the check
-#      set). Skipped with a notice when clang-tidy is not installed, so the
-#      grep layer still protects local runs; CI installs it.
+#      set), one process per TU fanned out across the cores, with per-file
+#      timing so slow TUs are visible. Skipped with a notice when clang-tidy
+#      is not installed, so the grep layer still protects local runs; CI
+#      installs it.
+#   3. hotcheck — the hot-path purity gate (tools/hotcheck): walks the call
+#      graph of the compiled objects from every DUET_HOT root and fails on
+#      reachable alloc/mutex/clock/throw/unordered_map/stdio calls. Skipped
+#      with a notice when the binary is not built yet.
 set -u
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
@@ -25,13 +39,20 @@ fail() {
 }
 
 # --- 1. grep lint ------------------------------------------------------------
-# \brand\b catches rand( and srand( call sites but not util/rng.h names.
+# \b(s?rand)\( catches rand( and srand( call sites but not util/random.h names.
 if grep -rnE '\b(s?rand)\(' src/ --include='*.cc' --include='*.h'; then
   fail "rand()/srand() found: use util/random.h (seedable, reproducible)"
 fi
 
-if grep -rnE '=\s*new\b|return\s+new\b' src/ --include='*.cc' --include='*.h'; then
-  fail "naked new found: use std::make_unique or a container"
+# `new` in initializer, return, brace-init, AND argument position — f(new T)
+# and {new T} leak just as easily as `p = new T`. Placement new (`new (addr)`)
+# is excluded by shape; full-line comments are dropped; a reviewed line can
+# carry `// lint: allow-new`.
+if grep -rnE '(=|\breturn|\(|\{|,)\s*new\s+[A-Za-z_:<(]' src/ --include='*.cc' --include='*.h' \
+    | grep -vE 'new\s*\(' \
+    | grep -vE ':[0-9]+:\s*(//|\*)' \
+    | grep -v 'lint: allow-new'; then
+  fail "naked new found: use std::make_unique or a container (// lint: allow-new to escape)"
 fi
 
 # Presentation/export files own their streams; everything else logs.
@@ -41,6 +62,24 @@ if grep -rnE '\b(printf|fprintf)\s*\(|std::cout|std::cerr' src/ --include='*.cc'
   fail "direct stdout/stderr print in src/: use util/logging.h (DUET_LOG_*)"
 fi
 
+# Forwarding-path files must not even include the node-based hash containers;
+# util/flat_table.h is the hot-path map. Include-lines only: mentioning the
+# type in a comment or a diagnostic string is fine.
+HOT_PATH_FILES=$(ls src/duet/smux.* src/duet/stateful_engine.* src/duet/decision_engine.h \
+                    src/stateless/* src/util/flat_table.h src/net/*.h src/net/*.cc \
+                    src/runtime/udp.* 2>/dev/null)
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+if grep -nE '^\s*#\s*include\s*<unordered_(map|set)>' $HOT_PATH_FILES; then
+  fail "forwarding-path file includes <unordered_map>/<unordered_set>: use util/flat_table.h"
+fi
+
+# Wall-clock reads belong to presentation/telemetry; hot code receives time.
+CLOCK_WHITELIST='src/util/logging\.(h|cc)|src/telemetry/[^:]*|src/util/table\.cc|src/util/chart\.cc'
+if grep -rnE 'system_clock::now' src/ --include='*.cc' --include='*.h' \
+    | grep -vE "^($CLOCK_WHITELIST):"; then
+  fail "system_clock::now outside presentation/telemetry: pass timestamps in"
+fi
+
 # --- 2. clang-tidy -----------------------------------------------------------
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not installed; skipping static analysis layer" >&2
@@ -48,10 +87,37 @@ elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   fail "$BUILD_DIR/compile_commands.json missing: configure with cmake first"
 else
   # Repo translation units only (the DB also lists nothing else, but be safe).
+  # One clang-tidy per TU, fanned out across the cores; each TU reports its
+  # own wall time so slow files show up, and failures land as marker files
+  # (xargs swallows per-process exit codes once -P is in play).
   mapfile -t sources < <(ls src/*/*.cc tests/*.cc examples/*.cpp 2>/dev/null)
-  if ! clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"; then
+  tidy_failed=$(mktemp -d)
+  printf '%s\0' "${sources[@]}" \
+    | xargs -0 -n1 -P "$(nproc)" bash -c '
+        build="$1"; marker="$2"; tu="$3"
+        start=$(date +%s%N)
+        clang-tidy -p "$build" --quiet "$tu"
+        status=$?
+        elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+        printf "lint: clang-tidy %-44s %6s ms\n" "$tu" "$elapsed_ms" >&2
+        [ "$status" -eq 0 ] || : > "$marker/${tu//\//_}"
+      ' tidy "$BUILD_DIR" "$tidy_failed"
+  if [ -n "$(ls -A "$tidy_failed")" ]; then
     fail "clang-tidy reported errors (checks: see .clang-tidy)"
   fi
+  rm -rf "$tidy_failed"
+fi
+
+# --- 3. hotcheck -------------------------------------------------------------
+HOTCHECK_BIN="$BUILD_DIR/tools/hotcheck/hotcheck"
+HOTCHECK_RSP="$BUILD_DIR/hotcheck_objects.rsp"
+if [ -x "$HOTCHECK_BIN" ] && [ -f "$HOTCHECK_RSP" ]; then
+  if ! "$HOTCHECK_BIN" --allow tools/hotcheck/allow.conf "@$HOTCHECK_RSP"; then
+    fail "hotcheck: hot path reaches denylisted calls (see DESIGN.md §14)"
+  fi
+else
+  echo "lint: hotcheck not built; skipping hot-path purity layer" >&2
+  echo "lint:   build it with: cmake --build $BUILD_DIR --target hotcheck_bin duet_lib" >&2
 fi
 
 if [ "$failures" -ne 0 ]; then

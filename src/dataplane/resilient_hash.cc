@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/hot.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -34,8 +35,8 @@ void ResilientHashGroup::rebalance() {
   }
 }
 
-std::uint32_t ResilientHashGroup::select(std::uint64_t flow_hash) const {
-  DUET_CHECK(live_members_ > 0) << "select from empty group";
+DUET_HOT std::uint32_t ResilientHashGroup::select(std::uint64_t flow_hash) const {
+  DUET_HOT_CHECK(live_members_ > 0, "select from empty group");
   // Salt + remix before indexing so consecutive groups on a packet's path
   // see decorrelated bucket choices; bucket_count is a power of two.
   std::uint64_t z = flow_hash ^ salt_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stateless/stateless_engine.h"
+#include "util/hot.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -112,7 +113,8 @@ std::size_t Smux::decision_state_bytes() const noexcept {
          (stateless_ != nullptr ? stateless_->decision_state_bytes() : 0);
 }
 
-bool Smux::decide(const FiveTuple& tuple, double now_us, Ipv4Address* chosen, bool* pinned) {
+DUET_HOT bool Smux::decide(const FiveTuple& tuple, double now_us, Ipv4Address* chosen,
+                           bool* pinned) {
   // Port-specific pool first (the ACL stage of the switch pipeline, Fig 8).
   std::uint64_t pool_id = port_rule_pool_id(tuple.dst, tuple.dst_port);
   const VipPool* pool = port_rules_.find(pool_id);
@@ -148,9 +150,9 @@ bool Smux::process(Packet& packet, double now_us) {
   return true;
 }
 
-std::size_t Smux::process_batch(std::span<const Packet> packets,
-                                std::span<Ipv4Address> dips_out, double now_us) {
-  DUET_CHECK(dips_out.size() >= packets.size()) << "process_batch output span too small";
+DUET_HOT std::size_t Smux::process_batch(std::span<const Packet> packets,
+                                         std::span<Ipv4Address> dips_out, double now_us) {
+  DUET_HOT_CHECK(dips_out.size() >= packets.size(), "process_batch output span too small");
   // Overlap the flow-table misses: by the time the decision pass reaches
   // packet k, its home slot has been in flight for k prefetch distances.
   // (No-op under a purely stateless config: the flow table stays empty.)

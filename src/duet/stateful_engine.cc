@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/hot.h"
+
 namespace duet {
 
 std::size_t StatefulEngine::expire_flows(double now_us, double idle_us) {
@@ -30,6 +32,7 @@ StatefulEngine::EvictStats StatefulEngine::expire_flows_step(double now_us, doub
   return EvictStats{r.scanned, r.erased};
 }
 
+DUET_HOT_ALLOW("flow-cap shedding: runs only when an insert pushes the table past smux_flow_table_max; O(n) selection is the documented rare-case cost")
 void StatefulEngine::enforce_flow_cap(double now_us) {
   if (config_.smux_flow_idle_us > 0) expire_flows(now_us, config_.smux_flow_idle_us);
   const std::size_t cap = config_.smux_flow_table_max;

@@ -22,6 +22,7 @@
 #include "net/packet.h"
 #include "telemetry/metrics.h"
 #include "util/flat_table.h"
+#include "util/hot.h"
 
 namespace duet {
 
@@ -60,9 +61,11 @@ class StatefulEngine final : public DecisionEngine {
   }
 
   // The decision core: pin hit -> pinned DIP, else hash-select (the exact
-  // bucket layout every HMux computes, §3.3.1) and pin.
-  bool decide(std::uint64_t, const VipPool& pool, const FiveTuple& tuple, double now_us,
-              Ipv4Address* chosen, bool* pinned) override {
+  // bucket layout every HMux computes, §3.3.1) and pin. Purity root
+  // (DESIGN.md §14): everything reachable except the allow-listed cap/grow
+  // cold paths must stay allocation/lock/clock/stdio-free.
+  DUET_HOT bool decide(std::uint64_t, const VipPool& pool, const FiveTuple& tuple,
+                       double now_us, Ipv4Address* chosen, bool* pinned) override {
     *pinned = false;
     FlowPin* pin = flow_table_.find(tuple);
     if (pin != nullptr) {
@@ -88,7 +91,7 @@ class StatefulEngine final : public DecisionEngine {
   }
 
   // --- hot-path helpers (Smux::process_batch) ---------------------------------
-  void prefetch(const FiveTuple& tuple) const { flow_table_.prefetch(tuple); }
+  DUET_HOT void prefetch(const FiveTuple& tuple) const { flow_table_.prefetch(tuple); }
 
   // --- flow-table hygiene (see smux.h for the eviction contract) --------------
   std::size_t expire_flows(double now_us, double idle_us);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/hot.h"
 #include "util/logging.h"
 
 namespace duet {
@@ -51,8 +52,8 @@ void write_header(std::vector<std::uint8_t>& out, std::size_t at, Ipv4Address sr
 
 }  // namespace
 
-std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header) {
-  DUET_CHECK(header.size() == kIpv4HeaderBytes) << "checksum over non-header";
+DUET_HOT std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header) {
+  DUET_HOT_CHECK(header.size() == kIpv4HeaderBytes, "checksum over non-header");
   std::uint32_t sum = 0;
   for (std::size_t i = 0; i < header.size(); i += 2) {
     sum += static_cast<std::uint32_t>((header[i] << 8) | header[i + 1]);
@@ -135,7 +136,7 @@ std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
   return std::nullopt;  // absurd nesting
 }
 
-std::optional<EncapPeek> peek_encap(std::span<const std::uint8_t> bytes) {
+DUET_HOT std::optional<EncapPeek> peek_encap(std::span<const std::uint8_t> bytes) {
   EncapPeek peek{};
   bool have_encap = false;
   std::size_t at = 0;
@@ -167,8 +168,8 @@ std::optional<EncapPeek> peek_encap(std::span<const std::uint8_t> bytes) {
   return std::nullopt;  // absurd nesting
 }
 
-std::size_t encapsulate_on_wire(std::span<const std::uint8_t> datagram,
-                                const EncapHeader& outer, std::span<std::uint8_t> out) {
+DUET_HOT std::size_t encapsulate_on_wire(std::span<const std::uint8_t> datagram,
+                                         const EncapHeader& outer, std::span<std::uint8_t> out) {
   const std::size_t total = datagram.size() + kIpv4HeaderBytes;
   if (datagram.size() < kIpv4HeaderBytes || total > 0xffff || out.size() < total) return 0;
   if (out.data() + kIpv4HeaderBytes != datagram.data()) {

@@ -50,7 +50,7 @@ struct EventLoop::Impl {
   }
 };
 
-EventLoop::EventLoop() : impl_(new Impl) {
+EventLoop::EventLoop() : impl_(std::make_unique<Impl>()) {
 #if DUET_RUNTIME_HAVE_EPOLL
   impl_->epoll_fd = epoll_create1(0);
   const int efd = eventfd(0, EFD_NONBLOCK);
@@ -89,7 +89,6 @@ EventLoop::~EventLoop() {
   if (impl_->wake_rd >= 0) ::close(impl_->wake_rd);
   if (impl_->wake_wr >= 0) ::close(impl_->wake_wr);
 #endif
-  delete impl_;
 }
 
 bool EventLoop::ok() const noexcept { return impl_->ok(); }

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 
 namespace duet::runtime {
 
@@ -39,7 +40,9 @@ class EventLoop {
 
  private:
   struct Impl;
-  Impl* impl_;
+  // Destroyed out-of-line in event_loop.cc where Impl is complete (the dtor
+  // also closes the backing fds first).
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace duet::runtime

@@ -6,7 +6,9 @@ namespace duet::runtime {
 
 struct FakeDipPool::DipSock {
   DipSock(Ipv4Address dip_, UdpSocket sock_, std::size_t batch)
-      : dip(dip_), sock(std::move(sock_)), io(batch) {}
+      : dip(dip_), sock(std::move(sock_)), io(batch) {
+    rx.resize(batch);  // fixed-size descriptor array: recv_batch never grows it
+  }
 
   Ipv4Address dip;
   UdpSocket sock;
@@ -74,12 +76,11 @@ std::uint64_t FakeDipPool::total_packets() const {
 
 void FakeDipPool::pump(DipSock& ds) {
   for (;;) {
-    ds.rx.clear();
     const std::size_t n = ds.io.recv_batch(ds.sock.fd(), ds.rx);
     if (n == 0) break;
     ds.tx.clear();
     std::uint64_t rejects = 0;
-    for (const RxPacket& p : ds.rx) {
+    for (const RxPacket& p : std::span<const RxPacket>(ds.rx.data(), n)) {
       // Only properly encapsulated datagrams addressed to THIS DIP echo;
       // anything else (stray traffic, un-tunneled packets) is rejected, so a
       // mux bug that skips encap shows up as rejects, not silent success.

@@ -10,7 +10,9 @@
 namespace duet::runtime {
 
 struct LoadGenerator::Source {
-  Source(UdpSocket sock_, std::size_t batch) : sock(std::move(sock_)), io(batch) {}
+  Source(UdpSocket sock_, std::size_t batch) : sock(std::move(sock_)), io(batch) {
+    rx.resize(batch);  // fixed-size descriptor array: recv_batch never grows it
+  }
 
   UdpSocket sock;
   BatchIo io;
@@ -199,12 +201,11 @@ LoadReport LoadGenerator::run_closed(std::span<const FiveTuple> flows, std::uint
     for (const auto& sp : sources_) {
       Source& s = *sp;
       for (;;) {
-        s.rx.clear();
         const std::size_t n = s.io.recv_batch(s.sock.fd(), s.rx);
         if (n == 0) break;
         const std::uint64_t rx_now = now_ns();  // one clock read per batch
         std::uint64_t got = 0;
-        for (const RxPacket& r : s.rx) {
+        for (const RxPacket& r : std::span<const RxPacket>(s.rx.data(), n)) {
           const auto stamp = handle_reply(r, rx_now, flows, templates, report);
           if (!stamp.has_value()) continue;
           if (outstanding.erase(stamp->seq) > 0) {
@@ -270,12 +271,11 @@ LoadReport LoadGenerator::run_open(std::span<const FiveTuple> flows) {
     for (const auto& sp : sources_) {
       Source& s = *sp;
       for (;;) {
-        s.rx.clear();
         const std::size_t n = s.io.recv_batch(s.sock.fd(), s.rx);
         if (n == 0) break;
         const std::uint64_t rx_now = now_ns();  // one clock read per batch
         std::uint64_t batch_got = 0;
-        for (const RxPacket& r : s.rx) {
+        for (const RxPacket& r : std::span<const RxPacket>(s.rx.data(), n)) {
           if (handle_reply(r, rx_now, flows, templates, report).has_value()) ++batch_got;
         }
         report.received += batch_got;

@@ -14,6 +14,7 @@ namespace duet::runtime {
 struct MuxServer::Worker {
   Worker(std::size_t index_, UdpSocket sock_, Smux smux_, std::size_t batch)
       : index(index_), sock(std::move(sock_)), smux(std::move(smux_)), io(batch) {
+    rx.resize(batch);  // fixed-size descriptor array: recv_batch never grows it
     pkts.reserve(batch);
     chosen.reserve(batch);
     rx_index.reserve(batch);
@@ -158,7 +159,6 @@ void MuxServer::serve(std::size_t index) {
 std::size_t MuxServer::pump(Worker& worker, bool draining) {
   std::size_t total = 0;
   for (;;) {
-    worker.rx.clear();
     const std::size_t n = worker.io.recv_batch(worker.sock.fd(), worker.rx);
     if (n == 0) break;
     total += n;
@@ -169,7 +169,7 @@ std::size_t MuxServer::pump(Worker& worker, bool draining) {
     worker.rx_index.clear();
     std::uint64_t rx_bytes = 0;
     std::uint64_t parse_failures = 0;
-    for (std::size_t i = 0; i < worker.rx.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       rx_bytes += worker.rx[i].bytes.size();
       auto parsed = parse_packet(worker.rx[i].bytes);
       if (!parsed.has_value()) {

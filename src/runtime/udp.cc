@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/hot.h"
 #include "util/logging.h"
 
 // recvmmsg/sendmmsg are Linux-only; everywhere else the same interface runs
@@ -131,7 +132,7 @@ BatchIo::BatchIo(std::size_t batch, std::size_t mtu, std::size_t headroom)
       headroom_(headroom),
       stride_(headroom + mtu),
       pool_(batch_ * stride_),
-      scratch_(new Scratch) {
+      scratch_(std::make_unique<Scratch>()) {
   scratch_->rx_addrs.resize(batch_);
   scratch_->tx_addrs.resize(batch_);
 #if DUET_RUNTIME_HAVE_MMSG
@@ -151,9 +152,14 @@ BatchIo::BatchIo(std::size_t batch, std::size_t mtu, std::size_t headroom)
 #endif
 }
 
-BatchIo::~BatchIo() { delete scratch_; }
+BatchIo::~BatchIo() = default;
 
-std::size_t BatchIo::recv_batch(int fd, std::vector<RxPacket>& out) {
+// Purity roots (DESIGN.md §14): the per-batch syscall legs. Syscall wrappers
+// themselves are leaves the gate permits; what the gate enforces is that no
+// formatting, locking, or per-packet allocation crept in around them (the
+// one amortized exception, out's vector growth, is allow-listed).
+DUET_HOT std::size_t BatchIo::recv_batch(int fd, std::span<RxPacket> out) {
+  DUET_HOT_CHECK(out.size() >= batch_, "recv_batch descriptor span smaller than batch()");
 #if DUET_RUNTIME_HAVE_MMSG
   // The kernel rewrites msg_namelen and iov_len stays fixed, so only the
   // namelen fields need resetting between calls.
@@ -164,10 +170,10 @@ std::size_t BatchIo::recv_batch(int fd, std::vector<RxPacket>& out) {
                          MSG_DONTWAIT, nullptr);
   if (n <= 0) return 0;
   for (int i = 0; i < n; ++i) {
-    out.push_back(RxPacket{
+    out[static_cast<std::size_t>(i)] = RxPacket{
         std::span<std::uint8_t>(pool_.data() + static_cast<std::size_t>(i) * stride_ + headroom_,
                                 scratch_->rx_hdrs[i].msg_len),
-        from_sockaddr(scratch_->rx_addrs[i])});
+        from_sockaddr(scratch_->rx_addrs[i])};
   }
   return static_cast<std::size_t>(n);
 #else
@@ -178,15 +184,16 @@ std::size_t BatchIo::recv_batch(int fd, std::vector<RxPacket>& out) {
     socklen_t sa_len = sizeof(sa);
     const ssize_t got = ::recvfrom(fd, slot, mtu_, 0, reinterpret_cast<sockaddr*>(&sa), &sa_len);
     if (got < 0) break;  // EAGAIN: socket drained
-    out.push_back(RxPacket{std::span<std::uint8_t>(slot, static_cast<std::size_t>(got)),
-                           from_sockaddr(sa)});
+    out[n] = RxPacket{std::span<std::uint8_t>(slot, static_cast<std::size_t>(got)),
+                      from_sockaddr(sa)};
     ++n;
   }
   return n;
 #endif
 }
 
-std::size_t BatchIo::send_batch(int fd, std::span<const TxPacket> items, int flush_wait_ms) {
+DUET_HOT std::size_t BatchIo::send_batch(int fd, std::span<const TxPacket> items,
+                                         int flush_wait_ms) {
   std::size_t sent = 0;
   while (sent < items.size()) {
     const std::size_t chunk = std::min(items.size() - sent, batch_);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -100,10 +101,13 @@ class BatchIo {
   std::size_t batch() const noexcept { return batch_; }
   std::size_t headroom() const noexcept { return headroom_; }
 
-  // Receives up to batch() datagrams without blocking; appends to `out` and
-  // returns the count (0 when the socket is drained). Overwrites the pool,
-  // invalidating spans from the previous call.
-  std::size_t recv_batch(int fd, std::vector<RxPacket>& out);
+  // Receives up to batch() datagrams without blocking; writes them to
+  // out[0..n) and returns n (0 when the socket is drained). Requires
+  // out.size() >= batch() — callers size their descriptor array once at
+  // setup, so the receive path compiles down with no growth branch at all
+  // (the hot-path purity gate, DESIGN.md §14, checks exactly that).
+  // Overwrites the pool, invalidating spans from the previous call.
+  std::size_t recv_batch(int fd, std::span<RxPacket> out);
 
   // Sends as many of `items` as the socket accepts, in order, waiting up to
   // `flush_wait_ms` for buffer space before giving up on the remainder.
@@ -117,9 +121,10 @@ class BatchIo {
   std::size_t stride_;
   std::vector<std::uint8_t> pool_;
   // Opaque scratch (mmsghdr/iovec/sockaddr_in arrays on Linux); hidden so
-  // this header stays free of <sys/socket.h>.
+  // this header stays free of <sys/socket.h>. Destroyed out-of-line in
+  // udp.cc where Scratch is complete.
   struct Scratch;
-  Scratch* scratch_;
+  std::unique_ptr<Scratch> scratch_;
 };
 
 }  // namespace duet::runtime

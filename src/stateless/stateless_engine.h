@@ -30,6 +30,7 @@
 #include "stateless/versioned_map.h"
 #include "telemetry/metrics.h"
 #include "util/flat_table.h"
+#include "util/hot.h"
 #include "util/mix.h"
 
 namespace duet::stateless {
@@ -49,8 +50,10 @@ class StatelessEngine final : public DecisionEngine {
   void dip_removed(std::uint64_t pool_id, const VipPool& pool, Ipv4Address dip,
                    double now_us) override;
 
-  bool decide(std::uint64_t pool_id, const VipPool&, const FiveTuple& tuple, double now_us,
-              Ipv4Address* chosen, bool* pinned) override {
+  // Purity root (DESIGN.md §14): the whole stateless lookup path — directory
+  // find, bucket hash, stamped-version read — must stay allocation-free.
+  DUET_HOT bool decide(std::uint64_t pool_id, const VipPool&, const FiveTuple& tuple,
+                       double now_us, Ipv4Address* chosen, bool* pinned) override {
     *pinned = false;  // never any per-flow state
     auto* map = pools_.find(pool_id);
     if (map == nullptr || !(*map)->built()) return false;

@@ -45,6 +45,7 @@
 
 #include "duet/decision_engine.h"
 #include "net/ip.h"
+#include "util/hot.h"
 #include "util/mix.h"
 
 namespace duet::stateless {
@@ -81,8 +82,9 @@ class VersionedPoolMap {
   // The hot path: decide the DIP for a flow hash (FlowHasher over the
   // 5-tuple). Reads the bucket's stamped version, lazily adopting the
   // newest one when the bucket has drained. Precondition: rebuilt at least
-  // once (the engine builds on pool_updated before any packet).
-  Ipv4Address lookup(std::uint64_t flow_hash, double now_us) {
+  // once (the engine builds on pool_updated before any packet). Purity root
+  // (DESIGN.md §14): pure array reads — no allocation, ever.
+  DUET_HOT Ipv4Address lookup(std::uint64_t flow_hash, double now_us) {
     const std::size_t b = static_cast<std::size_t>(mix64(flow_hash ^ salt_)) & mask_;
     const MapVersion& newest = *versions_.back();
     std::uint32_t e = stamp_[b];

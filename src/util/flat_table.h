@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/hot.h"
 #include "util/logging.h"
 
 namespace duet::util {
@@ -64,11 +65,15 @@ class FlatTable {
 
   bool contains(const Key& key) const { return find(key) != nullptr; }
 
-  Value* find(const Key& key) {
+  // find/prefetch/try_emplace are the per-packet entry points; DUET_HOT here
+  // is advisory (GCC drops section attributes on template instantiations) —
+  // the purity gate still covers them via call-graph closure from the
+  // annotated concrete roots (engine decide paths, DESIGN.md §14).
+  DUET_HOT Value* find(const Key& key) {
     return const_cast<Value*>(static_cast<const FlatTable*>(this)->find(key));
   }
 
-  const Value* find(const Key& key) const {
+  DUET_HOT const Value* find(const Key& key) const {
     if (slots_.empty()) return nullptr;
     const std::uint64_t h = hash_of(key);
     std::size_t i = h & mask_;
@@ -81,14 +86,14 @@ class FlatTable {
 
   // Software-prefetch the key's home slot; a batch of prefetches followed by
   // a batch of find()s overlaps the memory latency across the batch.
-  void prefetch(const Key& key) const {
+  DUET_HOT void prefetch(const Key& key) const {
     if (slots_.empty()) return;
     __builtin_prefetch(&slots_[hash_of(key) & mask_]);
   }
 
   // Find-or-default-construct; returns {value, inserted}. The returned
   // pointer is invalidated by any subsequent insert/erase/rehash.
-  std::pair<Value*, bool> try_emplace(const Key& key) {
+  DUET_HOT std::pair<Value*, bool> try_emplace(const Key& key) {
     grow_if_needed();
     const std::uint64_t h = hash_of(key);
     std::size_t i = h & mask_;
@@ -222,6 +227,11 @@ class FlatTable {
     }
   }
 
+  // The one allocation a hot insert can reach. DUET_HOT_ALLOW's section is
+  // dropped on templates (see util/hot.h) but noinline still holds, which
+  // keeps rehash an out-of-line call so the tools/hotcheck allow.conf
+  // pattern for it has a symbol to stop traversal at.
+  DUET_HOT_ALLOW("amortized growth: doubling rehash off the steady-state path; reserve() pre-sizing makes it free in the serving loop")
   void rehash(std::size_t new_capacity) {
     DUET_CHECK((new_capacity & (new_capacity - 1)) == 0) << "capacity not a power of two";
     std::vector<Slot> old = std::move(slots_);

@@ -1,0 +1,81 @@
+// Hot-path purity annotations (DESIGN.md §14).
+//
+// The multi-Mpps claims rest on conventions no generic linter can express:
+// forwarding-path code must not allocate, take a mutex, read the clock per
+// packet, throw, touch std::unordered_map, or do stdio. DUET_HOT turns those
+// conventions into a machine-checkable contract: an annotated function is
+// placed in a dedicated `.text.duet_hot.<n>` section of its object file, and
+// tools/hotcheck reconstructs the call graph of the built objects and walks
+// the transitive closure from every such root, failing on any reachable call
+// into the denylist.
+//
+//   * DUET_HOT — marks a forwarding-path entry point (a purity ROOT). Apply
+//     to the function definition. Everything statically reachable from it
+//     must stay pure; the analyzer follows calls through unannotated helpers
+//     (closure, not per-function), so only entry points need the attribute.
+//     On GCC, section attributes are silently dropped from template
+//     instantiations — annotating a template member (FlatTable ops) is
+//     advisory documentation there; such code is still checked via closure
+//     from its concrete callers, which is why every concrete entry point
+//     must carry the attribute.
+//   * DUET_HOT_ALLOW(reason) — the escape hatch: an out-of-line cold path
+//     that is REACHABLE from hot code but deliberately impure (amortized
+//     growth, fail-fast abort sinks). The function lands in a
+//     `.text.duet_hot_allow.<n>` section and the analyzer stops traversal
+//     there, reporting the barrier together with `reason` (recovered from
+//     the source annotation). Implies noinline — an inlined barrier would
+//     dissolve into its hot caller and mask nothing... and hide everything.
+//     The reason must be a single-line string literal. For template
+//     functions (where GCC drops the section) add a pattern entry to
+//     tools/hotcheck/allow.conf instead; the attribute still pins the
+//     function out of line so the pattern has a symbol to match.
+//   * DUET_HOT_CHECK(cond, what) — DUET_CHECK for hot functions. The classic
+//     macro inlines ostringstream streaming into the caller, which makes
+//     every hot function "call" iostream in its cold branch and trips the
+//     stdio gate. This variant costs one predicted branch and a call to an
+//     out-of-line DUET_HOT_ALLOW'd [[noreturn]] sink; no formatting, no
+//     allocation, no iostream anywhere in the hot object code.
+//
+// Sections are suffixed with __COUNTER__ because GCC rejects mixing comdat
+// (inline/member) and plain functions in one named section ("section type
+// conflict"); unique names sidestep that and give the analyzer unambiguous
+// per-function relocation attribution as a bonus.
+#pragma once
+
+namespace duet::detail {
+
+// Logs "file:line: hot-path check failed: what" and aborts. Never returns.
+// Defined out of line (util/logging.cc) behind DUET_HOT_ALLOW.
+[[noreturn]] void hot_check_fail(const char* file, int line, const char* what) noexcept;
+
+}  // namespace duet::detail
+
+#define DUET_HOT_STRINGIZE_IMPL(x) #x
+#define DUET_HOT_STRINGIZE(x) DUET_HOT_STRINGIZE_IMPL(x)
+
+#if defined(__clang__)
+// clang: no `noclone` attribute.
+#define DUET_HOT \
+  __attribute__((section(".text.duet_hot." DUET_HOT_STRINGIZE(__COUNTER__)), used))
+#define DUET_HOT_ALLOW(reason)                                                         \
+  __attribute__((section(".text.duet_hot_allow." DUET_HOT_STRINGIZE(__COUNTER__)), \
+                 noinline, used))
+#elif defined(__GNUC__)
+// noclone keeps -O2 from splitting off .constprop clones that would escape
+// their section (and therefore the root set).
+#define DUET_HOT \
+  __attribute__((section(".text.duet_hot." DUET_HOT_STRINGIZE(__COUNTER__)), used, noclone))
+#define DUET_HOT_ALLOW(reason)                                                         \
+  __attribute__((section(".text.duet_hot_allow." DUET_HOT_STRINGIZE(__COUNTER__)), \
+                 noinline, used, noclone))
+#else
+#define DUET_HOT
+#define DUET_HOT_ALLOW(reason)
+#endif
+
+#define DUET_HOT_CHECK(cond, what)                                  \
+  do {                                                              \
+    if (__builtin_expect(!(cond), 0)) {                             \
+      ::duet::detail::hot_check_fail(__FILE__, __LINE__, what);     \
+    }                                                               \
+  } while (0)

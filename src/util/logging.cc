@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "util/hot.h"
+
 namespace duet {
 
 namespace {
@@ -50,6 +52,13 @@ CheckFailure::CheckFailure(std::string_view file, int line, std::string_view con
 
 CheckFailure::~CheckFailure() {
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+DUET_HOT_ALLOW("fail-fast abort sink: one predicted branch on the hot path, formats and aborts only on a broken invariant")
+void hot_check_fail(const char* file, int line, const char* what) noexcept {
+  std::fprintf(stderr, "HOT CHECK failed at %s:%d: %s\n", file, line, what);
   std::fflush(stderr);
   std::abort();
 }

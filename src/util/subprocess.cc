@@ -1,0 +1,90 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace duet::util {
+
+namespace {
+
+bool is_executable_file(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode) &&
+         ::access(path.c_str(), X_OK) == 0;
+}
+
+}  // namespace
+
+std::optional<CommandResult> run_command(const std::vector<std::string>& argv) {
+  if (argv.empty()) return std::nullopt;
+  int fds[2];
+  if (::pipe(fds) != 0) return std::nullopt;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, stderr untouched.
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    _exit(127);  // exec failed; 127 mirrors the shell convention
+  }
+
+  ::close(fds[1]);
+  CommandResult result;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n > 0) {
+      result.out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+  }
+  if (result.exit_code == 127) return std::nullopt;  // exec failure
+  return result;
+}
+
+bool command_exists(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.find('/') != std::string::npos) return is_executable_file(name);
+  const char* path = std::getenv("PATH");
+  if (path == nullptr) return false;
+  std::string dirs(path);
+  std::size_t start = 0;
+  while (start <= dirs.size()) {
+    std::size_t end = dirs.find(':', start);
+    if (end == std::string::npos) end = dirs.size();
+    const std::string dir = dirs.substr(start, end - start);
+    if (!dir.empty() && is_executable_file(dir + "/" + name)) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+}  // namespace duet::util

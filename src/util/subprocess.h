@@ -1,0 +1,30 @@
+// Minimal child-process helpers for tools that drive external binaries
+// (tools/hotcheck shells out to nm/objdump; tests shell out to hotcheck).
+//
+// No shell is involved: argv is passed straight to execvp, so arguments
+// never need quoting and PATH lookup follows the usual exec rules. stdout is
+// captured; stderr passes through to the parent's stderr so diagnostics from
+// the child stay visible.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace duet::util {
+
+struct CommandResult {
+  int exit_code = -1;  // child's exit status; 128+signal when killed
+  std::string out;     // everything the child wrote to stdout
+};
+
+// Runs argv[0] with the given arguments, blocking until it exits. Returns
+// nullopt when the child cannot be spawned at all (fork/pipe failure or
+// exec failure, e.g. the binary does not exist).
+std::optional<CommandResult> run_command(const std::vector<std::string>& argv);
+
+// True when `name` resolves to an executable via PATH (or directly, when it
+// contains a slash). Lets callers skip gracefully instead of failing mid-run.
+bool command_exists(const std::string& name);
+
+}  // namespace duet::util

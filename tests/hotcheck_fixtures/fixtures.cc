@@ -1,0 +1,84 @@
+// Seeded hotcheck violations — one intentionally-impure DUET_HOT root per
+// denylist class, plus the shapes the analyzer's closure and allow logic
+// must handle. Compiled as an OBJECT library that is never linked into any
+// binary; tests/hotcheck_test.cc runs the hotcheck analyzer over these
+// objects and asserts each plant is found (and only these).
+//
+// Everything is extern "C++" with external linkage and `used` (via DUET_HOT)
+// so nothing is optimized away; the closure chain uses noinline so the
+// intermediate frames stay distinct symbols in the call graph.
+#include <pthread.h>
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/hot.h"
+
+namespace hotcheck_fixtures {
+
+// [alloc] direct heap allocation in a hot root. The pointer escapes so the
+// optimizer cannot elide the paired new/delete.
+DUET_HOT int* impure_alloc(int n) { return new int[static_cast<unsigned>(n)]; }
+
+// [mutex] pthread lock in a hot root. Static initializer (not
+// pthread_mutex_init) so no guard-variable noise obscures the plant.
+DUET_HOT int impure_mutex(int x) {
+  static pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  pthread_mutex_lock(&m);
+  ++x;
+  pthread_mutex_unlock(&m);
+  return x;
+}
+
+// [clock] reading the clock in a hot root (hot code takes `now` as an
+// argument; it never asks the kernel).
+DUET_HOT long impure_clock() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_nsec;
+}
+
+// [throw] raising an exception in a hot root (__cxa_allocate_exception +
+// __cxa_throw).
+DUET_HOT int impure_throw(int x) {
+  if (x < 0) throw x;
+  return x;
+}
+
+// [stdio] formatted output in a hot root.
+DUET_HOT int impure_stdio(int x) {
+  std::printf("fixture %d\n", x);
+  return x;
+}
+
+// [unordered_map] node-based hashing container in a hot root.
+DUET_HOT int impure_unordered_map(int x) {
+  std::unordered_map<int, int> m;
+  m[x] = x + 1;
+  return m.find(x)->second;
+}
+
+// Closure chain: the root is pure-looking; the offense hides two
+// unannotated frames down (chain_root -> chain_mid -> chain_leaf ->
+// malloc). Proves the gate analyzes the transitive closure, not just the
+// annotated function's own body.
+__attribute__((noinline)) void* chain_leaf(unsigned long n) { return ::malloc(n); }
+
+__attribute__((noinline)) void* chain_mid(unsigned long n) { return chain_leaf(n + 1); }
+
+DUET_HOT void* chain_root(unsigned long n) { return chain_mid(n + 1); }
+
+// Allow suppression: the same malloc offense, but behind a DUET_HOT_ALLOW
+// barrier carrying a reason. Must produce zero violations and surface the
+// reason in the report.
+DUET_HOT_ALLOW("fixture escape hatch: preallocated scratch refilled off the steady-state path")
+void* allowed_helper(unsigned long n) { return ::malloc(n); }
+
+DUET_HOT void* allowed_root(unsigned long n) { return allowed_helper(n + 1); }
+
+// Clean control: a hot root with nothing to flag.
+DUET_HOT int pure_root(int a, int b) { return a * 31 + b; }
+
+}  // namespace hotcheck_fixtures

@@ -1,0 +1,161 @@
+// Proves the hotcheck purity gate (tools/hotcheck, DESIGN.md §14) actually
+// bites, by running the built analyzer binary over two object sets:
+//
+//   * tests/hotcheck_fixtures/ — seeded violations, one hot root per
+//     denylist class, plus a closure chain through unannotated frames and a
+//     DUET_HOT_ALLOW-suppressed twin. Every plant must be detected with a
+//     readable root -> ... -> offender path; the suppressed one must not.
+//   * duet_lib's own objects — the real hot path must come back clean, with
+//     the full root set present (a root silently falling out of the
+//     .text.duet_hot section would fail here before it failed in CI).
+//
+// Skips (does not fail) where binutils is unavailable — the analyzer itself
+// exits 2 in that case and CI's hotcheck leg is the enforcing copy.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/subprocess.h"
+
+namespace {
+
+using duet::util::command_exists;
+using duet::util::run_command;
+
+struct HotcheckRun {
+  int exit_code = -1;
+  std::string out;
+};
+
+HotcheckRun run_hotcheck(std::vector<std::string> extra_args) {
+  std::vector<std::string> argv = {HOTCHECK_BIN};
+  for (auto& a : extra_args) argv.push_back(std::move(a));
+  const auto res = run_command(argv);
+  EXPECT_TRUE(res.has_value()) << "could not spawn " << HOTCHECK_BIN;
+  if (!res.has_value()) return {};
+  return {res->exit_code, res->out};
+}
+
+#define SKIP_WITHOUT_BINUTILS()                                    \
+  do {                                                             \
+    if (!command_exists("objdump") || !command_exists("nm")) {     \
+      GTEST_SKIP() << "binutils not available; hotcheck cannot run"; \
+    }                                                              \
+  } while (0)
+
+// The violation line for `root`, i.e. the line after "[klass] ...root...".
+// Empty when absent.
+std::string path_line_for(const std::string& out, const std::string& klass,
+                          const std::string& root) {
+  const std::string needle = "[" + klass + "]";
+  std::size_t at = 0;
+  while ((at = out.find(needle, at)) != std::string::npos) {
+    const std::size_t eol = out.find('\n', at);
+    if (eol == std::string::npos) break;
+    const std::string header = out.substr(at, eol - at);
+    if (header.find(root) != std::string::npos) {
+      const std::size_t eol2 = out.find('\n', eol + 1);
+      return out.substr(eol + 1, eol2 - eol - 1);
+    }
+    at = eol;
+  }
+  return {};
+}
+
+TEST(Hotcheck, EachDenylistClassFiresOnSeededFixture) {
+  SKIP_WITHOUT_BINUTILS();
+  const HotcheckRun run = run_hotcheck({std::string("@") + HOTCHECK_FIXTURE_RSP});
+  EXPECT_EQ(run.exit_code, 1) << run.out;
+
+  const struct {
+    const char* klass;
+    const char* root;
+    const char* offender;
+  } kPlants[] = {
+      {"alloc", "impure_alloc", "operator new"},
+      {"mutex", "impure_mutex", "pthread_mutex_lock"},
+      {"clock", "impure_clock", "clock_gettime"},
+      {"throw", "impure_throw", "__cxa_"},  // allocate_exception or throw, whichever BFS meets first
+      {"stdio", "impure_stdio", "printf"},
+      {"unordered_map", "impure_unordered_map", "_Hashtable"},
+  };
+  for (const auto& plant : kPlants) {
+    const std::string path = path_line_for(run.out, plant.klass, plant.root);
+    EXPECT_FALSE(path.empty()) << "no [" << plant.klass << "] violation for "
+                               << plant.root << "\n"
+                               << run.out;
+    EXPECT_NE(path.find(plant.root), std::string::npos) << path;
+    EXPECT_NE(path.find(" -> "), std::string::npos)
+        << "path not rendered root -> offender: " << path;
+    EXPECT_NE(path.find(plant.offender), std::string::npos)
+        << "[" << plant.klass << "] path does not name the offender: " << path;
+  }
+}
+
+TEST(Hotcheck, ClosureWalksUnannotatedIntermediateFrames) {
+  SKIP_WITHOUT_BINUTILS();
+  // chain_root is the only annotated frame; the offense is two plain
+  // functions below it. Per-function (non-closure) analysis would miss it.
+  const HotcheckRun run = run_hotcheck({std::string("@") + HOTCHECK_FIXTURE_RSP});
+  const std::string path = path_line_for(run.out, "alloc", "chain_root");
+  ASSERT_FALSE(path.empty()) << run.out;
+  const std::size_t root_at = path.find("chain_root");
+  const std::size_t mid_at = path.find("chain_mid");
+  const std::size_t leaf_at = path.find("chain_leaf");
+  const std::size_t malloc_at = path.find("malloc");
+  EXPECT_NE(root_at, std::string::npos) << path;
+  EXPECT_NE(mid_at, std::string::npos) << path;
+  EXPECT_NE(leaf_at, std::string::npos) << path;
+  EXPECT_NE(malloc_at, std::string::npos) << path;
+  EXPECT_LT(root_at, mid_at) << path;
+  EXPECT_LT(mid_at, leaf_at) << path;
+  EXPECT_LT(leaf_at, malloc_at) << path;
+}
+
+TEST(Hotcheck, AllowBarrierSuppressesAndRecordsReason) {
+  SKIP_WITHOUT_BINUTILS();
+  const HotcheckRun run = run_hotcheck({std::string("@") + HOTCHECK_FIXTURE_RSP});
+  // allowed_root reaches the same malloc as the chain fixture, but through a
+  // DUET_HOT_ALLOW barrier: no violation may mention it...
+  EXPECT_EQ(path_line_for(run.out, "alloc", "allowed_root"), "") << run.out;
+  // ...and the barrier must be reported with the reason from its attribute.
+  EXPECT_NE(run.out.find("allow: hotcheck_fixtures::allowed_helper"), std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("fixture escape hatch: preallocated scratch refilled"),
+            std::string::npos)
+      << "DUET_HOT_ALLOW reason not recovered (fixtures built without -g?)\n"
+      << run.out;
+}
+
+TEST(Hotcheck, PureFixtureRootStaysClean) {
+  SKIP_WITHOUT_BINUTILS();
+  const HotcheckRun run = run_hotcheck({std::string("@") + HOTCHECK_FIXTURE_RSP});
+  EXPECT_NE(run.out.find("root: hotcheck_fixtures::pure_root"), std::string::npos)
+      << run.out;
+  // pure_root appears as a root but in no violation.
+  for (const char* klass : {"alloc", "mutex", "clock", "throw", "stdio", "unordered_map"}) {
+    EXPECT_EQ(path_line_for(run.out, klass, "pure_root"), "") << run.out;
+  }
+}
+
+TEST(Hotcheck, RealHotPathIsCleanWithFullRootSet) {
+  SKIP_WITHOUT_BINUTILS();
+  const HotcheckRun run = run_hotcheck(
+      {"--allow", HOTCHECK_ALLOW_CONF, std::string("@") + HOTCHECK_LIB_RSP});
+  EXPECT_EQ(run.exit_code, 0) << run.out;
+  EXPECT_NE(run.out.find("violations: 0"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("RESULT: clean"), std::string::npos) << run.out;
+  // The annotated root set of the serving path. A root missing here means
+  // the section attribute silently stopped applying (compiler change,
+  // accidental template-ification) and the gate quietly shrank.
+  for (const char* root :
+       {"Smux::process_batch", "Smux::decide", "StatefulEngine::decide",
+        "StatefulEngine::prefetch", "StatelessEngine::decide", "VersionedPoolMap::lookup",
+        "ResilientHashGroup::select", "ipv4_header_checksum", "peek_encap",
+        "encapsulate_on_wire", "BatchIo::recv_batch", "BatchIo::send_batch"}) {
+    EXPECT_NE(run.out.find(root), std::string::npos) << "missing hot root: " << root;
+  }
+}
+
+}  // namespace

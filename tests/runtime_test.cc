@@ -90,15 +90,15 @@ TEST(BatchIo, RoundTripsABatchBetweenSockets) {
   // Pool reuse invalidates spans on the next recv_batch call, so copy each
   // datagram out as it lands.
   std::vector<std::pair<std::vector<std::uint8_t>, Endpoint>> got;
-  std::vector<RxPacket> rx;
+  std::vector<RxPacket> rx(rx_io.batch());
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (got.size() < tx.size() && std::chrono::steady_clock::now() < deadline) {
-    rx.clear();
-    if (rx_io.recv_batch(b->fd(), rx) == 0) {
+    const std::size_t n = rx_io.recv_batch(b->fd(), rx);
+    if (n == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       continue;
     }
-    for (const RxPacket& p : rx) {
+    for (const RxPacket& p : std::span<const RxPacket>(rx.data(), n)) {
       got.emplace_back(std::vector<std::uint8_t>(p.bytes.begin(), p.bytes.end()), p.from);
     }
   }

@@ -1,0 +1,589 @@
+#include "analyzer.h"
+
+#include <cxxabi.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/subprocess.h"
+
+namespace duet::hotcheck {
+
+namespace {
+
+constexpr const char* kHotSectionPrefix = ".text.duet_hot.";
+constexpr const char* kAllowSectionPrefix = ".text.duet_hot_allow.";
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+// Demangles a symbol, preserving compiler clone suffixes the demangler
+// rejects (_ZN...foo.cold, .constprop.0, .isra.0, .part.0) the way c++filt
+// does: demangle the prefix, append "[clone .cold]".
+std::string demangle(const std::string& mangled) {
+  std::string base = mangled;
+  std::string clones;
+  const std::size_t dot = mangled.find('.');
+  if (dot != std::string::npos && dot > 0) {
+    base = mangled.substr(0, dot);
+    clones = mangled.substr(dot);
+  }
+  int status = 0;
+  char* out = abi::__cxa_demangle(base.c_str(), nullptr, nullptr, &status);
+  std::string result;
+  if (status == 0 && out != nullptr) {
+    result = out;
+  } else {
+    result = base;
+  }
+  std::free(out);
+  if (!clones.empty()) result += " [clone " + clones + "]";
+  return result;
+}
+
+struct AllowRule {
+  std::string pattern;
+  std::string reason;
+  std::regex re;
+};
+
+// One function-ish symbol span inside an object's section, for resolving
+// `.text.unlikely+0x30`-style relocation targets (GCC .cold parts).
+struct Span {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  std::string name;
+};
+
+struct ObjectInfo {
+  std::string path;
+  std::set<std::string> local_defined;             // 'l' symbols defined here
+  std::map<std::string, std::vector<Span>> spans;  // text section -> spans
+};
+
+struct Node {
+  std::string display;  // demangled
+  bool defined = false;
+  bool root = false;
+  bool allow_section = false;
+  std::string def_object;  // an object that defines it (reason lookup)
+  std::set<std::string> callees;  // node keys
+};
+
+struct Graph {
+  std::map<std::string, Node> nodes;
+
+  Node& get(const std::string& key, const std::string& mangled) {
+    Node& n = nodes[key];
+    if (n.display.empty()) n.display = demangle(mangled);
+    return n;
+  }
+};
+
+// Anonymous-namespace symbols from different TUs share mangled names
+// (_GLOBAL__N_1) while naming different functions; keying locals by object
+// keeps their edges from cross-wiring. Locals cannot be referenced from
+// another object, so the per-object key never breaks a real edge.
+std::string node_key(const ObjectInfo& obj, const std::string& sym) {
+  if (obj.local_defined.count(sym) != 0) return obj.path + "#" + sym;
+  return sym;
+}
+
+// Relocation/operand targets that are never call-graph edges: local labels,
+// RTTI/vtables/guard variables, unwind personality plumbing, and sanitizer
+// instrumentation (the tier-1 ASan/UBSan/TSan legs compile these calls into
+// every function).
+bool ignorable_target(const std::string& sym) {
+  if (starts_with(sym, ".L")) return true;
+  if (starts_with(sym, "_ZTV") || starts_with(sym, "_ZTI") || starts_with(sym, "_ZTS") ||
+      starts_with(sym, "_ZGV")) {
+    return true;
+  }
+  if (starts_with(sym, "__asan_") || starts_with(sym, "__tsan_") ||
+      starts_with(sym, "__ubsan_") || starts_with(sym, "__msan_") ||
+      starts_with(sym, "__lsan_") || starts_with(sym, "__sanitizer_") ||
+      starts_with(sym, "__odr_asan")) {
+    return true;
+  }
+  if (sym == "__stack_chk_fail" || sym == "__gxx_personality_v0" ||
+      sym == "_Unwind_Resume" || starts_with(sym, "DW.ref.") ||
+      sym == "__cxa_guard_acquire" || sym == "__cxa_guard_release" ||
+      sym == "__cxa_guard_abort" || sym == "_GLOBAL_OFFSET_TABLE_") {
+    return true;
+  }
+  return false;
+}
+
+// Splits `sym+0x10` / `sym-0x4` into base and signed addend.
+void split_addend(const std::string& target, std::string* base, std::int64_t* addend) {
+  *base = target;
+  *addend = 0;
+  const std::size_t p = target.find_last_of("+-");
+  if (p == std::string::npos || p + 2 >= target.size() ||
+      target.compare(p + 1, 2, "0x") != 0) {
+    return;
+  }
+  *base = target.substr(0, p);
+  const std::int64_t mag =
+      static_cast<std::int64_t>(std::strtoull(target.c_str() + p + 3, nullptr, 16));
+  *addend = target[p] == '-' ? -mag : mag;
+}
+
+// objdump -t line:
+//   0000000000000000 l     F .text.duet_hot.5\t00000000000002a5 _ZN4duet...
+const std::regex kSymtabLine(
+    R"(^([0-9a-f]+)\s(.{7})\s(\S+)\t([0-9a-f]+)\s+(.+)$)");
+
+bool parse_symtab(const std::string& text, ObjectInfo* obj, Graph* graph) {
+  std::istringstream in(text);
+  std::string line;
+  bool any = false;
+  // First pass: record locals, so node keys are stable before nodes exist.
+  std::vector<std::tuple<std::string, std::string, std::uint64_t, std::uint64_t, bool>>
+      defined;  // (sym, section, addr, size, is_func)
+  while (std::getline(in, line)) {
+    std::smatch m;
+    if (!std::regex_match(line, m, kSymtabLine)) continue;
+    any = true;
+    const std::string flags = m[2];
+    std::string section = m[3];
+    std::string name = m[5];
+    for (const char* marker : {".hidden ", ".protected ", ".internal "}) {
+      if (starts_with(name, marker)) name = name.substr(std::string(marker).size());
+    }
+    if (section == "*UND*" || section == "*ABS*" || section == "*COM*") continue;
+    if (name == section || starts_with(name, ".L")) continue;  // section/label syms
+    const auto addr = std::strtoull(m[1].str().c_str(), nullptr, 16);
+    const auto size = std::strtoull(m[4].str().c_str(), nullptr, 16);
+    const bool is_func = flags.find('F') != std::string::npos;
+    if (flags[0] == 'l') obj->local_defined.insert(name);
+    defined.emplace_back(name, section, addr, size, is_func);
+  }
+  for (const auto& [name, section, addr, size, is_func] : defined) {
+    if (!starts_with(section, ".text")) continue;
+    if (is_func) obj->spans[section].push_back(Span{addr, size, name});
+    Node& n = graph->get(node_key(*obj, name), name);
+    n.defined = true;
+    if (n.def_object.empty()) n.def_object = obj->path;
+    if (starts_with(section, kAllowSectionPrefix)) {
+      n.allow_section = true;
+    } else if (starts_with(section, kHotSectionPrefix)) {
+      n.root = true;
+    }
+  }
+  for (auto& [section, spans] : obj->spans) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.addr < b.addr; });
+  }
+  return any;
+}
+
+// Resolves a section-relative target (`.text.unlikely+0x30`) to the symbol
+// whose span covers the offset. Empty when unresolvable.
+std::string resolve_in_section(const ObjectInfo& obj, const std::string& section,
+                               std::uint64_t offset) {
+  const auto it = obj.spans.find(section);
+  if (it == obj.spans.end()) return {};
+  for (const Span& s : it->second) {
+    if (offset >= s.addr && (s.size == 0 || offset < s.addr + s.size)) return s.name;
+  }
+  return {};
+}
+
+// objdump -dr --no-show-raw-insn lines:
+//   Disassembly of section .text.duet_hot.9:
+//   0000000000000000 <_ZN4duet4Smux6decideE...>:
+//      495:\tcall   49a <_ZN4duet4Smux6decideE...+0x49a>
+//   \t\t\t496: R_X86_64_PLT32\t_ZNK4duet17ResilientHashGroup6selectEm-0x4
+const std::regex kFuncLabel(R"(^[0-9a-f]+ <([^>]+)>:$)");
+const std::regex kRelocLine(R"(^\s+[0-9a-f]+:\s+(R_\S+)\s+(.+)$)");
+const std::regex kCallInsn(R"(^\s+[0-9a-f]+:\s+(call|jmp)[a-z]*\s+[0-9a-f]+ <([^>]+)>)");
+
+void parse_disasm(const std::string& text, const ObjectInfo& obj, Graph* graph) {
+  std::istringstream in(text);
+  std::string line;
+  std::string current;       // mangled name of the function being disassembled
+  Node* current_node = nullptr;
+  // A call/jmp operand label is only a real edge when NO relocation follows
+  // the instruction: in a .o every section sits at VMA 0, so objdump
+  // resolves a reloc placeholder's operand against whatever unrelated
+  // symbol overlaps that address. The label is held pending and dropped the
+  // moment a reloc line (the authoritative target) shows up.
+  std::string pending_operand;
+
+  auto add_edge = [&](const std::string& target_with_addend, bool pc_relative) {
+    if (current_node == nullptr) return;
+    std::string base;
+    std::int64_t addend = 0;
+    split_addend(target_with_addend, &base, &addend);
+    if (base.empty() || base == current || ignorable_target(base)) return;
+    if (base[0] == '.') {
+      // Section-relative (relocs against local symbols and .cold parts are
+      // emitted against the section symbol): only executable sections can
+      // hold call targets. PC-relative relocs carry the -4 call-operand
+      // bias in their addend; undo it to land inside the callee's span.
+      if (!starts_with(base, ".text")) return;
+      const std::string resolved = resolve_in_section(
+          obj, base, static_cast<std::uint64_t>(addend + (pc_relative ? 4 : 0)));
+      if (resolved.empty() || resolved == current || ignorable_target(resolved)) return;
+      current_node->callees.insert(node_key(obj, resolved));
+      return;
+    }
+    current_node->callees.insert(node_key(obj, base));
+  };
+
+  auto flush_pending = [&]() {
+    if (!pending_operand.empty()) add_edge(pending_operand, false);
+    pending_operand.clear();
+  };
+
+  while (std::getline(in, line)) {
+    std::smatch m;
+    if (std::regex_match(line, m, kRelocLine)) {
+      pending_operand.clear();  // the reloc, not the operand label, is the edge
+      const std::string type = m[1];
+      const bool pc_relative = type == "R_X86_64_PLT32" || type == "R_X86_64_PC32" ||
+                               type == "R_X86_64_GOTPCREL" ||
+                               type == "R_X86_64_GOTPCRELX" ||
+                               type == "R_X86_64_REX_GOTPCRELX";
+      add_edge(m[2], pc_relative);
+      continue;
+    }
+    flush_pending();
+    if (std::regex_match(line, m, kFuncLabel)) {
+      current = m[1];
+      if (current.empty() || current[0] == '.') {
+        current_node = nullptr;
+      } else {
+        current_node = &graph->get(node_key(obj, current), current);
+      }
+      continue;
+    }
+    // Direct call/jmp operands cover same-TU, same-section calls that were
+    // resolved at assembly time and carry no relocation.
+    if (std::regex_search(line, m, kCallInsn)) {
+      pending_operand = m[2];
+    }
+  }
+  flush_pending();
+}
+
+std::vector<AllowRule> load_allow_rules(const std::string& path,
+                                        std::vector<std::string>* errors) {
+  std::vector<AllowRule> rules;
+  if (path.empty()) return rules;
+  std::ifstream in(path);
+  if (!in) {
+    errors->push_back("cannot read allow file: " + path);
+    return rules;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::size_t sep = line.find(" :: ");
+    // Trim.
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      if (b == std::string::npos) return std::string();
+      return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+    };
+    if (trim(line).empty()) continue;
+    if (sep == std::string::npos) {
+      errors->push_back(path + ":" + std::to_string(lineno) +
+                        ": expected `pattern :: reason`");
+      continue;
+    }
+    AllowRule rule;
+    rule.pattern = trim(line.substr(0, sep));
+    rule.reason = trim(line.substr(sep + 4));
+    try {
+      rule.re = std::regex(rule.pattern);
+    } catch (const std::regex_error&) {
+      errors->push_back(path + ":" + std::to_string(lineno) + ": bad regex `" +
+                        rule.pattern + "`");
+      continue;
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+// Mangled name without the per-object local prefix ("obj#_ZL...").
+std::string mangled_of(const std::string& key) {
+  const std::size_t h = key.rfind('#');
+  return h == std::string::npos ? key : key.substr(h + 1);
+}
+
+// Looks up the DUET_HOT_ALLOW("...") reason for a section-marked barrier:
+// `nm -l` gives the symbol's file:line (RelWithDebInfo carries -g), and the
+// attribute with its single-line string literal sits within a few lines
+// above the definition.
+struct ReasonIndex {
+  // object path -> (mangled symbol -> "file:line")
+  std::map<std::string, std::map<std::string, std::string>> by_object;
+  bool loaded(const std::string& object) const { return by_object.count(object) != 0; }
+
+  void load(const std::string& object) {
+    auto& table = by_object[object];  // mark loaded even on failure
+    const auto res = util::run_command({"nm", "-l", "--defined-only", object});
+    if (!res || res->exit_code != 0) return;
+    std::istringstream in(res->out);
+    std::string line;
+    const std::regex nm_line(R"(^[0-9a-f]+ . (\S+)\t(.+:[0-9]+)$)");
+    while (std::getline(in, line)) {
+      std::smatch m;
+      if (std::regex_match(line, m, nm_line)) table[m[1]] = m[2];
+    }
+  }
+};
+
+std::pair<std::string, std::string> attribute_reason(ReasonIndex* index,
+                                                     const Node& node,
+                                                     const std::string& key) {
+  if (node.def_object.empty()) return {"", ""};
+  if (!index->loaded(node.def_object)) index->load(node.def_object);
+  const auto& table = index->by_object[node.def_object];
+  // Clones (.cold parts) share the parent's source location.
+  std::string mangled = mangled_of(key);
+  const std::size_t dot = mangled.find('.');
+  if (dot != std::string::npos) mangled = mangled.substr(0, dot);
+  const auto it = table.find(mangled);
+  if (it == table.end()) return {"", ""};
+  const std::string& loc = it->second;
+  const std::size_t colon = loc.rfind(':');
+  const std::string file = loc.substr(0, colon);
+  const int lineno = std::atoi(loc.c_str() + colon + 1);
+  std::ifstream in(file);
+  if (!in) return {"", loc};
+  std::vector<std::string> lines;
+  std::string l;
+  while (std::getline(in, l)) lines.push_back(l);
+  // Scan upward from the definition line for the attribute's literal.
+  for (int i = std::min<int>(lineno, static_cast<int>(lines.size())) - 1;
+       i >= 0 && i >= lineno - 16; --i) {
+    const std::size_t at = lines[static_cast<std::size_t>(i)].find("DUET_HOT_ALLOW(");
+    if (at == std::string::npos) continue;
+    const std::string& src = lines[static_cast<std::size_t>(i)];
+    const std::size_t q1 = src.find('"', at);
+    const std::size_t q2 = q1 == std::string::npos ? std::string::npos : src.find('"', q1 + 1);
+    if (q2 != std::string::npos) return {src.substr(q1 + 1, q2 - q1 - 1), loc};
+    break;
+  }
+  return {"", loc};
+}
+
+}  // namespace
+
+std::string denylist_class(const std::string& mangled, const std::string& demangled) {
+  static const std::set<std::string> kAllocC = {
+      "malloc", "calloc",        "realloc",        "free",  "reallocarray",
+      "valloc", "aligned_alloc", "posix_memalign", "memalign", "strdup", "strndup"};
+  // Anchored exact matches so instrumented cousins (__asan_stack_malloc_0)
+  // never trip the gate; demangled `operator new` covers every _Zn* variant.
+  if (kAllocC.count(mangled) != 0) return "alloc";
+  if (contains(demangled, "operator new") || contains(demangled, "operator delete")) {
+    return "alloc";
+  }
+  if (starts_with(mangled, "pthread_mutex_") || starts_with(mangled, "pthread_rwlock_") ||
+      starts_with(mangled, "pthread_cond_") || starts_with(mangled, "pthread_spin_")) {
+    return "mutex";
+  }
+  static const std::set<std::string> kClockC = {"clock_gettime", "gettimeofday", "time",
+                                                "clock", "timespec_get"};
+  if (kClockC.count(mangled) != 0) return "clock";
+  if (contains(demangled, "system_clock::now")) return "clock";
+  static const std::set<std::string> kThrowC = {"__cxa_throw", "__cxa_allocate_exception",
+                                                "__cxa_rethrow", "__cxa_bad_cast",
+                                                "__cxa_bad_typeid"};
+  if (kThrowC.count(mangled) != 0) return "throw";
+  if (contains(demangled, "std::unordered_map<") ||
+      contains(demangled, "std::unordered_set<") ||
+      contains(demangled, "std::unordered_multimap<") ||
+      contains(demangled, "std::unordered_multiset<") ||
+      contains(demangled, "std::_Hashtable<") ||
+      contains(demangled, "std::__detail::_Map_base<")) {
+    return "unordered_map";
+  }
+  static const std::set<std::string> kStdioC = {
+      "printf", "fprintf",  "vfprintf", "vprintf", "puts",    "fputs",
+      "fwrite", "putchar",  "fputc",    "putc",    "sprintf", "snprintf",
+      "vsnprintf", "fflush"};
+  if (kStdioC.count(mangled) != 0) return "stdio";
+  if (contains(demangled, "basic_ostream") || contains(demangled, "basic_ostringstream") ||
+      contains(demangled, "basic_iostream") || contains(demangled, "std::cout") ||
+      contains(demangled, "std::cerr") || contains(demangled, "std::clog")) {
+    return "stdio";
+  }
+  return "";
+}
+
+std::optional<Analysis> analyze(const Options& opts) {
+  if (!util::command_exists("objdump") || !util::command_exists("nm")) return std::nullopt;
+
+  Analysis analysis;
+  Graph graph;
+  std::vector<AllowRule> rules = load_allow_rules(opts.allow_file, &analysis.errors);
+  std::vector<ObjectInfo> objects;
+  objects.reserve(opts.objects.size());
+
+  for (const std::string& path : opts.objects) {
+    ObjectInfo obj;
+    obj.path = path;
+    const auto symtab = util::run_command({"objdump", "-t", path});
+    if (!symtab || symtab->exit_code != 0 || !parse_symtab(symtab->out, &obj, &graph)) {
+      analysis.errors.push_back("unreadable object: " + path);
+      continue;
+    }
+    const auto disasm =
+        util::run_command({"objdump", "-dr", "--no-show-raw-insn", path});
+    if (!disasm || disasm->exit_code != 0) {
+      analysis.errors.push_back("disassembly failed: " + path);
+      continue;
+    }
+    parse_disasm(disasm->out, obj, &graph);
+    ++analysis.object_count;
+    objects.push_back(std::move(obj));
+  }
+  if (analysis.object_count == 0) return std::nullopt;
+
+  // Allow barriers by name pattern (templates lose the section attribute;
+  // allow.conf is how their noinline'd symbols become barriers).
+  auto matching_rule = [&rules](const std::string& mangled,
+                                const std::string& demangled) -> const AllowRule* {
+    for (const AllowRule& r : rules) {
+      if (std::regex_search(demangled, r.re) || std::regex_search(mangled, r.re)) return &r;
+    }
+    return nullptr;
+  };
+
+  std::vector<std::string> root_keys;
+  for (const auto& [key, node] : graph.nodes) {
+    if (node.root && !node.allow_section) root_keys.push_back(key);
+  }
+  for (const std::string& key : root_keys) analysis.roots.push_back(graph.nodes[key].display);
+  std::sort(analysis.roots.begin(), analysis.roots.end());
+
+  std::set<std::string> reachable;
+  std::set<std::string> allow_hit;
+  std::set<std::string> violation_seen;  // root|class|offender dedup
+  ReasonIndex reasons;
+
+  for (const std::string& root_key : root_keys) {
+    std::map<std::string, std::string> parent;  // key -> parent key
+    std::deque<std::string> queue;
+    queue.push_back(root_key);
+    parent[root_key] = "";
+    while (!queue.empty()) {
+      const std::string key = queue.front();
+      queue.pop_front();
+      Node& node = graph.nodes[key];
+      reachable.insert(node.display);
+
+      const std::string mangled = mangled_of(key);
+      // Allow barriers stop traversal (the root itself is never a barrier:
+      // a symbol marked both ways analyzes as a root).
+      if (key != root_key) {
+        const AllowRule* rule = nullptr;
+        if (node.allow_section || (rule = matching_rule(mangled, node.display)) != nullptr) {
+          if (allow_hit.insert(node.display).second) {
+            AllowRecord rec;
+            rec.symbol = node.display;
+            if (node.allow_section) {
+              auto [reason, loc] = attribute_reason(&reasons, node, key);
+              rec.reason = reason.empty() ? "(reason not recoverable: build without -g?)"
+                                          : reason;
+              rec.origin = loc.empty() ? node.def_object : loc;
+            } else {
+              rec.reason = rule->reason;
+              rec.origin = "allow.conf: " + rule->pattern;
+            }
+            analysis.allows.push_back(std::move(rec));
+          }
+          continue;
+        }
+      }
+
+      const std::string klass = denylist_class(mangled, node.display);
+      if (!klass.empty()) {
+        const std::string& root_name = graph.nodes[root_key].display;
+        if (violation_seen.insert(root_name + "|" + klass + "|" + node.display).second) {
+          Violation v;
+          v.klass = klass;
+          v.root = root_name;
+          for (std::string at = key; !at.empty(); at = parent[at]) {
+            v.path.push_back(graph.nodes[at].display);
+          }
+          std::reverse(v.path.begin(), v.path.end());
+          analysis.violations.push_back(std::move(v));
+        }
+        continue;  // an offender is a leaf of the report, not a thing to descend
+      }
+
+      if (!node.defined) continue;  // benign external leaf (syscall wrappers etc.)
+      for (const std::string& callee : node.callees) {
+        if (parent.emplace(callee, key).second) {
+          // Materialize display names for nodes first seen as edges.
+          graph.get(callee, mangled_of(callee));
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+
+  std::sort(analysis.allows.begin(), analysis.allows.end(),
+            [](const AllowRecord& a, const AllowRecord& b) { return a.symbol < b.symbol; });
+  std::sort(analysis.violations.begin(), analysis.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.klass, a.root) < std::tie(b.klass, b.root);
+            });
+  analysis.reachable.assign(reachable.begin(), reachable.end());
+  return analysis;
+}
+
+std::string render_report(const Analysis& analysis, bool verbose) {
+  std::ostringstream out;
+  out << "hotcheck: hot-path purity report\n";
+  out << "objects analyzed: " << analysis.object_count << "\n";
+  out << "hot roots: " << analysis.roots.size() << "\n";
+  for (const std::string& r : analysis.roots) out << "  root: " << r << "\n";
+  out << "reachable symbols: " << analysis.reachable.size() << "\n";
+  if (verbose) {
+    for (const std::string& s : analysis.reachable) out << "  reach: " << s << "\n";
+  }
+  out << "allow barriers hit: " << analysis.allows.size() << "\n";
+  for (const AllowRecord& a : analysis.allows) {
+    out << "  allow: " << a.symbol << "\n";
+    out << "    reason: " << a.reason << "\n";
+    out << "    origin: " << a.origin << "\n";
+  }
+  for (const std::string& e : analysis.errors) out << "warning: " << e << "\n";
+  out << "violations: " << analysis.violations.size() << "\n";
+  for (const Violation& v : analysis.violations) {
+    out << "  [" << v.klass << "] " << v.root << "\n";
+    out << "    ";
+    for (std::size_t i = 0; i < v.path.size(); ++i) {
+      if (i != 0) out << " -> ";
+      out << v.path[i];
+    }
+    out << "\n";
+  }
+  out << (analysis.violations.empty() ? "RESULT: clean\n" : "RESULT: impure hot path\n");
+  return out.str();
+}
+
+}  // namespace duet::hotcheck

@@ -1,0 +1,94 @@
+// hotcheck CLI — see analyzer.h for what it checks and how.
+//
+// Usage:
+//   hotcheck [--allow allow.conf] [--report out.txt] [--verbose]
+//            <obj.o>... [@objects.rsp]
+//
+// @file expands to the whitespace/semicolon-separated object list inside it
+// (CMake writes one from $<TARGET_OBJECTS:duet_lib>).
+//
+// Exit codes: 0 = hot path clean, 1 = unsuppressed denylist call reachable
+// from a DUET_HOT root, 2 = usage error or binutils unavailable.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace {
+
+bool expand_response_file(const std::string& path, std::vector<std::string>* objects) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string token;
+  for (const char c : buf.str()) {
+    if (c == ';' || c == '\n' || c == '\r' || c == ' ' || c == '\t') {
+      if (!token.empty()) objects->push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) objects->push_back(token);
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--allow allow.conf] [--report out.txt] [--verbose] "
+               "<obj.o>... [@objects.rsp]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  duet::hotcheck::Options opts;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow" && i + 1 < argc) {
+      opts.allow_file = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '@') {
+      if (!expand_response_file(arg.substr(1), &opts.objects)) {
+        std::fprintf(stderr, "hotcheck: cannot read response file %s\n", arg.c_str() + 1);
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      opts.objects.push_back(arg);
+    }
+  }
+  if (opts.objects.empty()) return usage(argv[0]);
+
+  const auto analysis = duet::hotcheck::analyze(opts);
+  if (!analysis) {
+    std::fprintf(stderr,
+                 "hotcheck: binutils (objdump/nm) unavailable or no readable objects\n");
+    return 2;
+  }
+  const std::string report = duet::hotcheck::render_report(*analysis, opts.verbose);
+  std::cout << report;
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "hotcheck: cannot write report to %s\n", report_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+  return analysis->violations.empty() ? 0 : 1;
+}
