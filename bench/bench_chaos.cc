@@ -1,0 +1,124 @@
+// Chaos scenario suite (DESIGN.md §15): the builtin adversary matrix —
+// churn storm, flash crowd, correlated failure mid-migration, gray DIP,
+// SYN flood, and the composed perfect storm — each twin-driven through the
+// stateful AND stateless decision engines by the chaos runner.
+//
+// Three gate families, all strict by default (DUET_CHAOS_RELAX=1 turns
+// failures into warnings):
+//   1. Scenario gates: every builtin scenario's ChaosReport must sit inside
+//      its documented per-engine bounds (stateless single-adversary PCC == 0
+//      and zero per-flow state; stateful within the per-scenario limits).
+//   2. Fixture gates: the deliberately mis-configured violation fixtures
+//      MUST trip their named gate — a gate that cannot fail is not a gate —
+//      while leaving the stateless contract intact.
+//   3. Width determinism: sweep_chaos over every scenario must be
+//      bit-for-bit identical at pool width 1 and 4 (the sweep contract,
+//      DESIGN.md §9).
+//
+// Exports BENCH_chaos.json: per-scenario per-engine counters plus the
+// journaled adversary event stream.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/scenarios.h"
+#include "common.h"
+#include "exec/thread_pool.h"
+
+using namespace duet;
+
+int main() {
+  bench::header("chaos", "chaos scenario suite: adversary matrix x both engines, gated");
+
+  const bool quick = bench::quick_mode();
+  const char* relax = std::getenv("DUET_CHAOS_RELAX");
+  const bool strict = relax == nullptr || relax[0] == '\0' || relax[0] == '0';
+  bool failed = false;
+  const auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::printf("%s: %s\n", strict ? "FAIL" : "WARNING", what.c_str());
+      failed = failed || strict;
+    }
+  };
+
+  constexpr std::uint64_t kSeed = 0xc4a05c4a05ULL;
+  const DuetConfig base_config{};
+  telemetry::MetricRegistry out;
+  telemetry::EventJournal journal;
+
+  // --- scenario matrix --------------------------------------------------------
+  TablePrinter table{{"scenario", "engine", "packets", "drops", "loss", "gray", "pcc",
+                      "legal", "evict", "peak", "state B"}};
+  const auto row = [&](const std::string& name, const char* engine,
+                       const chaos::EngineChaosReport& r) {
+    table.add_row({name, engine, TablePrinter::fmt_int(static_cast<long long>(r.packets)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.overload_drops)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.packet_loss)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.gray_packets)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.pcc_violations)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.legal_remaps)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.evictions)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.flow_entries_peak)),
+                   TablePrinter::fmt_int(static_cast<long long>(r.decision_state_bytes))});
+  };
+
+  std::printf("\nscenario matrix (%s scale, seed %#llx):\n", quick ? "quick" : "full",
+              static_cast<unsigned long long>(kSeed));
+  for (const chaos::NamedScenario& s : chaos::builtin_scenarios()) {
+    const chaos::ChaosPlan plan = s.build(quick, kSeed);
+    const chaos::ChaosReport report = chaos::run_chaos(plan, base_config, &out, &journal);
+    row(s.name + (s.composed ? " *" : ""), "stateful", report.stateful);
+    row("", "stateless", report.stateless);
+    for (const std::string& f : chaos::evaluate_gates(report, s.gates)) {
+      gate(false, s.name + ": " + f);
+    }
+    // Twin-drive sanity: routing and overload are engine-independent.
+    gate(report.stateful.packets == report.stateless.packets,
+         s.name + ": engines processed different packet counts");
+    gate(report.stateful.overload_drops == report.stateless.overload_drops,
+         s.name + ": engines saw different overload drops");
+  }
+  table.print();
+  std::printf("(* = composed multi-adversary scenario)\n");
+
+  // --- violation fixtures -----------------------------------------------------
+  std::printf("\nviolation fixtures (gates must bite):\n");
+  for (const chaos::NamedScenario& s : chaos::violation_fixtures()) {
+    const chaos::ChaosReport report = chaos::run_chaos(s.build(quick, kSeed), base_config);
+    const std::vector<std::string> fails = chaos::evaluate_gates(report, s.gates);
+    bool tripped = false;
+    bool stateless_broken = false;
+    for (const std::string& f : fails) {
+      if (f.find(s.must_trip) != std::string::npos) tripped = true;
+      if (f.find("stateless") != std::string::npos) stateless_broken = true;
+    }
+    gate(tripped, std::string(s.name) + ": expected gate " + s.must_trip + " did not trip");
+    gate(!stateless_broken, std::string(s.name) + ": broke the stateless contract");
+    std::printf("  %-32s %s (%zu gate failure%s)\n", s.name.c_str(),
+                tripped ? "tripped as designed" : "DID NOT TRIP", fails.size(),
+                fails.size() == 1 ? "" : "s");
+    out.gauge("chaos.fixtures." + s.name + ".tripped").set(tripped ? 1.0 : 0.0);
+  }
+
+  // --- width determinism ------------------------------------------------------
+  std::printf("\nwidth determinism (3 shards, pool width 1 vs 4):\n");
+  {
+    exec::ThreadPool serial(1);
+    exec::ThreadPool wide(4);
+    for (const chaos::NamedScenario& s : chaos::builtin_scenarios()) {
+      const auto builder = [&](std::uint64_t seed) { return s.build(quick, seed); };
+      const auto a = chaos::sweep_chaos(builder, base_config, 3, kSeed, &serial);
+      const auto b = chaos::sweep_chaos(builder, base_config, 3, kSeed, &wide);
+      bool identical = a.size() == b.size();
+      for (std::size_t i = 0; identical && i < a.size(); ++i) identical = a[i] == b[i];
+      gate(identical, s.name + ": sweep diverged across pool widths");
+      std::printf("  %-24s %s\n", s.name.c_str(), identical ? "bit-for-bit" : "DIVERGED");
+    }
+  }
+
+  bench::export_bench_json("chaos", out, &journal);
+  if (!failed) std::printf("\nOK: all chaos gates passed\n");
+  return failed ? 1 : 0;
+}

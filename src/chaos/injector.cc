@@ -1,0 +1,204 @@
+#include "chaos/injector.h"
+
+#include <algorithm>
+
+#include "sim/failure.h"
+#include "topo/fattree.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace duet::chaos {
+
+const char* to_string(ChaosEventKind kind) {
+  switch (kind) {
+    case ChaosEventKind::kDipAdd: return "dip_add";
+    case ChaosEventKind::kDipRemove: return "dip_remove";
+    case ChaosEventKind::kDipKill: return "dip_kill";
+    case ChaosEventKind::kWeights: return "weights";
+    case ChaosEventKind::kFlood: return "flood";
+    case ChaosEventKind::kFlashBegin: return "flash_begin";
+    case ChaosEventKind::kFlashEnd: return "flash_end";
+    case ChaosEventKind::kGrayBegin: return "gray_begin";
+    case ChaosEventKind::kGrayEnd: return "gray_end";
+    case ChaosEventKind::kMuxFail: return "mux_fail";
+    case ChaosEventKind::kMuxRecover: return "mux_recover";
+    case ChaosEventKind::kMigrateWithdraw: return "migrate_withdraw";
+    case ChaosEventKind::kMigrateAnnounce: return "migrate_announce";
+  }
+  return "?";
+}
+
+namespace {
+
+Ipv4Address indexed_dip(std::uint8_t block, std::size_t k) {
+  return Ipv4Address{10, block, static_cast<std::uint8_t>((k >> 8) & 255),
+                     static_cast<std::uint8_t>(k & 255)};
+}
+
+std::size_t clamp_end(std::size_t end_tick, const ChaosEnv& env) {
+  return std::min(end_tick, env.ticks);
+}
+
+}  // namespace
+
+Ipv4Address initial_dip(std::size_t d) { return indexed_dip(200, d); }
+Ipv4Address churn_add_dip(std::size_t k) { return indexed_dip(201, k); }
+Ipv4Address storm_add_dip(std::size_t k) { return indexed_dip(202, k); }
+
+std::vector<Ipv4Address> initial_dip_list(std::size_t n) {
+  std::vector<Ipv4Address> dips;
+  dips.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) dips.push_back(initial_dip(d));
+  return dips;
+}
+
+InjectorStream churn_storm(const ChurnStormParams& params, const ChaosEnv& env,
+                           std::uint64_t seed) {
+  DUET_CHECK(params.percent_per_min >= 0.0) << "churn rate must be non-negative";
+  InjectorStream s{"churn_storm", {}};
+  Rng rng(seed);
+  // The injector's own pool model: the canonical initial list, rolled over
+  // by its replacements. Co-adversary kills make some removes stale; the
+  // runner no-ops those.
+  std::vector<Ipv4Address> pool = initial_dip_list(env.initial_dips);
+  const double per_tick_rate = params.percent_per_min / 100.0 * (params.tick_seconds / 60.0);
+  double pending = 0.0;
+  std::size_t next_replacement = 0;
+  const std::size_t end = clamp_end(params.end_tick, env);
+  for (std::size_t t = params.start_tick; t < end; ++t) {
+    pending += per_tick_rate * static_cast<double>(pool.size());
+    while (pending >= 1.0) {
+      pending -= 1.0;
+      const std::size_t victim = static_cast<std::size_t>(rng.uniform(pool.size()));
+      const Ipv4Address out = pool[victim];
+      const Ipv4Address in = storm_add_dip(next_replacement++);
+      // Add-before-remove: the pool never passes through a shrunken state,
+      // so composed removals cannot strand it below the 2-DIP floor.
+      s.events.push_back({t, ChaosEventKind::kDipAdd, in, {}, 0});
+      s.events.push_back({t, ChaosEventKind::kDipRemove, out, {}, 0});
+      pool[victim] = in;
+    }
+  }
+  return s;
+}
+
+InjectorStream random_churn(const RandomChurnParams& params, const ChaosEnv& env,
+                            std::uint64_t seed) {
+  InjectorStream s{"random_churn", {}};
+  Rng rng(seed);
+  std::vector<Ipv4Address> pool = initial_dip_list(env.initial_dips);
+  std::size_t next_added = 0;
+  const std::size_t end = clamp_end(params.end_tick, env);
+  for (std::size_t t = params.start_tick; t < end; ++t) {
+    std::uint64_t kind = rng.uniform(3);
+    if (kind == 1 && pool.size() <= 2) kind = 0;  // never remove below 2 DIPs
+    if (kind == 0) {
+      const Ipv4Address in = churn_add_dip(next_added++);
+      s.events.push_back({t, ChaosEventKind::kDipAdd, in, {}, 0});
+      pool.push_back(in);
+    } else if (kind == 1) {
+      const std::size_t victim = static_cast<std::size_t>(rng.uniform(pool.size()));
+      s.events.push_back({t, ChaosEventKind::kDipRemove, pool[victim], {}, 0});
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      s.events.push_back({t, ChaosEventKind::kWeights, Ipv4Address{}, {}, rng()});
+    }
+  }
+  return s;
+}
+
+InjectorStream flash_crowd(const FlashCrowdParams& params, const ChaosEnv& env,
+                           std::uint64_t /*seed*/) {
+  DUET_CHECK(params.multiplier >= 1) << "flash multiplier must be >= 1";
+  InjectorStream s{"flash_crowd", {}};
+  if (params.begin_tick >= env.ticks || params.duration == 0) return s;
+  s.events.push_back({params.begin_tick, ChaosEventKind::kFlashBegin, Ipv4Address{}, {},
+                      params.multiplier});
+  const std::size_t end = params.begin_tick + params.duration;
+  if (end < env.ticks) {
+    s.events.push_back({end, ChaosEventKind::kFlashEnd, Ipv4Address{}, {}, 0});
+  }
+  return s;
+}
+
+InjectorStream syn_flood(const SynFloodParams& params, const ChaosEnv& env,
+                         std::uint64_t /*seed*/) {
+  InjectorStream s{"syn_flood", {}};
+  const std::size_t end = clamp_end(params.end_tick, env);
+  if (params.begin_tick >= end || params.tuples_total == 0) return s;
+  const std::size_t window = end - params.begin_tick;
+  const std::size_t per_tick = params.tuples_total / window;
+  std::size_t emitted = 0;
+  for (std::size_t t = params.begin_tick; t < end; ++t) {
+    const std::size_t quota =
+        t + 1 == end ? params.tuples_total - emitted : per_tick;
+    emitted += quota;
+    if (quota > 0) {
+      s.events.push_back({t, ChaosEventKind::kFlood, Ipv4Address{}, {}, quota});
+    }
+  }
+  return s;
+}
+
+InjectorStream gray_dip(const GrayDipParams& params, const ChaosEnv& env,
+                        std::uint64_t /*seed*/) {
+  DUET_CHECK(params.dip_index < env.initial_dips) << "gray DIP index out of range";
+  DUET_CHECK(params.timeout_pct <= 100) << "timeout percentage out of range";
+  InjectorStream s{"gray_dip", {}};
+  if (params.begin_tick >= env.ticks) return s;
+  const Ipv4Address dip = initial_dip(params.dip_index);
+  s.events.push_back({params.begin_tick, ChaosEventKind::kGrayBegin, dip, {},
+                      params.timeout_pct});
+  if (params.end_tick < env.ticks) {
+    s.events.push_back({params.end_tick, ChaosEventKind::kGrayEnd, dip, {}, 0});
+  }
+  return s;
+}
+
+InjectorStream correlated_failure(const CorrelatedFailureParams& params, const ChaosEnv& env,
+                                  std::uint64_t seed) {
+  DUET_CHECK(env.replicas >= 2) << "correlated failure needs a migration destination";
+  DUET_CHECK(params.dest_replica < env.replicas) << "destination replica out of range";
+  DUET_CHECK(params.withdraw_tick <= params.fail_tick &&
+             params.fail_tick < params.announce_tick &&
+             params.announce_tick <= params.recover_tick)
+      << "correlated failure ticks must be ordered";
+
+  // Composed fabric failure over a mini FatTree: a whole container plus a
+  // random switch plus a random link at once (sim/failure.h compose()). DIPs
+  // map round-robin onto the ToRs; DIPs on dead ToRs die with them.
+  FatTreeParams fp = FatTreeParams::scaled(params.containers, params.tors_per_container,
+                                           params.cores);
+  const FatTree fabric = build_fattree(fp);
+  Rng rng(seed);
+  const FailureScenario fabric_failure =
+      compose({random_container_failure(fabric, rng), random_switch_failure(fabric, 1, rng),
+               random_link_failure(fabric, rng)});
+
+  std::vector<Ipv4Address> killed;
+  for (std::size_t d = 0; d < env.initial_dips; ++d) {
+    const SwitchId tor = fabric.tors[d % fabric.tors.size()];
+    if (fabric_failure.affects(tor)) killed.push_back(initial_dip(d));
+  }
+
+  InjectorStream s{"correlated_failure(" + fabric_failure.name + ")", {}};
+  s.events.push_back({params.withdraw_tick, ChaosEventKind::kMigrateWithdraw, Ipv4Address{},
+                      {}, 0});
+  s.events.push_back({params.fail_tick, ChaosEventKind::kMuxFail, Ipv4Address{}, {},
+                      params.dest_replica});
+  if (!killed.empty()) {
+    s.events.push_back({params.fail_tick, ChaosEventKind::kDipKill, Ipv4Address{},
+                        std::move(killed), 0});
+  }
+  // Attempted while the destination is down: the runner no-ops it and the
+  // VIP stays in through-SMux transit.
+  s.events.push_back({params.announce_tick, ChaosEventKind::kMigrateAnnounce, Ipv4Address{},
+                      {}, params.dest_replica});
+  s.events.push_back({params.recover_tick, ChaosEventKind::kMuxRecover, Ipv4Address{}, {},
+                      params.dest_replica});
+  s.events.push_back({params.recover_tick, ChaosEventKind::kMigrateAnnounce, Ipv4Address{},
+                      {}, params.dest_replica});
+  return s;
+}
+
+}  // namespace duet::chaos

@@ -1,0 +1,207 @@
+// Chaos injectors: seeded adversary generators for the chaos harness.
+//
+// An INJECTOR is a pure function of (params, env, seed) that emits an
+// InjectorStream — a tick-stamped list of ChaosEvents on the scenario's
+// shared clock. Injectors never touch an engine: they only script WHAT
+// happens WHEN. The runner (chaos/runner.h) replays a composed stream of
+// events through both decision engines, so a scenario's adversity is fully
+// determined before a single packet is processed and the two engines see
+// byte-identical trouble.
+//
+// Composition contract (chaos/plan.h): streams from several injectors are
+// merged onto one clock, ordered by (tick, injector position, within-stream
+// order). Because an injector cannot see its co-adversaries, its events may
+// become stale under composition (e.g. it removes a DIP another injector
+// already killed). The RUNNER resolves staleness deterministically: an event
+// targeting a DIP that is no longer live, or a replica that cannot take it,
+// is a no-op. This keeps every injector independently pure while letting
+// arbitrary subsets compose.
+//
+// Event semantics (applied by the runner at the START of their tick, before
+// that tick's traffic):
+//   kDipAdd / kDipRemove  pool churn. Remove is graceful (rolling deploy):
+//                         flows on the DIP terminate per §5.1 — a legal
+//                         remap, no packet loss.
+//   kDipKill              correlated crash: like remove, but established
+//                         flows currently on the DIP each lose an in-flight
+//                         packet (counted as packet_loss).
+//   kWeights              WCMP reweight of the live pool; `a` seeds the new
+//                         weight vector (derived over the CURRENT live set so
+//                         the event stays composition-safe).
+//   kFlood                `a` distinct spoofed first-packet tuples this tick.
+//   kFlashBegin/kFlashEnd flash crowd: `a`-fold traffic multiplier — each
+//                         flash tick adds (a-1)*established ephemeral new
+//                         flows ahead of the keepalives.
+//   kGrayBegin/kGrayEnd   the DIP answers but times out `a`% of its packets;
+//                         the binary health monitor never marks it dead, so
+//                         it stays in the pool (the gray-failure trap).
+//   kMuxFail/kMuxRecover  SMux replica `a` dies / returns. Its flows fail
+//                         over by ECMP to the surviving replicas; its flow
+//                         table survives the outage (stale pins on return).
+//   kMigrateWithdraw      §4.2 phase 1: the VIP leaves its home replica and
+//                         transits ALL live replicas by ECMP.
+//   kMigrateAnnounce      §4.2 phase 2: the VIP lands on replica `a`
+//                         (no-op while that replica is down).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace duet::chaos {
+
+inline constexpr std::size_t kAllTicks = std::numeric_limits<std::size_t>::max();
+
+// The base workload every scenario runs against: E established flows on one
+// VIP, kept alive every tick. Injectors perturb this world; the runner maps
+// the knobs onto DuetConfig.
+struct ChaosEnv {
+  std::size_t ticks = 8;                // adversity rounds after establish
+  std::size_t established_flows = 512;  // legit long-lived connections
+  std::size_t initial_dips = 8;
+  std::size_t replicas = 1;             // identical SMux replicas per engine
+  std::size_t flow_table_cap = 1024;    // smux_flow_table_max for the run
+  double flow_idle_us = 0.0;            // 0 = idle expiry off (cap-shed only)
+  std::size_t batch = 128;              // process_batch size
+  // Per-replica per-tick packet budget; packets beyond it are dropped before
+  // any decision (overload brownout). 0 = unlimited.
+  std::uint64_t replica_capacity_ppt = 0;
+  // Unbounded stateless version retention (stateless_max_versions = 0): the
+  // documented requirement for the zero-PCC contract under sustained churn —
+  // memory instead of violations (decision_state_bytes shows the bill).
+  bool unbounded_versions = true;
+  // Salts the procedural src-port generation for all traffic classes, so
+  // sweep shards exercise distinct flow-hash populations.
+  std::uint64_t traffic_seed = 0x7261666669637365ULL;
+
+  friend bool operator==(const ChaosEnv&, const ChaosEnv&) = default;
+};
+
+enum class ChaosEventKind : std::uint8_t {
+  kDipAdd,
+  kDipRemove,
+  kDipKill,
+  kWeights,
+  kFlood,
+  kFlashBegin,
+  kFlashEnd,
+  kGrayBegin,
+  kGrayEnd,
+  kMuxFail,
+  kMuxRecover,
+  kMigrateWithdraw,
+  kMigrateAnnounce,
+};
+
+const char* to_string(ChaosEventKind kind);
+
+struct ChaosEvent {
+  std::size_t tick = 0;
+  ChaosEventKind kind = ChaosEventKind::kDipAdd;
+  Ipv4Address dip{};               // kDipAdd/kDipRemove/kGray*
+  std::vector<Ipv4Address> dips;   // kDipKill: the correlated kill list
+  std::uint64_t a = 0;             // kind-specific payload (see header comment)
+
+  friend bool operator==(const ChaosEvent&, const ChaosEvent&) = default;
+};
+
+// One injector's output: events sorted by tick (stable within a tick).
+struct InjectorStream {
+  std::string name;
+  std::vector<ChaosEvent> events;
+
+  friend bool operator==(const InjectorStream&, const InjectorStream&) = default;
+};
+
+// The canonical DIP address plan shared by injectors and the runner, so a
+// pure injector can name pool members without seeing the live set:
+//   initial pool     10.200.x.x   (index d)
+//   flood-churn adds 10.201.x.x   (k-th add)
+//   churn-storm adds 10.202.x.x   (k-th replacement)
+Ipv4Address initial_dip(std::size_t d);
+Ipv4Address churn_add_dip(std::size_t k);
+Ipv4Address storm_add_dip(std::size_t k);
+std::vector<Ipv4Address> initial_dip_list(std::size_t n);
+
+// --------------------------------------------------------------------------
+// Rolling DIP churn at a sustained rate (the "churn storm"): every whole
+// accumulated unit emits a graceful (remove victim, add replacement) pair —
+// a rolling deploy that never shrinks the pool. Victims are seeded picks
+// from the injector's own pool model (initial list + its replacements).
+struct ChurnStormParams {
+  double percent_per_min = 5.0;  // fraction of the pool churned per minute
+  double tick_seconds = 60.0;    // scenario clock: wall time per tick
+  std::size_t start_tick = 1;
+  std::size_t end_tick = kAllTicks;  // exclusive; clamped to env.ticks
+};
+InjectorStream churn_storm(const ChurnStormParams& params, const ChaosEnv& env,
+                           std::uint64_t seed);
+
+// Flood-style background churn: one seeded op per tick, uniformly add /
+// remove / reweight (never removing below 2 live DIPs in its own model).
+struct RandomChurnParams {
+  std::size_t start_tick = 1;
+  std::size_t end_tick = kAllTicks;
+};
+InjectorStream random_churn(const RandomChurnParams& params, const ChaosEnv& env,
+                            std::uint64_t seed);
+
+// Flash crowd: the VIP's traffic multiplies `multiplier`-fold for
+// `duration` ticks starting at `begin_tick`.
+struct FlashCrowdParams {
+  std::size_t begin_tick = 2;
+  std::size_t duration = 2;
+  std::uint64_t multiplier = 10;
+};
+InjectorStream flash_crowd(const FlashCrowdParams& params, const ChaosEnv& env,
+                           std::uint64_t seed);
+
+// SYN flood: `tuples_total` distinct spoofed tuples spread evenly over the
+// window [begin_tick, end_tick) (remainder lands on the last tick).
+struct SynFloodParams {
+  std::size_t tuples_total = 8192;
+  std::size_t begin_tick = 0;
+  std::size_t end_tick = kAllTicks;
+};
+InjectorStream syn_flood(const SynFloodParams& params, const ChaosEnv& env,
+                         std::uint64_t seed);
+
+// Gray-failing DIP: initial_dip(dip_index) starts timing out `timeout_pct`%
+// of its packets at begin_tick (recovering at end_tick if inside the run).
+// It is never removed from the pool: health monitoring is binary and the DIP
+// still answers probes.
+struct GrayDipParams {
+  std::size_t begin_tick = 1;
+  std::size_t end_tick = kAllTicks;
+  std::size_t dip_index = 0;
+  std::uint64_t timeout_pct = 50;
+};
+InjectorStream gray_dip(const GrayDipParams& params, const ChaosEnv& env,
+                        std::uint64_t seed);
+
+// Correlated switch + SMux failure mid-migration (§4.2 meets §8.2): the VIP
+// withdraws from its home replica at withdraw_tick (through-SMux transit);
+// at fail_tick the DESTINATION replica dies together with a composed fabric
+// failure (container + random switch + random link over a mini FatTree,
+// built with sim/failure.h compose()) whose dead ToRs take their DIPs with
+// them (kDipKill); the announce at announce_tick is a no-op while the
+// destination is down; the replica recovers and the announce lands at
+// recover_tick.
+struct CorrelatedFailureParams {
+  std::size_t withdraw_tick = 2;
+  std::size_t fail_tick = 3;
+  std::size_t announce_tick = 5;   // attempted while the destination is dead
+  std::size_t recover_tick = 7;
+  std::size_t dest_replica = 1;
+  // Mini-fabric shape for the composed fabric failure.
+  std::size_t containers = 3;
+  std::size_t tors_per_container = 4;
+  std::size_t cores = 2;
+};
+InjectorStream correlated_failure(const CorrelatedFailureParams& params, const ChaosEnv& env,
+                                  std::uint64_t seed);
+
+}  // namespace duet::chaos

@@ -1,0 +1,23 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace duet::chaos {
+
+ChaosPlan compose_plan(std::string name, const ChaosEnv& env,
+                       std::vector<InjectorStream> streams) {
+  ChaosPlan plan;
+  plan.name = std::move(name);
+  plan.env = env;
+  for (InjectorStream& s : streams) {
+    plan.injectors.push_back(std::move(s.name));
+    for (ChaosEvent& e : s.events) plan.events.push_back(std::move(e));
+  }
+  // Stable: same-tick events keep (stream position, within-stream) order.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.tick < b.tick; });
+  return plan;
+}
+
+}  // namespace duet::chaos

@@ -1,0 +1,31 @@
+// ChaosPlan: a composed, fully-scripted chaos scenario.
+//
+// compose_plan() interleaves any number of injector streams onto one shared
+// clock. Ordering is total and deterministic: events sort by tick; within a
+// tick they keep COMPOSITION ORDER (stream position first, then the
+// within-stream order the injector emitted). Composing the same streams in
+// the same order therefore always yields the identical plan — the property
+// the chaos tests pin — and the plan, not the injectors, is what the runner
+// replays through both engines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/injector.h"
+
+namespace duet::chaos {
+
+struct ChaosPlan {
+  std::string name;
+  ChaosEnv env;
+  std::vector<ChaosEvent> events;       // (tick, stream position, seq) order
+  std::vector<std::string> injectors;   // ingredient names, composition order
+
+  friend bool operator==(const ChaosPlan&, const ChaosPlan&) = default;
+};
+
+ChaosPlan compose_plan(std::string name, const ChaosEnv& env,
+                       std::vector<InjectorStream> streams);
+
+}  // namespace duet::chaos

@@ -1,0 +1,376 @@
+#include "chaos/runner.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "duet/smux.h"
+#include "exec/sweep.h"
+#include "net/hash.h"
+#include "util/id_set.h"
+#include "util/logging.h"
+#include "util/mix.h"
+
+namespace duet::chaos {
+
+namespace {
+
+constexpr Ipv4Address kVip{100, 0, 0, 1};
+constexpr std::uint64_t kEcmpSalt = 0x65636d7073616c74ULL;
+constexpr std::uint64_t kGraySalt = 0x6772617973616c74ULL;
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+// Distinct src blocks per traffic class, index-encoded so tuples are unique
+// regardless of the procedural port.
+Ipv4Address established_src(std::size_t i) {
+  return Ipv4Address{10, static_cast<std::uint8_t>(1 + ((i >> 16) & 63)),
+                     static_cast<std::uint8_t>((i >> 8) & 255),
+                     static_cast<std::uint8_t>(i & 255)};
+}
+Ipv4Address flood_src(std::size_t j) {
+  return Ipv4Address{172, static_cast<std::uint8_t>(16 + ((j >> 16) & 63)),
+                     static_cast<std::uint8_t>((j >> 8) & 255),
+                     static_cast<std::uint8_t>(j & 255)};
+}
+Ipv4Address flash_src(std::size_t k) {
+  return Ipv4Address{192, static_cast<std::uint8_t>(64 + ((k >> 16) & 63)),
+                     static_cast<std::uint8_t>((k >> 8) & 255),
+                     static_cast<std::uint8_t>(k & 255)};
+}
+
+std::uint16_t flow_port(std::uint64_t traffic_seed, std::uint64_t cls, std::uint64_t idx) {
+  return static_cast<std::uint16_t>(1024 +
+                                    mix64(traffic_seed ^ (cls * kGolden) ^ (idx + 1)) % 60000);
+}
+
+EngineChaosReport run_engine(const ChaosPlan& plan, DuetConfig cfg, SmuxEngine engine) {
+  const ChaosEnv& env = plan.env;
+  DUET_CHECK(env.replicas >= 1 && env.initial_dips >= 2 && env.batch > 0)
+      << "chaos env needs a replica, two DIPs and a batch size";
+  cfg.smux_engine = engine;
+  cfg.smux_flow_table_max = env.flow_table_cap;
+  cfg.smux_flow_idle_us = env.flow_idle_us;
+  if (env.unbounded_versions) cfg.stateless_max_versions = 0;
+
+  telemetry::MetricRegistry registry;
+  // One hasher seed for every replica: any SMux decides any flow alike —
+  // the property the ECMP failover model below leans on.
+  const FlowHasher hasher;
+
+  struct Replica {
+    Smux smux;
+    bool alive = true;
+    std::uint64_t used = 0;  // this tick's packet budget consumption
+    std::vector<Packet> batch;
+    std::vector<std::int64_t> flow_of;  // established index per packet, -1 = attack
+  };
+  const std::vector<Ipv4Address> dips0 = initial_dip_list(env.initial_dips);
+  std::vector<Replica> reps;
+  reps.reserve(env.replicas);
+  for (std::size_t r = 0; r < env.replicas; ++r) {
+    reps.push_back(Replica{Smux(static_cast<std::uint32_t>(r), hasher, cfg), true, 0, {}, {}});
+    reps[r].smux.bind_telemetry(registry, "chaos.r" + std::to_string(r) + ".");
+    reps[r].smux.set_vip(kVip, dips0);
+    reps[r].batch.reserve(env.batch);
+    reps[r].flow_of.reserve(env.batch);
+  }
+
+  // Pool state. `live` keeps insertion order (the canonical set_vip order);
+  // the IdSet doubles it for O(log n) liveness checks in the oracle.
+  std::vector<Ipv4Address> live = dips0;
+  util::IdSet<std::uint32_t> live_set;
+  for (const Ipv4Address d : dips0) live_set.insert(d.value());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> gray;  // dip value -> timeout %
+
+  int home = 0;  // the VIP's announced replica; -1 = through-SMux transit
+  std::vector<std::size_t> live_ids;
+  const auto rebuild_live_ids = [&] {
+    live_ids.clear();
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      if (reps[r].alive) live_ids.push_back(r);
+    }
+  };
+  rebuild_live_ids();
+  std::uint64_t flash_mult = 1;
+
+  // PCC oracle: expected DIP per established flow.
+  const std::size_t e = env.established_flows;
+  std::vector<Ipv4Address> expected(e);
+  std::vector<char> seen(e, 0);
+
+  EngineChaosReport rep;
+  double now_us = 0.0;
+  std::uint64_t seq = 0;  // global processed-packet sequence (gray loss draws)
+  std::vector<Ipv4Address> out(env.batch);
+
+  const auto flush = [&](Replica& R) {
+    if (R.batch.empty()) return;
+    const std::size_t n = R.batch.size();
+    R.smux.process_batch({R.batch.data(), n}, {out.data(), n}, now_us);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Ipv4Address dip = out[k];
+      // Order-sensitive chain: the bit-for-bit fingerprint of every decision.
+      rep.fingerprint =
+          mix64(rep.fingerprint ^ (static_cast<std::uint64_t>(dip.value()) + kGolden));
+      if (!gray.empty()) {
+        for (const auto& [value, pct] : gray) {
+          if (value != dip.value()) continue;
+          ++rep.gray_packets;
+          if (mix64((seq + k) ^ kGraySalt) % 100 < pct) ++rep.packet_loss;
+          break;
+        }
+      }
+      if (!live_set.contains(dip.value())) ++rep.dead_decisions;
+      const std::int64_t fi = R.flow_of[k];
+      if (fi >= 0) {
+        const auto i = static_cast<std::size_t>(fi);
+        if (seen[i] != 0 && dip != expected[i]) {
+          // Moving off a removed DIP is §5.1 termination, not a PCC break.
+          if (live_set.contains(expected[i].value())) {
+            ++rep.pcc_violations;
+          } else {
+            ++rep.legal_remaps;
+          }
+        }
+        expected[i] = dip;
+        seen[i] = 1;
+      }
+    }
+    rep.packets += n;
+    seq += n;
+    now_us += static_cast<double>(n);  // 1 µs per packet
+    std::uint64_t entries = 0;
+    for (const Replica& rr : reps) entries += rr.smux.flow_table_size();
+    rep.flow_entries_peak = std::max<std::uint64_t>(rep.flow_entries_peak, entries);
+    R.batch.clear();
+    R.flow_of.clear();
+  };
+  const auto flush_all = [&] {
+    for (Replica& R : reps) flush(R);
+  };
+  const auto push = [&](const FiveTuple& t, std::int64_t fi) {
+    const std::uint64_t h = hasher.hash(t);
+    const std::size_t r = (home >= 0 && reps[static_cast<std::size_t>(home)].alive)
+                              ? static_cast<std::size_t>(home)
+                              : live_ids[mix64(h ^ kEcmpSalt) % live_ids.size()];
+    Replica& R = reps[r];
+    if (env.replica_capacity_ppt != 0 && R.used >= env.replica_capacity_ppt) {
+      ++rep.overload_drops;  // brownout: dropped before any decision
+      return;
+    }
+    ++R.used;
+    R.batch.emplace_back(t, 64);
+    R.flow_of.push_back(fi);
+    if (R.batch.size() == env.batch) flush(R);
+  };
+
+  // Control-plane ops go to EVERY replica, dead or not: config distribution
+  // is a separate plane, and a recovering replica must come back with the
+  // current pool (only its FLOW TABLE is stale — deliberately).
+  const auto remove_dip = [&](Ipv4Address dip, bool crash) {
+    // Composition no-ops: stale target, or the pool floor of 2.
+    if (!live_set.contains(dip.value()) || live.size() <= 2) return;
+    if (crash) {
+      // In-flight packets on a crash-killed DIP are lost (a graceful remove
+      // drains them first).
+      for (std::size_t i = 0; i < e; ++i) {
+        if (seen[i] != 0 && expected[i] == dip) ++rep.packet_loss;
+      }
+    }
+    for (Replica& R : reps) R.smux.remove_dip(kVip, dip);
+    live.erase(std::find(live.begin(), live.end(), dip));
+    live_set.erase(dip.value());
+  };
+  std::uint64_t flood_quota = 0;
+  const auto apply = [&](const ChaosEvent& ev) {
+    switch (ev.kind) {
+      case ChaosEventKind::kDipAdd:
+        if (live_set.contains(ev.dip.value())) return;  // composition no-op
+        for (Replica& R : reps) R.smux.add_dip(kVip, ev.dip);
+        live.push_back(ev.dip);
+        live_set.insert(ev.dip.value());
+        break;
+      case ChaosEventKind::kDipRemove:
+        remove_dip(ev.dip, /*crash=*/false);
+        break;
+      case ChaosEventKind::kDipKill:
+        for (const Ipv4Address d : ev.dips) remove_dip(d, /*crash=*/true);
+        break;
+      case ChaosEventKind::kWeights: {
+        // Derived over the CURRENT live set so the event composes.
+        std::vector<std::uint32_t> weights;
+        weights.reserve(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          weights.push_back(static_cast<std::uint32_t>(1 + mix64(ev.a ^ ((i + 1) * kGolden)) % 4));
+        }
+        for (Replica& R : reps) R.smux.set_vip(kVip, live, weights);
+        break;
+      }
+      case ChaosEventKind::kFlood:
+        flood_quota += ev.a;
+        break;
+      case ChaosEventKind::kFlashBegin:
+        flash_mult = std::max<std::uint64_t>(1, ev.a);
+        break;
+      case ChaosEventKind::kFlashEnd:
+        flash_mult = 1;
+        break;
+      case ChaosEventKind::kGrayBegin: {
+        bool found = false;
+        for (auto& g : gray) {
+          if (g.first == ev.dip.value()) {
+            g.second = ev.a;
+            found = true;
+          }
+        }
+        if (!found) gray.emplace_back(ev.dip.value(), ev.a);
+        break;
+      }
+      case ChaosEventKind::kGrayEnd:
+        std::erase_if(gray, [&](const auto& g) { return g.first == ev.dip.value(); });
+        break;
+      case ChaosEventKind::kMuxFail: {
+        const std::size_t r = static_cast<std::size_t>(ev.a);
+        if (r >= reps.size() || !reps[r].alive || live_ids.size() <= 1) return;
+        reps[r].alive = false;
+        if (home == static_cast<int>(r)) home = -1;  // flows fail over by ECMP
+        rebuild_live_ids();
+        break;
+      }
+      case ChaosEventKind::kMuxRecover: {
+        const std::size_t r = static_cast<std::size_t>(ev.a);
+        if (r >= reps.size() || reps[r].alive) return;
+        reps[r].alive = true;  // flow table intact: stale pins by design
+        rebuild_live_ids();
+        break;
+      }
+      case ChaosEventKind::kMigrateWithdraw:
+        home = -1;  // §4.2 phase 1: through-SMux transit
+        break;
+      case ChaosEventKind::kMigrateAnnounce: {
+        const std::size_t r = static_cast<std::size_t>(ev.a);
+        if (r < reps.size() && reps[r].alive) home = static_cast<int>(r);
+        break;
+      }
+    }
+  };
+
+  const auto established_tuple = [&](std::size_t i) {
+    return FiveTuple{established_src(i), kVip, flow_port(env.traffic_seed, 1, i), 80,
+                     IpProto::kTcp};
+  };
+
+  // Establish the legit connections (the PCC baseline).
+  for (std::size_t i = 0; i < e; ++i) push(established_tuple(i), static_cast<std::int64_t>(i));
+  flush_all();
+
+  std::size_t ev_idx = 0;
+  std::size_t flood_j = 0;
+  std::size_t flash_k = 0;
+  for (std::size_t t = 0; t < env.ticks; ++t) {
+    for (Replica& R : reps) R.used = 0;
+    flood_quota = 0;
+    while (ev_idx < plan.events.size() && plan.events[ev_idx].tick == t) {
+      apply(plan.events[ev_idx++]);
+    }
+    // Traffic: attack classes first, keepalives last — overload budgets
+    // brown out the legit flows, exactly the failure mode that matters.
+    for (std::uint64_t q = 0; q < flood_quota; ++q, ++flood_j) {
+      push(FiveTuple{flood_src(flood_j), kVip, flow_port(env.traffic_seed, 2, flood_j), 80,
+                     IpProto::kTcp},
+           -1);
+    }
+    if (flash_mult > 1) {
+      const std::uint64_t surge = (flash_mult - 1) * e;
+      for (std::uint64_t q = 0; q < surge; ++q, ++flash_k) {
+        push(FiveTuple{flash_src(flash_k), kVip, flow_port(env.traffic_seed, 3, flash_k), 80,
+                       IpProto::kTcp},
+             -1);
+      }
+    }
+    for (std::size_t i = 0; i < e; ++i) push(established_tuple(i), static_cast<std::int64_t>(i));
+    flush_all();
+  }
+
+  for (std::size_t r = 0; r < reps.size(); ++r) {
+    const std::string p = "chaos.r" + std::to_string(r) + ".";
+    rep.evictions += registry.counter(p + "flow_evictions").value();
+    rep.dip_kill_evictions += registry.counter(p + "flow_dip_kills").value();
+    rep.flow_entries_end += reps[r].smux.flow_table_size();
+    rep.decision_state_bytes += reps[r].smux.decision_state_bytes();
+  }
+  return rep;
+}
+
+void journal_plan(const ChaosPlan& plan, telemetry::EventJournal& journal) {
+  using telemetry::Event;
+  using telemetry::EventKind;
+  for (const ChaosEvent& ev : plan.events) {
+    const double t = static_cast<double>(ev.tick);
+    switch (ev.kind) {
+      case ChaosEventKind::kMigrateWithdraw:
+        journal.record(t, EventKind::kMigrationWithdraw, kVip);
+        break;
+      case ChaosEventKind::kMigrateAnnounce:
+        journal.record(Event{t, EventKind::kMigrationAnnounce, kVip, {}, telemetry::kNoSwitch,
+                             ev.a, 0, 0, plan.name});
+        break;
+      case ChaosEventKind::kMuxFail:
+        journal.record(Event{t, EventKind::kSmuxDown, kVip, {}, telemetry::kNoSwitch, ev.a, 0,
+                             0, plan.name});
+        break;
+      case ChaosEventKind::kDipKill:
+        for (const Ipv4Address d : ev.dips) journal.record(t, EventKind::kDipDown, kVip, d);
+        break;
+      default:
+        journal.record(Event{t, EventKind::kChaosInject, kVip, ev.dip, telemetry::kNoSwitch,
+                             ev.a, 0, 0, std::string(to_string(ev.kind))});
+        break;
+    }
+  }
+}
+
+void record_engine(telemetry::MetricRegistry& metrics, const std::string& prefix,
+                   const EngineChaosReport& r) {
+  metrics.counter(prefix + "packets").inc(r.packets);
+  metrics.counter(prefix + "overload_drops").inc(r.overload_drops);
+  metrics.counter(prefix + "packet_loss").inc(r.packet_loss);
+  metrics.counter(prefix + "gray_packets").inc(r.gray_packets);
+  metrics.counter(prefix + "pcc_violations").inc(r.pcc_violations);
+  metrics.counter(prefix + "legal_remaps").inc(r.legal_remaps);
+  metrics.counter(prefix + "dead_decisions").inc(r.dead_decisions);
+  metrics.counter(prefix + "flow_evictions").inc(r.evictions);
+  metrics.counter(prefix + "flow_dip_kills").inc(r.dip_kill_evictions);
+  metrics.gauge(prefix + "flow_entries_peak").set(static_cast<double>(r.flow_entries_peak));
+  metrics.gauge(prefix + "decision_state_bytes")
+      .set(static_cast<double>(r.decision_state_bytes));
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosPlan& plan, const DuetConfig& base_config,
+                      telemetry::MetricRegistry* metrics, telemetry::EventJournal* journal) {
+  if (journal != nullptr) journal_plan(plan, *journal);
+  ChaosReport report;
+  report.stateful = run_engine(plan, base_config, SmuxEngine::kStateful);
+  report.stateless = run_engine(plan, base_config, SmuxEngine::kStateless);
+  if (metrics != nullptr) {
+    record_engine(*metrics, "chaos." + plan.name + ".stateful.", report.stateful);
+    record_engine(*metrics, "chaos." + plan.name + ".stateless.", report.stateless);
+  }
+  return report;
+}
+
+std::vector<ChaosReport> sweep_chaos(const ChaosPlanBuilder& build,
+                                     const DuetConfig& base_config, std::size_t shards,
+                                     std::uint64_t seed, exec::ThreadPool* pool) {
+  exec::SweepOptions options;
+  options.pool = pool;
+  options.seed = seed;
+  auto result = exec::sweep(shards, options, [&](exec::ShardContext& ctx) {
+    return run_chaos(build(ctx.seed), base_config);
+  });
+  return std::move(result.results);
+}
+
+}  // namespace duet::chaos

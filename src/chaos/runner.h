@@ -1,0 +1,88 @@
+// The chaos runner: twin-drives one ChaosPlan through BOTH decision engines
+// and reports directly comparable outcomes.
+//
+// Per engine, the runner stands up env.replicas identical SMux replicas
+// (same hasher, same config, all receiving every control-plane op — the
+// Duet SMux property that lets any replica serve any VIP) and replays the
+// plan on a shared clock:
+//
+//   establish:  every established flow sends its first packet (pins / warms
+//               buckets) — the PCC baseline.
+//   each tick:  1. control events scheduled for this tick, in plan order
+//                  (stale events — dead DIP, dead replica — are no-ops);
+//               2. traffic: flood tuples, then flash-crowd ephemerals, then
+//                  one keepalive per established flow. Packets route to the
+//                  VIP's home replica, or by flow-hash ECMP over the live
+//                  replicas while the VIP is in through-SMux transit (§4.2)
+//                  or its home is down. Per-replica overload budgets drop
+//                  excess packets BEFORE any decision is made.
+//
+// The oracle tracks each established flow's expected DIP. A flow observed on
+// a different DIP is a PCC violation if the expected DIP is still live, a
+// legal remap if it was removed/killed (§5.1 termination). Packet loss
+// accrues from gray timeouts, in-flight packets on crash-killed DIPs, and
+// is reported separately from overload drops.
+//
+// Everything is a pure function of the plan: no randomness at run time (all
+// randomness was drawn at plan-build time), the clock advances 1 µs per
+// processed packet, and `fingerprint` chains every decision in flush order —
+// the bit-for-bit handle the width-determinism contract checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "chaos/plan.h"
+#include "duet/config.h"
+#include "exec/thread_pool.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+
+namespace duet::chaos {
+
+// Per-engine outcome of one scenario run.
+struct EngineChaosReport {
+  std::uint64_t packets = 0;          // processed (drops excluded)
+  std::uint64_t overload_drops = 0;   // dropped by per-replica budgets
+  std::uint64_t packet_loss = 0;      // gray timeouts + in-flight on kills
+  std::uint64_t gray_packets = 0;     // packets decided onto a gray DIP
+  std::uint64_t pcc_violations = 0;   // established flow moved off a LIVE DIP
+  std::uint64_t legal_remaps = 0;     // moved off a removed/killed DIP (§5.1)
+  std::uint64_t dead_decisions = 0;   // decision pointed at a non-live DIP
+  std::uint64_t evictions = 0;        // flow_evictions across replicas
+  std::uint64_t dip_kill_evictions = 0;  // the DIP-removal slice of the above
+  std::uint64_t flow_entries_peak = 0;   // max of summed replica tables
+  std::uint64_t flow_entries_end = 0;
+  std::uint64_t decision_state_bytes = 0;
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const EngineChaosReport&, const EngineChaosReport&) = default;
+};
+
+struct ChaosReport {
+  EngineChaosReport stateful;
+  EngineChaosReport stateless;
+
+  friend bool operator==(const ChaosReport&, const ChaosReport&) = default;
+};
+
+// Runs the plan through both engines. `base_config` supplies the knobs the
+// plan's env does not own (hashing, stateless drain clock, ...). When
+// `metrics` is given, per-engine outcome counters are recorded under
+// "chaos.<plan name>.<engine>."; when `journal` is given, the plan's control
+// events are journaled once (they are engine-independent), tick t at t µs.
+ChaosReport run_chaos(const ChaosPlan& plan, const DuetConfig& base_config,
+                      telemetry::MetricRegistry* metrics = nullptr,
+                      telemetry::EventJournal* journal = nullptr);
+
+// `shards` independent scenarios — shard i's plan built by
+// `build(exec::shard_seed(seed, i))` — on the deterministic sweep engine
+// (exec/sweep.h). Slot i of the result is shard i's report at ANY pool
+// width.
+using ChaosPlanBuilder = std::function<ChaosPlan(std::uint64_t seed)>;
+std::vector<ChaosReport> sweep_chaos(const ChaosPlanBuilder& build,
+                                     const DuetConfig& base_config, std::size_t shards,
+                                     std::uint64_t seed, exec::ThreadPool* pool = nullptr);
+
+}  // namespace duet::chaos

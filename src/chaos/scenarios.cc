@@ -1,0 +1,276 @@
+#include "chaos/scenarios.h"
+
+#include <string>
+
+#include "util/mix.h"
+
+namespace duet::chaos {
+
+namespace {
+
+void gate(std::vector<std::string>& failures, bool ok, const std::string& text) {
+  if (!ok) failures.push_back(text);
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+// Independent sub-seed per injector of a composed scenario.
+std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t k) {
+  return mix64(seed ^ (0x9e3779b97f4a7c15ULL * (k + 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario builders. `quick` quarters the workload (CI smoke scale); the
+// qualitative outcomes the gates check are scale-invariant.
+// ---------------------------------------------------------------------------
+
+ChaosPlan build_churn_storm(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 12;
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 1024 : 4096;  // roomy: churn alone, no pressure
+  env.traffic_seed = seed;
+  ChurnStormParams churn;  // 5%/min sustained, one tick = one minute
+  return compose_plan("churn_storm", env, {churn_storm(churn, env, seed)});
+}
+
+ChaosPlan build_flash_crowd(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 8;
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 512 : 2048;        // absorbs churnless re-pins only
+  env.replica_capacity_ppt = quick ? 768 : 3072;  // brownout during the surge
+  env.traffic_seed = seed;
+  FlashCrowdParams flash;  // 10x for 2 ticks starting at tick 2
+  return compose_plan("flash_crowd", env, {flash_crowd(flash, env, seed)});
+}
+
+ChaosPlan build_correlated_failure(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 10;
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 1024 : 4096;
+  env.replicas = 3;
+  env.traffic_seed = seed;
+  CorrelatedFailureParams fail;  // withdraw@2, dest+fabric die@3, recover@7
+  return compose_plan("correlated_failure", env, {correlated_failure(fail, env, seed)});
+}
+
+ChaosPlan build_gray_dip(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 8;
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 1024 : 4096;
+  env.traffic_seed = seed;
+  GrayDipParams gray;  // DIP 0 times out 50% from tick 1, never marked dead
+  return compose_plan("gray_dip", env, {gray_dip(gray, env, seed)});
+}
+
+ChaosPlan build_syn_flood(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 9;  // 8 flood rounds + the final keepalive tick
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 256 : 1024;  // the table the flood exhausts
+  env.traffic_seed = seed;
+  SynFloodParams flood;
+  flood.tuples_total = quick ? 2048 : 8192;
+  flood.end_tick = 8;
+  RandomChurnParams churn;  // background pool churn: what turns lost pins
+  return compose_plan(       // into PCC violations
+      "syn_flood", env,
+      {syn_flood(flood, env, seed), random_churn(churn, env, sub_seed(seed, 1))});
+}
+
+ChaosPlan build_perfect_storm(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 12;
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 512 : 2048;
+  env.replica_capacity_ppt = quick ? 768 : 3072;
+  env.traffic_seed = seed;
+  ChurnStormParams churn;
+  churn.percent_per_min = 10.0;  // storm-grade rolling churn
+  SynFloodParams flood;
+  flood.tuples_total = quick ? 2048 : 8192;
+  FlashCrowdParams flash;
+  flash.begin_tick = 4;
+  flash.duration = 3;
+  flash.multiplier = 6;
+  GrayDipParams gray;
+  gray.begin_tick = 2;
+  gray.dip_index = 1;
+  gray.timeout_pct = 30;
+  RandomChurnParams bg;
+  return compose_plan("perfect_storm", env,
+                      {churn_storm(churn, env, seed), syn_flood(flood, env, sub_seed(seed, 2)),
+                       flash_crowd(flash, env, sub_seed(seed, 3)),
+                       gray_dip(gray, env, sub_seed(seed, 4)),
+                       random_churn(bg, env, sub_seed(seed, 5))});
+}
+
+// Mis-configured fixtures -----------------------------------------------------
+
+// Flow-table cap far below the established-flow count: establishing alone
+// sheds pins. Must trip gray_dip's stateful_evictions_max == 0.
+ChaosPlan build_cap_starved_gray(bool quick, std::uint64_t seed) {
+  ChaosPlan plan = build_gray_dip(quick, seed);
+  plan.name = "fixture_cap_starved_gray";
+  plan.env.flow_table_cap = quick ? 16 : 64;
+  return plan;
+}
+
+// Churn while the cap thrashes every pin: re-pins land on the post-churn
+// layout while the old DIP is still live. Must trip churn_storm's
+// stateful_pcc_max == 0.
+ChaosPlan build_churn_under_pressure(bool quick, std::uint64_t seed) {
+  ChaosEnv env;
+  env.ticks = 8;
+  env.established_flows = quick ? 128 : 512;
+  env.flow_table_cap = quick ? 16 : 64;  // broken: thrashes every established pin
+  env.traffic_seed = seed;
+  ChurnStormParams churn;
+  churn.percent_per_min = 25.0;  // 2 DIPs rolled per tick
+  return compose_plan("fixture_churn_under_pressure", env, {churn_storm(churn, env, seed)});
+}
+
+ChaosGates churn_storm_gates() {
+  ChaosGates g;
+  g.stateful_pcc_max = 0;  // uncapped table: pins shield flows through churn
+  g.packet_loss_max = 0;   // rolling removals drain gracefully
+  g.legal_remaps_min = 1;  // removed DIPs must actually carry flows
+  return g;
+}
+
+ChaosGates gray_dip_gates() {
+  ChaosGates g;
+  g.stateful_pcc_max = 0;       // pool never changes
+  g.stateful_evictions_max = 0; // nothing pressures the table
+  g.gray_packets_min = 1;       // the gray DIP keeps taking traffic
+  g.packet_loss_min = 1;        // and keeps timing out
+  g.packet_loss_max = 4096;     // bounded by its keepalive share
+  return g;
+}
+
+}  // namespace
+
+std::vector<std::string> evaluate_gates(const ChaosReport& r, const ChaosGates& g) {
+  std::vector<std::string> f;
+  const EngineChaosReport& sf = r.stateful;
+  const EngineChaosReport& sl = r.stateless;
+  gate(f, sl.pcc_violations <= g.stateless_pcc_max,
+       "stateless_pcc_max: " + num(sl.pcc_violations) + " > " + num(g.stateless_pcc_max));
+  gate(f, sl.flow_entries_peak <= g.stateless_flow_state_max,
+       "stateless_flow_state_max: " + num(sl.flow_entries_peak) + " > " +
+           num(g.stateless_flow_state_max));
+  gate(f, sf.pcc_violations <= g.stateful_pcc_max,
+       "stateful_pcc_max: " + num(sf.pcc_violations) + " > " + num(g.stateful_pcc_max));
+  gate(f, sf.pcc_violations >= g.stateful_pcc_min,
+       "stateful_pcc_min: " + num(sf.pcc_violations) + " < " + num(g.stateful_pcc_min));
+  gate(f, sf.evictions <= g.stateful_evictions_max,
+       "stateful_evictions_max: " + num(sf.evictions) + " > " + num(g.stateful_evictions_max));
+  gate(f, sf.evictions >= g.stateful_evictions_min,
+       "stateful_evictions_min: " + num(sf.evictions) + " < " + num(g.stateful_evictions_min));
+  for (const auto* e : {&sf, &sl}) {
+    const char* tag = e == &sf ? "stateful" : "stateless";
+    gate(f, e->packet_loss <= g.packet_loss_max,
+         std::string("packet_loss_max(") + tag + "): " + num(e->packet_loss) + " > " +
+             num(g.packet_loss_max));
+    gate(f, e->packet_loss >= g.packet_loss_min,
+         std::string("packet_loss_min(") + tag + "): " + num(e->packet_loss) + " < " +
+             num(g.packet_loss_min));
+    gate(f, e->legal_remaps >= g.legal_remaps_min,
+         std::string("legal_remaps_min(") + tag + "): " + num(e->legal_remaps) + " < " +
+             num(g.legal_remaps_min));
+    gate(f, e->gray_packets >= g.gray_packets_min,
+         std::string("gray_packets_min(") + tag + "): " + num(e->gray_packets) + " < " +
+             num(g.gray_packets_min));
+    gate(f, e->overload_drops >= g.overload_drops_min,
+         std::string("overload_drops_min(") + tag + "): " + num(e->overload_drops) + " < " +
+             num(g.overload_drops_min));
+  }
+  return f;
+}
+
+const std::vector<NamedScenario>& builtin_scenarios() {
+  static const std::vector<NamedScenario> scenarios = [] {
+    std::vector<NamedScenario> v;
+    {
+      NamedScenario s{"churn_storm", "rolling 5%/min DIP churn, roomy table", false, nullptr,
+                      churn_storm_gates(), &build_churn_storm};
+      v.push_back(std::move(s));
+    }
+    {
+      ChaosGates g;
+      g.stateful_pcc_max = 0;       // static pool: re-pins land where they were
+      g.stateful_evictions_min = 1; // the surge must pressure the table
+      g.overload_drops_min = 1;     // and the replica budget
+      g.packet_loss_max = 0;        // drops are brownout, not loss
+      NamedScenario s{"flash_crowd", "10x VIP surge for two ticks, replica budget browns out",
+                      false, nullptr, g, &build_flash_crowd};
+      v.push_back(std::move(s));
+    }
+    {
+      ChaosGates g;
+      g.stateful_pcc_max = 0;  // hash-stable failover: survivors keep their share
+      g.packet_loss_min = 1;   // crash-killed DIPs lose in-flight packets
+      g.legal_remaps_min = 1;  // their flows terminate and remap legally
+      NamedScenario s{"correlated_failure",
+                      "container+switch+link die with the migration destination SMux", false,
+                      nullptr, g, &build_correlated_failure};
+      v.push_back(std::move(s));
+    }
+    {
+      NamedScenario s{"gray_dip", "DIP answers slowly, never marked dead", false, nullptr,
+                      gray_dip_gates(), &build_gray_dip};
+      v.push_back(std::move(s));
+    }
+    {
+      ChaosGates g;
+      g.stateful_pcc_min = 1;        // the classic: flood + churn breaks PCC
+      g.stateful_evictions_min = 1;  // by shedding real pins
+      g.packet_loss_max = 0;
+      NamedScenario s{"syn_flood", "8K spoofed first packets over churning pool", false,
+                      nullptr, g, &build_syn_flood};
+      v.push_back(std::move(s));
+    }
+    {
+      ChaosGates g;
+      g.stateful_pcc_min = 1;
+      g.stateful_evictions_min = 1;
+      g.overload_drops_min = 1;
+      // No gray/loss minimum: composition can mask an adversary — the churn
+      // storm tends to roll the gray DIP out of the pool (a rolling deploy
+      // accidentally curing a gray failure), which is an emergent behavior
+      // worth observing, not forcing.
+      NamedScenario s{"perfect_storm",
+                      "churn storm + SYN flood + flash crowd + gray DIP + background churn",
+                      true, nullptr, g, &build_perfect_storm};
+      v.push_back(std::move(s));
+    }
+    return v;
+  }();
+  return scenarios;
+}
+
+const std::vector<NamedScenario>& violation_fixtures() {
+  static const std::vector<NamedScenario> fixtures = [] {
+    std::vector<NamedScenario> v;
+    {
+      NamedScenario s{"fixture_cap_starved_gray",
+                      "gray_dip with a cap below the flow count: establishing sheds pins",
+                      false, "stateful_evictions_max", gray_dip_gates(),
+                      &build_cap_starved_gray};
+      v.push_back(std::move(s));
+    }
+    {
+      NamedScenario s{"fixture_churn_under_pressure",
+                      "churn storm while the cap thrashes every pin: PCC breaks", false,
+                      "stateful_pcc_max", churn_storm_gates(), &build_churn_under_pressure};
+      v.push_back(std::move(s));
+    }
+    return v;
+  }();
+  return fixtures;
+}
+
+}  // namespace duet::chaos

@@ -1,0 +1,67 @@
+// Named chaos scenarios and their per-engine gates.
+//
+// builtin_scenarios() is the scenario matrix bench_chaos runs and CI's
+// chaos-smoke leg gates on: five single-adversary scenarios (churn storm,
+// flash crowd, correlated failure mid-migration, gray DIP, SYN flood) plus
+// the composed multi-adversary "perfect storm". Each entry carries the
+// documented bounds (DESIGN.md §15) for BOTH engines; evaluate_gates()
+// turns a ChaosReport into the list of violated bounds (empty = pass).
+//
+// violation_fixtures() are deliberately mis-configured twins — the same
+// injectors against a broken env — that MUST trip their named gate
+// (`must_trip`). They prove the gates bite, mirroring the hotcheck fixture
+// pattern: a gate that cannot fail is not a gate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.h"
+#include "chaos/runner.h"
+
+namespace duet::chaos {
+
+inline constexpr std::uint64_t kUnbounded = std::numeric_limits<std::uint64_t>::max();
+
+// Documented per-scenario bounds. *_max gates cap a metric; *_min gates
+// prove the scenario actually exercises the mechanism it claims to (e.g. a
+// flood that never evicts is not a flood). Every bound names the engine it
+// constrains; packet_loss_max applies to each engine separately.
+struct ChaosGates {
+  std::uint64_t stateless_pcc_max = 0;         // the stateless contract
+  std::uint64_t stateless_flow_state_max = 0;  // peak per-flow entries
+  std::uint64_t stateful_pcc_max = kUnbounded;
+  std::uint64_t stateful_pcc_min = 0;
+  std::uint64_t stateful_evictions_max = kUnbounded;
+  std::uint64_t stateful_evictions_min = 0;
+  std::uint64_t packet_loss_max = kUnbounded;
+  std::uint64_t packet_loss_min = 0;
+  std::uint64_t legal_remaps_min = 0;
+  std::uint64_t gray_packets_min = 0;
+  std::uint64_t overload_drops_min = 0;
+};
+
+// Human-readable gate failures, empty when the report is within bounds.
+// Each failure string contains the gate's field name (e.g. "stateful_pcc_max")
+// so fixtures can assert WHICH gate tripped.
+std::vector<std::string> evaluate_gates(const ChaosReport& report, const ChaosGates& gates);
+
+struct NamedScenario {
+  std::string name;
+  std::string summary;
+  bool composed = false;           // multi-adversary
+  const char* must_trip = nullptr; // violation fixtures: gate that must fail
+  ChaosGates gates;
+  ChaosPlan (*build)(bool quick, std::uint64_t seed);
+};
+
+// The scenario matrix: churn_storm, flash_crowd, correlated_failure,
+// gray_dip, syn_flood, perfect_storm (composed).
+const std::vector<NamedScenario>& builtin_scenarios();
+
+// Mis-configured twins that must trip `must_trip` under their own gates.
+const std::vector<NamedScenario>& violation_fixtures();
+
+}  // namespace duet::chaos

@@ -59,6 +59,7 @@ void StatefulEngine::enforce_flow_cap(double now_us) {
 void StatefulEngine::bind_telemetry(telemetry::MetricRegistry& registry,
                                     const std::string& prefix) {
   tm_flow_evictions_ = &registry.counter(prefix + "flow_evictions");
+  tm_flow_dip_kills_ = &registry.counter(prefix + "flow_dip_kills");
   tm_flow_scan_slots_ = &registry.counter(prefix + "flow_scan_slots");
   tm_flow_table_size_ = &registry.gauge(prefix + "flow_table_size");
   tm_flow_scan_max_ = &registry.gauge(prefix + "flow_scan_max_slots");

@@ -56,7 +56,12 @@ class StatefulEngine final : public DecisionEngine {
                                                          const FlowPin& pin) {
       return tuple.dst == vip && pin.dip == dip;
     });
-    if (tm_flow_evictions_ != nullptr && evicted > 0) tm_flow_evictions_->inc(evicted);
+    if (evicted > 0) {
+      // flow_evictions stays the inclusive total; flow_dip_kills splits out
+      // the §5.1 slice so chaos reports can tell cap shedding from DIP loss.
+      if (tm_flow_evictions_ != nullptr) tm_flow_evictions_->inc(evicted);
+      if (tm_flow_dip_kills_ != nullptr) tm_flow_dip_kills_->inc(evicted);
+    }
     refresh_size_gauge();
   }
 
@@ -131,6 +136,7 @@ class StatefulEngine final : public DecisionEngine {
   FlowHasher hasher_;
   DuetConfig config_;
   telemetry::Counter* tm_flow_evictions_ = nullptr;
+  telemetry::Counter* tm_flow_dip_kills_ = nullptr;
   telemetry::Counter* tm_flow_scan_slots_ = nullptr;
   telemetry::Gauge* tm_flow_table_size_ = nullptr;
   telemetry::Gauge* tm_flow_scan_max_ = nullptr;

@@ -4,6 +4,17 @@
 
 namespace duet {
 
+FailureScenario& FailureScenario::merge(const FailureScenario& other) {
+  failed_switches.merge(other.failed_switches);
+  failed_links.merge(other.failed_links);
+  if (name.empty()) {
+    name = other.name;
+  } else if (!other.name.empty()) {
+    name += "+" + other.name;
+  }
+  return *this;
+}
+
 FailureScenario healthy_scenario() { return FailureScenario{"normal", {}, {}}; }
 
 FailureScenario random_switch_failure(const FatTree& fabric, std::size_t count, Rng& rng) {
@@ -36,6 +47,16 @@ FailureScenario random_link_failure(const FatTree& fabric, Rng& rng) {
   s.name = "1-link";
   s.failed_links.insert(static_cast<LinkId>(rng.uniform(fabric.topo.link_count())));
   return s;
+}
+
+FailureScenario compose(std::initializer_list<FailureScenario> scenarios) {
+  FailureScenario out;
+  for (const FailureScenario& s : scenarios) out.merge(s);
+  return out;
+}
+
+FailureScenario compose(const FailureScenario& a, const FailureScenario& b) {
+  return compose({a, b});
 }
 
 }  // namespace duet

@@ -1,23 +1,38 @@
 // Failure scenarios (§8.2, §8.5): "a container or up to 3 switches can fail
 // simultaneously" — the failure model the paper provisions SMuxes against
 // and stresses link utilization with (Fig 19).
+//
+// Sets are util::IdSet (sorted vectors), not std::unordered_set: scenarios
+// are built once, copied into sweep shards, and queried per flow — the
+// sorted-vector form keeps chaos sweeps allocation-light and iteration
+// deterministic (the PR 5 container policy, DESIGN.md §12).
+//
+// Composition: production failures are rarely singular. compose() unions any
+// number of scenarios (container + switch + link at once) into one, which is
+// what the chaos harness (src/chaos) injects mid-migration. Composition is
+// commutative and associative on the failed sets; the name records the
+// ingredient order for report readability.
 #pragma once
 
+#include <initializer_list>
 #include <string>
-#include <unordered_set>
 
 #include "topo/fattree.h"
+#include "util/id_set.h"
 #include "util/random.h"
 
 namespace duet {
 
 struct FailureScenario {
   std::string name;
-  std::unordered_set<SwitchId> failed_switches;
-  std::unordered_set<LinkId> failed_links;
+  util::IdSet<SwitchId> failed_switches;
+  util::IdSet<LinkId> failed_links;
 
   bool affects(SwitchId s) const { return failed_switches.contains(s); }
   bool empty() const { return failed_switches.empty() && failed_links.empty(); }
+
+  // In-place union with another scenario ("a+b"). Returns *this.
+  FailureScenario& merge(const FailureScenario& other);
 };
 
 // No failure.
@@ -33,5 +48,12 @@ FailureScenario random_container_failure(const FatTree& fabric, Rng& rng);
 
 // A single random link.
 FailureScenario random_link_failure(const FatTree& fabric, Rng& rng);
+
+// Union of any number of scenarios: the failed sets merge; the name joins
+// the ingredients with '+'. The result of composing the same ingredients is
+// identical regardless of grouping (set union), so composed scenarios are as
+// sweep-deterministic as their parts.
+FailureScenario compose(std::initializer_list<FailureScenario> scenarios);
+FailureScenario compose(const FailureScenario& a, const FailureScenario& b);
 
 }  // namespace duet

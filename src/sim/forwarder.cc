@@ -23,18 +23,17 @@ std::string to_string(ForwardOutcome outcome) {
 HopByHopForwarder::HopByHopForwarder(const Topology& topo, const RoutingFabric& views,
                                      std::unordered_map<SwitchId, SwitchDataPlane*> dataplanes,
                                      std::unordered_set<SwitchId> smux_tors,
-                                     std::unordered_set<SwitchId> failed_switches)
+                                     util::IdSet<SwitchId> failed_switches)
     : topo_(&topo),
       views_(&views),
       dataplanes_(std::move(dataplanes)),
       smux_tors_(std::move(smux_tors)),
       failed_(std::move(failed_switches)),
-      routing_(std::make_unique<EcmpRouting>(topo, failed_,
-                                             std::unordered_set<LinkId>{})) {}
+      routing_(std::make_unique<EcmpRouting>(topo, failed_, util::IdSet<LinkId>{})) {}
 
-void HopByHopForwarder::set_failed(std::unordered_set<SwitchId> failed) {
+void HopByHopForwarder::set_failed(util::IdSet<SwitchId> failed) {
   failed_ = std::move(failed);
-  routing_ = std::make_unique<EcmpRouting>(*topo_, failed_, std::unordered_set<LinkId>{});
+  routing_ = std::make_unique<EcmpRouting>(*topo_, failed_, util::IdSet<LinkId>{});
 }
 
 SwitchId HopByHopForwarder::next_hop(SwitchId sw, SwitchId target, const Packet& packet) const {

@@ -21,6 +21,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/id_set.h"
+
+
 #include "dataplane/pipeline.h"
 #include "net/packet.h"
 #include "routing/bgp.h"
@@ -60,13 +63,13 @@ class HopByHopForwarder {
   HopByHopForwarder(const Topology& topo, const RoutingFabric& views,
                     std::unordered_map<SwitchId, SwitchDataPlane*> dataplanes,
                     std::unordered_set<SwitchId> smux_tors,
-                    std::unordered_set<SwitchId> failed_switches = {});
+                    util::IdSet<SwitchId> failed_switches = {});
 
   // Injects the packet at `ingress` and walks it to an outcome. The packet
   // is modified in place (encap headers added by muxes along the way).
   ForwardResult forward(Packet& packet, SwitchId ingress) const;
 
-  void set_failed(std::unordered_set<SwitchId> failed);
+  void set_failed(util::IdSet<SwitchId> failed);
 
  private:
   // Picks the ECMP next hop toward `target` from `sw`, or kInvalidSwitch.
@@ -76,7 +79,7 @@ class HopByHopForwarder {
   const RoutingFabric* views_;
   std::unordered_map<SwitchId, SwitchDataPlane*> dataplanes_;
   std::unordered_set<SwitchId> smux_tors_;
-  std::unordered_set<SwitchId> failed_;
+  util::IdSet<SwitchId> failed_;
   std::unique_ptr<EcmpRouting> routing_;
   FlowHasher path_hasher_{0x9a7Eull};
 };

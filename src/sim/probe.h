@@ -32,6 +32,7 @@
 #include "telemetry/metrics.h"
 #include "topo/fattree.h"
 #include "topo/paths.h"
+#include "util/id_set.h"
 
 namespace duet {
 
@@ -138,8 +139,8 @@ class TestbedSim {
   EventQueue events_;
   RoutingFabric views_;
   std::unique_ptr<EcmpRouting> routing_;
-  std::unordered_set<SwitchId> failed_;
-  std::unordered_set<LinkId> failed_links_;
+  util::IdSet<SwitchId> failed_;
+  util::IdSet<LinkId> failed_links_;
 
   std::unordered_map<SwitchId, std::unique_ptr<Hmux>> hmuxes_;
   std::vector<SmuxInstance> smuxes_;

@@ -1,222 +1,70 @@
+// The SYN-flood twin-drive, re-based onto the chaos harness (src/chaos): the
+// scenario is now a ChaosPlan composing the shared syn_flood and
+// random_churn injectors, replayed by the chaos runner. The public API and
+// the qualitative contract (stateless immune, stateful exhausted, identical
+// packets, width-deterministic sweeps) are unchanged; what used to be a
+// bespoke loop here is the general machinery every chaos scenario uses.
 #include "stateless/flood_scenario.h"
 
-#include <algorithm>
-
-#include "duet/smux.h"
+#include "chaos/plan.h"
+#include "chaos/runner.h"
 #include "exec/sweep.h"
-#include "net/hash.h"
-#include "stateless/stateless_engine.h"
-#include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/mix.h"
-#include "util/random.h"
 
 namespace duet::stateless {
 
 namespace {
 
-constexpr Ipv4Address kVip{100, 0, 0, 1};
-
-struct ChurnOp {
-  enum Kind : std::uint8_t { kAdd, kRemove, kWeights };
-  Kind kind = kAdd;
-  Ipv4Address dip;                     // kAdd / kRemove
-  std::vector<Ipv4Address> dips;       // kWeights: live DIP list at that point
-  std::vector<std::uint32_t> weights;  // kWeights
-};
-
-// The seeded scenario script. Built ONCE and replayed through both engines,
-// so their reports differ only by engine behavior.
-struct Plan {
-  std::vector<Ipv4Address> initial_dips;
-  std::vector<FiveTuple> established;
-  std::vector<std::vector<FiveTuple>> flood_rounds;
-  std::vector<ChurnOp> churn;  // one op per round
-};
-
-Ipv4Address established_src(std::size_t i) {
-  return Ipv4Address{10, static_cast<std::uint8_t>(1 + ((i >> 16) & 63)),
-                     static_cast<std::uint8_t>((i >> 8) & 255),
-                     static_cast<std::uint8_t>(i & 255)};
-}
-
-Ipv4Address flood_src(std::size_t j) {
-  return Ipv4Address{172, static_cast<std::uint8_t>(16 + ((j >> 16) & 63)),
-                     static_cast<std::uint8_t>((j >> 8) & 255),
-                     static_cast<std::uint8_t>(j & 255)};
-}
-
-Plan build_plan(const FloodParams& p, std::uint64_t seed) {
+chaos::ChaosPlan flood_plan(const FloodParams& p, std::uint64_t seed) {
   DUET_CHECK(p.rounds > 0 && p.initial_dips >= 2) << "flood plan needs rounds and >=2 DIPs";
-  Rng rng(seed);
-  Plan plan;
+  chaos::ChaosEnv env;
+  env.ticks = p.rounds + 1;  // R flood/churn rounds + the final keepalive pass
+  env.established_flows = p.established_flows;
+  env.initial_dips = p.initial_dips;
+  env.flow_table_cap = p.flow_table_cap;
+  env.flow_idle_us = p.flow_idle_us;
+  env.batch = p.batch;
+  env.traffic_seed = seed;
+  // base_config supplies the stateless knobs untouched (historical flood
+  // semantics), so no version-retention override here.
+  env.unbounded_versions = false;
 
-  for (std::size_t d = 0; d < p.initial_dips; ++d) {
-    plan.initial_dips.push_back(Ipv4Address{10, 200, static_cast<std::uint8_t>((d >> 8) & 255),
-                                            static_cast<std::uint8_t>(d & 255)});
-  }
-
-  plan.established.reserve(p.established_flows);
-  for (std::size_t i = 0; i < p.established_flows; ++i) {
-    // src encodes i, so tuples are distinct regardless of the random port.
-    plan.established.push_back(FiveTuple{
-        established_src(i), kVip, static_cast<std::uint16_t>(1024 + rng.uniform(60000)), 80,
-        IpProto::kTcp});
-  }
-
-  plan.flood_rounds.resize(p.rounds);
-  std::size_t j = 0;
-  for (std::size_t r = 0; r < p.rounds; ++r) {
-    const std::size_t quota =
-        r + 1 == p.rounds ? p.flood_tuples - j : p.flood_tuples / p.rounds;
-    auto& round = plan.flood_rounds[r];
-    round.reserve(quota);
-    for (std::size_t q = 0; q < quota; ++q, ++j) {
-      round.push_back(FiveTuple{flood_src(j), kVip,
-                                static_cast<std::uint16_t>(1024 + rng.uniform(60000)), 80,
-                                IpProto::kTcp});
-    }
-  }
-
-  // Churn script, tracking the live DIP set as it evolves.
-  std::vector<Ipv4Address> live = plan.initial_dips;
-  std::size_t next_added = 0;
-  for (std::size_t r = 0; r < p.rounds; ++r) {
-    ChurnOp op;
-    std::uint64_t kind = rng.uniform(3);
-    if (kind == 1 && live.size() <= 2) kind = 0;  // never remove below 2 DIPs
-    if (kind == 0) {
-      op.kind = ChurnOp::kAdd;
-      op.dip = Ipv4Address{10, 201, static_cast<std::uint8_t>((next_added >> 8) & 255),
-                           static_cast<std::uint8_t>(next_added & 255)};
-      ++next_added;
-      live.push_back(op.dip);
-    } else if (kind == 1) {
-      op.kind = ChurnOp::kRemove;
-      const std::size_t victim = static_cast<std::size_t>(rng.uniform(live.size()));
-      op.dip = live[victim];
-      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
-    } else {
-      op.kind = ChurnOp::kWeights;
-      op.dips = live;
-      op.weights.reserve(live.size());
-      for (std::size_t d = 0; d < live.size(); ++d) {
-        op.weights.push_back(static_cast<std::uint32_t>(1 + rng.uniform(4)));
-      }
-    }
-    plan.churn.push_back(std::move(op));
-  }
-  return plan;
+  chaos::SynFloodParams flood;
+  flood.tuples_total = p.flood_tuples;
+  flood.begin_tick = 0;
+  flood.end_tick = p.rounds;
+  chaos::RandomChurnParams churn;
+  churn.start_tick = 1;
+  churn.end_tick = p.rounds + 1;
+  return chaos::compose_plan(
+      "flood", env,
+      {chaos::syn_flood(flood, env, seed),
+       chaos::random_churn(churn, env, mix64(seed ^ 0x9e3779b97f4a7c15ULL))});
 }
 
-EngineFloodReport run_engine(const Plan& plan, const FloodParams& p, DuetConfig cfg,
-                             SmuxEngine engine) {
-  cfg.smux_engine = engine;
-  cfg.smux_flow_table_max = p.flow_table_cap;
-  cfg.smux_flow_idle_us = p.flow_idle_us;
-
-  telemetry::MetricRegistry registry;
-  Smux smux(0, FlowHasher{}, cfg);
-  smux.bind_telemetry(registry, "flood.");
-  smux.set_vip(kVip, plan.initial_dips);
-
-  const std::size_t e = plan.established.size();
-  std::vector<Ipv4Address> expected(e);
-  std::vector<char> seen(e, 0);
-  std::vector<Ipv4Address> live = plan.initial_dips;
-
-  EngineFloodReport rep;
-  double now_us = 0.0;
-  std::vector<Packet> batch;
-  std::vector<std::int64_t> flow_of;  // established index per packet, -1 = flood
-  std::vector<Ipv4Address> out(p.batch);
-  batch.reserve(p.batch);
-  flow_of.reserve(p.batch);
-
-  const auto is_live = [&](Ipv4Address d) {
-    return std::find(live.begin(), live.end(), d) != live.end();
-  };
-
-  const auto flush = [&] {
-    if (batch.empty()) return;
-    smux.process_batch({batch.data(), batch.size()}, {out.data(), batch.size()}, now_us);
-    for (std::size_t k = 0; k < batch.size(); ++k) {
-      // Order-sensitive chain: the bit-for-bit fingerprint of every decision.
-      rep.fingerprint = mix64(rep.fingerprint ^ (static_cast<std::uint64_t>(out[k].value()) +
-                                                 0x9e3779b97f4a7c15ULL));
-      const std::int64_t fi = flow_of[k];
-      if (fi >= 0) {
-        const auto i = static_cast<std::size_t>(fi);
-        if (seen[i] != 0 && out[k] != expected[i]) {
-          // Moving off a removed DIP is §5.1 termination, not a PCC break.
-          if (is_live(expected[i])) {
-            ++rep.pcc_violations;
-          } else {
-            ++rep.legal_remaps;
-          }
-        }
-        expected[i] = out[k];
-        seen[i] = 1;
-      }
-    }
-    rep.packets += batch.size();
-    now_us += static_cast<double>(batch.size());  // 1 µs per packet
-    rep.flow_entries_peak =
-        std::max<std::uint64_t>(rep.flow_entries_peak, smux.flow_table_size());
-    batch.clear();
-    flow_of.clear();
-  };
-  const auto push = [&](const FiveTuple& t, std::int64_t fi) {
-    batch.emplace_back(t, 64);
-    flow_of.push_back(fi);
-    if (batch.size() == p.batch) flush();
-  };
-
-  // Establish the legit connections.
-  for (std::size_t i = 0; i < e; ++i) push(plan.established[i], static_cast<std::int64_t>(i));
-  flush();
-
-  for (std::size_t r = 0; r < plan.flood_rounds.size(); ++r) {
-    // The flood burst, then the established keepalives (they survive or not
-    // depending on what the flood did to the engine's state).
-    for (const FiveTuple& t : plan.flood_rounds[r]) push(t, -1);
-    for (std::size_t i = 0; i < e; ++i) push(plan.established[i], static_cast<std::int64_t>(i));
-    flush();
-
-    const ChurnOp& op = plan.churn[r];
-    switch (op.kind) {
-      case ChurnOp::kAdd:
-        smux.add_dip(kVip, op.dip);
-        live.push_back(op.dip);
-        break;
-      case ChurnOp::kRemove:
-        smux.remove_dip(kVip, op.dip);
-        live.erase(std::find(live.begin(), live.end(), op.dip));
-        break;
-      case ChurnOp::kWeights:
-        smux.set_vip(kVip, op.dips, op.weights);
-        break;
-    }
-  }
-
-  // Final keepalive pass: every surviving flow must still get expected[i].
-  for (std::size_t i = 0; i < e; ++i) push(plan.established[i], static_cast<std::int64_t>(i));
-  flush();
-
-  rep.evictions = registry.counter("flood.flow_evictions").value();
-  rep.flow_entries_end = smux.flow_table_size();
-  rep.decision_state_bytes = smux.decision_state_bytes();
-  return rep;
+EngineFloodReport from_chaos(const chaos::EngineChaosReport& r) {
+  EngineFloodReport out;
+  out.pcc_violations = r.pcc_violations;
+  out.legal_remaps = r.legal_remaps;
+  out.evictions = r.evictions;
+  out.flow_entries_peak = r.flow_entries_peak;
+  out.flow_entries_end = r.flow_entries_end;
+  out.decision_state_bytes = r.decision_state_bytes;
+  out.packets = r.packets;
+  out.fingerprint = r.fingerprint;
+  return out;
 }
 
 }  // namespace
 
 FloodReport run_flood_scenario(const FloodParams& params, const DuetConfig& base_config,
                                std::uint64_t seed) {
-  const Plan plan = build_plan(params, seed);
+  const chaos::ChaosPlan plan = flood_plan(params, seed);
+  const chaos::ChaosReport r = chaos::run_chaos(plan, base_config);
   FloodReport report;
-  report.stateful = run_engine(plan, params, base_config, SmuxEngine::kStateful);
-  report.stateless = run_engine(plan, params, base_config, SmuxEngine::kStateless);
+  report.stateful = from_chaos(r.stateful);
+  report.stateless = from_chaos(r.stateless);
   return report;
 }
 

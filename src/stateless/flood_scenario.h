@@ -20,11 +20,13 @@
 // A flow whose own DIP was removed necessarily terminates (§5.1); its remap
 // is legal and NOT counted as a violation.
 //
-// Everything is a pure function of (params, config, seed): integer tuple
-// generation, Rng-driven churn, batch clock advancing 1 µs per packet.
-// sweep_flood runs independent scenario shards on the deterministic sweep
-// engine (exec/sweep.h) — results are bit-for-bit identical at any thread
-// count, which the width-determinism test pins.
+// Everything is a pure function of (params, config, seed). Since the chaos
+// harness landed this is a thin adapter: the scenario is a ChaosPlan
+// composing the shared syn_flood + random_churn injectors (src/chaos),
+// replayed by the chaos runner on its 1 µs-per-packet clock. sweep_flood
+// runs independent scenario shards on the deterministic sweep engine
+// (exec/sweep.h) — results are bit-for-bit identical at any thread count,
+// which the width-determinism test pins.
 #pragma once
 
 #include <cstdint>

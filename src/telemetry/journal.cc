@@ -20,6 +20,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kSmuxDown: return "smux_down";
     case EventKind::kTableOccupancy: return "table_occupancy";
     case EventKind::kStatelessVersionBuild: return "stateless_version_build";
+    case EventKind::kChaosInject: return "chaos_inject";
   }
   return "unknown";
 }

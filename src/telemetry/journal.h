@@ -35,6 +35,7 @@ enum class EventKind : std::uint8_t {
   kSmuxDown,            // software mux failure (a = smux id)
   kTableOccupancy,      // snapshot: a/b/c = host/ECMP/tunnel entries used (sw)
   kStatelessVersionBuild,  // stateless map version pushed to the SMuxes (vip)
+  kChaosInject,         // chaos-harness adversary event (detail = event name)
 };
 
 // Stable wire name, used by the exporters and grep-able in dumps.

@@ -7,8 +7,8 @@
 
 namespace duet {
 
-EcmpRouting::EcmpRouting(const Topology& topo, std::unordered_set<SwitchId> failed_switches,
-                         std::unordered_set<LinkId> failed_links)
+EcmpRouting::EcmpRouting(const Topology& topo, util::IdSet<SwitchId> failed_switches,
+                         util::IdSet<LinkId> failed_links)
     : topo_(&topo),
       failed_switches_(std::move(failed_switches)),
       failed_links_(std::move(failed_links)),

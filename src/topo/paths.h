@@ -12,20 +12,22 @@
 //   * sample_path(...)    — packet level: the single concrete path a given
 //                           flow hash takes (for probe/latency simulation).
 //
-// Failures: construct with the set of failed switches/links; distances are
-// recomputed around them (lazy, per destination).
+// Failures: construct with the set of failed switches/links (util::IdSet —
+// sorted vectors, deterministic and allocation-light like the rest of the
+// failure model); distances are recomputed around them (lazy, per
+// destination).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "net/hash.h"
 #include "topo/topology.h"
+#include "util/id_set.h"
 
 namespace duet {
 
@@ -33,8 +35,8 @@ inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>
 
 class EcmpRouting {
  public:
-  explicit EcmpRouting(const Topology& topo, std::unordered_set<SwitchId> failed_switches = {},
-                       std::unordered_set<LinkId> failed_links = {});
+  explicit EcmpRouting(const Topology& topo, util::IdSet<SwitchId> failed_switches = {},
+                       util::IdSet<LinkId> failed_links = {});
 
   const Topology& topo() const noexcept { return *topo_; }
 
@@ -82,8 +84,8 @@ class EcmpRouting {
   const std::vector<std::uint32_t>& dist_field(SwitchId dst) const;
 
   const Topology* topo_;
-  std::unordered_set<SwitchId> failed_switches_;
-  std::unordered_set<LinkId> failed_links_;
+  util::IdSet<SwitchId> failed_switches_;
+  util::IdSet<LinkId> failed_links_;
   mutable std::vector<std::vector<std::uint32_t>> dist_cache_;  // [dst] -> per-switch dist
 
   // Allocation-free spread(): epoch-stamped scratch buffers. spread() is the

@@ -1,0 +1,79 @@
+// IdSet: a sorted-vector set for small integer id domains (switch ids, link
+// ids) — the container policy counterpart of util/flat_table.h for SET
+// semantics on the control/sim paths (DESIGN.md §12: no unordered_* in
+// sweep-driven state).
+//
+// Why not std::unordered_set:
+//   * one contiguous allocation instead of a node per element, so copying a
+//     FailureScenario between chaos sweep shards is a single memcpy-ish
+//     vector copy (allocation-light, cache-friendly membership tests);
+//   * DETERMINISTIC iteration order (ascending) — anything that walks the
+//     set produces identical output across runs, platforms, and hash-seed
+//     choices, which the bit-for-bit sweep contract (DESIGN.md §9) wants
+//     from every data structure scenarios are built from.
+//
+// Membership is a binary search; inserts are O(n) worst case, which is the
+// right trade for failure scenarios (built once, a handful of elements,
+// queried per packet/flow).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace duet::util {
+
+template <typename T>
+class IdSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+  using value_type = T;
+
+  IdSet() = default;
+  IdSet(std::initializer_list<T> init) {
+    for (const T& v : init) insert(v);
+  }
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  bool empty() const noexcept { return ids_.empty(); }
+  void clear() noexcept { ids_.clear(); }
+  void reserve(std::size_t n) { ids_.reserve(n); }
+
+  bool contains(const T& v) const noexcept {
+    return std::binary_search(ids_.begin(), ids_.end(), v);
+  }
+
+  // Returns true when inserted (false = already present).
+  bool insert(const T& v) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+    if (it != ids_.end() && *it == v) return false;
+    ids_.insert(it, v);
+    return true;
+  }
+
+  bool erase(const T& v) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+    if (it == ids_.end() || *it != v) return false;
+    ids_.erase(it);
+    return true;
+  }
+
+  // Set union — the composition primitive behind merged failure scenarios.
+  void merge(const IdSet& other) {
+    for (const T& v : other.ids_) insert(v);
+  }
+
+  const_iterator begin() const noexcept { return ids_.begin(); }
+  const_iterator end() const noexcept { return ids_.end(); }
+
+  // Ascending, deterministic.
+  const std::vector<T>& values() const noexcept { return ids_; }
+
+  friend bool operator==(const IdSet&, const IdSet&) = default;
+
+ private:
+  std::vector<T> ids_;  // sorted, unique
+};
+
+}  // namespace duet::util

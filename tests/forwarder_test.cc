@@ -37,7 +37,7 @@ class ForwarderTest : public ::testing::Test {
     return *slot;
   }
 
-  HopByHopForwarder make_forwarder(std::unordered_set<SwitchId> failed = {}) {
+  HopByHopForwarder make_forwarder(util::IdSet<SwitchId> failed = {}) {
     std::unordered_map<SwitchId, SwitchDataPlane*> dps;
     for (auto& [s, dp] : dataplanes_owned_) dps[s] = dp.get();
     return HopByHopForwarder{ft_.topo, views_, std::move(dps), {smux_tor_}, std::move(failed)};

@@ -222,7 +222,7 @@ TEST_F(EcmpRoutingTest, FailedSwitchIsUnreachable) {
 
 TEST_F(EcmpRoutingTest, IsolatedSwitchHandledAsUnreachable) {
   // Cut both of ToR0's uplinks: no path in or out.
-  std::unordered_set<LinkId> cut;
+  util::IdSet<LinkId> cut;
   for (const auto& adj : ft_.topo.neighbors(ft_.tors[0])) cut.insert(adj.link);
   EcmpRouting r{ft_.topo, {}, cut};
   EXPECT_FALSE(r.reachable(ft_.tors[0], ft_.tors[1]));
