@@ -1,0 +1,245 @@
+// Persistence bench: crash-recovery time vs op-journal length, WAL append
+// cost, and the snapshot-compaction payoff.
+//
+// Three questions, answered on the same deterministic op scripts:
+//   * how fast do journaled mutations apply under each fsync policy (the
+//     price of write-ahead durability);
+//   * how does recovery time grow with the journal length when every op
+//     must replay (no snapshots) — the paper-side worst case for a
+//     controller restart;
+//   * how flat does recovery stay when auto-snapshots bound the replay tail
+//     (the duetd default).
+//
+// Gate (strict): with snapshots every 64 ops, recovery must replay <= 64
+// ops regardless of history length — the compaction bound that keeps duetd
+// restarts O(snapshot interval), not O(uptime).
+//
+// Exports BENCH_persist.json (duet.bench.persist.* gauges).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common.h"
+#include "persist/store.h"
+#include "util/random.h"
+
+using namespace duet;
+using namespace duet::bench;
+
+namespace {
+
+// Deterministic op script: grows a VIP population, then churns it with DIP
+// adds/removes, operator migrations, and periodic epochs. Same shape the
+// daemon-smoke leg drives over the ops socket, minus the socket.
+std::vector<persist::Op> make_script(const FatTree& fabric, std::size_t ops,
+                                     std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<persist::Op> script;
+  double t_us = 0.0;
+  auto stamp = [&](persist::Op op) {
+    t_us += 1e5;
+    op.t_us = t_us;
+    script.push_back(std::move(op));
+  };
+
+  persist::Op deploy;
+  deploy.kind = persist::OpKind::kDeploySmuxes;
+  deploy.aggregate = Ipv4Prefix{Ipv4Address{100, 0, 0, 0}, 8};
+  deploy.addrs = {fabric.tors.front(), fabric.tors[fabric.tors.size() / 2],
+                  fabric.tors.back()};
+  stamp(std::move(deploy));
+
+  struct Vip {
+    VipId id;
+    std::uint32_t addr;
+    std::vector<std::uint32_t> dips;
+  };
+  std::vector<Vip> vips;
+  VipId next_id = 0;
+  std::uint32_t next_dip = (10u << 24) + 1;
+  constexpr std::size_t kMaxVips = 64;
+
+  while (script.size() < ops) {
+    const auto roll = rng.uniform_int(0, 99);
+    if (vips.empty() || (roll < 20 && vips.size() < kMaxVips)) {
+      persist::Op op;
+      op.kind = persist::OpKind::kAddVip;
+      const std::uint32_t addr = (100u << 24) + (static_cast<std::uint32_t>(next_id) << 8) + 1;
+      op.vip = Ipv4Address{addr};
+      Vip v{next_id++, addr, {}};
+      const auto ndips = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      for (std::size_t d = 0; d < ndips; ++d) {
+        op.addrs.push_back(next_dip);
+        v.dips.push_back(next_dip++);
+      }
+      vips.push_back(std::move(v));
+      stamp(std::move(op));
+    } else if (roll < 45) {
+      auto& v = vips[rng.uniform_int(0, vips.size() - 1)];
+      persist::Op op;
+      op.kind = persist::OpKind::kAddDip;
+      op.vip = Ipv4Address{v.addr};
+      op.dip = Ipv4Address{next_dip};
+      v.dips.push_back(next_dip++);
+      stamp(std::move(op));
+    } else if (roll < 60 && !vips.empty()) {
+      auto& v = vips[rng.uniform_int(0, vips.size() - 1)];
+      if (v.dips.size() < 2) continue;  // keep the VIP alive
+      persist::Op op;
+      op.kind = persist::OpKind::kRemoveDip;
+      op.vip = Ipv4Address{v.addr};
+      op.dip = Ipv4Address{v.dips.back()};
+      v.dips.pop_back();
+      stamp(std::move(op));
+    } else if (roll < 85) {
+      const auto& v = vips[rng.uniform_int(0, vips.size() - 1)];
+      persist::Op op;
+      op.kind = persist::OpKind::kMigrateVip;
+      op.vip = Ipv4Address{v.addr};
+      op.sw = rng.uniform01() < 0.3
+                  ? kInvalidSwitch
+                  : static_cast<std::uint32_t>(
+                        rng.uniform_int(0, fabric.topo.switch_count() - 1));
+      stamp(std::move(op));
+    } else {
+      persist::Op op;
+      op.kind = persist::OpKind::kRunEpoch;
+      op.flag = true;
+      for (const auto& v : vips) {
+        VipDemand d;
+        d.id = v.id;
+        d.vip = Ipv4Address{v.addr};
+        d.total_gbps = 0.5 + 4.0 * rng.uniform01();
+        d.dip_count = v.dips.size();
+        d.ingress_gbps = {
+            {fabric.tors[rng.uniform_int(0, fabric.tors.size() - 1)], d.total_gbps}};
+        d.dip_tor_gbps = {
+            {fabric.tors[rng.uniform_int(0, fabric.tors.size() - 1)], d.total_gbps}};
+        op.demands.push_back(std::move(d));
+      }
+      stamp(std::move(op));
+    }
+  }
+  script.resize(ops);
+  return script;
+}
+
+struct RunResult {
+  double apply_s = 0.0;
+  double recover_ms = 0.0;
+  std::uint64_t replayed = 0;
+  std::uint64_t journal_bytes = 0;
+};
+
+RunResult run_case(const FatTree& fabric, const std::vector<persist::Op>& script,
+                   persist::FsyncPolicy fsync, std::uint64_t snapshot_every) {
+  char tmpl[] = "/tmp/duet_bench_persist_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  RunResult result;
+  persist::StoreOptions so;
+  so.dir = dir;
+  so.fsync = fsync;
+  so.snapshot_every_ops = snapshot_every;
+  const DuetConfig config;
+  std::string error;
+  {
+    auto store = persist::PersistentController::open(fabric, config, FlowHasher{1}, 1, so,
+                                                     &error);
+    if (store == nullptr) {
+      std::fprintf(stderr, "open: %s\n", error.c_str());
+      std::exit(1);
+    }
+    Stopwatch sw;
+    for (const auto& op : script) {
+      if (!store->apply(op)) {
+        std::fprintf(stderr, "apply failed at seq %llu\n",
+                     static_cast<unsigned long long>(store->last_seq() + 1));
+        std::exit(1);
+      }
+    }
+    result.apply_s = sw.seconds();
+  }
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(std::string{dir} + "/oplog.duet", ec);
+  result.journal_bytes = ec ? 0 : static_cast<std::uint64_t>(n);
+  // A destroyed store is indistinguishable from kill -9 with an intact tail;
+  // recover_ms covers snapshot restore + replay + the 16-invariant boot audit.
+  auto reopened =
+      persist::PersistentController::open(fabric, config, FlowHasher{1}, 1, so, &error);
+  if (reopened == nullptr) {
+    std::fprintf(stderr, "recovery: %s\n", error.c_str());
+    std::exit(1);
+  }
+  result.recover_ms = reopened->recovery().recover_ms;
+  result.replayed = reopened->recovery().replayed;
+  reopened.reset();
+  std::filesystem::remove_all(dir, ec);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  header("persist", "crash recovery: time vs journal length, WAL cost, compaction bound");
+  paper_note(
+      "the paper's controller keeps assignment state in memory and recomputes "
+      "on restart; duetd instead journals every mutation and must recover "
+      "O(snapshot interval), not O(uptime)");
+
+  const auto fabric = build_fattree(FatTreeParams::scaled(2, 4, 2));
+  const std::vector<std::size_t> lengths =
+      quick_mode() ? std::vector<std::size_t>{64, 256} : std::vector<std::size_t>{64, 256, 1024, 4096};
+
+  telemetry::MetricRegistry registry;
+  TablePrinter table{{"ops", "fsync", "snapshot", "apply ops/s", "journal KB", "replayed",
+                      "recover ms"}};
+  bool gate_ok = true;
+
+  for (const std::size_t ops : lengths) {
+    const auto script = make_script(fabric, ops, /*seed=*/20140817);
+    struct Case {
+      const char* name;
+      persist::FsyncPolicy fsync;
+      std::uint64_t snapshot_every;
+    };
+    const Case cases[] = {
+        {"fsync_none.full_replay", persist::FsyncPolicy::kNone, 0},
+        {"fsync_every.full_replay", persist::FsyncPolicy::kEveryRecord, 0},
+        {"fsync_every.snap64", persist::FsyncPolicy::kEveryRecord, 64},
+    };
+    for (const auto& c : cases) {
+      const auto r = run_case(fabric, script, c.fsync, c.snapshot_every);
+      table.add_row({TablePrinter::fmt_int(static_cast<long long>(ops)),
+                     persist::to_string(c.fsync),
+                     c.snapshot_every == 0 ? "none" : "every 64",
+                     TablePrinter::fmt(static_cast<double>(ops) / r.apply_s, "%.0f"),
+                     TablePrinter::fmt(static_cast<double>(r.journal_bytes) / 1024.0, "%.1f"),
+                     TablePrinter::fmt_int(static_cast<long long>(r.replayed)),
+                     TablePrinter::fmt(r.recover_ms, "%.2f")});
+      const std::string prefix = "duet.bench.persist." + std::string{c.name} + "." +
+                                 std::to_string(ops) + ".";
+      registry.gauge(prefix + "apply_ops_per_s").set(static_cast<double>(ops) / r.apply_s);
+      registry.gauge(prefix + "recover_ms").set(r.recover_ms);
+      registry.gauge(prefix + "replayed_ops").set(static_cast<double>(r.replayed));
+      registry.gauge(prefix + "journal_bytes").set(static_cast<double>(r.journal_bytes));
+      if (c.snapshot_every > 0 && r.replayed > c.snapshot_every) {
+        std::printf("GATE FAILED: %zu-op run replayed %llu ops (> snapshot interval %llu)\n",
+                    ops, static_cast<unsigned long long>(r.replayed),
+                    static_cast<unsigned long long>(c.snapshot_every));
+        gate_ok = false;
+      }
+    }
+  }
+  table.print();
+  std::printf("\ngate: snapshot-compaction replay bound %s\n", gate_ok ? "ok" : "FAILED");
+
+  export_bench_json("persist", registry);
+  return gate_ok ? 0 : 1;
+}

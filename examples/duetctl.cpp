@@ -18,6 +18,28 @@
 //                                same --vips/--dips/--seed; closed loop by
 //                                default, open loop when --pps is given
 //
+// Ops-socket client (requires --socket PATH; talks to a running durable
+// duetd, examples/duetd.cpp):
+//   duetctl ping        --socket S             liveness check
+//   duetctl add-vip     --socket S VIP DIP...  journal + serve a new VIP
+//   duetctl add-dip     --socket S VIP DIP     grow a pool (smux bounce)
+//   duetctl remove-dip  --socket S VIP DIP     shrink a pool (resilient hash)
+//   duetctl remove-vip  --socket S VIP
+//   duetctl set-engine  --socket S VIP stateful|stateless|clear
+//   duetctl migrate     --socket S VIP SWITCH|smux   §4.2 two-phase move
+//   duetctl stats       --socket S             seq/recovery/serving counters
+//   duetctl audit       --socket S             run all invariants now
+//   duetctl snapshot    --socket S             compact: snapshot + restart log
+//   duetctl drain       --socket S             graceful shutdown request
+// Client options: --timeout-ms T (connect+request, default 5000),
+// --retries N (transport retries, default 3), --backoff-ms B (default 100,
+// doubles per retry). Responses with nonzero status are never retried —
+// re-sending a received mutation could double-apply it.
+// Exit codes (client commands): 0 = ok; 1 = duetd reported failure (bad
+// VIP, rejected migration, failed audit); 2 = usage error (local or
+// server-side parse); 3 = could not reach duetd (refused/timeout after all
+// retries).
+//
 // Options:
 //   --containers N --tors N --cores N     fabric shape (default 6 8 6)
 //   --vips N --gbps G --epochs E          workload (default 600, 600, 3)
@@ -59,6 +81,7 @@
 
 #include "audit/invariants.h"
 #include "audit/snapshot.h"
+#include "persist/ctl_protocol.h"
 #include "duet/assignment.h"
 #include "duet/config.h"
 #include "duet/controller.h"
@@ -376,9 +399,70 @@ int cmd_load(const Args& a) {
   return report.integrity_failures == 0 && report.remap_violations == 0 ? 0 : 1;
 }
 
+// --- ops-socket client ---------------------------------------------------------
+
+bool is_client_command(const std::string& cmd) {
+  return cmd == "ping" || cmd == "add-vip" || cmd == "add-dip" || cmd == "remove-dip" ||
+         cmd == "remove-vip" || cmd == "set-engine" || cmd == "migrate" || cmd == "stats" ||
+         cmd == "audit" || cmd == "snapshot" || cmd == "drain";
+}
+
+// Exit contract (documented in the header comment / usage): 0 ok, 1 duetd
+// reported failure, 2 usage error, 3 transport failure after all retries.
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  persist::CtlClientOptions copts;
+  std::vector<std::string> request{argv[1]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (key == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (key == "--timeout-ms" && has_value) {
+      copts.connect_timeout_ms = copts.request_timeout_ms =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (key == "--retries" && has_value) {
+      copts.retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (key == "--backoff-ms" && has_value) {
+      copts.backoff_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (key.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown client option %s\n", key.c_str());
+      return 2;
+    } else {
+      request.push_back(key);  // positional: VIP / DIP / target
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "duetctl %s requires --socket PATH (the duetd ops socket)\n", argv[1]);
+    return 2;
+  }
+  persist::CtlClient client{socket_path, copts};
+  const auto response = client.request(request);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "duetctl: could not reach duetd at %s (after %d retries)\n",
+                 socket_path.c_str(), copts.retries);
+    return 3;
+  }
+  if (!response->text.empty()) {
+    std::fprintf(response->ok() ? stdout : stderr, "%s\n", response->text.c_str());
+  }
+  return response->status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Client commands go straight to a running duetd's ops socket. `stats` and
+  // `audit` double as local simulation commands — --socket selects the
+  // client path.
+  if (argc >= 2 && is_client_command(argv[1])) {
+    bool has_socket = false;
+    for (int i = 2; i < argc; ++i) has_socket |= std::strcmp(argv[i], "--socket") == 0;
+    const bool client_only = is_client_command(argv[1]) && std::strcmp(argv[1], "stats") != 0 &&
+                             std::strcmp(argv[1], "audit") != 0;
+    if (has_socket || client_only) return cmd_client(argc, argv);
+  }
+
   Args args;
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
@@ -389,7 +473,15 @@ int main(int argc, char** argv) {
                  "  serve: [--port P] [--workers N] [--vips N] [--dips N] [--duration S]\n"
                  "         [--stats-interval S] [--json FILE]\n"
                  "  load:  --port P [--pps R] [--duration S] [--packets N] [--flows N]\n"
-                 "         [--sockets N] [--bytes B] [--json FILE]\n");
+                 "         [--sockets N] [--bytes B] [--json FILE]\n"
+                 "ops-socket client (against a running duetd):\n"
+                 "  duetctl ping|stats|audit|snapshot|drain --socket PATH\n"
+                 "  duetctl add-vip VIP DIP... | add-dip VIP DIP | remove-dip VIP DIP |\n"
+                 "          remove-vip VIP | set-engine VIP stateful|stateless|clear |\n"
+                 "          migrate VIP SWITCH|smux   (all with --socket PATH)\n"
+                 "  client options: [--timeout-ms T] [--retries N] [--backoff-ms B]\n"
+                 "  client exit codes: 0 ok | 1 duetd-reported failure | 2 usage |\n"
+                 "                     3 could not reach duetd after retries\n");
     return 2;
   }
 

@@ -94,6 +94,9 @@ void DuetController::sync_smuxes(const VipRecord& rec) {
     for (const auto& [port, dips] : rec.port_rules) {
       inst.mux->set_port_rule(rec.vip, port, dips);
     }
+    if (rec.engine_override.has_value()) {
+      inst.mux->set_engine_override(rec.vip, *rec.engine_override);
+    }
   }
   // Under the stateless engine a pool sync is a version build pushed to
   // every live SMux (the off-path rebuild of DESIGN.md §13) — journal it so
@@ -333,6 +336,58 @@ void DuetController::set_dip_weights(Ipv4Address vip, std::vector<std::uint32_t>
   sync_smuxes(rec);
 }
 
+bool DuetController::migrate_vip(Ipv4Address vip, std::optional<SwitchId> target) {
+  auto& rec = record(vip);
+  if (rec.home == target) return true;  // already where the operator wants it
+
+  // Phase 1 (§4.2): withdraw — traffic falls through LPM onto the SMux
+  // backstop, which always carries the VIP.
+  if (rec.home.has_value()) {
+    withdraw_from_hmux(rec);
+    current_.placement.erase(rec.id);
+    if (std::find(current_.on_smux.begin(), current_.on_smux.end(), rec.id) ==
+        current_.on_smux.end()) {
+      current_.on_smux.push_back(rec.id);
+    }
+    journal_event(telemetry::EventKind::kVipFallback, vip, {}, telemetry::kNoSwitch,
+                  "operator migrate");
+    audit_now(/*converged_placement=*/true, "migrate mid");
+  }
+
+  // Phase 2: announce from the new home (if any).
+  bool ok = true;
+  if (target.has_value()) {
+    ok = place_on_hmux(rec, *target);
+    if (ok) {
+      current_.placement[rec.id] = *target;
+      current_.on_smux.erase(
+          std::remove(current_.on_smux.begin(), current_.on_smux.end(), rec.id),
+          current_.on_smux.end());
+    }
+  }
+  telemetry_.registry.counter("duet.controller.operator_migrations").inc();
+  audit_now(/*converged_placement=*/true, "migrate end");
+  return ok;
+}
+
+void DuetController::set_engine_override(Ipv4Address vip, std::optional<SmuxEngine> engine) {
+  auto& rec = record(vip);
+  rec.engine_override = engine;
+  for (auto& inst : smuxes_) {
+    if (!inst.alive) continue;
+    if (engine.has_value()) {
+      inst.mux->set_engine_override(vip, *engine);
+    } else {
+      inst.mux->clear_engine_override(vip);
+    }
+  }
+}
+
+std::optional<SmuxEngine> DuetController::engine_override_of(Ipv4Address vip) const {
+  const auto* rec = find_record(vip);
+  return rec == nullptr ? std::nullopt : rec->engine_override;
+}
+
 DuetController::EpochReport DuetController::run_epoch(const std::vector<VipDemand>& demands,
                                                       bool sticky) {
   EpochReport report;
@@ -474,6 +529,23 @@ DuetController::Owner DuetController::owner_of(Ipv4Address vip) const {
 std::optional<SwitchId> DuetController::hmux_home(Ipv4Address vip) const {
   const auto* rec = find_record(vip);
   return rec == nullptr ? std::nullopt : rec->home;
+}
+
+std::vector<Ipv4Address> DuetController::vip_addresses() const {
+  std::vector<Ipv4Address> out;
+  out.reserve(vips_.size());
+  for (const auto& [vip, rec] : vips_) out.push_back(vip);
+  return out;
+}
+
+std::vector<Ipv4Address> DuetController::dips_of(Ipv4Address vip) const {
+  const auto* rec = find_record(vip);
+  return rec == nullptr ? std::vector<Ipv4Address>{} : rec->dips;
+}
+
+std::vector<std::uint32_t> DuetController::weights_of(Ipv4Address vip) const {
+  const auto* rec = find_record(vip);
+  return rec == nullptr ? std::vector<std::uint32_t>{} : rec->weights;
 }
 
 std::optional<Ipv4Address> DuetController::load_balance(Packet& packet) {

@@ -39,6 +39,10 @@ namespace audit {
 struct SystemSnapshot;
 }  // namespace audit
 
+namespace persist {
+struct ControllerAccess;
+}  // namespace persist
+
 class DuetController {
  public:
   DuetController(const FatTree& fabric, DuetConfig config, FlowHasher hasher,
@@ -76,6 +80,19 @@ class DuetController {
   // hardware at the next epoch.
   void set_dip_weights(Ipv4Address vip, std::vector<std::uint32_t> weights);
 
+  // Operator-directed single-VIP migration (duetctl migrate): the §4.2
+  // two-phase move for one VIP — withdraw (traffic falls to the SMux
+  // backstop), then announce from `target` (nullopt = stay on the SMux
+  // pool). Returns false when the target rejects the VIP (tables full or
+  // switch dead); the VIP then stays safely on the SMuxes.
+  bool migrate_vip(Ipv4Address vip, std::optional<SwitchId> target);
+
+  // Pins the VIP's SMux decision engine (nullopt clears back to the
+  // DuetConfig default). Remembered in the VIP record so new SMux syncs and
+  // controller snapshots carry it.
+  void set_engine_override(Ipv4Address vip, std::optional<SmuxEngine> engine);
+  std::optional<SmuxEngine> engine_override_of(Ipv4Address vip) const;
+
   // --- epoch processing --------------------------------------------------------
   struct EpochReport {
     Assignment assignment;
@@ -100,6 +117,11 @@ class DuetController {
   enum class Owner : std::uint8_t { kNone, kSmux, kHmux };
   Owner owner_of(Ipv4Address vip) const;
   std::optional<SwitchId> hmux_home(Ipv4Address vip) const;
+  // Configured VIPs / a VIP's pool, for renderers of controller state into a
+  // serving path (duetd pushes these into its MuxServer after every op).
+  std::vector<Ipv4Address> vip_addresses() const;
+  std::vector<Ipv4Address> dips_of(Ipv4Address vip) const;
+  std::vector<std::uint32_t> weights_of(Ipv4Address vip) const;
 
   // Data-path entry point for tests/examples: runs the packet through the
   // mux currently owning its VIP (converged view) and returns the DIP it was
@@ -134,6 +156,8 @@ class DuetController {
  private:
   // Read-only state walk for the invariant auditor (audit/snapshot.h).
   friend struct audit::SystemSnapshot;
+  // Snapshot capture/restore for crash recovery (persist/state_image.h).
+  friend struct persist::ControllerAccess;
 
   struct VipRecord {
     VipId id = 0;
@@ -146,6 +170,9 @@ class DuetController {
     // WCMP weights (empty = equal) and port-specific pools (§5.2).
     std::vector<std::uint32_t> weights;
     std::unordered_map<std::uint16_t, std::vector<Ipv4Address>> port_rules;
+    // Per-VIP SMux decision-engine pin (DESIGN.md §13); nullopt = config
+    // default. Kept here (not only inside the Smuxes) so snapshots carry it.
+    std::optional<SmuxEngine> engine_override;
   };
   struct SmuxInstance {
     std::uint32_t id = 0;

@@ -1,0 +1,214 @@
+#include "persist/ctl_protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "persist/framing.h"
+
+namespace duet::persist {
+
+namespace {
+
+// Fills `addr` from `path`; false when the path overflows sun_path (the
+// kernel limit is ~107 bytes — long temp dirs in tests can hit it).
+bool fill_sockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() >= sizeof(addr->sun_path)) return false;
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+// passes. Treats EINTR as "keep waiting".
+bool wait_ready(int fd, short events, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return false;
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc > 0) return (pfd.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len, int timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_ready(fd, POLLOUT, timeout_ms)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t len, int timeout_ms) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // EOF mid-frame
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd, POLLIN, timeout_ms)) return false;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ctl_send_frame(int fd, std::span<const std::uint8_t> payload, int timeout_ms) {
+  if (payload.size() > kCtlMaxFrame) return false;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<std::uint8_t>((len >> shift) & 0xff));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return write_all(fd, frame.data(), frame.size(), timeout_ms);
+}
+
+std::optional<std::vector<std::uint8_t>> ctl_recv_frame(int fd, int timeout_ms) {
+  std::uint8_t head[4];
+  if (!read_all(fd, head, sizeof(head), timeout_ms)) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{head[i]} << (8 * i);
+  if (len > kCtlMaxFrame) return std::nullopt;
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0 && !read_all(fd, payload.data(), len, timeout_ms)) return std::nullopt;
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_request(const std::vector<std::string>& argv) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(argv.size()));
+  for (const auto& arg : argv) w.str(arg);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<std::string>> decode_request(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto argc = r.u32();
+  if (!argc.has_value()) return std::nullopt;
+  std::vector<std::string> argv;
+  argv.reserve(*argc);
+  for (std::uint32_t i = 0; i < *argc; ++i) {
+    auto arg = r.str();
+    if (!arg.has_value()) return std::nullopt;
+    argv.push_back(*std::move(arg));
+  }
+  if (!r.done()) return std::nullopt;
+  return argv;
+}
+
+std::vector<std::uint8_t> encode_response(const CtlResponse& response) {
+  ByteWriter w;
+  w.u8(response.status);
+  w.str(response.text);
+  return std::move(w).take();
+}
+
+std::optional<CtlResponse> decode_response(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto status = r.u8();
+  auto text = r.str();
+  if (!status.has_value() || !text.has_value() || !r.done()) return std::nullopt;
+  return CtlResponse{*status, *std::move(text)};
+}
+
+int ctl_listen(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(path, &addr)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string{"socket: "} + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    if (error != nullptr) {
+      *error = "bind/listen " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+CtlClient::CtlClient(std::string socket_path, CtlClientOptions options)
+    : path_(std::move(socket_path)), opts_(options) {}
+
+std::optional<CtlResponse> CtlClient::request(const std::vector<std::string>& argv) {
+  const auto payload = encode_request(argv);
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long long>(opts_.backoff_ms) << (attempt - 1)));
+    }
+    sockaddr_un addr;
+    if (!fill_sockaddr(path_, &addr)) return std::nullopt;  // permanent; no retry helps
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) continue;
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      if (!wait_ready(fd, POLLOUT, opts_.connect_timeout_ms)) {
+        ::close(fd);
+        continue;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+        ::close(fd);
+        continue;
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      ::close(fd);
+      continue;
+    }
+    if (!ctl_send_frame(fd, payload, opts_.request_timeout_ms)) {
+      ::close(fd);
+      continue;
+    }
+    auto reply = ctl_recv_frame(fd, opts_.request_timeout_ms);
+    ::close(fd);
+    if (!reply.has_value()) continue;
+    if (auto decoded = decode_response(*reply); decoded.has_value()) return decoded;
+    // An undecodable reply is a protocol violation, not a flaky transport;
+    // retrying would just re-send the mutation at a confused server.
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace duet::persist

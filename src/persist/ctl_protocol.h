@@ -1,0 +1,86 @@
+// The duetd ops-socket protocol: length-prefixed frames over an AF_UNIX
+// SOCK_STREAM socket.
+//
+// Frame:    [u32 payload_len][payload], little-endian, one frame per message.
+// Request:  u32 argc ++ argc length-prefixed strings — exactly the argv the
+//           duetctl subcommand was invoked with ("add-dip", "100.0.0.1", ...),
+//           so the daemon-side dispatcher and the CLI share one vocabulary.
+// Response: u8 status (0 = ok, nonzero = the server refused or failed the
+//           command) ++ length-prefixed text (human-readable result/detail).
+//
+// One request per connection: connect, send, receive, close. The daemon
+// serves connections sequentially from a single accept thread — ops-socket
+// traffic is control-plane rate (a human or a test harness), and sequential
+// service gives every mutation a total order for free.
+//
+// The client side (CtlClient) retries transport failures — refused connects
+// while duetd is still booting, timeouts — with bounded exponential backoff.
+// A response with nonzero status is NOT retried: the daemon received and
+// rejected the command, and re-sending a mutation could double-apply it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace duet::persist {
+
+// Frames above this are protocol violations (a stats dump is a few KB).
+inline constexpr std::uint32_t kCtlMaxFrame = 1u << 20;
+
+// --- wire helpers (shared by daemon and client) -------------------------------
+
+// Writes one [len][payload] frame, waiting up to timeout_ms for socket
+// writability per chunk. False on timeout, EPIPE, or oversize payload.
+bool ctl_send_frame(int fd, std::span<const std::uint8_t> payload, int timeout_ms);
+// Reads one frame. nullopt on EOF, timeout, or a length prefix over
+// kCtlMaxFrame (everything after a framing violation is suspect).
+std::optional<std::vector<std::uint8_t>> ctl_recv_frame(int fd, int timeout_ms);
+
+std::vector<std::uint8_t> encode_request(const std::vector<std::string>& argv);
+std::optional<std::vector<std::string>> decode_request(std::span<const std::uint8_t> bytes);
+
+struct CtlResponse {
+  std::uint8_t status = 0;  // 0 = ok
+  std::string text;
+
+  bool ok() const noexcept { return status == 0; }
+};
+
+std::vector<std::uint8_t> encode_response(const CtlResponse& response);
+std::optional<CtlResponse> decode_response(std::span<const std::uint8_t> bytes);
+
+// Binds and listens on a unix socket path, unlinking any stale file first
+// (duetd owns its socket path; a leftover from a kill -9 must not block
+// restart). Returns the listening fd, or -1 with *error set.
+int ctl_listen(const std::string& path, std::string* error);
+
+// --- client -------------------------------------------------------------------
+
+struct CtlClientOptions {
+  int connect_timeout_ms = 1000;
+  int request_timeout_ms = 5000;
+  // Transport-failure retries AFTER the first attempt. Each retry waits
+  // backoff_ms * 2^attempt before reconnecting.
+  int retries = 3;
+  int backoff_ms = 100;
+};
+
+class CtlClient {
+ public:
+  explicit CtlClient(std::string socket_path, CtlClientOptions options = {});
+
+  // Connects, sends argv, awaits the response. nullopt = transport failure
+  // after all retries (daemon not running, timeout, short read); the caller
+  // maps that to its distinct "could not reach duetd" exit code. A decoded
+  // response — even a refusal — is returned as-is and never retried.
+  std::optional<CtlResponse> request(const std::vector<std::string>& argv);
+
+ private:
+  std::string path_;
+  CtlClientOptions opts_;
+};
+
+}  // namespace duet::persist

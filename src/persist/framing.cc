@@ -1,0 +1,326 @@
+#include "persist/framing.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace duet::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) | static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 | static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+// Writes all of `bytes` or fails; short writes are retried (EINTR included).
+bool write_fully(int fd, const std::uint8_t* bytes, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, bytes, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool parse_fsync_policy(const char* name, FsyncPolicy* out) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "none") == 0) {
+    *out = FsyncPolicy::kNone;
+    return true;
+  }
+  if (std::strcmp(name, "every") == 0) {
+    *out = FsyncPolicy::kEveryRecord;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(FsyncPolicy policy) noexcept {
+  return policy == FsyncPolicy::kEveryRecord ? "every" : "none";
+}
+
+// --- ByteWriter / ByteReader --------------------------------------------------
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+const std::uint8_t* ByteReader::take(std::size_t n) noexcept {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const std::uint8_t* at = bytes_.data() + pos_;
+  pos_ += n;
+  return at;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() noexcept {
+  const std::uint8_t* at = take(1);
+  if (at == nullptr) return std::nullopt;
+  return *at;
+}
+
+std::optional<std::uint16_t> ByteReader::u16() noexcept {
+  const std::uint8_t* at = take(2);
+  if (at == nullptr) return std::nullopt;
+  return static_cast<std::uint16_t>(at[0] | at[1] << 8);
+}
+
+std::optional<std::uint32_t> ByteReader::u32() noexcept {
+  const std::uint8_t* at = take(4);
+  if (at == nullptr) return std::nullopt;
+  return get_u32(at);
+}
+
+std::optional<std::uint64_t> ByteReader::u64() noexcept {
+  const std::uint8_t* at = take(8);
+  if (at == nullptr) return std::nullopt;
+  return static_cast<std::uint64_t>(get_u32(at)) |
+         static_cast<std::uint64_t>(get_u32(at + 4)) << 32;
+}
+
+std::optional<double> ByteReader::f64() noexcept {
+  const auto bits = u64();
+  if (!bits.has_value()) return std::nullopt;
+  double v = 0.0;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<std::string> ByteReader::str() {
+  const auto n = u32();
+  if (!n.has_value()) return std::nullopt;
+  const std::uint8_t* at = take(*n);
+  if (at == nullptr) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(at), *n);
+}
+
+// --- FrameWriter --------------------------------------------------------------
+
+FrameWriter::~FrameWriter() { close(); }
+
+FrameWriter::FrameWriter(FrameWriter&& other) noexcept
+    : fd_(other.fd_), policy_(other.policy_), size_(other.size_) {
+  other.fd_ = -1;
+}
+
+FrameWriter& FrameWriter::operator=(FrameWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    policy_ = other.policy_;
+    size_ = other.size_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::optional<FrameWriter> FrameWriter::open(const std::string& path, std::string_view magic,
+                                             FsyncPolicy policy,
+                                             std::optional<std::uint64_t> truncate_to) {
+  if (magic.size() != kMagicBytes) return std::nullopt;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (truncate_to.has_value() && *truncate_to < size) {
+    if (::ftruncate(fd, static_cast<off_t>(*truncate_to)) != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    size = *truncate_to;
+  }
+  FrameWriter w;
+  w.fd_ = fd;
+  w.policy_ = policy;
+  w.size_ = size;
+  if (size == 0) {
+    if (!write_fully(fd, reinterpret_cast<const std::uint8_t*>(magic.data()), magic.size())) {
+      return std::nullopt;  // w's destructor closes fd
+    }
+    w.size_ = magic.size();
+    if (policy == FsyncPolicy::kEveryRecord && ::fsync(fd) != 0) return std::nullopt;
+  }
+  return w;
+}
+
+bool FrameWriter::append(std::uint8_t type, std::span<const std::uint8_t> payload) {
+  if (fd_ < 0 || payload.size() > kMaxFramePayload) return false;
+  // Header and payload go out in one buffer so a crash tears at most one
+  // record, and always at the file tail.
+  std::vector<std::uint8_t> buf(kFrameHeaderBytes + payload.size());
+  put_u32(buf.data(), static_cast<std::uint32_t>(payload.size()));
+  buf[4] = type;
+  if (!payload.empty()) {
+    std::memcpy(buf.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  }
+  std::uint32_t crc = crc32(std::span<const std::uint8_t>(&buf[4], 1));
+  crc = crc32(payload, crc);
+  put_u32(buf.data() + 5, crc);
+  if (!write_fully(fd_, buf.data(), buf.size())) return false;
+  size_ += buf.size();
+  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) return false;
+  return true;
+}
+
+bool FrameWriter::sync() { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+void FrameWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- read_frames --------------------------------------------------------------
+
+ReadFramesResult read_frames(const std::string& path, std::string_view magic) {
+  ReadFramesResult result;
+  if (magic.size() != kMagicBytes) {
+    result.error = "bad magic length";
+    return result;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof(chunk), f);
+    bytes.insert(bytes.end(), chunk, chunk + n);
+    if (n < sizeof(chunk)) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    result.error = "read error on " + path;
+    return result;
+  }
+  if (bytes.size() < kMagicBytes ||
+      std::memcmp(bytes.data(), magic.data(), kMagicBytes) != 0) {
+    result.error = "bad magic in " + path;
+    return result;
+  }
+
+  std::size_t pos = kMagicBytes;
+  result.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      result.truncated_tail = true;  // torn header
+      break;
+    }
+    const std::uint32_t len = get_u32(bytes.data() + pos);
+    const std::uint8_t type = bytes[pos + 4];
+    const std::uint32_t want_crc = get_u32(bytes.data() + pos + 5);
+    if (len > kMaxFramePayload || bytes.size() - pos - kFrameHeaderBytes < len) {
+      result.truncated_tail = true;  // torn payload (or a corrupt length)
+      break;
+    }
+    const std::span<const std::uint8_t> payload(bytes.data() + pos + kFrameHeaderBytes, len);
+    std::uint32_t crc = crc32(std::span<const std::uint8_t>(&type, 1));
+    crc = crc32(payload, crc);
+    if (crc != want_crc) {
+      result.truncated_tail = true;  // bit rot or torn write inside the record
+      break;
+    }
+    result.frames.push_back(Frame{type, std::vector<std::uint8_t>(payload.begin(), payload.end())});
+    pos += kFrameHeaderBytes + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+bool sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view magic,
+                       std::span<const std::uint8_t> bytes, std::uint8_t type) {
+  const std::string tmp = path + ".tmp";
+  ::unlink(tmp.c_str());
+  {
+    auto w = FrameWriter::open(tmp, magic, FsyncPolicy::kNone);
+    if (!w.has_value() || !w->append(type, bytes) || !w->sync()) return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  sync_parent_dir(path);
+  return true;
+}
+
+}  // namespace duet::persist

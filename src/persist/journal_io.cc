@@ -1,0 +1,91 @@
+#include "persist/journal_io.h"
+
+#include <cstdio>
+
+namespace duet::persist {
+
+namespace {
+constexpr std::uint8_t kEventFrame = 1;
+}  // namespace
+
+std::vector<std::uint8_t> encode_event(const telemetry::Event& event) {
+  ByteWriter w;
+  w.f64(event.t_us);
+  w.u8(static_cast<std::uint8_t>(event.kind));
+  w.u32(event.vip.value());
+  w.u32(event.dip.value());
+  w.u32(event.sw);
+  w.u64(event.a);
+  w.u64(event.b);
+  w.u64(event.c);
+  w.str(event.detail);
+  return std::move(w).take();
+}
+
+std::optional<telemetry::Event> decode_event(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  telemetry::Event e;
+  e.t_us = r.f64().value_or(0.0);
+  e.kind = static_cast<telemetry::EventKind>(r.u8().value_or(0));
+  e.vip = Ipv4Address{r.u32().value_or(0)};
+  e.dip = Ipv4Address{r.u32().value_or(0)};
+  e.sw = r.u32().value_or(0);
+  e.a = r.u64().value_or(0);
+  e.b = r.u64().value_or(0);
+  e.c = r.u64().value_or(0);
+  e.detail = r.str().value_or("");
+  if (!r.done()) return std::nullopt;
+  return e;
+}
+
+bool write_journal(const std::string& path, const telemetry::EventJournal& journal,
+                   FsyncPolicy policy) {
+  std::remove(path.c_str());
+  auto w = FrameWriter::open(path, kJournalMagic, policy);
+  if (!w.has_value()) return false;
+  for (const telemetry::Event& e : journal.events()) {
+    if (!w->append(kEventFrame, encode_event(e))) return false;
+  }
+  return policy == FsyncPolicy::kEveryRecord || w->sync();
+}
+
+ReadJournalResult read_journal(const std::string& path) {
+  ReadJournalResult result;
+  auto frames = read_frames(path, kJournalMagic);
+  if (!frames.ok()) {
+    result.error = std::move(frames.error);
+    return result;
+  }
+  result.truncated_tail = frames.truncated_tail;
+  for (const Frame& f : frames.frames) {
+    if (f.type != kEventFrame) continue;  // future record kinds pass through
+    auto e = decode_event(f.payload);
+    if (!e.has_value()) {
+      // CRC passed but the payload doesn't parse: a writer/reader version
+      // skew, not bit rot. Stop here like a torn tail — everything after a
+      // frame we can't interpret is suspect.
+      result.truncated_tail = true;
+      break;
+    }
+    result.journal.record(std::move(*e));
+  }
+  return result;
+}
+
+std::optional<JournalWriter> JournalWriter::open(const std::string& path, FsyncPolicy policy) {
+  auto frames = read_frames(path, kJournalMagic);
+  // Repair a torn tail in place; a missing file starts fresh.
+  std::optional<std::uint64_t> truncate_to;
+  if (frames.ok() && frames.truncated_tail) truncate_to = frames.valid_bytes;
+  auto w = FrameWriter::open(path, kJournalMagic, policy, truncate_to);
+  if (!w.has_value()) return std::nullopt;
+  JournalWriter jw;
+  jw.writer_ = std::move(*w);
+  return jw;
+}
+
+bool JournalWriter::append(const telemetry::Event& event) {
+  return writer_.append(kEventFrame, encode_event(event));
+}
+
+}  // namespace duet::persist

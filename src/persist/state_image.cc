@@ -1,0 +1,378 @@
+#include "persist/state_image.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "duet/controller.h"
+#include "util/logging.h"
+
+namespace duet::persist {
+
+namespace {
+
+constexpr std::uint8_t kImageFrame = 1;
+constexpr std::uint32_t kNoHome = kInvalidSwitch;
+
+void encode_assignment(ByteWriter& w, const Assignment& a) {
+  std::vector<std::pair<VipId, SwitchId>> placement(a.placement.begin(), a.placement.end());
+  std::sort(placement.begin(), placement.end());
+  w.u32(static_cast<std::uint32_t>(placement.size()));
+  for (const auto& [vip_id, sw] : placement) {
+    w.u32(vip_id);
+    w.u32(sw);
+  }
+  w.u32(static_cast<std::uint32_t>(a.on_smux.size()));
+  for (const VipId v : a.on_smux) w.u32(v);
+  w.f64(a.hmux_gbps);
+  w.f64(a.smux_gbps);
+  w.f64(a.mru);
+  w.u32(static_cast<std::uint32_t>(a.link_load_gbps.size()));
+  for (const double g : a.link_load_gbps) w.f64(g);
+  w.u32(static_cast<std::uint32_t>(a.switch_dips_used.size()));
+  for (const std::size_t n : a.switch_dips_used) w.u64(n);
+}
+
+bool decode_assignment(ByteReader& r, Assignment& a) {
+  const std::uint32_t n_placement = r.u32().value_or(0);
+  if (!r.ok() || n_placement > r.remaining() / 8) return false;
+  for (std::uint32_t i = 0; i < n_placement; ++i) {
+    const VipId vip_id = r.u32().value_or(0);
+    a.placement.emplace(vip_id, r.u32().value_or(0));
+  }
+  const std::uint32_t n_smux = r.u32().value_or(0);
+  if (!r.ok() || n_smux > r.remaining() / 4) return false;
+  a.on_smux.reserve(n_smux);
+  for (std::uint32_t i = 0; i < n_smux; ++i) a.on_smux.push_back(r.u32().value_or(0));
+  a.hmux_gbps = r.f64().value_or(0.0);
+  a.smux_gbps = r.f64().value_or(0.0);
+  a.mru = r.f64().value_or(0.0);
+  const std::uint32_t n_links = r.u32().value_or(0);
+  if (!r.ok() || n_links > r.remaining() / 8) return false;
+  a.link_load_gbps.reserve(n_links);
+  for (std::uint32_t i = 0; i < n_links; ++i) a.link_load_gbps.push_back(r.f64().value_or(0.0));
+  const std::uint32_t n_dips = r.u32().value_or(0);
+  if (!r.ok() || n_dips > r.remaining() / 8) return false;
+  a.switch_dips_used.reserve(n_dips);
+  for (std::uint32_t i = 0; i < n_dips; ++i) {
+    a.switch_dips_used.push_back(static_cast<std::size_t>(r.u64().value_or(0)));
+  }
+  return r.ok();
+}
+
+void encode_vip(ByteWriter& w, const VipImage& v) {
+  w.u32(v.id);
+  w.u32(v.vip.value());
+  w.u32(static_cast<std::uint32_t>(v.dips.size()));
+  for (const Ipv4Address d : v.dips) w.u32(d.value());
+  w.u32(v.home.value_or(kNoHome));
+  w.u8(v.fanout.has_value() ? 1 : 0);
+  if (v.fanout.has_value()) {
+    w.u32(v.fanout->vip.value());
+    w.u32(static_cast<std::uint32_t>(v.fanout->partitions.size()));
+    for (const FanoutPartition& p : v.fanout->partitions) {
+      w.u32(p.tip.value());
+      w.u32(p.host_switch);
+      w.u32(static_cast<std::uint32_t>(p.dips.size()));
+      for (const Ipv4Address d : p.dips) w.u32(d.value());
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(v.weights.size()));
+  for (const std::uint32_t x : v.weights) w.u32(x);
+  w.u32(static_cast<std::uint32_t>(v.port_rules.size()));
+  for (const auto& [port, dips] : v.port_rules) {
+    w.u16(port);
+    w.u32(static_cast<std::uint32_t>(dips.size()));
+    for (const Ipv4Address d : dips) w.u32(d.value());
+  }
+  w.u8(v.engine_override);
+}
+
+bool decode_vip(ByteReader& r, VipImage& v) {
+  v.id = r.u32().value_or(0);
+  v.vip = Ipv4Address{r.u32().value_or(0)};
+  const std::uint32_t n_dips = r.u32().value_or(0);
+  if (!r.ok() || n_dips > r.remaining() / 4) return false;
+  v.dips.reserve(n_dips);
+  for (std::uint32_t i = 0; i < n_dips; ++i) v.dips.push_back(Ipv4Address{r.u32().value_or(0)});
+  const std::uint32_t home = r.u32().value_or(kNoHome);
+  if (home != kNoHome) v.home = home;
+  if (r.u8().value_or(0) != 0) {
+    FanoutPlan plan;
+    plan.vip = Ipv4Address{r.u32().value_or(0)};
+    const std::uint32_t n_parts = r.u32().value_or(0);
+    if (!r.ok() || n_parts > r.remaining() / 12) return false;
+    for (std::uint32_t i = 0; i < n_parts; ++i) {
+      FanoutPartition p;
+      p.tip = Ipv4Address{r.u32().value_or(0)};
+      p.host_switch = r.u32().value_or(kInvalidSwitch);
+      const std::uint32_t n = r.u32().value_or(0);
+      if (!r.ok() || n > r.remaining() / 4) return false;
+      p.dips.reserve(n);
+      for (std::uint32_t j = 0; j < n; ++j) p.dips.push_back(Ipv4Address{r.u32().value_or(0)});
+      plan.partitions.push_back(std::move(p));
+    }
+    v.fanout = std::move(plan);
+  }
+  const std::uint32_t n_weights = r.u32().value_or(0);
+  if (!r.ok() || n_weights > r.remaining() / 4) return false;
+  v.weights.reserve(n_weights);
+  for (std::uint32_t i = 0; i < n_weights; ++i) v.weights.push_back(r.u32().value_or(0));
+  const std::uint32_t n_rules = r.u32().value_or(0);
+  if (!r.ok() || n_rules > r.remaining() / 6) return false;
+  for (std::uint32_t i = 0; i < n_rules; ++i) {
+    const std::uint16_t port = r.u16().value_or(0);
+    const std::uint32_t n = r.u32().value_or(0);
+    if (!r.ok() || n > r.remaining() / 4) return false;
+    std::vector<Ipv4Address> dips;
+    dips.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) dips.push_back(Ipv4Address{r.u32().value_or(0)});
+    v.port_rules.emplace_back(port, std::move(dips));
+  }
+  v.engine_override = r.u8().value_or(kEngineClear);
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_image(const StateImage& image) {
+  ByteWriter w;
+  w.u64(image.seq);
+  w.f64(image.clock_us);
+  w.u32(image.aggregate.address().value());
+  w.u8(image.aggregate.length());
+  w.u32(image.next_vip_id);
+  w.u32(image.next_tip);
+  w.u64(image.rng_state);
+  w.u32(static_cast<std::uint32_t>(image.smuxes.size()));
+  for (const SmuxImage& s : image.smuxes) {
+    w.u32(s.id);
+    w.u32(s.tor);
+    w.u8(s.alive ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(image.dead_switches.size()));
+  for (const SwitchId s : image.dead_switches) w.u32(s);
+  w.u8(image.have_assignment ? 1 : 0);
+  encode_assignment(w, image.assignment);
+  w.u32(static_cast<std::uint32_t>(image.vips.size()));
+  for (const VipImage& v : image.vips) encode_vip(w, v);
+  w.u32(image.routing_digest);
+  return std::move(w).take();
+}
+
+std::optional<StateImage> decode_image(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  StateImage img;
+  img.seq = r.u64().value_or(0);
+  img.clock_us = r.f64().value_or(0.0);
+  const Ipv4Address agg_addr{r.u32().value_or(0)};
+  const std::uint8_t agg_len = r.u8().value_or(0);
+  if (agg_len > 32) return std::nullopt;
+  img.aggregate = Ipv4Prefix{agg_addr, agg_len};
+  img.next_vip_id = r.u32().value_or(0);
+  img.next_tip = r.u32().value_or(0);
+  img.rng_state = r.u64().value_or(0);
+  const std::uint32_t n_smux = r.u32().value_or(0);
+  if (!r.ok() || n_smux > r.remaining() / 9) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_smux; ++i) {
+    SmuxImage s;
+    s.id = r.u32().value_or(0);
+    s.tor = r.u32().value_or(kInvalidSwitch);
+    s.alive = r.u8().value_or(0) != 0;
+    img.smuxes.push_back(s);
+  }
+  const std::uint32_t n_dead = r.u32().value_or(0);
+  if (!r.ok() || n_dead > r.remaining() / 4) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_dead; ++i) img.dead_switches.push_back(r.u32().value_or(0));
+  img.have_assignment = r.u8().value_or(0) != 0;
+  if (!decode_assignment(r, img.assignment)) return std::nullopt;
+  const std::uint32_t n_vips = r.u32().value_or(0);
+  if (!r.ok()) return std::nullopt;
+  img.vips.resize(n_vips);
+  for (std::uint32_t i = 0; i < n_vips; ++i) {
+    if (!decode_vip(r, img.vips[i])) return std::nullopt;
+  }
+  img.routing_digest = r.u32().value_or(0);
+  if (!r.done()) return std::nullopt;
+  return img;
+}
+
+std::uint32_t ControllerAccess::routing_digest(const DuetController& c) {
+  // View 0 stands for all views: the controller only uses converged-view
+  // mutators, so every RIB is identical.
+  auto routes = c.routing_.rib(0).routes();
+  std::vector<std::tuple<std::uint32_t, std::uint8_t, SwitchId>> sorted;
+  sorted.reserve(routes.size());
+  for (const auto& [prefix, origin] : routes) {
+    sorted.emplace_back(prefix.address().value(), prefix.length(), origin);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  ByteWriter w;
+  for (const auto& [addr, len, origin] : sorted) {
+    w.u32(addr);
+    w.u8(len);
+    w.u32(origin);
+  }
+  return crc32(w.bytes());
+}
+
+StateImage ControllerAccess::capture(const DuetController& c) {
+  StateImage img;
+  img.clock_us = c.clock_us_;
+  img.aggregate = c.aggregate_;
+  img.next_vip_id = c.next_vip_id_;
+  img.next_tip = c.next_tip_;
+  img.rng_state = c.rng_.state();
+  for (const auto& inst : c.smuxes_) {
+    img.smuxes.push_back(SmuxImage{inst.id, inst.tor, inst.alive});
+  }
+  img.dead_switches.assign(c.dead_switches_.begin(), c.dead_switches_.end());
+  std::sort(img.dead_switches.begin(), img.dead_switches.end());
+  img.have_assignment = c.have_assignment_;
+  img.assignment = c.current_;
+  for (const auto& [vip, rec] : c.vips_) {
+    VipImage v;
+    v.id = rec.id;
+    v.vip = rec.vip;
+    v.dips = rec.dips;
+    v.home = rec.home;
+    v.fanout = rec.fanout;
+    v.weights = rec.weights;
+    v.port_rules.assign(rec.port_rules.begin(), rec.port_rules.end());
+    std::sort(v.port_rules.begin(), v.port_rules.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (rec.engine_override.has_value()) {
+      v.engine_override = static_cast<std::uint8_t>(*rec.engine_override);
+    }
+    img.vips.push_back(std::move(v));
+  }
+  std::sort(img.vips.begin(), img.vips.end(),
+            [](const VipImage& a, const VipImage& b) { return a.id < b.id; });
+  img.routing_digest = routing_digest(c);
+  return img;
+}
+
+void ControllerAccess::restore(DuetController& c, const StateImage& image) {
+  DUET_CHECK(c.smuxes_.empty() && c.vips_.empty() && c.hmuxes_.empty())
+      << "restore requires a freshly constructed controller";
+  c.clock_us_ = image.clock_us;
+
+  // SMux pool: deploy in id order (ids are assigned by position), then
+  // replay deaths. Both paths journal BGP aggregate events like live
+  // operation did, keeping the journal auditor's announcer replay balanced.
+  if (!image.smuxes.empty()) {
+    std::vector<SwitchId> tors;
+    tors.reserve(image.smuxes.size());
+    for (std::size_t i = 0; i < image.smuxes.size(); ++i) {
+      DUET_CHECK(image.smuxes[i].id == i) << "non-contiguous SMux ids in image";
+      tors.push_back(image.smuxes[i].tor);
+    }
+    c.deploy_smuxes(tors, image.aggregate);
+    for (const SmuxImage& s : image.smuxes) {
+      if (!s.alive) c.handle_smux_failure(s.id);
+    }
+  } else {
+    c.aggregate_ = image.aggregate;
+  }
+  c.dead_switches_ =
+      std::unordered_set<SwitchId>(image.dead_switches.begin(), image.dead_switches.end());
+
+  // VIP records: every VIP lives on the SMuxes first (§5.2), exactly like
+  // add_vip, then HMux placements land below.
+  for (const VipImage& v : image.vips) {
+    DuetController::VipRecord rec;
+    rec.id = v.id;
+    rec.vip = v.vip;
+    rec.dips = v.dips;
+    rec.weights = v.weights;
+    for (const auto& [port, dips] : v.port_rules) rec.port_rules[port] = dips;
+    if (v.engine_override != kEngineClear) {
+      rec.engine_override = static_cast<SmuxEngine>(v.engine_override);
+    }
+    c.vip_by_id_.emplace(rec.id, rec.vip);
+    c.sync_smuxes(rec);  // applies pools, port rules, and the engine pin
+    c.vips_.emplace(v.vip, std::move(rec));
+  }
+
+  // Placements, in id order. Fanout plans install verbatim; re-planning
+  // would draw fresh TIPs from a cursor the original controller had already
+  // advanced past.
+  for (const VipImage& v : image.vips) {
+    if (!v.home.has_value()) continue;
+    auto& rec = c.record(v.vip);
+    const SwitchId target = *v.home;
+    if (v.fanout.has_value()) {
+      std::unordered_map<SwitchId, SwitchDataPlane*> dps;
+      for (const FanoutPartition& part : v.fanout->partitions) {
+        dps[part.host_switch] = &c.ensure_hmux(part.host_switch).dataplane();
+      }
+      DUET_CHECK(install_fanout(*v.fanout, c.ensure_hmux(target).dataplane(), dps))
+          << "fanout re-install failed for VIP " << v.vip.to_string();
+      for (const FanoutPartition& part : v.fanout->partitions) {
+        c.routing_.announce_everywhere(Ipv4Prefix::host_route(part.tip), part.host_switch);
+      }
+      c.routing_.announce_everywhere(Ipv4Prefix::host_route(v.vip), target);
+      c.journal_event(telemetry::EventKind::kBgpAnnounce, v.vip, {}, target,
+                      "fanout, " + std::to_string(v.fanout->partitions.size()) +
+                          " TIP partitions (restored)");
+      c.journal_event(telemetry::EventKind::kVipPlaced, v.vip, {}, target);
+      rec.fanout = *v.fanout;
+      rec.home = target;
+    } else {
+      Hmux& hmux = c.ensure_hmux(target);
+      DUET_CHECK(hmux.dataplane().install_vip(v.vip, rec.dips, rec.weights))
+          << "HMux " << target << " rejected restored VIP " << v.vip.to_string();
+      for (const auto& [port, dips] : rec.port_rules) {
+        if (!hmux.dataplane().install_port_rule(v.vip, port, dips)) {
+          DUET_LOG_WARN << "ACL table full restoring port rule " << v.vip.to_string() << ":"
+                        << port;
+        }
+      }
+      c.routing_.announce_everywhere(Ipv4Prefix::host_route(v.vip), target);
+      c.journal_event(telemetry::EventKind::kBgpAnnounce, v.vip, {}, target, "restored");
+      c.journal_event(telemetry::EventKind::kVipPlaced, v.vip, {}, target);
+      rec.home = target;
+    }
+  }
+
+  c.next_tip_ = image.next_tip;
+  c.next_vip_id_ = image.next_vip_id;
+  c.current_ = image.assignment;
+  c.have_assignment_ = image.have_assignment;
+  c.rng_.set_state(image.rng_state);
+
+  DUET_CHECK(routing_digest(c) == image.routing_digest)
+      << "restored routing state diverged from the image";
+}
+
+std::vector<std::uint8_t> encode_state(const DuetController& controller) {
+  return encode_image(ControllerAccess::capture(controller));
+}
+
+bool write_image(const std::string& path, const StateImage& image) {
+  return atomic_write_file(path, kSnapshotMagic, encode_image(image), kImageFrame);
+}
+
+ReadImageResult read_image(const std::string& path) {
+  ReadImageResult result;
+  auto frames = read_frames(path, kSnapshotMagic);
+  if (!frames.ok()) {
+    // Distinguish "no snapshot yet" (normal first boot) from damage.
+    if (frames.error.rfind("cannot open", 0) == 0) return result;
+    result.error = std::move(frames.error);
+    return result;
+  }
+  if (frames.truncated_tail || frames.frames.size() != 1 ||
+      frames.frames[0].type != kImageFrame) {
+    result.error = "malformed snapshot " + path;
+    return result;
+  }
+  auto img = decode_image(frames.frames[0].payload);
+  if (!img.has_value()) {
+    result.error = "undecodable snapshot " + path;
+    return result;
+  }
+  result.image = std::move(*img);
+  return result;
+}
+
+}  // namespace duet::persist

@@ -1,0 +1,108 @@
+// Canonical snapshot of a DuetController's LOGICAL state.
+//
+// A StateImage is the fixed point of recovery: capture() reads every field
+// that determines future controller behaviour, encode() lays it out in a
+// canonical order (maps sorted, doubles as IEEE-754 bits), and restore()
+// rebuilds a FRESH controller to an equivalent point by re-driving the same
+// assignment-updater primitives normal operation uses — SMux pool deployment,
+// SMux table syncs, HMux installs, BGP announcements. Fanout plans are
+// restored VERBATIM (re-planning would draw different TIP addresses, since
+// the live controller's TIP cursor had advanced); next_tip_/next_vip_id_ are
+// restored after placement for the same reason.
+//
+// What the image deliberately EXCLUDES:
+//   * telemetry (journal + metrics) — history, not state;
+//   * per-flow soft state (SMux flow-table pins, stateless bucket stamps) —
+//     connections do not survive a mux process restart in the paper's design
+//     either (§5.1: SMux failure terminates its flows' stickiness);
+//   * the physical HMux object set — ensure_hmux() creates switch objects as
+//     a side effect of *scanning* helper candidates, so the object set is
+//     history-dependent while being behaviourally inert when empty.
+//
+// Equality over encode_state() bytes is therefore the contract "a recovered
+// controller continues exactly like one that never crashed" — the recovery
+// property test drives both to the same op and compares the bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "duet/assignment.h"
+#include "duet/config.h"
+#include "duet/fanout.h"
+#include "net/ip.h"
+#include "persist/op_log.h"
+#include "topo/topology.h"
+
+namespace duet::persist {
+
+inline constexpr std::string_view kSnapshotMagic = "DUETSNP1";
+
+struct SmuxImage {
+  std::uint32_t id = 0;
+  SwitchId tor = kInvalidSwitch;
+  bool alive = true;
+
+  friend bool operator==(const SmuxImage&, const SmuxImage&) = default;
+};
+
+struct VipImage {
+  VipId id = 0;
+  Ipv4Address vip;
+  std::vector<Ipv4Address> dips;  // verbatim order (it fixes the slot layout)
+  std::optional<SwitchId> home;
+  std::optional<FanoutPlan> fanout;  // verbatim (TIPs are already allocated)
+  std::vector<std::uint32_t> weights;
+  // Sorted by port on capture.
+  std::vector<std::pair<std::uint16_t, std::vector<Ipv4Address>>> port_rules;
+  std::uint8_t engine_override = kEngineClear;  // SmuxEngine or kEngineClear
+};
+
+struct StateImage {
+  std::uint64_t seq = 0;  // last applied op (stamped by the store, 0 in digests)
+  double clock_us = 0.0;
+  Ipv4Prefix aggregate;
+  VipId next_vip_id = 0;
+  std::uint32_t next_tip = 0;
+  std::uint64_t rng_state = 0;
+  std::vector<SmuxImage> smuxes;        // id order (== deployment order)
+  std::vector<SwitchId> dead_switches;  // sorted
+  bool have_assignment = false;
+  Assignment assignment;  // on_smux verbatim; placement canonicalized on encode
+  std::vector<VipImage> vips;  // id order
+  // CRC over the sorted converged RIB — restore() rebuilds the routes and
+  // verifies it reproduced them exactly.
+  std::uint32_t routing_digest = 0;
+};
+
+std::vector<std::uint8_t> encode_image(const StateImage& image);
+std::optional<StateImage> decode_image(std::span<const std::uint8_t> bytes);
+
+// Friend-access bridge into DuetController's private state (declared a friend
+// in duet/controller.h). All persistence code funnels through these three.
+struct ControllerAccess {
+  static StateImage capture(const DuetController& controller);
+  // `controller` must be freshly constructed (no smuxes, no VIPs) with the
+  // SAME fabric/config/hasher/seed the image's controller had. DUET_CHECKs
+  // that the rebuilt routing state matches the image's digest.
+  static void restore(DuetController& controller, const StateImage& image);
+  static std::uint32_t routing_digest(const DuetController& controller);
+};
+
+// The canonical logical-state bytes (encode of a capture with seq forced to
+// 0): two controllers with equal encode_state() continue identically.
+std::vector<std::uint8_t> encode_state(const DuetController& controller);
+
+// Snapshot file = one frame of encode_image bytes, atomically replaced.
+bool write_image(const std::string& path, const StateImage& image);
+struct ReadImageResult {
+  std::optional<StateImage> image;
+  std::string error;  // empty when image is set OR the file simply absent
+
+  bool missing() const noexcept { return !image.has_value() && error.empty(); }
+};
+ReadImageResult read_image(const std::string& path);
+
+}  // namespace duet::persist

@@ -30,18 +30,50 @@ std::optional<Endpoint> FakeDipPool::add_dip(Ipv4Address dip) {
   auto sock = UdpSocket::bind(Endpoint{opts_.bind_addr, 0});
   if (!sock) return std::nullopt;
   const Endpoint at = sock->local();
-  dips_.push_back(std::make_unique<DipSock>(dip, std::move(*sock), opts_.batch));
+  auto ds = std::make_unique<DipSock>(dip, std::move(*sock), opts_.batch);
+  if (!running_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(dips_mu_);
+    dips_.push_back(std::move(ds));
+  } else {
+    // Live add: the socket already accepts (the kernel queues until the
+    // serving loop registers it on the next tick), so the returned endpoint
+    // can be mapped immediately.
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.push_back(std::move(ds));
+    }
+    loop_.wake();
+  }
   return at;
+}
+
+void FakeDipPool::drain_pending() {
+  std::vector<std::unique_ptr<DipSock>> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_.empty()) return;
+    batch.swap(pending_);
+  }
+  for (auto& ds : batch) {
+    DipSock* raw = ds.get();
+    loop_.add(raw->sock.fd(), [this, raw] { pump(*raw); });
+    std::lock_guard<std::mutex> lock(dips_mu_);
+    dips_.push_back(std::move(ds));
+  }
 }
 
 bool FakeDipPool::start() {
   if (thread_.joinable() || !loop_.ok()) return false;
   stop_.store(false, std::memory_order_release);
-  for (const auto& ds : dips_) {
-    DipSock* raw = ds.get();
-    if (!loop_.add(raw->sock.fd(), [this, raw] { pump(*raw); })) return false;
+  {
+    std::lock_guard<std::mutex> lock(dips_mu_);
+    for (const auto& ds : dips_) {
+      DipSock* raw = ds.get();
+      if (!loop_.add(raw->sock.fd(), [this, raw] { pump(*raw); })) return false;
+    }
   }
-  thread_ = std::thread([this] { loop_.run(stop_, opts_.tick_ms); });
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop_.run(stop_, opts_.tick_ms, [this] { drain_pending(); }); });
   return true;
 }
 
@@ -52,9 +84,11 @@ void FakeDipPool::shutdown() {
 
 void FakeDipPool::join() {
   if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
 }
 
 std::uint64_t FakeDipPool::packets_at(Ipv4Address dip) const {
+  std::lock_guard<std::mutex> lock(dips_mu_);
   for (const auto& ds : dips_) {
     if (ds->dip == dip) return ds->packets.load(std::memory_order_relaxed);
   }
@@ -62,6 +96,7 @@ std::uint64_t FakeDipPool::packets_at(Ipv4Address dip) const {
 }
 
 std::uint64_t FakeDipPool::rejects_at(Ipv4Address dip) const {
+  std::lock_guard<std::mutex> lock(dips_mu_);
   for (const auto& ds : dips_) {
     if (ds->dip == dip) return ds->rejects.load(std::memory_order_relaxed);
   }
@@ -69,6 +104,7 @@ std::uint64_t FakeDipPool::rejects_at(Ipv4Address dip) const {
 }
 
 std::uint64_t FakeDipPool::total_packets() const {
+  std::lock_guard<std::mutex> lock(dips_mu_);
   std::uint64_t total = 0;
   for (const auto& ds : dips_) total += ds->packets.load(std::memory_order_relaxed);
   return total;

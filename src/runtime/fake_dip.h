@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -40,8 +41,11 @@ class FakeDipPool {
   FakeDipPool(const FakeDipPool&) = delete;
   FakeDipPool& operator=(const FakeDipPool&) = delete;
 
-  // Binds an echo socket for `dip` (before start()); returns the real
-  // endpoint to hand to MuxServer::map_dip, or nullopt on bind failure.
+  // Binds an echo socket for `dip`; returns the real endpoint to hand to
+  // MuxServer::map_dip, or nullopt on bind failure. Works before start() and
+  // on a RUNNING pool: a live add is bound immediately (the endpoint is
+  // valid at once) and registered with the serving loop on its next tick —
+  // duetd's `duetctl add-dip` path.
   std::optional<Endpoint> add_dip(Ipv4Address dip);
 
   bool start();
@@ -56,10 +60,16 @@ class FakeDipPool {
  private:
   struct DipSock;
   void pump(DipSock& ds);
+  // Registers queued live adds with the loop. Runs on the pool thread.
+  void drain_pending();
 
   Options opts_;
+  mutable std::mutex dips_mu_;  // guards dips_ against the tick's appends
   std::vector<std::unique_ptr<DipSock>> dips_;
+  std::mutex pending_mu_;
+  std::vector<std::unique_ptr<DipSock>> pending_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
   std::thread thread_;
   EventLoop loop_;
 };

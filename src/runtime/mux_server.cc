@@ -11,6 +11,16 @@
 
 namespace duet::runtime {
 
+struct MuxServer::PendingUpdate {
+  enum class Kind : std::uint8_t { kSetVip, kRemoveVip, kMapDip };
+  Kind kind = Kind::kSetVip;
+  Ipv4Address vip;
+  std::vector<Ipv4Address> dips;
+  std::vector<std::uint32_t> weights;
+  Ipv4Address dip;
+  Endpoint at;
+};
+
 struct MuxServer::Worker {
   Worker(std::size_t index_, UdpSocket sock_, Smux smux_, std::size_t batch)
       : index(index_), sock(std::move(sock_)), smux(std::move(smux_)), io(batch) {
@@ -32,6 +42,13 @@ struct MuxServer::Worker {
   std::vector<Packet> pkts;
   std::vector<Ipv4Address> chosen;
   std::vector<std::uint32_t> rx_index;
+
+  // This worker's own DIP→endpoint map. Unshared, so pump() reads it without
+  // synchronization; live changes arrive through the pending queue below and
+  // land on the worker thread's tick.
+  util::FlatTable<Ipv4Address, Endpoint> dip_map;
+  std::mutex pending_mu;
+  std::vector<PendingUpdate> pending;
 };
 
 MuxServer::MuxServer(MuxServerOptions options, DuetConfig config)
@@ -56,12 +73,100 @@ MuxServer::~MuxServer() {
 void MuxServer::set_vip(Ipv4Address vip, std::vector<Ipv4Address> dips,
                         std::vector<std::uint32_t> weights) {
   DUET_CHECK(!running()) << "set_vip on a running MuxServer";
+  std::lock_guard<std::mutex> lock(config_mu_);
   vips_.push_back(VipRecord{vip, std::move(dips), std::move(weights)});
 }
 
 void MuxServer::map_dip(Ipv4Address dip, Endpoint at) {
   DUET_CHECK(!running()) << "map_dip on a running MuxServer";
+  std::lock_guard<std::mutex> lock(config_mu_);
   dip_map_.insert(dip, at);
+}
+
+void MuxServer::enqueue_update(const PendingUpdate& update) {
+  for (const auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->pending_mu);
+      worker->pending.push_back(update);
+    }
+    worker->loop.wake();
+  }
+}
+
+void MuxServer::drain_updates(Worker& worker) {
+  std::vector<PendingUpdate> batch;
+  {
+    std::lock_guard<std::mutex> lock(worker.pending_mu);
+    if (worker.pending.empty()) return;
+    batch.swap(worker.pending);
+  }
+  for (const PendingUpdate& u : batch) {
+    switch (u.kind) {
+      case PendingUpdate::Kind::kSetVip:
+        worker.smux.set_vip(u.vip, u.dips, u.weights);
+        break;
+      case PendingUpdate::Kind::kRemoveVip:
+        worker.smux.remove_vip(u.vip);
+        break;
+      case PendingUpdate::Kind::kMapDip:
+        worker.dip_map.insert(u.dip, u.at);
+        break;
+    }
+  }
+}
+
+void MuxServer::apply_vip_update(Ipv4Address vip, std::vector<Ipv4Address> dips,
+                                 std::vector<std::uint32_t> weights) {
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    bool found = false;
+    for (VipRecord& rec : vips_) {
+      if (rec.vip == vip) {
+        rec.dips = dips;
+        rec.weights = weights;
+        found = true;
+        break;
+      }
+    }
+    if (!found) vips_.push_back(VipRecord{vip, dips, weights});
+  }
+  if (!running()) return;  // start() seeds workers from vips_
+  PendingUpdate u;
+  u.kind = PendingUpdate::Kind::kSetVip;
+  u.vip = vip;
+  u.dips = std::move(dips);
+  u.weights = std::move(weights);
+  enqueue_update(u);
+}
+
+void MuxServer::apply_vip_removal(Ipv4Address vip) {
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    for (auto it = vips_.begin(); it != vips_.end(); ++it) {
+      if (it->vip == vip) {
+        vips_.erase(it);
+        break;
+      }
+    }
+  }
+  if (!running()) return;
+  PendingUpdate u;
+  u.kind = PendingUpdate::Kind::kRemoveVip;
+  u.vip = vip;
+  enqueue_update(u);
+}
+
+void MuxServer::apply_dip_map(Ipv4Address dip, Endpoint at) {
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    dip_map_.insert(dip, at);
+  }
+  if (!running()) return;
+  PendingUpdate u;
+  u.kind = PendingUpdate::Kind::kMapDip;
+  u.dip = dip;
+  u.at = at;
+  enqueue_update(u);
 }
 
 bool MuxServer::start() {
@@ -95,6 +200,7 @@ bool MuxServer::start() {
       workers_.clear();
       return false;
     }
+    worker->dip_map = dip_map_;  // private copy; live changes arrive per tick
     workers_.push_back(std::move(worker));
   }
 
@@ -141,6 +247,9 @@ void MuxServer::serve(std::size_t index) {
   Worker& worker = *workers_[index];
   worker.loop.add(worker.sock.fd(), [this, &worker] { pump(worker, false); });
   worker.loop.run(stop_, opts_.tick_ms, [this, &worker] {
+    // Control-plane changes land here, on the serving thread, between
+    // batches — no lock on the packet path.
+    drain_updates(worker);
     // One clock read per tick; bounded incremental eviction (never a
     // full-table pass on the serving thread).
     const double now = now_us();
@@ -193,7 +302,7 @@ std::size_t MuxServer::pump(Worker& worker, bool draining) {
     for (std::size_t k = 0; k < worker.pkts.size(); ++k) {
       const Ipv4Address dip = worker.chosen[k];
       if (dip == Ipv4Address{}) continue;
-      const Endpoint* at = dip_map_.find(dip);
+      const Endpoint* at = worker.dip_map.find(dip);
       if (at == nullptr) {
         ++unmapped;
         continue;

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -76,6 +77,18 @@ class MuxServer {
   // without a mapping drops (counted in duet.runtime.unmapped_dip).
   void map_dip(Ipv4Address dip, Endpoint at);
 
+  // --- live reconfiguration ---------------------------------------------------
+  // Thread-safe VIP/DIP mutation that also works while serving: before
+  // start() these behave like set_vip/map_dip; on a running server the
+  // change is queued per worker and applied on that worker's next event-loop
+  // tick — the hot path itself never takes a lock (each worker owns its Smux
+  // replica and its own DIP→endpoint map copy). Convergence latency is
+  // therefore bounded by tick_ms. duetd drives these from its ops socket.
+  void apply_vip_update(Ipv4Address vip, std::vector<Ipv4Address> dips,
+                        std::vector<std::uint32_t> weights = {});
+  void apply_vip_removal(Ipv4Address vip);
+  void apply_dip_map(Ipv4Address dip, Endpoint at);
+
   // --- lifecycle ------------------------------------------------------------
   // Binds the worker sockets and launches the serving threads. False when a
   // bind fails (port in use, no SO_REUSEPORT with workers > 1).
@@ -111,11 +124,18 @@ class MuxServer {
 
  private:
   struct Worker;
+  struct PendingUpdate;
   struct VipRecord {
     Ipv4Address vip;
     std::vector<Ipv4Address> dips;
     std::vector<std::uint32_t> weights;
   };
+
+  // Queues one update on every worker and wakes their loops.
+  void enqueue_update(const PendingUpdate& update);
+  // Applies queued updates to this worker's Smux replica + DIP map. Runs on
+  // the worker thread (tick callback), so it never races process_batch.
+  void drain_updates(Worker& worker);
 
   void serve(std::size_t index);
   // Reads and forwards until the socket drains; returns the datagram count.
@@ -138,9 +158,12 @@ class MuxServer {
   telemetry::Counter* tm_rx_batches_;
   telemetry::Histogram* tm_batch_fill_;
 
+  // Desired configuration (what start() seeds workers from and what
+  // audit_snapshot renders). Guarded by config_mu_ once live updates exist.
+  std::mutex config_mu_;
   std::vector<VipRecord> vips_;
-  // Read-only at serve time; flat so the per-packet DIP→endpoint hop is one
-  // cache line, not a node chase.
+  // Seed copy for workers; each worker serves from its OWN copy so the
+  // per-packet DIP→endpoint hop is one unshared cache line.
   util::FlatTable<Ipv4Address, Endpoint> dip_map_;
 
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -21,6 +21,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kTableOccupancy: return "table_occupancy";
     case EventKind::kStatelessVersionBuild: return "stateless_version_build";
     case EventKind::kChaosInject: return "chaos_inject";
+    case EventKind::kPersistRecover: return "persist_recover";
   }
   return "unknown";
 }

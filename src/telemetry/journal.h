@@ -36,6 +36,8 @@ enum class EventKind : std::uint8_t {
   kTableOccupancy,      // snapshot: a/b/c = host/ECMP/tunnel entries used (sw)
   kStatelessVersionBuild,  // stateless map version pushed to the SMuxes (vip)
   kChaosInject,         // chaos-harness adversary event (detail = event name)
+  kPersistRecover,      // duetd booted from snapshot+journal (a = snapshot
+                        // seq, b = ops replayed, c = 1 if a torn tail was cut)
 };
 
 // Stable wire name, used by the exporters and grep-able in dumps.

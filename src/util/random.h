@@ -76,6 +76,12 @@ class Rng {
     }
   }
 
+  // The full generator state (SplitMix64 has exactly one word). Persisted by
+  // controller snapshots so a recovered process draws the same sequence a
+  // never-crashed one would.
+  std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t state) noexcept { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

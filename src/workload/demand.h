@@ -29,6 +29,9 @@ struct VipDemand {
   std::vector<std::pair<SwitchId, double>> ingress_gbps;
   // ToRs hosting this VIP's DIPs, with the Gbps leaving the mux toward them.
   std::vector<std::pair<SwitchId, double>> dip_tor_gbps;
+
+  // Bit-exact equality, used by the persist op codec's round-trip checks.
+  friend bool operator==(const VipDemand&, const VipDemand&) = default;
 };
 
 // Builds demand summaries for one epoch. Order matches trace.vips (i.e.
