@@ -32,13 +32,16 @@
 //   duetctl snapshot    --socket S             compact: snapshot + restart log
 //   duetctl drain       --socket S             graceful shutdown request
 // Client options: --timeout-ms T (connect+request, default 5000),
-// --retries N (transport retries, default 3), --backoff-ms B (default 100,
-// doubles per retry). Responses with nonzero status are never retried —
-// re-sending a received mutation could double-apply it.
+// --retries N (pre-delivery transport retries, default 3), --backoff-ms B
+// (default 100, doubles per retry). Only connect/send failures are retried;
+// once a request was fully delivered it is never re-sent (at-most-once: the
+// daemon may have applied it even if the reply was lost), and responses with
+// nonzero status are never retried either.
 // Exit codes (client commands): 0 = ok; 1 = duetd reported failure (bad
 // VIP, rejected migration, failed audit); 2 = usage error (local or
 // server-side parse); 3 = could not reach duetd (refused/timeout after all
-// retries).
+// retries), or a delivered request whose reply was lost — the mutation may
+// or may not have applied; check with `duetctl stats`.
 //
 // Options:
 //   --containers N --tors N --cores N     fabric shape (default 6 8 6)
@@ -439,7 +442,9 @@ int cmd_client(int argc, char** argv) {
   persist::CtlClient client{socket_path, copts};
   const auto response = client.request(request);
   if (!response.has_value()) {
-    std::fprintf(stderr, "duetctl: could not reach duetd at %s (after %d retries)\n",
+    std::fprintf(stderr,
+                 "duetctl: no response from duetd at %s (connect/send retried %d times; "
+                 "a delivered request is never re-sent)\n",
                  socket_path.c_str(), copts.retries);
     return 3;
   }
@@ -480,8 +485,11 @@ int main(int argc, char** argv) {
                  "          remove-vip VIP | set-engine VIP stateful|stateless|clear |\n"
                  "          migrate VIP SWITCH|smux   (all with --socket PATH)\n"
                  "  client options: [--timeout-ms T] [--retries N] [--backoff-ms B]\n"
+                 "                  (retries cover connect/send only; a delivered\n"
+                 "                  request is never re-sent — at-most-once)\n"
                  "  client exit codes: 0 ok | 1 duetd-reported failure | 2 usage |\n"
-                 "                     3 could not reach duetd after retries\n");
+                 "                     3 no response from duetd (mutation fate unknown\n"
+                 "                     if the request was delivered; check stats)\n");
     return 2;
   }
 

@@ -115,6 +115,10 @@ std::optional<std::vector<std::string>> decode_request(std::span<const std::uint
   ByteReader r{bytes};
   const auto argc = r.u32();
   if (!argc.has_value()) return std::nullopt;
+  // Each arg costs at least its u32 length prefix, so a claimed argc beyond
+  // remaining/4 is a malformed frame — reject it before reserve() turns the
+  // attacker-controlled count into a multi-gigabyte allocation.
+  if (*argc > r.remaining() / 4) return std::nullopt;
   std::vector<std::string> argv;
   argv.reserve(*argc);
   for (std::uint32_t i = 0; i < *argc; ++i) {
@@ -197,15 +201,19 @@ std::optional<CtlResponse> CtlClient::request(const std::vector<std::string>& ar
       continue;
     }
     if (!ctl_send_frame(fd, payload, opts_.request_timeout_ms)) {
+      // Safe to retry: a partially sent frame can never decode server-side,
+      // so the daemon cannot have applied anything from this attempt.
       ::close(fd);
       continue;
     }
     auto reply = ctl_recv_frame(fd, opts_.request_timeout_ms);
     ::close(fd);
-    if (!reply.has_value()) continue;
+    // Once the request frame was fully delivered, the daemon may have applied
+    // it even though the reply was lost or timed out — re-sending would break
+    // at-most-once and double-apply mutations (or fake a failure when the
+    // server rejects the duplicate). Any post-send failure is final.
+    if (!reply.has_value()) return std::nullopt;
     if (auto decoded = decode_response(*reply); decoded.has_value()) return decoded;
-    // An undecodable reply is a protocol violation, not a flaky transport;
-    // retrying would just re-send the mutation at a confused server.
     return std::nullopt;
   }
   return std::nullopt;

@@ -13,10 +13,13 @@
 // traffic is control-plane rate (a human or a test harness), and sequential
 // service gives every mutation a total order for free.
 //
-// The client side (CtlClient) retries transport failures — refused connects
-// while duetd is still booting, timeouts — with bounded exponential backoff.
-// A response with nonzero status is NOT retried: the daemon received and
-// rejected the command, and re-sending a mutation could double-apply it.
+// The client side (CtlClient) retries with bounded exponential backoff, but
+// ONLY failures that provably precede delivery: refused/timed-out connects
+// (duetd still booting) and partial sends (a torn frame never decodes
+// server-side). Once the request frame was fully sent the attempt is final —
+// the daemon may have applied the mutation even if the reply is lost, so a
+// re-send would violate at-most-once and double-apply. A response with
+// nonzero status is likewise never retried.
 #pragma once
 
 #include <cstdint>
@@ -62,8 +65,9 @@ int ctl_listen(const std::string& path, std::string* error);
 struct CtlClientOptions {
   int connect_timeout_ms = 1000;
   int request_timeout_ms = 5000;
-  // Transport-failure retries AFTER the first attempt. Each retry waits
-  // backoff_ms * 2^attempt before reconnecting.
+  // Pre-delivery transport retries (connect/send failures only) AFTER the
+  // first attempt. Each retry waits backoff_ms * 2^attempt before
+  // reconnecting. Never applies once a request was fully sent.
   int retries = 3;
   int backoff_ms = 100;
 };
@@ -73,9 +77,10 @@ class CtlClient {
   explicit CtlClient(std::string socket_path, CtlClientOptions options = {});
 
   // Connects, sends argv, awaits the response. nullopt = transport failure
-  // after all retries (daemon not running, timeout, short read); the caller
-  // maps that to its distinct "could not reach duetd" exit code. A decoded
-  // response — even a refusal — is returned as-is and never retried.
+  // (daemon not running after all retries, or a lost/timed-out reply to a
+  // delivered request — which is never re-sent; the mutation may have
+  // applied). The caller maps that to its distinct "could not reach duetd"
+  // exit code. A decoded response — even a refusal — is returned as-is.
   std::optional<CtlResponse> request(const std::vector<std::string>& argv);
 
  private:

@@ -164,7 +164,7 @@ std::optional<std::string> ByteReader::str() {
 FrameWriter::~FrameWriter() { close(); }
 
 FrameWriter::FrameWriter(FrameWriter&& other) noexcept
-    : fd_(other.fd_), policy_(other.policy_), size_(other.size_) {
+    : fd_(other.fd_), policy_(other.policy_), size_(other.size_), poisoned_(other.poisoned_) {
   other.fd_ = -1;
 }
 
@@ -174,6 +174,7 @@ FrameWriter& FrameWriter::operator=(FrameWriter&& other) noexcept {
     fd_ = other.fd_;
     policy_ = other.policy_;
     size_ = other.size_;
+    poisoned_ = other.poisoned_;
     other.fd_ = -1;
   }
   return *this;
@@ -213,7 +214,7 @@ std::optional<FrameWriter> FrameWriter::open(const std::string& path, std::strin
 }
 
 bool FrameWriter::append(std::uint8_t type, std::span<const std::uint8_t> payload) {
-  if (fd_ < 0 || payload.size() > kMaxFramePayload) return false;
+  if (fd_ < 0 || poisoned_ || payload.size() > kMaxFramePayload) return false;
   // Header and payload go out in one buffer so a crash tears at most one
   // record, and always at the file tail.
   std::vector<std::uint8_t> buf(kFrameHeaderBytes + payload.size());
@@ -225,9 +226,23 @@ bool FrameWriter::append(std::uint8_t type, std::span<const std::uint8_t> payloa
   std::uint32_t crc = crc32(std::span<const std::uint8_t>(&buf[4], 1));
   crc = crc32(payload, crc);
   put_u32(buf.data() + 5, crc);
-  if (!write_fully(fd_, buf.data(), buf.size())) return false;
+  if (!write_fully(fd_, buf.data(), buf.size())) {
+    // A partial write (ENOSPC, EIO) leaves a torn record at the tail, and
+    // readers stop at the first damaged frame — so any record appended after
+    // it would be silently lost at recovery. Roll the file back to the last
+    // good record; if even that fails, poison the writer so nothing can land
+    // behind the garbage until the log is reopened and repaired.
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) poisoned_ = true;
+    return false;
+  }
   size_ += buf.size();
-  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) return false;
+  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) {
+    // The record reached the file but its durability is unknown, and after a
+    // failed fsync the kernel may have dropped the dirty pages. Poison: the
+    // log must be reopened (re-read + torn-tail repair) before more appends.
+    poisoned_ = true;
+    return false;
+  }
   return true;
 }
 
@@ -266,8 +281,15 @@ ReadFramesResult read_frames(const std::string& path, std::string_view magic) {
     result.error = "read error on " + path;
     return result;
   }
-  if (bytes.size() < kMagicBytes ||
-      std::memcmp(bytes.data(), magic.data(), kMagicBytes) != 0) {
+  if (bytes.size() < kMagicBytes) {
+    // Shorter than the magic means the kill -9 window between open(O_CREAT)
+    // and the magic stamp in FrameWriter::open — an empty log, not a corrupt
+    // one. Report it as a (possibly torn) empty file so the opener truncates
+    // to 0 and re-stamps the magic instead of refusing to boot.
+    result.truncated_tail = !bytes.empty();
+    return result;
+  }
+  if (std::memcmp(bytes.data(), magic.data(), kMagicBytes) != 0) {
     result.error = "bad magic in " + path;
     return result;
   }

@@ -123,11 +123,16 @@ class FrameWriter {
                                          FsyncPolicy policy,
                                          std::optional<std::uint64_t> truncate_to = std::nullopt);
 
-  bool valid() const noexcept { return fd_ >= 0; }
+  bool valid() const noexcept { return fd_ >= 0 && !poisoned_; }
   // Appends one record; with kEveryRecord the record is fsync'd before
-  // returning. False on any write failure (the file may hold a torn tail —
-  // exactly what readers tolerate).
+  // returning. On a failed write the torn tail is rolled back (ftruncate to
+  // the last good record) so the file never holds garbage between records;
+  // if the rollback — or a record's fsync — fails, the writer is poisoned
+  // and every later append returns false until the log is reopened.
   bool append(std::uint8_t type, std::span<const std::uint8_t> payload);
+  // True once an append failure left the file in an unknown state (rollback
+  // or fsync failed). Poison clears only by reopening the log.
+  bool poisoned() const noexcept { return poisoned_; }
   // Explicit barrier (used by kNone writers at snapshot points).
   bool sync();
   void close();
@@ -138,6 +143,7 @@ class FrameWriter {
   int fd_ = -1;
   FsyncPolicy policy_ = FsyncPolicy::kNone;
   std::uint64_t size_ = 0;
+  bool poisoned_ = false;
 };
 
 struct ReadFramesResult {
@@ -154,7 +160,9 @@ struct ReadFramesResult {
 };
 
 // Reads every intact record. Wrong magic or an unreadable file is an error;
-// a damaged tail is not (see file comment).
+// a damaged tail is not (see file comment). A file shorter than the magic —
+// including 0 bytes, the kill -9 window before FrameWriter stamps it — is an
+// empty log, not corruption.
 ReadFramesResult read_frames(const std::string& path, std::string_view magic);
 
 // fsync the directory containing `path` so a just-renamed file's directory

@@ -205,8 +205,12 @@ std::optional<OpLog> OpLog::open(const std::string& path, FsyncPolicy policy,
 
 std::optional<std::uint64_t> OpLog::append(Op op) {
   op.seq = next_seq_;
-  if (!writer_.append(kOpFrame, encode_op(op))) return std::nullopt;
+  // The seq is burned even when the append fails: after a write-ok/fsync-fail
+  // the record may well be in the file, and re-stamping its seq on the next
+  // (acknowledged) op would make replay drop the acknowledged record as a
+  // duplicate. Gaps are harmless — replay only requires monotonicity.
   ++next_seq_;
+  if (!writer_.append(kOpFrame, encode_op(op))) return std::nullopt;
   ++appended_;
   return op.seq;
 }

@@ -98,7 +98,9 @@ class OpLog {
 
   // Stamps op.seq, appends durably (per the policy), returns the seq — or
   // nullopt on write failure, in which case the op MUST NOT be applied (the
-  // WAL contract).
+  // WAL contract). A failed append still consumes its seq: the bytes may
+  // have reached the file (fsync failure), and reusing the seq would shadow
+  // the next acknowledged op at replay.
   std::optional<std::uint64_t> append(Op op);
 
   std::uint64_t next_seq() const noexcept { return next_seq_; }

@@ -5,14 +5,20 @@
 //     against a twin controller that never crashed;
 //   * snapshot compaction: recovery replays at most snapshot_every_ops ops.
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "audit/invariants.h"
@@ -58,6 +64,27 @@ std::uint64_t file_size(const std::string& path) {
 void truncate_file(const std::string& path, std::uint64_t to) {
   ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(to)), 0);
 }
+
+// Caps the process file-size limit so the next write fails mid-record with
+// EFBIG (SIGXFSZ ignored for the duration) — a portable stand-in for ENOSPC
+// that produces exactly the partial-write shape a full disk leaves behind.
+class FileSizeLimit {
+ public:
+  explicit FileSizeLimit(std::uint64_t bytes) {
+    ::getrlimit(RLIMIT_FSIZE, &old_);
+    prev_handler_ = std::signal(SIGXFSZ, SIG_IGN);
+    rlimit lim{static_cast<rlim_t>(bytes), old_.rlim_max};
+    ::setrlimit(RLIMIT_FSIZE, &lim);
+  }
+  ~FileSizeLimit() {
+    ::setrlimit(RLIMIT_FSIZE, &old_);
+    std::signal(SIGXFSZ, prev_handler_);
+  }
+
+ private:
+  rlimit old_{};
+  void (*prev_handler_)(int) = SIG_DFL;
+};
 
 // --- framing ------------------------------------------------------------------
 
@@ -136,6 +163,74 @@ TEST(PersistFraming, TornTailIsTruncatedNotFatal) {
   EXPECT_FALSE(repaired.truncated_tail);
   ASSERT_EQ(repaired.frames.size(), 4u);
   EXPECT_EQ(repaired.frames[3].type, 9);
+}
+
+TEST(PersistFraming, FileShorterThanMagicIsEmptyNotCorrupt) {
+  TempDir dir;
+  const std::string path = dir.path() + "/frames.duet";
+  // 0 bytes: kill -9 landed between open(O_CREAT) and the magic stamp.
+  { std::ofstream f{path, std::ios::binary}; }
+  auto result = read_frames(path, "TESTMAG1");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.frames.empty());
+  EXPECT_FALSE(result.truncated_tail);
+  EXPECT_EQ(result.valid_bytes, 0u);
+
+  // A torn magic stamp: still an empty log, flagged so the opener repairs.
+  {
+    std::ofstream f{path, std::ios::binary};
+    f.write("TES", 3);
+  }
+  result = read_frames(path, "TESTMAG1");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.frames.empty());
+  EXPECT_TRUE(result.truncated_tail);
+  EXPECT_EQ(result.valid_bytes, 0u);
+
+  // The normal repair-on-open path truncates to 0, re-stamps the magic, and
+  // the log is fully usable again — no hand removal of the file.
+  {
+    auto writer = FrameWriter::open(path, "TESTMAG1", FsyncPolicy::kNone, result.valid_bytes);
+    ASSERT_TRUE(writer.has_value());
+    EXPECT_TRUE(writer->append(5, std::vector<std::uint8_t>{42}));
+  }
+  const auto repaired = read_frames(path, "TESTMAG1");
+  ASSERT_TRUE(repaired.ok()) << repaired.error;
+  EXPECT_FALSE(repaired.truncated_tail);
+  ASSERT_EQ(repaired.frames.size(), 1u);
+  EXPECT_EQ(repaired.frames[0].type, 5);
+}
+
+TEST(PersistFraming, FailedAppendRollsBackTheTornTail) {
+  TempDir dir;
+  const std::string path = dir.path() + "/frames.duet";
+  auto writer = FrameWriter::open(path, "TESTMAG1", FsyncPolicy::kNone);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->append(1, std::vector<std::uint8_t>(64, 0x11)));
+  const auto good = writer->bytes_written();
+
+  {
+    // Let the next record land only its first 8 bytes before the write
+    // fails — the torn-tail shape a real ENOSPC leaves behind.
+    FileSizeLimit limit{good + 8};
+    EXPECT_FALSE(writer->append(2, std::vector<std::uint8_t>(64, 0x22)));
+  }
+
+  // The torn bytes were rolled back: the writer stays usable and the next
+  // append lands directly after the last good record, not behind garbage
+  // that would make readers stop early and recovery drop it.
+  EXPECT_FALSE(writer->poisoned());
+  EXPECT_EQ(writer->bytes_written(), good);
+  EXPECT_EQ(file_size(path), good);
+  EXPECT_TRUE(writer->append(3, std::vector<std::uint8_t>(16, 0x33)));
+  writer->close();
+
+  const auto result = read_frames(path, "TESTMAG1");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.truncated_tail);
+  ASSERT_EQ(result.frames.size(), 2u);
+  EXPECT_EQ(result.frames[0].type, 1);
+  EXPECT_EQ(result.frames[1].type, 3);
 }
 
 TEST(PersistFraming, CorruptedByteInvalidatesTheTail) {
@@ -278,6 +373,37 @@ TEST(PersistOpLog, AppendAndReplay) {
   op.kind = OpKind::kRemoveVip;
   op.vip = Ipv4Address{100, 0, 0, 1};
   EXPECT_EQ(log->append(op).value_or(0), 6u);
+}
+
+TEST(PersistOpLog, FailedAppendBurnsItsSeqSoReplayKeepsLaterOps) {
+  TempDir dir;
+  const std::string path = dir.path() + "/oplog.duet";
+  auto log = OpLog::open(path, FsyncPolicy::kNone, /*next_seq=*/1);
+  ASSERT_TRUE(log.has_value());
+  Op op;
+  op.kind = OpKind::kAddVip;
+  op.vip = Ipv4Address{100, 0, 0, 1};
+  op.addrs = {Ipv4Address{10, 0, 0, 1}.value()};
+  ASSERT_EQ(log->append(op).value_or(0), 1u);
+
+  {
+    FileSizeLimit limit{log->bytes_written() + 4};
+    EXPECT_FALSE(log->append(op).has_value());
+  }
+
+  // The failed append consumed seq 2: were it re-stamped on the next op,
+  // a half-flushed first record could shadow the acknowledged one at replay
+  // (duplicates are dropped by seq). Gaps are fine — replay only needs
+  // monotonic seqs.
+  EXPECT_EQ(log->next_seq(), 3u);
+  op.vip = Ipv4Address{100, 0, 0, 2};
+  EXPECT_EQ(log->append(op).value_or(0), 3u);
+
+  const auto replay = replay_ops(path);
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  ASSERT_EQ(replay.ops.size(), 2u);
+  EXPECT_EQ(replay.ops[0].seq, 1u);
+  EXPECT_EQ(replay.ops[1].seq, 3u);
 }
 
 // --- random op sequences (shared by the property tests) -----------------------
@@ -562,6 +688,30 @@ TEST(PersistRecovery, CleanShutdownRecoversIdentically) {
   EXPECT_EQ(encode_state(reopened->controller()), before);
 }
 
+TEST(PersistRecovery, BootsFromOpLogTornBeforeTheMagicStamp) {
+  const auto fabric = build_fattree(FatTreeParams::scaled(2, 4, 2));
+  const DuetConfig config;
+  for (const std::string stamp : {"", "DUETO"}) {  // 0-byte file, torn magic
+    TempDir dir;
+    StoreOptions so;
+    so.dir = dir.path();
+    // kill -9 between open(O_CREAT) and the magic write leaves exactly this
+    // file behind; boot must repair it, not demand manual removal.
+    {
+      std::ofstream f{dir.path() + "/oplog.duet", std::ios::binary};
+      f.write(stamp.data(), static_cast<std::streamsize>(stamp.size()));
+    }
+    std::string error;
+    auto store = PersistentController::open(fabric, config, FlowHasher{1}, 1, so, &error);
+    ASSERT_NE(store, nullptr) << "stamp '" << stamp << "': " << error;
+    Op deploy;
+    deploy.kind = OpKind::kDeploySmuxes;
+    deploy.aggregate = Ipv4Prefix{Ipv4Address{100, 0, 0, 0}, 8};
+    deploy.addrs = {fabric.tors.front(), fabric.tors.back()};
+    EXPECT_TRUE(store->apply(deploy));
+  }
+}
+
 // --- snapshot compaction bound ------------------------------------------------
 
 TEST(PersistSnapshot, ReplayLengthIsBoundedByOpsSinceLastSnapshot) {
@@ -646,6 +796,54 @@ TEST(PersistCtlProtocol, ClientReportsTransportFailureOnMissingSocket) {
   opts.backoff_ms = 10;
   CtlClient client{"/tmp/definitely-not-a-duetd.sock", opts};
   EXPECT_FALSE(client.request({"ping"}).has_value());
+}
+
+TEST(PersistCtlProtocol, HugeClaimedArgcIsRejectedNotAllocated) {
+  // A malformed frame claiming 4 billion args in a 4-byte payload must be
+  // rejected up front, not turned into a ~128 GB reserve() and a bad_alloc.
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);
+  const auto bytes = std::move(w).take();
+  EXPECT_FALSE(decode_request(bytes).has_value());
+}
+
+TEST(PersistCtlProtocol, DeliveredRequestIsNeverResent) {
+  TempDir dir;
+  const std::string sock = dir.path() + "/ctl.sock";
+  std::string error;
+  const int listen_fd = ctl_listen(sock, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  // A server that receives the request and then loses the reply: every
+  // accepted connection stands for one (possibly applied) delivery.
+  std::atomic<int> accepted{0};
+  std::atomic<bool> stop{false};
+  std::thread server{[&] {
+    while (!stop.load()) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      ++accepted;
+      (void)ctl_recv_frame(fd, 200);  // read the request fully, reply never comes
+      ::close(fd);
+    }
+  }};
+
+  CtlClientOptions opts;
+  opts.connect_timeout_ms = 200;
+  opts.request_timeout_ms = 200;
+  opts.retries = 3;  // must cover connect/send only, never a delivered request
+  opts.backoff_ms = 1;
+  CtlClient client{sock, opts};
+  EXPECT_FALSE(client.request({"add-vip", "100.0.3.1", "10.0.0.1"}).has_value());
+
+  stop.store(true);
+  server.join();
+  ::close(listen_fd);
+  // At-most-once: the mutation was delivered exactly once; a retrying client
+  // would have shown 4 connections (and risked double-apply on the daemon).
+  EXPECT_EQ(accepted.load(), 1);
 }
 
 // --- daemon -------------------------------------------------------------------
