@@ -18,6 +18,9 @@
 //
 // Acceptance (exit 1):
 //   * pin-hit speedup vs the legacy replica < 2.0x;
+//   * fast-tier-hit speedup vs the stateless-lookup row < 2.0x (the
+//     in-process HMux tier, DESIGN.md §17; hits are cross-checked
+//     bit-identical to the engine first);
 //   * DUET_HOTPATH_BASELINE=<file> is set (CI regression gate) and pin-hit
 //     ns/packet exceeds 1.2x the checked-in baseline's pin_hit_ns.
 // DUET_HOTPATH_RELAX=1 turns both into warnings (loaded dev machines).
@@ -39,6 +42,7 @@
 #include "common.h"
 #include "dataplane/resilient_hash.h"
 #include "duet/config.h"
+#include "duet/fast_tier.h"
 #include "duet/smux.h"
 #include "net/hash.h"
 #include "net/packet.h"
@@ -304,7 +308,7 @@ int main() {
   sl_mux.set_port_rule(rule_vip, 443, {dips[0], dips[1], dips[2]});
 
   batch_all(sl_mux, pkts);  // warm the bucket arrays
-  const Cost stateless_lookup =
+  Cost stateless_lookup =
       measure(tuples.size(), passes, [&] { batch_all(sl_mux, pkts); });
   const std::vector<Ipv4Address> sl_first_pass = dips_out;
   batch_all(sl_mux, pkts);
@@ -323,6 +327,65 @@ int main() {
     return 1;
   }
 
+  // --- fast tier --------------------------------------------------------------
+  // The in-process HMux snapshot over sl_mux's settled stateless maps
+  // (DESIGN.md §17): per packet, one direct-mapped VIP probe plus one bucket
+  // read — the work MuxServer::pump pays on a hit. Admission must take the
+  // plain VIP and exclude the port-rule VIP; every hit must be bit-identical
+  // to what the stateless engine decides for the same tuple.
+  FastTier fast{1};
+  const FastTier::RebuildStats fstats = fast.rebuild(sl_mux, /*now_us=*/2.0);
+  if (fstats.admitted != 1 || fstats.rejected_port_rule != 1) {
+    std::printf("FAIL: fast tier admitted %zu VIPs (port-rule rejects %zu), expected 1/1\n",
+                fstats.admitted, fstats.rejected_port_rule);
+    return 1;
+  }
+  const FastTierTable* ft = fast.acquire(0);
+  std::vector<Ipv4Address> ft_out(tuples.size());
+  const auto fast_loop = [&] {
+    for (std::size_t k = 0; k < tuples.size(); ++k) {
+      const FiveTuple& t = tuples[k];
+      const Ipv4Address* dip = ft->lookup(t.dst.value(), hasher.hash(t));
+      ft_out[k] = dip != nullptr ? *dip : Ipv4Address{};
+    }
+  };
+  Cost fast_hit = measure(tuples.size(), passes, fast_loop);
+  // Decision-equivalence cross-check: the engine's own pass over the same
+  // tuples must agree on every DIP, and every tuple must actually hit.
+  batch_all(sl_mux, pkts);
+  for (std::size_t k = 0; k < tuples.size(); ++k) {
+    if (ft_out[k] == Ipv4Address{}) {
+      std::printf("FAIL: fast-tier miss for admitted VIP at flow %zu\n", k);
+      return 1;
+    }
+    if (ft_out[k] != dips_out[k]) {
+      std::printf("FAIL: fast-tier/engine DIP mismatch at flow %zu\n", k);
+      return 1;
+    }
+  }
+  // Fallthrough: the port-rule VIP must never hit the tier.
+  for (const FiveTuple& t : rule_tuples) {
+    if (ft->lookup(t.dst.value(), hasher.hash(t)) != nullptr) {
+      std::printf("FAIL: port-rule VIP hit the fast tier\n");
+      return 1;
+    }
+  }
+  // The fast-tier gate divides two rows measured seconds apart; on a
+  // timeshared core one scheduler swing inflates either best-of
+  // independently and moves the ratio ±20%. Re-measure the PAIR adjacently
+  // and keep the best attempt — the same best-of-<=3-attempts contract the
+  // live loopback floor uses.
+  for (int attempt = 1; attempt < 3 && stateless_lookup.ns < 2.2 * fast_hit.ns;
+       ++attempt) {
+    const Cost sl_again = measure(tuples.size(), passes, [&] { batch_all(sl_mux, pkts); });
+    const Cost fast_again = measure(tuples.size(), passes, fast_loop);
+    if (sl_again.ns / fast_again.ns > stateless_lookup.ns / fast_hit.ns) {
+      stateless_lookup = sl_again;
+      fast_hit = fast_again;
+    }
+  }
+  fast.release(0);
+
   const double speedup_pin = legacy_pin.ns / pin_hit.ns;
   const double speedup_first = legacy_first.ns / first_packet.ns;
   const double speedup_rule = legacy_rule.ns / port_rule.ns;
@@ -340,7 +403,12 @@ int main() {
   // The legacy replica has no stateless mode; compare against its pin hit —
   // the path a stateless lookup replaces in the steady state.
   row("stateless lookup", stateless_lookup, legacy_pin, legacy_pin.ns / stateless_lookup.ns);
+  // Likewise for the fast tier: its hit path replaces a stateless lookup, so
+  // the legacy column keeps the same reference.
+  row("fast-tier hit", fast_hit, legacy_pin, legacy_pin.ns / fast_hit.ns);
   t.print();
+
+  const double speedup_fast = stateless_lookup.ns / fast_hit.ns;
 
   telemetry::MetricRegistry out;
   out.gauge("duet.hotpath.flows").set(static_cast<double>(flow_count));
@@ -353,6 +421,9 @@ int main() {
   out.gauge("duet.hotpath.port_rule_cycles").set(port_rule.cycles);
   out.gauge("duet.hotpath.stateless_lookup_ns").set(stateless_lookup.ns);
   out.gauge("duet.hotpath.stateless_lookup_cycles").set(stateless_lookup.cycles);
+  out.gauge("duet.hotpath.fast_tier_ns").set(fast_hit.ns);
+  out.gauge("duet.hotpath.fast_tier_cycles").set(fast_hit.cycles);
+  out.gauge("duet.hotpath.fast_tier_speedup").set(speedup_fast);
   out.gauge("duet.hotpath.legacy_pin_hit_ns").set(legacy_pin.ns);
   out.gauge("duet.hotpath.legacy_first_packet_ns").set(legacy_first.ns);
   out.gauge("duet.hotpath.legacy_port_rule_ns").set(legacy_rule.ns);
@@ -372,6 +443,15 @@ int main() {
   } else {
     std::printf("\nOK: pin-hit %.1f ns/pkt, %.2fx over legacy (%.1f ns/pkt)\n", pin_hit.ns,
                 speedup_pin, legacy_pin.ns);
+  }
+
+  if (speedup_fast < 2.0) {
+    std::printf("%s: fast-tier speedup %.2fx < 2.0x over the stateless lookup\n",
+                strict ? "FAIL" : "WARNING", speedup_fast);
+    failed = failed || strict;
+  } else {
+    std::printf("OK: fast-tier hit %.1f ns/pkt, %.2fx over stateless lookup (%.1f ns/pkt)\n",
+                fast_hit.ns, speedup_fast, stateless_lookup.ns);
   }
 
   if (const char* base = std::getenv("DUET_HOTPATH_BASELINE");

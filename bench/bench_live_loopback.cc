@@ -1,6 +1,7 @@
 // BENCH_live — the live runtime (duetd + duetload) on loopback.
 //
-// Two phases over one MuxServer + FakeDipPool deployment:
+// Two phases over one MuxServer + FakeDipPool deployment, plus an optional
+// aggregate multi-worker phase (phase 3) over a second deployment:
 //   (1) closed loop: windowed request/response with full per-packet
 //       accounting — the RTT histogram (duet.loadgen.rtt_us) is complete,
 //       so the latency percentiles are trustworthy;
@@ -28,13 +29,25 @@
 // default (shared CI machines can't promise cycles); DUET_LIVE_STRICT=1
 // makes it exit 1 — the CI perf-smoke leg's acceptance gate.
 //
+// Phase 3 (aggregate): a second deployment — stateless engine so the
+// in-process fast tier serves, pin_cpus workers behind one SO_REUSEPORT
+// group, DUET_LIVE_AGG_GENS paced generators running concurrently — gated
+// on >= DUET_LIVE_AGG_MIN_PPS (default 1 Mpps) AGGREGATE send rate, the
+// paper's scale-out claim (§5.2: capacity grows linearly with SMux count).
+// The phase SKIPS (exit 0) without batched io or enough CPUs for
+// workers + generators + the echo pool; below-floor is a warning unless
+// DUET_LIVE_AGG_STRICT=1. Corruption in any phase always fails.
+//
 // Env knobs: DUET_LIVE_SECONDS, DUET_LIVE_PPS, DUET_LIVE_MIN_PPS,
 // DUET_LIVE_WORKERS, DUET_LIVE_ATTEMPTS, DUET_LIVE_STRICT,
-// DUET_BENCH_QUICK (halves both phases).
+// DUET_LIVE_AGG_{WORKERS,GENS,PPS,MIN_PPS,SECONDS,ATTEMPTS,STRICT},
+// DUET_BENCH_QUICK (halves the phases).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common.h"
@@ -87,6 +100,8 @@ int main() {
   runtime::MuxServer mux{mo, DuetConfig{}};
   runtime::FakeDipPool dips;
   std::vector<Ipv4Address> vips;
+  std::vector<std::vector<Ipv4Address>> pools;  // per-VIP, reused by phase 3
+  std::vector<std::pair<Ipv4Address, runtime::Endpoint>> dip_endpoints;
   for (std::size_t v = 0; v < 2; ++v) {
     const Ipv4Address vip{static_cast<std::uint32_t>((100u << 24) + 256 * v + 1)};
     std::vector<Ipv4Address> pool;
@@ -98,9 +113,11 @@ int main() {
         return 0;
       }
       mux.map_dip(dip, *at);
+      dip_endpoints.emplace_back(dip, *at);
       pool.push_back(dip);
     }
-    mux.set_vip(vip, std::move(pool));
+    mux.set_vip(vip, pool);
+    pools.push_back(std::move(pool));
     vips.push_back(vip);
   }
   if (!dips.start() || !mux.start()) {
@@ -171,6 +188,122 @@ int main() {
 
   mux.shutdown();
   mux.join();
+
+  // Phase 3: aggregate multi-worker throughput — the multi-Mpps claim. A
+  // SECOND deployment over the same echo DIPs: stateless engine (so the
+  // in-process fast tier serves the steady state, DESIGN.md §17), pinned
+  // SO_REUSEPORT workers, several paced generators running concurrently.
+  // Aggregate pps = sum of the generators' send rates. Like phase 2 the
+  // floor is a CAPABILITY gate (best-of-attempts, warning unless
+  // DUET_LIVE_AGG_STRICT=1); unlike phase 2 it also needs cores — with
+  // fewer than workers + generators + 1 CPUs the phase SKIPS (exit 0):
+  // timesharing that deployment on a laptop measures the scheduler, not
+  // the mux. Corruption in any attempt still fails hard.
+  const auto agg_workers = static_cast<std::size_t>(env_or("DUET_LIVE_AGG_WORKERS", 4));
+  const auto agg_gens = static_cast<std::size_t>(env_or("DUET_LIVE_AGG_GENS", 2));
+  const double agg_pps = env_or("DUET_LIVE_AGG_PPS", 1.6e6);
+  const double agg_min_pps = env_or("DUET_LIVE_AGG_MIN_PPS", 1e6);
+  const double agg_duration_s = env_or("DUET_LIVE_AGG_SECONDS", duration_s);
+  const auto agg_attempts_max = std::max<std::size_t>(
+      1, static_cast<std::size_t>(env_or("DUET_LIVE_AGG_ATTEMPTS", 3)));
+  const char* agg_strict_env = std::getenv("DUET_LIVE_AGG_STRICT");
+  const bool agg_strict =
+      agg_strict_env != nullptr && agg_strict_env[0] != '\0' && agg_strict_env[0] != '0';
+  const auto agg_cpus_needed = static_cast<std::size_t>(env_or(
+      "DUET_LIVE_AGG_MIN_CPUS", static_cast<double>(agg_workers + agg_gens + 1)));
+
+  double agg_best_pps = 0.0;
+  std::uint64_t agg_violations = 0;
+  std::uint64_t agg_parse_failures = 0;
+  std::uint64_t agg_fast_hits = 0;
+  std::uint64_t agg_fast_misses = 0;
+  std::size_t agg_attempts = 0;
+  bool agg_ran = false;
+  bool agg_decision_bug = false;
+  if (!runtime::kBatchIoAvailable) {
+    std::printf("\nphase 3: SKIP aggregate — no batched io on this platform\n");
+  } else if (runtime::online_cpus() < agg_cpus_needed) {
+    std::printf("\nphase 3: SKIP aggregate — %zu CPUs online, need >= %zu "
+                "(%zu workers + %zu generators + dips)\n",
+                runtime::online_cpus(), agg_cpus_needed, agg_workers, agg_gens);
+  } else {
+    DuetConfig agg_cfg;
+    agg_cfg.smux_engine = SmuxEngine::kStateless;
+    runtime::MuxServerOptions amo;
+    amo.workers = agg_workers;
+    amo.pin_cpus = true;
+    amo.hasher = hasher;
+    runtime::MuxServer agg_mux{amo, agg_cfg};
+    for (const auto& [dip, at] : dip_endpoints) agg_mux.map_dip(dip, at);
+    for (std::size_t v = 0; v < vips.size(); ++v) agg_mux.set_vip(vips[v], pools[v]);
+    if (!agg_mux.start()) {
+      std::printf("\nphase 3: SKIP aggregate — could not start the pinned deployment\n");
+    } else {
+      agg_ran = true;
+      std::printf("\nphase 3: aggregate, %zu pinned workers, %zu generators, "
+                  "%.0f pps offered for %.1f s, best of <= %zu\n",
+                  agg_workers, agg_gens, agg_pps, agg_duration_s, agg_attempts_max);
+      runtime::LoadGenOptions agg_opts;
+      agg_opts.target = agg_mux.listen_endpoint();
+      agg_opts.sockets = 2;
+      agg_opts.packet_bytes = 128;
+      agg_opts.pps = agg_pps / static_cast<double>(agg_gens);
+      agg_opts.duration_s = agg_duration_s;
+      for (std::size_t a = 0; a < agg_attempts_max; ++a) {
+        std::vector<std::unique_ptr<runtime::LoadGenerator>> gens;
+        std::vector<std::vector<FiveTuple>> gen_flows;
+        bool bound = true;
+        for (std::size_t g = 0; g < agg_gens; ++g) {
+          auto gen = std::make_unique<runtime::LoadGenerator>(agg_opts);
+          if (!gen->init()) {
+            bound = false;
+            break;
+          }
+          gen_flows.push_back(gen->make_flows(vips, 256));
+          gens.push_back(std::move(gen));
+        }
+        if (!bound) {
+          std::printf("  attempt %zu: SKIP — could not bind generator sockets\n", a + 1);
+          break;
+        }
+        std::vector<runtime::LoadReport> reports(agg_gens);
+        std::vector<std::thread> threads;
+        threads.reserve(agg_gens);
+        for (std::size_t g = 0; g < agg_gens; ++g) {
+          threads.emplace_back([&, g] { reports[g] = gens[g]->run_open(gen_flows[g]); });
+        }
+        for (auto& th : threads) th.join();
+        ++agg_attempts;
+        double sum_pps = 0.0;
+        for (const auto& r : reports) {
+          sum_pps += r.send_pps;
+          agg_violations += r.integrity_failures + r.remap_violations;
+        }
+        std::printf("  attempt %zu: aggregate %.0f pps\n", a + 1, sum_pps);
+        agg_best_pps = std::max(agg_best_pps, sum_pps);
+        if (agg_best_pps >= agg_min_pps) break;  // capability shown; stop early
+      }
+      agg_mux.shutdown();
+      agg_mux.join();
+      agg_parse_failures = agg_mux.metrics().counter("duet.runtime.parse_failures").value();
+      agg_fast_hits = agg_mux.metrics().counter("duet.runtime.fast_tier.hits").value();
+      agg_fast_misses = agg_mux.metrics().counter("duet.runtime.fast_tier.misses").value();
+      const auto agg_tx = agg_mux.metrics().counter("duet.runtime.tx_packets").value();
+      // Both VIPs are plain stateless pools, so the tier must admit them and
+      // serve essentially every packet; a zero here is a decision-path bug
+      // (tier never engaged), not machine variance.
+      if (agg_tx > 0 && agg_fast_hits == 0) {
+        std::printf("  FAIL: fast tier served 0 of %llu forwarded packets\n",
+                    static_cast<unsigned long long>(agg_tx));
+        agg_decision_bug = true;
+      } else if (agg_tx > 0) {
+        std::printf("  fast tier served %llu hits / %llu misses\n",
+                    static_cast<unsigned long long>(agg_fast_hits),
+                    static_cast<unsigned long long>(agg_fast_misses));
+      }
+    }
+  }
+
   dips.shutdown();
   dips.join();
 
@@ -206,21 +339,44 @@ int main() {
     out.gauge("duet.live.rtt_p50_us").set(rtt->percentile(50));
     out.gauge("duet.live.rtt_p99_us").set(rtt->percentile(99));
   }
+  out.gauge("duet.live.agg_ran").set(agg_ran ? 1.0 : 0.0);
+  out.gauge("duet.live.agg_workers").set(static_cast<double>(agg_workers));
+  out.gauge("duet.live.agg_generators").set(static_cast<double>(agg_gens));
+  out.gauge("duet.live.agg_offered_pps").set(agg_pps);
+  out.gauge("duet.live.agg_floor_pps").set(agg_min_pps);
+  out.gauge("duet.live.agg_attempts").set(static_cast<double>(agg_attempts));
+  out.gauge("duet.live.agg_send_pps").set(agg_best_pps);
+  out.gauge("duet.live.agg_fast_tier_hits").set(static_cast<double>(agg_fast_hits));
+  out.gauge("duet.live.agg_fast_tier_misses").set(static_cast<double>(agg_fast_misses));
   bench::export_bench_json("live", out);
 
-  const auto corrupted =
-      parse_failures + closed.integrity_failures + closed.remap_violations + open_violations;
+  const auto corrupted = parse_failures + closed.integrity_failures + closed.remap_violations +
+                         open_violations + agg_parse_failures + agg_violations;
   if (corrupted != 0) {
     std::printf("\nFAIL: %llu corrupted/remapped packets on the wire\n",
                 static_cast<unsigned long long>(corrupted));
     return 1;
   }
+  if (agg_decision_bug) return 1;
+  bool failed = false;
   if (open.send_pps < min_pps) {
     std::printf("\n%s: sustained %.0f pps < %.0f floor%s\n", strict ? "FAIL" : "WARNING",
                 open.send_pps, min_pps, strict ? "" : " (machine load?)");
-    return strict ? 1 : 0;
+    failed = failed || strict;
+  } else {
+    std::printf("\nOK: sustained %.0f pps >= %.0f floor, zero parse failures\n", open.send_pps,
+                min_pps);
   }
-  std::printf("\nOK: sustained %.0f pps >= %.0f floor, zero parse failures\n", open.send_pps,
-              min_pps);
-  return 0;
+  if (agg_ran && agg_attempts > 0) {
+    if (agg_best_pps < agg_min_pps) {
+      std::printf("%s: aggregate %.0f pps < %.0f floor across %zu workers%s\n",
+                  agg_strict ? "FAIL" : "WARNING", agg_best_pps, agg_min_pps, agg_workers,
+                  agg_strict ? "" : " (machine load?)");
+      failed = failed || agg_strict;
+    } else {
+      std::printf("OK: aggregate %.0f pps >= %.0f floor across %zu pinned workers\n",
+                  agg_best_pps, agg_min_pps, agg_workers);
+    }
+  }
+  return failed ? 1 : 0;
 }

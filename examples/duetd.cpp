@@ -21,6 +21,8 @@
 //   --seed S              flow-hash + assignment seed (default 1; must be
 //                         stable across restarts of one data dir)
 //   --duration S          exit (with a shutdown snapshot) after S seconds
+//   --pin-cpus            pin worker i to CPU (i mod online CPUs)
+//   --no-fast-tier        disable the in-process hot-VIP fast tier
 //
 // SIGTERM/SIGINT snapshot first, then drain — the next boot replays zero
 // ops. SIGKILL recovery replays the op log instead; both land in the same
@@ -46,7 +48,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: duetd --dir PATH [--socket PATH] [--port P] [--workers N]\n"
                "             [--fsync none|every] [--snapshot-every N]\n"
-               "             [--engine stateful|stateless] [--seed S] [--duration S]\n");
+               "             [--engine stateful|stateless] [--seed S] [--duration S]\n"
+               "             [--pin-cpus] [--no-fast-tier]\n");
   return 2;
 }
 
@@ -55,9 +58,19 @@ int usage() {
 int main(int argc, char** argv) {
   persist::DuetdOptions opts;
   double duration_s = 0.0;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    const char* value = argv[i + 1];
+    // Valueless flags first; everything else is a key/value pair.
+    if (key == "--pin-cpus") {
+      opts.pin_cpus = true;
+      continue;
+    }
+    if (key == "--no-fast-tier") {
+      opts.fast_tier = false;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    const char* value = argv[++i];
     if (key == "--dir") {
       opts.data_dir = value;
     } else if (key == "--socket") {

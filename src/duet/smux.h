@@ -93,6 +93,18 @@ class Smux {
   bool has_vip(Ipv4Address vip) const { return vips_.contains(vip); }
   std::size_t vip_count() const noexcept { return vips_.size(); }
 
+  // Control-path pool iteration (unspecified order — FlatTable). The fast
+  // tier's rebuild (duet/fast_tier.h) snapshots the hot-VIP set through
+  // these; nothing order-dependent may consume them.
+  template <typename F>
+  void for_each_vip(F&& fn) const {
+    vips_.for_each(fn);  // fn(Ipv4Address vip, const VipPool& pool)
+  }
+  template <typename F>
+  void for_each_port_rule(F&& fn) const {
+    port_rules_.for_each(fn);  // fn(std::uint64_t pool_id, const VipPool& pool)
+  }
+
   // --- engine selection -------------------------------------------------------
   // The engine deciding a VIP's flows: the per-VIP override if set, else the
   // DuetConfig::smux_engine default. Overrides survive remove_vip (the VIP

@@ -51,6 +51,11 @@ enum class OpKind : std::uint8_t {
   kSwitchFailure = 11,   // sw
   kSmuxFailure = 12,     // sw = smux id
   kMigrateVip = 13,      // vip, sw = target (kInvalidSwitch = to SMux pool)
+  // Runtime directive, not controller state: duetd re-snapshots the serving
+  // workers' in-process fast tier (MuxServer::rebuild_fast_tier). addrs
+  // records the hot-VIP set admitted at journal time so recovery can rebuild
+  // the same tier after replay; the controller itself applies it as a no-op.
+  kFastTierRebuild = 14,  // addrs = admitted hot VIPs
 };
 
 const char* to_string(OpKind kind) noexcept;

@@ -1,7 +1,10 @@
 #include "runtime/mux_server.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "duet/fast_tier.h"
 #include "duet/smux.h"
 #include "exec/thread_pool.h"
 #include "net/wire.h"
@@ -10,6 +13,21 @@
 #include "util/logging.h"
 
 namespace duet::runtime {
+
+namespace {
+
+// One single-writer serving counter: the owning worker is the only writer
+// (plain load+store, no lock-prefixed RMW on the hot path); the stats tick
+// on worker 0 reads it with one relaxed load.
+struct StatCell {
+  std::atomic<std::uint64_t> v{0};
+  void add(std::uint64_t n) noexcept {
+    v.store(v.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept { return v.load(std::memory_order_relaxed); }
+};
+
+}  // namespace
 
 struct MuxServer::PendingUpdate {
   enum class Kind : std::uint8_t { kSetVip, kRemoveVip, kMapDip };
@@ -28,6 +46,9 @@ struct MuxServer::Worker {
     pkts.reserve(batch);
     chosen.reserve(batch);
     rx_index.reserve(batch);
+    miss_pkts.reserve(batch);
+    miss_pos.reserve(batch);
+    miss_chosen.reserve(batch);
   }
 
   std::size_t index;
@@ -42,6 +63,34 @@ struct MuxServer::Worker {
   std::vector<Packet> pkts;
   std::vector<Ipv4Address> chosen;
   std::vector<std::uint32_t> rx_index;
+  // Fast-tier miss scatter/gather scratch: the cold remainder of a batch
+  // (packets the snapshot cannot decide) and where each lands in `chosen`.
+  std::vector<Packet> miss_pkts;
+  std::vector<std::uint32_t> miss_pos;
+  std::vector<Ipv4Address> miss_chosen;
+
+  // This worker's fast tier (DESIGN.md §17), snapshotting this worker's own
+  // Smux replica: settledness is per-replica state, so the table must be
+  // built from — and on the tick thread of — the replica it fronts.
+  FastTier fast{1};
+  bool fast_dirty = true;         // VIP churn since the last snapshot
+  std::uint64_t fast_seen_seq = 0;  // last rebuild_fast_tier() clock applied
+
+  // Lock-free serving counters, this worker the only writer (one cache
+  // line; see StatCell). The interval-stats tick and worker_stats() read
+  // these; the shared registry is only fed folded deltas on the tick.
+  struct alignas(64) HotStats {
+    StatCell rx_packets, rx_bytes, tx_packets, tx_bytes, rx_batches;
+    StatCell parse_failures, unmapped_dip, tx_drops;
+    StatCell fast_hits, fast_misses;
+  } stats;
+  // Registry-fold bookkeeping (worker thread only): what has already been
+  // pushed into the shared counters.
+  struct Folded {
+    std::uint64_t rx_packets = 0, rx_bytes = 0, tx_packets = 0, tx_bytes = 0;
+    std::uint64_t rx_batches = 0, parse_failures = 0, unmapped_dip = 0, tx_drops = 0;
+    std::uint64_t fast_hits = 0, fast_misses = 0, fast_rebuilds = 0;
+  } folded;
 
   // This worker's own DIP→endpoint map. Unshared, so pump() reads it without
   // synchronization; live changes arrive through the pending queue below and
@@ -61,6 +110,9 @@ MuxServer::MuxServer(MuxServerOptions options, DuetConfig config)
   tm_unmapped_dip_ = &registry_.counter("duet.runtime.unmapped_dip");
   tm_tx_drops_ = &registry_.counter("duet.runtime.tx_drops");
   tm_rx_batches_ = &registry_.counter("duet.runtime.rx_batches");
+  tm_fast_hits_ = &registry_.counter("duet.runtime.fast_tier.hits");
+  tm_fast_misses_ = &registry_.counter("duet.runtime.fast_tier.misses");
+  tm_fast_rebuilds_ = &registry_.counter("duet.runtime.fast_tier.rebuilds");
   tm_batch_fill_ = &registry_.histogram(
       "duet.runtime.batch_fill", telemetry::Histogram::exponential_bounds(1.0, 1024.0, 11));
 }
@@ -104,15 +156,22 @@ void MuxServer::drain_updates(Worker& worker) {
     switch (u.kind) {
       case PendingUpdate::Kind::kSetVip:
         worker.smux.set_vip(u.vip, u.dips, u.weights);
+        worker.fast_dirty = true;  // snapshot is stale until re-admitted
         break;
       case PendingUpdate::Kind::kRemoveVip:
         worker.smux.remove_vip(u.vip);
+        worker.fast_dirty = true;
         break;
       case PendingUpdate::Kind::kMapDip:
-        worker.dip_map.insert(u.dip, u.at);
+        worker.dip_map.insert(u.dip, u.at);  // post-decision; tier unaffected
         break;
     }
   }
+}
+
+void MuxServer::rebuild_fast_tier() {
+  fast_rebuild_seq_.fetch_add(1, std::memory_order_acq_rel);
+  for (const auto& worker : workers_) worker->loop.wake();
 }
 
 void MuxServer::apply_vip_update(Ipv4Address vip, std::vector<Ipv4Address> dips,
@@ -173,6 +232,11 @@ bool MuxServer::start() {
   if (running()) return false;
   workers_.clear();
   stop_.store(false, std::memory_order_release);
+
+  // Env override for deployments that cannot edit options (benches, CI).
+  if (const char* pin = std::getenv("DUET_CPU_PIN"); pin != nullptr && *pin != '\0') {
+    opts_.pin_cpus = std::strcmp(pin, "0") != 0;
+  }
 
   const std::size_t n = opts_.workers < 1 ? 1 : opts_.workers;
   const bool shard = n > 1;
@@ -243,8 +307,60 @@ double MuxServer::now_us() const {
       .count();
 }
 
+void MuxServer::maybe_rebuild_fast(Worker& worker, double now) {
+  if (!opts_.fast_tier) return;
+  const std::uint64_t seq = fast_rebuild_seq_.load(std::memory_order_acquire);
+  if (!worker.fast_dirty && seq == worker.fast_seen_seq) return;
+  worker.fast_dirty = false;
+  worker.fast_seen_seq = seq;
+  // Off the serving path: this tick-thread build never races pump() on this
+  // worker (same thread), and the swap protocol covers external readers.
+  worker.fast.rebuild(worker.smux, now);
+}
+
+void MuxServer::fold_stats(Worker& worker) {
+  const auto fold = [](StatCell& cell, std::uint64_t& folded, telemetry::Counter* out) {
+    const std::uint64_t v = cell.get();
+    if (v != folded) {
+      out->inc(v - folded);
+      folded = v;
+    }
+  };
+  auto& s = worker.stats;
+  auto& f = worker.folded;
+  fold(s.rx_packets, f.rx_packets, tm_rx_packets_);
+  fold(s.rx_bytes, f.rx_bytes, tm_rx_bytes_);
+  fold(s.tx_packets, f.tx_packets, tm_tx_packets_);
+  fold(s.tx_bytes, f.tx_bytes, tm_tx_bytes_);
+  fold(s.rx_batches, f.rx_batches, tm_rx_batches_);
+  fold(s.parse_failures, f.parse_failures, tm_parse_failures_);
+  fold(s.unmapped_dip, f.unmapped_dip, tm_unmapped_dip_);
+  fold(s.tx_drops, f.tx_drops, tm_tx_drops_);
+  fold(s.fast_hits, f.fast_hits, tm_fast_hits_);
+  fold(s.fast_misses, f.fast_misses, tm_fast_misses_);
+  const std::uint64_t rebuilds = worker.fast.rebuilds();
+  if (rebuilds != f.fast_rebuilds) {
+    tm_fast_rebuilds_->inc(rebuilds - f.fast_rebuilds);
+    f.fast_rebuilds = rebuilds;
+  }
+}
+
 void MuxServer::serve(std::size_t index) {
   Worker& worker = *workers_[index];
+  if (opts_.pin_cpus) {
+    // Best-effort: a refused pin (non-Linux, sandboxed cpuset) serves
+    // unpinned — the fallback ISSUE'd for restricted environments.
+    if (!pin_thread_to_cpu(index % online_cpus())) {
+      DUET_LOG_INFO << "worker " << index << ": cpu pin unavailable, serving unpinned";
+    }
+  }
+  // First snapshot before any packet, so a stateless deployment serves its
+  // very first batch from the fast tier.
+  worker.fast_seen_seq = fast_rebuild_seq_.load(std::memory_order_acquire);
+  if (opts_.fast_tier) {
+    worker.fast_dirty = false;
+    worker.fast.rebuild(worker.smux, now_us());
+  }
   worker.loop.add(worker.sock.fd(), [this, &worker] { pump(worker, false); });
   worker.loop.run(stop_, opts_.tick_ms, [this, &worker] {
     // Control-plane changes land here, on the serving thread, between
@@ -253,7 +369,9 @@ void MuxServer::serve(std::size_t index) {
     // One clock read per tick; bounded incremental eviction (never a
     // full-table pass on the serving thread).
     const double now = now_us();
+    maybe_rebuild_fast(worker, now);
     worker.smux.expire_flows_step(now, opts_.evict_scan_slots);
+    fold_stats(worker);
     if (worker.index == 0) maybe_export_stats(now);
   });
   // Drain: serve whatever the kernel already queued, then exit. Each pump
@@ -263,6 +381,9 @@ void MuxServer::serve(std::size_t index) {
   while (std::chrono::steady_clock::now() < deadline) {
     if (pump(worker, true) == 0) break;
   }
+  // Final fold: after this the shared registry holds this worker's exact
+  // totals (join()'s quiescent-counters contract).
+  fold_stats(worker);
 }
 
 std::size_t MuxServer::pump(Worker& worker, bool draining) {
@@ -289,11 +410,46 @@ std::size_t MuxServer::pump(Worker& worker, bool draining) {
       worker.rx_index.push_back(static_cast<std::uint32_t>(i));
     }
 
-    // Decision pass: the whole batch through the SMux at once (prefetched
-    // flow lookups, batched counters). Unknown VIPs come back as 0.0.0.0
-    // and are counted by the smux's unknown_vip.
+    // Decision pass. The fast tier goes first: one direct-mapped probe per
+    // packet against the worker's hot-VIP snapshot (hits are bit-identical
+    // to the stateless engine's choice by construction — DESIGN.md §17);
+    // the cold remainder goes through Smux::process_batch unchanged
+    // (prefetched flow lookups, batched counters). Unknown VIPs come back
+    // as 0.0.0.0 and are counted by the smux's unknown_vip.
     worker.chosen.resize(worker.pkts.size());
-    worker.smux.process_batch(worker.pkts, worker.chosen, now);
+    std::uint64_t fast_hits = 0;
+    std::uint64_t fast_misses = 0;
+    const FastTierTable* fast = opts_.fast_tier ? worker.fast.acquire(0) : nullptr;
+    if (fast != nullptr && fast->empty()) {
+      worker.fast.release(0);
+      fast = nullptr;  // nothing admitted: skip the probe pass entirely
+    }
+    if (fast == nullptr) {
+      worker.smux.process_batch(worker.pkts, worker.chosen, now);
+    } else {
+      worker.miss_pkts.clear();
+      worker.miss_pos.clear();
+      for (std::size_t k = 0; k < worker.pkts.size(); ++k) {
+        const FiveTuple& t = worker.pkts[k].tuple();
+        const Ipv4Address* dip = fast->lookup(t.dst.value(), opts_.hasher.hash(t));
+        if (dip != nullptr) {
+          worker.chosen[k] = *dip;
+          ++fast_hits;
+        } else {
+          worker.miss_pos.push_back(static_cast<std::uint32_t>(k));
+          worker.miss_pkts.push_back(worker.pkts[k]);
+        }
+      }
+      worker.fast.release(0);
+      fast_misses = worker.miss_pkts.size();
+      if (!worker.miss_pkts.empty()) {
+        worker.miss_chosen.resize(worker.miss_pkts.size());
+        worker.smux.process_batch(worker.miss_pkts, worker.miss_chosen, now);
+        for (std::size_t j = 0; j < worker.miss_pkts.size(); ++j) {
+          worker.chosen[worker.miss_pos[j]] = worker.miss_chosen[j];
+        }
+      }
+    }
 
     // Encap + forward pass.
     worker.tx.clear();
@@ -325,21 +481,50 @@ std::size_t MuxServer::pump(Worker& worker, bool draining) {
     std::uint64_t tx_bytes = 0;
     for (std::size_t i = 0; i < sent; ++i) tx_bytes += worker.tx[i].len;
 
-    // One telemetry flush per batch.
-    tm_rx_batches_->inc();
+    // One telemetry flush per batch, into this worker's OWN cells (plain
+    // load+store, one unshared cache line — no cross-worker contention, no
+    // lock-prefixed RMW). The shared registry gets folded deltas on the
+    // tick (fold_stats); the batch-fill histogram keeps its shared record
+    // (one bucket increment per batch, not per packet).
+    auto& st = worker.stats;
+    st.rx_batches.add(1);
     tm_batch_fill_->record(static_cast<double>(n));
-    tm_rx_packets_->inc(n);
-    tm_rx_bytes_->inc(rx_bytes);
-    if (parse_failures > 0) tm_parse_failures_->inc(parse_failures);
-    if (unmapped > 0) tm_unmapped_dip_->inc(unmapped);
-    tm_tx_packets_->inc(sent);
-    tm_tx_bytes_->inc(tx_bytes);
+    st.rx_packets.add(n);
+    st.rx_bytes.add(rx_bytes);
+    if (parse_failures > 0) st.parse_failures.add(parse_failures);
+    if (unmapped > 0) st.unmapped_dip.add(unmapped);
+    st.tx_packets.add(sent);
+    st.tx_bytes.add(tx_bytes);
     const std::uint64_t tx_drops = encap_drops + (worker.tx.size() - sent);
-    if (tx_drops > 0) tm_tx_drops_->inc(tx_drops);
+    if (tx_drops > 0) st.tx_drops.add(tx_drops);
+    if (fast_hits > 0) st.fast_hits.add(fast_hits);
+    if (fast_misses > 0) st.fast_misses.add(fast_misses);
 
     if (n < worker.io.batch()) break;  // short read: the socket is drained
   }
   return total;
+}
+
+std::vector<MuxServer::WorkerStatsSnapshot> MuxServer::worker_stats() const {
+  std::vector<WorkerStatsSnapshot> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    const auto& s = worker->stats;
+    WorkerStatsSnapshot w;
+    w.rx_packets = s.rx_packets.get();
+    w.rx_bytes = s.rx_bytes.get();
+    w.tx_packets = s.tx_packets.get();
+    w.tx_bytes = s.tx_bytes.get();
+    w.rx_batches = s.rx_batches.get();
+    w.parse_failures = s.parse_failures.get();
+    w.unmapped_dip = s.unmapped_dip.get();
+    w.tx_drops = s.tx_drops.get();
+    w.fast_hits = s.fast_hits.get();
+    w.fast_misses = s.fast_misses.get();
+    w.fast_rebuilds = worker->fast.rebuilds();
+    out.push_back(w);
+  }
+  return out;
 }
 
 void MuxServer::maybe_export_stats(double now) {
@@ -347,23 +532,65 @@ void MuxServer::maybe_export_stats(double now) {
   const double interval_us = opts_.stats_interval_s * 1e6;
   if (now - last_stats_us_ < interval_us) return;
   const double dt_s = (now - last_stats_us_) / 1e6;
-  const std::uint64_t rx = tm_rx_packets_->value();
-  const std::uint64_t tx = tm_tx_packets_->value();
+  // Fan-in: one relaxed load per per-worker cell. The shared registry — and
+  // its snapshot mutex — is never touched on this path.
+  const std::vector<WorkerStatsSnapshot> per_worker = worker_stats();
+  WorkerStatsSnapshot total;
+  for (const WorkerStatsSnapshot& w : per_worker) {
+    total.rx_packets += w.rx_packets;
+    total.tx_packets += w.tx_packets;
+    total.parse_failures += w.parse_failures;
+    total.tx_drops += w.tx_drops;
+    total.fast_hits += w.fast_hits;
+    total.fast_misses += w.fast_misses;
+    total.fast_rebuilds += w.fast_rebuilds;
+  }
   if (opts_.print_stats) {
-    char line[160];
+    char line[200];
     std::snprintf(line, sizeof(line),
-                  "duetd t=%8.1fs  rx %10.0f pps  tx %10.0f pps  parse_fail %llu  tx_drops %llu",
-                  now / 1e6, static_cast<double>(rx - last_rx_) / dt_s,
-                  static_cast<double>(tx - last_tx_) / dt_s,
-                  static_cast<unsigned long long>(tm_parse_failures_->value()),
-                  static_cast<unsigned long long>(tm_tx_drops_->value()));
+                  "duetd t=%8.1fs  rx %10.0f pps  tx %10.0f pps  fast_hit %llu  "
+                  "parse_fail %llu  tx_drops %llu",
+                  now / 1e6, static_cast<double>(total.rx_packets - last_rx_) / dt_s,
+                  static_cast<double>(total.tx_packets - last_tx_) / dt_s,
+                  static_cast<unsigned long long>(total.fast_hits),
+                  static_cast<unsigned long long>(total.parse_failures),
+                  static_cast<unsigned long long>(total.tx_drops));
     DUET_LOG_INFO << line;
   }
   if (!opts_.stats_json_path.empty()) {
-    telemetry::JsonExporter::write_file(opts_.stats_json_path, "duetd", &registry_, nullptr);
+    // Light interval document straight from the per-worker cells, with one
+    // row per worker (`workers[i].rx/tx/fast_hits`); the full registry dump
+    // still lands at join() via JsonExporter.
+    std::FILE* f = std::fopen(opts_.stats_json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"source\": \"duetd\",\n  \"t_us\": %.0f,\n"
+                   "  \"rx_pps\": %.0f,\n  \"tx_pps\": %.0f,\n"
+                   "  \"fast_tier_hits\": %llu,\n  \"fast_tier_misses\": %llu,\n"
+                   "  \"fast_tier_rebuilds\": %llu,\n  \"workers\": [\n",
+                   now, static_cast<double>(total.rx_packets - last_rx_) / dt_s,
+                   static_cast<double>(total.tx_packets - last_tx_) / dt_s,
+                   static_cast<unsigned long long>(total.fast_hits),
+                   static_cast<unsigned long long>(total.fast_misses),
+                   static_cast<unsigned long long>(total.fast_rebuilds));
+      for (std::size_t i = 0; i < per_worker.size(); ++i) {
+        const WorkerStatsSnapshot& w = per_worker[i];
+        std::fprintf(f,
+                     "    {\"rx\": %llu, \"tx\": %llu, \"fast_hits\": %llu, "
+                     "\"fast_misses\": %llu, \"tx_drops\": %llu}%s\n",
+                     static_cast<unsigned long long>(w.rx_packets),
+                     static_cast<unsigned long long>(w.tx_packets),
+                     static_cast<unsigned long long>(w.fast_hits),
+                     static_cast<unsigned long long>(w.fast_misses),
+                     static_cast<unsigned long long>(w.tx_drops),
+                     i + 1 < per_worker.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+    }
   }
-  last_rx_ = rx;
-  last_tx_ = tx;
+  last_rx_ = total.rx_packets;
+  last_tx_ = total.tx_packets;
   last_stats_us_ = now;
 }
 

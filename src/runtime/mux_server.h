@@ -56,6 +56,15 @@ struct MuxServerOptions {
   // evictor (Smux::expire_flows_step). Bounds eviction work per tick so GC
   // never stalls a batch; the full table is cycled across successive ticks.
   std::size_t evict_scan_slots = 2048;
+  // In-process HMux fast tier (DESIGN.md §17): per-batch hot-VIP lookups
+  // before Smux::process_batch. Costs one direct-mapped probe per packet
+  // when nothing is admitted; admission is automatic (settled stateless
+  // VIPs only), so a stateful deployment behaves identically either way.
+  bool fast_tier = true;
+  // Pins worker i to CPU (i mod online CPUs) via pthread_setaffinity_np.
+  // Overridable by the DUET_CPU_PIN env var ("1"/"0"); a failed pin (no
+  // Linux, restricted sandbox) degrades to unpinned, never an error.
+  bool pin_cpus = false;
 
   FlowHasher hasher{};  // MUST match the reference sim's seed for equivalence
   Ipv4Address self{192, 0, 2, 100};  // outer encap source address
@@ -88,6 +97,10 @@ class MuxServer {
                         std::vector<std::uint32_t> weights = {});
   void apply_vip_removal(Ipv4Address vip);
   void apply_dip_map(Ipv4Address dip, Endpoint at);
+  // Requests a fast-tier re-snapshot on every worker (applied on the next
+  // tick, like the update queue). VIP changes trigger one implicitly; this
+  // is the explicit controller/duetd epoch push (kFastTierRebuild).
+  void rebuild_fast_tier();
 
   // --- lifecycle ------------------------------------------------------------
   // Binds the worker sockets and launches the serving threads. False when a
@@ -116,6 +129,24 @@ class MuxServer {
   // Summed across workers. Quiescent only after join().
   std::size_t flow_table_size() const;
 
+  // One worker's serving counters, snapshotted from its lock-free
+  // single-writer cells (each is one relaxed load; no mutex anywhere).
+  // Consistent totals require join(); live reads see per-cell-atomic values.
+  struct WorkerStatsSnapshot {
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_batches = 0;
+    std::uint64_t parse_failures = 0;
+    std::uint64_t unmapped_dip = 0;
+    std::uint64_t tx_drops = 0;
+    std::uint64_t fast_hits = 0;
+    std::uint64_t fast_misses = 0;
+    std::uint64_t fast_rebuilds = 0;
+  };
+  std::vector<WorkerStatsSnapshot> worker_stats() const;
+
   // The live deployment rendered in the auditor's data model: the worker
   // pool as a pure-software SMux fleet (no switches, every VIP on the SMux
   // list, backstopped by vip_aggregate). Capture after join(), mirroring
@@ -138,6 +169,12 @@ class MuxServer {
   void drain_updates(Worker& worker);
 
   void serve(std::size_t index);
+  // Re-snapshots the worker's fast tier when VIP churn or an explicit
+  // rebuild request made it stale. Tick-thread only.
+  void maybe_rebuild_fast(Worker& worker, double now);
+  // Pushes this worker's counter deltas into the shared registry (tick and
+  // final drain; never the per-batch path).
+  void fold_stats(Worker& worker);
   // Reads and forwards until the socket drains; returns the datagram count.
   // `draining` shortens the tx flush wait so shutdown cannot stall on a full
   // socket buffer.
@@ -156,6 +193,9 @@ class MuxServer {
   telemetry::Counter* tm_unmapped_dip_;
   telemetry::Counter* tm_tx_drops_;
   telemetry::Counter* tm_rx_batches_;
+  telemetry::Counter* tm_fast_hits_;
+  telemetry::Counter* tm_fast_misses_;
+  telemetry::Counter* tm_fast_rebuilds_;
   telemetry::Histogram* tm_batch_fill_;
 
   // Desired configuration (what start() seeds workers from and what
@@ -172,7 +212,13 @@ class MuxServer {
   std::thread runner_;
   std::chrono::steady_clock::time_point t0_;
 
-  // Interval-stats state; touched only by worker 0's tick.
+  // Fast-tier rebuild request clock: rebuild_fast_tier() bumps it, each
+  // worker's tick re-snapshots when its seen value lags.
+  std::atomic<std::uint64_t> fast_rebuild_seq_{0};
+
+  // Interval-stats state; touched only by worker 0's tick. The interval
+  // path reads ONLY the per-worker lock-free cells (one relaxed load each)
+  // — never the registry, whose snapshot views take a mutex.
   std::uint64_t last_rx_ = 0;
   std::uint64_t last_tx_ = 0;
   double last_stats_us_ = 0.0;

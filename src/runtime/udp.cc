@@ -21,9 +21,36 @@
 #define DUET_RUNTIME_HAVE_MMSG 0
 #endif
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace duet::runtime {
 
 const bool kBatchIoAvailable = DUET_RUNTIME_HAVE_MMSG != 0;
+
+std::size_t online_cpus() noexcept {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<std::size_t>(n) : 1;
+#else
+  return 1;
+#endif
+}
+
+bool pin_thread_to_cpu(std::size_t cpu) noexcept {
+#if defined(__linux__)
+  if (cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
 
 namespace {
 

@@ -33,6 +33,13 @@ namespace duet::runtime {
 // recvfrom/sendto fallback.
 extern const bool kBatchIoAvailable;
 
+// CPU affinity for the sharded-worker scale-out (MuxServerOptions::pin_cpus):
+// pins the CALLING thread to `cpu`. Returns false when pinning is
+// unsupported (non-Linux) or refused (sandboxed cpuset, cpu offline) —
+// callers degrade to unpinned, never fail. online_cpus() never returns 0.
+bool pin_thread_to_cpu(std::size_t cpu) noexcept;
+std::size_t online_cpus() noexcept;
+
 // A real (kernel-routable) UDP endpoint. Distinct from the SIMULATED
 // addresses inside the wire format: the runtime maps simulated DIP/client
 // addresses onto loopback endpoints (see MuxServer::map_dip).

@@ -222,6 +222,22 @@ void VersionedPoolMap::retire_unreferenced() {
   versions_.resize(kept);
 }
 
+std::size_t VersionedPoolMap::adopt_drained(double now_us) {
+  if (versions_.empty()) return 0;
+  const std::uint32_t newest = versions_.back()->epoch;
+  std::size_t flipped = 0;
+  for (std::size_t b = 0; b < stamp_.size(); ++b) {
+    if (stamp_[b] == newest) continue;
+    if (now_us - last_seen_us_[b] >= knobs_.drain_idle_us) {
+      stamp_[b] = newest;
+      ++stats_.adoptions;
+      ++flipped;
+    }
+  }
+  if (flipped > 0) retire_unreferenced();
+  return flipped;
+}
+
 std::vector<std::uint32_t> VersionedPoolMap::referenced_epochs() const {
   std::vector<std::uint32_t> epochs(stamp_.begin(), stamp_.end());
   std::sort(epochs.begin(), epochs.end());

@@ -122,6 +122,36 @@ class VersionedPoolMap {
   // Distinct epochs referenced by bucket stamps, ascending.
   std::vector<std::uint32_t> referenced_epochs() const;
 
+  // True when every bucket stamp references the newest version — the state
+  // in which lookup() degenerates to the pure expression
+  // `newest.owner[mix64(hash ^ salt) & mask]` (no adoption, no held
+  // version). The fast tier's admission predicate (duet/fast_tier.h).
+  bool settled() const noexcept {
+    if (versions_.empty()) return false;
+    const std::uint32_t newest = versions_.back()->epoch;
+    for (const std::uint32_t e : stamp_) {
+      if (e != newest) return false;
+    }
+    return true;
+  }
+
+  // Control-path drain sweep: flips every bucket whose drain window already
+  // expired to the newest version — exactly the adoption lookup() would
+  // perform lazily, done eagerly so an idle pool settles without a packet
+  // per bucket. Returns the buckets flipped (counted as adoptions).
+  std::size_t adopt_drained(double now_us);
+
+  // Refreshes every bucket's last-seen to `now_us`, postponing drain by a
+  // full idle window. The fast tier calls this on pools it had admitted:
+  // traffic it absorbed never stamped the map, so after churn every bucket
+  // must be presumed recently active (PCC-conservative).
+  void mark_all_seen(double now_us) noexcept {
+    for (double& t : last_seen_us_) t = now_us;
+  }
+
+  std::uint64_t salt() const noexcept { return salt_; }
+  std::size_t bucket_mask() const noexcept { return mask_; }
+
   std::size_t bucket_of(std::uint64_t flow_hash) const noexcept {
     return static_cast<std::size_t>(mix64(flow_hash ^ salt_)) & mask_;
   }

@@ -1,0 +1,233 @@
+// In-process HMux fast tier (DESIGN.md §17): bit-identity with the stateless
+// engine across sustained churn, the hazard-pointer swap protocol under
+// concurrent readers, and the admission taxonomy (what must stay cold).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "duet/config.h"
+#include "duet/fast_tier.h"
+#include "duet/smux.h"
+#include "net/hash.h"
+#include "net/packet.h"
+
+namespace duet {
+namespace {
+
+constexpr Ipv4Address kVip{100, 0, 0, 1};
+constexpr Ipv4Address kRuleVip{100, 0, 1, 1};
+
+std::vector<Ipv4Address> make_dips(std::size_t n, std::uint8_t net = 50) {
+  std::vector<Ipv4Address> dips;
+  for (std::size_t d = 0; d < n; ++d) {
+    dips.push_back(Ipv4Address{10, net, static_cast<std::uint8_t>((d >> 8) & 255),
+                               static_cast<std::uint8_t>(d & 255)});
+  }
+  return dips;
+}
+
+FiveTuple flow_tuple(std::size_t i, Ipv4Address dst = kVip) {
+  return FiveTuple{Ipv4Address{10, 1, static_cast<std::uint8_t>((i >> 8) & 255),
+                               static_cast<std::uint8_t>(i & 255)},
+                   dst, static_cast<std::uint16_t>(1024 + i % 60000), 80, IpProto::kTcp};
+}
+
+// ---------------------------------------------------------------------------
+// Twin drive: 1000 epochs of churn + rebuilds, every admitted answer must be
+// bit-identical to the stateless engine's decision for the same packet.
+// ---------------------------------------------------------------------------
+
+TEST(FastTier, TwinDriveBitIdenticalAcross1000Epochs) {
+  DuetConfig cfg;
+  cfg.smux_engine = SmuxEngine::kStateless;
+  cfg.stateless_drain_idle_us = 50.0;  // drains settle between epochs
+  const FlowHasher hasher{};
+  Smux mux(0, hasher, cfg);
+
+  mux.set_vip(kVip, make_dips(4));
+  // A port-rule VIP rides along the whole drive: it must never be admitted.
+  mux.set_vip(kRuleVip, make_dips(4, 60));
+  mux.set_port_rule(kRuleVip, 443, make_dips(2, 61));
+
+  constexpr std::size_t kFlows = 96;
+  std::vector<Packet> pkts;
+  std::vector<FiveTuple> tuples;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    tuples.push_back(flow_tuple(i));
+    pkts.emplace_back(tuples.back(), 64u);
+  }
+  std::vector<Ipv4Address> engine_out(kFlows);
+
+  FastTier fast{1};
+  const Ipv4Address churn_dip{10, 50, 9, 9};
+  bool churn_in = false;
+  std::size_t admitted_epochs = 0;
+  std::size_t compared = 0;
+
+  for (std::size_t epoch = 0; epoch < 1000; ++epoch) {
+    const double now = static_cast<double>(epoch) * 100.0;
+    // Mutate the hot pool every epoch: the map re-colors, drains, and the
+    // rebuild must only re-admit once it has settled again.
+    if (churn_in) {
+      mux.remove_dip(kVip, churn_dip);
+    } else {
+      mux.add_dip(kVip, churn_dip);
+    }
+    churn_in = !churn_in;
+
+    const FastTier::RebuildStats stats = fast.rebuild(mux, now);
+    EXPECT_EQ(stats.rejected_port_rule, 1u) << "epoch " << epoch;
+
+    const FastTierTable* table = fast.acquire(0);
+    ASSERT_NE(table, nullptr);
+    EXPECT_FALSE(table->admits(kRuleVip)) << "epoch " << epoch;
+    EXPECT_EQ(table->lookup(kRuleVip.value(), hasher.hash(flow_tuple(7, kRuleVip))),
+              nullptr)
+        << "epoch " << epoch;
+
+    if (table->admits(kVip)) {
+      ++admitted_epochs;
+      mux.process_batch({pkts.data(), kFlows}, {engine_out.data(), kFlows}, now);
+      for (std::size_t i = 0; i < kFlows; ++i) {
+        const Ipv4Address* dip = table->lookup(kVip.value(), hasher.hash(tuples[i]));
+        ASSERT_NE(dip, nullptr) << "epoch " << epoch << " flow " << i;
+        ASSERT_EQ(*dip, engine_out[i]) << "epoch " << epoch << " flow " << i;
+        ++compared;
+      }
+    }
+    fast.release(0);
+  }
+
+  // Non-vacuous: churn + settle must actually re-admit most epochs.
+  EXPECT_GT(admitted_epochs, 500u);
+  EXPECT_GT(compared, 500u * kFlows / 2);
+  EXPECT_GE(fast.rebuilds(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Swap protocol: readers looking up concurrently with installs must only ever
+// observe a fully built table (run under TSan to check the hazard protocol).
+// ---------------------------------------------------------------------------
+
+TEST(FastTier, ConcurrentLookupsDuringSwapsStayCoherent) {
+  constexpr std::size_t kReaders = 3;
+  constexpr std::uint32_t kMask = 63;
+  FastTier fast{kReaders};
+
+  const Ipv4Address dip_a{10, 70, 0, 1};
+  const Ipv4Address dip_b{10, 70, 0, 2};
+  const std::vector<Ipv4Address> owner_a(kMask + 1, dip_a);
+  const std::vector<Ipv4Address> owner_b(kMask + 1, dip_b);
+  const auto entries_for = [&](const std::vector<Ipv4Address>& owner, std::uint32_t epoch) {
+    FastTierTable::Entry e;
+    e.vip = kVip.value();
+    e.salt = 0x5a17ULL;
+    e.mask = kMask;
+    e.epoch = epoch;
+    e.owner = &owner;
+    return std::vector<FastTierTable::Entry>{e};
+  };
+
+  ASSERT_EQ(fast.install(entries_for(owner_a, 1)).admitted, 1u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL * (r + 1);
+      // do-while: at least one lookup per reader even if the builder's 2000
+      // installs complete before this thread is first scheduled (1-CPU box).
+      do {
+        const FastTierTable* table = fast.acquire(r);
+        const Ipv4Address* dip = table->lookup(kVip.value(), h);
+        ASSERT_NE(dip, nullptr);
+        // Whichever buffer we pinned, the answer comes from a complete
+        // snapshot: always one of the two installed colorings, never a
+        // half-built mix observed as garbage.
+        const Ipv4Address got = *dip;
+        ASSERT_TRUE(got == dip_a || got == dip_b);
+        fast.release(r);
+        h = mix64(h);
+        hits.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  for (std::uint32_t swap = 0; swap < 2000; ++swap) {
+    const bool use_a = (swap & 1) == 0;
+    const FastTier::RebuildStats stats =
+        fast.install(entries_for(use_a ? owner_a : owner_b, swap + 2));
+    ASSERT_EQ(stats.admitted, 1u);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_GE(fast.rebuilds(), 2001u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission taxonomy: only plain, settled, stateless VIPs get hot; everything
+// else must miss (fall through to the full pipeline), never answer wrongly.
+// ---------------------------------------------------------------------------
+
+TEST(FastTier, FallthroughForPortRuleAndStatefulVips) {
+  DuetConfig cfg;
+  cfg.smux_engine = SmuxEngine::kStateless;
+  const FlowHasher hasher{};
+  Smux mux(0, hasher, cfg);
+
+  const Ipv4Address stateful_vip{100, 0, 2, 1};
+  mux.set_vip(kVip, make_dips(4));
+  mux.set_vip(kRuleVip, make_dips(4, 60));
+  mux.set_port_rule(kRuleVip, 443, make_dips(2, 61));
+  mux.set_vip(stateful_vip, make_dips(4, 62));
+  mux.set_engine_override(stateful_vip, SmuxEngine::kStateful);
+
+  FastTier fast{1};
+  const FastTier::RebuildStats stats = fast.rebuild(mux, /*now_us=*/1.0);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.rejected_port_rule, 1u);
+  EXPECT_EQ(stats.rejected_engine, 1u);
+  EXPECT_EQ(stats.rejected_unsettled, 0u);
+  EXPECT_EQ(stats.rejected_collision, 0u);
+
+  const FastTierTable* table = fast.acquire(0);
+  ASSERT_EQ(table->admitted().size(), 1u);
+  EXPECT_EQ(table->admitted()[0], kVip.value());
+  EXPECT_TRUE(table->admits(kVip));
+  EXPECT_FALSE(table->admits(kRuleVip));
+  EXPECT_FALSE(table->admits(stateful_vip));
+
+  // Cold VIPs miss for every flow — including the port that has no rule on
+  // the rule VIP (admission is per-VIP, not per-port).
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(table->lookup(kRuleVip.value(), hasher.hash(flow_tuple(i, kRuleVip))),
+              nullptr);
+    EXPECT_EQ(table->lookup(stateful_vip.value(), hasher.hash(flow_tuple(i, stateful_vip))),
+              nullptr);
+  }
+  // The hot VIP answers, bit-identical to the engine.
+  std::vector<Packet> pkts;
+  std::vector<FiveTuple> tuples;
+  for (std::size_t i = 0; i < 64; ++i) {
+    tuples.push_back(flow_tuple(i));
+    pkts.emplace_back(tuples.back(), 64u);
+  }
+  std::vector<Ipv4Address> out(tuples.size());
+  mux.process_batch({pkts.data(), pkts.size()}, {out.data(), out.size()}, 1.0);
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    const Ipv4Address* dip = table->lookup(kVip.value(), hasher.hash(tuples[i]));
+    ASSERT_NE(dip, nullptr);
+    EXPECT_EQ(*dip, out[i]);
+  }
+  fast.release(0);
+}
+
+}  // namespace
+}  // namespace duet

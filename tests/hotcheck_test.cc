@@ -153,7 +153,8 @@ TEST(Hotcheck, RealHotPathIsCleanWithFullRootSet) {
        {"Smux::process_batch", "Smux::decide", "StatefulEngine::decide",
         "StatefulEngine::prefetch", "StatelessEngine::decide", "VersionedPoolMap::lookup",
         "ResilientHashGroup::select", "ipv4_header_checksum", "peek_encap",
-        "encapsulate_on_wire", "BatchIo::recv_batch", "BatchIo::send_batch"}) {
+        "encapsulate_on_wire", "BatchIo::recv_batch", "BatchIo::send_batch",
+        "FastTierTable::lookup", "FastTier::acquire"}) {
     EXPECT_NE(run.out.find(root), std::string::npos) << "missing hot root: " << root;
   }
 }

@@ -337,6 +337,14 @@ TEST(PersistOpLog, OpsRoundTripThroughTheCodec) {
     op.engine = static_cast<std::uint8_t>(SmuxEngine::kStateless);
     ops.push_back(op);
   }
+  {
+    Op op;
+    op.seq = 17;
+    op.kind = OpKind::kFastTierRebuild;
+    op.t_us = 42.5;
+    op.addrs = {Ipv4Address{100, 0, 0, 1}.value(), Ipv4Address{100, 0, 1, 1}.value()};
+    ops.push_back(op);
+  }
   for (const Op& op : ops) {
     const auto decoded = decode_op(encode_op(op));
     ASSERT_TRUE(decoded.has_value());
@@ -869,6 +877,9 @@ TEST(PersistDaemon, MutateCrashRecoverServesRecoveredState) {
     EXPECT_TRUE(daemon.handle({"migrate", "100.0.1.1", "smux"}).ok());
     EXPECT_TRUE(daemon.handle({"migrate", "100.0.2.1", "1"}).ok());
     EXPECT_TRUE(daemon.handle({"audit"}).ok());
+    // Serving-plane directive: journaled like any mutation, surfaced in stats.
+    EXPECT_TRUE(daemon.handle({"rebuild-fast-tier"}).ok());
+    EXPECT_NE(daemon.handle({"stats"}).text.find("fast tier:"), std::string::npos);
 
     // Validation failures are server-reported (status 1/2), never aborts.
     EXPECT_EQ(daemon.handle({"add-vip", "100.0.1.1", "10.0.0.9"}).status, 1);  // duplicate
@@ -894,6 +905,9 @@ TEST(PersistDaemon, MutateCrashRecoverServesRecoveredState) {
   if (!reborn.start(&error)) GTEST_SKIP() << "daemon restart failed (" << error << ")";
   EXPECT_TRUE(reborn.store().recovery().recovered);
   EXPECT_EQ(reborn.store().recovery().audit_summary, "clean");
+  // The journaled fast-tier rebuild survived the crash and was re-driven
+  // against the reborn serving path (store.h RecoveryInfo contract).
+  EXPECT_GE(reborn.store().recovery().fast_tier_rebuilds, 1u);
   const auto& ctl = reborn.store().controller();
   EXPECT_EQ(ctl.vip_count(), 2u);
   EXPECT_EQ(ctl.dips_of(Ipv4Address{100, 0, 1, 1}).size(), 3u);
